@@ -1,0 +1,182 @@
+// Experiment E11 — ablations over the design choices DESIGN.md calls out:
+//
+//  * FIFO depth: wormhole blocking vs buffering (adversarial burst drain
+//    time as the router's buffer budget varies — the paper's argument
+//    against virtual-channel routers is their buffer cost);
+//  * packet length: short packets escape Figure 1's trap, long ones don't;
+//  * thin vs fat fractahedron under identical load;
+//  * the CPU-pair fan-out level on vs off (+2 router delays, 2x nodes);
+//  * §4's generalization: fractahedra over other fully-connected group
+//    sizes (M=3 triangles, M=5 with one down port).
+#include <iostream>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/contention.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "core/fractahedron.hpp"
+#include "route/shortest_path.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/ring.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/traffic.hpp"
+
+using namespace servernet;
+
+namespace {
+
+void fifo_depth_ablation() {
+  print_banner(std::cout, "ablation — input FIFO depth (fat fractahedron, corner-gang burst)");
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable rt = fh.routing();
+  const auto gang = scenarios::fractahedron_corner_gang(fh);
+  TextTable t({"fifo depth (flits)", "drain cycles", "mean latency", "p95 latency"});
+  for (const std::uint32_t depth : {1U, 2U, 4U, 8U, 16U, 32U}) {
+    sim::SimConfig cfg;
+    cfg.fifo_depth = depth;
+    cfg.flits_per_packet = 8;
+    sim::WormholeSim s(fh.net(), rt, cfg);
+    for (int burst = 0; burst < 32; ++burst) {
+      for (const Transfer& tr : gang) s.offer_packet(tr.src, tr.dst);
+    }
+    const auto result = s.run_until_drained(2'000'000);
+    t.row()
+        .cell(std::size_t{depth})
+        .cell(result.cycles)
+        .cell(s.metrics().latency().mean(), 1)
+        .cell(s.metrics().latency().quantile(0.95), 1);
+  }
+  t.print(std::cout);
+  std::cout << "Deeper FIFOs absorb the burst but cannot beat the 8:1 serialization\n"
+               "floor — contention, not buffering, dominates (the paper's point).\n";
+}
+
+void packet_length_ablation() {
+  print_banner(std::cout, "ablation — packet length vs the Figure 1 trap (4-ring, greedy)");
+  const Ring ring(RingSpec{});
+  const RoutingTable rt = shortest_path_routes(ring.net());
+  TextTable t({"flits/packet", "fifo depth", "outcome"});
+  for (const auto& [flits, depth] : {std::pair{1U, 2U}, std::pair{2U, 4U}, std::pair{4U, 4U},
+                                     std::pair{8U, 2U}, std::pair{16U, 2U}, std::pair{64U, 4U}}) {
+    sim::SimConfig cfg;
+    cfg.fifo_depth = depth;
+    cfg.flits_per_packet = flits;
+    cfg.no_progress_threshold = 500;
+    sim::WormholeSim s(ring.net(), rt, cfg);
+    for (const Transfer& tr : scenarios::ring_circular_shift(ring)) {
+      s.offer_packet(tr.src, tr.dst);
+    }
+    const auto result = s.run_until_drained(1'000'000);
+    t.row()
+        .cell(std::size_t{flits})
+        .cell(std::size_t{depth})
+        .cell(result.outcome == sim::RunOutcome::kDeadlocked ? "DEADLOCKED" : "completed");
+  }
+  t.print(std::cout);
+  std::cout << "Wormhole deadlock needs packets long enough to span switches; packets\n"
+               "that fit in one FIFO behave like store-and-forward and drain.\n";
+}
+
+void thin_vs_fat_under_load() {
+  print_banner(std::cout, "ablation — thin vs fat fractahedron under uniform load (64 nodes)");
+  TextTable t({"kind", "routers", "offered", "accepted", "mean latency", "p95"});
+  for (const FractahedronKind kind : {FractahedronKind::kThin, FractahedronKind::kFat}) {
+    FractahedronSpec spec;
+    spec.levels = 2;
+    spec.kind = kind;
+    const Fractahedron fh(spec);
+    const RoutingTable rt = fh.routing();
+    for (const double offered : {0.05, 0.15, 0.30}) {
+      sim::SimConfig cfg;
+      cfg.fifo_depth = 4;
+      cfg.flits_per_packet = 8;
+      cfg.no_progress_threshold = 20000;
+      sim::WormholeSim s(fh.net(), rt, cfg);
+      UniformTraffic pattern(fh.net().node_count());
+      BernoulliInjector injector(s, pattern, offered, /*seed=*/7);
+      const bool alive = injector.run(4000);
+      injector.drain(200000);
+      t.row()
+          .cell(to_string(kind))
+          .cell(fh.net().router_count())
+          .cell(offered, 2)
+          .cell(alive ? s.metrics().throughput_flits_per_cycle(4000) /
+                            static_cast<double>(fh.net().node_count())
+                      : 0.0,
+                3)
+          .cell(s.metrics().latency().empty() ? 0.0 : s.metrics().latency().mean(), 1)
+          .cell(s.metrics().latency().empty() ? 0.0 : s.metrics().latency().quantile(0.95), 1);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "The thin fractahedron's 4-link bisection saturates under uniform\n"
+               "traffic where the fat one still delivers — Table 1's cost/bandwidth\n"
+               "trade-off made visible.\n";
+}
+
+void fanout_ablation() {
+  print_banner(std::cout, "ablation — CPU-pair fan-out level (thin, N=2)");
+  TextTable t({"fan-out", "nodes", "routers", "max delays", "paper"});
+  for (const bool fanout : {false, true}) {
+    FractahedronSpec spec;
+    spec.levels = 2;
+    spec.kind = FractahedronKind::kThin;
+    spec.cpu_pair_fanout = fanout;
+    const Fractahedron fh(spec);
+    const HopStats hops = hop_stats(fh.net(), fh.routing());
+    t.row()
+        .cell(fanout ? "yes" : "no")
+        .cell(fh.net().node_count())
+        .cell(fh.net().router_count())
+        .cell(hops.max_routed)
+        .cell(std::to_string(Fractahedron::analytic_max_delays(spec) + (fanout ? 2 : 0)));
+  }
+  t.print(std::cout);
+}
+
+void generalized_groups() {
+  print_banner(std::cout, "§4 generalization — fractahedra over other group shapes");
+  TextTable t({"group (M x d)", "kind", "nodes", "routers", "max hops", "acyclic",
+               "worst contention"});
+  struct Shape {
+    std::uint32_t m, d;
+    PortIndex ports;
+  };
+  for (const Shape shape : {Shape{3, 2, 6}, Shape{4, 2, 6}, Shape{5, 1, 6}, Shape{3, 3, 8}}) {
+    for (const FractahedronKind kind : {FractahedronKind::kThin, FractahedronKind::kFat}) {
+      FractahedronSpec spec;
+      spec.levels = 2;
+      spec.kind = kind;
+      spec.group_routers = shape.m;
+      spec.down_ports_per_router = shape.d;
+      spec.router_ports = shape.ports;
+      const Fractahedron fh(spec);
+      const RoutingTable rt = fh.routing();
+      const ContentionReport report = max_link_contention(fh.net(), rt);
+      t.row()
+          .cell(std::to_string(shape.m) + " x " + std::to_string(shape.d))
+          .cell(to_string(kind))
+          .cell(fh.net().node_count())
+          .cell(fh.net().router_count())
+          .cell(hop_stats(fh.net(), rt).max_routed)
+          .cell(is_acyclic(build_cdg(fh.net(), rt)) ? "yes" : "NO")
+          .cell(ratio_string(report.worst.contention));
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Every fully-connected group shape yields a deadlock-free fractahedron,\n"
+               "as §4 asserts (\"the concepts easily generalize\").\n";
+}
+
+}  // namespace
+
+int main() {
+  fifo_depth_ablation();
+  packet_length_ablation();
+  thin_vs_fat_under_load();
+  fanout_ablation();
+  generalized_groups();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment E7 — Figure 6 / §3.3: the 64-node 4-2 fat tree.
+//
+// Reproduces: 28 routers, bisection growth, the fixed-path static
+// partitioning of the four top-level links (the paper's EIM/FJN/GKO/HLP
+// labels), the twelve-transfer squeeze that shares a single top link
+// (12:1), and the claim that no static partitioning beats 12:1. Also
+// reports this reproduction's sharper exhaustive bound (16:1 on the
+// descent into one quadrant).
+#include <iostream>
+
+#include "analysis/bisection.hpp"
+#include "analysis/channel_dependency.hpp"
+#include "analysis/contention.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace servernet;
+
+namespace {
+
+const char* policy_name(UplinkPolicy p) {
+  switch (p) {
+    case UplinkPolicy::kHighDigits:
+      return "high digits (paper's Figure 6)";
+    case UplinkPolicy::kLowDigits:
+      return "low digits";
+    case UplinkPolicy::kHashed:
+      return "hashed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Figure 6 — 64-node 4-2 fat tree of 6-port routers");
+
+  const FatTree tree(FatTreeSpec{});
+  std::cout << "routers: " << tree.net().router_count() << " (paper: 28)  levels: leaf + "
+            << tree.levels() << "\n";
+
+  {
+    const RoutingTable rt = tree.routing();
+    const HopStats hops = hop_stats(tree.net(), rt);
+    const BisectionEstimate bis = estimate_bisection(tree.net(), 6);
+    std::cout << "avg hops: " << hops.avg_routed << " (paper: 4.4)   max: " << hops.max_routed
+              << "\nbisection (min-cut cables): " << bis.best_cut
+              << " (paper quotes 4 links; see EXPERIMENTS.md)\nCDG acyclic: "
+              << (is_acyclic(build_cdg(tree.net(), rt)) ? "yes" : "NO") << "\n";
+
+    print_banner(std::cout, "the paper's 12-transfer squeeze");
+    const auto transfers = scenarios::fat_tree_quadrant_squeeze(tree);
+    std::cout << "twelve sources under one second-level pair -> last quadrant:\n"
+              << "  sharing on the assigned top-level link: "
+              << ratio_string(scenario_contention(tree.net(), rt, transfers))
+              << "  (paper: 12:1)\n";
+  }
+
+  print_banner(std::cout, "static partitioning policies (§3.3: none beats 12:1)");
+  TextTable table({"uplink policy", "worst contention", ">= 12", "CDG acyclic"});
+  for (const UplinkPolicy policy :
+       {UplinkPolicy::kHighDigits, UplinkPolicy::kLowDigits, UplinkPolicy::kHashed}) {
+    const FatTree t(FatTreeSpec{.policy = policy});
+    const RoutingTable rt = t.routing();
+    const ContentionReport report = max_link_contention(t.net(), rt);
+    table.row()
+        .cell(policy_name(policy))
+        .cell(ratio_string(report.worst.contention))
+        .cell(report.worst.contention >= 12 ? "yes" : "NO")
+        .cell(is_acyclic(build_cdg(t.net(), rt)) ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReproduction finding: exhaustive per-link matching under the paper's\n"
+         "policy reports 16:1, not 12:1 — all traffic *into* one 16-node quadrant\n"
+         "descends a single top-level link. The paper analysed the climb side\n"
+         "only. Its conclusion is unchanged (every policy is >= 12:1 and the\n"
+         "fractahedron is far below either figure); see EXPERIMENTS.md E7.\n";
+
+  print_banner(std::cout, "3-3 fat tree alternative (§3.3)");
+  const FatTree wide(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
+  const HopStats hops = hop_stats(wide.net(), wide.routing());
+  std::cout << "routers: " << wide.net().router_count() << " (paper: 100)   avg hops: "
+            << hops.avg_routed << " (paper: 5.9)   max: " << hops.max_routed << "\n";
+  return 0;
+}

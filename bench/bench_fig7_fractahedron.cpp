@@ -1,0 +1,75 @@
+// Experiment E8 — Figure 7 / §3.4: the 64-node fat fractahedron.
+//
+// Reproduces: 48 routers, the 4:1 diagonal-link scenario ("if nodes 6, 7,
+// 14, and 15 are all trying to send to nodes 54, 55, 62, and 63, all four
+// transfers will attempt to use the same diagonal link in the same layer
+// of level 2"), the intra-group worst case of 4:1, and this reproduction's
+// sharper overall bound of 8:1 on a level-2 down link.
+#include <iostream>
+
+#include "analysis/bisection.hpp"
+#include "analysis/channel_dependency.hpp"
+#include "analysis/contention.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "core/fractahedron.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace servernet;
+
+int main() {
+  print_banner(std::cout, "Figure 7 — 64-node fat fractahedron");
+
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable rt = fh.routing();
+
+  std::cout << "routers: " << fh.net().router_count() << " (paper: 48)   nodes: "
+            << fh.net().node_count() << "\n";
+  const HopStats hops = hop_stats(fh.net(), rt);
+  std::cout << "avg hops: " << hops.avg_routed << " (paper: 4.3)   max: " << hops.max_routed
+            << "\nCDG acyclic: " << (is_acyclic(build_cdg(fh.net(), rt)) ? "yes" : "NO")
+            << "\nbisection (min-cut cables): " << estimate_bisection(fh.net(), 6).best_cut
+            << "\n";
+
+  print_banner(std::cout, "the paper's diagonal scenario");
+  const auto diagonal = scenarios::fractahedron_diagonal(fh);
+  std::cout << "{6,7,14,15} -> {54,55,62,63}: sharing on the level-2 diagonal: "
+            << ratio_string(scenario_contention(fh.net(), rt, diagonal)) << "  (paper: 4:1)\n";
+
+  print_banner(std::cout, "contention decomposed by link class");
+  const ContentionReport report = max_link_contention(fh.net(), rt);
+  std::size_t intra = 0, up = 0, down = 0;
+  for (std::size_t ci = 0; ci < fh.net().channel_count(); ++ci) {
+    const Channel& c = fh.net().channel(ChannelId{ci});
+    if (!c.src.is_router() || !c.dst.is_router()) continue;
+    const std::size_t v = report.per_channel[ci];
+    if (c.src_port <= 2 && c.dst_port <= 2) {
+      intra = std::max(intra, v);
+    } else if (c.src_port == fh.up_port()) {
+      up = std::max(up, v);
+    } else {
+      down = std::max(down, v);
+    }
+  }
+  TextTable classes({"link class", "worst contention", "paper"});
+  classes.row().cell("intra-tetrahedron (diagonals)").cell(ratio_string(intra)).cell("4:1");
+  classes.row().cell("up links (climb)").cell(ratio_string(up)).cell("-");
+  classes.row().cell("down links (descent)").cell(ratio_string(down)).cell("not analysed");
+  classes.row().cell("overall").cell(ratio_string(report.worst.contention)).cell("4:1 quoted");
+  classes.print(std::cout);
+
+  print_banner(std::cout, "the corner-gang pattern behind the 8:1");
+  const auto gang = scenarios::fractahedron_corner_gang(fh);
+  std::cout << "eight corner-3 sources (tetrahedra 0-3) -> all of tetrahedron 7:\n"
+            << "  sharing on the layer-3 down link into tetrahedron 7: "
+            << ratio_string(scenario_contention(fh.net(), rt, gang)) << "\n";
+
+  std::cout
+      << "\nPaper scenario reproduces exactly (4:1 on the level-2 diagonal, and\n"
+         "4:1 is the true intra-group worst case). The overall worst case is 8:1\n"
+         "on a descent link — a case §3.4 did not analyse; the fractahedron still\n"
+         "halves the fat tree's exhaustive 16:1 and quarters its quoted 12:1.\n";
+  return 0;
+}

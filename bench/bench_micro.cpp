@@ -1,0 +1,174 @@
+// Experiment E12 — micro-benchmarks of the library primitives
+// (google-benchmark): topology construction, routing-table derivation,
+// path tracing, channel-dependency analysis, contention matching, and the
+// simulator's cycle rate. These quantify the analysis costs behind the
+// paper-regeneration benches.
+#include <benchmark/benchmark.h>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/contention.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/matching.hpp"
+#include "core/fractahedron.hpp"
+#include "route/dimension_order.hpp"
+#include "route/table_compression.hpp"
+#include "route/path.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/mesh.hpp"
+#include "util/rng.hpp"
+#include "workload/traffic.hpp"
+
+namespace servernet {
+namespace {
+
+void BM_BuildFatFractahedron(benchmark::State& state) {
+  FractahedronSpec spec;
+  spec.levels = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const Fractahedron fh(spec);
+    benchmark::DoNotOptimize(fh.net().router_count());
+  }
+}
+BENCHMARK(BM_BuildFatFractahedron)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_DeriveFractahedralRouting(benchmark::State& state) {
+  FractahedronSpec spec;
+  spec.levels = static_cast<std::uint32_t>(state.range(0));
+  const Fractahedron fh(spec);
+  for (auto _ : state) {
+    const RoutingTable table = fh.routing();
+    benchmark::DoNotOptimize(table.populated_entries());
+  }
+}
+BENCHMARK(BM_DeriveFractahedralRouting)->Arg(2)->Arg(3);
+
+void BM_TraceRoute(benchmark::State& state) {
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable table = fh.routing();
+  Xoshiro256 rng(7);
+  const std::size_t n = fh.net().node_count();
+  for (auto _ : state) {
+    const NodeId s{rng.below(n)};
+    NodeId d{rng.below(n)};
+    if (d == s) d = NodeId{(d.value() + 1) % n};
+    benchmark::DoNotOptimize(trace_route(fh.net(), table, s, d).path.router_hops());
+  }
+}
+BENCHMARK(BM_TraceRoute);
+
+void BM_BuildCdg(benchmark::State& state) {
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable table = fh.routing();
+  for (auto _ : state) {
+    const ChannelDependencyGraph cdg = build_cdg(fh.net(), table);
+    benchmark::DoNotOptimize(cdg.edge_count());
+  }
+}
+BENCHMARK(BM_BuildCdg);
+
+void BM_CycleCheck(benchmark::State& state) {
+  const Fractahedron fh(FractahedronSpec{});
+  const ChannelDependencyGraph cdg = build_cdg(fh.net(), fh.routing());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_acyclic(cdg));
+  }
+}
+BENCHMARK(BM_CycleCheck);
+
+void BM_MaxLinkContention64(benchmark::State& state) {
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable table = fh.routing();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_link_contention(fh.net(), table).worst.contention);
+  }
+}
+BENCHMARK(BM_MaxLinkContention64);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  Xoshiro256 rng(11);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BipartiteGraph g(n, n);
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t r = 0; r < n; ++r) {
+      if (rng.bernoulli(0.1)) g.add_edge(l, r);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximum_bipartite_matching(g).size);
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(256);
+
+void BM_SimCycleRate(benchmark::State& state) {
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable table = fh.routing();
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 8;
+  sim::WormholeSim sim(fh.net(), table, cfg);
+  UniformTraffic pattern(fh.net().node_count());
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    // ~25% injection keeps the fabric busy without saturating.
+    for (std::size_t node = 0; node < fh.net().node_count(); ++node) {
+      if (rng.bernoulli(0.03)) {
+        const auto d = pattern.destination(NodeId{node}, rng);
+        if (d) sim.offer_packet(NodeId{node}, *d);
+      }
+    }
+    sim.step();
+  }
+  state.counters["flits/s"] = benchmark::Counter(
+      static_cast<double>(sim.metrics().flits_delivered()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimCycleRate);
+
+void BM_CompressedTableLookup(benchmark::State& state) {
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable dense = fh.routing();
+  const CompressedRoutingTable compressed(fh.net(), dense, 8);
+  Xoshiro256 rng(5);
+  const std::size_t routers = fh.net().router_count();
+  const std::size_t nodes = fh.net().node_count();
+  for (auto _ : state) {
+    const RouterId r{rng.below(routers)};
+    const NodeId d{rng.below(nodes)};
+    benchmark::DoNotOptimize(compressed.port(r, d));
+  }
+}
+BENCHMARK(BM_CompressedTableLookup);
+
+void BM_DenseTableLookup(benchmark::State& state) {
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable dense = fh.routing();
+  Xoshiro256 rng(5);
+  const std::size_t routers = fh.net().router_count();
+  const std::size_t nodes = fh.net().node_count();
+  for (auto _ : state) {
+    const RouterId r{rng.below(routers)};
+    const NodeId d{rng.below(nodes)};
+    benchmark::DoNotOptimize(dense.port(r, d));
+  }
+}
+BENCHMARK(BM_DenseTableLookup);
+
+void BM_MeshDimensionOrder(benchmark::State& state) {
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  const Mesh2D mesh(MeshSpec{.cols = side, .rows = side});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dimension_order_routes(mesh).populated_entries());
+  }
+}
+BENCHMARK(BM_MeshDimensionOrder)->Arg(6)->Arg(12)->Arg(23);
+
+void BM_FatTreeRouting(benchmark::State& state) {
+  const FatTree tree(FatTreeSpec{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.routing().populated_entries());
+  }
+}
+BENCHMARK(BM_FatTreeRouting);
+
+}  // namespace
+}  // namespace servernet

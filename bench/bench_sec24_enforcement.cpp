@@ -1,0 +1,122 @@
+// Experiment E14 — §2.4 deadlock prevention and path-disable enforcement:
+//
+//   "Conceptually, there are multiple upward and downward paths from one
+//    node to another, and use of all possible paths would result in
+//    deadlock. But the routing algorithm always takes a local inter-level
+//    link ... The ServerNet routers also have path disable logic that can
+//    be set to enforce the elimination of the loops, even if the routing
+//    table is corrupted by a fault."
+//
+// This bench (a) shows the fat fractahedron's *wiring* does contain loops
+// (a fully-open turn graph is cyclic), (b) certifies that the depth-first
+// routing's turn set is acyclic, and (c) runs Monte-Carlo corruption
+// drills: randomly corrupted tables behind the programmed disables never
+// deadlock; without the disables they misroute and loop.
+#include <iostream>
+
+#include "core/fractahedron.hpp"
+#include "route/path.hpp"
+#include "route/turn_mask.hpp"
+#include "sim/deadlock_detector.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace servernet;
+
+namespace {
+
+RoutingTable corrupt(const Network& net, const RoutingTable& good, std::size_t corruptions,
+                     Xoshiro256& rng) {
+  RoutingTable bad = good;
+  for (std::size_t i = 0; i < corruptions; ++i) {
+    const RouterId r{rng.below(net.router_count())};
+    const NodeId d{rng.below(net.node_count())};
+    const auto outs = net.out_channels(Terminal::router(r));
+    bad.set(r, d, net.channel(outs[rng.below(outs.size())]).src_port);
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "§2.4 — deadlock prevention in the fat fractahedron");
+
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable good = fh.routing();
+  const TurnMask open(fh.net(), /*allow_all=*/true);
+  const TurnMask programmed = turns_used_by(fh.net(), good);
+
+  TextTable setup({"turn set", "allowed turns", "turn graph"});
+  setup.row()
+      .cell("all turns (raw wiring)")
+      .cell(open.allowed_turn_count())
+      .cell(turn_graph_acyclic(fh.net(), open) ? "acyclic" : "CYCLIC (loops exist)");
+  setup.row()
+      .cell("depth-first routing's turns (programmed disables)")
+      .cell(programmed.allowed_turn_count())
+      .cell(turn_graph_acyclic(fh.net(), programmed) ? "ACYCLIC (certified)" : "CYCLIC");
+  setup.print(std::cout);
+  std::cout << "The multilayer wiring has loops; the routing algorithm's turn set\n"
+               "breaks all of them, and the per-router disable masks freeze exactly\n"
+               "that turn set into hardware.\n";
+
+  print_banner(std::cout, "Monte-Carlo table-corruption drills (64 packets each)");
+  TextTable drill({"trial", "corrupted entries", "with disables", "correct/mis/stuck",
+                   "classification"});
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 16;
+  cfg.no_progress_threshold = 1000;
+  std::size_t deadlocks_with_mask = 0;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    Xoshiro256 rng(trial * 101 + 9);
+    const std::size_t corruptions = 10 + trial * 15;
+    const RoutingTable bad = corrupt(fh.net(), good, corruptions, rng);
+    sim::WormholeSim s(fh.net(), bad, cfg);
+    s.enforce_turns(programmed);
+    for (std::uint32_t n = 0; n < 64; ++n) s.offer_packet(NodeId{n}, NodeId{(n + 21) % 64});
+    const auto result = s.run_until_drained(300000);
+    std::string classification = "all packets accounted for";
+    if (result.outcome != sim::RunOutcome::kCompleted) {
+      const sim::StallReport report = sim::classify_stall(s);
+      classification = sim::to_string(report.cause);
+      if (report.cause == sim::StallCause::kCircularWait) ++deadlocks_with_mask;
+    }
+    const std::size_t stuck =
+        s.packets_offered() - s.packets_delivered() - s.packets_misdelivered();
+    drill.row()
+        .cell(trial)
+        .cell(corruptions)
+        .cell(result.outcome == sim::RunOutcome::kCompleted ? "drained" : "stalled")
+        .cell(std::to_string(s.packets_delivered()) + "/" +
+              std::to_string(s.packets_misdelivered()) + "/" + std::to_string(stuck))
+        .cell(classification);
+  }
+  drill.print(std::cout);
+  std::cout << "deadlocks observed through the disables: " << deadlocks_with_mask
+            << " (the §2.4 guarantee demands 0 — corruption can strand or misroute\n"
+               " packets, which software-level timeouts then retire, but the fabric\n"
+               " itself never enters a circular wait)\n";
+
+  print_banner(std::cout, "the same corruption without disables");
+  Xoshiro256 rng(4242);
+  const RoutingTable bad = corrupt(fh.net(), good, 150, rng);
+  std::size_t loops = 0, misdeliveries = 0, ok = 0;
+  for (std::uint32_t n = 0; n < 64; ++n) {
+    const RouteResult r = trace_route(fh.net(), bad, NodeId{n}, NodeId{(n + 21) % 64});
+    if (r.ok()) {
+      ++ok;
+    } else if (r.status == RouteStatus::kLoop) {
+      ++loops;
+    } else {
+      ++misdeliveries;
+    }
+  }
+  std::cout << "150 corrupted entries, 64 traced routes: " << ok << " intact, " << loops
+            << " forwarding loops, " << misdeliveries << " misrouted.\n"
+            << "Unprotected, corruption creates loops a wormhole fabric can deadlock\n"
+               "on; behind the disables those same tables are contained.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment E10 — §4 future work: "simulations of large topologies in
+// order to better understand network performance under heavy loading."
+//
+// Drives the flit-level wormhole simulator over the 64-node candidates
+// (6x6 mesh, 4-2 fat tree, fat fractahedron) with uniform random traffic
+// across an offered-load sweep, and with the paper's adversarial transfer
+// sets, reporting accepted throughput and latency percentiles.
+#include <iostream>
+#include <vector>
+
+#include "analysis/contention.hpp"
+#include "core/fractahedron.hpp"
+#include "route/dimension_order.hpp"
+#include "sim/experiment.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/mesh.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/traffic.hpp"
+
+using namespace servernet;
+
+namespace {
+
+void sweep(const std::string& name, const Network& net, const RoutingTable& table) {
+  // Steady-state methodology: warmup discarded, measurement window
+  // reported, bounded drain (sim/experiment.hpp).
+  print_banner(std::cout, name + " — uniform random traffic sweep");
+  TextTable t({"offered (flits/node/cy)", "accepted", "mean latency", "p50", "p95", "note"});
+  for (const double offered : {0.02, 0.05, 0.10, 0.20, 0.30, 0.45, 0.60}) {
+    UniformTraffic pattern(net.node_count());
+    sim::ExperimentConfig cfg;
+    cfg.offered_flits = offered;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    cfg.drain_limit = 200000;
+    cfg.sim.fifo_depth = 4;
+    cfg.sim.flits_per_packet = 8;
+    cfg.sim.no_progress_threshold = 20000;
+    cfg.seed = 0xC0FFEE;
+    const sim::ExperimentResult p = sim::run_load_point(net, table, pattern, cfg);
+    t.row().cell(offered, 2).cell(p.accepted_flits, 3).cell(p.mean_latency, 1)
+        .cell(p.p50_latency, 1).cell(p.p95_latency, 1)
+        .cell(p.deadlocked ? "DEADLOCKED" : (p.saturated ? "saturated" : ""));
+  }
+  t.print(std::cout);
+}
+
+void adversarial(const std::string& name, const Network& net, const RoutingTable& table,
+                 const std::vector<Transfer>& transfers) {
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 8;
+  cfg.no_progress_threshold = 20000;
+  sim::WormholeSim s(net, table, cfg);
+  // A long burst of the adversarial pattern: 64 packets per transfer.
+  for (int burst = 0; burst < 64; ++burst) {
+    for (const Transfer& t : transfers) s.offer_packet(t.src, t.dst);
+  }
+  const auto result = s.run_until_drained(2'000'000);
+  std::cout << name << ": " << s.packets_delivered() << " packets in " << result.cycles
+            << " cycles; mean latency " << s.metrics().latency().mean() << ", p95 "
+            << s.metrics().latency().quantile(0.95) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const Mesh2D mesh(MeshSpec{});
+  const FatTree tree(FatTreeSpec{});
+  const Fractahedron fracta(FractahedronSpec{});
+  const RoutingTable mesh_rt = dimension_order_routes(mesh);
+  const RoutingTable tree_rt = tree.routing();
+  const RoutingTable fracta_rt = fracta.routing();
+
+  sweep("6x6 mesh (72 nodes)", mesh.net(), mesh_rt);
+  sweep("4-2 fat tree (64 nodes)", tree.net(), tree_rt);
+  sweep("fat fractahedron (64 nodes)", fracta.net(), fracta_rt);
+
+  print_banner(std::cout, "adversarial bursts (the paper's scenarios, 64 packets each)");
+  adversarial("mesh corner-turn (10:1)", mesh.net(), mesh_rt, scenarios::mesh_corner_turn(mesh));
+  adversarial("fat-tree squeeze (12:1)", tree.net(), tree_rt,
+              scenarios::fat_tree_quadrant_squeeze(tree));
+  adversarial("fractahedron diagonal (4:1)", fracta.net(), fracta_rt,
+              scenarios::fractahedron_diagonal(fracta));
+  adversarial("fractahedron corner gang (8:1)", fracta.net(), fracta_rt,
+              scenarios::fractahedron_corner_gang(fracta));
+
+  std::cout
+      << "\nExpected shape (no absolute numbers are claimed by the paper): all\n"
+         "three topologies are stable at low load; the 4-2 fat tree (bisection 8\n"
+         "cables) congests first under uniform traffic and the fat fractahedron\n"
+         "(bisection 16) last; under the adversarial bursts, mean latency is\n"
+         "monotone in the contention ratio — 4:1 < 8:1 < 10:1 < 12:1 — which is\n"
+         "precisely the paper's argument for the fractahedron.\n";
+  return 0;
+}

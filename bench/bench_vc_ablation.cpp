@@ -1,0 +1,187 @@
+// Experiment E15 — the virtual-channel alternative (§2, reference [6]).
+//
+// The paper rejects Dally & Seitz virtual channels because they "require
+// multiple packet buffers at each router stage" and complicate the router.
+// This ablation measures both sides of that trade on the looping
+// topologies where VCs are the textbook remedy:
+//
+//  * ring of 4 (Figure 1's configuration): minimal routing deadlocks on a
+//    single VC; a 2-VC dateline drains it; so does ServerNet's answer —
+//    up*/down* restricted routing on the plain single-VC router;
+//  * 4x4 torus: minimal (wrap-using) routing vs dimension-dateline VCs vs
+//    up*/down* on plain hardware;
+//  * the buffer budget of each option, which is the §2 objection.
+#include <iostream>
+
+#include "analysis/hops.hpp"
+#include "route/shortest_path.hpp"
+#include "route/updown.hpp"
+#include "sim/vc_sim.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "topo/torus.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace servernet;
+
+namespace {
+
+/// Classic torus scheme: VC 0 within a dimension until the wrap link is
+/// crossed (then VC 1); entering a new dimension resets to VC 0.
+class TorusDatelineVc final : public sim::VcSelector {
+ public:
+  explicit TorusDatelineVc(const Torus2D& torus) : net_(&torus.net()) {
+    const TorusSpec& spec = torus.spec();
+    for (std::uint32_t y = 0; y < spec.rows; ++y) {
+      mark(torus.router_at(spec.cols - 1, y), mesh_port::kEast);
+      mark(torus.router_at(0, y), mesh_port::kWest);
+    }
+    for (std::uint32_t x = 0; x < spec.cols; ++x) {
+      mark(torus.router_at(x, spec.rows - 1), mesh_port::kNorth);
+      mark(torus.router_at(x, 0), mesh_port::kSouth);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId) const override { return 0; }
+
+  [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId from,
+                                      ChannelId to) const override {
+    const std::uint32_t base = dimension(from) == dimension(to) ? current : 0;
+    const bool wrap = to.index() < is_wrap_.size() && is_wrap_[to.index()] != 0;
+    return wrap ? std::min(base + 1, 1U) : base;
+  }
+
+ private:
+  void mark(RouterId r, PortIndex port) {
+    const ChannelId c = net_->router_out(r, port);
+    if (!c.valid()) return;
+    if (c.index() >= is_wrap_.size()) is_wrap_.resize(c.index() + 1, 0);
+    is_wrap_[c.index()] = 1;
+  }
+  /// 0 = X, 1 = Y, 2 = node-side.
+  [[nodiscard]] std::uint32_t dimension(ChannelId c) const {
+    const Channel& ch = net_->channel(c);
+    if (!ch.src.is_router()) return 2;
+    if (ch.src_port == mesh_port::kEast || ch.src_port == mesh_port::kWest) return 0;
+    if (ch.src_port == mesh_port::kNorth || ch.src_port == mesh_port::kSouth) return 1;
+    return 2;
+  }
+
+  const Network* net_;
+  std::vector<char> is_wrap_;
+};
+
+std::vector<ChannelId> ring_datelines(const Ring& ring) {
+  const std::uint32_t k = ring.spec().routers;
+  return {ring.net().router_out(ring.router(k - 1), ring_port::kClockwise),
+          ring.net().router_out(ring.router(0), ring_port::kCounterClockwise)};
+}
+
+const char* outcome_name(sim::RunOutcome o) {
+  switch (o) {
+    case sim::RunOutcome::kCompleted:
+      return "completed";
+    case sim::RunOutcome::kDeadlocked:
+      return "DEADLOCKED";
+    case sim::RunOutcome::kCycleLimit:
+      return "cycle-limit";
+  }
+  return "?";
+}
+
+struct RowResult {
+  std::string outcome;
+  double mean_latency = 0.0;
+  std::size_t buffers = 0;
+  double avg_hops = 0.0;
+};
+
+RowResult run_vc(const Network& net, const RoutingTable& table, const sim::VcSelector& sel,
+                 std::uint32_t vcs, const std::vector<Transfer>& transfers, int bursts) {
+  sim::VcSimConfig cfg;
+  cfg.vcs_per_channel = vcs;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 16;
+  cfg.no_progress_threshold = 1000;
+  sim::VcWormholeSim s(net, table, sel, cfg);
+  for (int b = 0; b < bursts; ++b) {
+    for (const Transfer& t : transfers) s.offer_packet(t.src, t.dst);
+  }
+  RowResult row;
+  row.outcome = outcome_name(s.run_until_drained(2'000'000).outcome);
+  row.mean_latency = s.metrics().latency().empty() ? 0.0 : s.metrics().latency().mean();
+  row.buffers = s.total_buffer_flits();
+  row.avg_hops = hop_stats(net, table).avg_routed;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "virtual channels vs restricted routing (§2, reference [6])");
+
+  {
+    const Ring ring(RingSpec{});
+    const RoutingTable minimal = shortest_path_routes(ring.net());
+    const RoutingTable restricted = updown_routes(ring.net(), ring.router(0));
+    const auto transfers = scenarios::ring_circular_shift(ring);
+    const sim::SingleVc single;
+    const sim::DatelineVc dateline(ring_datelines(ring), 2);
+
+    print_banner(std::cout, "ring of 4 (Figure 1), 8 bursts of the circular shift");
+    TextTable t({"router design", "routing", "outcome", "mean latency", "buffer flits",
+                 "avg hops"});
+    const RowResult a = run_vc(ring.net(), minimal, single, 1, transfers, 8);
+    t.row().cell("plain (1 VC)").cell("minimal").cell(a.outcome).cell(a.mean_latency, 1)
+        .cell(a.buffers).cell(a.avg_hops, 2);
+    const RowResult b = run_vc(ring.net(), minimal, dateline, 2, transfers, 8);
+    t.row().cell("2-VC dateline [6]").cell("minimal").cell(b.outcome).cell(b.mean_latency, 1)
+        .cell(b.buffers).cell(b.avg_hops, 2);
+    const RowResult c = run_vc(ring.net(), restricted, single, 1, transfers, 8);
+    t.row().cell("plain (1 VC)").cell("up*/down* (ServerNet-style)").cell(c.outcome)
+        .cell(c.mean_latency, 1).cell(c.buffers).cell(c.avg_hops, 2);
+    t.print(std::cout);
+  }
+
+  {
+    const Torus2D torus(TorusSpec{.cols = 4, .rows = 4, .nodes_per_router = 1});
+    const RoutingTable minimal = shortest_path_routes(torus.net());
+    const RoutingTable restricted = updown_routes(torus.net(), RouterId{0U});
+    // Tornado-style pattern: every node sends nearly half-way around its
+    // row — the classic wrap-stressing workload.
+    std::vector<Transfer> transfers;
+    for (std::uint32_t y = 0; y < 4; ++y) {
+      for (std::uint32_t x = 0; x < 4; ++x) {
+        transfers.push_back(Transfer{torus.node_at(x, y, 0), torus.node_at((x + 2) % 4, y, 0)});
+      }
+    }
+    const sim::SingleVc single;
+    const TorusDatelineVc dateline(torus);
+
+    print_banner(std::cout, "4x4 torus, 8 bursts of the row-tornado pattern");
+    TextTable t({"router design", "routing", "outcome", "mean latency", "buffer flits",
+                 "avg hops"});
+    const RowResult a = run_vc(torus.net(), minimal, single, 1, transfers, 8);
+    t.row().cell("plain (1 VC)").cell("minimal (uses wraps)").cell(a.outcome)
+        .cell(a.mean_latency, 1).cell(a.buffers).cell(a.avg_hops, 2);
+    const RowResult b = run_vc(torus.net(), minimal, dateline, 2, transfers, 8);
+    t.row().cell("2-VC dateline [6]").cell("minimal (uses wraps)").cell(b.outcome)
+        .cell(b.mean_latency, 1).cell(b.buffers).cell(b.avg_hops, 2);
+    const RowResult c = run_vc(torus.net(), restricted, single, 1, transfers, 8);
+    t.row().cell("plain (1 VC)").cell("up*/down* (ServerNet-style)").cell(c.outcome)
+        .cell(c.mean_latency, 1).cell(c.buffers).cell(c.avg_hops, 2);
+    t.print(std::cout);
+  }
+
+  std::cout
+      << "\nThe trade the paper describes, quantified: virtual channels keep the\n"
+         "minimal routes and drain the deadlock scenarios, but double the buffer\n"
+         "flits per router (\"buffering space may dominate the area of a typical\n"
+         "router\"). ServerNet's restricted routing drains the same traffic on\n"
+         "half the buffers — here even faster — at the general cost of uneven\n"
+         "link utilization (bench_fig2_hypercube). The fractahedral topologies of\n"
+         "§2.2-2.4 are designed so that the restriction costs almost nothing.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Cluster sizing study — the paper's motivating workload (§3.0):
+//
+//   "for a given database query, we may have an arbitrary set of four CPU
+//    nodes trying to communicate with an arbitrary set of four disk
+//    controller nodes over an extended period of time. The ability of a
+//    network to handle load imbalances is a key factor in application
+//    performance."
+//
+// This example models a Tandem-style database cluster: half the end nodes
+// are CPUs, half are disk controllers. Random "queries" pick k CPUs and k
+// controllers and stream between them; we measure how often each candidate
+// 64-node fabric forces q transfers through one link, and what that does
+// to simulated completion time.
+#include <iostream>
+#include <vector>
+
+#include "analysis/contention.hpp"
+#include "core/fractahedron.hpp"
+#include "route/dimension_order.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/mesh.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace servernet;
+
+namespace {
+
+/// Draws a random query: k distinct CPUs (even node ids) streaming to k
+/// distinct disk controllers (odd node ids).
+std::vector<Transfer> random_query(std::size_t node_count, std::size_t k, Xoshiro256& rng) {
+  std::vector<std::uint32_t> cpus, disks;
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    (n % 2 == 0 ? cpus : disks).push_back(n);
+  }
+  shuffle(cpus, rng);
+  shuffle(disks, rng);
+  std::vector<Transfer> transfers;
+  for (std::size_t i = 0; i < k; ++i) {
+    transfers.push_back(Transfer{NodeId{cpus[i]}, NodeId{disks[i]}});
+  }
+  return transfers;
+}
+
+struct FabricReport {
+  double mean_sharing = 0.0;
+  std::size_t worst_sharing = 0;
+  double mean_completion = 0.0;
+};
+
+FabricReport evaluate(const Network& net, const RoutingTable& table, std::size_t query_size,
+                      int queries, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Accumulator sharing;
+  Accumulator completion;
+  std::size_t worst = 0;
+  for (int q = 0; q < queries; ++q) {
+    const std::vector<Transfer> transfers = random_query(net.node_count(), query_size, rng);
+    const std::size_t s = scenario_contention(net, table, transfers);
+    sharing.add(static_cast<double>(s));
+    worst = std::max(worst, s);
+
+    // Stream 16 packets per transfer and time the query to completion.
+    sim::SimConfig cfg;
+    cfg.fifo_depth = 4;
+    cfg.flits_per_packet = 8;
+    sim::WormholeSim simulator(net, table, cfg);
+    for (int rep = 0; rep < 16; ++rep) {
+      for (const Transfer& t : transfers) simulator.offer_packet(t.src, t.dst);
+    }
+    const auto result = simulator.run_until_drained(1'000'000);
+    SN_REQUIRE(result.outcome == sim::RunOutcome::kCompleted, "query simulation stalled");
+    completion.add(static_cast<double>(result.cycles));
+  }
+  return {sharing.mean(), worst, completion.mean()};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kQueries = 40;
+  print_banner(std::cout, "database-cluster sizing: 64 nodes (32 CPUs + 32 disk controllers)");
+  std::cout << "Each query streams k CPUs -> k controllers; " << kQueries
+            << " random queries per fabric.\n";
+
+  const Mesh2D mesh(MeshSpec{});  // 72 nodes; queries use the first 64 semantics anyway
+  const FatTree tree(FatTreeSpec{});
+  const Fractahedron fracta(FractahedronSpec{});
+  const RoutingTable mesh_rt = dimension_order_routes(mesh);
+  const RoutingTable tree_rt = tree.routing();
+  const RoutingTable fracta_rt = fracta.routing();
+
+  for (const std::size_t k : {4UL, 8UL, 16UL}) {
+    print_banner(std::cout, "query size k = " + std::to_string(k));
+    TextTable t({"fabric", "routers", "mean link sharing", "worst", "mean completion (cycles)"});
+    struct Row {
+      const char* name;
+      const Network& net;
+      const RoutingTable& rt;
+    };
+    for (const Row row : {Row{"6x6 mesh", mesh.net(), mesh_rt},
+                          Row{"4-2 fat tree", tree.net(), tree_rt},
+                          Row{"fat fractahedron", fracta.net(), fracta_rt}}) {
+      const FabricReport rep = evaluate(row.net, row.rt, k, kQueries, /*seed=*/1996 + k);
+      t.row()
+          .cell(row.name)
+          .cell(row.net.router_count())
+          .cell(rep.mean_sharing, 2)
+          .cell(rep.worst_sharing)
+          .cell(rep.mean_completion, 0);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nReading: random queries rarely hit the adversarial worst cases, but the\n"
+               "tail (worst sharing) tracks the paper's contention ranking, and query\n"
+               "completion time follows it — the fractahedron's evenly-spread layers\n"
+               "keep the slowest query closest to the uncontended time.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Expansion planner — growing a fractahedral ServerNet in place.
+//
+// Table 1's footnote: "we reserve the upward connections from the top
+// level for future expansion to avoid the need to remove existing
+// connections as a system is expanded." This example plans the upgrade
+// path of a machine from 16 CPUs to 1024 CPUs (the paper's §2.2 journey),
+// verifying at every step that the installed cabling is untouched and
+// printing the shopping list of routers and cables each upgrade needs.
+#include <iostream>
+#include <memory>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "core/expansion.hpp"
+#include "core/fractahedron.hpp"
+#include "util/table.hpp"
+
+using namespace servernet;
+
+int main() {
+  std::cout << "Upgrade path for a thin fractahedral ServerNet with CPU-pair fan-out\n"
+               "(the paper's 16 -> 128 -> 1024 CPU systems):\n";
+
+  TextTable plan({"system", "CPUs", "routers", "cables", "max delays", "new routers",
+                  "new cables", "existing cables disturbed"});
+
+  FractahedronSpec spec;
+  spec.kind = FractahedronKind::kThin;
+  spec.cpu_pair_fanout = true;
+
+  std::unique_ptr<Fractahedron> previous;
+  for (std::uint32_t levels = 1; levels <= 3; ++levels) {
+    spec.levels = levels;
+    auto current = std::make_unique<Fractahedron>(spec);
+    // Exhaustive over all pairs; fine up to the 1024-CPU system.
+    const HopStats hops = hop_stats(current->net(), current->routing());
+
+    std::size_t new_routers = current->net().router_count();
+    std::size_t new_cables = current->net().link_count();
+    std::string disturbed = "-";
+    if (previous) {
+      const ExpansionCheck check = verify_expansion(*previous, *current);
+      new_routers -= previous->net().router_count();
+      new_cables = check.added_cables;
+      disturbed = check.fully_preserved()
+                      ? "none (all " + std::to_string(check.small_cables) + " preserved)"
+                      : "SOME REMOVED — bug!";
+    }
+    plan.row()
+        .cell("N=" + std::to_string(levels))
+        .cell(current->net().node_count())
+        .cell(current->net().router_count())
+        .cell(current->net().link_count())
+        .cell(hops.max_routed)
+        .cell(previous ? std::to_string(new_routers) : std::string("-"))
+        .cell(previous ? std::to_string(new_cables) : std::string("-"))
+        .cell(disturbed);
+    previous = std::move(current);
+  }
+  plan.print(std::cout);
+
+  std::cout << "\nAnd the fat upgrade for bandwidth (same guarantee):\n";
+  TextTable fat_plan({"system", "CPUs", "routers", "bisection-ready layers",
+                      "existing cables disturbed"});
+  spec.kind = FractahedronKind::kFat;
+  previous.reset();
+  for (std::uint32_t levels = 1; levels <= 3; ++levels) {
+    spec.levels = levels;
+    auto current = std::make_unique<Fractahedron>(spec);
+    std::string disturbed = "-";
+    if (previous) {
+      const ExpansionCheck check = verify_expansion(*previous, *current);
+      disturbed = check.fully_preserved() ? "none" : "SOME REMOVED — bug!";
+    }
+    fat_plan.row()
+        .cell("N=" + std::to_string(levels))
+        .cell(current->net().node_count())
+        .cell(current->net().router_count())
+        .cell(current->layers(levels))
+        .cell(disturbed);
+    previous = std::move(current);
+  }
+  fat_plan.print(std::cout);
+
+  // Sanity: the final system is still certified deadlock-free.
+  spec.levels = 3;
+  const Fractahedron final_system(spec);
+  std::cout << "\nfinal 1024-CPU fat system: CDG "
+            << (is_acyclic(build_cdg(final_system.net(), final_system.routing()))
+                    ? "acyclic (deadlock-free)"
+                    : "CYCLIC")
+            << "\n";
+  return 0;
+}

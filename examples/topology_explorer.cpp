@@ -1,0 +1,150 @@
+// Topology explorer: build any of the library's topologies from the
+// command line, print its figures of merit, and optionally emit Graphviz.
+//
+//   $ ./topology_explorer fat-fractahedron 2
+//   $ ./topology_explorer thin-fractahedron 3
+//   $ ./topology_explorer mesh 6
+//   $ ./topology_explorer fat-tree 64
+//   $ ./topology_explorer hypercube 4
+//   $ ./topology_explorer tetrahedron
+//   $ ./topology_explorer ccc 4
+//   $ ./topology_explorer shuffle-exchange 5
+//   $ ./topology_explorer mesh3d 4
+//   $ ./topology_explorer fat-fractahedron 2 --dot   (DOT on stdout)
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/bisection.hpp"
+#include "analysis/channel_dependency.hpp"
+#include "analysis/contention.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "analysis/reflexivity.hpp"
+#include "core/fractahedron.hpp"
+#include "route/dimension_order.hpp"
+#include "route/ecube.hpp"
+#include "topo/dot.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/fully_connected.hpp"
+#include "topo/cube_connected_cycles.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/kary_ncube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/shuffle_exchange.hpp"
+#include "route/updown.hpp"
+#include "util/table.hpp"
+
+using namespace servernet;
+
+namespace {
+
+struct Built {
+  // Owners keep the topology objects alive; `net` and `table` view them.
+  std::shared_ptr<void> owner;
+  const Network* net = nullptr;
+  RoutingTable table;
+};
+
+Built build(const std::string& kind, std::uint32_t size) {
+  if (kind == "fat-fractahedron" || kind == "thin-fractahedron") {
+    FractahedronSpec spec;
+    spec.levels = size == 0 ? 2 : size;
+    spec.kind = kind[0] == 'f' ? FractahedronKind::kFat : FractahedronKind::kThin;
+    auto owner = std::make_shared<Fractahedron>(spec);
+    return {owner, &owner->net(), owner->routing()};
+  }
+  if (kind == "mesh") {
+    MeshSpec spec;
+    spec.cols = spec.rows = size == 0 ? 6 : size;
+    auto owner = std::make_shared<Mesh2D>(spec);
+    return {owner, &owner->net(), dimension_order_routes(*owner)};
+  }
+  if (kind == "fat-tree") {
+    FatTreeSpec spec;
+    spec.nodes = size == 0 ? 64 : size;
+    auto owner = std::make_shared<FatTree>(spec);
+    return {owner, &owner->net(), owner->routing()};
+  }
+  if (kind == "hypercube") {
+    HypercubeSpec spec;
+    spec.dimensions = size == 0 ? 3 : size;
+    auto owner = std::make_shared<Hypercube>(spec);
+    return {owner, &owner->net(), ecube_routes(*owner)};
+  }
+  if (kind == "tetrahedron") {
+    auto owner = std::make_shared<FullyConnectedGroup>(FullyConnectedSpec{});
+    return {owner, &owner->net(), owner->routing()};
+  }
+  if (kind == "ccc") {
+    CccSpec spec;
+    spec.dimensions = size == 0 ? 3 : size;
+    auto owner = std::make_shared<CubeConnectedCycles>(spec);
+    return {owner, &owner->net(), updown_routes(owner->net(), RouterId{0U})};
+  }
+  if (kind == "shuffle-exchange") {
+    ShuffleExchangeSpec spec;
+    spec.bits = size == 0 ? 4 : size;
+    auto owner = std::make_shared<ShuffleExchange>(spec);
+    return {owner, &owner->net(), updown_routes(owner->net(), RouterId{0U})};
+  }
+  if (kind == "mesh3d") {
+    const std::uint32_t side = size == 0 ? 4 : size;
+    auto owner = std::make_shared<KAryNCube>(KAryNCubeSpec{.dims = {side, side, side}});
+    return {owner, &owner->net(), owner->dimension_order()};
+  }
+  std::cerr << "unknown topology '" << kind << "'\n"
+            << "choose: fat-fractahedron | thin-fractahedron | mesh | mesh3d | fat-tree |"
+               " hypercube | tetrahedron | ccc | shuffle-exchange\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string kind = argc > 1 ? argv[1] : "fat-fractahedron";
+  std::uint32_t size = 0;
+  bool dot = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dot") {
+      dot = true;
+    } else {
+      size = static_cast<std::uint32_t>(std::stoul(arg));
+    }
+  }
+
+  const Built built = build(kind, size);
+  const Network& net = *built.net;
+
+  if (dot) {
+    write_dot(std::cout, net);
+    return 0;
+  }
+
+  print_banner(std::cout, net.name());
+  const HopStats hops = hop_stats(net, built.table);
+  const bool acyclic = is_acyclic(build_cdg(net, built.table));
+  TextTable t({"metric", "value"});
+  t.row().cell("routers").cell(net.router_count());
+  t.row().cell("end nodes").cell(net.node_count());
+  t.row().cell("duplex links").cell(net.link_count());
+  t.row().cell("average router hops").cell(hops.avg_routed, 3);
+  t.row().cell("maximum router hops").cell(hops.max_routed);
+  t.row().cell("routing stretch vs shortest").cell(hops.stretch(), 3);
+  t.row().cell("deadlock-free (CDG acyclic)").cell(acyclic ? "yes" : "NO");
+  if (net.node_count() <= 160) {
+    const ContentionReport contention = max_link_contention(net, built.table);
+    t.row().cell("worst-case link contention").cell(std::to_string(contention.worst.contention) +
+                                                    ":1");
+    const ReflexivityReport refl = reflexivity(net, built.table);
+    t.row().cell("reflexive pairs").cell(std::to_string(refl.reflexive) + "/" +
+                                         std::to_string(refl.pairs));
+    const BisectionEstimate bis = estimate_bisection(net, 4);
+    t.row().cell("bisection (min-cut cables)").cell(bis.best_cut);
+  }
+  t.print(std::cout);
+  std::cout << "\n(re-run with --dot to dump Graphviz)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "analysis/bisection.hpp"
+
+#include <algorithm>
+
+#include "analysis/maxflow.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+
+std::size_t min_cut_links_for_node_split(const Network& net,
+                                         const std::vector<char>& node_side) {
+  SN_REQUIRE(node_side.size() == net.node_count(), "node side vector size mismatch");
+  // Vertex layout: [routers][nodes][S][T].
+  const std::size_t r0 = 0;
+  const std::size_t n0 = net.router_count();
+  const std::size_t s = n0 + net.node_count();
+  const std::size_t t = s + 1;
+  MaxFlow flow(t + 1);
+
+  auto vertex = [&](Terminal term) {
+    return term.is_router() ? r0 + term.index : n0 + term.index;
+  };
+
+  // Each duplex cable: undirected capacity 1. Using cap 1 in both
+  // directions makes each direction the other's residual.
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const Channel& c = net.channel(ChannelId{ci});
+    if (c.reverse.index() < ci) continue;  // one edge per cable
+    flow.add_edge(vertex(c.src), vertex(c.dst), 1, 1);
+  }
+  constexpr std::uint32_t kInfinite = 1U << 30;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    if (node_side[i] == 0) {
+      flow.add_edge(s, n0 + i, kInfinite, 0);
+    } else {
+      flow.add_edge(n0 + i, t, kInfinite, 0);
+    }
+  }
+  return static_cast<std::size_t>(flow.max_flow(s, t));
+}
+
+std::vector<char> natural_node_split(const Network& net) {
+  std::vector<char> side(net.node_count(), 0);
+  for (std::size_t i = net.node_count() / 2; i < net.node_count(); ++i) side[i] = 1;
+  return side;
+}
+
+BisectionEstimate estimate_bisection(const Network& net, std::size_t restarts,
+                                     std::uint64_t seed) {
+  SN_REQUIRE(net.node_count() >= 2, "bisection needs at least two nodes");
+  BisectionEstimate est;
+  est.natural_cut = min_cut_links_for_node_split(net, natural_node_split(net));
+  est.best_cut = est.natural_cut;
+  est.restarts = restarts;
+
+  Xoshiro256 rng(seed);
+  std::vector<char> side(net.node_count());
+  for (std::size_t trial = 0; trial < restarts; ++trial) {
+    const std::vector<std::uint32_t> perm = random_permutation(net.node_count(), rng);
+    for (std::size_t i = 0; i < perm.size(); ++i) side[perm[i]] = i < perm.size() / 2 ? 0 : 1;
+    est.best_cut = std::min(est.best_cut, min_cut_links_for_node_split(net, side));
+  }
+  return est;
+}
+
+}  // namespace servernet

@@ -1,0 +1,45 @@
+// Bisection bandwidth (§2, Table 1).
+//
+// "Bandwidth in MPP systems is often measured in terms of bisection
+//  bandwidth, the total traffic that can flow between halves of the system
+//  when cut at its weakest point."
+//
+// We measure bisection in duplex links. Given a balanced split of the
+// *nodes* into two halves, the routers can be placed on either side; the
+// minimum crossing over router placements is an s-t min cut, computed
+// exactly with Dinic's algorithm on unit-capacity cables. The bisection is
+// then minimized over node splits: the natural address split (which is the
+// paper's implicit cut for all its topologies) plus randomized restarts as
+// a cross-check that the natural cut is not beaten.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/network.hpp"
+#include "util/rng.hpp"
+
+namespace servernet {
+
+/// Exact minimum number of crossing duplex links over all router
+/// placements, for a fixed assignment of nodes to sides (side[i] in {0,1}).
+[[nodiscard]] std::size_t min_cut_links_for_node_split(const Network& net,
+                                                       const std::vector<char>& node_side);
+
+/// The "natural" balanced split: nodes [0, n/2) vs [n/2, n).
+[[nodiscard]] std::vector<char> natural_node_split(const Network& net);
+
+struct BisectionEstimate {
+  /// Crossing links for the natural address split (router placement exact).
+  std::size_t natural_cut = 0;
+  /// Best (smallest) cut found over natural + random balanced splits.
+  std::size_t best_cut = 0;
+  /// Number of random splits evaluated.
+  std::size_t restarts = 0;
+};
+
+/// Natural split plus `restarts` random balanced splits.
+[[nodiscard]] BisectionEstimate estimate_bisection(const Network& net, std::size_t restarts = 16,
+                                                   std::uint64_t seed = 1996);
+
+}  // namespace servernet

@@ -1,0 +1,49 @@
+#include "analysis/channel_dependency.hpp"
+
+#include <algorithm>
+
+namespace servernet {
+
+std::size_t ChannelDependencyGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& succ : adjacency) n += succ.size();
+  return n;
+}
+
+ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table) {
+  ChannelDependencyGraph cdg;
+  cdg.adjacency.assign(net.channel_count(), {});
+
+  // For each destination, walk every channel once: a channel c1 = (a -> r)
+  // carries d-bound traffic iff a is a node (injection) or a's table entry
+  // for d selects c1. The dependency successor is then r's entry for d.
+  for (std::size_t d_index = 0; d_index < net.node_count(); ++d_index) {
+    const NodeId d{d_index};
+    for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+      const Channel& c1 = net.channel(ChannelId{ci});
+      if (!c1.dst.is_router()) continue;  // delivery channels have no successor
+      if (c1.src.is_router()) {
+        const PortIndex chosen = table.port(c1.src.router_id(), d);
+        if (chosen != c1.src_port) continue;  // c1 never carries d-bound traffic
+      }
+      const RouterId r = c1.dst.router_id();
+      const PortIndex out = table.port(r, d);
+      if (out == kInvalidPort) continue;
+      const ChannelId c2 = net.router_out(r, out);
+      if (!c2.valid()) continue;
+      if (!net.channel(c2).dst.is_router() && net.channel(c2).dst.node_id() != d) {
+        // Entry would deliver to the wrong node; still a dependency in the
+        // hardware sense, but such tables are rejected by the route tests.
+        continue;
+      }
+      cdg.adjacency[ci].push_back(c2.value());
+    }
+  }
+  for (auto& succ : cdg.adjacency) {
+    std::sort(succ.begin(), succ.end());
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+  }
+  return cdg;
+}
+
+}  // namespace servernet

@@ -1,0 +1,35 @@
+// Channel-dependency graph construction (Dally & Seitz, reference [6] of
+// the paper).
+//
+// For a deterministic, destination-indexed routing function, a wormhole
+// network is deadlock-free if and only if the directed graph whose vertices
+// are channels and whose edges connect channels that some packet can hold
+// while requesting the next is acyclic. Every topology+routing pair in
+// this library is certified (or indicted — see the ring and torus tests)
+// through this module.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct ChannelDependencyGraph {
+  /// adjacency[c] = sorted, de-duplicated successor channels of channel c.
+  std::vector<std::vector<std::uint32_t>> adjacency;
+
+  [[nodiscard]] std::size_t vertex_count() const { return adjacency.size(); }
+  [[nodiscard]] std::size_t edge_count() const;
+};
+
+/// Builds the dependency graph induced by `table` on `net`:
+/// edge c1 -> c2 exists iff there is a destination d such that a packet
+/// heading for d can occupy c1 (c1 is an injection channel, or the router
+/// feeding c1 forwards d into c1) and the router at the head of c1 then
+/// forwards d into c2.
+[[nodiscard]] ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table);
+
+}  // namespace servernet

@@ -1,0 +1,63 @@
+// Worst-case link contention (§3's comparison metric).
+//
+// The paper measures a topology's tolerance to load imbalance as the
+// maximum number of *simultaneous transfers* that can be forced to share
+// one link. Transfers are long-lived streams with distinct sources and
+// distinct destinations (the database scenario of §3.0: a set of CPUs
+// talking to a set of disk controllers), so for deterministic routing the
+// worst case for a given channel is a maximum bipartite matching over the
+// (source, destination) pairs whose fixed route crosses that channel. The
+// network-wide figure is the maximum over channels — exactly the 10:1
+// (mesh), 12:1 (4-2 fat tree) and 4:1 (fat fractahedron, intra-group links)
+// numbers in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/link_load.hpp"
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct ChannelContention {
+  ChannelId channel;
+  /// Maximum simultaneous transfers through this channel.
+  std::size_t contention = 0;
+  /// One witnessing transfer set of that size.
+  std::vector<Transfer> witness;
+};
+
+struct ContentionReport {
+  /// Worst channel in the network.
+  ChannelContention worst;
+  /// Per-channel contention values (index = channel id).
+  std::vector<std::size_t> per_channel;
+};
+
+/// Options restricting which channels are scored.
+struct ContentionOptions {
+  /// Skip node injection/delivery channels (their contention is trivially
+  /// bounded by the node's own fan-in/out).
+  bool router_links_only = true;
+};
+
+/// Exhaustive per-channel matching over all ordered node pairs. Intended
+/// for the paper-scale networks (64–128 nodes); cost grows with
+/// pairs * path length + channels * matching.
+[[nodiscard]] ContentionReport max_link_contention(const Network& net, const RoutingTable& table,
+                                                   const ContentionOptions& options = {});
+
+/// Contention of one explicit transfer set: the maximum number of its
+/// members sharing any channel (the paper's worked scenarios). Requires
+/// distinct sources and distinct destinations.
+[[nodiscard]] std::size_t scenario_contention(const Network& net, const RoutingTable& table,
+                                              const std::vector<Transfer>& transfers);
+
+/// Convenience: builds the transfer list {srcs[i] -> dsts[i]}.
+[[nodiscard]] std::vector<Transfer> make_transfers(const std::vector<std::uint32_t>& srcs,
+                                                   const std::vector<std::uint32_t>& dsts);
+
+}  // namespace servernet

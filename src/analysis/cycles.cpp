@@ -1,0 +1,144 @@
+#include "analysis/cycles.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+bool is_acyclic(const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (const auto& succ : adjacency) {
+    for (std::uint32_t v : succ) {
+      SN_REQUIRE(v < n, "adjacency vertex out of range");
+      ++indegree[v];
+    }
+  }
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::size_t removed = 0;
+  while (!ready.empty()) {
+    const std::uint32_t v = ready.back();
+    ready.pop_back();
+    ++removed;
+    for (std::uint32_t w : adjacency[v]) {
+      if (--indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  return removed == n;
+}
+
+std::optional<std::vector<std::uint32_t>> find_cycle(
+    const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  enum : char { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<char> color(n, kWhite);
+  std::vector<std::uint32_t> parent(n, 0);
+
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (color[start] != kWhite) continue;
+    // Iterative DFS; frame = (vertex, next successor index).
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    color[start] = kGray;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < adjacency[v].size()) {
+        const std::uint32_t w = adjacency[v][next++];
+        if (color[w] == kWhite) {
+          color[w] = kGray;
+          parent[w] = v;
+          stack.emplace_back(w, 0);
+        } else if (color[w] == kGray) {
+          // Back edge v -> w closes a cycle w -> ... -> v -> w.
+          std::vector<std::uint32_t> cycle{w};
+          for (std::uint32_t x = v; x != w; x = parent[x]) cycle.push_back(x);
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> SccResult::nontrivial_sizes() const {
+  std::vector<std::size_t> sizes(component_count, 0);
+  for (std::uint32_t c : component) ++sizes[c];
+  std::vector<std::size_t> nontrivial;
+  for (std::size_t s : sizes) {
+    if (s >= 2) nontrivial.push_back(s);
+  }
+  std::sort(nontrivial.rbegin(), nontrivial.rend());
+  return nontrivial;
+}
+
+SccResult strongly_connected_components(
+    const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  // Iterative Tarjan.
+  const std::size_t n = adjacency.size();
+  constexpr std::uint32_t kUnset = 0xffffffffU;
+  SccResult result;
+  result.component.assign(n, kUnset);
+
+  std::vector<std::uint32_t> index(n, kUnset);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::uint32_t> scc_stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    std::uint32_t v;
+    std::size_t next;
+  };
+  std::vector<Frame> frames;
+
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (index[start] != kUnset) continue;
+    frames.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    scc_stack.push_back(start);
+    on_stack[start] = 1;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::uint32_t v = f.v;
+      if (f.next < adjacency[v].size()) {
+        const std::uint32_t w = adjacency[v][f.next++];
+        if (index[w] == kUnset) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = 1;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            const std::uint32_t w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = 0;
+            result.component[w] = result.component_count;
+            if (w == v) break;
+          }
+          ++result.component_count;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          const std::uint32_t parent = frames.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace servernet

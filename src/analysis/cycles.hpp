@@ -1,0 +1,44 @@
+// Cycle detection over the channel-dependency graph (or any adjacency
+// list). A cycle is a certificate of potential deadlock (Figure 1);
+// acyclicity certifies deadlock freedom for deterministic routing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/channel_dependency.hpp"
+
+namespace servernet {
+
+/// Kahn's algorithm; O(V + E), no recursion.
+[[nodiscard]] bool is_acyclic(const std::vector<std::vector<std::uint32_t>>& adjacency);
+[[nodiscard]] inline bool is_acyclic(const ChannelDependencyGraph& cdg) {
+  return is_acyclic(cdg.adjacency);
+}
+
+/// One directed cycle, as the vertex sequence v0 -> v1 -> ... -> v0
+/// (without repeating v0 at the end); std::nullopt if acyclic. Iterative
+/// three-colour DFS.
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> find_cycle(
+    const std::vector<std::vector<std::uint32_t>>& adjacency);
+[[nodiscard]] inline std::optional<std::vector<std::uint32_t>> find_cycle(
+    const ChannelDependencyGraph& cdg) {
+  return find_cycle(cdg.adjacency);
+}
+
+/// Strongly connected components (Tarjan, iterative); returns the component
+/// id of every vertex and the number of components. Components are
+/// numbered in reverse topological order. Used to count and size the
+/// "deadlockable" channel sets of looping topologies.
+struct SccResult {
+  std::vector<std::uint32_t> component;
+  std::uint32_t component_count = 0;
+
+  /// Sizes of nontrivial (size >= 2) components.
+  [[nodiscard]] std::vector<std::size_t> nontrivial_sizes() const;
+};
+[[nodiscard]] SccResult strongly_connected_components(
+    const std::vector<std::vector<std::uint32_t>>& adjacency);
+
+}  // namespace servernet

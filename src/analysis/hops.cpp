@@ -1,0 +1,110 @@
+#include "analysis/hops.hpp"
+
+#include <algorithm>
+
+#include "route/path.hpp"
+#include "route/shortest_path.hpp"
+
+namespace servernet {
+
+namespace {
+
+/// For every source node: router hops (channels - 1) to each other node by
+/// shortest path. Computed as a node-to-routers BFS plus the delivery hop.
+std::vector<std::uint32_t> shortest_router_hops_from(const Network& net, NodeId src) {
+  // BFS over routers starting from src's attached router(s).
+  std::vector<std::uint32_t> router_dist(net.router_count(), kUnreachable);
+  std::vector<RouterId> frontier;
+  for (PortIndex p = 0; p < net.node_ports(src); ++p) {
+    const ChannelId out = net.node_out(src, p);
+    if (!out.valid()) continue;
+    const Terminal to = net.channel(out).dst;
+    if (!to.is_router()) continue;
+    if (router_dist[to.router_id().index()] == kUnreachable) {
+      router_dist[to.router_id().index()] = 1;  // routers traversed so far
+      frontier.push_back(to.router_id());
+    }
+  }
+  std::size_t cursor = 0;
+  while (cursor < frontier.size()) {
+    const RouterId r = frontier[cursor++];
+    for (ChannelId c : net.out_channels(Terminal::router(r))) {
+      const Terminal to = net.channel(c).dst;
+      if (!to.is_router()) continue;
+      if (router_dist[to.router_id().index()] == kUnreachable) {
+        router_dist[to.router_id().index()] = router_dist[r.index()] + 1;
+        frontier.push_back(to.router_id());
+      }
+    }
+  }
+  // Hop count to each node = distance of an attached router (delivery adds
+  // no router).
+  std::vector<std::uint32_t> node_hops(net.node_count(), kUnreachable);
+  for (NodeId d : net.all_nodes()) {
+    if (d == src) {
+      node_hops[d.index()] = 0;
+      continue;
+    }
+    for (PortIndex p = 0; p < net.node_ports(d); ++p) {
+      const ChannelId in = net.node_in(d, p);
+      if (!in.valid()) continue;
+      const Terminal from = net.channel(in).src;
+      if (!from.is_router()) continue;
+      node_hops[d.index()] =
+          std::min(node_hops[d.index()], router_dist[from.router_id().index()]);
+    }
+  }
+  return node_hops;
+}
+
+}  // namespace
+
+HopStats hop_stats(const Network& net, const RoutingTable& table) {
+  HopStats stats;
+  std::uint64_t routed_total = 0;
+  std::uint64_t shortest_total = 0;
+  for (NodeId s : net.all_nodes()) {
+    const std::vector<std::uint32_t> shortest = shortest_router_hops_from(net, s);
+    for (NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(net, table, s, d);
+      SN_REQUIRE(r.ok(), "hop_stats requires a fully-routed table");
+      ++stats.pairs;
+      routed_total += r.path.router_hops();
+      stats.max_routed = std::max(stats.max_routed, r.path.router_hops());
+      SN_REQUIRE(shortest[d.index()] != kUnreachable, "network is disconnected");
+      shortest_total += shortest[d.index()];
+      stats.max_shortest =
+          std::max(stats.max_shortest, static_cast<std::size_t>(shortest[d.index()]));
+    }
+  }
+  if (stats.pairs > 0) {
+    stats.avg_routed = static_cast<double>(routed_total) / static_cast<double>(stats.pairs);
+    stats.avg_shortest = static_cast<double>(shortest_total) / static_cast<double>(stats.pairs);
+  }
+  return stats;
+}
+
+HopStats shortest_hop_stats(const Network& net) {
+  HopStats stats;
+  std::uint64_t shortest_total = 0;
+  for (NodeId s : net.all_nodes()) {
+    const std::vector<std::uint32_t> shortest = shortest_router_hops_from(net, s);
+    for (NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      SN_REQUIRE(shortest[d.index()] != kUnreachable, "network is disconnected");
+      ++stats.pairs;
+      shortest_total += shortest[d.index()];
+      stats.max_shortest =
+          std::max(stats.max_shortest, static_cast<std::size_t>(shortest[d.index()]));
+    }
+  }
+  if (stats.pairs > 0) {
+    stats.avg_shortest = static_cast<double>(shortest_total) / static_cast<double>(stats.pairs);
+    stats.avg_routed = stats.avg_shortest;
+    stats.max_routed = stats.max_shortest;
+  }
+  return stats;
+}
+
+}  // namespace servernet

@@ -1,0 +1,37 @@
+// Hop statistics: routed path lengths versus topological shortest paths.
+//
+// The paper quotes maximum router delays (11 hops on the 6x6 mesh, 12/10 on
+// the 1024-CPU thin/fat fractahedrons) and average hops (Table 2: 4.4 for
+// the 4-2 fat tree, 4.3 for the fat fractahedron; 5.9 for the 3-3 tree).
+// This module measures both the table-routed values and the graph-shortest
+// values (the difference is the routing algorithm's stretch).
+#pragma once
+
+#include <cstddef>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct HopStats {
+  std::size_t pairs = 0;
+  /// Router hops on the table-routed path.
+  double avg_routed = 0.0;
+  std::size_t max_routed = 0;
+  /// Router hops on a shortest channel path (lower bound for any routing).
+  double avg_shortest = 0.0;
+  std::size_t max_shortest = 0;
+
+  [[nodiscard]] double stretch() const {
+    return avg_shortest > 0.0 ? avg_routed / avg_shortest : 1.0;
+  }
+};
+
+/// All ordered pairs of distinct nodes. Throws if any pair fails to route.
+[[nodiscard]] HopStats hop_stats(const Network& net, const RoutingTable& table);
+
+/// Shortest-path-only variant (no routing table required).
+[[nodiscard]] HopStats shortest_hop_stats(const Network& net);
+
+}  // namespace servernet

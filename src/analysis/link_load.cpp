@@ -1,0 +1,53 @@
+#include "analysis/link_load.hpp"
+
+namespace servernet {
+
+std::vector<std::uint64_t> uniform_link_load(const Network& net, const RoutingTable& table) {
+  std::vector<std::uint64_t> load(net.channel_count(), 0);
+  for (NodeId s : net.all_nodes()) {
+    for (NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(net, table, s, d);
+      SN_REQUIRE(r.ok(), "uniform_link_load requires a fully-routed table: " +
+                             to_string(r.status) + " for " + std::to_string(s.value()) + "->" +
+                             std::to_string(d.value()));
+      for (ChannelId c : r.path.channels) ++load[c.index()];
+    }
+  }
+  return load;
+}
+
+std::vector<std::uint64_t> transfer_link_load(const Network& net, const RoutingTable& table,
+                                              const std::vector<Transfer>& transfers) {
+  std::vector<std::uint64_t> load(net.channel_count(), 0);
+  for (const Transfer& t : transfers) {
+    const RouteResult r = trace_route(net, table, t.src, t.dst);
+    SN_REQUIRE(r.ok(), "transfer fails to route: " + to_string(r.status));
+    for (ChannelId c : r.path.channels) ++load[c.index()];
+  }
+  return load;
+}
+
+LoadSummary summarize_router_links(const Network& net, const std::vector<std::uint64_t>& load) {
+  SN_REQUIRE(load.size() == net.channel_count(), "load vector size mismatch");
+  LoadSummary s;
+  s.min = ~std::uint64_t{0};
+  std::uint64_t total = 0;
+  for (std::size_t ci = 0; ci < load.size(); ++ci) {
+    const Channel& c = net.channel(ChannelId{ci});
+    if (!c.src.is_router() || !c.dst.is_router()) continue;
+    ++s.channels;
+    total += load[ci];
+    s.min = std::min(s.min, load[ci]);
+    s.max = std::max(s.max, load[ci]);
+  }
+  if (s.channels == 0) {
+    s.min = 0;
+    return s;
+  }
+  s.mean = static_cast<double>(total) / static_cast<double>(s.channels);
+  s.imbalance = s.mean > 0.0 ? static_cast<double>(s.max) / s.mean : 0.0;
+  return s;
+}
+
+}  // namespace servernet

@@ -1,0 +1,47 @@
+// Per-channel load under traffic ensembles.
+//
+// §2's critique of path disables is that "most arrangements of path
+// disables give uneven link utilization under uniform load"; this module
+// quantifies that, counting how many source-destination routes cross each
+// channel under all-pairs (uniform) traffic or an explicit transfer list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/path.hpp"
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+/// A directed transfer (one long-lived DMA stream in the paper's examples).
+struct Transfer {
+  NodeId src;
+  NodeId dst;
+};
+
+/// Routes crossing each channel under all ordered pairs of distinct nodes.
+/// Throws if any pair fails to route.
+[[nodiscard]] std::vector<std::uint64_t> uniform_link_load(const Network& net,
+                                                           const RoutingTable& table);
+
+/// Routes crossing each channel for an explicit transfer list.
+[[nodiscard]] std::vector<std::uint64_t> transfer_link_load(const Network& net,
+                                                            const RoutingTable& table,
+                                                            const std::vector<Transfer>& transfers);
+
+/// Summary over *router-to-router* channels only (node injection/delivery
+/// channels are structurally load-1-per-pair and would dilute the figures).
+struct LoadSummary {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  /// max / mean — the paper's "uneven link utilization" in one number.
+  double imbalance = 0.0;
+  std::size_t channels = 0;
+};
+[[nodiscard]] LoadSummary summarize_router_links(const Network& net,
+                                                 const std::vector<std::uint64_t>& load);
+
+}  // namespace servernet

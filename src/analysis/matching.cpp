@@ -1,0 +1,112 @@
+#include "analysis/matching.hpp"
+
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+BipartiteGraph::BipartiteGraph(std::size_t left_count, std::size_t right_count)
+    : right_count_(right_count), adjacency_(left_count) {}
+
+void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
+  SN_REQUIRE(left < adjacency_.size(), "left vertex out of range");
+  SN_REQUIRE(right < right_count_, "right vertex out of range");
+  adjacency_[left].push_back(static_cast<std::uint32_t>(right));
+}
+
+const std::vector<std::uint32_t>& BipartiteGraph::neighbors(std::size_t left) const {
+  SN_REQUIRE(left < adjacency_.size(), "left vertex out of range");
+  return adjacency_[left];
+}
+
+MatchingResult maximum_bipartite_matching(const BipartiteGraph& graph) {
+  constexpr std::uint32_t kNil = MatchingResult::kUnmatched;
+  constexpr std::uint32_t kInf = 0xfffffffeU;
+  const auto nl = static_cast<std::uint32_t>(graph.left_count());
+  const auto nr = static_cast<std::uint32_t>(graph.right_count());
+
+  std::vector<std::uint32_t> match_l(nl, kNil);
+  std::vector<std::uint32_t> match_r(nr, kNil);
+  std::vector<std::uint32_t> dist(nl, kInf);
+
+  auto bfs = [&]() -> bool {
+    std::queue<std::uint32_t> q;
+    for (std::uint32_t l = 0; l < nl; ++l) {
+      if (match_l[l] == kNil) {
+        dist[l] = 0;
+        q.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!q.empty()) {
+      const std::uint32_t l = q.front();
+      q.pop();
+      for (std::uint32_t r : graph.neighbors(l)) {
+        const std::uint32_t next_l = match_r[r];
+        if (next_l == kNil) {
+          found_free_right = true;
+        } else if (dist[next_l] == kInf) {
+          dist[next_l] = dist[l] + 1;
+          q.push(next_l);
+        }
+      }
+    }
+    return found_free_right;
+  };
+
+  // Iterative DFS augmentation along level-graph edges.
+  std::vector<std::size_t> iter(nl, 0);
+  auto dfs = [&](std::uint32_t root) -> bool {
+    std::vector<std::uint32_t> stack{root};
+    // path of (left, right) choices for augmentation
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> path;
+    while (!stack.empty()) {
+      const std::uint32_t l = stack.back();
+      const auto& nbrs = graph.neighbors(l);
+      bool advanced = false;
+      while (iter[l] < nbrs.size()) {
+        const std::uint32_t r = nbrs[iter[l]++];
+        const std::uint32_t next_l = match_r[r];
+        if (next_l == kNil) {
+          // Augment along the recorded path plus (l, r).
+          path.emplace_back(l, r);
+          for (const auto& [pl, pr] : path) {
+            match_l[pl] = pr;
+            match_r[pr] = pl;
+          }
+          return true;
+        }
+        if (dist[next_l] == dist[l] + 1) {
+          path.emplace_back(l, r);
+          stack.push_back(next_l);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        dist[l] = kInf;  // dead end in this phase
+        stack.pop_back();
+        if (!path.empty()) path.pop_back();
+      }
+    }
+    return false;
+  };
+
+  std::size_t matching = 0;
+  while (bfs()) {
+    std::fill(iter.begin(), iter.end(), 0);
+    for (std::uint32_t l = 0; l < nl; ++l) {
+      if (match_l[l] == kNil && dfs(l)) ++matching;
+    }
+  }
+
+  MatchingResult result;
+  result.size = matching;
+  result.match_of_left = std::move(match_l);
+  return result;
+}
+
+}  // namespace servernet

@@ -1,0 +1,41 @@
+// Maximum bipartite matching (Hopcroft–Karp).
+//
+// Substrate for the worst-case link-contention metric: the transfers that
+// can simultaneously share a link form a bipartite graph between distinct
+// sources and distinct destinations, and the paper's "10:1" / "12:1" /
+// "4:1" figures are maximum matchings in that graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace servernet {
+
+/// Bipartite graph: `left_count` left vertices with adjacency into
+/// [0, right_count) right vertices.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left_count, std::size_t right_count);
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  [[nodiscard]] std::size_t left_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t right_count() const { return right_count_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors(std::size_t left) const;
+
+ private:
+  std::size_t right_count_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+struct MatchingResult {
+  std::size_t size = 0;
+  /// match_of_left[l] = matched right vertex or kUnmatched.
+  std::vector<std::uint32_t> match_of_left;
+  static constexpr std::uint32_t kUnmatched = 0xffffffffU;
+};
+
+/// Hopcroft–Karp; O(E * sqrt(V)).
+[[nodiscard]] MatchingResult maximum_bipartite_matching(const BipartiteGraph& graph);
+
+}  // namespace servernet

@@ -1,0 +1,76 @@
+#include "analysis/maxflow.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+MaxFlow::MaxFlow(std::size_t vertices) : head_(vertices, -1) {}
+
+void MaxFlow::add_half(std::size_t u, std::size_t v, std::uint32_t cap) {
+  SN_REQUIRE(u < head_.size() && v < head_.size(), "max-flow vertex out of range");
+  edges_.push_back({static_cast<std::uint32_t>(v), cap, head_[u]});
+  head_[u] = static_cast<std::int32_t>(edges_.size() - 1);
+}
+
+void MaxFlow::add_edge(std::size_t u, std::size_t v, std::uint32_t cap_uv, std::uint32_t cap_vu) {
+  add_half(u, v, cap_uv);
+  add_half(v, u, cap_vu);
+}
+
+bool MaxFlow::bfs(std::size_t s, std::size_t t) {
+  level_.assign(head_.size(), -1);
+  std::queue<std::size_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (std::int32_t e = head_[u]; e != -1; e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.cap > 0 && level_[edge.to] == -1) {
+        level_[edge.to] = level_[u] + 1;
+        q.push(edge.to);
+      }
+    }
+  }
+  return level_[t] != -1;
+}
+
+// Recursive blocking-flow DFS; depth is bounded by the BFS level of the
+// sink, which for the network graphs here is at most the topology diameter
+// plus two — far below any stack limit.
+std::uint64_t MaxFlow::dfs(std::size_t u, std::size_t t, std::uint32_t limit) {
+  if (u == t || limit == 0) return limit;
+  for (std::int32_t& e = iter_[u]; e != -1; e = edges_[static_cast<std::size_t>(e)].next) {
+    Edge& edge = edges_[static_cast<std::size_t>(e)];
+    if (edge.cap == 0 || level_[edge.to] != level_[u] + 1) continue;
+    const std::uint64_t pushed = dfs(edge.to, t, std::min<std::uint32_t>(limit, edge.cap));
+    if (pushed > 0) {
+      edge.cap -= static_cast<std::uint32_t>(pushed);
+      edges_[static_cast<std::size_t>(e) ^ 1].cap += static_cast<std::uint32_t>(pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t MaxFlow::max_flow(std::size_t source, std::size_t sink) {
+  SN_REQUIRE(source < head_.size() && sink < head_.size(), "max-flow terminal out of range");
+  SN_REQUIRE(source != sink, "source and sink must differ");
+  std::uint64_t flow = 0;
+  while (bfs(source, sink)) {
+    iter_ = head_;
+    while (true) {
+      const std::uint64_t pushed =
+          dfs(source, sink, std::numeric_limits<std::uint32_t>::max());
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+}  // namespace servernet

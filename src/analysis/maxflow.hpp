@@ -1,0 +1,44 @@
+// Dinic's maximum-flow algorithm on small integer-capacity graphs.
+//
+// Shared substrate for the bisection analysis (min cut over free router
+// placement) and the path-diversity analysis (edge-disjoint path counts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace servernet {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t vertices);
+
+  /// Adds a directed edge u->v with capacity `cap_uv` and its residual
+  /// v->u with capacity `cap_vu` (use cap_vu == cap_uv for an undirected
+  /// unit edge; 0 for a purely directed one).
+  void add_edge(std::size_t u, std::size_t v, std::uint32_t cap_uv, std::uint32_t cap_vu);
+
+  /// Runs Dinic from `source` to `sink` and returns the flow value.
+  /// May be called once per instance (capacities are consumed).
+  std::uint64_t max_flow(std::size_t source, std::size_t sink);
+
+  [[nodiscard]] std::size_t vertex_count() const { return head_.size(); }
+
+ private:
+  struct Edge {
+    std::uint32_t to;
+    std::uint32_t cap;
+    std::int32_t next;
+  };
+
+  void add_half(std::size_t u, std::size_t v, std::uint32_t cap);
+  bool bfs(std::size_t s, std::size_t t);
+  std::uint64_t dfs(std::size_t u, std::size_t t, std::uint32_t limit);
+
+  std::vector<std::int32_t> head_;
+  std::vector<std::int32_t> iter_;
+  std::vector<std::int32_t> level_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace servernet

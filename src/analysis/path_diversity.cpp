@@ -1,0 +1,72 @@
+#include "analysis/path_diversity.hpp"
+
+#include <algorithm>
+
+#include "analysis/maxflow.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+
+namespace {
+
+/// Builds the unit-capacity cable graph over [routers][nodes] and returns
+/// the flow value between two terminals.
+std::size_t terminal_flow(const Network& net, Terminal a, Terminal b) {
+  const std::size_t n0 = net.router_count();
+  auto vertex = [&](Terminal t) { return t.is_router() ? t.index : n0 + t.index; };
+  MaxFlow flow(net.router_count() + net.node_count());
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const Channel& c = net.channel(ChannelId{ci});
+    if (c.reverse.index() < ci) continue;
+    flow.add_edge(vertex(c.src), vertex(c.dst), 1, 1);
+  }
+  return static_cast<std::size_t>(flow.max_flow(vertex(a), vertex(b)));
+}
+
+}  // namespace
+
+std::size_t edge_disjoint_paths(const Network& net, NodeId a, NodeId b) {
+  SN_REQUIRE(!(a == b), "path diversity needs two distinct nodes");
+  return terminal_flow(net, Terminal::node(a), Terminal::node(b));
+}
+
+DiversityReport path_diversity(const Network& net, std::size_t sample_stride) {
+  SN_REQUIRE(sample_stride >= 1, "stride must be positive");
+  DiversityReport report;
+  report.min_paths = ~std::size_t{0};
+  std::size_t total = 0;
+  std::size_t counter = 0;
+  for (std::size_t a = 0; a < net.node_count(); ++a) {
+    for (std::size_t b = a + 1; b < net.node_count(); ++b) {
+      if (counter++ % sample_stride != 0) continue;
+      const std::size_t k = edge_disjoint_paths(net, NodeId{a}, NodeId{b});
+      ++report.pairs;
+      total += k;
+      report.min_paths = std::min(report.min_paths, k);
+      report.max_paths = std::max(report.max_paths, k);
+    }
+  }
+  if (report.pairs == 0) {
+    report.min_paths = 0;
+  } else {
+    report.mean_paths = static_cast<double>(total) / static_cast<double>(report.pairs);
+  }
+  return report;
+}
+
+std::size_t min_router_diversity(const Network& net, std::size_t sample_stride) {
+  SN_REQUIRE(sample_stride >= 1, "stride must be positive");
+  SN_REQUIRE(net.router_count() >= 2, "need at least two routers");
+  std::size_t minimum = ~std::size_t{0};
+  std::size_t counter = 0;
+  for (std::size_t a = 0; a < net.router_count(); ++a) {
+    for (std::size_t b = a + 1; b < net.router_count(); ++b) {
+      if (counter++ % sample_stride != 0) continue;
+      minimum = std::min(minimum, terminal_flow(net, Terminal::router(RouterId{a}),
+                                                Terminal::router(RouterId{b})));
+    }
+  }
+  return minimum == ~std::size_t{0} ? 0 : minimum;
+}
+
+}  // namespace servernet

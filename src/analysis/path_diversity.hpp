@@ -1,0 +1,36 @@
+// Path diversity: edge-disjoint path counts between end nodes.
+//
+// §1 motivates ServerNet with reliability; §2 observes that non-reflexive
+// routing "increases the impact of a link failure". A complementary
+// topological measure is how many cable-disjoint routes exist between node
+// pairs: a pair with k disjoint paths tolerates any k-1 cable failures.
+// Computed exactly per pair with max-flow over unit-capacity cables.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/network.hpp"
+
+namespace servernet {
+
+/// Number of cable-disjoint paths between two nodes (their own attachment
+/// cables count, so a single-ported node caps this at 1).
+[[nodiscard]] std::size_t edge_disjoint_paths(const Network& net, NodeId a, NodeId b);
+
+struct DiversityReport {
+  std::size_t pairs = 0;
+  std::size_t min_paths = 0;
+  std::size_t max_paths = 0;
+  double mean_paths = 0.0;
+};
+
+/// Edge-disjoint path statistics over node pairs. With `sample_stride` > 1
+/// only every stride-th pair is evaluated (max-flow per pair).
+[[nodiscard]] DiversityReport path_diversity(const Network& net, std::size_t sample_stride = 1);
+
+/// Diversity between *routers* (ignoring node attachment bottlenecks):
+/// minimum over sampled router pairs of the cable-disjoint path count.
+/// This is the fabric-internal redundancy a dual-ported node can exploit.
+[[nodiscard]] std::size_t min_router_diversity(const Network& net, std::size_t sample_stride = 1);
+
+}  // namespace servernet

@@ -1,0 +1,29 @@
+#include "analysis/reflexivity.hpp"
+
+#include "route/path.hpp"
+
+namespace servernet {
+
+ReflexivityReport reflexivity(const Network& net, const RoutingTable& table) {
+  ReflexivityReport report;
+  const std::size_t n = net.node_count();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const RouteResult fwd = trace_route(net, table, NodeId{a}, NodeId{b});
+      const RouteResult rev = trace_route(net, table, NodeId{b}, NodeId{a});
+      SN_REQUIRE(fwd.ok() && rev.ok(), "reflexivity requires a fully-routed table");
+      ++report.pairs;
+      const auto& f = fwd.path.channels;
+      const auto& r = rev.path.channels;
+      if (f.size() != r.size()) continue;
+      bool mirrored = true;
+      for (std::size_t i = 0; i < f.size() && mirrored; ++i) {
+        mirrored = net.channel(f[i]).reverse == r[r.size() - 1 - i];
+      }
+      if (mirrored) ++report.reflexive;
+    }
+  }
+  return report;
+}
+
+}  // namespace servernet

@@ -1,0 +1,31 @@
+// Reflexivity analysis (§2).
+//
+// "The disadvantage of this technique is that most traffic in the network
+//  is not reflexive; the path from A to B may be different than the path
+//  from B to A. Non-reflexive routing is allowed in ServerNet, but it
+//  increases the impact of a link failure."
+//
+// A pair (A, B) is reflexive when the route B->A is exactly the reverse of
+// A->B (same cables, opposite channels) — then acknowledgements travel back
+// over the same hardware and a single link failure cannot strand a
+// half-usable path.
+#pragma once
+
+#include <cstddef>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct ReflexivityReport {
+  std::size_t pairs = 0;           // unordered pairs examined
+  std::size_t reflexive = 0;       // pairs whose two routes mirror each other
+  [[nodiscard]] double fraction() const {
+    return pairs == 0 ? 1.0 : static_cast<double>(reflexive) / static_cast<double>(pairs);
+  }
+};
+
+[[nodiscard]] ReflexivityReport reflexivity(const Network& net, const RoutingTable& table);
+
+}  // namespace servernet

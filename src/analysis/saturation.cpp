@@ -1,0 +1,24 @@
+#include "analysis/saturation.hpp"
+
+#include "analysis/link_load.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+
+SaturationEstimate uniform_saturation(const Network& net, const RoutingTable& table) {
+  SN_REQUIRE(net.node_count() >= 2, "saturation needs at least two nodes");
+  const std::vector<std::uint64_t> load = uniform_link_load(net, table);
+  SaturationEstimate est;
+  for (std::size_t ci = 0; ci < load.size(); ++ci) {
+    if (load[ci] > est.bottleneck_load) {
+      est.bottleneck_load = load[ci];
+      est.bottleneck = ChannelId{ci};
+    }
+  }
+  SN_ASSERT(est.bottleneck_load > 0);
+  est.lambda_sat = static_cast<double>(net.node_count() - 1) /
+                   static_cast<double>(est.bottleneck_load);
+  return est;
+}
+
+}  // namespace servernet

@@ -1,0 +1,34 @@
+// Analytic saturation throughput under uniform traffic.
+//
+// For deterministic routing, a node injecting lambda flits/cycle spread
+// uniformly over the other N-1 nodes places lambda * L_c / (N-1) flits per
+// cycle on channel c, where L_c is the number of (src, dst) routes using
+// c. A channel saturates at 1 flit/cycle, so the fabric's uniform-traffic
+// saturation point is
+//
+//     lambda_sat = (N - 1) / max_c L_c        [flits per node per cycle]
+//
+// This closed form is validated against the wormhole simulator in the
+// loading bench: accepted throughput tracks offered load up to roughly
+// lambda_sat and latency diverges beyond it.
+#pragma once
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct SaturationEstimate {
+  /// Offered flits per node per cycle at which the hottest channel reaches
+  /// full utilization.
+  double lambda_sat = 0.0;
+  /// The bottleneck channel.
+  ChannelId bottleneck;
+  /// Routes through the bottleneck under all-pairs traffic.
+  std::uint64_t bottleneck_load = 0;
+};
+
+[[nodiscard]] SaturationEstimate uniform_saturation(const Network& net,
+                                                    const RoutingTable& table);
+
+}  // namespace servernet

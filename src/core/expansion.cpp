@@ -1,0 +1,66 @@
+#include "core/expansion.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+ExpansionCheck verify_expansion(const Fractahedron& before, const Fractahedron& after) {
+  const FractahedronSpec& a = before.spec();
+  const FractahedronSpec& b = after.spec();
+  SN_REQUIRE(b.levels == a.levels + 1, "expansion adds exactly one level");
+  SN_REQUIRE(a.kind == b.kind && a.cpu_pair_fanout == b.cpu_pair_fanout &&
+                 a.group_routers == b.group_routers &&
+                 a.down_ports_per_router == b.down_ports_per_router &&
+                 a.router_ports == b.router_ports && a.cpus_per_fanout == b.cpus_per_fanout,
+             "expansion must not change the group shape");
+
+  // Subtree-0 embedding: levels, stacks, layers and member indices carry
+  // over unchanged (subtree 0 occupies the low stack indices at every
+  // level), fan-out routers and node addresses likewise.
+  std::vector<RouterId> router_map(before.net().router_count(), RouterId::invalid());
+  for (std::uint32_t k = 1; k <= a.levels; ++k) {
+    for (std::size_t s = 0; s < before.stacks(k); ++s) {
+      for (std::size_t j = 0; j < before.layers(k); ++j) {
+        for (std::uint32_t r = 0; r < a.group_routers; ++r) {
+          router_map[before.router(k, s, j, r).index()] = after.router(k, s, j, r);
+        }
+      }
+    }
+  }
+  if (a.cpu_pair_fanout) {
+    for (std::size_t s = 0; s < before.stacks(1); ++s) {
+      for (std::uint32_t c = 0; c < before.children_per_group(); ++c) {
+        router_map[before.fanout_router(s, c).index()] = after.fanout_router(s, c);
+      }
+    }
+  }
+  auto map_terminal = [&](Terminal t) {
+    if (t.is_node()) return Terminal::node(after.node(t.index));
+    const RouterId mapped = router_map[t.index];
+    SN_REQUIRE(mapped.valid(), "router missing from the embedding");
+    return Terminal::router(mapped);
+  };
+
+  ExpansionCheck check;
+  const Network& small = before.net();
+  const Network& big = after.net();
+  for (std::size_t ci = 0; ci < small.channel_count(); ++ci) {
+    const Channel& c = small.channel(ChannelId{ci});
+    if (c.reverse.index() < ci) continue;  // one direction per cable
+    ++check.small_cables;
+    const Terminal src = map_terminal(c.src);
+    const ChannelId out = src.is_router() ? big.router_out(src.router_id(), c.src_port)
+                                          : big.node_out(src.node_id(), c.src_port);
+    if (!out.valid()) continue;
+    const Channel& mapped = big.channel(out);
+    if (mapped.dst == map_terminal(c.dst) && mapped.dst_port == c.dst_port) {
+      ++check.preserved_cables;
+    }
+  }
+  check.added_cables = big.link_count() - check.preserved_cables;
+  return check;
+}
+
+}  // namespace servernet

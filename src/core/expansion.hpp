@@ -1,0 +1,35 @@
+// Incremental expansion of fractahedral systems.
+//
+// Table 1's footnote: "we reserve the upward connections from the top
+// level for future expansion to avoid the need to remove existing
+// connections as a system is expanded." This module verifies that claim
+// mechanically: an N-level fractahedron embeds into the (N+1)-level system
+// as child subtree 0 — same node addresses, same routers, and **every
+// existing cable still present on the same ports**. Growing the machine is
+// purely additive.
+#pragma once
+
+#include <cstddef>
+
+#include "core/fractahedron.hpp"
+
+namespace servernet {
+
+struct ExpansionCheck {
+  /// Cables in the smaller system.
+  std::size_t small_cables = 0;
+  /// Of those, how many exist identically (same elements, same ports) in
+  /// the larger system under the subtree-0 embedding.
+  std::size_t preserved_cables = 0;
+  /// Cables the expansion adds.
+  std::size_t added_cables = 0;
+
+  [[nodiscard]] bool fully_preserved() const { return preserved_cables == small_cables; }
+};
+
+/// Verifies the subtree-0 embedding of `before` into `after`. Requires
+/// identical specs except `after.levels == before.levels + 1`.
+[[nodiscard]] ExpansionCheck verify_expansion(const Fractahedron& before,
+                                              const Fractahedron& after);
+
+}  // namespace servernet

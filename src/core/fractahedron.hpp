@@ -1,0 +1,133 @@
+// Fractahedral topologies — the paper's primary contribution (§2.2–2.4).
+//
+// A fractahedron is a self-similar hierarchy of fully-connected router
+// groups ("tetrahedrons" when the group has four routers). With 6-port
+// ServerNet routers each group router splits its ports 2-3-1: two down
+// ports toward lower-level groups (or nodes), three ports to its peers in
+// the group, and one up port toward the next level.
+//
+//  * A *thin* fractahedron uses a single up link per group (at router 0 by
+//    convention), so bisection bandwidth is pinned at the group's internal
+//    bisection (4 links for tetrahedra) regardless of scale.
+//  * A *fat* fractahedron replicates level-k groups into M^(k-1)
+//    disconnected *layers* and uses all M up ports of every group; layer
+//    j*? of the parent attaches to corner r of each child, exactly the
+//    stacked-sheets construction of §2.3.
+//
+// Routing is depth-first on the destination address, high-order digits
+// first: climb while the destination is outside the current group's
+// subtree (fat: always on the router's own up link — "packets always go
+// straight up the tree"; thin: via the group's single up router), then
+// descend taking at most one intra-group hop per level. The resulting
+// tables are destination-indexed (ServerNet semantics) and deadlock-free —
+// property-checked against the channel-dependency analysis in the tests.
+//
+// The construction is generalized beyond tetrahedra per §4 ("the concepts
+// easily generalize to other fully connected groups of N-port routers"):
+// `group_routers` (M) and `down_ports_per_router` (d) are free parameters;
+// each group then has C = M*d children.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+enum class FractahedronKind : std::uint8_t { kThin, kFat };
+
+struct FractahedronSpec {
+  /// Number of group levels N (level 1 is adjacent to the nodes).
+  std::uint32_t levels = 2;
+  FractahedronKind kind = FractahedronKind::kFat;
+  /// If true, each level-1 down port carries a fan-out router serving a
+  /// pair of CPUs (the paper's "one additional router level connecting
+  /// each pair of CPUs"); max nodes become 2*C^N instead of C^N.
+  bool cpu_pair_fanout = false;
+  /// Routers per fully-connected group (M = 4 for tetrahedra).
+  std::uint32_t group_routers = 4;
+  /// Down ports per group router (d = 2 in the 2-3-1 split).
+  std::uint32_t down_ports_per_router = 2;
+  PortIndex router_ports = kServerNetRouterPorts;
+  /// CPUs per fan-out router when cpu_pair_fanout is set.
+  std::uint32_t cpus_per_fanout = 2;
+};
+
+class Fractahedron {
+ public:
+  explicit Fractahedron(const FractahedronSpec& spec);
+
+  [[nodiscard]] const FractahedronSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+
+  // ---- shape ---------------------------------------------------------------
+
+  /// Children per group: C = M * d.
+  [[nodiscard]] std::uint32_t children_per_group() const;
+  /// Number of groups ("stacks" of layers) at level k in [1, N].
+  [[nodiscard]] std::size_t stacks(std::uint32_t level) const;
+  /// Layers per stack at level k (thin: 1; fat: M^(k-1)).
+  [[nodiscard]] std::size_t layers(std::uint32_t level) const;
+  /// Total end nodes.
+  [[nodiscard]] std::size_t node_count() const { return net_.node_count(); }
+
+  // ---- element addressing ---------------------------------------------------
+
+  /// Group router at (level, stack, layer, member r in [0, M)).
+  [[nodiscard]] RouterId router(std::uint32_t level, std::size_t stack, std::size_t layer,
+                                std::uint32_t member) const;
+  /// Fan-out router under level-1 stack `stack`, child digit `child`.
+  [[nodiscard]] RouterId fanout_router(std::size_t stack, std::uint32_t child) const;
+  /// Node with a given address (node ids equal addresses by construction).
+  [[nodiscard]] NodeId node(std::size_t address) const;
+
+  /// Address digit of `n` at `level` (which child of the level-k group).
+  [[nodiscard]] std::uint32_t digit(NodeId n, std::uint32_t level) const;
+  /// Stack index at `level` that contains node `n`.
+  [[nodiscard]] std::size_t stack_of(NodeId n, std::uint32_t level) const;
+  /// Group member index (corner) whose down port subtree contains `n` at
+  /// `level`: digit / d.
+  [[nodiscard]] std::uint32_t owner_member(NodeId n, std::uint32_t level) const;
+
+  // ---- port conventions ------------------------------------------------------
+
+  /// Port on group member `i` toward peer member `j`.
+  [[nodiscard]] PortIndex peer_port(std::uint32_t i, std::uint32_t j) const;
+  /// Down port for down slot t in [0, d).
+  [[nodiscard]] PortIndex down_port(std::uint32_t slot) const;
+  [[nodiscard]] PortIndex up_port() const;
+
+  // ---- routing ---------------------------------------------------------------
+
+  /// Depth-first address routing as described above.
+  [[nodiscard]] RoutingTable routing() const;
+
+  // ---- paper formulas (Table 1) ----------------------------------------------
+
+  /// Max nodes at N levels: (1 or 2) * C^N depending on the fan-out level.
+  [[nodiscard]] static std::uint64_t analytic_max_nodes(const FractahedronSpec& spec);
+  /// Paper's max router delays excluding fan-out hops: thin 4N-2, fat 3N-1
+  /// (for tetrahedra); generalized to the same counting argument.
+  [[nodiscard]] static std::uint64_t analytic_max_delays(const FractahedronSpec& spec);
+  /// Paper's bisection-bandwidth entry: thin 4, fat 4N (tetrahedra).
+  [[nodiscard]] static std::uint64_t analytic_bisection(const FractahedronSpec& spec);
+
+ private:
+  FractahedronSpec spec_;
+  Network net_;
+  std::uint32_t fanout_factor_ = 1;  // CPUs per level-1 down port
+  // level_routers_[k-1][(stack * layers + layer) * M + member]
+  std::vector<std::vector<RouterId>> level_routers_;
+  // fanout_routers_[stack * C + child], empty when no fan-out level
+  std::vector<RouterId> fanout_routers_;
+
+  void build();
+  [[nodiscard]] std::uint64_t children_pow(std::uint32_t exponent) const;
+};
+
+[[nodiscard]] std::string to_string(FractahedronKind kind);
+
+}  // namespace servernet

@@ -1,0 +1,237 @@
+#include <string>
+
+#include "core/fractahedron.hpp"
+
+namespace servernet {
+
+std::string to_string(FractahedronKind kind) {
+  return kind == FractahedronKind::kThin ? "thin" : "fat";
+}
+
+Fractahedron::Fractahedron(const FractahedronSpec& spec) : spec_(spec), net_("fractahedron") {
+  SN_REQUIRE(spec.levels >= 1, "fractahedron needs at least one level");
+  SN_REQUIRE(spec.group_routers >= 2, "group needs at least two routers");
+  SN_REQUIRE(spec.down_ports_per_router >= 1, "group routers need a down port");
+  SN_REQUIRE(spec.router_ports >= spec.group_routers - 1 + spec.down_ports_per_router + 1,
+             "router radix too small for the peer/down/up split");
+  if (spec.cpu_pair_fanout) {
+    SN_REQUIRE(spec.cpus_per_fanout >= 1, "fan-out routers need CPUs");
+    SN_REQUIRE(spec.router_ports >= 1 + spec.cpus_per_fanout,
+               "fan-out router radix too small");
+    fanout_factor_ = spec.cpus_per_fanout;
+  }
+  net_.set_name(to_string(spec.kind) + "-fractahedron-N" + std::to_string(spec.levels) +
+                (spec.cpu_pair_fanout ? "-fanout" : ""));
+  build();
+}
+
+std::uint32_t Fractahedron::children_per_group() const {
+  return spec_.group_routers * spec_.down_ports_per_router;
+}
+
+std::size_t Fractahedron::stacks(std::uint32_t level) const {
+  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
+  return static_cast<std::size_t>(children_pow(spec_.levels - level));
+}
+
+std::size_t Fractahedron::layers(std::uint32_t level) const {
+  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
+  if (spec_.kind == FractahedronKind::kThin) return 1;
+  std::size_t n = 1;
+  for (std::uint32_t i = 1; i < level; ++i) n *= spec_.group_routers;
+  return n;
+}
+
+RouterId Fractahedron::router(std::uint32_t level, std::size_t stack, std::size_t layer,
+                              std::uint32_t member) const {
+  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
+  SN_REQUIRE(stack < stacks(level), "stack out of range");
+  SN_REQUIRE(layer < layers(level), "layer out of range");
+  SN_REQUIRE(member < spec_.group_routers, "group member out of range");
+  return level_routers_[level - 1][(stack * layers(level) + layer) * spec_.group_routers +
+                                   member];
+}
+
+RouterId Fractahedron::fanout_router(std::size_t stack, std::uint32_t child) const {
+  SN_REQUIRE(spec_.cpu_pair_fanout, "no fan-out level in this fractahedron");
+  SN_REQUIRE(stack < stacks(1), "stack out of range");
+  SN_REQUIRE(child < children_per_group(), "child digit out of range");
+  return fanout_routers_[stack * children_per_group() + child];
+}
+
+NodeId Fractahedron::node(std::size_t address) const {
+  SN_REQUIRE(address < net_.node_count(), "node address out of range");
+  return NodeId{address};
+}
+
+std::uint32_t Fractahedron::digit(NodeId n, std::uint32_t level) const {
+  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
+  const std::uint64_t shift = children_pow(level - 1) * fanout_factor_;
+  return static_cast<std::uint32_t>((n.value() / shift) % children_per_group());
+}
+
+std::size_t Fractahedron::stack_of(NodeId n, std::uint32_t level) const {
+  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
+  return static_cast<std::size_t>(n.value() / (children_pow(level) * fanout_factor_));
+}
+
+std::uint32_t Fractahedron::owner_member(NodeId n, std::uint32_t level) const {
+  return digit(n, level) / spec_.down_ports_per_router;
+}
+
+PortIndex Fractahedron::peer_port(std::uint32_t i, std::uint32_t j) const {
+  SN_REQUIRE(i != j && i < spec_.group_routers && j < spec_.group_routers,
+             "bad peer pair");
+  return j < i ? j : j - 1;
+}
+
+PortIndex Fractahedron::down_port(std::uint32_t slot) const {
+  SN_REQUIRE(slot < spec_.down_ports_per_router, "down slot out of range");
+  return spec_.group_routers - 1 + slot;
+}
+
+PortIndex Fractahedron::up_port() const {
+  return spec_.group_routers - 1 + spec_.down_ports_per_router;
+}
+
+std::uint64_t Fractahedron::children_pow(std::uint32_t exponent) const {
+  std::uint64_t x = 1;
+  for (std::uint32_t i = 0; i < exponent; ++i) x *= children_per_group();
+  return x;
+}
+
+void Fractahedron::build() {
+  const std::uint32_t M = spec_.group_routers;
+  const std::uint32_t C = children_per_group();
+
+  // 1. Create group routers, level by level.
+  level_routers_.resize(spec_.levels);
+  for (std::uint32_t k = 1; k <= spec_.levels; ++k) {
+    const std::size_t stack_count = stacks(k);
+    const std::size_t layer_count = layers(k);
+    auto& routers = level_routers_[k - 1];
+    routers.reserve(stack_count * layer_count * M);
+    for (std::size_t s = 0; s < stack_count; ++s) {
+      for (std::size_t j = 0; j < layer_count; ++j) {
+        for (std::uint32_t r = 0; r < M; ++r) {
+          routers.push_back(net_.add_router(
+              spec_.router_ports, "L" + std::to_string(k) + "S" + std::to_string(s) + "Y" +
+                                      std::to_string(j) + "R" + std::to_string(r)));
+        }
+      }
+    }
+  }
+
+  // 2. Fully connect the peers of every group.
+  for (std::uint32_t k = 1; k <= spec_.levels; ++k) {
+    for (std::size_t s = 0; s < stacks(k); ++s) {
+      for (std::size_t j = 0; j < layers(k); ++j) {
+        for (std::uint32_t a = 0; a < M; ++a) {
+          for (std::uint32_t b = a + 1; b < M; ++b) {
+            net_.connect(Terminal::router(router(k, s, j, a)), peer_port(a, b),
+                         Terminal::router(router(k, s, j, b)), peer_port(b, a));
+          }
+        }
+      }
+    }
+  }
+
+  // 3. Wire inter-level links (parent down ports to child up ports).
+  for (std::uint32_t k = 2; k <= spec_.levels; ++k) {
+    const std::size_t child_layers = layers(k - 1);
+    for (std::size_t s = 0; s < stacks(k); ++s) {
+      for (std::size_t j = 0; j < layers(k); ++j) {
+        for (std::uint32_t r = 0; r < M; ++r) {
+          for (std::uint32_t t = 0; t < spec_.down_ports_per_router; ++t) {
+            const std::uint32_t c = r * spec_.down_ports_per_router + t;
+            const std::size_t child_stack = s * C + c;
+            std::size_t child_layer;
+            std::uint32_t child_member;
+            if (spec_.kind == FractahedronKind::kThin) {
+              // Thin: the group's single up link lives on member 0.
+              child_layer = 0;
+              child_member = 0;
+            } else {
+              // Fat: parent layer j corresponds to the child's up link at
+              // (member j / child_layers, layer j % child_layers).
+              child_member = static_cast<std::uint32_t>(j / child_layers);
+              child_layer = j % child_layers;
+            }
+            net_.connect(Terminal::router(router(k, s, j, r)), down_port(t),
+                         Terminal::router(router(k - 1, child_stack, child_layer, child_member)),
+                         up_port());
+          }
+        }
+      }
+    }
+  }
+
+  // 4. Create nodes in address order, then attach below level 1.
+  const std::size_t total_nodes =
+      static_cast<std::size_t>(children_pow(spec_.levels)) * fanout_factor_;
+  for (std::size_t a = 0; a < total_nodes; ++a) {
+    net_.add_node(1, "cpu" + std::to_string(a));
+  }
+
+  const std::size_t l1_stacks = stacks(1);
+  if (spec_.cpu_pair_fanout) {
+    fanout_routers_.reserve(l1_stacks * C);
+    for (std::size_t s = 0; s < l1_stacks; ++s) {
+      for (std::uint32_t c = 0; c < C; ++c) {
+        const RouterId fr = net_.add_router(
+            spec_.router_ports, "F" + std::to_string(s) + "." + std::to_string(c));
+        fanout_routers_.push_back(fr);
+        const std::uint32_t member = c / spec_.down_ports_per_router;
+        const std::uint32_t slot = c % spec_.down_ports_per_router;
+        // Fan-out port 0 goes up to the level-1 group; CPU ports follow.
+        net_.connect(Terminal::router(router(1, s, 0, member)), down_port(slot),
+                     Terminal::router(fr), 0);
+        for (std::uint32_t p = 0; p < fanout_factor_; ++p) {
+          const std::size_t address = (s * C + c) * fanout_factor_ + p;
+          net_.connect(Terminal::node(node(address)), 0, Terminal::router(fr), 1 + p);
+        }
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < l1_stacks; ++s) {
+      for (std::uint32_t c = 0; c < C; ++c) {
+        const std::uint32_t member = c / spec_.down_ports_per_router;
+        const std::uint32_t slot = c % spec_.down_ports_per_router;
+        net_.connect(Terminal::node(node(s * C + c)), 0,
+                     Terminal::router(router(1, s, 0, member)), down_port(slot));
+      }
+    }
+  }
+  net_.validate();
+}
+
+std::uint64_t Fractahedron::analytic_max_nodes(const FractahedronSpec& spec) {
+  std::uint64_t x = spec.cpu_pair_fanout ? spec.cpus_per_fanout : 1;
+  const std::uint64_t c = std::uint64_t{spec.group_routers} * spec.down_ports_per_router;
+  for (std::uint32_t i = 0; i < spec.levels; ++i) x *= c;
+  return x;
+}
+
+std::uint64_t Fractahedron::analytic_max_delays(const FractahedronSpec& spec) {
+  // Counting argument of §2.2/§2.3, excluding fan-out router delays:
+  //  thin: climb costs up to 2 delays per level below the top (intra hop to
+  //        the up router, then arrive one level higher), descent likewise 2
+  //        per level plus the turn hop at the top: 2(N-1) + 2(N-1) + 2 = 4N-2.
+  //  fat:  climb is 1 delay per level ("straight up"), descent up to 2:
+  //        (N-1) + 2(N-1) + 2 = 3N-1.
+  const std::uint64_t n = spec.levels;
+  if (spec.kind == FractahedronKind::kThin) return n == 0 ? 0 : 4 * n - 2;
+  return n == 0 ? 0 : 3 * n - 1;
+}
+
+std::uint64_t Fractahedron::analytic_bisection(const FractahedronSpec& spec) {
+  // Paper's Table 1 (tetrahedra): thin fractahedrons bisect through the top
+  // group's internal links — (M/2)^2 = 4 — independent of N; fat
+  // fractahedrons are quoted as 4N links.
+  const std::uint64_t half = spec.group_routers / 2;
+  const std::uint64_t group_bisection = half * (spec.group_routers - half);
+  if (spec.kind == FractahedronKind::kThin) return group_bisection;
+  return group_bisection * spec.levels;
+}
+
+}  // namespace servernet

@@ -1,0 +1,74 @@
+// Depth-first address routing for fractahedrons (§2.3–2.4).
+//
+// "Routing in multilayer networks is done depth-first by examining address
+//  bits from high-order to low order. At any level, if there is no match in
+//  the address bits above those controlling that level's tetrahedron, then
+//  the packet is sent to the next higher level. [...] packets always go
+//  straight up the tree without taking any inter-tetrahedral links. Those
+//  links are used only on the way down."
+//
+// The table below realizes exactly that, per (router, destination) pair —
+// ServerNet routers actually perform "these matches by looking up entries
+// in the routing table inside each router", which is what our RoutingTable
+// models.
+#include "core/fractahedron.hpp"
+
+namespace servernet {
+
+RoutingTable Fractahedron::routing() const {
+  RoutingTable table = RoutingTable::sized_for(net_);
+  const std::uint32_t M = spec_.group_routers;
+  const std::uint32_t d = spec_.down_ports_per_router;
+  const std::uint32_t C = children_per_group();
+
+  for (NodeId dest : net_.all_nodes()) {
+    // Group routers.
+    for (std::uint32_t k = 1; k <= spec_.levels; ++k) {
+      const std::size_t dest_stack = stack_of(dest, k);
+      const std::uint32_t dest_digit = digit(dest, k);
+      const std::uint32_t owner = dest_digit / d;
+      const std::uint32_t slot = dest_digit % d;
+      for (std::size_t s = 0; s < stacks(k); ++s) {
+        for (std::size_t j = 0; j < layers(k); ++j) {
+          for (std::uint32_t r = 0; r < M; ++r) {
+            const RouterId here = router(k, s, j, r);
+            PortIndex port;
+            if (s != dest_stack) {
+              // Destination is outside this group's subtree: climb. Fat
+              // groups climb on the local up link; thin groups funnel
+              // through member 0's single up link.
+              if (spec_.kind == FractahedronKind::kThin && r != 0) {
+                port = peer_port(r, 0);
+              } else {
+                port = up_port();
+              }
+            } else if (r != owner) {
+              // Right subtree, wrong corner: one intra-group hop.
+              port = peer_port(r, owner);
+            } else {
+              port = down_port(slot);
+            }
+            table.set(here, dest, port);
+          }
+        }
+      }
+    }
+    // Fan-out routers: deliver locally or climb on port 0.
+    if (spec_.cpu_pair_fanout) {
+      const std::size_t dest_fanout = dest.value() / fanout_factor_;
+      for (std::size_t s = 0; s < stacks(1); ++s) {
+        for (std::uint32_t c = 0; c < C; ++c) {
+          const RouterId fr = fanout_router(s, c);
+          if (s * C + c == dest_fanout) {
+            table.set(fr, dest, 1 + dest.value() % fanout_factor_);
+          } else {
+            table.set(fr, dest, 0);
+          }
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace servernet

@@ -1,0 +1,106 @@
+#include "fabric/dual_fabric.hpp"
+
+#include "route/path.hpp"
+
+namespace servernet {
+
+DualFabric::DualFabric(const Network& single)
+    : single_router_count_(single.router_count()), net_(single.name() + "-dual") {
+  // X routers, then Y routers, preserving single-fabric ids within each.
+  for (RouterId r : single.all_routers()) {
+    net_.add_router(single.router_ports(r), "X." + single.router_label(r));
+  }
+  for (RouterId r : single.all_routers()) {
+    net_.add_router(single.router_ports(r), "Y." + single.router_label(r));
+  }
+  for (NodeId n : single.all_nodes()) {
+    SN_REQUIRE(single.node_ports(n) == 1, "dual fabric expects single-ported prototype nodes");
+    net_.add_node(2, single.node_label(n));
+  }
+
+  for (std::size_t ci = 0; ci < single.channel_count(); ++ci) {
+    const Channel& c = single.channel(ChannelId{ci});
+    if (c.reverse.index() < ci) continue;  // one duplex cable at a time
+    if (c.src.is_router() && c.dst.is_router()) {
+      const RouterId a = c.src.router_id();
+      const RouterId b = c.dst.router_id();
+      net_.connect(Terminal::router(x_router(a)), c.src_port, Terminal::router(x_router(b)),
+                   c.dst_port);
+      net_.connect(Terminal::router(y_router(a)), c.src_port, Terminal::router(y_router(b)),
+                   c.dst_port);
+    } else {
+      // Node cable: same router port, node port 0 on X and 1 on Y.
+      const bool node_is_src = c.src.is_node();
+      const NodeId n = node_is_src ? c.src.node_id() : c.dst.node_id();
+      const RouterId r = node_is_src ? c.dst.router_id() : c.src.router_id();
+      const PortIndex rport = node_is_src ? c.dst_port : c.src_port;
+      net_.connect(Terminal::node(n), 0, Terminal::router(x_router(r)), rport);
+      net_.connect(Terminal::node(n), 1, Terminal::router(y_router(r)), rport);
+    }
+  }
+  net_.validate();
+}
+
+RouterId DualFabric::x_router(RouterId single) const {
+  SN_REQUIRE(single.index() < single_router_count_, "router id out of range");
+  return single;
+}
+
+RouterId DualFabric::y_router(RouterId single) const {
+  SN_REQUIRE(single.index() < single_router_count_, "router id out of range");
+  return RouterId{single.index() + single_router_count_};
+}
+
+int DualFabric::fabric_of(RouterId combined) const {
+  SN_REQUIRE(combined.index() < net_.router_count(), "router id out of range");
+  return combined.index() < single_router_count_ ? 0 : 1;
+}
+
+RoutingTable DualFabric::lift_routing(const RoutingTable& single) const {
+  SN_REQUIRE(single.router_count() == single_router_count_, "table router count mismatch");
+  SN_REQUIRE(single.node_count() == net_.node_count(), "table node count mismatch");
+  RoutingTable lifted = RoutingTable::sized_for(net_);
+  for (std::size_t r = 0; r < single_router_count_; ++r) {
+    for (std::size_t d = 0; d < net_.node_count(); ++d) {
+      const PortIndex p = single.port(RouterId{r}, NodeId{d});
+      if (p == kInvalidPort) continue;
+      lifted.set(RouterId{r}, NodeId{d}, p);
+      lifted.set(RouterId{r + single_router_count_}, NodeId{d}, p);
+    }
+  }
+  return lifted;
+}
+
+std::optional<PortIndex> DualFabric::select_fabric(const RoutingTable& lifted, NodeId src,
+                                                   NodeId dst,
+                                                   const ChannelDisables& failed) const {
+  for (PortIndex port = 0; port < 2; ++port) {
+    const RouteResult r = trace_route(net_, lifted, src, dst, port);
+    if (!r.ok()) continue;
+    bool clean = true;
+    for (ChannelId c : r.path.channels) {
+      if (failed.is_disabled(c) || failed.is_disabled(net_.channel(c).reverse)) {
+        // A failed cable kills both directions for ServerNet purposes:
+        // without the reverse direction, acknowledgements cannot return.
+        clean = false;
+        break;
+      }
+    }
+    if (clean) return port;
+  }
+  return std::nullopt;
+}
+
+std::size_t DualFabric::stranded_pairs(const RoutingTable& lifted,
+                                       const ChannelDisables& failed) const {
+  std::size_t stranded = 0;
+  for (NodeId s : net_.all_nodes()) {
+    for (NodeId d : net_.all_nodes()) {
+      if (s == d) continue;
+      if (!select_fabric(lifted, s, d, failed)) ++stranded;
+    }
+  }
+  return stranded;
+}
+
+}  // namespace servernet

@@ -1,0 +1,56 @@
+// Dual-fabric fault tolerance (§1 of the paper).
+//
+// "Full network fault-tolerance can be provided by configuring pairs of
+//  router fabrics with dual-ported nodes."
+//
+// A DualFabric takes any single-fabric topology and doubles it: an X copy
+// and a Y copy of every router and cable, with each node's port 0 on X and
+// port 1 on Y. Routing tables lift from the single fabric by replication.
+// On a link failure the affected node pairs fail over to the other fabric
+// wholesale — ServerNet keeps each transfer on one fabric so in-order
+// delivery is preserved.
+#pragma once
+
+#include <optional>
+
+#include "route/routing_table.hpp"
+#include "route/shortest_path.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+class DualFabric {
+ public:
+  /// `single` must have single-ported nodes; the combined network gets
+  /// dual-ported nodes with the same NodeIds.
+  explicit DualFabric(const Network& single);
+
+  [[nodiscard]] const Network& net() const { return net_; }
+
+  /// X/Y copy of a single-fabric router.
+  [[nodiscard]] RouterId x_router(RouterId single) const;
+  [[nodiscard]] RouterId y_router(RouterId single) const;
+  /// Which fabric a combined router belongs to (0 = X, 1 = Y).
+  [[nodiscard]] int fabric_of(RouterId combined) const;
+
+  /// Replicates a single-fabric routing table onto both copies.
+  [[nodiscard]] RoutingTable lift_routing(const RoutingTable& single) const;
+
+  /// Injection port (0 = X fabric, 1 = Y fabric) for src->dst given a set
+  /// of failed channels in the combined network; prefers X, fails over to
+  /// Y, and returns nullopt when both fabrics are broken for this pair.
+  [[nodiscard]] std::optional<PortIndex> select_fabric(const RoutingTable& lifted, NodeId src,
+                                                       NodeId dst,
+                                                       const ChannelDisables& failed) const;
+
+  /// Number of ordered pairs that cannot communicate on either fabric
+  /// under `failed` — zero for any single cable failure (tested).
+  [[nodiscard]] std::size_t stranded_pairs(const RoutingTable& lifted,
+                                           const ChannelDisables& failed) const;
+
+ private:
+  std::size_t single_router_count_;
+  Network net_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,43 @@
+#include "route/dimension_order.hpp"
+
+namespace servernet {
+
+namespace {
+
+RoutingTable dimension_order_impl(const Mesh2D& mesh, bool x_first) {
+  const Network& net = mesh.net();
+  RoutingTable table = RoutingTable::sized_for(net);
+  for (NodeId d : net.all_nodes()) {
+    const RouterId home = mesh.home_router(d);
+    const auto [dx, dy] = mesh.coords(home);
+    const PortIndex node_port =
+        mesh_port::kFirstNode + d.value() % mesh.spec().nodes_per_router;
+    for (RouterId r : net.all_routers()) {
+      const auto [x, y] = mesh.coords(r);
+      PortIndex port;
+      const bool need_x = x != dx;
+      const bool need_y = y != dy;
+      if (!need_x && !need_y) {
+        port = node_port;
+      } else if (need_x && (x_first || !need_y)) {
+        port = x < dx ? mesh_port::kEast : mesh_port::kWest;
+      } else {
+        port = y < dy ? mesh_port::kNorth : mesh_port::kSouth;
+      }
+      table.set(r, d, port);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+RoutingTable dimension_order_routes(const Mesh2D& mesh) {
+  return dimension_order_impl(mesh, /*x_first=*/true);
+}
+
+RoutingTable dimension_order_routes_yx(const Mesh2D& mesh) {
+  return dimension_order_impl(mesh, /*x_first=*/false);
+}
+
+}  // namespace servernet

@@ -1,0 +1,21 @@
+// Dimension-order (X-then-Y) routing for 2-D meshes (§2, §3.1).
+//
+// The paper uses this as the canonical "design the routing algorithm to
+// preclude routing loops" technique: a packet first corrects its X
+// coordinate, then its Y coordinate, so the only turns taken are X-to-Y and
+// the channel-dependency graph is acyclic.
+#pragma once
+
+#include "route/routing_table.hpp"
+#include "topo/mesh.hpp"
+
+namespace servernet {
+
+/// X-first, then Y dimension-order routing for a mesh.
+[[nodiscard]] RoutingTable dimension_order_routes(const Mesh2D& mesh);
+
+/// Y-first variant (ablation: worst-case contention moves to the transposed
+/// corner but its magnitude is unchanged).
+[[nodiscard]] RoutingTable dimension_order_routes_yx(const Mesh2D& mesh);
+
+}  // namespace servernet

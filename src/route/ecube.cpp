@@ -1,0 +1,39 @@
+#include "route/ecube.hpp"
+
+#include <bit>
+
+namespace servernet {
+
+namespace {
+
+RoutingTable ecube_impl(const Hypercube& cube, bool low_first) {
+  const Network& net = cube.net();
+  const std::uint32_t dims = cube.spec().dimensions;
+  RoutingTable table = RoutingTable::sized_for(net);
+  for (NodeId d : net.all_nodes()) {
+    const std::uint32_t dest_corner = cube.corner(cube.home_router(d));
+    const PortIndex node_port = dims + d.value() % cube.spec().nodes_per_router;
+    for (RouterId r : net.all_routers()) {
+      const std::uint32_t here = cube.corner(r);
+      const std::uint32_t diff = here ^ dest_corner;
+      PortIndex port;
+      if (diff == 0) {
+        port = node_port;
+      } else if (low_first) {
+        port = static_cast<PortIndex>(std::countr_zero(diff));
+      } else {
+        port = static_cast<PortIndex>(31 - std::countl_zero(diff));
+      }
+      table.set(r, d, port);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+RoutingTable ecube_routes(const Hypercube& cube) { return ecube_impl(cube, true); }
+
+RoutingTable ecube_routes_high_first(const Hypercube& cube) { return ecube_impl(cube, false); }
+
+}  // namespace servernet

@@ -1,0 +1,22 @@
+// E-cube routing for hypercubes (§3.2).
+//
+// Differing address bits are corrected in a fixed dimension order, so
+// channel dependencies only flow from lower to higher dimensions and the
+// channel-dependency graph is acyclic. This is the hypercube analogue of
+// dimension-order routing and serves as the balanced, reflexive baseline
+// against which the Figure-2 path-disable schemes are compared.
+#pragma once
+
+#include "route/routing_table.hpp"
+#include "topo/hypercube.hpp"
+
+namespace servernet {
+
+/// Correct the lowest differing dimension first.
+[[nodiscard]] RoutingTable ecube_routes(const Hypercube& cube);
+
+/// Correct the highest differing dimension first (ablation — equivalent
+/// properties, mirrored link loads).
+[[nodiscard]] RoutingTable ecube_routes_high_first(const Hypercube& cube);
+
+}  // namespace servernet

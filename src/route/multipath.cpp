@@ -1,0 +1,59 @@
+#include "route/multipath.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+MultipathTable::MultipathTable(std::size_t router_count, std::size_t node_count)
+    : router_count_(router_count),
+      node_count_(node_count),
+      choices_(router_count * node_count) {}
+
+MultipathTable MultipathTable::sized_for(const Network& net) {
+  return MultipathTable(net.router_count(), net.node_count());
+}
+
+MultipathTable MultipathTable::from_table(const Network& net, const RoutingTable& table) {
+  MultipathTable mp = sized_for(net);
+  for (RouterId r : net.all_routers()) {
+    for (NodeId d : net.all_nodes()) {
+      const PortIndex p = table.port(r, d);
+      if (p != kInvalidPort) mp.add_choice(r, d, p);
+    }
+  }
+  return mp;
+}
+
+void MultipathTable::add_choice(RouterId router, NodeId dest, PortIndex port) {
+  SN_REQUIRE(router.index() < router_count_, "router id out of range");
+  SN_REQUIRE(dest.index() < node_count_, "node id out of range");
+  auto& set = choices_[router.index() * node_count_ + dest.index()];
+  if (std::find(set.begin(), set.end(), port) == set.end()) set.push_back(port);
+}
+
+const std::vector<PortIndex>& MultipathTable::choices(RouterId router, NodeId dest) const {
+  SN_REQUIRE(router.index() < router_count_, "router id out of range");
+  SN_REQUIRE(dest.index() < node_count_, "node id out of range");
+  return choices_[router.index() * node_count_ + dest.index()];
+}
+
+std::size_t MultipathTable::max_fanout() const {
+  std::size_t fanout = 0;
+  for (const auto& set : choices_) fanout = std::max(fanout, set.size());
+  return fanout;
+}
+
+RoutingTable MultipathTable::first_choice_table() const {
+  RoutingTable table(router_count_, node_count_);
+  for (std::size_t r = 0; r < router_count_; ++r) {
+    for (std::size_t d = 0; d < node_count_; ++d) {
+      const auto& set = choices_[r * node_count_ + d];
+      if (!set.empty()) table.set(RouterId{r}, NodeId{d}, set.front());
+    }
+  }
+  return table;
+}
+
+}  // namespace servernet

@@ -1,0 +1,51 @@
+// Multipath routing tables — the "dynamically select a non-busy link"
+// temptation of §3.3:
+//
+//   "in routing a packet from node 0 to node 63, any one of the four links
+//    to the top level could be traversed. The first temptation might be to
+//    dynamically select a non-busy link. However, if sequential packets
+//    can take different paths to the same destination, earlier packets
+//    might encounter more contention upstream, causing them to be
+//    delivered out of order."
+//
+// A MultipathTable stores, per (router, destination), the *set* of output
+// ports any minimal deadlock-free path may use. The simulator's adaptive
+// mode picks the least-congested member at head-allocation time; the
+// in-order counters then measure exactly the failure §3.3 predicts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+class MultipathTable {
+ public:
+  MultipathTable() = default;
+  MultipathTable(std::size_t router_count, std::size_t node_count);
+
+  static MultipathTable sized_for(const Network& net);
+  /// Every deterministic entry becomes a singleton choice set.
+  static MultipathTable from_table(const Network& net, const RoutingTable& table);
+
+  void add_choice(RouterId router, NodeId dest, PortIndex port);
+  [[nodiscard]] const std::vector<PortIndex>& choices(RouterId router, NodeId dest) const;
+
+  [[nodiscard]] std::size_t router_count() const { return router_count_; }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  /// Largest choice set in the table (1 = fully deterministic).
+  [[nodiscard]] std::size_t max_fanout() const;
+
+  /// The deterministic projection: first choice everywhere.
+  [[nodiscard]] RoutingTable first_choice_table() const;
+
+ private:
+  std::size_t router_count_ = 0;
+  std::size_t node_count_ = 0;
+  std::vector<std::vector<PortIndex>> choices_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,85 @@
+#include "route/path.hpp"
+
+#include <sstream>
+
+namespace servernet {
+
+RouteResult trace_route(const Network& net, const RoutingTable& table, NodeId src, NodeId dst,
+                        PortIndex src_port) {
+  RouteResult result;
+  result.path.src = src;
+  result.path.dst = dst;
+
+  ChannelId current = net.node_out(src, src_port);
+  SN_REQUIRE(current.valid(), "source node port is not wired");
+  result.path.channels.push_back(current);
+
+  // A loop-free route can traverse each channel at most once.
+  const std::size_t hop_limit = net.channel_count() + 1;
+  for (std::size_t steps = 0; steps < hop_limit; ++steps) {
+    const Terminal at = net.channel(current).dst;
+    if (at.is_node()) {
+      if (at.node_id() == dst) return result;
+      result.status = RouteStatus::kDeliveredWrong;
+      return result;
+    }
+    const RouterId router = at.router_id();
+    const PortIndex out = table.port(router, dst);
+    if (out == kInvalidPort) {
+      result.status = RouteStatus::kNoTableEntry;
+      return result;
+    }
+    current = net.router_out(router, out);
+    if (!current.valid()) {
+      // An entry naming an unwired port is a table bug; surface it as a
+      // missing entry rather than crashing analysis sweeps.
+      result.status = RouteStatus::kNoTableEntry;
+      return result;
+    }
+    result.path.channels.push_back(current);
+  }
+  result.status = RouteStatus::kLoop;
+  return result;
+}
+
+bool routes_all_pairs(const Network& net, const RoutingTable& table) {
+  return !first_route_failure(net, table).has_value();
+}
+
+std::optional<RouteFailure> first_route_failure(const Network& net, const RoutingTable& table) {
+  for (NodeId s : net.all_nodes()) {
+    for (NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(net, table, s, d);
+      if (!r.ok()) return RouteFailure{s, d, r.status};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string to_string(RouteStatus s) {
+  switch (s) {
+    case RouteStatus::kOk:
+      return "ok";
+    case RouteStatus::kNoTableEntry:
+      return "no-table-entry";
+    case RouteStatus::kLoop:
+      return "forwarding-loop";
+    case RouteStatus::kDeliveredWrong:
+      return "delivered-to-wrong-node";
+  }
+  return "unknown";
+}
+
+std::string describe(const Network& net, const Path& path) {
+  std::ostringstream os;
+  os << "node " << path.src.value();
+  for (ChannelId c : path.channels) {
+    const Terminal t = net.channel(c).dst;
+    os << " -> " << (t.is_router() ? "r" : "n") << t.index;
+  }
+  os << " (" << path.router_hops() << " router hops)";
+  return os.str();
+}
+
+}  // namespace servernet

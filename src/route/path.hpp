@@ -1,0 +1,69 @@
+// Path extraction: walking a routing table from a source node to a
+// destination node, with explicit failure diagnosis (missing entry,
+// forwarding loop, dead end). Paths are sequences of channels; "router
+// delays"/"router hops" in the paper count the routers traversed, which is
+// channels-1 for a node-to-node path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+/// A source-to-destination route: the channel sequence starts at the source
+/// node's injection channel and ends at the channel delivering into the
+/// destination node.
+struct Path {
+  NodeId src;
+  NodeId dst;
+  std::vector<ChannelId> channels;
+
+  /// Routers traversed ("router delays" in the paper's terminology).
+  [[nodiscard]] std::size_t router_hops() const {
+    return channels.empty() ? 0 : channels.size() - 1;
+  }
+};
+
+enum class RouteStatus : std::uint8_t {
+  kOk,
+  kNoTableEntry,   // some router on the way has no entry for the destination
+  kLoop,           // forwarding loop: the walk exceeded the channel count
+  kDeliveredWrong  // the walk terminated at a node that is not the destination
+};
+
+struct RouteResult {
+  RouteStatus status = RouteStatus::kOk;
+  Path path;
+
+  [[nodiscard]] bool ok() const { return status == RouteStatus::kOk; }
+};
+
+/// Follows `table` from `src` to `dst` (src's port `src_port` selects the
+/// injection fabric for dual-ported nodes).
+[[nodiscard]] RouteResult trace_route(const Network& net, const RoutingTable& table, NodeId src,
+                                      NodeId dst, PortIndex src_port = 0);
+
+/// True if trace_route succeeds for every ordered pair of distinct nodes.
+[[nodiscard]] bool routes_all_pairs(const Network& net, const RoutingTable& table);
+
+/// Traces every ordered pair and returns the first failing pair, if any,
+/// for diagnostics.
+struct RouteFailure {
+  NodeId src;
+  NodeId dst;
+  RouteStatus status;
+};
+[[nodiscard]] std::optional<RouteFailure> first_route_failure(const Network& net,
+                                                              const RoutingTable& table);
+
+[[nodiscard]] std::string to_string(RouteStatus s);
+
+/// Human-readable path rendering for diagnostics.
+[[nodiscard]] std::string describe(const Network& net, const Path& path);
+
+}  // namespace servernet

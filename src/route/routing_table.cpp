@@ -1,0 +1,47 @@
+#include "route/routing_table.hpp"
+
+namespace servernet {
+
+RoutingTable::RoutingTable(std::size_t router_count, std::size_t node_count)
+    : router_count_(router_count),
+      node_count_(node_count),
+      ports_(router_count * node_count, kInvalidPort) {}
+
+RoutingTable RoutingTable::sized_for(const Network& net) {
+  return RoutingTable(net.router_count(), net.node_count());
+}
+
+void RoutingTable::set(RouterId router, NodeId dest, PortIndex port) {
+  SN_REQUIRE(router.index() < router_count_, "router id out of range");
+  SN_REQUIRE(dest.index() < node_count_, "node id out of range");
+  ports_[router.index() * node_count_ + dest.index()] = port;
+}
+
+PortIndex RoutingTable::port(RouterId router, NodeId dest) const {
+  SN_REQUIRE(router.index() < router_count_, "router id out of range");
+  SN_REQUIRE(dest.index() < node_count_, "node id out of range");
+  return ports_[router.index() * node_count_ + dest.index()];
+}
+
+std::size_t RoutingTable::populated_entries() const {
+  std::size_t n = 0;
+  for (PortIndex p : ports_) {
+    if (p != kInvalidPort) ++n;
+  }
+  return n;
+}
+
+void RoutingTable::validate_against(const Network& net) const {
+  SN_REQUIRE(router_count_ == net.router_count(), "table router count mismatch");
+  SN_REQUIRE(node_count_ == net.node_count(), "table node count mismatch");
+  for (std::size_t r = 0; r < router_count_; ++r) {
+    for (std::size_t d = 0; d < node_count_; ++d) {
+      const PortIndex p = ports_[r * node_count_ + d];
+      if (p == kInvalidPort) continue;
+      SN_REQUIRE(p < net.router_ports(RouterId{r}), "table entry names bad port");
+      SN_REQUIRE(net.router_out(RouterId{r}, p).valid(), "table entry names unwired port");
+    }
+  }
+}
+
+}  // namespace servernet

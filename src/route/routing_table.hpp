@@ -1,0 +1,51 @@
+// ServerNet-style table-driven routing.
+//
+// Each ServerNet router forwards a packet by looking up the packet's
+// destination node identifier in a routing table that yields an output
+// port. Crucially the output port depends only on (router, destination) —
+// not on the input port — so every routing algorithm in this library
+// materializes into this representation before being analysed or
+// simulated. Deadlock freedom is then a property of the table, checked by
+// the channel-dependency analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/network.hpp"
+#include "util/strong_id.hpp"
+
+namespace servernet {
+
+/// Dense (router, destination node) -> output port map.
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+  RoutingTable(std::size_t router_count, std::size_t node_count);
+
+  /// Creates a table sized to `net`.
+  static RoutingTable sized_for(const Network& net);
+
+  void set(RouterId router, NodeId dest, PortIndex port);
+  /// Output port, or kInvalidPort if the router has no route to `dest`.
+  [[nodiscard]] PortIndex port(RouterId router, NodeId dest) const;
+  [[nodiscard]] bool has_route(RouterId router, NodeId dest) const {
+    return port(router, dest) != kInvalidPort;
+  }
+
+  [[nodiscard]] std::size_t router_count() const { return router_count_; }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+  /// Number of (router, dest) entries that are populated.
+  [[nodiscard]] std::size_t populated_entries() const;
+
+  /// Verifies that every populated entry names a wired port on its router.
+  void validate_against(const Network& net) const;
+
+ private:
+  std::size_t router_count_ = 0;
+  std::size_t node_count_ = 0;
+  std::vector<PortIndex> ports_;  // [router * node_count + dest]
+};
+
+}  // namespace servernet

@@ -1,0 +1,94 @@
+#include "route/shortest_path.hpp"
+
+#include <queue>
+
+namespace servernet {
+
+void ChannelDisables::disable(ChannelId c) {
+  SN_REQUIRE(c.index() < disabled_.size(), "channel id out of range");
+  disabled_[c.index()] = 1;
+}
+
+void ChannelDisables::disable_duplex(const Network& net, ChannelId c) {
+  disable(c);
+  disable(net.channel(c).reverse);
+}
+
+bool ChannelDisables::is_disabled(ChannelId c) const {
+  if (disabled_.empty()) return false;
+  SN_REQUIRE(c.index() < disabled_.size(), "channel id out of range");
+  return disabled_[c.index()] != 0;
+}
+
+std::size_t ChannelDisables::disabled_count() const {
+  std::size_t n = 0;
+  for (char d : disabled_) n += static_cast<std::size_t>(d);
+  return n;
+}
+
+std::vector<std::uint32_t> distances_to_node(const Network& net, NodeId dest,
+                                             const ChannelDisables& disables) {
+  // Reverse BFS from the destination node over router-to-router channels.
+  std::vector<std::uint32_t> dist(net.router_count(), kUnreachable);
+  std::queue<RouterId> frontier;
+
+  // Seed: routers with a direct (enabled) delivery channel into `dest`.
+  for (PortIndex p = 0; p < net.node_ports(dest); ++p) {
+    const ChannelId in = net.node_in(dest, p);
+    if (!in.valid() || disables.is_disabled(in)) continue;
+    const Terminal src = net.channel(in).src;
+    if (!src.is_router()) continue;
+    const RouterId r = src.router_id();
+    if (dist[r.index()] != kUnreachable) continue;
+    dist[r.index()] = 1;  // one channel: router -> node
+    frontier.push(r);
+  }
+
+  while (!frontier.empty()) {
+    const RouterId r = frontier.front();
+    frontier.pop();
+    // Walk incoming router-to-router channels backwards.
+    for (ChannelId in : net.in_channels(Terminal::router(r))) {
+      if (disables.is_disabled(in)) continue;
+      const Terminal src = net.channel(in).src;
+      if (!src.is_router()) continue;
+      const RouterId prev = src.router_id();
+      if (dist[prev.index()] != kUnreachable) continue;
+      dist[prev.index()] = dist[r.index()] + 1;
+      frontier.push(prev);
+    }
+  }
+  return dist;
+}
+
+RoutingTable shortest_path_routes(const Network& net, const ChannelDisables& disables) {
+  RoutingTable table = RoutingTable::sized_for(net);
+  for (NodeId d : net.all_nodes()) {
+    const std::vector<std::uint32_t> dist = distances_to_node(net, d, disables);
+    for (RouterId r : net.all_routers()) {
+      const std::uint32_t here = dist[r.index()];
+      if (here == kUnreachable) continue;
+      // Pick the lowest-indexed port whose channel makes progress.
+      const PortIndex ports = net.router_ports(r);
+      for (PortIndex p = 0; p < ports; ++p) {
+        const ChannelId out = net.router_out(r, p);
+        if (!out.valid() || disables.is_disabled(out)) continue;
+        const Terminal to = net.channel(out).dst;
+        if (to.is_node()) {
+          if (to.node_id() == d && here == 1) {
+            table.set(r, d, p);
+            break;
+          }
+          continue;
+        }
+        if (dist[to.router_id().index()] == here - 1) {
+          table.set(r, d, p);
+          break;
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace servernet

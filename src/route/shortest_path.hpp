@@ -1,0 +1,46 @@
+// Unrestricted shortest-path routing, with optional per-channel disables.
+//
+// This is the "naive" routing the paper warns about: on any topology whose
+// channel graph has loops, minimal table routing generally yields a cyclic
+// channel-dependency graph and can deadlock (Figure 1). It is also the
+// substrate for path-disable experiments: ServerNet routers have per-port
+// disable logic, modelled here as a set of unusable channels.
+#pragma once
+
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+/// Per-channel disable mask; empty means "all channels enabled".
+class ChannelDisables {
+ public:
+  ChannelDisables() = default;
+  explicit ChannelDisables(std::size_t channel_count) : disabled_(channel_count, 0) {}
+
+  void disable(ChannelId c);
+  /// Disables both directions of the cable containing `c`.
+  void disable_duplex(const Network& net, ChannelId c);
+  [[nodiscard]] bool is_disabled(ChannelId c) const;
+  [[nodiscard]] std::size_t disabled_count() const;
+
+ private:
+  std::vector<char> disabled_;
+};
+
+/// Builds a routing table taking, from every router, the minimal-hop path
+/// to each destination over enabled channels. Ties break on the lowest
+/// output port index so results are deterministic. Unreachable
+/// destinations get no entry.
+[[nodiscard]] RoutingTable shortest_path_routes(const Network& net,
+                                                const ChannelDisables& disables = {});
+
+/// Hop distance (channels traversed) from every router to `dest` over
+/// enabled channels; kUnreachable where no path exists. Index = router id.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffU;
+[[nodiscard]] std::vector<std::uint32_t> distances_to_node(const Network& net, NodeId dest,
+                                                           const ChannelDisables& disables = {});
+
+}  // namespace servernet

@@ -1,0 +1,135 @@
+#include "route/table_compression.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+namespace {
+
+/// Counts minimal aligned blocks for [lo, lo+size) of one router's column.
+/// `size` is a power of `base`. Entries at/after node_count are wildcards.
+/// The model is a partition into uniform aligned blocks (no rule
+/// priorities), for which the recursive uniform check is optimal.
+std::size_t count_blocks(const RoutingTable& table, RouterId router, std::size_t lo,
+                         std::size_t size, std::uint32_t base, std::size_t node_count) {
+  if (lo >= node_count) return 0;  // fully don't-care
+  // Uniform check over the defined part of the block.
+  const std::size_t hi = std::min(lo + size, node_count);
+  const PortIndex first = table.port(router, NodeId{lo});
+  bool uniform = true;
+  for (std::size_t d = lo + 1; d < hi && uniform; ++d) {
+    uniform = table.port(router, NodeId{d}) == first;
+  }
+  if (uniform) return 1;
+  SN_ASSERT(size >= base);
+  const std::size_t child = size / base;
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < base; ++c) {
+    total += count_blocks(table, router, lo + c * child, child, base, node_count);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::size_t prefix_rules_for_router(const RoutingTable& table, RouterId router,
+                                    std::uint32_t base) {
+  SN_REQUIRE(base >= 2, "radix must be at least 2");
+  SN_REQUIRE(table.node_count() >= 1, "empty table");
+  std::size_t span = 1;
+  while (span < table.node_count()) span *= base;
+  return count_blocks(table, router, 0, span, base, table.node_count());
+}
+
+CompressedRoutingTable::CompressedRoutingTable(const Network& net, const RoutingTable& table,
+                                               std::uint32_t base)
+    : base_(base), router_count_(net.router_count()), node_count_(net.node_count()) {
+  SN_REQUIRE(base >= 2, "radix must be at least 2");
+  SN_REQUIRE(node_count_ >= 1, "empty table");
+  SN_REQUIRE(table.router_count() == router_count_ && table.node_count() == node_count_,
+             "table/network mismatch");
+  std::size_t span = 1;
+  while (span < node_count_) span *= base;
+  offsets_.reserve(router_count_ + 1);
+  offsets_.push_back(0);
+  for (RouterId r : net.all_routers()) {
+    compress_router(table, r, 0, span);
+    offsets_.push_back(rules_.size());
+  }
+}
+
+void CompressedRoutingTable::compress_router(const RoutingTable& table, RouterId router,
+                                             std::size_t lo, std::size_t span) {
+  if (lo >= node_count_) return;  // wholly don't-care
+  const std::size_t hi = std::min(lo + span, node_count_);
+  const PortIndex first = table.port(router, NodeId{lo});
+  bool uniform = true;
+  for (std::size_t d = lo + 1; d < hi && uniform; ++d) {
+    uniform = table.port(router, NodeId{d}) == first;
+  }
+  if (uniform) {
+    rules_.push_back(Rule{static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(span),
+                          first});
+    return;
+  }
+  SN_ASSERT(span >= base_);
+  const std::size_t child = span / base_;
+  for (std::uint32_t c = 0; c < base_; ++c) {
+    compress_router(table, router, lo + c * child, child);
+  }
+}
+
+PortIndex CompressedRoutingTable::port(RouterId router, NodeId dest) const {
+  SN_REQUIRE(router.index() + 1 < offsets_.size(), "router id out of range");
+  SN_REQUIRE(dest.index() < node_count_, "node id out of range");
+  // Rules within a router are disjoint and sorted by lo: binary search for
+  // the last rule with lo <= dest, then confirm coverage.
+  const auto begin = rules_.begin() + static_cast<std::ptrdiff_t>(offsets_[router.index()]);
+  const auto end = rules_.begin() + static_cast<std::ptrdiff_t>(offsets_[router.index() + 1]);
+  auto it = std::upper_bound(begin, end, dest.value(),
+                             [](std::uint32_t d, const Rule& rule) { return d < rule.lo; });
+  if (it == begin) return kInvalidPort;
+  --it;
+  if (dest.value() >= it->lo + it->span) return kInvalidPort;
+  return it->port;
+}
+
+RoutingTable CompressedRoutingTable::decompress() const {
+  RoutingTable table(router_count_, node_count_);
+  for (std::size_t r = 0; r < router_count_; ++r) {
+    for (std::size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      const Rule& rule = rules_[i];
+      if (rule.port == kInvalidPort) continue;
+      const std::uint32_t hi =
+          std::min<std::uint32_t>(rule.lo + rule.span, static_cast<std::uint32_t>(node_count_));
+      for (std::uint32_t d = rule.lo; d < hi; ++d) {
+        table.set(RouterId{r}, NodeId{d}, rule.port);
+      }
+    }
+  }
+  return table;
+}
+
+CompressionReport compress_tables(const Network& net, const RoutingTable& table,
+                                  std::uint32_t base) {
+  CompressionReport report;
+  report.routers = net.router_count();
+  report.dense_entries = net.node_count();
+  for (RouterId r : net.all_routers()) {
+    const std::size_t rules = prefix_rules_for_router(table, r, base);
+    report.total_rules += rules;
+    report.max_rules = std::max(report.max_rules, rules);
+  }
+  if (report.routers > 0) {
+    report.mean_rules =
+        static_cast<double>(report.total_rules) / static_cast<double>(report.routers);
+    if (report.mean_rules > 0.0) {
+      report.compression_ratio = static_cast<double>(report.dense_entries) / report.mean_rules;
+    }
+  }
+  return report;
+}
+
+}  // namespace servernet

@@ -1,0 +1,83 @@
+// Routing-table compressibility.
+//
+// §3.0 of the paper praises the tetrahedron because routing "routes packets
+// based on exactly two bits of the destination node identifier. This
+// prevents sparse usage of the node address space and simplifies the
+// routing algorithm." That is a statement about table structure: a router
+// whose entries are constant over aligned blocks of the address space can
+// be implemented with a handful of prefix rules instead of a full RAM.
+//
+// This module measures that: for each router it computes the minimal
+// number of aligned radix-`base` prefix intervals needed to represent its
+// destination->port column (a recursive uniform-block decomposition, which
+// is optimal for aligned-interval rules). Fractahedral tables collapse to
+// O(levels * base) rules; mesh tables need O(side) rules per router.
+#pragma once
+
+#include <cstdint>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct CompressionReport {
+  std::size_t routers = 0;
+  /// Dense entries per router (= node count).
+  std::size_t dense_entries = 0;
+  std::uint64_t total_rules = 0;
+  std::size_t max_rules = 0;
+  double mean_rules = 0.0;
+  /// dense_entries / mean_rules.
+  double compression_ratio = 0.0;
+};
+
+/// Minimal aligned prefix rules for one router's column, splitting the
+/// address space radix-`base` (base 8 matches the fractahedral digit; base
+/// 2 gives classic binary-prefix rules). Addresses beyond the node count
+/// are don't-cares.
+[[nodiscard]] std::size_t prefix_rules_for_router(const RoutingTable& table, RouterId router,
+                                                  std::uint32_t base = 2);
+
+/// Aggregates prefix_rules_for_router over the whole fabric.
+[[nodiscard]] CompressionReport compress_tables(const Network& net, const RoutingTable& table,
+                                                std::uint32_t base = 2);
+
+/// A routing table stored as aligned prefix rules — the RAM a ServerNet
+/// router built around the paper's hierarchical addressing would actually
+/// need. Lookup walks the address digits most-significant first and stops
+/// at the first uniform block, exactly mirroring §2.3's "examining address
+/// bits from high-order to low order".
+class CompressedRoutingTable {
+ public:
+  /// Compresses `table` with radix `base`. Lossless: port() agrees with
+  /// the dense table on every populated entry.
+  CompressedRoutingTable(const Network& net, const RoutingTable& table, std::uint32_t base = 2);
+
+  [[nodiscard]] PortIndex port(RouterId router, NodeId dest) const;
+  /// Total stored rules across all routers.
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+  [[nodiscard]] std::uint32_t base() const { return base_; }
+
+  /// Expands back to a dense table (for round-trip testing).
+  [[nodiscard]] RoutingTable decompress() const;
+
+ private:
+  struct Rule {
+    std::uint32_t lo;    // first destination covered
+    std::uint32_t span;  // power of base
+    PortIndex port;      // kInvalidPort encodes "no route"
+  };
+
+  void compress_router(const RoutingTable& table, RouterId router, std::size_t lo,
+                       std::size_t span);
+
+  std::uint32_t base_ = 2;
+  std::size_t router_count_ = 0;
+  std::size_t node_count_ = 0;
+  // Rules sorted by (router, lo); offsets_[r]..offsets_[r+1] index rules_.
+  std::vector<std::size_t> offsets_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace servernet

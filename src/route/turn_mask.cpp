@@ -1,0 +1,94 @@
+#include "route/turn_mask.hpp"
+
+#include "analysis/cycles.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+
+TurnMask::TurnMask(const Network& net, bool allow_all) {
+  offsets_.reserve(net.router_count() + 1);
+  offsets_.push_back(0);
+  ports_.reserve(net.router_count());
+  for (RouterId r : net.all_routers()) {
+    const PortIndex p = net.router_ports(r);
+    ports_.push_back(p);
+    offsets_.push_back(offsets_.back() + static_cast<std::size_t>(p) * p);
+  }
+  bits_.assign(offsets_.back(), allow_all ? 1 : 0);
+}
+
+std::size_t TurnMask::index(RouterId r, PortIndex in, PortIndex out) const {
+  SN_REQUIRE(r.index() + 1 < offsets_.size(), "router id out of range");
+  const PortIndex p = ports_[r.index()];
+  SN_REQUIRE(in < p && out < p, "port out of range");
+  return offsets_[r.index()] + static_cast<std::size_t>(in) * p + out;
+}
+
+void TurnMask::allow(RouterId r, PortIndex in, PortIndex out) { bits_[index(r, in, out)] = 1; }
+
+void TurnMask::forbid(RouterId r, PortIndex in, PortIndex out) { bits_[index(r, in, out)] = 0; }
+
+bool TurnMask::allowed(RouterId r, PortIndex in, PortIndex out) const {
+  return bits_[index(r, in, out)] != 0;
+}
+
+std::size_t TurnMask::allowed_turn_count() const {
+  std::size_t n = 0;
+  for (char b : bits_) n += static_cast<std::size_t>(b);
+  return n;
+}
+
+TurnMask turns_used_by(const Network& net, const RoutingTable& table) {
+  TurnMask mask(net, /*allow_all=*/false);
+  for (std::size_t d_index = 0; d_index < net.node_count(); ++d_index) {
+    const NodeId d{d_index};
+    for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+      const Channel& c1 = net.channel(ChannelId{ci});
+      if (!c1.dst.is_router()) continue;
+      if (c1.src.is_router() && table.port(c1.src.router_id(), d) != c1.src_port) continue;
+      const RouterId r = c1.dst.router_id();
+      const PortIndex out = table.port(r, d);
+      if (out == kInvalidPort || !net.router_out(r, out).valid()) continue;
+      mask.allow(r, c1.dst_port, out);
+    }
+  }
+  return mask;
+}
+
+namespace {
+
+std::vector<std::vector<std::uint32_t>> turn_adjacency(const Network& net,
+                                                       const TurnMask& mask) {
+  std::vector<std::vector<std::uint32_t>> adjacency(net.channel_count());
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const Channel& c1 = net.channel(ChannelId{ci});
+    if (!c1.dst.is_router()) continue;
+    const RouterId r = c1.dst.router_id();
+    for (PortIndex out = 0; out < net.router_ports(r); ++out) {
+      const ChannelId c2 = net.router_out(r, out);
+      if (!c2.valid()) continue;
+      if (!net.channel(c2).dst.is_router()) continue;  // deliveries cannot extend a cycle
+      if (mask.allowed(r, c1.dst_port, out)) {
+        adjacency[ci].push_back(c2.value());
+      }
+    }
+  }
+  return adjacency;
+}
+
+}  // namespace
+
+bool turn_graph_acyclic(const Network& net, const TurnMask& mask) {
+  return is_acyclic(turn_adjacency(net, mask));
+}
+
+std::optional<std::vector<ChannelId>> find_turn_cycle(const Network& net, const TurnMask& mask) {
+  const auto cycle = find_cycle(turn_adjacency(net, mask));
+  if (!cycle) return std::nullopt;
+  std::vector<ChannelId> channels;
+  channels.reserve(cycle->size());
+  for (std::uint32_t v : *cycle) channels.emplace_back(v);
+  return channels;
+}
+
+}  // namespace servernet

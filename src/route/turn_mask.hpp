@@ -1,0 +1,59 @@
+// Turn masks — the ServerNet "path disable logic" of §2.4:
+//
+//   "The ServerNet routers also have path disable logic that can be set to
+//    enforce the elimination of the loops, even if the routing table is
+//    corrupted by a fault."
+//
+// A TurnMask records, per router, which (input port -> output port) turns
+// the hardware will perform. The enforcement theorem is simple and strong:
+// if the *turn graph* — the line graph over channels restricted to allowed
+// turns — is acyclic, then the channel-dependency graph of ANY routing
+// table filtered through the mask is a subgraph of it, hence acyclic, and
+// no table corruption can reintroduce deadlock. (Corrupted tables can
+// still stall or misdeliver packets — the simulator measures that — but
+// they cannot create a circular wait.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+class TurnMask {
+ public:
+  /// All turns disabled (allow_all=false) or enabled (true).
+  explicit TurnMask(const Network& net, bool allow_all = false);
+
+  void allow(RouterId r, PortIndex in, PortIndex out);
+  void forbid(RouterId r, PortIndex in, PortIndex out);
+  [[nodiscard]] bool allowed(RouterId r, PortIndex in, PortIndex out) const;
+
+  [[nodiscard]] std::size_t allowed_turn_count() const;
+  [[nodiscard]] std::size_t router_count() const { return offsets_.size() - 1; }
+
+ private:
+  [[nodiscard]] std::size_t index(RouterId r, PortIndex in, PortIndex out) const;
+  std::vector<std::size_t> offsets_;  // per router, into bits_
+  std::vector<PortIndex> ports_;      // per router
+  std::vector<char> bits_;
+};
+
+/// The turns a (correct) routing table actually exercises: for every
+/// destination, every qualifying in-channel's (in port -> table port) pair.
+/// This is exactly what a maintenance processor would program into the
+/// disable logic after computing the tables.
+[[nodiscard]] TurnMask turns_used_by(const Network& net, const RoutingTable& table);
+
+/// Is the turn graph (channels, mask-allowed adjacencies) acyclic? If so,
+/// the mask certifies deadlock freedom for any table filtered through it.
+[[nodiscard]] bool turn_graph_acyclic(const Network& net, const TurnMask& mask);
+
+/// One cycle of channels in the turn graph, if any.
+[[nodiscard]] std::optional<std::vector<ChannelId>> find_turn_cycle(const Network& net,
+                                                                    const TurnMask& mask);
+
+}  // namespace servernet

@@ -1,0 +1,147 @@
+#include "route/updown.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "route/shortest_path.hpp"
+
+namespace servernet {
+
+UpDownClassification classify_updown(const Network& net, RouterId root) {
+  SN_REQUIRE(root.index() < net.router_count(), "root out of range");
+  UpDownClassification cls;
+  cls.root = root;
+  cls.level.assign(net.router_count(), kUnreachable);
+  cls.channel_is_up.assign(net.channel_count(), 0);
+
+  std::queue<RouterId> frontier;
+  cls.level[root.index()] = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const RouterId r = frontier.front();
+    frontier.pop();
+    for (ChannelId c : net.out_channels(Terminal::router(r))) {
+      const Terminal to = net.channel(c).dst;
+      if (!to.is_router()) continue;
+      const RouterId nxt = to.router_id();
+      if (cls.level[nxt.index()] == kUnreachable) {
+        cls.level[nxt.index()] = cls.level[r.index()] + 1;
+        frontier.push(nxt);
+      }
+    }
+  }
+  for (const RouterId r : net.all_routers()) {
+    SN_REQUIRE(cls.level[r.index()] != kUnreachable,
+               "up/down classification requires a connected router graph");
+  }
+
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const Channel& ch = net.channel(ChannelId{ci});
+    if (!ch.src.is_router() || !ch.dst.is_router()) continue;
+    const auto a = ch.src.router_id();
+    const auto b = ch.dst.router_id();
+    const auto key_a = std::pair{cls.level[a.index()], a.value()};
+    const auto key_b = std::pair{cls.level[b.index()], b.value()};
+    cls.channel_is_up[ci] = key_b < key_a ? 1 : 0;
+  }
+  return cls;
+}
+
+RoutingTable updown_routes(const Network& net, RouterId root) {
+  return updown_routes(net, classify_updown(net, root));
+}
+
+RoutingTable updown_routes(const Network& net, const UpDownClassification& cls) {
+  SN_REQUIRE(cls.level.size() == net.router_count(), "classification/network mismatch");
+  RoutingTable table = RoutingTable::sized_for(net);
+
+  // Routers in increasing (level, id): every up channel leads to an
+  // earlier router in this order, so legal distances can be computed in a
+  // single pass.
+  std::vector<RouterId> order = net.all_routers();
+  std::sort(order.begin(), order.end(), [&](RouterId a, RouterId b) {
+    return std::pair{cls.level[a.index()], a.value()} <
+           std::pair{cls.level[b.index()], b.value()};
+  });
+
+  std::vector<std::uint32_t> down_dist(net.router_count());
+  std::vector<std::uint32_t> legal_dist(net.router_count());
+
+  for (NodeId d : net.all_nodes()) {
+    // 1. Distance to d through down channels only (reverse BFS from d).
+    std::fill(down_dist.begin(), down_dist.end(), kUnreachable);
+    std::queue<RouterId> frontier;
+    for (PortIndex p = 0; p < net.node_ports(d); ++p) {
+      const ChannelId in = net.node_in(d, p);
+      if (!in.valid()) continue;
+      const Terminal src = net.channel(in).src;
+      if (!src.is_router()) continue;
+      const RouterId r = src.router_id();
+      if (down_dist[r.index()] == kUnreachable) {
+        down_dist[r.index()] = 1;
+        frontier.push(r);
+      }
+    }
+    while (!frontier.empty()) {
+      const RouterId r = frontier.front();
+      frontier.pop();
+      for (ChannelId in : net.in_channels(Terminal::router(r))) {
+        if (cls.channel_is_up[in.index()]) continue;  // must arrive via a down channel
+        const Terminal src = net.channel(in).src;
+        if (!src.is_router()) continue;
+        const RouterId prev = src.router_id();
+        if (down_dist[prev.index()] == kUnreachable) {
+          down_dist[prev.index()] = down_dist[r.index()] + 1;
+          frontier.push(prev);
+        }
+      }
+    }
+
+    // 2. Best legal (up*, then down*) distance, swept root-outward.
+    for (const RouterId r : order) {
+      std::uint32_t best = down_dist[r.index()];
+      for (ChannelId c : net.out_channels(Terminal::router(r))) {
+        if (!cls.channel_is_up[c.index()]) continue;
+        const RouterId u = net.channel(c).dst.router_id();
+        const std::uint32_t via = legal_dist[u.index()];
+        if (via != kUnreachable) best = std::min(best, via + 1);
+      }
+      legal_dist[r.index()] = best;
+    }
+
+    // 3. Materialize table entries.
+    for (RouterId r : net.all_routers()) {
+      const PortIndex ports = net.router_ports(r);
+      PortIndex chosen = kInvalidPort;
+      if (down_dist[r.index()] != kUnreachable) {
+        // Destination reachable without going up again: descend.
+        for (PortIndex p = 0; p < ports && chosen == kInvalidPort; ++p) {
+          const ChannelId out = net.router_out(r, p);
+          if (!out.valid() || cls.channel_is_up[out.index()]) continue;
+          const Terminal to = net.channel(out).dst;
+          if (to.is_node()) {
+            if (to.node_id() == d && down_dist[r.index()] == 1) chosen = p;
+          } else if (down_dist[to.router_id().index()] == down_dist[r.index()] - 1) {
+            chosen = p;
+          }
+        }
+      } else {
+        // Climb toward the best legal distance.
+        std::uint32_t best = kUnreachable;
+        for (PortIndex p = 0; p < ports; ++p) {
+          const ChannelId out = net.router_out(r, p);
+          if (!out.valid() || !cls.channel_is_up[out.index()]) continue;
+          const std::uint32_t via = legal_dist[net.channel(out).dst.router_id().index()];
+          if (via != kUnreachable && via + 1 < best) {
+            best = via + 1;
+            chosen = p;
+          }
+        }
+      }
+      if (chosen != kInvalidPort) table.set(r, d, chosen);
+    }
+  }
+  return table;
+}
+
+}  // namespace servernet

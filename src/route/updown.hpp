@@ -1,0 +1,47 @@
+// Generic up*/down* routing (the "path disables" family of §2, Figure 2).
+//
+// Channels are classified against a breadth-first spanning order from a
+// chosen root: a router-to-router channel is "up" if it moves to a router
+// closer to the root (ties broken by router id). A legal path takes zero
+// or more up channels followed by zero or more down channels — exactly the
+// restriction the paper draws as disabled paths on the hypercube faces.
+//
+// Because ServerNet tables index on destination only, the table is derived
+// with a consistency-preserving rule: a router forwards *down* whenever the
+// destination is reachable through down channels alone, and otherwise
+// forwards up toward the neighbour with the best legal distance. The
+// concatenation of table hops from any source is then itself a legal
+// up*/down* path, so the channel-dependency graph is acyclic (verified
+// mechanically in the tests).
+//
+// The cost the paper highlights: link load concentrates near the root
+// (uneven utilization), which the Figure-2 bench measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+/// Root-relative channel classification.
+struct UpDownClassification {
+  RouterId root;
+  /// BFS level of each router (root = 0).
+  std::vector<std::uint32_t> level;
+  /// For each channel: 1 if it is an "up" channel (router-to-router toward
+  /// the root); 0 for down channels and all node channels.
+  std::vector<char> channel_is_up;
+};
+
+[[nodiscard]] UpDownClassification classify_updown(const Network& net, RouterId root);
+
+/// Up*/down* routing table for `net` rooted at `root`.
+[[nodiscard]] RoutingTable updown_routes(const Network& net, RouterId root);
+
+/// Same, reusing an existing classification.
+[[nodiscard]] RoutingTable updown_routes(const Network& net, const UpDownClassification& cls);
+
+}  // namespace servernet

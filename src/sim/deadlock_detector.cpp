@@ -1,0 +1,102 @@
+#include "sim/deadlock_detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/cycles.hpp"
+
+namespace servernet::sim {
+
+DeadlockReport analyze_deadlock(const WormholeSim& sim) {
+  const Network& net = sim.net();
+  const std::size_t channels = net.channel_count();
+
+  // Wait-for adjacency over channels: the head packet buffered at the
+  // downstream end of `in` needs `out`.
+  std::vector<std::vector<std::uint32_t>> waits(channels);
+  for (std::size_t ci = 0; ci < channels; ++ci) {
+    const ChannelId in{ci};
+    if (sim.fifo_occupancy(in) == 0) continue;
+    const ChannelId out = sim.requested_output(in);
+    if (!out.valid()) continue;
+    waits[ci].push_back(out.value());
+  }
+
+  DeadlockReport report;
+  const auto cycle = find_cycle(waits);
+  if (!cycle) return report;
+  for (std::uint32_t v : *cycle) {
+    const ChannelId c{v};
+    report.cycle.push_back(c);
+    report.packets.push_back(sim.fifo_head(c).packet);
+  }
+  return report;
+}
+
+StallReport classify_stall(const WormholeSim& sim) {
+  StallReport report;
+  report.deadlock = analyze_deadlock(sim);
+  if (report.deadlock.found()) {
+    report.cause = StallCause::kCircularWait;
+    return report;
+  }
+  // Follow each blocked head's wait chain; if it terminates at a failed
+  // channel, the stall is a hardware fault, not congestion.
+  const Network& net = sim.net();
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    ChannelId cursor{ci};
+    if (sim.fifo_occupancy(cursor) == 0) continue;
+    // Chains are acyclic here (no circular wait found), so the walk ends.
+    for (std::size_t steps = 0; steps <= net.channel_count(); ++steps) {
+      const ChannelId next = sim.requested_output(cursor);
+      if (!next.valid()) break;
+      if (sim.channel_failed(next)) {
+        report.failed_waits.push_back(next);
+        break;
+      }
+      if (sim.fifo_occupancy(next) == 0) break;  // wait will clear on its own
+      cursor = next;
+    }
+  }
+  // Senders frozen on a failed injection channel count too.
+  for (ChannelId c : sim.blocked_injection_channels()) report.failed_waits.push_back(c);
+  std::sort(report.failed_waits.begin(), report.failed_waits.end());
+  report.failed_waits.erase(
+      std::unique(report.failed_waits.begin(), report.failed_waits.end()),
+      report.failed_waits.end());
+  if (!report.failed_waits.empty()) {
+    report.cause = StallCause::kFailedChannel;
+    return report;
+  }
+  report.forbidden_turn_waits = sim.masked_turn_waits();
+  if (!report.forbidden_turn_waits.empty()) report.cause = StallCause::kForbiddenTurn;
+  return report;
+}
+
+std::string to_string(StallCause cause) {
+  switch (cause) {
+    case StallCause::kNone:
+      return "transient congestion (no deadlock, no failed channel)";
+    case StallCause::kCircularWait:
+      return "deadlock (circular wait)";
+    case StallCause::kFailedChannel:
+      return "hardware fault (blocked on failed channel)";
+    case StallCause::kForbiddenTurn:
+      return "path-disable enforcement (corrupted table requested a forbidden turn)";
+  }
+  return "unknown";
+}
+
+std::string describe(const Network& net, const DeadlockReport& report) {
+  if (!report.found()) return "no circular wait found";
+  std::ostringstream os;
+  os << "circular wait over " << report.cycle.size() << " channels:\n";
+  for (std::size_t i = 0; i < report.cycle.size(); ++i) {
+    os << "  " << describe(net, report.cycle[i]);
+    if (report.packets[i] != kNoPacket) os << "  [blocked packet " << report.packets[i] << "]";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace servernet::sim

@@ -1,0 +1,71 @@
+// Post-mortem deadlock analysis for a stalled simulation.
+//
+// When the simulator reports no progress, this module reconstructs the
+// wait-for graph over channels — packet P holds the buffers of channel c1
+// and needs channel c2 — and extracts the circular dependency, i.e. the
+// concrete instance of Figure 1: "each packet must wait for another to
+// proceed before acquiring access to an output link."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/wormhole_sim.hpp"
+#include "topo/network.hpp"
+
+namespace servernet::sim {
+
+struct DeadlockReport {
+  /// Channels forming the circular wait, in order.
+  std::vector<ChannelId> cycle;
+  /// Blocked packets holding the cycle's channels (one per channel).
+  std::vector<PacketId> packets;
+
+  [[nodiscard]] bool found() const { return !cycle.empty(); }
+};
+
+/// Builds the wait-for graph from the current simulator state and searches
+/// it for a cycle. Meaningful on a stalled (deadlocked) simulator; on a
+/// live one it may find transient waits that would clear by themselves.
+[[nodiscard]] DeadlockReport analyze_deadlock(const WormholeSim& sim);
+
+/// Renders a report like "r0->r1 held by pkt 3 waits for r1->r2 ...".
+[[nodiscard]] std::string describe(const Network& net, const DeadlockReport& report);
+
+/// Why is a simulation not making progress? §2 notes that timeout-based
+/// recovery "make[s] it difficult to distinguish between network
+/// congestion and hardware-related intermittent failures requiring
+/// maintenance actions"; with full state visibility the distinction is
+/// mechanical:
+///  * a circular wait in the wait-for graph  -> true deadlock;
+///  * a blocked head whose (transitively) requested channel has failed
+///    -> hardware fault, maintenance required;
+///  * otherwise the stall is transient congestion.
+enum class StallCause : std::uint8_t {
+  kNone,
+  kCircularWait,
+  kFailedChannel,
+  /// The §2.4 path-disable logic refused a turn a (corrupted) routing
+  /// table requested — the safety mechanism doing its job.
+  kForbiddenTurn,
+};
+
+struct StallReport {
+  StallCause cause = StallCause::kNone;
+  /// Populated when cause == kCircularWait.
+  DeadlockReport deadlock;
+  /// Failed channels that blocked heads are waiting on (directly or behind
+  /// other blocked packets); populated when cause == kFailedChannel.
+  std::vector<ChannelId> failed_waits;
+  /// In-channels whose heads the turn mask stopped; populated when cause
+  /// == kForbiddenTurn.
+  std::vector<ChannelId> forbidden_turn_waits;
+};
+
+[[nodiscard]] StallReport classify_stall(const WormholeSim& sim);
+
+[[nodiscard]] std::string to_string(StallCause cause);
+
+}  // namespace servernet::sim

@@ -1,0 +1,50 @@
+#include "sim/experiment.hpp"
+
+#include "util/stats.hpp"
+
+namespace servernet::sim {
+
+ExperimentResult run_load_point(const Network& net, const RoutingTable& table,
+                                TrafficPattern& pattern, const ExperimentConfig& config) {
+  SN_REQUIRE(config.measure_cycles > 0, "measurement window must be non-empty");
+  WormholeSim sim(net, table, config.sim);
+  BernoulliInjector injector(sim, pattern, config.offered_flits, config.seed);
+
+  ExperimentResult result;
+  if (!injector.run(config.warmup_cycles)) {
+    result.deadlocked = true;
+    return result;
+  }
+  const std::size_t first_measured = sim.packets_offered();
+  if (!injector.run(config.measure_cycles)) {
+    result.deadlocked = true;
+    return result;
+  }
+  const std::size_t last_measured = sim.packets_offered();
+
+  // Drain without offering further load.
+  const RunResult drain = sim.run_until_drained(config.drain_limit);
+  result.saturated = drain.outcome != RunOutcome::kCompleted;
+  result.deadlocked = drain.outcome == RunOutcome::kDeadlocked;
+
+  SampleSet latency;
+  std::uint64_t delivered_flits = 0;
+  for (std::size_t id = first_measured; id < last_measured; ++id) {
+    const PacketRecord& rec = sim.packet(static_cast<PacketId>(id));
+    if (!rec.delivered) continue;
+    latency.add(static_cast<double>(rec.delivered_cycle - rec.offered_cycle));
+    delivered_flits += rec.flits;
+  }
+  result.measured_packets = latency.size();
+  result.accepted_flits = static_cast<double>(delivered_flits) /
+                          static_cast<double>(config.measure_cycles) /
+                          static_cast<double>(net.node_count());
+  if (!latency.empty()) {
+    result.mean_latency = latency.mean();
+    result.p50_latency = latency.quantile(0.5);
+    result.p95_latency = latency.quantile(0.95);
+  }
+  return result;
+}
+
+}  // namespace servernet::sim

@@ -1,0 +1,53 @@
+// Steady-state measurement harness for the wormhole simulator.
+//
+// The paper's future work (§4) is "simulations of large topologies in
+// order to better understand network performance under heavy loading";
+// credible load/latency curves need open-loop injection with a warmup
+// window (discarded), a measurement window (reported) and a bounded drain
+// — this harness packages that methodology so benches and applications
+// don't reimplement it.
+#pragma once
+
+#include <cstdint>
+
+#include "route/routing_table.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/network.hpp"
+#include "workload/traffic.hpp"
+
+namespace servernet::sim {
+
+struct ExperimentConfig {
+  SimConfig sim;
+  /// Offered load, flits per node per cycle.
+  double offered_flits = 0.1;
+  std::uint64_t warmup_cycles = 1000;
+  std::uint64_t measure_cycles = 4000;
+  /// Abandon the drain after this many extra cycles (saturated runs).
+  std::uint64_t drain_limit = 100000;
+  std::uint64_t seed = 1996;
+};
+
+struct ExperimentResult {
+  /// Accepted throughput during the measurement window, flits/node/cycle,
+  /// counting only packets offered within the window.
+  double accepted_flits = 0.0;
+  /// Latency statistics over packets offered during the measurement
+  /// window and delivered before the drain limit.
+  double mean_latency = 0.0;
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  std::size_t measured_packets = 0;
+  /// True when the post-measurement drain did not finish — the fabric is
+  /// past saturation at this offered load.
+  bool saturated = false;
+  bool deadlocked = false;
+};
+
+/// Runs warmup + measurement + drain with uniform Bernoulli injection of
+/// `pattern` traffic and reports steady-state figures.
+[[nodiscard]] ExperimentResult run_load_point(const Network& net, const RoutingTable& table,
+                                              TrafficPattern& pattern,
+                                              const ExperimentConfig& config);
+
+}  // namespace servernet::sim

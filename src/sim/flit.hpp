@@ -1,0 +1,39 @@
+// Flit and packet bookkeeping for the wormhole simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "util/strong_id.hpp"
+
+namespace servernet::sim {
+
+/// Identifier of an injected packet (index into the simulator's record
+/// table).
+using PacketId = std::uint32_t;
+inline constexpr PacketId kNoPacket = 0xffffffffU;
+
+/// One flow-control digit. ServerNet links are byte-serial; a flit here
+/// stands for the unit that moves across a link per cycle.
+struct Flit {
+  PacketId packet = kNoPacket;
+  bool is_head = false;
+  bool is_tail = false;
+
+  [[nodiscard]] bool valid() const { return packet != kNoPacket; }
+};
+
+/// Lifetime record of a packet.
+struct PacketRecord {
+  NodeId src;
+  NodeId dst;
+  std::uint32_t flits = 0;
+  std::uint64_t offered_cycle = 0;    // entered the source queue
+  std::uint64_t injected_cycle = 0;   // head flit left the source node
+  std::uint64_t delivered_cycle = 0;  // tail flit absorbed by the destination
+  bool injected = false;
+  bool delivered = false;
+  /// Per (src,dst) stream sequence number, for in-order delivery checks.
+  std::uint64_t sequence = 0;
+};
+
+}  // namespace servernet::sim

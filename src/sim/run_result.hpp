@@ -1,0 +1,15 @@
+// Shared run-outcome types for the wormhole simulators.
+#pragma once
+
+#include <cstdint>
+
+namespace servernet::sim {
+
+enum class RunOutcome : std::uint8_t { kCompleted, kDeadlocked, kCycleLimit };
+
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  std::uint64_t cycles = 0;
+};
+
+}  // namespace servernet::sim

@@ -1,0 +1,234 @@
+#include "sim/vc_sim.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace servernet::sim {
+
+DatelineVc::DatelineVc(std::vector<ChannelId> datelines, std::uint32_t vc_count)
+    : vc_count_(vc_count) {
+  SN_REQUIRE(vc_count >= 2, "dateline needs at least two virtual channels");
+  std::size_t max_index = 0;
+  for (ChannelId c : datelines) max_index = std::max(max_index, c.index() + 1);
+  is_dateline_.assign(max_index, 0);
+  for (ChannelId c : datelines) is_dateline_[c.index()] = 1;
+}
+
+std::uint32_t DatelineVc::next_vc(std::uint32_t current, ChannelId /*from*/,
+                                  ChannelId to) const {
+  const bool crossing = to.index() < is_dateline_.size() && is_dateline_[to.index()] != 0;
+  if (!crossing) return current;
+  return std::min(current + 1, vc_count_ - 1);
+}
+
+VcWormholeSim::VcWormholeSim(const Network& net, RoutingTable table, const VcSelector& selector,
+                             const VcSimConfig& config)
+    : net_(net), table_(std::move(table)), selector_(selector), config_(config) {
+  SN_REQUIRE(config.vcs_per_channel >= 1, "need at least one virtual channel");
+  SN_REQUIRE(config.fifo_depth >= 1, "FIFO depth must be at least one flit");
+  SN_REQUIRE(config.flits_per_packet >= 1, "packets need at least one flit");
+  const std::size_t channels = net.channel_count();
+  const std::size_t slots = channels * config.vcs_per_channel;
+  wire_.assign(channels, VcFlit{});
+  fifo_.assign(slots, {});
+  owner_.assign(slots, kNoPacket);
+  granted_out_.assign(slots, ChannelId::invalid());
+  granted_vc_.assign(slots, 0);
+  senders_.resize(net.node_count());
+  metrics_.on_init(channels);
+}
+
+PacketId VcWormholeSim::offer_packet(NodeId src, NodeId dst) {
+  SN_REQUIRE(src.index() < net_.node_count() && dst.index() < net_.node_count(),
+             "packet endpoints out of range");
+  SN_REQUIRE(!(src == dst), "packets must leave their source");
+  const auto id = static_cast<PacketId>(packets_.size());
+  PacketRecord rec;
+  rec.src = src;
+  rec.dst = dst;
+  rec.flits = config_.flits_per_packet;
+  rec.offered_cycle = cycle_;
+  packets_.push_back(rec);
+  senders_[src.index()].queue.push_back(id);
+  return id;
+}
+
+bool VcWormholeSim::downstream_has_space(ChannelId c, std::uint32_t vc) const {
+  if (!net_.channel(c).dst.is_router()) return true;
+  const std::size_t in_flight =
+      wire_[c.index()].flit.valid() && wire_[c.index()].vc == vc ? 1 : 0;
+  return fifo_[slot(c, vc)].size() + in_flight < config_.fifo_depth;
+}
+
+void VcWormholeSim::place_on_wire(ChannelId c, VcFlit flit) {
+  SN_ASSERT(!wire_[c.index()].flit.valid());
+  wire_[c.index()] = flit;
+  metrics_.on_wire_busy(c.index());
+  progress_this_cycle_ = true;
+}
+
+void VcWormholeSim::deliver_wires() {
+  for (std::size_t ci = 0; ci < wire_.size(); ++ci) {
+    VcFlit& vf = wire_[ci];
+    if (!vf.flit.valid()) continue;
+    const Terminal dst = net_.channel(ChannelId{ci}).dst;
+    if (dst.is_router()) {
+      SN_ASSERT(fifo_[slot(ChannelId{ci}, vf.vc)].size() < config_.fifo_depth);
+      fifo_[slot(ChannelId{ci}, vf.vc)].push_back(vf.flit);
+    } else {
+      PacketRecord& rec = packets_[vf.flit.packet];
+      SN_REQUIRE(dst.node_id() == rec.dst, "flit delivered to wrong node");
+      if (vf.flit.is_tail) {
+        rec.delivered = true;
+        rec.delivered_cycle = cycle_;
+        ++delivered_count_;
+        metrics_.on_packet_delivered(rec.offered_cycle, cycle_, rec.flits);
+      }
+    }
+    vf = VcFlit{};
+    progress_this_cycle_ = true;
+  }
+}
+
+void VcWormholeSim::allocate_outputs() {
+  for (RouterId r : net_.all_routers()) {
+    const PortIndex ports = net_.router_ports(r);
+    for (PortIndex in_port = 0; in_port < ports; ++in_port) {
+      const ChannelId in = net_.router_in(r, in_port);
+      if (!in.valid()) continue;
+      for (std::uint32_t in_vc = 0; in_vc < config_.vcs_per_channel; ++in_vc) {
+        const std::size_t in_slot = slot(in, in_vc);
+        if (granted_out_[in_slot].valid()) continue;
+        const auto& q = fifo_[in_slot];
+        if (q.empty() || !q.front().is_head) continue;
+        const PortIndex out_port = table_.port(r, packets_[q.front().packet].dst);
+        if (out_port == kInvalidPort) continue;
+        const ChannelId out = net_.router_out(r, out_port);
+        if (!out.valid()) continue;
+        const std::uint32_t out_vc = selector_.next_vc(in_vc, in, out);
+        SN_REQUIRE(out_vc < config_.vcs_per_channel, "selector chose an unavailable VC");
+        const std::size_t out_slot = slot(out, out_vc);
+        if (owner_[out_slot] != kNoPacket) continue;  // VC busy; wait
+        owner_[out_slot] = q.front().packet;
+        granted_out_[in_slot] = out;
+        granted_vc_[in_slot] = out_vc;
+      }
+    }
+  }
+}
+
+void VcWormholeSim::traverse_crossbars() {
+  for (std::size_t ci = 0; ci < net_.channel_count(); ++ci) {
+    for (std::uint32_t vc = 0; vc < config_.vcs_per_channel; ++vc) {
+      const std::size_t in_slot = slot(ChannelId{ci}, vc);
+      auto& q = fifo_[in_slot];
+      if (q.empty()) continue;
+      const ChannelId out = granted_out_[in_slot];
+      if (!out.valid()) continue;
+      const std::uint32_t out_vc = granted_vc_[in_slot];
+      const Flit flit = q.front();
+      SN_ASSERT(owner_[slot(out, out_vc)] == flit.packet);
+      if (wire_[out.index()].flit.valid() || !downstream_has_space(out, out_vc)) continue;
+      q.pop_front();
+      place_on_wire(out, VcFlit{flit, out_vc});
+      if (flit.is_tail) {
+        owner_[slot(out, out_vc)] = kNoPacket;
+        granted_out_[in_slot] = ChannelId::invalid();
+      }
+    }
+  }
+}
+
+void VcWormholeSim::inject_from_nodes() {
+  for (std::size_t ni = 0; ni < senders_.size(); ++ni) {
+    NodeSendState& state = senders_[ni];
+    if (state.current == kNoPacket) {
+      if (state.queue.empty()) continue;
+      state.current = state.queue.front();
+      state.queue.pop_front();
+      state.flits_sent = 0;
+      state.vc = selector_.initial_vc(NodeId{ni}, packets_[state.current].dst);
+      SN_REQUIRE(state.vc < config_.vcs_per_channel, "selector chose an unavailable VC");
+    }
+    const ChannelId out = net_.node_out(NodeId{ni}, 0);
+    SN_REQUIRE(out.valid(), "sending node has no wired port");
+    if (wire_[out.index()].flit.valid() || !downstream_has_space(out, state.vc)) continue;
+    PacketRecord& rec = packets_[state.current];
+    Flit flit;
+    flit.packet = state.current;
+    flit.is_head = state.flits_sent == 0;
+    flit.is_tail = state.flits_sent + 1 == rec.flits;
+    if (flit.is_head) {
+      rec.injected = true;
+      rec.injected_cycle = cycle_;
+    }
+    place_on_wire(out, VcFlit{flit, state.vc});
+    ++state.flits_sent;
+    if (flit.is_tail) state.current = kNoPacket;
+  }
+}
+
+void VcWormholeSim::step() {
+  SN_REQUIRE(!deadlocked_, "simulator is deadlocked; inspect state or reset");
+  progress_this_cycle_ = false;
+  deliver_wires();
+  allocate_outputs();
+  traverse_crossbars();
+  inject_from_nodes();
+  ++cycle_;
+  if (progress_this_cycle_ || flits_in_flight() == 0) {
+    cycles_without_progress_ = 0;
+  } else if (++cycles_without_progress_ >= config_.no_progress_threshold) {
+    deadlocked_ = true;
+  }
+}
+
+std::size_t VcWormholeSim::flits_in_flight() const {
+  std::size_t n = 0;
+  for (const auto& q : fifo_) n += q.size();
+  for (const VcFlit& w : wire_) {
+    if (w.flit.valid()) ++n;
+  }
+  for (const NodeSendState& s : senders_) {
+    if (s.current != kNoPacket) n += packets_[s.current].flits - s.flits_sent;
+  }
+  return n;
+}
+
+const PacketRecord& VcWormholeSim::packet(PacketId id) const {
+  SN_REQUIRE(id < packets_.size(), "packet id out of range");
+  return packets_[id];
+}
+
+RunResult VcWormholeSim::run_until_drained(std::uint64_t max_cycles) {
+  RunResult result;
+  const std::uint64_t start = cycle_;
+  while (delivered_count_ < packets_.size()) {
+    if (cycle_ - start >= max_cycles) {
+      result.outcome = RunOutcome::kCycleLimit;
+      result.cycles = cycle_ - start;
+      return result;
+    }
+    step();
+    if (deadlocked_) {
+      result.outcome = RunOutcome::kDeadlocked;
+      result.cycles = cycle_ - start;
+      return result;
+    }
+  }
+  result.outcome = RunOutcome::kCompleted;
+  result.cycles = cycle_ - start;
+  return result;
+}
+
+std::size_t VcWormholeSim::total_buffer_flits() const {
+  // Buffering exists at the downstream end of every router-terminated
+  // channel: vcs * depth flits each.
+  std::size_t router_inputs = 0;
+  for (std::size_t ci = 0; ci < net_.channel_count(); ++ci) {
+    if (net_.channel(ChannelId{ci}).dst.is_router()) ++router_inputs;
+  }
+  return router_inputs * config_.vcs_per_channel * config_.fifo_depth;
+}
+
+}  // namespace servernet::sim

@@ -1,0 +1,151 @@
+// Virtual-channel wormhole simulator — the Dally & Seitz alternative
+// (reference [6] of the paper) that ServerNet chose *not* to build:
+//
+//   "They propose adding virtual channels to routers, then breaking loops
+//    by allowing some messages to pass other packets. This solution
+//    requires multiple packet buffers at each router stage, and severely
+//    complicates the router design. The cost of the buffers can be quite
+//    significant because buffering space may dominate the area of a
+//    typical router." (§2)
+//
+// Implemented here so the trade can be measured rather than asserted: each
+// physical channel multiplexes `vcs_per_channel` virtual channels, each
+// with its own input FIFO and its own wormhole ownership; the physical
+// wire still moves one flit per cycle. A VcSelector maps packets onto
+// virtual channels — the classic dateline selector makes minimal ring and
+// torus routing deadlock-free, at vcs-times the buffer budget of the
+// ServerNet router (quantified in bench_vc_ablation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "sim/flit.hpp"
+#include "sim/metrics.hpp"
+#include "sim/run_result.hpp"
+#include "topo/network.hpp"
+
+namespace servernet::sim {
+
+/// Chooses the virtual channel a packet uses on its next hop. Must be
+/// deterministic per (current vc, from, to) so that body flits follow
+/// their head.
+class VcSelector {
+ public:
+  virtual ~VcSelector() = default;
+  /// VC for the first hop (injection channel).
+  [[nodiscard]] virtual std::uint32_t initial_vc(NodeId src, NodeId dst) const = 0;
+  /// VC on channel `to`, arriving from channel `from` on `current`.
+  [[nodiscard]] virtual std::uint32_t next_vc(std::uint32_t current, ChannelId from,
+                                              ChannelId to) const = 0;
+};
+
+/// Everything stays on VC 0 — degenerates to the plain wormhole router.
+class SingleVc final : public VcSelector {
+ public:
+  [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId) const override { return 0; }
+  [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId,
+                                      ChannelId) const override {
+    return current;
+  }
+};
+
+/// Dally–Seitz dateline: packets start on VC 0 and step to the next VC
+/// whenever they traverse a dateline channel, so dependencies cannot close
+/// around a ring.
+class DatelineVc final : public VcSelector {
+ public:
+  DatelineVc(std::vector<ChannelId> datelines, std::uint32_t vc_count);
+  [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId) const override { return 0; }
+  [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId from,
+                                      ChannelId to) const override;
+
+ private:
+  std::vector<char> is_dateline_;
+  std::uint32_t vc_count_;
+};
+
+struct VcSimConfig {
+  std::uint32_t vcs_per_channel = 2;
+  /// FIFO depth per virtual channel (total buffering per physical input
+  /// port = vcs_per_channel * fifo_depth — the §2 cost).
+  std::uint32_t fifo_depth = 4;
+  std::uint32_t flits_per_packet = 8;
+  std::uint32_t no_progress_threshold = 2000;
+};
+
+/// Cycle-based virtual-channel wormhole simulator. API mirrors
+/// WormholeSim where the concepts coincide.
+class VcWormholeSim {
+ public:
+  /// `net` and `selector` must outlive the simulator; `table` is copied.
+  VcWormholeSim(const Network& net, RoutingTable table, const VcSelector& selector,
+                const VcSimConfig& config);
+
+  PacketId offer_packet(NodeId src, NodeId dst);
+  void step();
+  RunResult run_until_drained(std::uint64_t max_cycles);
+
+  [[nodiscard]] std::uint64_t now() const { return cycle_; }
+  [[nodiscard]] bool deadlocked() const { return deadlocked_; }
+  [[nodiscard]] std::size_t packets_offered() const { return packets_.size(); }
+  [[nodiscard]] std::size_t packets_delivered() const { return delivered_count_; }
+  [[nodiscard]] std::size_t flits_in_flight() const;
+  [[nodiscard]] const PacketRecord& packet(PacketId id) const;
+  [[nodiscard]] const SimMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+  [[nodiscard]] const VcSimConfig& config() const { return config_; }
+  /// Total buffer flits across the fabric (the §2 cost figure).
+  [[nodiscard]] std::size_t total_buffer_flits() const;
+
+ private:
+  struct VcFlit {
+    Flit flit;
+    std::uint32_t vc = 0;
+  };
+  struct NodeSendState {
+    PacketId current = kNoPacket;
+    std::uint32_t flits_sent = 0;
+    std::uint32_t vc = 0;
+    std::deque<PacketId> queue;
+  };
+
+  [[nodiscard]] std::size_t slot(ChannelId c, std::uint32_t vc) const {
+    return c.index() * config_.vcs_per_channel + vc;
+  }
+  [[nodiscard]] bool downstream_has_space(ChannelId c, std::uint32_t vc) const;
+  void place_on_wire(ChannelId c, VcFlit flit);
+
+  void deliver_wires();
+  void allocate_outputs();
+  void traverse_crossbars();
+  void inject_from_nodes();
+
+  const Network& net_;
+  RoutingTable table_;
+  const VcSelector& selector_;
+  VcSimConfig config_;
+
+  std::uint64_t cycle_ = 0;
+  bool progress_this_cycle_ = false;
+  std::uint64_t cycles_without_progress_ = 0;
+  bool deadlocked_ = false;
+
+  std::vector<PacketRecord> packets_;
+  std::size_t delivered_count_ = 0;
+
+  // Physical wire per channel; FIFOs, ownership and grants per (channel, vc).
+  std::vector<VcFlit> wire_;
+  std::vector<std::deque<Flit>> fifo_;      // [slot]
+  std::vector<PacketId> owner_;             // [slot] of the *output* side
+  std::vector<ChannelId> granted_out_;      // [slot] of the input side
+  std::vector<std::uint32_t> granted_vc_;   // [slot]
+  std::vector<NodeSendState> senders_;
+
+  SimMetrics metrics_;
+};
+
+}  // namespace servernet::sim

@@ -1,0 +1,406 @@
+#include "sim/wormhole_sim.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace servernet::sim {
+
+WormholeSim::WormholeSim(const Network& net, RoutingTable table, const SimConfig& config)
+    : net_(net), table_(std::move(table)), config_(config) {
+  SN_REQUIRE(config.fifo_depth >= 1, "FIFO depth must be at least one flit");
+  SN_REQUIRE(config.flits_per_packet >= 1, "packets need at least one flit");
+  const std::size_t channels = net.channel_count();
+  wire_.assign(channels, Flit{});
+  fifo_.assign(channels, {});
+  owner_.assign(channels, kNoPacket);
+  failed_.assign(channels, 0);
+  rr_pointer_.assign(channels, 0);
+  stall_cycles_.assign(channels, 0);
+  popped_.assign(channels, 0);
+  granted_out_.assign(channels, ChannelId::invalid());
+  senders_.resize(net.node_count());
+  next_sequence_to_offer_.assign(net.node_count() * net.node_count(), 0);
+  next_sequence_to_deliver_.assign(net.node_count() * net.node_count(), 0);
+  metrics_.on_init(channels);
+}
+
+PacketId WormholeSim::offer_packet(NodeId src, NodeId dst) {
+  SN_REQUIRE(src.index() < net_.node_count() && dst.index() < net_.node_count(),
+             "packet endpoints out of range");
+  SN_REQUIRE(!(src == dst), "packets must leave their source");
+  const auto id = static_cast<PacketId>(packets_.size());
+  PacketRecord rec;
+  rec.src = src;
+  rec.dst = dst;
+  rec.flits = config_.flits_per_packet;
+  rec.offered_cycle = cycle_;
+  rec.sequence = next_sequence_to_offer_[src.index() * net_.node_count() + dst.index()]++;
+  packets_.push_back(rec);
+  senders_[src.index()].queue.push_back(id);
+  return id;
+}
+
+void WormholeSim::fail_channel(ChannelId c) {
+  SN_REQUIRE(c.index() < failed_.size(), "channel id out of range");
+  failed_[c.index()] = 1;
+}
+
+bool WormholeSim::channel_failed(ChannelId c) const {
+  SN_REQUIRE(c.index() < failed_.size(), "channel id out of range");
+  return failed_[c.index()] != 0;
+}
+
+void WormholeSim::enforce_turns(TurnMask mask) {
+  SN_REQUIRE(mask.router_count() == net_.router_count(), "turn mask/network mismatch");
+  SN_REQUIRE(!multipath_, "turn enforcement and adaptive routing are mutually exclusive");
+  turn_mask_ = std::move(mask);
+}
+
+void WormholeSim::route_adaptively(MultipathTable multipath) {
+  SN_REQUIRE(multipath.router_count() == net_.router_count() &&
+                 multipath.node_count() == net_.node_count(),
+             "multipath table/network mismatch");
+  SN_REQUIRE(!turn_mask_, "turn enforcement and adaptive routing are mutually exclusive");
+  multipath_ = std::move(multipath);
+}
+
+void WormholeSim::enable_timeout_retry(std::uint32_t timeout) {
+  SN_REQUIRE(timeout >= 1, "retry timeout must be positive");
+  retry_timeout_ = timeout;
+}
+
+Flit WormholeSim::fifo_head(ChannelId c) const {
+  const auto& q = fifo_[c.index()];
+  return q.empty() ? Flit{} : q.front();
+}
+
+ChannelId WormholeSim::requested_output(ChannelId in) const {
+  const Flit head = fifo_head(in);
+  if (!head.valid()) return ChannelId::invalid();
+  if (granted_out_[in.index()].valid()) return granted_out_[in.index()];
+  const Terminal at = net_.channel(in).dst;
+  if (!at.is_router()) return ChannelId::invalid();
+  const RouterId router = at.router_id();
+  PortIndex port = table_.port(router, packets_[head.packet].dst);
+  if (multipath_) {
+    const auto& set = multipath_->choices(router, packets_[head.packet].dst);
+    port = set.empty() ? kInvalidPort : set.front();
+  }
+  if (port == kInvalidPort) return ChannelId::invalid();
+  // §2.4 path-disable enforcement: the crossbar refuses turns outside the
+  // programmed mask, whatever the (possibly corrupted) table asks for.
+  if (turn_mask_ && !turn_mask_->allowed(router, net_.channel(in).dst_port, port)) {
+    return ChannelId::invalid();
+  }
+  return net_.router_out(router, port);
+}
+
+std::vector<ChannelId> WormholeSim::masked_turn_waits() const {
+  std::vector<ChannelId> waits;
+  if (!turn_mask_) return waits;
+  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
+    const ChannelId in{ci};
+    const Flit head = fifo_head(in);
+    if (!head.valid() || granted_out_[ci].valid()) continue;
+    const Terminal at = net_.channel(in).dst;
+    if (!at.is_router()) continue;
+    const PortIndex port = table_.port(at.router_id(), packets_[head.packet].dst);
+    if (port == kInvalidPort) continue;
+    if (!turn_mask_->allowed(at.router_id(), net_.channel(in).dst_port, port)) {
+      waits.push_back(in);
+    }
+  }
+  return waits;
+}
+
+std::vector<ChannelId> WormholeSim::blocked_injection_channels() const {
+  std::vector<ChannelId> blocked;
+  for (std::size_t ni = 0; ni < senders_.size(); ++ni) {
+    if (senders_[ni].current == kNoPacket) continue;
+    const ChannelId out = net_.node_out(NodeId{ni}, 0);
+    if (out.valid() && failed_[out.index()]) blocked.push_back(out);
+  }
+  return blocked;
+}
+
+bool WormholeSim::downstream_has_space(ChannelId c) const {
+  if (!net_.channel(c).dst.is_router()) return true;  // nodes sink a flit per cycle
+  const std::size_t committed = fifo_[c.index()].size() + (wire_[c.index()].valid() ? 1 : 0);
+  return committed < config_.fifo_depth;
+}
+
+void WormholeSim::place_on_wire(ChannelId c, Flit flit) {
+  SN_ASSERT(!wire_[c.index()].valid());
+  wire_[c.index()] = flit;
+  metrics_.on_wire_busy(c.index());
+  progress_this_cycle_ = true;
+}
+
+void WormholeSim::deliver_wires() {
+  for (std::size_t ci = 0; ci < wire_.size(); ++ci) {
+    Flit& flit = wire_[ci];
+    if (!flit.valid()) continue;
+    const Terminal dst = net_.channel(ChannelId{ci}).dst;
+    if (dst.is_router()) {
+      SN_ASSERT(fifo_[ci].size() < config_.fifo_depth);
+      fifo_[ci].push_back(flit);
+    } else {
+      PacketRecord& rec = packets_[flit.packet];
+      if (flit.is_tail) {
+        rec.delivered_cycle = cycle_;
+        if (dst.node_id() == rec.dst) {
+          rec.delivered = true;
+          ++delivered_count_;
+          metrics_.on_packet_delivered(rec.offered_cycle, cycle_, rec.flits);
+          const std::size_t stream = rec.src.index() * net_.node_count() + rec.dst.index();
+          if (rec.sequence != next_sequence_to_deliver_[stream]) {
+            metrics_.on_out_of_order_delivery();
+            // Resynchronize past the gap so a single reorder is counted once.
+            next_sequence_to_deliver_[stream] = rec.sequence + 1;
+          } else {
+            ++next_sequence_to_deliver_[stream];
+          }
+        } else {
+          // Only a corrupted routing table can steer a packet to the wrong
+          // node; count it (never crash — corruption drills rely on this).
+          ++misdelivered_count_;
+        }
+      }
+    }
+    flit = Flit{};
+    progress_this_cycle_ = true;
+  }
+}
+
+void WormholeSim::allocate_outputs() {
+  // For every router, gather head flits awaiting a grant and arbitrate per
+  // output channel, round-robin over the router's input ports.
+  for (RouterId r : net_.all_routers()) {
+    const PortIndex ports = net_.router_ports(r);
+    for (PortIndex out_port = 0; out_port < ports; ++out_port) {
+      const ChannelId out = net_.router_out(r, out_port);
+      if (!out.valid() || owner_[out.index()] != kNoPacket) continue;
+      // Scan input ports starting at the round-robin pointer.
+      const std::uint32_t start = rr_pointer_[out.index()];
+      for (PortIndex offset = 0; offset < ports; ++offset) {
+        const PortIndex in_port = (start + offset) % ports;
+        const ChannelId in = net_.router_in(r, in_port);
+        if (!in.valid()) continue;
+        const Flit head = fifo_head(in);
+        if (!head.valid() || !head.is_head || granted_out_[in.index()].valid()) continue;
+        if (requested_output(in) != out) continue;
+        owner_[out.index()] = head.packet;
+        granted_out_[in.index()] = out;
+        rr_pointer_[out.index()] = (in_port + 1) % ports;
+        break;
+      }
+    }
+  }
+}
+
+void WormholeSim::allocate_outputs_adaptive() {
+  // Input-centric allocation: every waiting head picks the free admissible
+  // output with the most downstream credit (§3.3's non-busy-link rule).
+  for (RouterId r : net_.all_routers()) {
+    const PortIndex ports = net_.router_ports(r);
+    for (PortIndex in_port = 0; in_port < ports; ++in_port) {
+      const ChannelId in = net_.router_in(r, in_port);
+      if (!in.valid()) continue;
+      const Flit head = fifo_head(in);
+      if (!head.valid() || !head.is_head || granted_out_[in.index()].valid()) continue;
+      const auto& set = multipath_->choices(r, packets_[head.packet].dst);
+      ChannelId best = ChannelId::invalid();
+      std::size_t best_credit = 0;
+      for (const PortIndex port : set) {
+        const ChannelId out = net_.router_out(r, port);
+        if (!out.valid() || owner_[out.index()] != kNoPacket || failed_[out.index()]) continue;
+        std::size_t credit = 1;  // delivery channels: always willing
+        if (net_.channel(out).dst.is_router()) {
+          const std::size_t used =
+              fifo_[out.index()].size() + (wire_[out.index()].valid() ? 1 : 0);
+          credit = config_.fifo_depth - std::min<std::size_t>(used, config_.fifo_depth);
+        }
+        if (!best.valid() || credit > best_credit) {
+          best = out;
+          best_credit = credit;
+        }
+      }
+      if (best.valid()) {
+        owner_[best.index()] = head.packet;
+        granted_out_[in.index()] = best;
+      }
+    }
+  }
+}
+
+void WormholeSim::update_stall_counters_and_retry() {
+  PacketId victim = kNoPacket;
+  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
+    if (fifo_[ci].empty() || popped_[ci]) {
+      stall_cycles_[ci] = 0;
+      continue;
+    }
+    if (++stall_cycles_[ci] >= retry_timeout_ && victim == kNoPacket) {
+      victim = fifo_[ci].front().packet;
+    }
+  }
+  if (victim != kNoPacket) purge_and_retry(victim);
+}
+
+void WormholeSim::purge_and_retry(PacketId victim) {
+  // "discard the packets in progress, and re-send the lost packets" (§2).
+  // 1. Release grants whose active run belongs to the victim.
+  for (std::size_t in = 0; in < granted_out_.size(); ++in) {
+    const ChannelId out = granted_out_[in];
+    if (out.valid() && owner_[out.index()] == victim) {
+      granted_out_[in] = ChannelId::invalid();
+    }
+  }
+  for (PacketId& o : owner_) {
+    if (o == victim) o = kNoPacket;
+  }
+  // 2. Drop the victim's flits from every buffer and wire.
+  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
+    auto& q = fifo_[ci];
+    std::erase_if(q, [&](const Flit& f) { return f.packet == victim; });
+    stall_cycles_[ci] = 0;
+    if (wire_[ci].valid() && wire_[ci].packet == victim) wire_[ci] = Flit{};
+  }
+  // 3. Abort any in-progress injection and queue a full resend.
+  PacketRecord& rec = packets_[victim];
+  NodeSendState& sender = senders_[rec.src.index()];
+  if (sender.current == victim) sender.current = kNoPacket;
+  rec.injected = false;
+  sender.queue.push_back(victim);
+  ++retried_count_;
+  progress_this_cycle_ = true;  // the purge itself is forward progress
+}
+
+void WormholeSim::traverse_crossbars() {
+  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
+    auto& q = fifo_[ci];
+    if (q.empty()) continue;
+    const ChannelId out = granted_out_[ci];
+    if (!out.valid()) continue;  // head still waiting for a grant
+    const Flit flit = q.front();
+    SN_ASSERT(owner_[out.index()] == flit.packet);
+    if (failed_[out.index()] || wire_[out.index()].valid() || !downstream_has_space(out)) {
+      continue;
+    }
+    q.pop_front();
+    popped_[ci] = 1;
+    place_on_wire(out, flit);
+    if (flit.is_tail) {
+      owner_[out.index()] = kNoPacket;
+      granted_out_[ci] = ChannelId::invalid();
+    }
+  }
+}
+
+void WormholeSim::inject_from_nodes() {
+  for (std::size_t ni = 0; ni < senders_.size(); ++ni) {
+    NodeSendState& state = senders_[ni];
+    if (state.current == kNoPacket) {
+      if (state.queue.empty()) continue;
+      state.current = state.queue.front();
+      state.queue.pop_front();
+      state.flits_sent = 0;
+    }
+    const ChannelId out = net_.node_out(NodeId{ni}, 0);
+    SN_REQUIRE(out.valid(), "sending node has no wired port");
+    if (failed_[out.index()] || wire_[out.index()].valid() || !downstream_has_space(out)) {
+      continue;
+    }
+    PacketRecord& rec = packets_[state.current];
+    Flit flit;
+    flit.packet = state.current;
+    flit.is_head = state.flits_sent == 0;
+    flit.is_tail = state.flits_sent + 1 == rec.flits;
+    if (flit.is_head) {
+      rec.injected = true;
+      rec.injected_cycle = cycle_;
+    }
+    place_on_wire(out, flit);
+    ++state.flits_sent;
+    if (flit.is_tail) state.current = kNoPacket;
+  }
+}
+
+void WormholeSim::step() {
+  SN_REQUIRE(!deadlocked_, "simulator is deadlocked; inspect state or reset");
+  progress_this_cycle_ = false;
+  std::fill(popped_.begin(), popped_.end(), 0);
+  deliver_wires();
+  if (multipath_) {
+    allocate_outputs_adaptive();
+  } else {
+    allocate_outputs();
+  }
+  traverse_crossbars();
+  inject_from_nodes();
+  if (retry_timeout_ > 0) update_stall_counters_and_retry();
+  ++cycle_;
+  if (progress_this_cycle_ || flits_in_flight() == 0) {
+    cycles_without_progress_ = 0;
+  } else if (++cycles_without_progress_ >= config_.no_progress_threshold) {
+    deadlocked_ = true;
+  }
+}
+
+std::size_t WormholeSim::flits_in_flight() const {
+  std::size_t n = 0;
+  for (const auto& q : fifo_) n += q.size();
+  for (const Flit& w : wire_) {
+    if (w.valid()) ++n;
+  }
+  for (const NodeSendState& s : senders_) {
+    if (s.current != kNoPacket) {
+      n += packets_[s.current].flits - s.flits_sent;
+    }
+  }
+  return n;
+}
+
+const PacketRecord& WormholeSim::packet(PacketId id) const {
+  SN_REQUIRE(id < packets_.size(), "packet id out of range");
+  return packets_[id];
+}
+
+RunResult WormholeSim::run_until_drained(std::uint64_t max_cycles) {
+  RunResult result;
+  const std::uint64_t start = cycle_;
+  while (delivered_count_ + misdelivered_count_ < packets_.size()) {
+    if (cycle_ - start >= max_cycles) {
+      result.outcome = RunOutcome::kCycleLimit;
+      result.cycles = cycle_ - start;
+      return result;
+    }
+    step();
+    if (deadlocked_) {
+      result.outcome = RunOutcome::kDeadlocked;
+      result.cycles = cycle_ - start;
+      return result;
+    }
+  }
+  result.outcome = RunOutcome::kCompleted;
+  result.cycles = cycle_ - start;
+  return result;
+}
+
+RunResult WormholeSim::run_for(std::uint64_t cycles) {
+  RunResult result;
+  const std::uint64_t start = cycle_;
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    step();
+    if (deadlocked_) {
+      result.outcome = RunOutcome::kDeadlocked;
+      result.cycles = cycle_ - start;
+      return result;
+    }
+  }
+  result.outcome = RunOutcome::kCompleted;
+  result.cycles = cycle_ - start;
+  return result;
+}
+
+}  // namespace servernet::sim

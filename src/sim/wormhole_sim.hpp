@@ -1,0 +1,193 @@
+// Cycle-based wormhole-routing network simulator.
+//
+// Models the ServerNet router described in §1 of the paper: input FIFO
+// buffers per port, a non-blocking crossbar, and table-driven routing. The
+// head flit of a packet claims an output port; body flits stream behind it
+// (cut-through), and the port is released when the tail passes — so a
+// blocked packet holds a chain of channels, which is exactly the mechanism
+// behind Figure 1's deadlock.
+//
+// Model specifics (substitution for the 50 MB/s byte-serial hardware — see
+// DESIGN.md):
+//  * one flit per channel per cycle, one-cycle link latency;
+//  * credit flow control: a flit leaves only when the downstream input
+//    FIFO is guaranteed a slot;
+//  * round-robin output arbitration among requesting input ports;
+//  * destination nodes sink one flit per cycle per port;
+//  * deterministic given (network, table, seed, offered traffic).
+//
+// Deadlock is detected as sustained lack of flit movement while flits are
+// in flight; sim/deadlock_detector.hpp then extracts the wait-for cycle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "route/multipath.hpp"
+#include "route/routing_table.hpp"
+#include "route/turn_mask.hpp"
+#include "sim/flit.hpp"
+#include "sim/metrics.hpp"
+#include "sim/run_result.hpp"
+#include "topo/network.hpp"
+
+namespace servernet::sim {
+
+struct SimConfig {
+  /// Input FIFO depth, in flits, per router input port.
+  std::uint32_t fifo_depth = 8;
+  /// Flits per packet (head and tail included). 1 models a pure
+  /// store-and-forward datagram; larger values make wormhole blocking —
+  /// and deadlock — progressively easier to exhibit.
+  std::uint32_t flits_per_packet = 8;
+  /// Consecutive cycles without any flit movement, with flits in flight,
+  /// after which the run is declared deadlocked.
+  std::uint32_t no_progress_threshold = 2000;
+};
+
+class WormholeSim {
+ public:
+  /// `net` must outlive the simulator; `table` is copied.
+  WormholeSim(const Network& net, RoutingTable table, const SimConfig& config);
+
+  /// Queues a packet at `src`'s injection queue. Returns its id.
+  PacketId offer_packet(NodeId src, NodeId dst);
+
+  /// Hardware fault injection: the channel stops transmitting from now on
+  /// (flits already on the wire still arrive). Packets routed into it
+  /// stall — indistinguishable from congestion by timeout alone, which is
+  /// §2's argument against retry-based deadlock recovery; see
+  /// classify_stall() in sim/deadlock_detector.hpp for the distinction.
+  void fail_channel(ChannelId c);
+  [[nodiscard]] bool channel_failed(ChannelId c) const;
+
+  /// Arms the §2.4 path-disable logic: turns absent from `mask` are never
+  /// performed, whatever the routing table says. With a mask whose turn
+  /// graph is acyclic, even a corrupted table cannot deadlock the fabric
+  /// (it can stall or misdeliver — both are counted).
+  void enforce_turns(TurnMask mask);
+  [[nodiscard]] bool turns_enforced() const { return turn_mask_.has_value(); }
+
+  /// §3.3's "dynamically select a non-busy link": packet heads may be
+  /// allocated to any port in the multipath choice set; the free output
+  /// with the most downstream credit wins. Body flits still follow their
+  /// head (wormhole). Mutually exclusive with enforce_turns.
+  void route_adaptively(MultipathTable multipath);
+  [[nodiscard]] bool adaptive() const { return multipath_.has_value(); }
+
+  /// §2's rejected recovery scheme: "detect deadlocks with timeout
+  /// counters, discard the packets in progress, and re-send the lost
+  /// packets." A packet whose flits sit unmoved at one buffer for
+  /// `timeout` cycles is purged in place and re-offered at its source.
+  void enable_timeout_retry(std::uint32_t timeout);
+  [[nodiscard]] std::size_t packets_retried() const { return retried_count_; }
+
+  /// Advances one cycle.
+  void step();
+
+  /// Runs until all offered packets are delivered, the cycle budget is
+  /// exhausted, or a deadlock is detected.
+  RunResult run_until_drained(std::uint64_t max_cycles);
+
+  /// Runs exactly `cycles` cycles (stops early only on deadlock).
+  RunResult run_for(std::uint64_t cycles);
+
+  // ---- state inspection -----------------------------------------------------
+
+  [[nodiscard]] std::uint64_t now() const { return cycle_; }
+  [[nodiscard]] bool deadlocked() const { return deadlocked_; }
+  [[nodiscard]] std::size_t packets_offered() const { return packets_.size(); }
+  /// Packets whose tail reached the *correct* node.
+  [[nodiscard]] std::size_t packets_delivered() const { return delivered_count_; }
+  /// Packets a (corrupted) table delivered to the wrong node.
+  [[nodiscard]] std::size_t packets_misdelivered() const { return misdelivered_count_; }
+  [[nodiscard]] std::size_t flits_in_flight() const;
+  [[nodiscard]] const PacketRecord& packet(PacketId id) const;
+  [[nodiscard]] const SimMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  // ---- low-level state, exposed for the deadlock detector --------------------
+
+  /// Packet currently streaming through (owning) a router output channel,
+  /// or kNoPacket.
+  [[nodiscard]] PacketId output_owner(ChannelId c) const { return owner_[c.index()]; }
+  /// FIFO occupancy at the downstream end of a channel.
+  [[nodiscard]] std::size_t fifo_occupancy(ChannelId c) const { return fifo_[c.index()].size(); }
+  /// Head flit of a channel's downstream FIFO (invalid Flit if empty).
+  [[nodiscard]] Flit fifo_head(ChannelId c) const;
+  /// The output channel the head packet of `in`'s FIFO needs next
+  /// (invalid if the FIFO is empty or delivers to a node).
+  [[nodiscard]] ChannelId requested_output(ChannelId in) const;
+  /// Injection channels on which a sender is mid-packet but the channel
+  /// has failed (the source is frozen).
+  [[nodiscard]] std::vector<ChannelId> blocked_injection_channels() const;
+  /// In-channels whose head packet is blocked because the enforced turn
+  /// mask forbids the turn its (possibly corrupted) table entry requests.
+  [[nodiscard]] std::vector<ChannelId> masked_turn_waits() const;
+
+ private:
+  struct NodeSendState {
+    PacketId current = kNoPacket;
+    std::uint32_t flits_sent = 0;
+    std::deque<PacketId> queue;
+  };
+
+  void deliver_wires();
+  void allocate_outputs();
+  void allocate_outputs_adaptive();
+  void traverse_crossbars();
+  void inject_from_nodes();
+  void update_stall_counters_and_retry();
+  void purge_and_retry(PacketId victim);
+
+  [[nodiscard]] bool downstream_has_space(ChannelId c) const;
+  void place_on_wire(ChannelId c, Flit flit);
+
+  const Network& net_;
+  // Owned copy: callers routinely pass freshly-derived tables (rvalues),
+  // and the simulator outlives those expressions.
+  RoutingTable table_;
+  SimConfig config_;
+
+  std::uint64_t cycle_ = 0;
+  bool progress_this_cycle_ = false;
+  std::uint64_t cycles_without_progress_ = 0;
+  bool deadlocked_ = false;
+
+  std::vector<PacketRecord> packets_;
+  std::size_t delivered_count_ = 0;
+  std::size_t misdelivered_count_ = 0;
+  std::size_t retried_count_ = 0;
+  std::uint32_t retry_timeout_ = 0;  // 0 = disabled
+  std::optional<TurnMask> turn_mask_;
+  std::optional<MultipathTable> multipath_;
+
+  // Per channel: the flit on the wire this cycle (arrives downstream next
+  // cycle), the FIFO at the downstream end, the owning packet for
+  // router-outgoing channels, and a round-robin pointer per channel for
+  // output arbitration.
+  std::vector<Flit> wire_;
+  std::vector<std::deque<Flit>> fifo_;
+  std::vector<PacketId> owner_;
+  std::vector<char> failed_;
+  std::vector<std::uint32_t> rr_pointer_;
+  // Timeout-retry bookkeeping: per channel, cycles the FIFO head has sat
+  // unmoved, and whether a flit was popped this cycle.
+  std::vector<std::uint32_t> stall_cycles_;
+  std::vector<char> popped_;
+  // For router-incoming channels: the output channel the current head run
+  // has been granted (invalid when no grant is active).
+  std::vector<ChannelId> granted_out_;
+
+  std::vector<NodeSendState> senders_;
+  // In-order delivery checking: next expected sequence per (src,dst).
+  std::vector<std::uint64_t> next_sequence_to_offer_;
+  std::vector<std::uint64_t> next_sequence_to_deliver_;
+
+  SimMetrics metrics_;
+};
+
+}  // namespace servernet::sim

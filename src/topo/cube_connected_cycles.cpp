@@ -1,0 +1,58 @@
+#include "topo/cube_connected_cycles.hpp"
+
+#include <string>
+
+namespace servernet {
+
+CubeConnectedCycles::CubeConnectedCycles(const CccSpec& spec) : spec_(spec), net_("ccc") {
+  SN_REQUIRE(spec.dimensions >= 3, "CCC needs dimension >= 3 (distinct cycle neighbours)");
+  SN_REQUIRE(spec.router_ports >= 3 + spec.nodes_per_router,
+             "router needs 3 CCC ports plus node ports");
+  net_.set_name("ccc-" + std::to_string(spec.dimensions) + "d");
+
+  const std::uint32_t corners = 1U << spec.dimensions;
+  const std::uint32_t d = spec.dimensions;
+  for (std::uint32_t c = 0; c < corners; ++c) {
+    for (std::uint32_t p = 0; p < d; ++p) {
+      net_.add_router(spec.router_ports,
+                      "c" + std::to_string(c) + "p" + std::to_string(p));
+    }
+  }
+  for (std::uint32_t c = 0; c < corners; ++c) {
+    for (std::uint32_t p = 0; p < d; ++p) {
+      // Cycle link to the next position.
+      net_.connect(Terminal::router(router(c, p)), ccc_port::kCycleNext,
+                   Terminal::router(router(c, (p + 1) % d)), ccc_port::kCyclePrev);
+      // Hypercube link along dimension p (wire once per pair).
+      const std::uint32_t peer = c ^ (1U << p);
+      if (peer > c) {
+        net_.connect(Terminal::router(router(c, p)), ccc_port::kCube,
+                     Terminal::router(router(peer, p)), ccc_port::kCube);
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c < corners; ++c) {
+    for (std::uint32_t p = 0; p < d; ++p) {
+      for (std::uint32_t k = 0; k < spec.nodes_per_router; ++k) {
+        const NodeId n = net_.add_node(1);
+        net_.connect(Terminal::node(n), 0, Terminal::router(router(c, p)),
+                     ccc_port::kFirstNode + k);
+      }
+    }
+  }
+  net_.validate();
+}
+
+RouterId CubeConnectedCycles::router(std::uint32_t corner, std::uint32_t position) const {
+  SN_REQUIRE(corner < corner_count(), "corner out of range");
+  SN_REQUIRE(position < spec_.dimensions, "cycle position out of range");
+  return RouterId{corner * spec_.dimensions + position};
+}
+
+NodeId CubeConnectedCycles::node(std::uint32_t corner, std::uint32_t position,
+                                 std::uint32_t k) const {
+  SN_REQUIRE(k < spec_.nodes_per_router, "node slot out of range");
+  return NodeId{(corner * spec_.dimensions + position) * spec_.nodes_per_router + k};
+}
+
+}  // namespace servernet

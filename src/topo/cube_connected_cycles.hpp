@@ -1,0 +1,47 @@
+// Cube-connected cycles — one of the "proposed topologies for MPP routing
+// networks" the paper surveys in §2.
+//
+// CCC(d): take a d-dimensional hypercube and replace each corner with a
+// cycle of d routers; router (corner, position) keeps the hypercube link
+// of dimension `position` plus two cycle links. Degree is fixed at 3, so
+// a 6-port ServerNet router has three ports left for nodes — the
+// structural selling point versus the hypercube's growing radix.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct CccSpec {
+  std::uint32_t dimensions = 3;
+  std::uint32_t nodes_per_router = 1;
+  PortIndex router_ports = kServerNetRouterPorts;
+};
+
+namespace ccc_port {
+inline constexpr PortIndex kCycleNext = 0;  // (corner, pos) -> (corner, pos+1 mod d)
+inline constexpr PortIndex kCyclePrev = 1;
+inline constexpr PortIndex kCube = 2;  // to (corner ^ (1<<pos), pos)
+inline constexpr PortIndex kFirstNode = 3;
+}  // namespace ccc_port
+
+class CubeConnectedCycles {
+ public:
+  explicit CubeConnectedCycles(const CccSpec& spec);
+
+  [[nodiscard]] const CccSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+
+  [[nodiscard]] RouterId router(std::uint32_t corner, std::uint32_t position) const;
+  [[nodiscard]] NodeId node(std::uint32_t corner, std::uint32_t position,
+                            std::uint32_t k = 0) const;
+  [[nodiscard]] std::uint32_t corner_count() const { return 1U << spec_.dimensions; }
+
+ private:
+  CccSpec spec_;
+  Network net_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,51 @@
+#include "topo/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace servernet {
+
+namespace {
+
+std::string dot_id(const Terminal& t) {
+  std::ostringstream os;
+  os << (t.is_router() ? 'r' : 'n') << t.index;
+  return os.str();
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Network& net, const DotOptions& options) {
+  const char* graph_kind = options.collapse_duplex ? "graph" : "digraph";
+  const char* edge_op = options.collapse_duplex ? " -- " : " -> ";
+  os << graph_kind << " \"" << net.name() << "\" {\n";
+  os << "  node [shape=circle];\n";
+  for (RouterId r : net.all_routers()) {
+    os << "  r" << r.value() << " [label=\""
+       << (net.router_label(r).empty() ? "R" + std::to_string(r.value()) : net.router_label(r))
+       << "\"];\n";
+  }
+  if (options.include_nodes) {
+    for (NodeId n : net.all_nodes()) {
+      os << "  n" << n.value() << " [shape=box, label=\""
+         << (net.node_label(n).empty() ? std::to_string(n.value()) : net.node_label(n))
+         << "\"];\n";
+    }
+  }
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const ChannelId id{ci};
+    const Channel& c = net.channel(id);
+    if (options.collapse_duplex && c.reverse.index() < ci) continue;  // emit each cable once
+    if (!options.include_nodes && (c.src.is_node() || c.dst.is_node())) continue;
+    os << "  " << dot_id(c.src) << edge_op << dot_id(c.dst) << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Network& net, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(os, net, options);
+  return os.str();
+}
+
+}  // namespace servernet

@@ -1,0 +1,26 @@
+// Graphviz DOT export for visual inspection of constructed topologies —
+// handy for eyeballing the fractahedral structures against the paper's
+// Figures 4–7.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct DotOptions {
+  /// Include end nodes (true) or routers only (false).
+  bool include_nodes = true;
+  /// Render duplex pairs as one undirected edge instead of two arcs.
+  bool collapse_duplex = true;
+};
+
+/// Writes `net` as a Graphviz graph to `os`.
+void write_dot(std::ostream& os, const Network& net, const DotOptions& options = {});
+
+/// Same, returning the text.
+[[nodiscard]] std::string to_dot(const Network& net, const DotOptions& options = {});
+
+}  // namespace servernet

@@ -1,0 +1,174 @@
+#include "topo/fat_tree.hpp"
+
+#include <string>
+
+namespace servernet {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FatTree::FatTree(const FatTreeSpec& spec) : spec_(spec), net_("fat-tree") {
+  SN_REQUIRE(spec.nodes >= 2, "fat tree needs at least two nodes");
+  SN_REQUIRE(spec.down >= 2, "fat tree needs down >= 2");
+  SN_REQUIRE(spec.up >= 1, "fat tree needs up >= 1");
+  SN_REQUIRE(spec.router_ports >= spec.down + spec.up,
+             "router radix too small for the down/up partition");
+  net_.set_name("fat-tree-" + std::to_string(spec.down) + "-" + std::to_string(spec.up) + "-" +
+                std::to_string(spec.nodes) + "n");
+
+  while (down_pow(root_level_ + 1) < spec.nodes) ++root_level_;
+
+  // Create routers level by level.
+  routers_.resize(root_level_ + 1);
+  for (std::uint32_t l = 0; l <= root_level_; ++l) {
+    const std::size_t vcount = virtual_switches(l);
+    const std::size_t reps = replicas(l);
+    routers_[l].reserve(vcount * reps);
+    for (std::size_t v = 0; v < vcount; ++v) {
+      for (std::size_t p = 0; p < reps; ++p) {
+        routers_[l].push_back(net_.add_router(
+            spec.router_ports, "L" + std::to_string(l) + "V" + std::to_string(v) + "R" +
+                                   std::to_string(p)));
+      }
+    }
+  }
+
+  // Wire parent down ports to child uplinks.
+  for (std::uint32_t l = 1; l <= root_level_; ++l) {
+    const std::size_t child_vcount = virtual_switches(l - 1);
+    for (std::size_t v = 0; v < virtual_switches(l); ++v) {
+      for (std::uint32_t c = 0; c < spec.down; ++c) {
+        const std::size_t cv = v * spec.down + c;
+        if (cv >= child_vcount) continue;  // pruned subtree
+        for (std::size_t k = 0; k < replicas(l); ++k) {
+          const RouterId parent = router(l, v, k);
+          const RouterId child = router(l - 1, cv, k / spec.up);
+          const auto u = static_cast<PortIndex>(k % spec.up);
+          net_.connect(Terminal::router(parent), c, Terminal::router(child), spec.down + u);
+        }
+      }
+    }
+  }
+
+  // Attach nodes to leaf routers.
+  for (std::uint32_t i = 0; i < spec.nodes; ++i) {
+    const NodeId n = net_.add_node(1);
+    net_.connect(Terminal::node(n), 0, Terminal::router(router(0, i / spec.down, 0)),
+                 i % spec.down);
+  }
+  net_.validate();
+}
+
+std::size_t FatTree::virtual_switches(std::uint32_t level) const {
+  SN_REQUIRE(level <= root_level_, "level out of range");
+  const std::uint64_t span = down_pow(level + 1);
+  return static_cast<std::size_t>((spec_.nodes + span - 1) / span);
+}
+
+std::size_t FatTree::replicas(std::uint32_t level) const {
+  SN_REQUIRE(level <= root_level_, "level out of range");
+  return static_cast<std::size_t>(up_pow(level));
+}
+
+RouterId FatTree::router(std::uint32_t level, std::size_t vswitch, std::size_t replica) const {
+  SN_REQUIRE(level <= root_level_, "level out of range");
+  SN_REQUIRE(vswitch < virtual_switches(level), "virtual switch out of range");
+  SN_REQUIRE(replica < replicas(level), "replica out of range");
+  return routers_[level][vswitch * replicas(level) + replica];
+}
+
+NodeId FatTree::node(std::uint32_t index) const {
+  SN_REQUIRE(index < spec_.nodes, "node index out of range");
+  return NodeId{index};
+}
+
+RouterId FatTree::leaf_router(NodeId n) const {
+  SN_REQUIRE(n.index() < spec_.nodes, "node id out of range");
+  return router(0, n.value() / spec_.down, 0);
+}
+
+std::size_t FatTree::root_replica_for(NodeId dest) const {
+  const std::uint64_t reps = up_pow(root_level_);
+  switch (spec_.policy) {
+    case UplinkPolicy::kHighDigits:
+      return static_cast<std::size_t>(dest.value() * reps / spec_.nodes);
+    case UplinkPolicy::kLowDigits:
+      return static_cast<std::size_t>(dest.value() % reps);
+    case UplinkPolicy::kHashed:
+      return static_cast<std::size_t>(mix64(dest.value()) % reps);
+  }
+  return 0;
+}
+
+RoutingTable FatTree::routing() const {
+  RoutingTable table = RoutingTable::sized_for(net_);
+  for (std::uint32_t l = 0; l <= root_level_; ++l) {
+    const std::uint64_t subtree_span = down_pow(l + 1);
+    for (std::size_t v = 0; v < virtual_switches(l); ++v) {
+      const std::uint64_t lo = v * subtree_span;
+      const std::uint64_t hi = lo + subtree_span;
+      for (std::size_t p = 0; p < replicas(l); ++p) {
+        const RouterId r = router(l, v, p);
+        for (std::uint32_t d = 0; d < spec_.nodes; ++d) {
+          PortIndex port;
+          if (d >= lo && d < hi) {
+            port = static_cast<PortIndex>((d / down_pow(l)) % spec_.down);
+          } else {
+            const std::size_t root_rep = root_replica_for(NodeId{d});
+            const auto u =
+                static_cast<PortIndex>((root_rep / up_pow(root_level_ - 1 - l)) % spec_.up);
+            port = spec_.down + u;
+          }
+          table.set(r, NodeId{d}, port);
+        }
+      }
+    }
+  }
+  return table;
+}
+
+MultipathTable FatTree::adaptive_routing() const {
+  const RoutingTable deterministic = routing();
+  MultipathTable mp = MultipathTable::from_table(net_, deterministic);
+  // Widen every climb entry to all up ports; the deterministic choice
+  // stays first so the projection reproduces routing().
+  for (std::uint32_t l = 0; l < root_level_; ++l) {
+    const std::uint64_t subtree_span = down_pow(l + 1);
+    for (std::size_t v = 0; v < virtual_switches(l); ++v) {
+      const std::uint64_t lo = v * subtree_span;
+      const std::uint64_t hi = lo + subtree_span;
+      for (std::size_t p = 0; p < replicas(l); ++p) {
+        const RouterId r = router(l, v, p);
+        for (std::uint32_t d = 0; d < spec_.nodes; ++d) {
+          if (d >= lo && d < hi) continue;  // descending: keep deterministic
+          for (std::uint32_t u = 0; u < spec_.up; ++u) {
+            mp.add_choice(r, NodeId{d}, spec_.down + u);
+          }
+        }
+      }
+    }
+  }
+  return mp;
+}
+
+std::uint64_t FatTree::down_pow(std::uint32_t exponent) const {
+  std::uint64_t x = 1;
+  for (std::uint32_t i = 0; i < exponent; ++i) x *= spec_.down;
+  return x;
+}
+
+std::uint64_t FatTree::up_pow(std::uint32_t exponent) const {
+  std::uint64_t x = 1;
+  for (std::uint32_t i = 0; i < exponent; ++i) x *= spec_.up;
+  return x;
+}
+
+}  // namespace servernet

@@ -1,0 +1,102 @@
+// Fat trees built from fixed-radix routers (§3.3, Figure 6 of the paper).
+//
+// The paper partitions the six ServerNet router ports into `down` ports
+// (toward nodes) and `up` ports (toward the root): the 4-2 tree halves
+// bandwidth per level, the 3-3 tree keeps it constant. Higher levels are
+// "fattened" by replicating routers.
+//
+// Construction (generalizing the paper's Figure 6):
+//  * Virtual switch tree of arity `down`; the root is at level L, the
+//    smallest L with down^(L+1) >= nodes.
+//  * A virtual switch at level l is implemented by up^l physical replicas.
+//  * Replica p of a child exports `up` uplinks (p*up+u); uplink k wires to
+//    replica k of the parent, down port <child index>.
+//  * Empty subtrees are pruned; the root's up ports stay unwired ("reserved
+//    for future expansion", §2.3).
+//
+// For 64 nodes this yields exactly the paper's router counts: 28 routers
+// for the 4-2 tree (16 leaf + 8 middle + 4 top) and 100 routers for the
+// 3-3 tree.
+//
+// Routing is up*/down* with a static destination-based partition of the
+// parallel uplinks (the paper's EIM/FJN/GKO/HLP labeling): the root replica
+// for destination d is chosen by an UplinkPolicy, and each climb step peels
+// one base-`up` digit off that replica index. The path between any pair of
+// nodes is therefore fixed, preserving ServerNet's in-order delivery
+// guarantee.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/multipath.hpp"
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+/// How the static partition maps a destination to a root replica.
+/// kHighDigits reproduces the paper's Figure 6 labeling (destination
+/// quadrant selects the top-level link); the others are ablations used to
+/// verify the paper's claim that *no* static partitioning beats 12:1 on the
+/// 64-node 4-2 tree.
+enum class UplinkPolicy : std::uint8_t {
+  kHighDigits,  // root replica = floor(dest * replicas / nodes)
+  kLowDigits,   // root replica = dest mod replicas
+  kHashed,      // root replica = splitmix64(dest) mod replicas
+};
+
+struct FatTreeSpec {
+  std::uint32_t nodes = 64;
+  std::uint32_t down = 4;
+  std::uint32_t up = 2;
+  PortIndex router_ports = kServerNetRouterPorts;
+  UplinkPolicy policy = UplinkPolicy::kHighDigits;
+};
+
+class FatTree {
+ public:
+  explicit FatTree(const FatTreeSpec& spec);
+
+  [[nodiscard]] const FatTreeSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+
+  /// Root level index L (leaves are level 0).
+  [[nodiscard]] std::uint32_t levels() const { return root_level_; }
+  /// Number of virtual switches at `level`.
+  [[nodiscard]] std::size_t virtual_switches(std::uint32_t level) const;
+  /// Physical replicas per virtual switch at `level` (= up^level).
+  [[nodiscard]] std::size_t replicas(std::uint32_t level) const;
+  /// Physical router implementing (level, virtual switch, replica).
+  [[nodiscard]] RouterId router(std::uint32_t level, std::size_t vswitch,
+                                std::size_t replica) const;
+
+  [[nodiscard]] NodeId node(std::uint32_t index) const;
+  [[nodiscard]] RouterId leaf_router(NodeId n) const;
+
+  /// Root replica selected for a destination under the configured policy.
+  [[nodiscard]] std::size_t root_replica_for(NodeId dest) const;
+
+  /// The up*/down* routing table described above. Verified deadlock-free by
+  /// the channel-dependency analysis (tests/analysis).
+  [[nodiscard]] RoutingTable routing() const;
+
+  /// §3.3's "dynamically select a non-busy link" variant: on the climb,
+  /// *every* up port is admissible (descent stays deterministic). Still
+  /// up*/down* and therefore deadlock-free, but sequential packets of one
+  /// stream can race each other — the simulator's adaptive mode measures
+  /// the resulting out-of-order deliveries.
+  [[nodiscard]] MultipathTable adaptive_routing() const;
+
+ private:
+  FatTreeSpec spec_;
+  std::uint32_t root_level_ = 0;
+  Network net_;
+  // routers_[level][vswitch * replicas(level) + replica]
+  std::vector<std::vector<RouterId>> routers_;
+
+  [[nodiscard]] std::uint64_t down_pow(std::uint32_t exponent) const;
+  [[nodiscard]] std::uint64_t up_pow(std::uint32_t exponent) const;
+};
+
+}  // namespace servernet

@@ -1,0 +1,86 @@
+#include "topo/fully_connected.hpp"
+
+#include <string>
+
+namespace servernet {
+
+FullyConnectedGroup::FullyConnectedGroup(const FullyConnectedSpec& spec)
+    : spec_(spec), net_("fully-connected-" + std::to_string(spec.routers)) {
+  SN_REQUIRE(spec.routers >= 1, "need at least one router");
+  SN_REQUIRE(spec.router_ports >= spec.routers - 1,
+             "router radix too small for the peer links");
+  const std::uint32_t free_ports = spec.router_ports - (spec.routers - 1);
+  nodes_per_router_ = spec.nodes_per_router == 0 ? free_ports : spec.nodes_per_router;
+  SN_REQUIRE(nodes_per_router_ <= free_ports, "too many nodes per router");
+  SN_REQUIRE(nodes_per_router_ >= 1, "a group with no node ports is useless");
+
+  for (std::uint32_t i = 0; i < spec.routers; ++i) {
+    net_.add_router(spec.router_ports, "R" + std::to_string(i));
+  }
+  for (std::uint32_t i = 0; i < spec.routers; ++i) {
+    for (std::uint32_t j = i + 1; j < spec.routers; ++j) {
+      net_.connect(Terminal::router(router(i)), peer_port(i, j), Terminal::router(router(j)),
+                   peer_port(j, i));
+    }
+  }
+  const PortIndex first_node_port = spec.routers - 1;
+  for (std::uint32_t i = 0; i < spec.routers; ++i) {
+    for (std::uint32_t k = 0; k < nodes_per_router_; ++k) {
+      const NodeId n = net_.add_node(1);
+      net_.connect(Terminal::node(n), 0, Terminal::router(router(i)), first_node_port + k);
+    }
+  }
+  net_.validate();
+}
+
+RouterId FullyConnectedGroup::router(std::uint32_t i) const {
+  SN_REQUIRE(i < spec_.routers, "router index out of range");
+  return RouterId{i};
+}
+
+NodeId FullyConnectedGroup::node(std::uint32_t router_i, std::uint32_t k) const {
+  SN_REQUIRE(router_i < spec_.routers, "router index out of range");
+  SN_REQUIRE(k < nodes_per_router_, "node slot out of range");
+  return NodeId{router_i * nodes_per_router_ + k};
+}
+
+RouterId FullyConnectedGroup::home_router(NodeId n) const {
+  SN_REQUIRE(n.index() < net_.node_count(), "node id out of range");
+  return RouterId{n.value() / nodes_per_router_};
+}
+
+PortIndex FullyConnectedGroup::peer_port(std::uint32_t i, std::uint32_t j) {
+  SN_REQUIRE(i != j, "no self port");
+  return j < i ? j : j - 1;
+}
+
+RoutingTable FullyConnectedGroup::routing() const {
+  RoutingTable table = RoutingTable::sized_for(net_);
+  const PortIndex first_node_port = spec_.routers - 1;
+  for (NodeId d : net_.all_nodes()) {
+    const RouterId home = home_router(d);
+    const PortIndex node_port = first_node_port + d.value() % nodes_per_router_;
+    for (RouterId r : net_.all_routers()) {
+      if (r == home) {
+        table.set(r, d, node_port);
+      } else {
+        table.set(r, d, peer_port(r.value(), home.value()));
+      }
+    }
+  }
+  return table;
+}
+
+std::uint32_t FullyConnectedGroup::analytic_node_ports(std::uint32_t m, PortIndex ports) {
+  SN_REQUIRE(m >= 1 && ports >= m - 1, "invalid group parameters");
+  return m * (ports - (m - 1));
+}
+
+std::uint32_t FullyConnectedGroup::analytic_max_contention(std::uint32_t m, PortIndex ports) {
+  SN_REQUIRE(m >= 2 && ports >= m - 1, "contention defined for m >= 2");
+  // All nodes on one router simultaneously targeting nodes behind one peer
+  // share the single inter-router link.
+  return ports - (m - 1);
+}
+
+}  // namespace servernet

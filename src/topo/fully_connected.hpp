@@ -1,0 +1,61 @@
+// Fully-connected assemblies of routers (Figure 3 of the paper).
+//
+// These are the basic deadlock-free building blocks of fractahedral
+// networks: M routers, every pair joined by a duplex link, all remaining
+// ports carrying end nodes. For 6-port routers the paper tabulates
+//
+//   M   node ports   max link contention
+//   2       10            5:1
+//   3       12            4:1
+//   4       12            3:1   <- the tetrahedron (Figure 4)
+//   5       10            2:1
+//   6        6            1:1
+//
+// and picks M=4 (most ports, least contention among the 12-port options,
+// and routing keyed on exactly two destination address bits).
+#pragma once
+
+#include <cstdint>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct FullyConnectedSpec {
+  std::uint32_t routers = 4;
+  PortIndex router_ports = kServerNetRouterPorts;
+  /// 0 means "attach nodes on every port not used for peer links".
+  std::uint32_t nodes_per_router = 0;
+};
+
+class FullyConnectedGroup {
+ public:
+  explicit FullyConnectedGroup(const FullyConnectedSpec& spec);
+
+  [[nodiscard]] const FullyConnectedSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+
+  [[nodiscard]] RouterId router(std::uint32_t i) const;
+  [[nodiscard]] NodeId node(std::uint32_t router_i, std::uint32_t k) const;
+  [[nodiscard]] RouterId home_router(NodeId n) const;
+  [[nodiscard]] std::uint32_t nodes_per_router() const { return nodes_per_router_; }
+
+  /// Port on router `i` leading to peer router `j`.
+  [[nodiscard]] static PortIndex peer_port(std::uint32_t i, std::uint32_t j);
+
+  /// Direct routing: one inter-router hop at most. Trivially deadlock-free
+  /// (the channel-dependency graph has no router-to-router chains).
+  [[nodiscard]] RoutingTable routing() const;
+
+  /// Closed-form figures reported in Figure 3 for a P-port, M-router group.
+  [[nodiscard]] static std::uint32_t analytic_node_ports(std::uint32_t m, PortIndex ports);
+  [[nodiscard]] static std::uint32_t analytic_max_contention(std::uint32_t m, PortIndex ports);
+
+ private:
+  FullyConnectedSpec spec_;
+  std::uint32_t nodes_per_router_ = 0;
+  Network net_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,56 @@
+#include "topo/hypercube.hpp"
+
+#include <bitset>
+#include <string>
+
+namespace servernet {
+
+Hypercube::Hypercube(const HypercubeSpec& spec) : spec_(spec), net_("hypercube") {
+  SN_REQUIRE(spec.dimensions >= 1 && spec.dimensions <= 16, "dimensions must be in [1,16]");
+  if (spec_.router_ports == 0) {
+    spec_.router_ports = spec.dimensions + spec.nodes_per_router;
+  }
+  SN_REQUIRE(spec_.router_ports >= spec.dimensions + spec.nodes_per_router,
+             "router radix too small for hypercube degree plus nodes");
+  net_.set_name("hypercube-" + std::to_string(spec.dimensions) + "d");
+
+  const std::uint32_t corners = 1U << spec.dimensions;
+  for (std::uint32_t c = 0; c < corners; ++c) {
+    std::string bits;
+    for (std::uint32_t b = spec.dimensions; b-- > 0;) bits.push_back((c >> b) & 1U ? '1' : '0');
+    net_.add_router(spec_.router_ports, bits);
+  }
+  for (std::uint32_t c = 0; c < corners; ++c) {
+    for (std::uint32_t dim = 0; dim < spec.dimensions; ++dim) {
+      const std::uint32_t peer = c ^ (1U << dim);
+      if (peer > c) {
+        net_.connect(Terminal::router(router(c)), dim, Terminal::router(router(peer)), dim);
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c < corners; ++c) {
+    for (std::uint32_t k = 0; k < spec.nodes_per_router; ++k) {
+      const NodeId n = net_.add_node(1);
+      net_.connect(Terminal::node(n), 0, Terminal::router(router(c)), spec.dimensions + k);
+    }
+  }
+  net_.validate();
+}
+
+RouterId Hypercube::router(std::uint32_t corner) const {
+  SN_REQUIRE(corner < corner_count(), "hypercube corner out of range");
+  return RouterId{corner};
+}
+
+NodeId Hypercube::node(std::uint32_t corner, std::uint32_t k) const {
+  SN_REQUIRE(corner < corner_count(), "hypercube corner out of range");
+  SN_REQUIRE(k < spec_.nodes_per_router, "node slot out of range");
+  return NodeId{corner * spec_.nodes_per_router + k};
+}
+
+RouterId Hypercube::home_router(NodeId n) const {
+  SN_REQUIRE(n.index() < net_.node_count(), "node id out of range");
+  return RouterId{n.value() / spec_.nodes_per_router};
+}
+
+}  // namespace servernet

@@ -1,0 +1,43 @@
+// Binary hypercube (§3.2, Figure 2 of the paper).
+//
+// A d-dimensional hypercube with one node per router needs a (d+1)-port
+// router; the paper's point is that a 64-node (6-D) cube exceeds the 6-port
+// ServerNet ASIC. We build arbitrary dimensions for the Figure-2 analyses
+// (path disables, uneven utilization) and the comparison benches.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct HypercubeSpec {
+  std::uint32_t dimensions = 3;
+  std::uint32_t nodes_per_router = 1;
+  /// Defaults to the minimum viable radix; pass kServerNetRouterPorts to
+  /// model the real ASIC constraint (then dimensions+nodes_per_router <= 6).
+  PortIndex router_ports = 0;  // 0 = dimensions + nodes_per_router
+};
+
+/// Port i (i < dimensions) crosses dimension i; node ports follow.
+class Hypercube {
+ public:
+  explicit Hypercube(const HypercubeSpec& spec);
+
+  [[nodiscard]] const HypercubeSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+
+  /// Router whose label is the corner's bit pattern.
+  [[nodiscard]] RouterId router(std::uint32_t corner) const;
+  [[nodiscard]] NodeId node(std::uint32_t corner, std::uint32_t k = 0) const;
+  [[nodiscard]] std::uint32_t corner(RouterId r) const { return r.value(); }
+  [[nodiscard]] RouterId home_router(NodeId n) const;
+  [[nodiscard]] std::uint32_t corner_count() const { return 1U << spec_.dimensions; }
+
+ private:
+  HypercubeSpec spec_;
+  Network net_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,113 @@
+#include "topo/kary_ncube.hpp"
+
+#include <string>
+
+namespace servernet {
+
+KAryNCube::KAryNCube(const KAryNCubeSpec& spec) : spec_(spec), net_("kary-ncube") {
+  SN_REQUIRE(!spec.dims.empty(), "need at least one dimension");
+  std::size_t routers = 1;
+  for (const std::uint32_t d : spec.dims) {
+    SN_REQUIRE(d >= 1, "dimension extent must be positive");
+    SN_REQUIRE(!spec.wrap || d >= 3, "torus dimensions need extent >= 3");
+    routers *= d;
+  }
+  const auto min_ports =
+      static_cast<PortIndex>(2 * spec.dims.size() + spec.nodes_per_router);
+  if (spec_.router_ports == 0) spec_.router_ports = min_ports;
+  SN_REQUIRE(spec_.router_ports >= min_ports, "router radix too small");
+
+  std::string name = spec.wrap ? "torus" : "mesh";
+  for (const std::uint32_t d : spec.dims) name += "-" + std::to_string(d);
+  net_.set_name(name);
+
+  // Row-major strides: coordinate 0 varies fastest.
+  stride_.assign(spec.dims.size(), 1);
+  for (std::size_t i = 1; i < spec.dims.size(); ++i) {
+    stride_[i] = stride_[i - 1] * spec.dims[i - 1];
+  }
+
+  for (std::size_t r = 0; r < routers; ++r) net_.add_router(spec_.router_ports);
+
+  for (std::size_t r = 0; r < routers; ++r) {
+    const std::vector<std::uint32_t> c = coords(RouterId{r});
+    for (std::size_t dim = 0; dim < spec.dims.size(); ++dim) {
+      const std::uint32_t extent = spec.dims[dim];
+      if (extent == 1) continue;
+      const bool at_edge = c[dim] + 1 == extent;
+      if (at_edge && !spec.wrap) continue;
+      std::vector<std::uint32_t> peer = c;
+      peer[dim] = (c[dim] + 1) % extent;
+      net_.connect(Terminal::router(RouterId{r}), positive_port(dim),
+                   Terminal::router(router_at(peer)), negative_port(dim));
+    }
+  }
+  for (std::size_t r = 0; r < routers; ++r) {
+    for (std::uint32_t k = 0; k < spec.nodes_per_router; ++k) {
+      const NodeId n = net_.add_node(1);
+      net_.connect(Terminal::node(n), 0, Terminal::router(RouterId{r}),
+                   first_node_port() + k);
+    }
+  }
+  net_.validate();
+}
+
+RouterId KAryNCube::router_at(const std::vector<std::uint32_t>& c) const {
+  SN_REQUIRE(c.size() == spec_.dims.size(), "coordinate arity mismatch");
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    SN_REQUIRE(c[i] < spec_.dims[i], "coordinate out of range");
+    index += c[i] * stride_[i];
+  }
+  return RouterId{index};
+}
+
+std::vector<std::uint32_t> KAryNCube::coords(RouterId r) const {
+  SN_REQUIRE(r.index() < net_.router_count(), "router id out of range");
+  std::vector<std::uint32_t> c(spec_.dims.size());
+  std::size_t rest = r.index();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = static_cast<std::uint32_t>(rest % spec_.dims[i]);
+    rest /= spec_.dims[i];
+  }
+  return c;
+}
+
+NodeId KAryNCube::node_at(const std::vector<std::uint32_t>& c, std::uint32_t k) const {
+  SN_REQUIRE(k < spec_.nodes_per_router, "node slot out of range");
+  return NodeId{router_at(c).index() * spec_.nodes_per_router + k};
+}
+
+RouterId KAryNCube::home_router(NodeId n) const {
+  SN_REQUIRE(n.index() < net_.node_count(), "node id out of range");
+  return RouterId{n.index() / spec_.nodes_per_router};
+}
+
+RoutingTable KAryNCube::dimension_order() const {
+  RoutingTable table = RoutingTable::sized_for(net_);
+  for (NodeId d : net_.all_nodes()) {
+    const std::vector<std::uint32_t> target = coords(home_router(d));
+    const PortIndex node_port =
+        first_node_port() + static_cast<PortIndex>(d.value() % spec_.nodes_per_router);
+    for (RouterId r : net_.all_routers()) {
+      const std::vector<std::uint32_t> here = coords(r);
+      PortIndex port = node_port;
+      for (std::size_t dim = 0; dim < here.size(); ++dim) {
+        if (here[dim] == target[dim]) continue;
+        if (!spec_.wrap) {
+          port = here[dim] < target[dim] ? positive_port(dim) : negative_port(dim);
+        } else {
+          // Minimal direction around the ring; ties go positive.
+          const std::uint32_t extent = spec_.dims[dim];
+          const std::uint32_t fwd = (target[dim] + extent - here[dim]) % extent;
+          port = fwd <= extent - fwd ? positive_port(dim) : negative_port(dim);
+        }
+        break;  // correct the lowest differing dimension first
+      }
+      table.set(r, d, port);
+    }
+  }
+  return table;
+}
+
+}  // namespace servernet

@@ -1,0 +1,65 @@
+// Generic k-ary n-dimensional meshes and tori.
+//
+// §3.1 evaluates the 2-D mesh because four direction ports fit a 6-port
+// router; this family generalizes the construction so the "router delays
+// scale quickly as the number of nodes grows" observation can be examined
+// as a function of dimensionality (each added dimension costs two router
+// ports but cuts the diameter). Port layout: dimension i uses ports 2i
+// (positive direction) and 2i+1 (negative); node ports follow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct KAryNCubeSpec {
+  /// Routers per dimension, e.g. {6, 6} is the paper's 6x6 mesh shape.
+  std::vector<std::uint32_t> dims{6, 6};
+  /// Wraparound links (torus) or open ends (mesh).
+  bool wrap = false;
+  std::uint32_t nodes_per_router = 1;
+  /// 0 = exactly 2*dims.size() + nodes_per_router.
+  PortIndex router_ports = 0;
+};
+
+class KAryNCube {
+ public:
+  explicit KAryNCube(const KAryNCubeSpec& spec);
+
+  [[nodiscard]] const KAryNCubeSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+  [[nodiscard]] std::size_t dimensions() const { return spec_.dims.size(); }
+
+  [[nodiscard]] RouterId router_at(const std::vector<std::uint32_t>& coords) const;
+  [[nodiscard]] std::vector<std::uint32_t> coords(RouterId r) const;
+  [[nodiscard]] NodeId node_at(const std::vector<std::uint32_t>& coords,
+                               std::uint32_t k = 0) const;
+  [[nodiscard]] RouterId home_router(NodeId n) const;
+
+  [[nodiscard]] static PortIndex positive_port(std::size_t dim) {
+    return static_cast<PortIndex>(2 * dim);
+  }
+  [[nodiscard]] static PortIndex negative_port(std::size_t dim) {
+    return static_cast<PortIndex>(2 * dim + 1);
+  }
+  [[nodiscard]] PortIndex first_node_port() const {
+    return static_cast<PortIndex>(2 * dimensions());
+  }
+
+  /// Dimension-order routing: correct dimension 0 fully, then 1, ...
+  /// Minimal and deadlock-free on meshes; on tori the wrap channels close
+  /// dependency cycles (verified cyclic in the tests) — the reason the
+  /// torus needs virtual channels or up*/down*.
+  [[nodiscard]] RoutingTable dimension_order() const;
+
+ private:
+  KAryNCubeSpec spec_;
+  Network net_;
+  std::vector<std::size_t> stride_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,60 @@
+#include "topo/mesh.hpp"
+
+#include <string>
+
+namespace servernet {
+
+Mesh2D::Mesh2D(const MeshSpec& spec) : spec_(spec), net_("mesh2d") {
+  SN_REQUIRE(spec.cols >= 1 && spec.rows >= 1, "mesh must have at least one router");
+  SN_REQUIRE(spec.router_ports >= 4 + spec.nodes_per_router,
+             "router needs 4 direction ports plus node ports");
+  net_.set_name("mesh2d-" + std::to_string(spec.cols) + "x" + std::to_string(spec.rows));
+
+  // Routers in row-major order, then nodes in router order.
+  for (std::uint32_t y = 0; y < spec.rows; ++y) {
+    for (std::uint32_t x = 0; x < spec.cols; ++x) {
+      net_.add_router(spec.router_ports,
+                      "(" + std::to_string(x) + "," + std::to_string(y) + ")");
+    }
+  }
+  for (std::uint32_t y = 0; y < spec.rows; ++y) {
+    for (std::uint32_t x = 0; x < spec.cols; ++x) {
+      const RouterId r = router_at(x, y);
+      if (x + 1 < spec.cols) {
+        net_.connect(Terminal::router(r), mesh_port::kEast,
+                     Terminal::router(router_at(x + 1, y)), mesh_port::kWest);
+      }
+      if (y + 1 < spec.rows) {
+        net_.connect(Terminal::router(r), mesh_port::kNorth,
+                     Terminal::router(router_at(x, y + 1)), mesh_port::kSouth);
+      }
+      for (std::uint32_t k = 0; k < spec.nodes_per_router; ++k) {
+        const NodeId n = net_.add_node(1);
+        net_.connect(Terminal::node(n), 0, Terminal::router(r), mesh_port::kFirstNode + k);
+      }
+    }
+  }
+  net_.validate();
+}
+
+RouterId Mesh2D::router_at(std::uint32_t x, std::uint32_t y) const {
+  SN_REQUIRE(x < spec_.cols && y < spec_.rows, "mesh coordinate out of range");
+  return RouterId{y * spec_.cols + x};
+}
+
+NodeId Mesh2D::node_at(std::uint32_t x, std::uint32_t y, std::uint32_t k) const {
+  SN_REQUIRE(k < spec_.nodes_per_router, "node slot out of range");
+  return NodeId{(y * spec_.cols + x) * spec_.nodes_per_router + k};
+}
+
+std::pair<std::uint32_t, std::uint32_t> Mesh2D::coords(RouterId r) const {
+  SN_REQUIRE(r.index() < net_.router_count(), "router id out of range");
+  return {r.value() % spec_.cols, r.value() / spec_.cols};
+}
+
+RouterId Mesh2D::home_router(NodeId n) const {
+  SN_REQUIRE(n.index() < net_.node_count(), "node id out of range");
+  return RouterId{n.value() / spec_.nodes_per_router};
+}
+
+}  // namespace servernet

@@ -1,0 +1,54 @@
+// 2-D mesh of routers (§3.1 of the paper).
+//
+// With a 6-port ServerNet router, four ports serve the +X/-X/+Y/-Y
+// directions and the remaining two attach end nodes; a 64-node network is a
+// 6x6 mesh with two nodes per router.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct MeshSpec {
+  std::uint32_t cols = 6;
+  std::uint32_t rows = 6;
+  std::uint32_t nodes_per_router = 2;
+  PortIndex router_ports = kServerNetRouterPorts;
+};
+
+/// Port conventions for mesh (and torus) routers.
+namespace mesh_port {
+inline constexpr PortIndex kEast = 0;   // +X
+inline constexpr PortIndex kWest = 1;   // -X
+inline constexpr PortIndex kNorth = 2;  // +Y
+inline constexpr PortIndex kSouth = 3;  // -Y
+inline constexpr PortIndex kFirstNode = 4;
+}  // namespace mesh_port
+
+/// A built mesh: the network plus coordinate bookkeeping used by
+/// dimension-order routing.
+class Mesh2D {
+ public:
+  explicit Mesh2D(const MeshSpec& spec);
+
+  [[nodiscard]] const MeshSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+
+  [[nodiscard]] RouterId router_at(std::uint32_t x, std::uint32_t y) const;
+  [[nodiscard]] NodeId node_at(std::uint32_t x, std::uint32_t y, std::uint32_t k) const;
+  /// (x, y) coordinates of a router.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> coords(RouterId r) const;
+  /// Router a node is attached to.
+  [[nodiscard]] RouterId home_router(NodeId n) const;
+
+  [[nodiscard]] std::size_t node_count() const { return net_.node_count(); }
+
+ private:
+  MeshSpec spec_;
+  Network net_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,235 @@
+#include "topo/network.hpp"
+
+#include <queue>
+#include <sstream>
+
+namespace servernet {
+
+RouterId Network::add_router(PortIndex ports, std::string label) {
+  SN_REQUIRE(ports > 0, "router must have at least one port");
+  ElementRec r;
+  r.label = std::move(label);
+  r.port_count = ports;
+  r.out.assign(ports, ChannelId::invalid());
+  r.in.assign(ports, ChannelId::invalid());
+  routers_.push_back(std::move(r));
+  return RouterId{routers_.size() - 1};
+}
+
+NodeId Network::add_node(PortIndex ports, std::string label) {
+  SN_REQUIRE(ports > 0, "node must have at least one port");
+  ElementRec n;
+  n.label = std::move(label);
+  n.port_count = ports;
+  n.out.assign(ports, ChannelId::invalid());
+  n.in.assign(ports, ChannelId::invalid());
+  nodes_.push_back(std::move(n));
+  return NodeId{nodes_.size() - 1};
+}
+
+Network::ElementRec& Network::mutable_rec(Terminal t) {
+  if (t.is_router()) {
+    SN_REQUIRE(t.index < routers_.size(), "router id out of range");
+    return routers_[t.index];
+  }
+  SN_REQUIRE(t.index < nodes_.size(), "node id out of range");
+  return nodes_[t.index];
+}
+
+const Network::ElementRec& Network::rec(Terminal t) const {
+  if (t.is_router()) {
+    SN_REQUIRE(t.index < routers_.size(), "router id out of range");
+    return routers_[t.index];
+  }
+  SN_REQUIRE(t.index < nodes_.size(), "node id out of range");
+  return nodes_[t.index];
+}
+
+std::pair<ChannelId, ChannelId> Network::connect(Terminal a, PortIndex port_a, Terminal b,
+                                                 PortIndex port_b) {
+  SN_REQUIRE(!(a == b), "cannot connect a terminal to itself");
+  ElementRec& ra = mutable_rec(a);
+  ElementRec& rb = mutable_rec(b);
+  SN_REQUIRE(port_a < ra.port_count, "port on first terminal out of range");
+  SN_REQUIRE(port_b < rb.port_count, "port on second terminal out of range");
+  SN_REQUIRE(!ra.out[port_a].valid() && !ra.in[port_a].valid(),
+             "first terminal port already wired");
+  SN_REQUIRE(!rb.out[port_b].valid() && !rb.in[port_b].valid(),
+             "second terminal port already wired");
+
+  const ChannelId ab{channels_.size()};
+  const ChannelId ba{channels_.size() + 1};
+  channels_.push_back(Channel{a, port_a, b, port_b, ba});
+  channels_.push_back(Channel{b, port_b, a, port_a, ab});
+  ra.out[port_a] = ab;
+  ra.in[port_a] = ba;
+  rb.out[port_b] = ba;
+  rb.in[port_b] = ab;
+  return {ab, ba};
+}
+
+std::pair<ChannelId, ChannelId> Network::connect_auto(Terminal a, Terminal b) {
+  const PortIndex pa = first_free_port(a);
+  const PortIndex pb = first_free_port(b);
+  SN_REQUIRE(pa != kInvalidPort, "no free port on first terminal");
+  SN_REQUIRE(pb != kInvalidPort, "no free port on second terminal");
+  return connect(a, pa, b, pb);
+}
+
+ChannelId Network::router_out(RouterId r, PortIndex port) const {
+  const ElementRec& e = rec(r);
+  SN_REQUIRE(port < e.port_count, "router port out of range");
+  return e.out[port];
+}
+
+ChannelId Network::router_in(RouterId r, PortIndex port) const {
+  const ElementRec& e = rec(r);
+  SN_REQUIRE(port < e.port_count, "router port out of range");
+  return e.in[port];
+}
+
+ChannelId Network::node_out(NodeId n, PortIndex port) const {
+  const ElementRec& e = rec(n);
+  SN_REQUIRE(port < e.port_count, "node port out of range");
+  return e.out[port];
+}
+
+ChannelId Network::node_in(NodeId n, PortIndex port) const {
+  const ElementRec& e = rec(n);
+  SN_REQUIRE(port < e.port_count, "node port out of range");
+  return e.in[port];
+}
+
+std::vector<ChannelId> Network::out_channels(Terminal t) const {
+  const ElementRec& e = rec(t);
+  std::vector<ChannelId> result;
+  for (ChannelId c : e.out) {
+    if (c.valid()) result.push_back(c);
+  }
+  return result;
+}
+
+std::vector<ChannelId> Network::in_channels(Terminal t) const {
+  const ElementRec& e = rec(t);
+  std::vector<ChannelId> result;
+  for (ChannelId c : e.in) {
+    if (c.valid()) result.push_back(c);
+  }
+  return result;
+}
+
+PortIndex Network::router_degree(RouterId r) const {
+  const ElementRec& e = rec(r);
+  PortIndex wired = 0;
+  for (ChannelId c : e.out) {
+    if (c.valid()) ++wired;
+  }
+  return wired;
+}
+
+PortIndex Network::first_free_port(Terminal t) const {
+  const ElementRec& e = rec(t);
+  for (PortIndex p = 0; p < e.port_count; ++p) {
+    if (!e.out[p].valid()) return p;
+  }
+  return kInvalidPort;
+}
+
+RouterId Network::attached_router(NodeId n, PortIndex port) const {
+  const ChannelId up = node_out(n, port);
+  SN_REQUIRE(up.valid(), "node port is not wired");
+  const Terminal dst = channel(up).dst;
+  SN_REQUIRE(dst.is_router(), "node is wired to another node");
+  return dst.router_id();
+}
+
+std::vector<NodeId> Network::all_nodes() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<RouterId> Network::all_routers() const {
+  std::vector<RouterId> ids;
+  ids.reserve(routers_.size());
+  for (std::size_t i = 0; i < routers_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+void Network::validate() const {
+  for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+    const ChannelId id{ci};
+    const Channel& c = channels_[ci];
+    SN_REQUIRE(c.reverse.valid() && c.reverse.index() < channels_.size(),
+               "channel reverse out of range");
+    const Channel& r = channels_[c.reverse.index()];
+    SN_REQUIRE(r.reverse == id, "reverse pairing is not involutive");
+    SN_REQUIRE(r.src == c.dst && r.dst == c.src, "reverse endpoints mismatch");
+    SN_REQUIRE(r.src_port == c.dst_port && r.dst_port == c.src_port,
+               "reverse ports mismatch");
+    const ElementRec& se = rec(c.src);
+    const ElementRec& de = rec(c.dst);
+    SN_REQUIRE(c.src_port < se.port_count && c.dst_port < de.port_count,
+               "channel port out of range");
+    SN_REQUIRE(se.out[c.src_port] == id, "source port map inconsistent");
+    SN_REQUIRE(de.in[c.dst_port] == id, "destination port map inconsistent");
+  }
+  for (const ElementRec& e : routers_) {
+    for (PortIndex p = 0; p < e.port_count; ++p) {
+      SN_REQUIRE(e.out[p].valid() == e.in[p].valid(), "half-wired port");
+    }
+  }
+}
+
+bool Network::is_connected() const {
+  if (nodes_.empty()) return true;
+  // BFS over terminals, starting from node 0.
+  const std::size_t total = routers_.size() + nodes_.size();
+  auto key = [this](Terminal t) {
+    return t.is_router() ? t.index : routers_.size() + t.index;
+  };
+  std::vector<char> seen(total, 0);
+  std::queue<Terminal> frontier;
+  const Terminal start = Terminal::node(NodeId{std::uint32_t{0}});
+  seen[key(start)] = 1;
+  frontier.push(start);
+  std::size_t reached_nodes = 0;
+  while (!frontier.empty()) {
+    const Terminal t = frontier.front();
+    frontier.pop();
+    if (t.is_node()) ++reached_nodes;
+    for (ChannelId c : out_channels(t)) {
+      const Terminal next = channel(c).dst;
+      if (!seen[key(next)]) {
+        seen[key(next)] = 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return reached_nodes == nodes_.size();
+}
+
+std::string describe(const Network& net, Terminal t) {
+  std::ostringstream os;
+  if (t.is_router()) {
+    os << "router " << t.index;
+    const auto& label = net.router_label(t.router_id());
+    if (!label.empty()) os << " (" << label << ')';
+  } else {
+    os << "node " << t.index;
+    const auto& label = net.node_label(t.node_id());
+    if (!label.empty()) os << " (" << label << ')';
+  }
+  return os.str();
+}
+
+std::string describe(const Network& net, ChannelId c) {
+  const Channel& ch = net.channel(c);
+  std::ostringstream os;
+  os << describe(net, ch.src) << " p" << ch.src_port << " -> " << describe(net, ch.dst) << " p"
+     << ch.dst_port;
+  return os.str();
+}
+
+}  // namespace servernet

@@ -1,0 +1,174 @@
+// The network graph substrate.
+//
+// A Network is a set of routers (packet switches with a fixed number of
+// ports) and end nodes (CPUs or I/O adapters), wired together by
+// *unidirectional channels*. ServerNet links are full duplex — two
+// unidirectional links paired in one cable — so channels are always created
+// in duplex pairs and each channel knows its reverse.
+//
+// Everything else in the library (routing tables, the channel-dependency
+// graph, contention analysis, the wormhole simulator) operates on this
+// representation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/strong_id.hpp"
+
+namespace servernet {
+
+/// ServerNet's first-generation router ASIC has six ports (§2 of the paper).
+inline constexpr PortIndex kServerNetRouterPorts = 6;
+
+/// A terminal is one endpoint of a channel: either a router port or an end
+/// node port.
+struct Terminal {
+  enum class Kind : std::uint8_t { kRouter, kNode };
+
+  Kind kind = Kind::kRouter;
+  std::uint32_t index = 0;
+
+  [[nodiscard]] static Terminal router(RouterId r) { return {Kind::kRouter, r.value()}; }
+  [[nodiscard]] static Terminal node(NodeId n) { return {Kind::kNode, n.value()}; }
+
+  [[nodiscard]] bool is_router() const { return kind == Kind::kRouter; }
+  [[nodiscard]] bool is_node() const { return kind == Kind::kNode; }
+  [[nodiscard]] RouterId router_id() const {
+    SN_REQUIRE(is_router(), "terminal is not a router");
+    return RouterId{index};
+  }
+  [[nodiscard]] NodeId node_id() const {
+    SN_REQUIRE(is_node(), "terminal is not a node");
+    return NodeId{index};
+  }
+
+  friend bool operator==(const Terminal&, const Terminal&) = default;
+};
+
+/// One unidirectional channel. `reverse` is the paired channel running the
+/// other way through the same cable.
+struct Channel {
+  Terminal src;
+  PortIndex src_port = kInvalidPort;
+  Terminal dst;
+  PortIndex dst_port = kInvalidPort;
+  ChannelId reverse = ChannelId::invalid();
+};
+
+/// The network graph. Construction-only mutation: builders add routers,
+/// nodes and duplex links; analyses and the simulator treat it as
+/// immutable.
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction -------------------------------------------------------
+
+  /// Adds a router with `ports` ports (default: the 6-port ServerNet ASIC).
+  RouterId add_router(PortIndex ports = kServerNetRouterPorts, std::string label = {});
+
+  /// Adds an end node with `ports` ports (dual-ported nodes are used for
+  /// fault-tolerant dual-fabric configurations; see src/fabric).
+  NodeId add_node(PortIndex ports = 1, std::string label = {});
+
+  /// Wires a duplex link between two terminals on explicit ports. Returns
+  /// {a-to-b channel, b-to-a channel}. Both ports must be free.
+  std::pair<ChannelId, ChannelId> connect(Terminal a, PortIndex port_a, Terminal b,
+                                          PortIndex port_b);
+
+  /// Wires a duplex link picking the lowest free port on each side.
+  std::pair<ChannelId, ChannelId> connect_auto(Terminal a, Terminal b);
+
+  // ---- sizes ---------------------------------------------------------------
+
+  [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+  /// Duplex cables (channel pairs).
+  [[nodiscard]] std::size_t link_count() const { return channels_.size() / 2; }
+
+  // ---- lookups -------------------------------------------------------------
+
+  [[nodiscard]] const Channel& channel(ChannelId c) const {
+    SN_REQUIRE(c.index() < channels_.size(), "channel id out of range");
+    return channels_[c.index()];
+  }
+
+  [[nodiscard]] PortIndex router_ports(RouterId r) const { return rec(r).port_count; }
+  [[nodiscard]] PortIndex node_ports(NodeId n) const { return rec(n).port_count; }
+
+  /// Outgoing channel on `port` of a router, or invalid if unwired.
+  [[nodiscard]] ChannelId router_out(RouterId r, PortIndex port) const;
+  [[nodiscard]] ChannelId router_in(RouterId r, PortIndex port) const;
+  [[nodiscard]] ChannelId node_out(NodeId n, PortIndex port = 0) const;
+  [[nodiscard]] ChannelId node_in(NodeId n, PortIndex port = 0) const;
+
+  /// All wired outgoing channels of a terminal, in port order.
+  [[nodiscard]] std::vector<ChannelId> out_channels(Terminal t) const;
+  [[nodiscard]] std::vector<ChannelId> in_channels(Terminal t) const;
+
+  /// Number of wired ports on a router.
+  [[nodiscard]] PortIndex router_degree(RouterId r) const;
+  /// Lowest unwired port, or kInvalidPort if the router is full.
+  [[nodiscard]] PortIndex first_free_port(Terminal t) const;
+
+  /// The router an (assumed single-attached) node hangs off, via `port`.
+  [[nodiscard]] RouterId attached_router(NodeId n, PortIndex port = 0) const;
+
+  [[nodiscard]] const std::string& router_label(RouterId r) const { return rec(r).label; }
+  [[nodiscard]] const std::string& node_label(NodeId n) const { return rec(n).label; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// All node ids (convenience for all-pairs sweeps).
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+  [[nodiscard]] std::vector<RouterId> all_routers() const;
+
+  // ---- validation ----------------------------------------------------------
+
+  /// Checks structural invariants: channel endpoints consistent with port
+  /// maps, reverse pairing involutive, no port double-wired. Throws
+  /// PreconditionError on violation.
+  void validate() const;
+
+  /// True if every node can reach every other node through the channel
+  /// graph (ignoring routing restrictions).
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  struct ElementRec {
+    std::string label;
+    PortIndex port_count = 0;
+    std::vector<ChannelId> out;  // per port
+    std::vector<ChannelId> in;   // per port
+  };
+
+  [[nodiscard]] const ElementRec& rec(RouterId r) const {
+    SN_REQUIRE(r.index() < routers_.size(), "router id out of range");
+    return routers_[r.index()];
+  }
+  [[nodiscard]] const ElementRec& rec(NodeId n) const {
+    SN_REQUIRE(n.index() < nodes_.size(), "node id out of range");
+    return nodes_[n.index()];
+  }
+  [[nodiscard]] ElementRec& mutable_rec(Terminal t);
+  [[nodiscard]] const ElementRec& rec(Terminal t) const;
+
+  std::string name_;
+  std::vector<ElementRec> routers_;
+  std::vector<ElementRec> nodes_;
+  std::vector<Channel> channels_;
+};
+
+/// Human-readable terminal description ("router 3 (label)" / "node 17").
+[[nodiscard]] std::string describe(const Network& net, Terminal t);
+/// Human-readable channel description ("router 0 p2 -> router 1 p4").
+[[nodiscard]] std::string describe(const Network& net, ChannelId c);
+
+}  // namespace servernet

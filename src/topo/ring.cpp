@@ -1,0 +1,45 @@
+#include "topo/ring.hpp"
+
+#include <string>
+
+namespace servernet {
+
+Ring::Ring(const RingSpec& spec) : spec_(spec), net_("ring-" + std::to_string(spec.routers)) {
+  SN_REQUIRE(spec.routers >= 3, "a ring needs at least three routers");
+  SN_REQUIRE(spec.router_ports >= 2 + spec.nodes_per_router,
+             "router needs 2 ring ports plus node ports");
+  for (std::uint32_t i = 0; i < spec.routers; ++i) {
+    net_.add_router(spec.router_ports, "R" + std::to_string(i));
+  }
+  for (std::uint32_t i = 0; i < spec.routers; ++i) {
+    const std::uint32_t next = (i + 1) % spec.routers;
+    net_.connect(Terminal::router(router(i)), ring_port::kClockwise,
+                 Terminal::router(router(next)), ring_port::kCounterClockwise);
+  }
+  for (std::uint32_t i = 0; i < spec.routers; ++i) {
+    for (std::uint32_t k = 0; k < spec.nodes_per_router; ++k) {
+      const NodeId n = net_.add_node(1);
+      net_.connect(Terminal::node(n), 0, Terminal::router(router(i)),
+                   ring_port::kFirstNode + k);
+    }
+  }
+  net_.validate();
+}
+
+RouterId Ring::router(std::uint32_t i) const {
+  SN_REQUIRE(i < spec_.routers, "ring router index out of range");
+  return RouterId{i};
+}
+
+NodeId Ring::node(std::uint32_t router_i, std::uint32_t k) const {
+  SN_REQUIRE(router_i < spec_.routers, "ring router index out of range");
+  SN_REQUIRE(k < spec_.nodes_per_router, "node slot out of range");
+  return NodeId{router_i * spec_.nodes_per_router + k};
+}
+
+RouterId Ring::home_router(NodeId n) const {
+  SN_REQUIRE(n.index() < net_.node_count(), "node id out of range");
+  return RouterId{n.value() / spec_.nodes_per_router};
+}
+
+}  // namespace servernet

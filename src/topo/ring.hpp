@@ -1,0 +1,39 @@
+// Ring of routers. The paper's Figure 1 deadlock demonstration is four
+// packet switches in a loop; the ring builder provides that substrate (and
+// a classic looping baseline for the deadlock analyses).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct RingSpec {
+  std::uint32_t routers = 4;
+  std::uint32_t nodes_per_router = 1;
+  PortIndex router_ports = kServerNetRouterPorts;
+};
+
+namespace ring_port {
+inline constexpr PortIndex kClockwise = 0;         // to router (i+1) mod k
+inline constexpr PortIndex kCounterClockwise = 1;  // to router (i-1) mod k
+inline constexpr PortIndex kFirstNode = 2;
+}  // namespace ring_port
+
+class Ring {
+ public:
+  explicit Ring(const RingSpec& spec);
+
+  [[nodiscard]] const RingSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+  [[nodiscard]] RouterId router(std::uint32_t i) const;
+  [[nodiscard]] NodeId node(std::uint32_t router_i, std::uint32_t k) const;
+  [[nodiscard]] RouterId home_router(NodeId n) const;
+
+ private:
+  RingSpec spec_;
+  Network net_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,55 @@
+#include "topo/shuffle_exchange.hpp"
+
+#include <string>
+
+namespace servernet {
+
+ShuffleExchange::ShuffleExchange(const ShuffleExchangeSpec& spec) : spec_(spec), net_("se") {
+  SN_REQUIRE(spec.bits >= 2 && spec.bits <= 16, "bits must be in [2,16]");
+  SN_REQUIRE(spec.router_ports >= 3 + spec.nodes_per_router,
+             "router needs 3 shuffle/exchange ports plus node ports");
+  net_.set_name("shuffle-exchange-" + std::to_string(spec.bits) + "b");
+
+  const std::uint32_t n = router_count();
+  for (std::uint32_t r = 0; r < n; ++r) {
+    net_.add_router(spec.router_ports, "s" + std::to_string(r));
+  }
+  // Exchange cables: r <-> r^1, once per pair.
+  for (std::uint32_t r = 0; r < n; r += 2) {
+    net_.connect(Terminal::router(router(r)), shuffle_port::kExchange,
+                 Terminal::router(router(r ^ 1U)), shuffle_port::kExchange);
+  }
+  // Shuffle cables: r's shuffle-out port to rotl(r)'s shuffle-in port.
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const std::uint32_t s = rotl(r);
+    if (s == r) continue;  // all-zeros / all-ones necklaces are fixed points
+    net_.connect(Terminal::router(router(r)), shuffle_port::kShuffleOut,
+                 Terminal::router(router(s)), shuffle_port::kShuffleIn);
+  }
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t k = 0; k < spec.nodes_per_router; ++k) {
+      const NodeId node_id = net_.add_node(1);
+      net_.connect(Terminal::node(node_id), 0, Terminal::router(router(r)),
+                   shuffle_port::kFirstNode + k);
+    }
+  }
+  net_.validate();
+}
+
+RouterId ShuffleExchange::router(std::uint32_t address) const {
+  SN_REQUIRE(address < router_count(), "address out of range");
+  return RouterId{address};
+}
+
+NodeId ShuffleExchange::node(std::uint32_t address, std::uint32_t k) const {
+  SN_REQUIRE(address < router_count(), "address out of range");
+  SN_REQUIRE(k < spec_.nodes_per_router, "node slot out of range");
+  return NodeId{address * spec_.nodes_per_router + k};
+}
+
+std::uint32_t ShuffleExchange::rotl(std::uint32_t address) const {
+  const std::uint32_t mask = router_count() - 1;
+  return ((address << 1) | (address >> (spec_.bits - 1))) & mask;
+}
+
+}  // namespace servernet

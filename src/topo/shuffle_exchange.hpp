@@ -1,0 +1,50 @@
+// Shuffle-exchange network — the last entry in §2's roster of proposed
+// MPP topologies.
+//
+// Routers are the 2^k k-bit addresses. Each router r has an *exchange*
+// link to r ^ 1 and *shuffle* links realizing the left-rotation
+// permutation: an outgoing cable to rotl(r) and (as the reverse view of
+// someone else's shuffle) a cable from rotr(r). Addresses fixed by the
+// rotation (all-zeros, all-ones) have degenerate shuffles and keep the
+// port unwired. Degree is at most 3, so 6-port routers have room for
+// nodes — but the shuffle links make the channel graph deeply cyclic,
+// which is exactly why it appears in the paper's deadlock discussion.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct ShuffleExchangeSpec {
+  std::uint32_t bits = 4;  // 2^bits routers
+  std::uint32_t nodes_per_router = 1;
+  PortIndex router_ports = kServerNetRouterPorts;
+};
+
+namespace shuffle_port {
+inline constexpr PortIndex kExchange = 0;     // r <-> r ^ 1
+inline constexpr PortIndex kShuffleOut = 1;   // cable toward rotl(r)
+inline constexpr PortIndex kShuffleIn = 2;    // cable toward rotr(r)
+inline constexpr PortIndex kFirstNode = 3;
+}  // namespace shuffle_port
+
+class ShuffleExchange {
+ public:
+  explicit ShuffleExchange(const ShuffleExchangeSpec& spec);
+
+  [[nodiscard]] const ShuffleExchangeSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+
+  [[nodiscard]] RouterId router(std::uint32_t address) const;
+  [[nodiscard]] NodeId node(std::uint32_t address, std::uint32_t k = 0) const;
+  [[nodiscard]] std::uint32_t router_count() const { return 1U << spec_.bits; }
+  [[nodiscard]] std::uint32_t rotl(std::uint32_t address) const;
+
+ private:
+  ShuffleExchangeSpec spec_;
+  Network net_;
+};
+
+}  // namespace servernet

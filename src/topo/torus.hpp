@@ -1,0 +1,38 @@
+// 2-D torus — a mesh with wraparound links. Listed among the proposed MPP
+// topologies in §2; included as an additional looping baseline for the
+// deadlock and contention analyses.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "topo/mesh.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+struct TorusSpec {
+  std::uint32_t cols = 4;
+  std::uint32_t rows = 4;
+  std::uint32_t nodes_per_router = 2;
+  PortIndex router_ports = kServerNetRouterPorts;
+};
+
+/// Uses the same port conventions as Mesh2D (mesh_port::*).
+class Torus2D {
+ public:
+  explicit Torus2D(const TorusSpec& spec);
+
+  [[nodiscard]] const TorusSpec& spec() const { return spec_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+  [[nodiscard]] RouterId router_at(std::uint32_t x, std::uint32_t y) const;
+  [[nodiscard]] NodeId node_at(std::uint32_t x, std::uint32_t y, std::uint32_t k) const;
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> coords(RouterId r) const;
+  [[nodiscard]] RouterId home_router(NodeId n) const;
+
+ private:
+  TorusSpec spec_;
+  Network net_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,46 @@
+// Checked preconditions and invariants for the servernet library.
+//
+// SN_REQUIRE is always active (it guards API preconditions and throws, so
+// misuse is diagnosable in release builds); SN_ASSERT compiles away in
+// NDEBUG builds and guards internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace servernet {
+
+/// Thrown when an API precondition is violated (bad topology parameters,
+/// out-of-range ids, inconsistent routing tables, ...).
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << "SN_REQUIRE failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace servernet
+
+#define SN_REQUIRE(expr, msg)                                                   \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      ::servernet::detail::require_failed(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define SN_ASSERT(expr) \
+  do {                  \
+  } while (false)
+#else
+#define SN_ASSERT(expr) SN_REQUIRE(expr, "internal invariant")
+#endif

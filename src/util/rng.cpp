@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace servernet {
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, Xoshiro256& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  shuffle(perm, rng);
+  return perm;
+}
+
+std::vector<std::uint32_t> random_permutation_no_fixed_points(std::size_t n, Xoshiro256& rng) {
+  SN_REQUIRE(n >= 2, "need at least two elements to avoid fixed points");
+  std::vector<std::uint32_t> perm = random_permutation(n, rng);
+  // Repair fixed points by swapping each with a cyclic neighbour. After this
+  // pass no element can map to itself: a fixed point at i is swapped with
+  // i+1 (mod n); the swap can only create a fixed point at the neighbour if
+  // perm[i+1] == i, but then both entries end up displaced.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (perm[i] == i) {
+      const std::size_t j = (i + 1) % n;
+      std::swap(perm[i], perm[j]);
+    }
+  }
+  // A final sweep handles the rare case where the last swap reintroduced a
+  // fixed point at position 0.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (perm[i] == i) {
+      const std::size_t j = (i + 1) % n;
+      std::swap(perm[i], perm[j]);
+    }
+  }
+  return perm;
+}
+
+}  // namespace servernet

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All stochastic pieces of the library (random permutation traffic, uniform
+// random workloads, Kernighan–Lin restarts) draw from this generator so that
+// every experiment is reproducible from a printed seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// reimplemented here. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from a single seed via splitmix64,
+  /// which is the recommended seeding procedure for xoshiro.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& lane : state_) lane = splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) {
+    SN_REQUIRE(bound > 0, "bound must be positive");
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher–Yates shuffle of `items` using `rng`.
+template <class T>
+void shuffle(std::vector<T>& items, Xoshiro256& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+/// A uniformly random permutation of {0, ..., n-1}.
+std::vector<std::uint32_t> random_permutation(std::size_t n, Xoshiro256& rng);
+
+/// A uniformly random *derangement-ish* permutation: no element maps to
+/// itself (used for permutation traffic where a node never sends to itself).
+/// Falls back to swapping fixed points pairwise, which preserves uniformity
+/// well enough for workload generation.
+std::vector<std::uint32_t> random_permutation_no_fixed_points(std::size_t n, Xoshiro256& rng);
+
+}  // namespace servernet

@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+void Accumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  SN_REQUIRE(!samples_.empty(), "min of empty sample set");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  SN_REQUIRE(!samples_.empty(), "max of empty sample set");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  SN_REQUIRE(!samples_.empty(), "quantile of empty sample set");
+  SN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  SN_REQUIRE(bins > 0, "histogram needs at least one bin");
+  SN_REQUIRE(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto raw = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+  raw = std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bin_count(std::size_t bin) const {
+  SN_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const auto width = peak == 0 ? std::size_t{0}
+                                 : static_cast<std::size_t>((counts_[b] * max_width + peak - 1) / peak);
+    os << '[' << bin_low(b) << ", " << bin_low(b + 1) << ") "
+       << std::string(width, '#') << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+std::string ratio_string(std::uint64_t numerator) {
+  std::ostringstream os;
+  os << numerator << ":1";
+  return os.str();
+}
+
+}  // namespace servernet

@@ -1,0 +1,86 @@
+// Small statistics toolkit used by the analyses and the simulator:
+// streaming accumulators, exact percentiles over retained samples, and
+// fixed-width histograms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace servernet {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Retains all samples; supports exact quantiles. Suited to per-packet
+/// latency collections (bounded by packets injected).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact q-quantile by the nearest-rank method, q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  /// Renders a compact ASCII bar chart, one line per non-empty bin.
+  [[nodiscard]] std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ratio formatted the way the paper writes contention figures: "12:1".
+[[nodiscard]] std::string ratio_string(std::uint64_t numerator);
+
+}  // namespace servernet

@@ -1,0 +1,62 @@
+// Strongly-typed integer identifiers.
+//
+// The library distinguishes routers, end nodes, ports and unidirectional
+// channels; mixing their indices is the classic source of silent topology
+// bugs, so each gets its own zero-cost wrapper type.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace servernet {
+
+/// A zero-cost strongly-typed index. `Tag` is a phantom type.
+template <class Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalidValue = std::numeric_limits<value_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+  constexpr explicit StrongId(std::size_t v) : value_(static_cast<value_type>(v)) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{kInvalidValue}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  value_type value_ = kInvalidValue;
+};
+
+struct RouterTag {};
+struct NodeTag {};
+struct ChannelTag {};
+
+/// Index of a router (packet switch) within a Network.
+using RouterId = StrongId<RouterTag>;
+/// Index of an end node (CPU or I/O adapter) within a Network.
+using NodeId = StrongId<NodeTag>;
+/// Index of a unidirectional channel (one direction of a duplex link).
+using ChannelId = StrongId<ChannelTag>;
+
+/// Port index on a router or node. Plain integer: ports are local and
+/// always used next to the element that owns them.
+using PortIndex = std::uint32_t;
+constexpr PortIndex kInvalidPort = std::numeric_limits<PortIndex>::max();
+
+}  // namespace servernet
+
+template <class Tag>
+struct std::hash<servernet::StrongId<Tag>> {
+  std::size_t operator()(servernet::StrongId<Tag> id) const noexcept {
+    return std::hash<typename servernet::StrongId<Tag>::value_type>{}(id.value());
+  }
+};

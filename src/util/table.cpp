@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SN_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  SN_REQUIRE(!rows_.empty(), "call row() before cell()");
+  SN_REQUIRE(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* value) { return cell(std::string(value)); }
+TextTable& TextTable::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+TextTable& TextTable::cell(std::uint32_t value) { return cell(std::to_string(value)); }
+TextTable& TextTable::cell(std::int64_t value) { return cell(std::to_string(value)); }
+TextTable& TextTable::cell(int value) { return cell(std::to_string(value)); }
+
+TextTable& TextTable::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+TextTable& TextTable::add_row(std::initializer_list<std::string> cells) {
+  row();
+  for (const auto& c : cells) cell(c);
+  return *this;
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << text << std::string(widths[c] - text.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << str(); }
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace servernet

@@ -1,0 +1,49 @@
+// ASCII table rendering for the benchmark harnesses. Every bench binary
+// regenerates one of the paper's tables/figures, so all of them share this
+// formatter to keep output uniform and diffable.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace servernet {
+
+/// Column-aligned ASCII table. Cells are strings; numeric convenience
+/// overloads format through `std::to_string`-like rules with fixed
+/// precision for doubles.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent `cell` calls append to it.
+  TextTable& row();
+  TextTable& cell(std::string value);
+  TextTable& cell(const char* value);
+  TextTable& cell(std::uint64_t value);
+  TextTable& cell(std::uint32_t value);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(int value);
+  /// Fixed-point with `precision` digits after the decimal point.
+  TextTable& cell(double value, int precision = 2);
+
+  /// Convenience: adds a full row at once.
+  TextTable& add_row(std::initializer_list<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule and column padding.
+  [[nodiscard]] std::string str() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Table 2: ... ==") used by bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace servernet

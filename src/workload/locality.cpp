@@ -1,0 +1,32 @@
+#include "workload/locality.hpp"
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+LocalityTraffic::LocalityTraffic(std::size_t node_count, std::size_t neighbourhood,
+                                 double local_fraction)
+    : node_count_(node_count),
+      neighbourhood_(neighbourhood),
+      local_fraction_(local_fraction) {
+  SN_REQUIRE(node_count >= 2, "locality traffic needs at least two nodes");
+  SN_REQUIRE(neighbourhood >= 2 && neighbourhood <= node_count,
+             "neighbourhood must hold at least the sender and one peer");
+  SN_REQUIRE(node_count % neighbourhood == 0, "neighbourhood must tile the address space");
+  SN_REQUIRE(local_fraction >= 0.0 && local_fraction <= 1.0, "fraction must be in [0,1]");
+}
+
+std::optional<NodeId> LocalityTraffic::destination(NodeId src, Xoshiro256& rng) {
+  SN_REQUIRE(src.index() < node_count_, "source out of range");
+  if (rng.bernoulli(local_fraction_)) {
+    const std::size_t block = src.index() / neighbourhood_ * neighbourhood_;
+    auto pick = static_cast<std::size_t>(rng.below(neighbourhood_ - 1));
+    if (block + pick >= src.index()) ++pick;  // skip the sender
+    return NodeId{block + pick};
+  }
+  auto pick = static_cast<std::uint32_t>(rng.below(node_count_ - 1));
+  if (pick >= src.value()) ++pick;
+  return NodeId{pick};
+}
+
+}  // namespace servernet

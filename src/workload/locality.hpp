@@ -1,0 +1,40 @@
+// Locality-weighted traffic (§3.3).
+//
+// "In most networks, we anticipate some degree of locality in the data
+//  access patterns. For instance, each processor in a cluster would
+//  typically have a high degree of local access to reach its system disk
+//  ... For this reason, the 4-2 fat tree may be preferred for most systems
+//  even though there is some bandwidth reduction at each level."
+//
+// This pattern sends a configurable fraction of each node's traffic to
+// destinations within its own neighbourhood (an aligned block of
+// `neighbourhood` consecutive addresses — a leaf router's nodes, a
+// tetrahedron, a level-1 subtree, ...), and the remainder uniformly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.hpp"
+#include "util/strong_id.hpp"
+#include "workload/traffic.hpp"
+
+namespace servernet {
+
+class LocalityTraffic final : public TrafficPattern {
+ public:
+  /// `local_fraction` of packets stay within the sender's aligned
+  /// `neighbourhood`-sized block; the rest are uniform over all nodes.
+  LocalityTraffic(std::size_t node_count, std::size_t neighbourhood, double local_fraction);
+
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src, Xoshiro256& rng) override;
+
+  [[nodiscard]] double local_fraction() const { return local_fraction_; }
+
+ private:
+  std::size_t node_count_;
+  std::size_t neighbourhood_;
+  double local_fraction_;
+};
+
+}  // namespace servernet

@@ -1,0 +1,75 @@
+#include "workload/scenarios.hpp"
+
+#include "util/assert.hpp"
+
+namespace servernet::scenarios {
+
+std::vector<Transfer> mesh_corner_turn(const Mesh2D& mesh) {
+  const MeshSpec& spec = mesh.spec();
+  SN_REQUIRE(spec.cols == spec.rows && spec.cols >= 2, "corner-turn scenario needs a square mesh");
+  SN_REQUIRE(spec.nodes_per_router >= 1, "mesh routers carry no nodes");
+  const std::uint32_t side = spec.cols;
+  std::vector<Transfer> transfers;
+  // Sources: routers (0..side-2, 0) along the bottom row; destinations:
+  // routers (side-1, 1..side-1) up the far column. X-first routing turns
+  // every transfer at corner (side-1, 0).
+  for (std::uint32_t i = 0; i + 1 < side; ++i) {
+    for (std::uint32_t k = 0; k < spec.nodes_per_router; ++k) {
+      transfers.push_back(Transfer{mesh.node_at(i, 0, k), mesh.node_at(side - 1, i + 1, k)});
+    }
+  }
+  return transfers;
+}
+
+std::vector<Transfer> fat_tree_quadrant_squeeze(const FatTree& tree) {
+  const FatTreeSpec& spec = tree.spec();
+  SN_REQUIRE(spec.nodes == 64 && spec.down == 4 && spec.up == 2,
+             "scenario is specified for the paper's 4-2, 64-node fat tree");
+  std::vector<Transfer> transfers;
+  // Twelve sources under the first level-1 virtual switch (three of its
+  // four leaves), destinations spread over the last quadrant.
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    transfers.push_back(Transfer{tree.node(i), tree.node(48 + i)});
+  }
+  return transfers;
+}
+
+std::vector<Transfer> fractahedron_diagonal(const Fractahedron& fh) {
+  const FractahedronSpec& spec = fh.spec();
+  SN_REQUIRE(spec.levels == 2 && spec.kind == FractahedronKind::kFat && !spec.cpu_pair_fanout &&
+                 spec.group_routers == 4 && spec.down_ports_per_router == 2,
+             "scenario is specified for the 64-node two-level fat fractahedron");
+  return {
+      Transfer{fh.node(6), fh.node(54)},
+      Transfer{fh.node(7), fh.node(55)},
+      Transfer{fh.node(14), fh.node(62)},
+      Transfer{fh.node(15), fh.node(63)},
+  };
+}
+
+std::vector<Transfer> fractahedron_corner_gang(const Fractahedron& fh) {
+  const FractahedronSpec& spec = fh.spec();
+  SN_REQUIRE(spec.levels == 2 && spec.kind == FractahedronKind::kFat && !spec.cpu_pair_fanout &&
+                 spec.group_routers == 4 && spec.down_ports_per_router == 2,
+             "scenario is specified for the 64-node two-level fat fractahedron");
+  std::vector<Transfer> transfers;
+  // Corner-3 nodes (addresses 6 and 7 within each group) of tetrahedra
+  // 0..3, targeting every node of tetrahedron 7.
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    transfers.push_back(Transfer{fh.node(g * 8 + 6), fh.node(56 + 2 * g)});
+    transfers.push_back(Transfer{fh.node(g * 8 + 7), fh.node(56 + 2 * g + 1)});
+  }
+  return transfers;
+}
+
+std::vector<Transfer> ring_circular_shift(const Ring& ring) {
+  const std::uint32_t k = ring.spec().routers;
+  SN_REQUIRE(ring.spec().nodes_per_router >= 1, "ring routers carry no nodes");
+  std::vector<Transfer> transfers;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    transfers.push_back(Transfer{ring.node(i, 0), ring.node((i + k / 2) % k, 0)});
+  }
+  return transfers;
+}
+
+}  // namespace servernet::scenarios

@@ -1,0 +1,50 @@
+// The paper's worked adversarial transfer sets, reproduced as explicit
+// scenario builders so the benches and tests can quote them exactly.
+#pragma once
+
+#include <vector>
+
+#include "analysis/link_load.hpp"
+#include "core/fractahedron.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+
+namespace servernet::scenarios {
+
+/// §3.1's corner-turning mesh scenario (stated for Y-first routing in the
+/// paper; mirrored here onto the library's X-first convention): both nodes
+/// of five routers along one edge send to both nodes of five routers along
+/// the perpendicular edge, so all ten transfers turn at the same corner —
+/// the 10:1 figure. Requires a square mesh of side >= 2.
+[[nodiscard]] std::vector<Transfer> mesh_corner_turn(const Mesh2D& mesh);
+
+/// §3.3's fat-tree scenario: twelve sources under one second-level router
+/// pair send to destinations in the last quadrant, so every transfer
+/// crosses the single top-level link the static partition assigns to that
+/// quadrant ("HLP") — the 12:1 figure. Requires the 4-2, 64-node tree.
+[[nodiscard]] std::vector<Transfer> fat_tree_quadrant_squeeze(const FatTree& tree);
+
+/// §3.4's fractahedron scenario: "if nodes 6, 7, 14, and 15 are all trying
+/// to send to nodes 54, 55, 62, and 63, all four transfers will attempt to
+/// use the same diagonal link in the same layer of level 2" — the 4:1
+/// figure. Requires the two-level fat fractahedron without fan-out (64
+/// nodes).
+[[nodiscard]] std::vector<Transfer> fractahedron_diagonal(const Fractahedron& fh);
+
+/// A stronger adversarial set this reproduction found (documented in
+/// EXPERIMENTS.md): eight sources sitting on the *same corner* of four
+/// different level-1 tetrahedra send to all eight nodes of one remote
+/// tetrahedron. All eight climbs land in the same level-2 layer and all
+/// eight descents share that layer's single down link into the target
+/// tetrahedron — 8:1, above the paper's quoted 4:1 (which maximized over
+/// intra-group links only).
+[[nodiscard]] std::vector<Transfer> fractahedron_corner_gang(const Fractahedron& fh);
+
+/// Figure 1's deadlock pattern on a ring of four routers: every node sends
+/// halfway around; with lowest-port tie-breaking all packets travel
+/// clockwise and each head waits on the channel the next packet's tail
+/// still occupies.
+[[nodiscard]] std::vector<Transfer> ring_circular_shift(const Ring& ring);
+
+}  // namespace servernet::scenarios

@@ -1,0 +1,114 @@
+#include "workload/traffic.hpp"
+
+#include <bit>
+
+namespace servernet {
+
+UniformTraffic::UniformTraffic(std::size_t node_count) : node_count_(node_count) {
+  SN_REQUIRE(node_count >= 2, "uniform traffic needs at least two nodes");
+}
+
+std::optional<NodeId> UniformTraffic::destination(NodeId src, Xoshiro256& rng) {
+  auto pick = static_cast<std::uint32_t>(rng.below(node_count_ - 1));
+  if (pick >= src.value()) ++pick;  // skip the source
+  return NodeId{pick};
+}
+
+PermutationTraffic::PermutationTraffic(std::vector<std::uint32_t> permutation)
+    : permutation_(std::move(permutation)) {
+  SN_REQUIRE(!permutation_.empty(), "empty permutation");
+}
+
+PermutationTraffic PermutationTraffic::bit_complement(std::size_t node_count) {
+  SN_REQUIRE(std::has_single_bit(node_count), "bit permutations need power-of-two nodes");
+  const auto mask = static_cast<std::uint32_t>(node_count - 1);
+  std::vector<std::uint32_t> perm(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) perm[i] = ~i & mask;
+  return PermutationTraffic(std::move(perm));
+}
+
+PermutationTraffic PermutationTraffic::bit_reversal(std::size_t node_count) {
+  SN_REQUIRE(std::has_single_bit(node_count), "bit permutations need power-of-two nodes");
+  const int bits = std::countr_zero(node_count);
+  std::vector<std::uint32_t> perm(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    std::uint32_t rev = 0;
+    for (int b = 0; b < bits; ++b) rev |= ((i >> b) & 1U) << (bits - 1 - b);
+    perm[i] = rev;
+  }
+  return PermutationTraffic(std::move(perm));
+}
+
+PermutationTraffic PermutationTraffic::random(std::size_t node_count, Xoshiro256& rng) {
+  return PermutationTraffic(random_permutation_no_fixed_points(node_count, rng));
+}
+
+std::optional<NodeId> PermutationTraffic::destination(NodeId src, Xoshiro256& /*rng*/) {
+  SN_REQUIRE(src.index() < permutation_.size(), "source out of permutation range");
+  const std::uint32_t d = permutation_[src.index()];
+  if (d == src.value()) return std::nullopt;
+  return NodeId{d};
+}
+
+HotspotTraffic::HotspotTraffic(std::size_t node_count, NodeId hotspot, double hot_fraction)
+    : node_count_(node_count), hotspot_(hotspot), hot_fraction_(hot_fraction) {
+  SN_REQUIRE(node_count >= 2, "hotspot traffic needs at least two nodes");
+  SN_REQUIRE(hotspot.index() < node_count, "hotspot out of range");
+  SN_REQUIRE(hot_fraction >= 0.0 && hot_fraction <= 1.0, "hot fraction must be in [0,1]");
+}
+
+std::optional<NodeId> HotspotTraffic::destination(NodeId src, Xoshiro256& rng) {
+  if (!(src == hotspot_) && rng.bernoulli(hot_fraction_)) return hotspot_;
+  auto pick = static_cast<std::uint32_t>(rng.below(node_count_ - 1));
+  if (pick >= src.value()) ++pick;
+  return NodeId{pick};
+}
+
+TransferListTraffic::TransferListTraffic(const std::vector<Transfer>& transfers,
+                                         std::size_t node_count)
+    : dest_of_(node_count) {
+  for (const Transfer& t : transfers) {
+    SN_REQUIRE(t.src.index() < node_count && t.dst.index() < node_count,
+               "transfer endpoint out of range");
+    SN_REQUIRE(!dest_of_[t.src.index()].has_value(), "duplicate source in transfer list");
+    dest_of_[t.src.index()] = t.dst;
+  }
+}
+
+std::optional<NodeId> TransferListTraffic::destination(NodeId src, Xoshiro256& /*rng*/) {
+  SN_REQUIRE(src.index() < dest_of_.size(), "source out of range");
+  return dest_of_[src.index()];
+}
+
+BernoulliInjector::BernoulliInjector(sim::WormholeSim& simulator, TrafficPattern& pattern,
+                                     double offered_flits, std::uint64_t seed)
+    : sim_(simulator),
+      pattern_(pattern),
+      packet_probability_(offered_flits /
+                          static_cast<double>(simulator.config().flits_per_packet)),
+      rng_(seed) {
+  SN_REQUIRE(offered_flits >= 0.0, "offered load must be non-negative");
+  SN_REQUIRE(packet_probability_ <= 1.0, "offered load exceeds one packet per node per cycle");
+}
+
+bool BernoulliInjector::run(std::uint64_t cycles) {
+  const std::size_t nodes = sim_.net().node_count();
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    for (std::size_t n = 0; n < nodes; ++n) {
+      if (!rng_.bernoulli(packet_probability_)) continue;
+      const std::optional<NodeId> dst = pattern_.destination(NodeId{n}, rng_);
+      if (!dst) continue;
+      sim_.offer_packet(NodeId{n}, *dst);
+      ++offered_;
+    }
+    sim_.step();
+    if (sim_.deadlocked()) return false;
+  }
+  return true;
+}
+
+sim::RunResult BernoulliInjector::drain(std::uint64_t max_cycles) {
+  return sim_.run_until_drained(max_cycles);
+}
+
+}  // namespace servernet

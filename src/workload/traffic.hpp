@@ -1,0 +1,104 @@
+// Traffic generation for the simulator (§3.0's commercial workloads and
+// the classic synthetic patterns).
+//
+// "In commercial applications, it is not possible to know the data access
+//  patterns a priori" — so the bench harnesses drive the simulator with
+//  uniform random traffic, fixed permutations, hotspots, and the paper's
+//  explicit adversarial transfer sets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/link_load.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/network.hpp"
+#include "util/rng.hpp"
+
+namespace servernet {
+
+/// Picks a destination for a packet injected at `src`, or nullopt to skip
+/// this injection opportunity.
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  [[nodiscard]] virtual std::optional<NodeId> destination(NodeId src, Xoshiro256& rng) = 0;
+};
+
+/// Uniform random over all nodes except the source.
+class UniformTraffic final : public TrafficPattern {
+ public:
+  explicit UniformTraffic(std::size_t node_count);
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src, Xoshiro256& rng) override;
+
+ private:
+  std::size_t node_count_;
+};
+
+/// Fixed permutation: node i always sends to perm[i] (self-maps skip).
+class PermutationTraffic final : public TrafficPattern {
+ public:
+  explicit PermutationTraffic(std::vector<std::uint32_t> permutation);
+  /// Bit-complement permutation for power-of-two node counts.
+  static PermutationTraffic bit_complement(std::size_t node_count);
+  /// Bit-reversal permutation for power-of-two node counts.
+  static PermutationTraffic bit_reversal(std::size_t node_count);
+  /// Uniformly random fixed-point-free permutation.
+  static PermutationTraffic random(std::size_t node_count, Xoshiro256& rng);
+
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src, Xoshiro256& rng) override;
+
+ private:
+  std::vector<std::uint32_t> permutation_;
+};
+
+/// A fraction of traffic targets one hot node; the rest is uniform.
+class HotspotTraffic final : public TrafficPattern {
+ public:
+  HotspotTraffic(std::size_t node_count, NodeId hotspot, double hot_fraction);
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src, Xoshiro256& rng) override;
+
+ private:
+  std::size_t node_count_;
+  NodeId hotspot_;
+  double hot_fraction_;
+};
+
+/// Only the sources in the transfer list send, each to its fixed partner —
+/// the paper's adversarial scenarios as open-loop traffic.
+class TransferListTraffic final : public TrafficPattern {
+ public:
+  explicit TransferListTraffic(const std::vector<Transfer>& transfers, std::size_t node_count);
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src, Xoshiro256& rng) override;
+
+ private:
+  std::vector<std::optional<NodeId>> dest_of_;
+};
+
+/// Open-loop Bernoulli injector: each node offers a packet with probability
+/// rate/flits_per_packet per cycle (so `rate` is offered flits per node per
+/// cycle) and runs the simulator cycle by cycle.
+class BernoulliInjector {
+ public:
+  BernoulliInjector(sim::WormholeSim& simulator, TrafficPattern& pattern, double offered_flits,
+                    std::uint64_t seed);
+
+  /// Advances `cycles`, injecting as it goes. Returns false when the
+  /// simulator deadlocks.
+  bool run(std::uint64_t cycles);
+  /// Stops offering new packets and lets the network drain.
+  sim::RunResult drain(std::uint64_t max_cycles);
+
+  [[nodiscard]] std::size_t offered() const { return offered_; }
+
+ private:
+  sim::WormholeSim& sim_;
+  TrafficPattern& pattern_;
+  double packet_probability_;
+  Xoshiro256 rng_;
+  std::size_t offered_ = 0;
+};
+
+}  // namespace servernet

@@ -1,0 +1,217 @@
+// Tests for the two §2/§3.3 mechanisms ServerNet rejected, implemented so
+// their costs are measurable: adaptive ("non-busy link") routing breaks
+// in-order delivery, and timeout-discard-retry recovers from deadlock at
+// the price of reordering and retransmission.
+#include <gtest/gtest.h>
+
+#include "route/multipath.hpp"
+#include "route/shortest_path.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/mesh.hpp"
+#include "route/dimension_order.hpp"
+#include "topo/ring.hpp"
+#include "util/assert.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/traffic.hpp"
+
+namespace servernet {
+namespace {
+
+// ---- MultipathTable -------------------------------------------------------------
+
+TEST(Multipath, FromTableIsSingletons) {
+  const FatTree tree(FatTreeSpec{});
+  const RoutingTable rt = tree.routing();
+  const MultipathTable mp = MultipathTable::from_table(tree.net(), rt);
+  EXPECT_EQ(mp.max_fanout(), 1U);
+  for (RouterId r : tree.net().all_routers()) {
+    for (NodeId d : tree.net().all_nodes()) {
+      if (rt.port(r, d) == kInvalidPort) {
+        EXPECT_TRUE(mp.choices(r, d).empty());
+      } else {
+        ASSERT_EQ(mp.choices(r, d).size(), 1U);
+        EXPECT_EQ(mp.choices(r, d).front(), rt.port(r, d));
+      }
+    }
+  }
+}
+
+TEST(Multipath, AddChoiceDeduplicates) {
+  MultipathTable mp(1, 1);
+  mp.add_choice(RouterId{0U}, NodeId{0U}, 3);
+  mp.add_choice(RouterId{0U}, NodeId{0U}, 3);
+  mp.add_choice(RouterId{0U}, NodeId{0U}, 4);
+  EXPECT_EQ(mp.choices(RouterId{0U}, NodeId{0U}).size(), 2U);
+  EXPECT_EQ(mp.max_fanout(), 2U);
+}
+
+TEST(Multipath, FatTreeAdaptiveWidensClimbsOnly) {
+  const FatTree tree(FatTreeSpec{});
+  const MultipathTable mp = tree.adaptive_routing();
+  EXPECT_EQ(mp.max_fanout(), 2U);  // both uplinks admissible
+  // Leaf router 0: remote destination — two choices; local — one.
+  const RouterId leaf = tree.router(0, 0, 0);
+  EXPECT_EQ(mp.choices(leaf, tree.node(63)).size(), 2U);
+  EXPECT_EQ(mp.choices(leaf, tree.node(1)).size(), 1U);
+  // Root routers never climb.
+  const RouterId root = tree.router(2, 0, 0);
+  for (NodeId d : tree.net().all_nodes()) {
+    EXPECT_EQ(mp.choices(root, d).size(), 1U);
+  }
+}
+
+TEST(Multipath, FirstChoiceProjectionReproducesDeterministicTable) {
+  const FatTree tree(FatTreeSpec{});
+  const RoutingTable rt = tree.routing();
+  const RoutingTable projected = tree.adaptive_routing().first_choice_table();
+  for (RouterId r : tree.net().all_routers()) {
+    for (NodeId d : tree.net().all_nodes()) {
+      EXPECT_EQ(projected.port(r, d), rt.port(r, d));
+    }
+  }
+}
+
+// ---- adaptive simulation ----------------------------------------------------------
+
+TEST(AdaptiveSim, DeliversEverythingWithoutDeadlock) {
+  // Adaptive climbing is still up*/down*: no deadlock, full delivery.
+  const FatTree tree(FatTreeSpec{});
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 8;
+  cfg.no_progress_threshold = 5000;
+  sim::WormholeSim s(tree.net(), tree.routing(), cfg);
+  s.route_adaptively(tree.adaptive_routing());
+  UniformTraffic pattern(tree.net().node_count());
+  BernoulliInjector injector(s, pattern, 0.4, /*seed=*/5);
+  ASSERT_TRUE(injector.run(2000));
+  EXPECT_EQ(injector.drain(300000).outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(s.packets_delivered(), s.packets_offered());
+}
+
+TEST(AdaptiveSim, BreaksInOrderDeliveryUnderContention) {
+  // §3.3's exact prediction: "earlier packets might encounter more
+  // contention upstream, causing them to be delivered out of order."
+  // Construction: the twelve-transfer squeeze (deterministic) jams the
+  // top-level link toward the last quadrant; one stream (12 -> 63) may
+  // pick either uplink at its leaf. FIFOs deeper than a packet let a
+  // committed worm clear the shared input buffer, so the next stream
+  // packet sees the backlog, takes the other uplink, and overtakes.
+  const FatTree tree(FatTreeSpec{});
+  const RoutingTable rt = tree.routing();
+  // Widen ONLY the leaf-level climb entries for destination 63; the
+  // background keeps its fixed paths.
+  MultipathTable mp = MultipathTable::from_table(tree.net(), rt);
+  for (std::size_t v = 0; v < tree.virtual_switches(0); ++v) {
+    if (v == 63 / 4) continue;  // the home leaf delivers locally
+    mp.add_choice(tree.router(0, v, 0), tree.node(63), 4);
+    mp.add_choice(tree.router(0, v, 0), tree.node(63), 5);
+  }
+  const auto squeeze = scenarios::fat_tree_quadrant_squeeze(tree);
+
+  auto run = [&](bool adaptive) {
+    sim::SimConfig cfg;
+    cfg.fifo_depth = 16;
+    cfg.flits_per_packet = 8;
+    cfg.no_progress_threshold = 50000;
+    sim::WormholeSim s(tree.net(), rt, cfg);
+    if (adaptive) s.route_adaptively(mp);
+    for (int rep = 0; rep < 40; ++rep) {
+      for (const Transfer& t : squeeze) s.offer_packet(t.src, t.dst);
+      s.offer_packet(tree.node(12), tree.node(63));
+      s.run_for(2);
+    }
+    EXPECT_EQ(s.run_until_drained(2000000).outcome, sim::RunOutcome::kCompleted);
+    return s.metrics().out_of_order_deliveries();
+  };
+
+  EXPECT_EQ(run(false), 0U);  // fixed paths: ServerNet's guarantee
+  EXPECT_GT(run(true), 0U);   // dynamic selection: reordering appears
+}
+
+TEST(AdaptiveSim, MutuallyExclusiveWithTurnEnforcement) {
+  const FatTree tree(FatTreeSpec{});
+  const RoutingTable rt = tree.routing();
+  sim::WormholeSim s(tree.net(), rt, sim::SimConfig{});
+  s.route_adaptively(tree.adaptive_routing());
+  EXPECT_THROW(s.enforce_turns(TurnMask(tree.net(), true)), PreconditionError);
+}
+
+// ---- timeout retry -----------------------------------------------------------------
+
+TEST(TimeoutRetry, RecoversTheFigure1Deadlock) {
+  // §2: "some networks detect deadlocks with timeout counters, discard the
+  // packets in progress, and re-send the lost packets." With retry armed,
+  // the classic ring deadlock eventually drains — at a retransmission cost.
+  const Ring ring(RingSpec{});
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 16;
+  cfg.no_progress_threshold = 100000;  // let retry act first
+  sim::WormholeSim s(ring.net(), shortest_path_routes(ring.net()), cfg);
+  s.enable_timeout_retry(300);
+  for (const Transfer& t : scenarios::ring_circular_shift(ring)) s.offer_packet(t.src, t.dst);
+  const auto result = s.run_until_drained(500000);
+  EXPECT_EQ(result.outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(s.packets_delivered(), 4U);
+  EXPECT_GE(s.packets_retried(), 1U);
+}
+
+TEST(TimeoutRetry, NoRetriesOnHealthyTraffic) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 4;
+  sim::WormholeSim s(mesh.net(), dimension_order_routes(mesh), cfg);
+  s.enable_timeout_retry(2000);
+  UniformTraffic pattern(mesh.net().node_count());
+  BernoulliInjector injector(s, pattern, 0.1, /*seed=*/9);
+  ASSERT_TRUE(injector.run(1000));
+  ASSERT_EQ(injector.drain(100000).outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(s.packets_retried(), 0U);
+}
+
+TEST(TimeoutRetry, RetriedPacketIsCountedOnceOnDelivery) {
+  const Ring ring(RingSpec{});
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 16;
+  cfg.no_progress_threshold = 100000;
+  sim::WormholeSim s(ring.net(), shortest_path_routes(ring.net()), cfg);
+  s.enable_timeout_retry(200);
+  for (const Transfer& t : scenarios::ring_circular_shift(ring)) s.offer_packet(t.src, t.dst);
+  ASSERT_EQ(s.run_until_drained(500000).outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(s.packets_delivered() + s.packets_misdelivered(), s.packets_offered());
+  EXPECT_EQ(s.flits_in_flight(), 0U);
+}
+
+TEST(TimeoutRetry, ValidatesTimeout) {
+  const Ring ring(RingSpec{});
+  sim::WormholeSim s(ring.net(), shortest_path_routes(ring.net()), sim::SimConfig{});
+  EXPECT_THROW(s.enable_timeout_retry(0), PreconditionError);
+}
+
+TEST(TimeoutRetry, FaultedChannelCausesLivelockOfRetries) {
+  // Retry cannot fix a hardware fault: the packet is discarded and resent
+  // forever — §2's maintenance-vs-congestion ambiguity again.
+  const Mesh2D mesh(MeshSpec{.cols = 2, .rows = 1});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 4;
+  cfg.no_progress_threshold = 1000000;
+  sim::WormholeSim s(mesh.net(), table, cfg);
+  s.enable_timeout_retry(50);
+  const RouteResult route =
+      trace_route(mesh.net(), table, mesh.node_at(0, 0, 0), mesh.node_at(1, 0, 0));
+  s.fail_channel(route.path.channels[1]);
+  s.offer_packet(mesh.node_at(0, 0, 0), mesh.node_at(1, 0, 0));
+  const auto result = s.run_until_drained(5000);
+  EXPECT_EQ(result.outcome, sim::RunOutcome::kCycleLimit);
+  EXPECT_GE(s.packets_retried(), 2U);
+  EXPECT_EQ(s.packets_delivered(), 0U);
+}
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,299 @@
+// Tests for the extension analyses: max-flow, path diversity, saturation,
+// routing-table compression, incremental expansion, locality traffic.
+#include <gtest/gtest.h>
+
+#include "analysis/link_load.hpp"
+#include "analysis/maxflow.hpp"
+#include "analysis/path_diversity.hpp"
+#include "analysis/saturation.hpp"
+#include "core/expansion.hpp"
+#include "core/fractahedron.hpp"
+#include "route/dimension_order.hpp"
+#include "route/table_compression.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/fully_connected.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "util/assert.hpp"
+#include "workload/locality.hpp"
+
+namespace servernet {
+namespace {
+
+// ---- max-flow -----------------------------------------------------------------
+
+TEST(MaxFlowAlgo, SingleEdge) {
+  MaxFlow f(2);
+  f.add_edge(0, 1, 3, 0);
+  EXPECT_EQ(f.max_flow(0, 1), 3U);
+}
+
+TEST(MaxFlowAlgo, SeriesBottleneck) {
+  MaxFlow f(3);
+  f.add_edge(0, 1, 5, 0);
+  f.add_edge(1, 2, 2, 0);
+  EXPECT_EQ(f.max_flow(0, 2), 2U);
+}
+
+TEST(MaxFlowAlgo, ParallelPathsAdd) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 1, 0);
+  f.add_edge(1, 3, 1, 0);
+  f.add_edge(0, 2, 1, 0);
+  f.add_edge(2, 3, 1, 0);
+  EXPECT_EQ(f.max_flow(0, 3), 2U);
+}
+
+TEST(MaxFlowAlgo, ClassicRearrangement) {
+  // The textbook example needing flow cancellation through a cross edge.
+  MaxFlow f(4);
+  f.add_edge(0, 1, 1, 0);
+  f.add_edge(0, 2, 1, 0);
+  f.add_edge(1, 2, 1, 0);
+  f.add_edge(1, 3, 1, 0);
+  f.add_edge(2, 3, 1, 0);
+  EXPECT_EQ(f.max_flow(0, 3), 2U);
+}
+
+TEST(MaxFlowAlgo, UndirectedEdgesCarryEitherWay) {
+  MaxFlow f(3);
+  f.add_edge(0, 1, 1, 1);
+  f.add_edge(2, 1, 1, 1);  // reversed insertion order, still usable 1->2
+  EXPECT_EQ(f.max_flow(0, 2), 1U);
+}
+
+TEST(MaxFlowAlgo, DisconnectedIsZero) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 7, 0);
+  f.add_edge(2, 3, 7, 0);
+  EXPECT_EQ(f.max_flow(0, 3), 0U);
+}
+
+TEST(MaxFlowAlgo, BoundsChecked) {
+  MaxFlow f(2);
+  EXPECT_THROW(f.add_edge(0, 2, 1, 0), PreconditionError);
+  EXPECT_THROW(f.max_flow(0, 0), PreconditionError);
+}
+
+// ---- path diversity -------------------------------------------------------------
+
+TEST(PathDiversity, SinglePortedNodesCapAtOne) {
+  const Ring ring(RingSpec{.routers = 4});
+  EXPECT_EQ(edge_disjoint_paths(ring.net(), ring.node(0, 0), ring.node(2, 0)), 1U);
+  const DiversityReport rep = path_diversity(ring.net());
+  EXPECT_EQ(rep.min_paths, 1U);
+  EXPECT_EQ(rep.max_paths, 1U);
+  EXPECT_EQ(rep.pairs, 6U);
+}
+
+TEST(PathDiversity, RouterFabricOfRingIsTwoConnected) {
+  const Ring ring(RingSpec{.routers = 5});
+  EXPECT_EQ(min_router_diversity(ring.net()), 2U);
+}
+
+TEST(PathDiversity, TetrahedronRoutersAreThreeConnected) {
+  // K4 of 6-port routers: between two routers there are 1 direct + 2
+  // two-hop cable-disjoint paths; attached nodes are leaves and add none.
+  const FullyConnectedGroup tetra(FullyConnectedSpec{});
+  EXPECT_EQ(min_router_diversity(tetra.net()), 3U);
+}
+
+TEST(PathDiversity, FatFractahedronFabricDiversity) {
+  const Fractahedron fh(FractahedronSpec{});
+  // Every router pair keeps at least three cable-disjoint fabric paths
+  // (tetrahedron connectivity), measured on a sample.
+  EXPECT_GE(min_router_diversity(fh.net(), /*sample_stride=*/13), 3U);
+}
+
+TEST(PathDiversity, SamplingStrideCoversFewerPairs) {
+  const Ring ring(RingSpec{.routers = 4});
+  const DiversityReport all = path_diversity(ring.net(), 1);
+  const DiversityReport sampled = path_diversity(ring.net(), 3);
+  EXPECT_GT(all.pairs, sampled.pairs);
+  EXPECT_GT(sampled.pairs, 0U);
+}
+
+// ---- saturation -------------------------------------------------------------------
+
+TEST(Saturation, TwoRouterGroupClosedForm) {
+  // M=2 group: the inter-router link carries 25 of the 90 ordered routes;
+  // lambda_sat = (N-1)/L = 9/25.
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
+  const SaturationEstimate est = uniform_saturation(g.net(), g.routing());
+  EXPECT_EQ(est.bottleneck_load, 25U);
+  EXPECT_NEAR(est.lambda_sat, 9.0 / 25.0, 1e-12);
+  const Channel& c = g.net().channel(est.bottleneck);
+  EXPECT_TRUE(c.src.is_router());
+  EXPECT_TRUE(c.dst.is_router());
+}
+
+TEST(Saturation, FractahedronOutpacesFatTree) {
+  // The loading bench's observation in closed form: the fat fractahedron's
+  // analytic saturation point is well above the 4-2 fat tree's.
+  const FatTree tree(FatTreeSpec{});
+  const Fractahedron fracta(FractahedronSpec{});
+  const double tree_sat = uniform_saturation(tree.net(), tree.routing()).lambda_sat;
+  const double fracta_sat = uniform_saturation(fracta.net(), fracta.routing()).lambda_sat;
+  EXPECT_GT(fracta_sat, 1.5 * tree_sat);
+}
+
+TEST(Saturation, ThinBelowFat) {
+  FractahedronSpec thin;
+  thin.kind = FractahedronKind::kThin;
+  const Fractahedron thin_fh(thin);
+  const Fractahedron fat_fh(FractahedronSpec{});
+  EXPECT_LT(uniform_saturation(thin_fh.net(), thin_fh.routing()).lambda_sat,
+            uniform_saturation(fat_fh.net(), fat_fh.routing()).lambda_sat);
+}
+
+// ---- table compression ---------------------------------------------------------------
+
+TEST(TableCompression, UniformColumnIsOneRule) {
+  // In a 2-router group, the far router reaches every remote node through
+  // one port -> its column over those addresses is near-uniform.
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
+  const RoutingTable table = g.routing();
+  // Router 1, destinations 0..4 (all behind router 0): single port.
+  const std::size_t rules = prefix_rules_for_router(table, g.router(1), 2);
+  // Column: five entries 'peer port' then five local node ports -> the
+  // local half splits per node.
+  EXPECT_LE(rules, 1U + 5U + 2U);
+  EXPECT_GE(rules, 6U);
+}
+
+TEST(TableCompression, FractahedralTablesCompressMassively) {
+  // §3.0's "routes packets based on exactly two bits of the destination
+  // node identifier" writ large: with the fractahedral digit radix, rules
+  // per router stay near the number of address digits, not the number of
+  // destinations.
+  const Fractahedron fh(FractahedronSpec{});
+  const CompressionReport rep = compress_tables(fh.net(), fh.routing(), 8);
+  EXPECT_EQ(rep.dense_entries, 64U);
+  EXPECT_LE(rep.max_rules, 16U);
+  EXPECT_GT(rep.compression_ratio, 4.0);
+}
+
+TEST(TableCompression, MeshTablesCompressPoorly) {
+  const Mesh2D mesh(MeshSpec{});
+  const CompressionReport rep = compress_tables(mesh.net(), dimension_order_routes(mesh), 2);
+  const Fractahedron fh(FractahedronSpec{});
+  const CompressionReport fracta = compress_tables(fh.net(), fh.routing(), 2);
+  // Binary-prefix rules: the fractahedron needs fewer rules per router than
+  // the mesh despite the same scale.
+  EXPECT_LT(fracta.mean_rules, rep.mean_rules);
+}
+
+TEST(TableCompression, RadixValidation) {
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable table = fh.routing();
+  EXPECT_THROW(prefix_rules_for_router(table, fh.router(1, 0, 0, 0), 1), PreconditionError);
+}
+
+TEST(TableCompression, SingleDestinationDegenerate) {
+  Network net;
+  const RouterId r = net.add_router();
+  const NodeId n = net.add_node();
+  net.connect(Terminal::node(n), 0, Terminal::router(r), 0);
+  RoutingTable table = RoutingTable::sized_for(net);
+  table.set(r, n, 0);
+  EXPECT_EQ(prefix_rules_for_router(table, r, 2), 1U);
+}
+
+// ---- incremental expansion -------------------------------------------------------------
+
+class ExpansionSweep : public ::testing::TestWithParam<std::tuple<FractahedronKind, bool>> {};
+
+TEST_P(ExpansionSweep, GrowingAddsButNeverRemoves) {
+  const auto [kind, fanout] = GetParam();
+  FractahedronSpec small;
+  small.levels = 1;
+  small.kind = kind;
+  small.cpu_pair_fanout = fanout;
+  FractahedronSpec big = small;
+  big.levels = 2;
+  const Fractahedron before(small);
+  const Fractahedron after(big);
+  const ExpansionCheck check = verify_expansion(before, after);
+  EXPECT_TRUE(check.fully_preserved())
+      << check.preserved_cables << "/" << check.small_cables << " cables preserved";
+  EXPECT_GT(check.added_cables, 0U);
+}
+
+TEST_P(ExpansionSweep, TwoToThreeLevels) {
+  const auto [kind, fanout] = GetParam();
+  if (fanout) GTEST_SKIP() << "covered at N=1->2; N=2->3 with fan-out is bench-scale";
+  FractahedronSpec small;
+  small.levels = 2;
+  small.kind = kind;
+  FractahedronSpec big = small;
+  big.levels = 3;
+  const ExpansionCheck check = verify_expansion(Fractahedron(small), Fractahedron(big));
+  EXPECT_TRUE(check.fully_preserved());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ExpansionSweep,
+    ::testing::Combine(::testing::Values(FractahedronKind::kThin, FractahedronKind::kFat),
+                       ::testing::Values(false, true)));
+
+TEST(Expansion, RejectsMismatchedSpecs) {
+  const Fractahedron a(FractahedronSpec{});
+  FractahedronSpec wrong;
+  wrong.levels = 3;
+  wrong.group_routers = 3;
+  wrong.down_ports_per_router = 3;
+  wrong.router_ports = 8;
+  const Fractahedron b(wrong);
+  EXPECT_THROW(verify_expansion(a, b), PreconditionError);
+  EXPECT_THROW(verify_expansion(a, a), PreconditionError);
+}
+
+// ---- locality traffic ------------------------------------------------------------------
+
+TEST(LocalityTraffic, FullyLocalStaysInBlock) {
+  LocalityTraffic pattern(64, 8, 1.0);
+  Xoshiro256 rng(3);
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    for (int i = 0; i < 50; ++i) {
+      const auto d = pattern.destination(NodeId{s}, rng);
+      ASSERT_TRUE(d.has_value());
+      EXPECT_NE(*d, NodeId{s});
+      EXPECT_EQ(d->value() / 8, s / 8) << "left the neighbourhood";
+    }
+  }
+}
+
+TEST(LocalityTraffic, ZeroLocalIsUniform) {
+  LocalityTraffic pattern(16, 4, 0.0);
+  Xoshiro256 rng(5);
+  int outside = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = pattern.destination(NodeId{0U}, rng);
+    ASSERT_TRUE(d.has_value());
+    outside += d->value() >= 4;
+  }
+  // 12 of 15 possible destinations are outside the block.
+  EXPECT_NEAR(outside / 2000.0, 12.0 / 15.0, 0.05);
+}
+
+TEST(LocalityTraffic, FractionRespected) {
+  LocalityTraffic pattern(64, 8, 0.7);
+  Xoshiro256 rng(7);
+  int local = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = pattern.destination(NodeId{10U}, rng);
+    local += d->value() / 8 == 1;
+  }
+  // 70% forced local plus 30% * (7/63) uniform spillback into the block.
+  EXPECT_NEAR(local / static_cast<double>(n), 0.7 + 0.3 * 7.0 / 63.0, 0.02);
+}
+
+TEST(LocalityTraffic, Validation) {
+  EXPECT_THROW(LocalityTraffic(64, 1, 0.5), PreconditionError);
+  EXPECT_THROW(LocalityTraffic(64, 7, 0.5), PreconditionError);   // does not tile
+  EXPECT_THROW(LocalityTraffic(64, 8, 1.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace servernet

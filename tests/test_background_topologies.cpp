@@ -1,0 +1,140 @@
+// Tests for the remaining §2 background topologies: cube-connected cycles
+// and shuffle-exchange — structure, routing completeness via the generic
+// algorithms, and their deadlock characteristics.
+#include <gtest/gtest.h>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "route/path.hpp"
+#include "route/shortest_path.hpp"
+#include "route/updown.hpp"
+#include "topo/cube_connected_cycles.hpp"
+#include "topo/shuffle_exchange.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+namespace {
+
+// ---- cube-connected cycles ----------------------------------------------------
+
+TEST(Ccc, ThreeDimensionalShape) {
+  const CubeConnectedCycles ccc(CccSpec{});
+  EXPECT_EQ(ccc.net().router_count(), 8U * 3U);
+  EXPECT_EQ(ccc.net().node_count(), 24U);
+  // Cables: 3 cycle links per corner (d per cycle) + d*2^d/2 cube links.
+  EXPECT_EQ(ccc.net().link_count(), 8U * 3U + 12U + 24U);
+  EXPECT_TRUE(ccc.net().is_connected());
+}
+
+TEST(Ccc, FixedDegreeThree) {
+  // The whole point versus the hypercube (§3.2's radix problem): degree
+  // stays 3 regardless of dimension.
+  for (const std::uint32_t d : {3U, 4U}) {
+    const CubeConnectedCycles ccc(CccSpec{.dimensions = d});
+    for (RouterId r : ccc.net().all_routers()) {
+      EXPECT_EQ(ccc.net().router_degree(r), 3U + ccc.spec().nodes_per_router);
+    }
+  }
+}
+
+TEST(Ccc, CycleAndCubeWiring) {
+  const CubeConnectedCycles ccc(CccSpec{});
+  const Network& net = ccc.net();
+  const ChannelId next = net.router_out(ccc.router(5, 1), ccc_port::kCycleNext);
+  ASSERT_TRUE(next.valid());
+  EXPECT_EQ(net.channel(next).dst.router_id(), ccc.router(5, 2));
+  const ChannelId cube = net.router_out(ccc.router(5, 1), ccc_port::kCube);
+  ASSERT_TRUE(cube.valid());
+  EXPECT_EQ(net.channel(cube).dst.router_id(), ccc.router(5 ^ 2U, 1));
+}
+
+TEST(Ccc, RejectsSmallDimensions) {
+  EXPECT_THROW(CubeConnectedCycles(CccSpec{.dimensions = 2}), PreconditionError);
+}
+
+TEST(Ccc, MinimalRoutingIsCyclicButUpDownIsNot) {
+  // The cycles at every corner are loops; greedy routing can deadlock,
+  // up*/down* cannot (the §2 pattern, once more).
+  const CubeConnectedCycles ccc(CccSpec{});
+  EXPECT_FALSE(is_acyclic(build_cdg(ccc.net(), shortest_path_routes(ccc.net()))));
+  const RoutingTable ud = updown_routes(ccc.net(), RouterId{0U});
+  EXPECT_FALSE(first_route_failure(ccc.net(), ud).has_value());
+  EXPECT_TRUE(is_acyclic(build_cdg(ccc.net(), ud)));
+}
+
+TEST(Ccc, DiameterGrowsGently) {
+  const CubeConnectedCycles ccc(CccSpec{});
+  const HopStats stats = shortest_hop_stats(ccc.net());
+  // Known CCC(3) diameter is 6 router-to-router hops; our hop metric adds
+  // the delivery router.
+  EXPECT_LE(stats.max_shortest, 7U);
+}
+
+// ---- shuffle-exchange ------------------------------------------------------------
+
+TEST(ShuffleExchange, FourBitShape) {
+  const ShuffleExchange se(ShuffleExchangeSpec{});
+  EXPECT_EQ(se.net().router_count(), 16U);
+  EXPECT_EQ(se.net().node_count(), 16U);
+  EXPECT_TRUE(se.net().is_connected());
+}
+
+TEST(ShuffleExchange, RotationArithmetic) {
+  const ShuffleExchange se(ShuffleExchangeSpec{.bits = 4});
+  EXPECT_EQ(se.rotl(0b0001), 0b0010U);
+  EXPECT_EQ(se.rotl(0b1000), 0b0001U);
+  EXPECT_EQ(se.rotl(0b1010), 0b0101U);
+  EXPECT_EQ(se.rotl(0b1111), 0b1111U);
+  EXPECT_EQ(se.rotl(0), 0U);
+}
+
+TEST(ShuffleExchange, WiringMatchesPermutation) {
+  const ShuffleExchange se(ShuffleExchangeSpec{.bits = 3});
+  const Network& net = se.net();
+  for (std::uint32_t r = 0; r < se.router_count(); ++r) {
+    const ChannelId ex = net.router_out(se.router(r), shuffle_port::kExchange);
+    ASSERT_TRUE(ex.valid());
+    EXPECT_EQ(net.channel(ex).dst.router_id(), se.router(r ^ 1U));
+    const ChannelId sh = net.router_out(se.router(r), shuffle_port::kShuffleOut);
+    if (se.rotl(r) == r) {
+      EXPECT_FALSE(sh.valid()) << "fixed point should be unwired";
+    } else {
+      ASSERT_TRUE(sh.valid());
+      EXPECT_EQ(net.channel(sh).dst.router_id(), se.router(se.rotl(r)));
+      EXPECT_EQ(net.channel(sh).dst_port, shuffle_port::kShuffleIn);
+    }
+  }
+}
+
+TEST(ShuffleExchange, MinimalRoutingIsCyclicButUpDownIsNot) {
+  const ShuffleExchange se(ShuffleExchangeSpec{});
+  EXPECT_FALSE(is_acyclic(build_cdg(se.net(), shortest_path_routes(se.net()))));
+  const RoutingTable ud = updown_routes(se.net(), RouterId{0U});
+  EXPECT_FALSE(first_route_failure(se.net(), ud).has_value());
+  EXPECT_TRUE(is_acyclic(build_cdg(se.net(), ud)));
+}
+
+TEST(ShuffleExchange, ShortestPathsBoundedByTwoKish) {
+  // Classic result: shuffle-exchange routes any pair within about 2k hops
+  // (k shuffles interleaved with exchanges).
+  const ShuffleExchange se(ShuffleExchangeSpec{.bits = 4});
+  const HopStats stats = shortest_hop_stats(se.net());
+  EXPECT_LE(stats.max_shortest, 2U * 4U + 1U);
+}
+
+class BackgroundSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BackgroundSizes, BothFamiliesRouteCompletely) {
+  const CubeConnectedCycles ccc(CccSpec{.dimensions = GetParam()});
+  EXPECT_FALSE(
+      first_route_failure(ccc.net(), updown_routes(ccc.net(), RouterId{0U})).has_value());
+  const ShuffleExchange se(ShuffleExchangeSpec{.bits = GetParam()});
+  EXPECT_FALSE(
+      first_route_failure(se.net(), updown_routes(se.net(), RouterId{0U})).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BackgroundSizes, ::testing::Values(3U, 4U, 5U));
+
+}  // namespace
+}  // namespace servernet

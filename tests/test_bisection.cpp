@@ -1,0 +1,148 @@
+// Tests for the bisection machinery (max-flow min-cut with free router
+// placement, natural and randomized balanced node splits).
+#include <gtest/gtest.h>
+
+#include "analysis/bisection.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/fully_connected.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(Bisection, TwoNodesOneLink) {
+  Network net;
+  const RouterId r0 = net.add_router();
+  const RouterId r1 = net.add_router();
+  const NodeId n0 = net.add_node();
+  const NodeId n1 = net.add_node();
+  net.connect(Terminal::node(n0), 0, Terminal::router(r0), 0);
+  net.connect(Terminal::node(n1), 0, Terminal::router(r1), 0);
+  net.connect(Terminal::router(r0), 1, Terminal::router(r1), 1);
+  EXPECT_EQ(min_cut_links_for_node_split(net, {0, 1}), 1U);
+  // Same-side nodes need no cut at all.
+  EXPECT_EQ(min_cut_links_for_node_split(net, {0, 0}), 0U);
+}
+
+TEST(Bisection, SingleNodeCableIsTheWeakPoint) {
+  // With one node per side, the cheapest cut severs a node's own cable —
+  // the parallel inter-router links do not help.
+  Network net;
+  const RouterId r0 = net.add_router();
+  const RouterId r1 = net.add_router();
+  const NodeId n0 = net.add_node();
+  const NodeId n1 = net.add_node();
+  net.connect(Terminal::node(n0), 0, Terminal::router(r0), 0);
+  net.connect(Terminal::node(n1), 0, Terminal::router(r1), 0);
+  net.connect(Terminal::router(r0), 1, Terminal::router(r1), 1);
+  net.connect(Terminal::router(r0), 2, Terminal::router(r1), 2);
+  net.connect(Terminal::router(r0), 3, Terminal::router(r1), 3);
+  EXPECT_EQ(min_cut_links_for_node_split(net, {0, 1}), 1U);
+}
+
+TEST(Bisection, ParallelLinksAllCut) {
+  // Three nodes per router: the three parallel inter-router cables now
+  // form the minimum cut.
+  Network net;
+  const RouterId r0 = net.add_router();
+  const RouterId r1 = net.add_router();
+  std::vector<char> side;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId n = net.add_node();
+    net.connect(Terminal::node(n), 0, Terminal::router(r0), static_cast<PortIndex>(3 + i));
+    side.push_back(0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const NodeId n = net.add_node();
+    net.connect(Terminal::node(n), 0, Terminal::router(r1), static_cast<PortIndex>(3 + i));
+    side.push_back(1);
+  }
+  net.connect(Terminal::router(r0), 0, Terminal::router(r1), 0);
+  net.connect(Terminal::router(r0), 1, Terminal::router(r1), 1);
+  net.connect(Terminal::router(r0), 2, Terminal::router(r1), 2);
+  EXPECT_EQ(min_cut_links_for_node_split(net, side), 3U);
+}
+
+TEST(Bisection, RouterPlacementIsOptimized) {
+  // A chain n0 - rA - rB - rC - n1 with the weak point in the middle: the
+  // min cut is 1 regardless of where the routers "belong".
+  Network net;
+  const RouterId ra = net.add_router();
+  const RouterId rb = net.add_router();
+  const RouterId rc = net.add_router();
+  const NodeId n0 = net.add_node();
+  const NodeId n1 = net.add_node();
+  net.connect(Terminal::node(n0), 0, Terminal::router(ra), 0);
+  net.connect(Terminal::router(ra), 1, Terminal::router(rb), 0);
+  net.connect(Terminal::router(rb), 1, Terminal::router(rc), 0);
+  net.connect(Terminal::node(n1), 0, Terminal::router(rc), 1);
+  EXPECT_EQ(min_cut_links_for_node_split(net, {0, 1}), 1U);
+}
+
+TEST(Bisection, RingCutsTwice) {
+  // Separating opposite halves of a ring must sever two cables.
+  const Ring ring(RingSpec{.routers = 4});
+  std::vector<char> side{0, 0, 1, 1};
+  EXPECT_EQ(min_cut_links_for_node_split(ring.net(), side), 2U);
+}
+
+TEST(Bisection, TetrahedronInternalBisectionIsFour) {
+  // Table 1: thin fractahedrons bisect at 4 links — the K4 cut.
+  const FullyConnectedGroup tetra(FullyConnectedSpec{});
+  const BisectionEstimate est = estimate_bisection(tetra.net(), 8);
+  EXPECT_EQ(est.natural_cut, 4U);
+  EXPECT_EQ(est.best_cut, 4U);
+  EXPECT_EQ(est.restarts, 8U);
+}
+
+TEST(Bisection, NaturalSplitHalvesNodes) {
+  const Ring ring(RingSpec{.routers = 6});
+  const auto split = natural_node_split(ring.net());
+  std::size_t ones = 0;
+  for (char s : split) ones += static_cast<std::size_t>(s);
+  EXPECT_EQ(ones, 3U);
+  EXPECT_EQ(split[0], 0);
+  EXPECT_EQ(split[5], 1);
+}
+
+TEST(Bisection, FatTreeMeasuredCut) {
+  // Measured: 8 cables for the 64-node 4-2 fat tree (the paper's Table 1
+  // convention quotes 4; the 2x counting difference is discussed in
+  // EXPERIMENTS.md — the ratio against the fractahedron is preserved).
+  const FatTree t(FatTreeSpec{});
+  const BisectionEstimate est = estimate_bisection(t.net(), 6);
+  EXPECT_EQ(est.best_cut, 8U);
+  EXPECT_LE(est.best_cut, est.natural_cut);
+}
+
+TEST(Bisection, MeshCutEqualsColumnLinks) {
+  // Splitting a 4x4 mesh into left/right halves cuts the 4 row links; the
+  // natural node split (ids are row-major) slices horizontally, also 4.
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  const BisectionEstimate est = estimate_bisection(mesh.net(), 8);
+  EXPECT_EQ(est.best_cut, 4U);
+}
+
+TEST(Bisection, RandomRestartsNeverBeatAnExactNaturalOptimum) {
+  // For the tetrahedron every balanced split is equivalent; restarts must
+  // find the same value, never less (cut lower bound is the flow value).
+  const FullyConnectedGroup tetra(FullyConnectedSpec{});
+  const BisectionEstimate est = estimate_bisection(tetra.net(), 16, /*seed=*/7);
+  EXPECT_EQ(est.best_cut, est.natural_cut);
+}
+
+TEST(Bisection, SideVectorSizeChecked) {
+  const Ring ring(RingSpec{});
+  EXPECT_THROW(min_cut_links_for_node_split(ring.net(), {0, 1}), PreconditionError);
+}
+
+TEST(Bisection, RequiresTwoNodes) {
+  Network net;
+  net.add_router();
+  EXPECT_THROW(estimate_bisection(net, 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,189 @@
+// Tests for the channel-dependency graph and cycle machinery — the formal
+// core of the paper's deadlock argument (§2, Figure 1, reference [6]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+#include "route/dimension_order.hpp"
+#include "route/path.hpp"
+#include "route/shortest_path.hpp"
+#include "route/updown.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "topo/torus.hpp"
+
+namespace servernet {
+namespace {
+
+// ---- generic graph utilities ---------------------------------------------------
+
+TEST(Cycles, EmptyGraphIsAcyclic) {
+  const std::vector<std::vector<std::uint32_t>> empty;
+  EXPECT_TRUE(is_acyclic(empty));
+  EXPECT_FALSE(find_cycle(empty).has_value());
+}
+
+TEST(Cycles, ChainIsAcyclic) {
+  const std::vector<std::vector<std::uint32_t>> g{{1}, {2}, {}};
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_FALSE(find_cycle(g).has_value());
+}
+
+TEST(Cycles, SelfLoopDetected) {
+  const std::vector<std::vector<std::uint32_t>> g{{0}};
+  EXPECT_FALSE(is_acyclic(g));
+  const auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 1U);
+}
+
+TEST(Cycles, TriangleCycleExtracted) {
+  const std::vector<std::vector<std::uint32_t>> g{{1}, {2}, {0}, {0}};
+  EXPECT_FALSE(is_acyclic(g));
+  const auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 3U);
+  // Verify every consecutive hop is a real edge.
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    const std::uint32_t from = (*cycle)[i];
+    const std::uint32_t to = (*cycle)[(i + 1) % cycle->size()];
+    EXPECT_NE(std::find(g[from].begin(), g[from].end(), to), g[from].end());
+  }
+}
+
+TEST(Cycles, DagWithDiamondIsAcyclic) {
+  const std::vector<std::vector<std::uint32_t>> g{{1, 2}, {3}, {3}, {}};
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+TEST(Cycles, CycleBehindBranch) {
+  // 0 -> 1 -> 2 -> 3 -> 1.
+  const std::vector<std::vector<std::uint32_t>> g{{1}, {2}, {3}, {1}};
+  const auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 3U);
+  EXPECT_EQ(std::count(cycle->begin(), cycle->end(), 0U), 0);
+}
+
+TEST(Scc, CountsAndSizes) {
+  // Two components {0,1,2} and {3,4}, plus singleton 5.
+  const std::vector<std::vector<std::uint32_t>> g{{1}, {2}, {0}, {4}, {3}, {0}};
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 3U);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_EQ(scc.component[3], scc.component[4]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+  const auto sizes = scc.nontrivial_sizes();
+  ASSERT_EQ(sizes.size(), 2U);
+  EXPECT_EQ(sizes[0], 3U);
+  EXPECT_EQ(sizes[1], 2U);
+}
+
+TEST(Scc, AcyclicGraphAllSingletons) {
+  const std::vector<std::vector<std::uint32_t>> g{{1, 2}, {2}, {}};
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 3U);
+  EXPECT_TRUE(scc.nontrivial_sizes().empty());
+}
+
+TEST(Cycles, AdjacencyBoundsChecked) {
+  const std::vector<std::vector<std::uint32_t>> g{{7}};
+  EXPECT_THROW(is_acyclic(g), PreconditionError);
+}
+
+// ---- CDG construction -----------------------------------------------------------
+
+TEST(Cdg, LineNetworkHasChainDependencies) {
+  // n0 - r0 - r1 - n1: the CDG must chain injection -> inter-router ->
+  // delivery with no cycles.
+  Network net;
+  const RouterId r0 = net.add_router();
+  const RouterId r1 = net.add_router();
+  const NodeId n0 = net.add_node();
+  const NodeId n1 = net.add_node();
+  net.connect(Terminal::node(n0), 0, Terminal::router(r0), 0);
+  net.connect(Terminal::node(n1), 0, Terminal::router(r1), 0);
+  net.connect(Terminal::router(r0), 1, Terminal::router(r1), 1);
+  const RoutingTable table = shortest_path_routes(net);
+  const ChannelDependencyGraph cdg = build_cdg(net, table);
+  EXPECT_EQ(cdg.vertex_count(), net.channel_count());
+  EXPECT_TRUE(is_acyclic(cdg));
+  // Injection channel n0 -> r0 depends on r0 -> r1.
+  const ChannelId inj = net.node_out(n0);
+  const ChannelId mid = net.router_out(r0, 1);
+  const auto& succ = cdg.adjacency[inj.index()];
+  EXPECT_NE(std::find(succ.begin(), succ.end(), mid.value()), succ.end());
+  EXPECT_GE(cdg.edge_count(), 4U);
+}
+
+TEST(Cdg, RingWithGreedyRoutingIsCyclic) {
+  // The paper's Figure 1 situation: a unidirectional routing loop around
+  // four switches.
+  const Ring ring(RingSpec{});
+  const ChannelDependencyGraph cdg = build_cdg(ring.net(), shortest_path_routes(ring.net()));
+  EXPECT_FALSE(is_acyclic(cdg));
+  const auto cycle = find_cycle(cdg.adjacency);
+  ASSERT_TRUE(cycle.has_value());
+  // The cycle must run over the four clockwise inter-router channels.
+  EXPECT_EQ(cycle->size(), 4U);
+  for (std::uint32_t v : *cycle) {
+    const Channel& c = ring.net().channel(ChannelId{v});
+    EXPECT_TRUE(c.src.is_router());
+    EXPECT_TRUE(c.dst.is_router());
+    EXPECT_EQ(c.src_port, ring_port::kClockwise);
+  }
+}
+
+TEST(Cdg, RingWithUpDownIsAcyclic) {
+  const Ring ring(RingSpec{});
+  const ChannelDependencyGraph cdg =
+      build_cdg(ring.net(), updown_routes(ring.net(), ring.router(0)));
+  EXPECT_TRUE(is_acyclic(cdg));
+}
+
+TEST(Cdg, TorusWithMinimalRoutingIsCyclic) {
+  // §2's premise: "This deadlock situation can occur in any network with
+  // loops in the connection graph" when routing does not break them.
+  const Torus2D torus(TorusSpec{.cols = 4, .rows = 4, .nodes_per_router = 1});
+  const ChannelDependencyGraph cdg = build_cdg(torus.net(), shortest_path_routes(torus.net()));
+  EXPECT_FALSE(is_acyclic(cdg));
+  const SccResult scc = strongly_connected_components(cdg.adjacency);
+  EXPECT_FALSE(scc.nontrivial_sizes().empty());
+}
+
+TEST(Cdg, TorusWithUpDownIsAcyclic) {
+  const Torus2D torus(TorusSpec{.cols = 4, .rows = 4, .nodes_per_router = 1});
+  EXPECT_TRUE(is_acyclic(build_cdg(torus.net(), updown_routes(torus.net(), RouterId{0U}))));
+}
+
+TEST(Cdg, MeshShortestPathWithLowPortTieBreakIsAcyclic) {
+  // On a mesh, lowest-port tie-breaking happens to order X before Y, which
+  // is exactly dimension-order — hence acyclic.
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  EXPECT_TRUE(is_acyclic(build_cdg(mesh.net(), shortest_path_routes(mesh.net()))));
+}
+
+TEST(Cdg, EdgeCountIsDeduplicated) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const ChannelDependencyGraph cdg = build_cdg(mesh.net(), dimension_order_routes(mesh));
+  for (const auto& succ : cdg.adjacency) {
+    EXPECT_TRUE(std::is_sorted(succ.begin(), succ.end()));
+    EXPECT_EQ(std::adjacent_find(succ.begin(), succ.end()), succ.end());
+  }
+}
+
+TEST(Cdg, DeliveryChannelsHaveNoSuccessors) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const ChannelDependencyGraph cdg = build_cdg(mesh.net(), dimension_order_routes(mesh));
+  for (std::size_t ci = 0; ci < mesh.net().channel_count(); ++ci) {
+    if (mesh.net().channel(ChannelId{ci}).dst.is_node()) {
+      EXPECT_TRUE(cdg.adjacency[ci].empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace servernet

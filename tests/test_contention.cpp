@@ -1,0 +1,125 @@
+// Tests for the worst-case link-contention analysis — the metric behind
+// §3's 10:1 / 12:1 / 4:1 comparisons.
+#include <gtest/gtest.h>
+
+#include "analysis/contention.hpp"
+#include "route/dimension_order.hpp"
+#include "route/path.hpp"
+#include "topo/fully_connected.hpp"
+#include "topo/mesh.hpp"
+#include "util/assert.hpp"
+#include "workload/scenarios.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(Contention, PaperMeshTenToOne) {
+  // §3.1: "a total of ten transfers may simultaneously try to share the A6
+  // links, giving a 10:1 contention ratio".
+  const Mesh2D mesh(MeshSpec{});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const ContentionReport report = max_link_contention(mesh.net(), table);
+  EXPECT_EQ(report.worst.contention, 10U);
+  EXPECT_EQ(report.worst.witness.size(), 10U);
+}
+
+TEST(Contention, MeshScenarioMatchesExhaustiveSearch) {
+  const Mesh2D mesh(MeshSpec{});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const auto transfers = scenarios::mesh_corner_turn(mesh);
+  ASSERT_EQ(transfers.size(), 10U);
+  EXPECT_EQ(scenario_contention(mesh.net(), table, transfers), 10U);
+}
+
+TEST(Contention, WitnessIsAValidTransferSet) {
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const ContentionReport report = max_link_contention(mesh.net(), table);
+  // scenario_contention revalidates distinct sources/destinations and
+  // reproduces the same sharing level on the worst channel.
+  EXPECT_EQ(scenario_contention(mesh.net(), table, report.worst.witness),
+            report.worst.contention);
+}
+
+TEST(Contention, PerChannelVectorCoversAllChannels) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const ContentionReport report = max_link_contention(mesh.net(), table);
+  ASSERT_EQ(report.per_channel.size(), mesh.net().channel_count());
+  std::size_t best = 0;
+  for (std::size_t v : report.per_channel) best = std::max(best, v);
+  EXPECT_EQ(best, report.worst.contention);
+  // Node channels are excluded under the default options.
+  for (std::size_t ci = 0; ci < report.per_channel.size(); ++ci) {
+    const Channel& c = mesh.net().channel(ChannelId{ci});
+    if (c.src.is_node() || c.dst.is_node()) {
+      EXPECT_EQ(report.per_channel[ci], 0U);
+    }
+  }
+}
+
+TEST(Contention, NodeLinksCanBeIncluded) {
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
+  ContentionOptions options;
+  options.router_links_only = false;
+  const ContentionReport report = max_link_contention(g.net(), g.routing(), options);
+  // A node's delivery channel carries at most one transfer of a partial
+  // permutation; the inter-router link still dominates at 5.
+  EXPECT_EQ(report.worst.contention, 5U);
+}
+
+TEST(Contention, TwoRouterGroupIsFiveToOne) {
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
+  const ContentionReport report = max_link_contention(g.net(), g.routing());
+  EXPECT_EQ(report.worst.contention, 5U);
+  // The witness sources all live on one router, targets on the other.
+  for (const Transfer& t : report.worst.witness) {
+    EXPECT_EQ(g.home_router(t.src), g.home_router(report.worst.witness.front().src));
+    EXPECT_NE(g.home_router(t.dst), g.home_router(t.src));
+  }
+}
+
+TEST(Contention, ScenarioRejectsDuplicateSources) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const std::vector<Transfer> bad{{mesh.node_at(0, 0, 0), mesh.node_at(1, 0, 0)},
+                                  {mesh.node_at(0, 0, 0), mesh.node_at(2, 0, 0)}};
+  EXPECT_THROW(scenario_contention(mesh.net(), table, bad), PreconditionError);
+}
+
+TEST(Contention, ScenarioRejectsDuplicateDestinations) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const std::vector<Transfer> bad{{mesh.node_at(0, 0, 0), mesh.node_at(2, 0, 0)},
+                                  {mesh.node_at(1, 0, 0), mesh.node_at(2, 0, 0)}};
+  EXPECT_THROW(scenario_contention(mesh.net(), table, bad), PreconditionError);
+}
+
+TEST(Contention, MakeTransfersPairsUp) {
+  const auto transfers = make_transfers({1, 2}, {3, 4});
+  ASSERT_EQ(transfers.size(), 2U);
+  EXPECT_EQ(transfers[1].src, NodeId{2U});
+  EXPECT_EQ(transfers[1].dst, NodeId{4U});
+  EXPECT_THROW(make_transfers({1}, {2, 3}), PreconditionError);
+}
+
+TEST(Contention, SingleTransferScenario) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const std::vector<Transfer> one{{mesh.node_at(0, 0, 0), mesh.node_at(2, 2, 0)}};
+  EXPECT_EQ(scenario_contention(mesh.net(), table, one), 1U);
+}
+
+TEST(Contention, GrowsWithMeshSide) {
+  // The corner-turn worst case scales with the mesh side: (side-1) routers
+  // times nodes-per-router.
+  for (std::uint32_t side : {3U, 4U, 5U}) {
+    const Mesh2D mesh(MeshSpec{.cols = side, .rows = side});
+    const ContentionReport report =
+        max_link_contention(mesh.net(), dimension_order_routes(mesh));
+    EXPECT_EQ(report.worst.contention, (side - 1) * 2U) << "side " << side;
+  }
+}
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,159 @@
+// Tests for dual-fabric fault tolerance (§1: "pairs of router fabrics with
+// dual-ported nodes").
+#include <gtest/gtest.h>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+#include "core/fractahedron.hpp"
+#include "fabric/dual_fabric.hpp"
+#include "route/dimension_order.hpp"
+#include "route/path.hpp"
+#include "topo/mesh.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+namespace {
+
+class MeshDualFabric : public ::testing::Test {
+ protected:
+  MeshDualFabric()
+      : mesh_(MeshSpec{.cols = 3, .rows = 3}),
+        dual_(mesh_.net()),
+        lifted_(dual_.lift_routing(dimension_order_routes(mesh_))) {}
+
+  Mesh2D mesh_;
+  DualFabric dual_;
+  RoutingTable lifted_;
+};
+
+TEST_F(MeshDualFabric, DoublesRoutersKeepsNodes) {
+  EXPECT_EQ(dual_.net().router_count(), 2 * mesh_.net().router_count());
+  EXPECT_EQ(dual_.net().node_count(), mesh_.net().node_count());
+  EXPECT_EQ(dual_.net().link_count(), 2 * mesh_.net().link_count());
+  for (NodeId n : dual_.net().all_nodes()) {
+    EXPECT_EQ(dual_.net().node_ports(n), 2U);
+  }
+  dual_.net().validate();
+}
+
+TEST_F(MeshDualFabric, FabricMembership) {
+  const RouterId r = mesh_.router_at(1, 1);
+  EXPECT_EQ(dual_.fabric_of(dual_.x_router(r)), 0);
+  EXPECT_EQ(dual_.fabric_of(dual_.y_router(r)), 1);
+  EXPECT_NE(dual_.x_router(r), dual_.y_router(r));
+  EXPECT_NE(dual_.net().router_label(dual_.y_router(r)).find("Y."), std::string::npos);
+}
+
+TEST_F(MeshDualFabric, BothFabricsRouteAllPairs) {
+  for (PortIndex port = 0; port < 2; ++port) {
+    for (NodeId s : dual_.net().all_nodes()) {
+      for (NodeId d : dual_.net().all_nodes()) {
+        if (s == d) continue;
+        const RouteResult r = trace_route(dual_.net(), lifted_, s, d, port);
+        ASSERT_TRUE(r.ok()) << "port " << port;
+        // The route must stay on one fabric end to end.
+        const int fabric = static_cast<int>(port);
+        for (ChannelId c : r.path.channels) {
+          const Channel& ch = dual_.net().channel(c);
+          if (ch.src.is_router()) {
+            EXPECT_EQ(dual_.fabric_of(ch.src.router_id()), fabric);
+          }
+          if (ch.dst.is_router()) {
+            EXPECT_EQ(dual_.fabric_of(ch.dst.router_id()), fabric);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(MeshDualFabric, LiftedRoutingStaysDeadlockFree) {
+  EXPECT_TRUE(is_acyclic(build_cdg(dual_.net(), lifted_)));
+}
+
+TEST_F(MeshDualFabric, HealthyNetworkPrefersX) {
+  const ChannelDisables none(dual_.net().channel_count());
+  const auto port = dual_.select_fabric(lifted_, NodeId{0U}, NodeId{5U}, none);
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(*port, 0U);
+}
+
+TEST_F(MeshDualFabric, FailoverToYOnXFailure) {
+  // Break an X-fabric cable on the 0 -> 5 route.
+  const RouteResult r = trace_route(dual_.net(), lifted_, NodeId{0U}, NodeId{5U}, 0);
+  ASSERT_TRUE(r.ok());
+  ChannelDisables failed(dual_.net().channel_count());
+  failed.disable_duplex(dual_.net(), r.path.channels[1]);
+  const auto port = dual_.select_fabric(lifted_, NodeId{0U}, NodeId{5U}, failed);
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(*port, 1U);
+  // Unaffected pairs stay on X.
+  const auto other = dual_.select_fabric(lifted_, NodeId{8U}, NodeId{9U}, failed);
+  ASSERT_TRUE(other.has_value());
+}
+
+TEST_F(MeshDualFabric, ForwardFailureAloneStillFailsOver) {
+  // ServerNet treats a one-direction failure as killing the path because
+  // acknowledgements cannot return (§2).
+  const RouteResult r = trace_route(dual_.net(), lifted_, NodeId{0U}, NodeId{5U}, 0);
+  ASSERT_TRUE(r.ok());
+  ChannelDisables failed(dual_.net().channel_count());
+  failed.disable(dual_.net().channel(r.path.channels[1]).reverse);  // only the ack direction
+  const auto port = dual_.select_fabric(lifted_, NodeId{0U}, NodeId{5U}, failed);
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(*port, 1U);
+}
+
+TEST_F(MeshDualFabric, AnySingleCableFailureStrandsNoPair) {
+  // The headline fault-tolerance property: iterate over every cable,
+  // fail it, and confirm full connectivity survives.
+  for (std::size_t ci = 0; ci < dual_.net().channel_count(); ci += 2) {
+    ChannelDisables failed(dual_.net().channel_count());
+    failed.disable_duplex(dual_.net(), ChannelId{ci});
+    EXPECT_EQ(dual_.stranded_pairs(lifted_, failed), 0U) << "cable " << ci;
+  }
+}
+
+TEST_F(MeshDualFabric, SimultaneousXandYFailureCanStrand) {
+  const RouteResult on_x = trace_route(dual_.net(), lifted_, NodeId{0U}, NodeId{5U}, 0);
+  const RouteResult on_y = trace_route(dual_.net(), lifted_, NodeId{0U}, NodeId{5U}, 1);
+  ChannelDisables failed(dual_.net().channel_count());
+  failed.disable_duplex(dual_.net(), on_x.path.channels[0]);
+  failed.disable_duplex(dual_.net(), on_y.path.channels[0]);
+  EXPECT_FALSE(dual_.select_fabric(lifted_, NodeId{0U}, NodeId{5U}, failed).has_value());
+  EXPECT_GT(dual_.stranded_pairs(lifted_, failed), 0U);
+}
+
+TEST(DualFabric, WorksOnFractahedron) {
+  // The paper's flagship configuration: dual fat-fractahedron fabrics.
+  FractahedronSpec spec;
+  spec.levels = 1;
+  const Fractahedron fh(spec);
+  const DualFabric dual(fh.net());
+  const RoutingTable lifted = dual.lift_routing(fh.routing());
+  EXPECT_EQ(dual.net().router_count(), 8U);
+  for (PortIndex port = 0; port < 2; ++port) {
+    const RouteResult r = trace_route(dual.net(), lifted, NodeId{0U}, NodeId{7U}, port);
+    EXPECT_TRUE(r.ok());
+  }
+  EXPECT_TRUE(is_acyclic(build_cdg(dual.net(), lifted)));
+}
+
+TEST(DualFabric, RejectsDualPortedPrototype) {
+  Network net;
+  const RouterId r = net.add_router();
+  const NodeId n = net.add_node(2);
+  net.connect(Terminal::node(n), 0, Terminal::router(r), 0);
+  net.connect(Terminal::node(n), 1, Terminal::router(r), 1);
+  EXPECT_THROW(DualFabric{net}, PreconditionError);
+}
+
+TEST(DualFabric, LiftRejectsMismatchedTable) {
+  const Mesh2D mesh(MeshSpec{.cols = 2, .rows = 2});
+  const DualFabric dual(mesh.net());
+  const RoutingTable wrong(3, 3);
+  EXPECT_THROW(dual.lift_routing(wrong), PreconditionError);
+}
+
+}  // namespace
+}  // namespace servernet

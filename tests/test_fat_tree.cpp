@@ -1,0 +1,219 @@
+// Tests for the fat-tree builder and its up*/down* routing — §3.3 and
+// Figure 6 of the paper, including the 28-router (4-2) and 100-router
+// (3-3) configurations for 64 nodes.
+#include <gtest/gtest.h>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/contention.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "route/path.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/assert.hpp"
+#include "workload/scenarios.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(FatTree, Paper42Shape) {
+  const FatTree t(FatTreeSpec{});
+  EXPECT_EQ(t.net().router_count(), 28U);  // 16 + 8 + 4 (Table 2)
+  EXPECT_EQ(t.net().node_count(), 64U);
+  EXPECT_EQ(t.levels(), 2U);
+  EXPECT_EQ(t.virtual_switches(0), 16U);
+  EXPECT_EQ(t.virtual_switches(1), 4U);
+  EXPECT_EQ(t.virtual_switches(2), 1U);
+  EXPECT_EQ(t.replicas(0), 1U);
+  EXPECT_EQ(t.replicas(1), 2U);
+  EXPECT_EQ(t.replicas(2), 4U);
+  t.net().validate();
+  EXPECT_TRUE(t.net().is_connected());
+}
+
+TEST(FatTree, Paper33ShapeIsHundredRouters) {
+  // §3.3: "For 64 nodes, a 3-3 fat tree would require 100 routers".
+  const FatTree t(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
+  EXPECT_EQ(t.net().router_count(), 100U);
+  EXPECT_EQ(t.levels(), 3U);
+  EXPECT_EQ(t.virtual_switches(0), 22U);
+  EXPECT_TRUE(t.net().is_connected());
+}
+
+TEST(FatTree, Paper33AverageHops) {
+  // §3.3: "transfers would take an average of 5.9 router hops".
+  const FatTree t(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
+  const HopStats stats = hop_stats(t.net(), t.routing());
+  EXPECT_NEAR(stats.avg_routed, 5.9, 0.1);
+}
+
+TEST(FatTree, Paper42AverageHops) {
+  // Table 2: average hops 4.4 for the 4-2 fat tree.
+  const FatTree t(FatTreeSpec{});
+  const HopStats stats = hop_stats(t.net(), t.routing());
+  EXPECT_NEAR(stats.avg_routed, 4.4, 0.05);
+  EXPECT_EQ(stats.max_routed, 5U);  // up 2, across the root, down 2, plus leaf
+  EXPECT_DOUBLE_EQ(stats.stretch(), 1.0);  // up/down is minimal on a tree
+}
+
+TEST(FatTree, LeafRouterMapping) {
+  const FatTree t(FatTreeSpec{});
+  EXPECT_EQ(t.leaf_router(t.node(0)), t.router(0, 0, 0));
+  EXPECT_EQ(t.leaf_router(t.node(5)), t.router(0, 1, 0));
+  EXPECT_EQ(t.leaf_router(t.node(63)), t.router(0, 15, 0));
+  EXPECT_EQ(t.net().attached_router(t.node(17)), t.leaf_router(t.node(17)));
+}
+
+TEST(FatTree, UplinkWiring) {
+  const FatTree t(FatTreeSpec{});
+  const Network& net = t.net();
+  // Leaf v, up port `down+u` reaches level-1 replica u of vswitch v/4.
+  for (std::uint32_t v = 0; v < 16; ++v) {
+    for (std::uint32_t u = 0; u < 2; ++u) {
+      const ChannelId up = net.router_out(t.router(0, v, 0), 4 + u);
+      ASSERT_TRUE(up.valid());
+      EXPECT_EQ(net.channel(up).dst.router_id(), t.router(1, v / 4, u));
+      EXPECT_EQ(net.channel(up).dst_port, v % 4);
+    }
+  }
+}
+
+TEST(FatTree, RootUpPortsReservedForExpansion) {
+  const FatTree t(FatTreeSpec{});
+  for (std::size_t k = 0; k < t.replicas(2); ++k) {
+    EXPECT_FALSE(t.net().router_out(t.router(2, 0, k), 4).valid());
+    EXPECT_FALSE(t.net().router_out(t.router(2, 0, k), 5).valid());
+  }
+}
+
+TEST(FatTree, RootReplicaPolicyHighDigits) {
+  const FatTree t(FatTreeSpec{});
+  EXPECT_EQ(t.root_replica_for(t.node(0)), 0U);
+  EXPECT_EQ(t.root_replica_for(t.node(15)), 0U);
+  EXPECT_EQ(t.root_replica_for(t.node(16)), 1U);
+  EXPECT_EQ(t.root_replica_for(t.node(63)), 3U);
+}
+
+TEST(FatTree, RootReplicaPolicyLowDigits) {
+  const FatTree t(FatTreeSpec{.policy = UplinkPolicy::kLowDigits});
+  EXPECT_EQ(t.root_replica_for(t.node(0)), 0U);
+  EXPECT_EQ(t.root_replica_for(t.node(5)), 1U);
+  EXPECT_EQ(t.root_replica_for(t.node(63)), 3U);
+}
+
+struct FatTreeCase {
+  std::uint32_t nodes;
+  std::uint32_t down;
+  std::uint32_t up;
+  UplinkPolicy policy;
+};
+
+class FatTreeRouting : public ::testing::TestWithParam<FatTreeCase> {};
+
+TEST_P(FatTreeRouting, AllPairsRoute) {
+  const auto c = GetParam();
+  const FatTree t(FatTreeSpec{.nodes = c.nodes, .down = c.down, .up = c.up,
+                              .router_ports = static_cast<PortIndex>(c.down + c.up),
+                              .policy = c.policy});
+  const RoutingTable table = t.routing();
+  table.validate_against(t.net());
+  EXPECT_FALSE(first_route_failure(t.net(), table).has_value());
+}
+
+TEST_P(FatTreeRouting, DeadlockFree) {
+  const auto c = GetParam();
+  const FatTree t(FatTreeSpec{.nodes = c.nodes, .down = c.down, .up = c.up,
+                              .router_ports = static_cast<PortIndex>(c.down + c.up),
+                              .policy = c.policy});
+  EXPECT_TRUE(is_acyclic(build_cdg(t.net(), t.routing())));
+}
+
+TEST_P(FatTreeRouting, PathsAreFixedAndMinimalOnTheVirtualTree) {
+  const auto c = GetParam();
+  const FatTree t(FatTreeSpec{.nodes = c.nodes, .down = c.down, .up = c.up,
+                              .router_ports = static_cast<PortIndex>(c.down + c.up),
+                              .policy = c.policy});
+  const RoutingTable table = t.routing();
+  for (std::uint32_t s = 0; s < c.nodes; s += 7) {
+    for (std::uint32_t d = 0; d < c.nodes; d += 5) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(t.net(), table, t.node(s), t.node(d));
+      ASSERT_TRUE(r.ok());
+      // Hops = 2 * (divergence level) + 1 on a replicated tree.
+      std::uint32_t level = 0;
+      std::uint64_t span = c.down;
+      while (s / span != d / span) {
+        ++level;
+        span *= c.down;
+      }
+      EXPECT_EQ(r.path.router_hops(), 2U * level + 1U);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FatTreeRouting,
+    ::testing::Values(FatTreeCase{64, 4, 2, UplinkPolicy::kHighDigits},
+                      FatTreeCase{64, 4, 2, UplinkPolicy::kLowDigits},
+                      FatTreeCase{64, 4, 2, UplinkPolicy::kHashed},
+                      FatTreeCase{64, 3, 3, UplinkPolicy::kHighDigits},
+                      FatTreeCase{16, 4, 2, UplinkPolicy::kHighDigits},
+                      FatTreeCase{20, 4, 2, UplinkPolicy::kHighDigits},  // pruned subtrees
+                      FatTreeCase{9, 3, 1, UplinkPolicy::kHighDigits},   // plain tree
+                      FatTreeCase{50, 5, 2, UplinkPolicy::kLowDigits},
+                      FatTreeCase{8, 2, 2, UplinkPolicy::kHighDigits}));
+
+TEST(FatTree, PaperTwelveToOneScenario) {
+  const FatTree t(FatTreeSpec{});
+  const auto transfers = scenarios::fat_tree_quadrant_squeeze(t);
+  ASSERT_EQ(transfers.size(), 12U);
+  EXPECT_EQ(scenario_contention(t.net(), t.routing(), transfers), 12U);
+}
+
+TEST(FatTree, ExhaustiveContentionAtLeastTwelveUnderAnyPolicy) {
+  // §3.3: "Other static partitionings of traffic through the high-level
+  // links can do no better than the 12:1 contention ratio."
+  for (const UplinkPolicy policy :
+       {UplinkPolicy::kHighDigits, UplinkPolicy::kLowDigits, UplinkPolicy::kHashed}) {
+    const FatTree t(FatTreeSpec{.policy = policy});
+    const ContentionReport report = max_link_contention(t.net(), t.routing());
+    EXPECT_GE(report.worst.contention, 12U) << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(FatTree, ExhaustiveContentionFindsDescentSqueeze) {
+  // Reproduction finding (EXPERIMENTS.md E7): all traffic into one quadrant
+  // descends a single top-level link under the high-digit partition, so
+  // the true worst case is 16:1, above the paper's quoted 12:1.
+  const FatTree t(FatTreeSpec{});
+  const ContentionReport report = max_link_contention(t.net(), t.routing());
+  EXPECT_EQ(report.worst.contention, 16U);
+  // The witness is a valid partial permutation.
+  EXPECT_EQ(scenario_contention(t.net(), t.routing(), report.worst.witness),
+            report.worst.contention);
+}
+
+TEST(FatTree, SingleLeafDegenerateCase) {
+  const FatTree t(FatTreeSpec{.nodes = 4, .down = 4, .up = 2});
+  EXPECT_EQ(t.levels(), 0U);
+  EXPECT_EQ(t.net().router_count(), 1U);
+  EXPECT_FALSE(first_route_failure(t.net(), t.routing()).has_value());
+}
+
+TEST(FatTree, RejectsBadSpecs) {
+  EXPECT_THROW(FatTree(FatTreeSpec{.nodes = 1}), PreconditionError);
+  EXPECT_THROW(FatTree(FatTreeSpec{.nodes = 8, .down = 1}), PreconditionError);
+  EXPECT_THROW(FatTree(FatTreeSpec{.nodes = 8, .down = 4, .up = 0}), PreconditionError);
+  EXPECT_THROW(FatTree(FatTreeSpec{.nodes = 8, .down = 5, .up = 2, .router_ports = 6}),
+               PreconditionError);
+}
+
+TEST(FatTree, BoundsCheckedAccessors) {
+  const FatTree t(FatTreeSpec{});
+  EXPECT_THROW(t.router(3, 0, 0), PreconditionError);
+  EXPECT_THROW(t.router(1, 4, 0), PreconditionError);
+  EXPECT_THROW(t.router(1, 0, 2), PreconditionError);
+  EXPECT_THROW(t.node(64), PreconditionError);
+}
+
+}  // namespace
+}  // namespace servernet

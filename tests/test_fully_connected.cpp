@@ -1,0 +1,160 @@
+// Tests for fully-connected router groups — Figure 3 and Figure 4 of the
+// paper, including the tabulated node-port and contention figures.
+#include <gtest/gtest.h>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/contention.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "route/path.hpp"
+#include "topo/fully_connected.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(FullyConnected, TetrahedronShape) {
+  const FullyConnectedGroup tetra(FullyConnectedSpec{});
+  EXPECT_EQ(tetra.net().router_count(), 4U);
+  EXPECT_EQ(tetra.net().node_count(), 12U);  // Figure 3c / Figure 4
+  EXPECT_EQ(tetra.nodes_per_router(), 3U);
+  // K4 has six inter-router cables plus one per node.
+  EXPECT_EQ(tetra.net().link_count(), 6U + 12U);
+  tetra.net().validate();
+}
+
+TEST(FullyConnected, PeerPortConvention) {
+  EXPECT_EQ(FullyConnectedGroup::peer_port(0, 1), 0U);
+  EXPECT_EQ(FullyConnectedGroup::peer_port(0, 3), 2U);
+  EXPECT_EQ(FullyConnectedGroup::peer_port(3, 0), 0U);
+  EXPECT_EQ(FullyConnectedGroup::peer_port(2, 1), 1U);
+  EXPECT_THROW(FullyConnectedGroup::peer_port(1, 1), PreconditionError);
+}
+
+TEST(FullyConnected, PeerWiringIsSymmetric) {
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 5});
+  const Network& net = g.net();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (std::uint32_t j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      const ChannelId out = net.router_out(g.router(i), FullyConnectedGroup::peer_port(i, j));
+      ASSERT_TRUE(out.valid());
+      EXPECT_EQ(net.channel(out).dst.router_id(), g.router(j));
+    }
+  }
+}
+
+struct Figure3Row {
+  std::uint32_t routers;
+  std::uint32_t node_ports;
+  std::uint32_t contention;
+};
+
+class Figure3 : public ::testing::TestWithParam<Figure3Row> {};
+
+// The table printed next to Figure 3: (M, total node ports, max contention).
+TEST_P(Figure3, AnalyticFormulasMatchPaper) {
+  const Figure3Row row = GetParam();
+  EXPECT_EQ(FullyConnectedGroup::analytic_node_ports(row.routers, kServerNetRouterPorts),
+            row.node_ports);
+  if (row.routers >= 2) {
+    EXPECT_EQ(FullyConnectedGroup::analytic_max_contention(row.routers, kServerNetRouterPorts),
+              row.contention);
+  }
+}
+
+TEST_P(Figure3, MeasuredContentionMatchesAnalytic) {
+  const Figure3Row row = GetParam();
+  if (row.routers < 2) GTEST_SKIP();
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = row.routers});
+  const RoutingTable table = g.routing();
+  const ContentionReport report = max_link_contention(g.net(), table);
+  EXPECT_EQ(report.worst.contention, row.contention);
+}
+
+TEST_P(Figure3, BuiltGroupHasTabulatedNodePorts) {
+  const Figure3Row row = GetParam();
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = row.routers});
+  EXPECT_EQ(g.net().node_count(), row.node_ports);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable, Figure3,
+                         ::testing::Values(Figure3Row{1, 6, 0}, Figure3Row{2, 10, 5},
+                                           Figure3Row{3, 12, 4}, Figure3Row{4, 12, 3},
+                                           Figure3Row{5, 10, 2}, Figure3Row{6, 6, 1}));
+
+class FullyConnectedRouting : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FullyConnectedRouting, AllPairsRouteInAtMostTwoRouterHops) {
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = GetParam()});
+  const RoutingTable table = g.routing();
+  table.validate_against(g.net());
+  for (NodeId s : g.net().all_nodes()) {
+    for (NodeId d : g.net().all_nodes()) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(g.net(), table, s, d);
+      ASSERT_TRUE(r.ok());
+      EXPECT_LE(r.path.router_hops(), 2U);
+    }
+  }
+}
+
+TEST_P(FullyConnectedRouting, DeadlockFree) {
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = GetParam()});
+  const ChannelDependencyGraph cdg = build_cdg(g.net(), g.routing());
+  EXPECT_TRUE(is_acyclic(cdg));
+}
+
+TEST_P(FullyConnectedRouting, RoutingKeyedOnHomeRouter) {
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = GetParam()});
+  const RoutingTable table = g.routing();
+  // From any router, all destinations behind the same peer use the same
+  // port — the "exactly two bits of the destination node identifier"
+  // property the paper highlights for the tetrahedron.
+  for (RouterId r : g.net().all_routers()) {
+    for (NodeId d : g.net().all_nodes()) {
+      if (g.home_router(d) == r) continue;
+      EXPECT_EQ(table.port(r, d),
+                FullyConnectedGroup::peer_port(r.value(), g.home_router(d).value()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, FullyConnectedRouting, ::testing::Values(2U, 3U, 4U, 5U, 6U));
+
+TEST(FullyConnected, GeneralizesToOtherRadixes) {
+  // §4: "the concepts easily generalize to other fully connected groups of
+  // N-port routers".
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 5, .router_ports = 8});
+  EXPECT_EQ(g.net().node_count(), 5U * 4U);
+  EXPECT_EQ(FullyConnectedGroup::analytic_max_contention(5, 8), 4U);
+  const ContentionReport report = max_link_contention(g.net(), g.routing());
+  EXPECT_EQ(report.worst.contention, 4U);
+}
+
+TEST(FullyConnected, ExplicitNodesPerRouter) {
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 4, .nodes_per_router = 1});
+  EXPECT_EQ(g.net().node_count(), 4U);
+  EXPECT_EQ(g.home_router(NodeId{2U}), g.router(2));
+}
+
+TEST(FullyConnected, RejectsInvalidSpecs) {
+  EXPECT_THROW(FullyConnectedGroup(FullyConnectedSpec{.routers = 8}), PreconditionError);
+  EXPECT_THROW(FullyConnectedGroup(FullyConnectedSpec{.routers = 7}),
+               PreconditionError);  // zero node ports
+  EXPECT_THROW(FullyConnectedGroup(FullyConnectedSpec{.routers = 4, .nodes_per_router = 4}),
+               PreconditionError);
+}
+
+TEST(FullyConnected, HopStatistics) {
+  const FullyConnectedGroup tetra(FullyConnectedSpec{});
+  const HopStats stats = hop_stats(tetra.net(), tetra.routing());
+  EXPECT_EQ(stats.max_routed, 2U);
+  // Within a router: 1 hop (2 of 11 peers); across: 2 hops.
+  EXPECT_NEAR(stats.avg_routed, (2.0 * 1 + 9.0 * 2) / 11.0, 1e-9);
+  EXPECT_EQ(stats.max_shortest, 2U);
+  EXPECT_DOUBLE_EQ(stats.stretch(), 1.0);
+}
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,210 @@
+// Randomized property tests: the generic algorithms (up*/down* routing,
+// CDG analysis, shortest-path with disables, turn masks, the wormhole
+// simulator) must hold their contracts on arbitrary connected topologies,
+// not just the paper's regular ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "analysis/link_load.hpp"
+#include "route/path.hpp"
+#include "route/shortest_path.hpp"
+#include "route/turn_mask.hpp"
+#include "route/updown.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/network.hpp"
+#include "util/rng.hpp"
+#include "workload/traffic.hpp"
+
+namespace servernet {
+namespace {
+
+/// A random connected network: `routers` routers joined by a random
+/// spanning tree plus `extra_cables` random chords, with nodes hung off
+/// random routers. Port capacity is provisioned generously.
+Network random_network(std::uint64_t seed, std::size_t routers, std::size_t extra_cables,
+                       std::size_t nodes) {
+  Xoshiro256 rng(seed);
+  Network net("fuzz-" + std::to_string(seed));
+  const auto ports = static_cast<PortIndex>(routers + nodes + 2);
+  for (std::size_t i = 0; i < routers; ++i) net.add_router(ports);
+
+  // Random spanning tree: attach each router i >= 1 to a random earlier one.
+  for (std::size_t i = 1; i < routers; ++i) {
+    const std::size_t j = rng.below(i);
+    net.connect_auto(Terminal::router(RouterId{i}), Terminal::router(RouterId{j}));
+  }
+  // Random chords (self-loops skipped).
+  for (std::size_t e = 0; e < extra_cables; ++e) {
+    const std::size_t a = rng.below(routers);
+    const std::size_t b = rng.below(routers);
+    if (a == b) continue;
+    net.connect_auto(Terminal::router(RouterId{a}), Terminal::router(RouterId{b}));
+  }
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const NodeId id = net.add_node();
+    net.connect_auto(Terminal::node(id), Terminal::router(RouterId{rng.below(routers)}));
+  }
+  net.validate();
+  return net;
+}
+
+class RandomTopology : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Network make() const {
+    Xoshiro256 rng(GetParam() * 977 + 3);
+    const std::size_t routers = 3 + rng.below(12);
+    const std::size_t chords = rng.below(routers * 2);
+    const std::size_t nodes = 2 + rng.below(routers);
+    return random_network(GetParam(), routers, chords, nodes);
+  }
+};
+
+TEST_P(RandomTopology, NetworkIsConnectedAndValid) {
+  const Network net = make();
+  EXPECT_TRUE(net.is_connected());
+  EXPECT_GE(net.node_count(), 2U);
+}
+
+TEST_P(RandomTopology, UpDownRoutesEverythingAcyclically) {
+  // The headline property of generic up*/down*: complete and deadlock-free
+  // on ANY connected topology.
+  const Network net = make();
+  const RoutingTable table = updown_routes(net, RouterId{0U});
+  table.validate_against(net);
+  EXPECT_FALSE(first_route_failure(net, table).has_value());
+  EXPECT_TRUE(is_acyclic(build_cdg(net, table)));
+}
+
+TEST_P(RandomTopology, UpDownPathsAreLegal) {
+  const Network net = make();
+  const UpDownClassification cls = classify_updown(net, RouterId{0U});
+  const RoutingTable table = updown_routes(net, cls);
+  for (NodeId s : net.all_nodes()) {
+    for (NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(net, table, s, d);
+      ASSERT_TRUE(r.ok());
+      bool descended = false;
+      for (ChannelId c : r.path.channels) {
+        const Channel& ch = net.channel(c);
+        if (!ch.src.is_router() || !ch.dst.is_router()) continue;
+        if (cls.channel_is_up[c.index()]) {
+          ASSERT_FALSE(descended) << "illegal down-then-up path";
+        } else {
+          descended = true;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RandomTopology, UpDownRootChoiceNeverBreaksCompleteness) {
+  const Network net = make();
+  // Try three different roots; all must route completely and acyclically.
+  for (const std::size_t root : {std::size_t{0}, net.router_count() / 2,
+                                 net.router_count() - 1}) {
+    const RoutingTable table = updown_routes(net, RouterId{root});
+    EXPECT_FALSE(first_route_failure(net, table).has_value()) << "root " << root;
+    EXPECT_TRUE(is_acyclic(build_cdg(net, table))) << "root " << root;
+  }
+}
+
+TEST_P(RandomTopology, ShortestPathIsNeverLongerThanUpDown) {
+  const Network net = make();
+  const HopStats sp = hop_stats(net, shortest_path_routes(net));
+  const HopStats ud = hop_stats(net, updown_routes(net, RouterId{0U}));
+  EXPECT_DOUBLE_EQ(sp.stretch(), 1.0);
+  EXPECT_GE(ud.avg_routed + 1e-12, sp.avg_routed);
+}
+
+TEST_P(RandomTopology, TurnMaskFromUpDownIsAcyclicCertificate) {
+  // The §2.4 enforcement property generalizes: disables derived from any
+  // up*/down* table certify the whole fabric.
+  const Network net = make();
+  const RoutingTable table = updown_routes(net, RouterId{0U});
+  const TurnMask mask = turns_used_by(net, table);
+  EXPECT_TRUE(turn_graph_acyclic(net, mask));
+}
+
+TEST_P(RandomTopology, UniformLoadConservation) {
+  const Network net = make();
+  const RoutingTable table = updown_routes(net, RouterId{0U});
+  const auto load = uniform_link_load(net, table);
+  std::uint64_t total = 0;
+  for (std::uint64_t l : load) total += l;
+  // Total channel crossings == sum of path lengths == pairs * (avg+1).
+  const HopStats stats = hop_stats(net, table);
+  std::uint64_t expected = 0;
+  for (NodeId s : net.all_nodes()) {
+    for (NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      expected += trace_route(net, table, s, d).path.channels.size();
+    }
+  }
+  EXPECT_EQ(total, expected);
+  EXPECT_EQ(stats.pairs, net.node_count() * (net.node_count() - 1));
+}
+
+TEST_P(RandomTopology, SimulatorDrainsUpDownTrafficWithoutDeadlock) {
+  const Network net = make();
+  const RoutingTable table = updown_routes(net, RouterId{0U});
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 8;
+  cfg.no_progress_threshold = 5000;
+  sim::WormholeSim s(net, table, cfg);
+  UniformTraffic pattern(net.node_count());
+  BernoulliInjector injector(s, pattern, 0.5, GetParam());
+  ASSERT_TRUE(injector.run(500)) << "deadlocked while injecting";
+  EXPECT_EQ(injector.drain(500000).outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(s.packets_delivered(), s.packets_offered());
+  EXPECT_EQ(s.metrics().out_of_order_deliveries(), 0U);
+  EXPECT_EQ(s.packets_misdelivered(), 0U);
+}
+
+TEST_P(RandomTopology, SingleCableDisableReroutesOrDisconnects) {
+  // Disabling one random cable: shortest-path routing must still reach
+  // exactly the pairs that remain graph-connected.
+  const Network net = make();
+  Xoshiro256 rng(GetParam() + 555);
+  ChannelDisables disables(net.channel_count());
+  // Pick a random *router-to-router* cable (node cables are not modelled
+  // by table-driven rerouting — losing one isolates the node outright).
+  ChannelId victim = ChannelId::invalid();
+  const std::size_t start = rng.below(net.channel_count());
+  for (std::size_t k = 0; k < net.channel_count(); ++k) {
+    const ChannelId c{(start + k) % net.channel_count()};
+    if (net.channel(c).src.is_router() && net.channel(c).dst.is_router()) {
+      victim = c;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  disables.disable_duplex(net, victim);
+  const RoutingTable table = shortest_path_routes(net, disables);
+  for (NodeId s : net.all_nodes()) {
+    for (NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      const auto dist = distances_to_node(net, d, disables);
+      const RouterId home = net.attached_router(s);
+      const bool reachable = dist[home.index()] != kUnreachable;
+      const RouteResult r = trace_route(net, table, s, d);
+      if (reachable) {
+        EXPECT_TRUE(r.ok());
+        for (ChannelId c : r.path.channels) EXPECT_FALSE(disables.is_disabled(c));
+      } else {
+        EXPECT_FALSE(r.ok());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopology, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,182 @@
+// Integration tests: the paper's cross-topology comparisons assembled
+// end-to-end (Table 2, §3.1 scaling, simulator-vs-analysis agreement).
+#include <gtest/gtest.h>
+
+#include "analysis/bisection.hpp"
+#include "analysis/channel_dependency.hpp"
+#include "analysis/contention.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "core/fractahedron.hpp"
+#include "route/dimension_order.hpp"
+#include "route/path.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/mesh.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/traffic.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(TableTwo, HeadToHead) {
+  // Table 2's 64-node comparison, regenerated in one place:
+  //   attribute            4-2 fat tree   fat fractahedron
+  //   max link contention      12:1            4:1      (paper's metric)
+  //   average hops              4.4             4.3
+  //   routers                    28              48
+  const FatTree tree(FatTreeSpec{});
+  const Fractahedron fracta(FractahedronSpec{});
+  EXPECT_EQ(tree.net().router_count(), 28U);
+  EXPECT_EQ(fracta.net().router_count(), 48U);
+
+  const RoutingTable tree_table = tree.routing();
+  const RoutingTable fracta_table = fracta.routing();
+  EXPECT_NEAR(hop_stats(tree.net(), tree_table).avg_routed, 4.4, 0.05);
+  EXPECT_NEAR(hop_stats(fracta.net(), fracta_table).avg_routed, 4.3, 0.05);
+
+  EXPECT_EQ(scenario_contention(tree.net(), tree_table,
+                                scenarios::fat_tree_quadrant_squeeze(tree)),
+            12U);
+  EXPECT_EQ(scenario_contention(fracta.net(), fracta_table,
+                                scenarios::fractahedron_diagonal(fracta)),
+            4U);
+
+  // Under the exhaustive matching metric the fractahedron still wins 2x
+  // (16:1 vs 8:1) — the reproduction's sharper bound.
+  const std::size_t tree_worst = max_link_contention(tree.net(), tree_table).worst.contention;
+  const std::size_t fracta_worst =
+      max_link_contention(fracta.net(), fracta_table).worst.contention;
+  EXPECT_EQ(tree_worst, 16U);
+  EXPECT_EQ(fracta_worst, 8U);
+  EXPECT_LT(fracta_worst, tree_worst);
+}
+
+TEST(TableTwo, EqualBisectionBandwidth) {
+  // §3.4: "this network has the same bisection bandwidth as the 4-2 fat
+  // tree" — measured at 8 and 16 cables respectively in our counting;
+  // the fractahedron is at least as wide.
+  const FatTree tree(FatTreeSpec{});
+  const Fractahedron fracta(FractahedronSpec{});
+  const std::size_t tree_cut = estimate_bisection(tree.net(), 4).best_cut;
+  const std::size_t fracta_cut = estimate_bisection(fracta.net(), 4).best_cut;
+  EXPECT_GE(fracta_cut, tree_cut);
+}
+
+TEST(MeshScaling, PaperSection31Numbers) {
+  struct Row {
+    std::uint32_t side;
+    std::size_t max_hops;
+  };
+  // "Maximum latency for this network is 11 router hops" (6x6);
+  // "an 8x8 mesh with a maximum of 15 router hops";
+  // "a 1024 node network requires a 23x23 mesh and 45 hops".
+  for (const Row row : {Row{6, 11}, Row{8, 15}}) {
+    const Mesh2D mesh(MeshSpec{.cols = row.side, .rows = row.side});
+    const HopStats stats = hop_stats(mesh.net(), dimension_order_routes(mesh));
+    EXPECT_EQ(stats.max_routed, row.max_hops) << "side " << row.side;
+  }
+  // The 23x23 case is asserted analytically (all-pairs tracing over 1058
+  // nodes is bench territory): corner-to-corner is 22+22 channels plus the
+  // delivery hop = 45 routers.
+  EXPECT_EQ(2 * (23 - 1) + 1, 45);
+}
+
+TEST(DelayScaling, FractahedronBeatsMeshAtScale) {
+  // §3.1: "The router delays scale quickly as the number of nodes grows"
+  // for the mesh; fractahedral delays grow logarithmically.
+  const Mesh2D mesh(MeshSpec{.cols = 8, .rows = 8, .nodes_per_router = 1});
+  FractahedronSpec spec;
+  spec.levels = 2;  // 64 nodes
+  const Fractahedron fracta(spec);
+  ASSERT_EQ(mesh.net().node_count(), fracta.net().node_count());
+  const HopStats mesh_stats = hop_stats(mesh.net(), dimension_order_routes(mesh));
+  const HopStats fracta_stats = hop_stats(fracta.net(), fracta.routing());
+  EXPECT_LT(fracta_stats.max_routed, mesh_stats.max_routed);
+  EXPECT_LT(fracta_stats.avg_routed, mesh_stats.avg_routed);
+}
+
+TEST(SimVsAnalysis, ContentionShowsUpAsLatency) {
+  // The paper's motivation for low contention: run the adversarial
+  // transfer sets through the simulator and confirm the fat tree's 12:1
+  // squeeze hurts more than the fractahedron's 4:1 diagonal.
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 8;
+
+  const FatTree tree(FatTreeSpec{});
+  const RoutingTable tree_table = tree.routing();
+  sim::WormholeSim tree_sim(tree.net(), tree_table, cfg);
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const Transfer& t : scenarios::fat_tree_quadrant_squeeze(tree)) {
+      tree_sim.offer_packet(t.src, t.dst);
+    }
+  }
+  ASSERT_EQ(tree_sim.run_until_drained(1000000).outcome, sim::RunOutcome::kCompleted);
+
+  const Fractahedron fracta(FractahedronSpec{});
+  const RoutingTable fracta_table = fracta.routing();
+  sim::WormholeSim fracta_sim(fracta.net(), fracta_table, cfg);
+  // Offer the same number of packets (12 * 8 = 96) over the diagonal set.
+  for (int rep = 0; rep < 24; ++rep) {
+    for (const Transfer& t : scenarios::fractahedron_diagonal(fracta)) {
+      fracta_sim.offer_packet(t.src, t.dst);
+    }
+  }
+  ASSERT_EQ(fracta_sim.run_until_drained(1000000).outcome, sim::RunOutcome::kCompleted);
+
+  EXPECT_GT(tree_sim.metrics().latency().quantile(0.95),
+            fracta_sim.metrics().latency().quantile(0.95));
+}
+
+TEST(SimVsAnalysis, AcyclicTopologiesNeverDeadlockUnderStress) {
+  // Property link: every (topology, routing) pair whose CDG we certify
+  // acyclic must survive saturating random traffic in the simulator.
+  struct Case {
+    const char* name;
+    Network net;
+    RoutingTable table;
+  };
+  std::vector<Case> cases;
+  {
+    const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+    cases.push_back({"mesh", mesh.net(), dimension_order_routes(mesh)});
+  }
+  {
+    const FatTree tree(FatTreeSpec{.nodes = 32});
+    cases.push_back({"fat-tree", tree.net(), tree.routing()});
+  }
+  {
+    FractahedronSpec spec;
+    spec.levels = 2;
+    spec.kind = FractahedronKind::kThin;
+    const Fractahedron fh(spec);
+    cases.push_back({"thin-fracta", fh.net(), fh.routing()});
+  }
+  for (const Case& c : cases) {
+    ASSERT_TRUE(is_acyclic(build_cdg(c.net, c.table))) << c.name;
+    sim::SimConfig cfg;
+    cfg.fifo_depth = 2;
+    cfg.flits_per_packet = 8;
+    cfg.no_progress_threshold = 5000;
+    sim::WormholeSim s(c.net, c.table, cfg);
+    UniformTraffic pattern(c.net.node_count());
+    BernoulliInjector injector(s, pattern, 0.8, /*seed=*/17);
+    ASSERT_TRUE(injector.run(2000)) << c.name << " deadlocked during injection";
+    EXPECT_EQ(injector.drain(500000).outcome, sim::RunOutcome::kCompleted) << c.name;
+    EXPECT_EQ(s.metrics().out_of_order_deliveries(), 0U) << c.name;
+  }
+}
+
+TEST(RoutersVsPerformance, CostOfContentionReduction) {
+  // §3.4: "The cost of the contention reduction is an increase in the
+  // number of routers from 28 to 48."
+  const FatTree tree(FatTreeSpec{});
+  const Fractahedron fracta(FractahedronSpec{});
+  EXPECT_EQ(fracta.net().router_count() - tree.net().router_count(), 20U);
+  // Same node count, same router silicon (6-port), more routers buys 3x
+  // less worst-case contention under the paper's metric.
+}
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,141 @@
+// Tests for the generic k-ary n-cube family: structural equivalence with
+// the dedicated 2-D builders, dimension-order routing properties across
+// dimensionalities, and the §3.1 scaling picture in n dimensions.
+#include <gtest/gtest.h>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "route/dimension_order.hpp"
+#include "route/path.hpp"
+#include "topo/kary_ncube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/torus.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(KAryNCube, MatchesDedicated2DMeshShape) {
+  const KAryNCube generic(KAryNCubeSpec{.dims = {6, 6}, .nodes_per_router = 2});
+  const Mesh2D dedicated(MeshSpec{});
+  EXPECT_EQ(generic.net().router_count(), dedicated.net().router_count());
+  EXPECT_EQ(generic.net().node_count(), dedicated.net().node_count());
+  EXPECT_EQ(generic.net().link_count(), dedicated.net().link_count());
+}
+
+TEST(KAryNCube, MatchesDedicated2DTorusShape) {
+  const KAryNCube generic(
+      KAryNCubeSpec{.dims = {4, 4}, .wrap = true, .nodes_per_router = 2});
+  const Torus2D dedicated(TorusSpec{});
+  EXPECT_EQ(generic.net().router_count(), dedicated.net().router_count());
+  EXPECT_EQ(generic.net().link_count(), dedicated.net().link_count());
+}
+
+TEST(KAryNCube, CoordinateRoundTrip) {
+  const KAryNCube cube(KAryNCubeSpec{.dims = {3, 4, 5}});
+  for (std::uint32_t x = 0; x < 3; ++x) {
+    for (std::uint32_t y = 0; y < 4; ++y) {
+      for (std::uint32_t z = 0; z < 5; ++z) {
+        const RouterId r = cube.router_at({x, y, z});
+        EXPECT_EQ(cube.coords(r), (std::vector<std::uint32_t>{x, y, z}));
+      }
+    }
+  }
+}
+
+TEST(KAryNCube, WiringDirections) {
+  const KAryNCube cube(KAryNCubeSpec{.dims = {3, 3, 3}});
+  const Network& net = cube.net();
+  const ChannelId up = net.router_out(cube.router_at({1, 1, 1}), KAryNCube::positive_port(2));
+  ASSERT_TRUE(up.valid());
+  EXPECT_EQ(net.channel(up).dst.router_id(), cube.router_at({1, 1, 2}));
+  // Open edges stay unwired on meshes.
+  EXPECT_FALSE(
+      net.router_out(cube.router_at({2, 0, 0}), KAryNCube::positive_port(0)).valid());
+}
+
+TEST(KAryNCube, TorusWrapsEveryDimension) {
+  const KAryNCube torus(KAryNCubeSpec{.dims = {3, 4}, .wrap = true});
+  const ChannelId wrap =
+      torus.net().router_out(torus.router_at({2, 1}), KAryNCube::positive_port(0));
+  ASSERT_TRUE(wrap.valid());
+  EXPECT_EQ(torus.net().channel(wrap).dst.router_id(), torus.router_at({0, 1}));
+}
+
+TEST(KAryNCube, DorMatchesDedicatedMeshRouting) {
+  // Same topology, same routing decisions as the dedicated 2-D builder
+  // (modulo port numbering): path lengths agree on every pair.
+  const KAryNCube generic(KAryNCubeSpec{.dims = {4, 4}, .nodes_per_router = 2});
+  const Mesh2D dedicated(MeshSpec{.cols = 4, .rows = 4});
+  const RoutingTable gt = generic.dimension_order();
+  const RoutingTable dt = dimension_order_routes(dedicated);
+  for (NodeId s : generic.net().all_nodes()) {
+    for (NodeId d : generic.net().all_nodes()) {
+      if (s == d) continue;
+      EXPECT_EQ(trace_route(generic.net(), gt, s, d).path.router_hops(),
+                trace_route(dedicated.net(), dt, s, d).path.router_hops());
+    }
+  }
+}
+
+class MeshDims : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(MeshDims, DimensionOrderIsMinimalAndDeadlockFree) {
+  const KAryNCube cube(KAryNCubeSpec{.dims = GetParam()});
+  const RoutingTable table = cube.dimension_order();
+  EXPECT_FALSE(first_route_failure(cube.net(), table).has_value());
+  const HopStats stats = hop_stats(cube.net(), table);
+  EXPECT_DOUBLE_EQ(stats.stretch(), 1.0);
+  EXPECT_TRUE(is_acyclic(build_cdg(cube.net(), table)));
+  std::size_t diameter = 1;  // delivery router
+  for (const std::uint32_t d : GetParam()) diameter += d - 1;
+  EXPECT_EQ(stats.max_routed, diameter);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshDims,
+                         ::testing::Values(std::vector<std::uint32_t>{7},
+                                           std::vector<std::uint32_t>{4, 5},
+                                           std::vector<std::uint32_t>{3, 3, 3},
+                                           std::vector<std::uint32_t>{2, 3, 2, 3},
+                                           std::vector<std::uint32_t>{1, 4, 4}));
+
+TEST(KAryNCube, TorusDimensionOrderIsCyclic) {
+  // Minimal routing over wraps closes dependency loops — the §2 premise
+  // in n dimensions, and why E15 needs dateline VCs.
+  const KAryNCube torus(KAryNCubeSpec{.dims = {4, 4}, .wrap = true});
+  EXPECT_FALSE(is_acyclic(build_cdg(torus.net(), torus.dimension_order())));
+}
+
+TEST(KAryNCube, Section31InThreeDimensions) {
+  // §3.1's 1024-node scaling complaint, revisited with a third dimension:
+  // same node count, 22 router hops instead of 45, at two extra ports per
+  // router (8-port instead of 6-port ASICs).
+  const KAryNCube flat(KAryNCubeSpec{.dims = {23, 23}, .nodes_per_router = 2});
+  const KAryNCube cube(KAryNCubeSpec{.dims = {8, 8, 8}, .nodes_per_router = 2});
+  EXPECT_EQ(flat.net().node_count(), 1058U);
+  EXPECT_EQ(cube.net().node_count(), 1024U);
+  EXPECT_EQ(flat.spec().router_ports, 6U);
+  EXPECT_EQ(cube.spec().router_ports, 8U);
+  const RouteResult far = trace_route(cube.net(), cube.dimension_order(),
+                                      cube.node_at({0, 0, 0}), cube.node_at({7, 7, 7}));
+  ASSERT_TRUE(far.ok());
+  EXPECT_EQ(far.path.router_hops(), 7U * 3U + 1U);  // 22 vs the 2-D mesh's 45
+}
+
+TEST(KAryNCube, Validation) {
+  EXPECT_THROW(KAryNCube(KAryNCubeSpec{.dims = {}}), PreconditionError);
+  EXPECT_THROW(KAryNCube(KAryNCubeSpec{.dims = {4, 0}}), PreconditionError);
+  EXPECT_THROW(KAryNCube(KAryNCubeSpec{.dims = {2, 2}, .wrap = true}), PreconditionError);
+  EXPECT_THROW(KAryNCube(KAryNCubeSpec{.dims = {4, 4}, .router_ports = 3}),
+               PreconditionError);
+}
+
+TEST(KAryNCube, SingleExtentDimensionsAreDegenerate) {
+  const KAryNCube line(KAryNCubeSpec{.dims = {1, 5}});
+  EXPECT_EQ(line.net().router_count(), 5U);
+  EXPECT_FALSE(first_route_failure(line.net(), line.dimension_order()).has_value());
+}
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,144 @@
+// Tests for link-load accounting, load summaries, hop statistics, and
+// reflexivity — the §2 "uneven link utilization" and "non-reflexive
+// routing" measurements.
+#include <gtest/gtest.h>
+
+#include "analysis/hops.hpp"
+#include "analysis/link_load.hpp"
+#include "analysis/reflexivity.hpp"
+#include "route/dimension_order.hpp"
+#include "route/ecube.hpp"
+#include "route/path.hpp"
+#include "route/shortest_path.hpp"
+#include "route/updown.hpp"
+#include "topo/fully_connected.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(LinkLoad, ConservesPathLengths) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const auto load = uniform_link_load(mesh.net(), table);
+  std::uint64_t total_load = 0;
+  for (std::uint64_t l : load) total_load += l;
+  std::uint64_t total_channels = 0;
+  for (NodeId s : mesh.net().all_nodes()) {
+    for (NodeId d : mesh.net().all_nodes()) {
+      if (s == d) continue;
+      total_channels += trace_route(mesh.net(), table, s, d).path.channels.size();
+    }
+  }
+  EXPECT_EQ(total_load, total_channels);
+}
+
+TEST(LinkLoad, InjectionChannelsCarryExactlyTheirSourcePairs) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const auto load = uniform_link_load(mesh.net(), dimension_order_routes(mesh));
+  const std::size_t others = mesh.net().node_count() - 1;
+  for (NodeId n : mesh.net().all_nodes()) {
+    EXPECT_EQ(load[mesh.net().node_out(n).index()], others);
+    EXPECT_EQ(load[mesh.net().node_in(n).index()], others);
+  }
+}
+
+TEST(LinkLoad, TransferListCountsOnlyListedRoutes) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const std::vector<Transfer> transfers{{mesh.node_at(0, 0, 0), mesh.node_at(2, 0, 0)}};
+  const auto load = transfer_link_load(mesh.net(), table, transfers);
+  std::uint64_t total = 0;
+  for (std::uint64_t l : load) total += l;
+  EXPECT_EQ(total, trace_route(mesh.net(), table, transfers[0].src, transfers[0].dst)
+                       .path.channels.size());
+}
+
+TEST(LinkLoad, SummaryExcludesNodeChannels) {
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
+  const auto load = uniform_link_load(g.net(), g.routing());
+  const LoadSummary summary = summarize_router_links(g.net(), load);
+  EXPECT_EQ(summary.channels, 2U);  // the two directions of the single cable
+  // Each direction carries 5x5 = 25 cross-router routes.
+  EXPECT_EQ(summary.min, 25U);
+  EXPECT_EQ(summary.max, 25U);
+  EXPECT_DOUBLE_EQ(summary.imbalance, 1.0);
+}
+
+TEST(LinkLoad, SummarySizeChecked) {
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
+  EXPECT_THROW(summarize_router_links(g.net(), std::vector<std::uint64_t>(3)),
+               PreconditionError);
+}
+
+TEST(LinkLoad, EmptyRouterlessSummary) {
+  Network net;
+  net.add_node();
+  net.add_node();
+  const LoadSummary summary = summarize_router_links(net, {});
+  EXPECT_EQ(summary.channels, 0U);
+  EXPECT_EQ(summary.min, 0U);
+}
+
+TEST(HopStats, LineNetwork) {
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 1, .nodes_per_router = 1});
+  const HopStats stats = hop_stats(mesh.net(), dimension_order_routes(mesh));
+  EXPECT_EQ(stats.pairs, 12U);
+  EXPECT_EQ(stats.max_routed, 4U);
+  EXPECT_EQ(stats.max_shortest, 4U);
+  // Distances: 1 router apart -> 2 hops, etc. Average over ordered pairs:
+  // hops = manhattan + 1: (6*1 + 4*2 + 2*3)/12 pairs each direction.
+  EXPECT_NEAR(stats.avg_routed, (6 * 2.0 + 4 * 3.0 + 2 * 4.0 + 12 * 1.0 - 12) / 12.0, 1e-9);
+}
+
+TEST(HopStats, ShortestOnlyVariantMatchesRoutedForMinimalRouting) {
+  const Hypercube cube(HypercubeSpec{});
+  const HopStats routed = hop_stats(cube.net(), ecube_routes(cube));
+  const HopStats shortest = shortest_hop_stats(cube.net());
+  EXPECT_DOUBLE_EQ(routed.avg_routed, shortest.avg_shortest);
+  EXPECT_EQ(routed.max_routed, shortest.max_shortest);
+}
+
+TEST(HopStats, StretchAboveOneForDetouringRoutes) {
+  // Disable a mesh cable and reroute: some pairs detour, so stretch > 1
+  // relative to the intact graph is not guaranteed — instead compare
+  // against the *restricted* graph by checking monotonicity of averages.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  ChannelDisables disables(mesh.net().channel_count());
+  disables.disable_duplex(mesh.net(),
+                          mesh.net().router_out(mesh.router_at(0, 0), mesh_port::kEast));
+  const RoutingTable detour = shortest_path_routes(mesh.net(), disables);
+  const HopStats stats = hop_stats(mesh.net(), detour);
+  EXPECT_GT(stats.stretch(), 1.0);
+}
+
+TEST(Reflexivity, FullyConnectedGroupsAreFullyReflexive) {
+  const FullyConnectedGroup tetra(FullyConnectedSpec{});
+  const ReflexivityReport rep = reflexivity(tetra.net(), tetra.routing());
+  EXPECT_EQ(rep.pairs, 12U * 11U / 2U);
+  EXPECT_EQ(rep.reflexive, rep.pairs);
+  EXPECT_DOUBLE_EQ(rep.fraction(), 1.0);
+}
+
+TEST(Reflexivity, EcubeMirrorsOnlyShortPairs) {
+  // E-cube fixes dimensions lowest-first in both directions, so a route
+  // and its reverse coincide only when at most one dimension differs.
+  const Hypercube cube(HypercubeSpec{});
+  const ReflexivityReport rep = reflexivity(cube.net(), ecube_routes(cube));
+  EXPECT_EQ(rep.pairs, 28U);
+  EXPECT_EQ(rep.reflexive, 12U);  // the 12 cube edges
+  EXPECT_NEAR(rep.fraction(), 12.0 / 28.0, 1e-12);
+}
+
+TEST(Reflexivity, UpDownOnHypercubeMeasured) {
+  const Hypercube cube(HypercubeSpec{});
+  const ReflexivityReport rep =
+      reflexivity(cube.net(), updown_routes(cube.net(), cube.router(7)));
+  EXPECT_EQ(rep.pairs, 28U);
+  EXPECT_EQ(rep.reflexive, 18U);  // measured; §2's "most traffic is not reflexive" in miniature
+}
+
+}  // namespace
+}  // namespace servernet

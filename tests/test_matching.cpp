@@ -1,0 +1,156 @@
+// Tests for Hopcroft–Karp maximum bipartite matching, including a
+// property sweep against a brute-force reference on random graphs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/matching.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace servernet {
+namespace {
+
+/// Exponential-time exact matching by recursion over left vertices.
+std::size_t brute_force_matching(const BipartiteGraph& g) {
+  std::vector<char> used(g.right_count(), 0);
+  std::size_t best = 0;
+  auto recurse = [&](auto&& self, std::size_t left, std::size_t matched) -> void {
+    if (left == g.left_count()) {
+      best = std::max(best, matched);
+      return;
+    }
+    // Upper-bound prune.
+    if (matched + (g.left_count() - left) <= best) return;
+    self(self, left + 1, matched);  // leave `left` unmatched
+    for (std::uint32_t r : g.neighbors(left)) {
+      if (!used[r]) {
+        used[r] = 1;
+        self(self, left + 1, matched + 1);
+        used[r] = 0;
+      }
+    }
+  };
+  recurse(recurse, 0, 0);
+  return best;
+}
+
+TEST(Matching, EmptyGraph) {
+  const BipartiteGraph g(0, 0);
+  EXPECT_EQ(maximum_bipartite_matching(g).size, 0U);
+}
+
+TEST(Matching, NoEdges) {
+  const BipartiteGraph g(3, 3);
+  EXPECT_EQ(maximum_bipartite_matching(g).size, 0U);
+}
+
+TEST(Matching, PerfectMatchingOnIdentity) {
+  BipartiteGraph g(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) g.add_edge(i, i);
+  const MatchingResult m = maximum_bipartite_matching(g);
+  EXPECT_EQ(m.size, 4U);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(m.match_of_left[i], i);
+}
+
+TEST(Matching, StarGraphMatchesOne) {
+  BipartiteGraph g(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) g.add_edge(i, 0);
+  EXPECT_EQ(maximum_bipartite_matching(g).size, 1U);
+}
+
+TEST(Matching, AugmentingPathRequired) {
+  // Classic case where greedy fails: l0-{r0,r1}, l1-{r0}. Greedy could
+  // match l0-r0 and strand l1; the maximum is 2.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const MatchingResult m = maximum_bipartite_matching(g);
+  EXPECT_EQ(m.size, 2U);
+  EXPECT_EQ(m.match_of_left[0], 1U);
+  EXPECT_EQ(m.match_of_left[1], 0U);
+}
+
+TEST(Matching, LongAugmentingChain) {
+  // l_i connects to r_i and r_{i+1}; plus l_n connects to r_0 only:
+  // perfect matching exists but requires a chain of flips.
+  constexpr std::size_t n = 6;
+  BipartiteGraph g(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(i, i);
+    g.add_edge(i, i + 1);
+  }
+  g.add_edge(n, 0);
+  EXPECT_EQ(maximum_bipartite_matching(g).size, n + 1);
+}
+
+TEST(Matching, CompleteBipartite) {
+  BipartiteGraph g(4, 7);
+  for (std::size_t l = 0; l < 4; ++l) {
+    for (std::size_t r = 0; r < 7; ++r) g.add_edge(l, r);
+  }
+  EXPECT_EQ(maximum_bipartite_matching(g).size, 4U);
+}
+
+TEST(Matching, DuplicateEdgesHarmless) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 0);
+  g.add_edge(1, 1);
+  EXPECT_EQ(maximum_bipartite_matching(g).size, 2U);
+}
+
+TEST(Matching, MatchVectorConsistent) {
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  g.add_edge(2, 2);
+  const MatchingResult m = maximum_bipartite_matching(g);
+  EXPECT_EQ(m.size, 2U);
+  std::vector<char> right_used(3, 0);
+  std::size_t matched = 0;
+  for (std::size_t l = 0; l < 3; ++l) {
+    const std::uint32_t r = m.match_of_left[l];
+    if (r == MatchingResult::kUnmatched) continue;
+    ++matched;
+    EXPECT_LT(r, 3U);
+    EXPECT_FALSE(right_used[r]) << "right vertex matched twice";
+    right_used[r] = 1;
+    const auto& nbrs = g.neighbors(l);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), r), nbrs.end())
+        << "matched along a non-edge";
+  }
+  EXPECT_EQ(matched, m.size);
+}
+
+TEST(Matching, EdgeBoundsChecked) {
+  BipartiteGraph g(1, 1);
+  EXPECT_THROW(g.add_edge(1, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 1), PreconditionError);
+}
+
+class MatchingVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingVsBruteForce, AgreesOnRandomGraphs) {
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t nl = 1 + rng.below(7);
+    const std::size_t nr = 1 + rng.below(7);
+    BipartiteGraph g(nl, nr);
+    for (std::size_t l = 0; l < nl; ++l) {
+      for (std::size_t r = 0; r < nr; ++r) {
+        if (rng.bernoulli(0.35)) g.add_edge(l, r);
+      }
+    }
+    const std::size_t fast = maximum_bipartite_matching(g).size;
+    const std::size_t slow = brute_force_matching(g);
+    ASSERT_EQ(fast, slow) << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingVsBruteForce,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 42ULL, 1996ULL));
+
+}  // namespace
+}  // namespace servernet

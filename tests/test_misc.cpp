@@ -1,0 +1,155 @@
+// Remaining coverage: DOT export of the paper's figures, stats odds and
+// ends, describe() helpers, and cross-module smoke paths not exercised
+// elsewhere.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/hops.hpp"
+#include "core/fractahedron.hpp"
+#include "route/path.hpp"
+#include "route/shortest_path.hpp"
+#include "sim/deadlock_detector.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/dot.hpp"
+#include "topo/fully_connected.hpp"
+#include "topo/ring.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(Dot, TetrahedronMatchesFigureFour) {
+  // Figure 4's tetrahedron: four routers, six undirected router edges,
+  // twelve boxed nodes.
+  const FullyConnectedGroup tetra(FullyConnectedSpec{});
+  const std::string dot = to_dot(tetra.net());
+  std::size_t router_edges = 0;
+  std::istringstream lines(dot);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find(" -- ") != std::string::npos && line.find('n') == std::string::npos) {
+      ++router_edges;
+    }
+  }
+  EXPECT_EQ(router_edges, 6U);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+}
+
+TEST(Dot, FractahedronRouterLabelsEncodePosition) {
+  const Fractahedron fh(FractahedronSpec{});
+  const std::string dot = to_dot(fh.net(), DotOptions{.include_nodes = false});
+  // Level-2 layer labels from the builder: L2S0Y<layer>R<member>.
+  EXPECT_NE(dot.find("L2S0Y3R2"), std::string::npos);
+  EXPECT_NE(dot.find("L1S7Y0R0"), std::string::npos);
+  EXPECT_EQ(dot.find("n0"), std::string::npos);
+}
+
+TEST(Stats, AccumulatorSum) {
+  Accumulator acc;
+  acc.add(1.5);
+  acc.add(2.5);
+  EXPECT_DOUBLE_EQ(acc.sum(), 4.0);
+}
+
+TEST(Stats, SampleSetReserveAndSize) {
+  SampleSet s;
+  s.reserve(100);
+  EXPECT_TRUE(s.empty());
+  s.add(1.0);
+  EXPECT_EQ(s.size(), 1U);
+  EXPECT_EQ(s.samples().size(), 1U);
+}
+
+TEST(Table, PrintToStream) {
+  TextTable t({"a"});
+  t.row().cell("x");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| x |"), std::string::npos);
+}
+
+TEST(Describe, DeadlockReportEmptyCase) {
+  const Ring ring(RingSpec{});
+  const sim::DeadlockReport empty;
+  EXPECT_EQ(describe(ring.net(), empty), "no circular wait found");
+}
+
+TEST(Describe, PathRendering) {
+  const FullyConnectedGroup tetra(FullyConnectedSpec{});
+  const RoutingTable table = tetra.routing();
+  const RouteResult r = trace_route(tetra.net(), table, tetra.node(0, 0), tetra.node(3, 2));
+  ASSERT_TRUE(r.ok());
+  const std::string text = describe(tetra.net(), r.path);
+  EXPECT_NE(text.find("node 0"), std::string::npos);
+  EXPECT_NE(text.find("-> r"), std::string::npos);
+  EXPECT_NE(text.find("2 router hops"), std::string::npos);
+}
+
+TEST(HopStatsMisc, ShortestVariantThrowsOnDisconnected) {
+  Network net;
+  const RouterId r0 = net.add_router();
+  const RouterId r1 = net.add_router();
+  const NodeId n0 = net.add_node();
+  const NodeId n1 = net.add_node();
+  net.connect(Terminal::node(n0), 0, Terminal::router(r0), 0);
+  net.connect(Terminal::node(n1), 0, Terminal::router(r1), 0);
+  EXPECT_THROW(shortest_hop_stats(net), PreconditionError);
+}
+
+TEST(PacketRecords, LifecycleTimestampsAreOrdered) {
+  const Ring ring(RingSpec{});
+  const RoutingTable table = shortest_path_routes(ring.net());
+  sim::SimConfig cfg;
+  cfg.flits_per_packet = 4;
+  sim::WormholeSim s(ring.net(), table, cfg);
+  s.run_for(10);  // offer after time has advanced
+  const sim::PacketId id = s.offer_packet(ring.node(0, 0), ring.node(1, 0));
+  ASSERT_EQ(s.run_until_drained(1000).outcome, sim::RunOutcome::kCompleted);
+  const sim::PacketRecord& rec = s.packet(id);
+  EXPECT_TRUE(rec.injected);
+  EXPECT_TRUE(rec.delivered);
+  EXPECT_EQ(rec.offered_cycle, 10U);
+  EXPECT_GE(rec.injected_cycle, rec.offered_cycle);
+  EXPECT_GT(rec.delivered_cycle, rec.injected_cycle);
+  EXPECT_EQ(rec.flits, 4U);
+}
+
+TEST(Scenario, RingShiftOnOddRing) {
+  const Ring ring(RingSpec{.routers = 5});
+  const auto transfers = scenarios::ring_circular_shift(ring);
+  EXPECT_EQ(transfers.size(), 5U);
+  // k/2 = 2 positions around.
+  EXPECT_EQ(transfers[0].dst, ring.node(2, 0));
+}
+
+TEST(FractahedronMisc, KindNames) {
+  EXPECT_EQ(to_string(FractahedronKind::kThin), "thin");
+  EXPECT_EQ(to_string(FractahedronKind::kFat), "fat");
+}
+
+TEST(FractahedronMisc, NetworkNameEncodesSpec) {
+  FractahedronSpec spec;
+  spec.levels = 2;
+  spec.kind = FractahedronKind::kThin;
+  spec.cpu_pair_fanout = true;
+  const Fractahedron fh(spec);
+  EXPECT_EQ(fh.net().name(), "thin-fractahedron-N2-fanout");
+}
+
+TEST(FractahedronMisc, FanoutAccessorGuards) {
+  const Fractahedron no_fanout(FractahedronSpec{});
+  EXPECT_THROW(no_fanout.fanout_router(0, 0), PreconditionError);
+  FractahedronSpec spec;
+  spec.levels = 1;
+  spec.cpu_pair_fanout = true;
+  const Fractahedron with_fanout(spec);
+  EXPECT_THROW(with_fanout.fanout_router(1, 0), PreconditionError);
+  EXPECT_THROW(with_fanout.fanout_router(0, 8), PreconditionError);
+}
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,228 @@
+// Unit tests for the Network graph substrate: element creation, duplex
+// wiring, port bookkeeping, validation, and DOT export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topo/dot.hpp"
+#include "topo/network.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(Terminal, Factories) {
+  const Terminal r = Terminal::router(RouterId{3U});
+  const Terminal n = Terminal::node(NodeId{5U});
+  EXPECT_TRUE(r.is_router());
+  EXPECT_FALSE(r.is_node());
+  EXPECT_EQ(r.router_id(), RouterId{3U});
+  EXPECT_TRUE(n.is_node());
+  EXPECT_EQ(n.node_id(), NodeId{5U});
+  EXPECT_THROW(r.node_id(), PreconditionError);
+  EXPECT_THROW(n.router_id(), PreconditionError);
+}
+
+TEST(Network, StartsEmpty) {
+  Network net;
+  EXPECT_EQ(net.router_count(), 0U);
+  EXPECT_EQ(net.node_count(), 0U);
+  EXPECT_EQ(net.channel_count(), 0U);
+  net.validate();
+  EXPECT_TRUE(net.is_connected());  // vacuously
+}
+
+TEST(Network, AddRouterDefaultsToSixPorts) {
+  Network net;
+  const RouterId r = net.add_router();
+  EXPECT_EQ(net.router_ports(r), kServerNetRouterPorts);
+  EXPECT_EQ(net.router_degree(r), 0U);
+  EXPECT_EQ(net.first_free_port(Terminal::router(r)), 0U);
+}
+
+TEST(Network, ConnectCreatesDuplexPair) {
+  Network net;
+  const RouterId a = net.add_router();
+  const RouterId b = net.add_router();
+  const auto [ab, ba] = net.connect(Terminal::router(a), 2, Terminal::router(b), 4);
+  EXPECT_EQ(net.channel_count(), 2U);
+  EXPECT_EQ(net.link_count(), 1U);
+  const Channel& fwd = net.channel(ab);
+  const Channel& rev = net.channel(ba);
+  EXPECT_EQ(fwd.reverse, ba);
+  EXPECT_EQ(rev.reverse, ab);
+  EXPECT_EQ(fwd.src_port, 2U);
+  EXPECT_EQ(fwd.dst_port, 4U);
+  EXPECT_EQ(rev.src, fwd.dst);
+  EXPECT_EQ(net.router_out(a, 2), ab);
+  EXPECT_EQ(net.router_in(a, 2), ba);
+  EXPECT_EQ(net.router_out(b, 4), ba);
+  net.validate();
+}
+
+TEST(Network, ConnectRejectsBusyPort) {
+  Network net;
+  const RouterId a = net.add_router();
+  const RouterId b = net.add_router();
+  const RouterId c = net.add_router();
+  net.connect(Terminal::router(a), 0, Terminal::router(b), 0);
+  EXPECT_THROW(net.connect(Terminal::router(a), 0, Terminal::router(c), 0), PreconditionError);
+}
+
+TEST(Network, ConnectRejectsOutOfRangePort) {
+  Network net;
+  const RouterId a = net.add_router(2);
+  const RouterId b = net.add_router(2);
+  EXPECT_THROW(net.connect(Terminal::router(a), 2, Terminal::router(b), 0), PreconditionError);
+}
+
+TEST(Network, ConnectRejectsSelf) {
+  Network net;
+  const RouterId a = net.add_router();
+  EXPECT_THROW(net.connect(Terminal::router(a), 0, Terminal::router(a), 1), PreconditionError);
+}
+
+TEST(Network, ConnectAutoPicksLowestFreePorts) {
+  Network net;
+  const RouterId a = net.add_router();
+  const RouterId b = net.add_router();
+  net.connect(Terminal::router(a), 0, Terminal::router(b), 0);
+  const auto [ab, ba] = net.connect_auto(Terminal::router(a), Terminal::router(b));
+  (void)ba;
+  EXPECT_EQ(net.channel(ab).src_port, 1U);
+  EXPECT_EQ(net.channel(ab).dst_port, 1U);
+}
+
+TEST(Network, ConnectAutoThrowsWhenFull) {
+  Network net;
+  const RouterId a = net.add_router(1);
+  const RouterId b = net.add_router(1);
+  const RouterId c = net.add_router(1);
+  net.connect_auto(Terminal::router(a), Terminal::router(b));
+  EXPECT_THROW(net.connect_auto(Terminal::router(a), Terminal::router(c)), PreconditionError);
+}
+
+TEST(Network, NodeAttachment) {
+  Network net;
+  const RouterId r = net.add_router();
+  const NodeId n = net.add_node();
+  net.connect(Terminal::node(n), 0, Terminal::router(r), 5);
+  EXPECT_EQ(net.attached_router(n), r);
+  EXPECT_TRUE(net.node_out(n).valid());
+  EXPECT_TRUE(net.node_in(n).valid());
+  EXPECT_TRUE(net.is_connected());
+}
+
+TEST(Network, AttachedRouterRejectsUnwiredNode) {
+  Network net;
+  const NodeId n = net.add_node();
+  EXPECT_THROW(net.attached_router(n), PreconditionError);
+}
+
+TEST(Network, OutChannelsInPortOrder) {
+  Network net;
+  const RouterId a = net.add_router();
+  const RouterId b = net.add_router();
+  const RouterId c = net.add_router();
+  net.connect(Terminal::router(a), 3, Terminal::router(b), 0);
+  net.connect(Terminal::router(a), 1, Terminal::router(c), 0);
+  const auto outs = net.out_channels(Terminal::router(a));
+  ASSERT_EQ(outs.size(), 2U);
+  EXPECT_EQ(net.channel(outs[0]).src_port, 1U);
+  EXPECT_EQ(net.channel(outs[1]).src_port, 3U);
+  EXPECT_EQ(net.router_degree(a), 2U);
+}
+
+TEST(Network, IsConnectedDetectsIsolation) {
+  Network net;
+  const RouterId r1 = net.add_router();
+  const RouterId r2 = net.add_router();
+  const NodeId n1 = net.add_node();
+  const NodeId n2 = net.add_node();
+  net.connect(Terminal::node(n1), 0, Terminal::router(r1), 0);
+  net.connect(Terminal::node(n2), 0, Terminal::router(r2), 0);
+  EXPECT_FALSE(net.is_connected());
+  net.connect_auto(Terminal::router(r1), Terminal::router(r2));
+  EXPECT_TRUE(net.is_connected());
+}
+
+TEST(Network, DualPortedNode) {
+  Network net;
+  const RouterId rx = net.add_router();
+  const RouterId ry = net.add_router();
+  const NodeId n = net.add_node(2);
+  net.connect(Terminal::node(n), 0, Terminal::router(rx), 0);
+  net.connect(Terminal::node(n), 1, Terminal::router(ry), 0);
+  EXPECT_EQ(net.attached_router(n, 0), rx);
+  EXPECT_EQ(net.attached_router(n, 1), ry);
+  EXPECT_EQ(net.out_channels(Terminal::node(n)).size(), 2U);
+}
+
+TEST(Network, LabelsAndDescribe) {
+  Network net("testnet");
+  const RouterId r = net.add_router(6, "hub");
+  const NodeId n = net.add_node(1, "cpu0");
+  net.connect(Terminal::node(n), 0, Terminal::router(r), 0);
+  EXPECT_EQ(net.router_label(r), "hub");
+  EXPECT_EQ(net.node_label(n), "cpu0");
+  EXPECT_NE(describe(net, Terminal::router(r)).find("hub"), std::string::npos);
+  const std::string link = describe(net, net.node_out(n));
+  EXPECT_NE(link.find("node 0"), std::string::npos);
+  EXPECT_NE(link.find("router 0"), std::string::npos);
+}
+
+TEST(Network, AllNodesAllRouters) {
+  Network net;
+  net.add_router();
+  net.add_router();
+  net.add_node();
+  EXPECT_EQ(net.all_routers().size(), 2U);
+  EXPECT_EQ(net.all_nodes().size(), 1U);
+  EXPECT_EQ(net.all_routers()[1], RouterId{1U});
+}
+
+TEST(Network, ChannelLookupBoundsChecked) {
+  Network net;
+  EXPECT_THROW(net.channel(ChannelId{0U}), PreconditionError);
+}
+
+TEST(Dot, CollapsedGraphListsCablesOnce) {
+  Network net("dotnet");
+  const RouterId a = net.add_router();
+  const RouterId b = net.add_router();
+  const NodeId n = net.add_node();
+  net.connect_auto(Terminal::router(a), Terminal::router(b));
+  net.connect(Terminal::node(n), 0, Terminal::router(a), 1);
+  const std::string dot = to_dot(net);
+  EXPECT_NE(dot.find("graph \"dotnet\""), std::string::npos);
+  // One undirected edge per cable.
+  EXPECT_NE(dot.find("r0 -- r1"), std::string::npos);
+  EXPECT_EQ(dot.find("r1 -- r0"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+}
+
+TEST(Dot, RoutersOnlyOmitsNodes) {
+  Network net("dotnet");
+  const RouterId a = net.add_router();
+  const NodeId n = net.add_node();
+  net.connect(Terminal::node(n), 0, Terminal::router(a), 0);
+  DotOptions opt;
+  opt.include_nodes = false;
+  const std::string dot = to_dot(net, opt);
+  EXPECT_EQ(dot.find("n0"), std::string::npos);
+}
+
+TEST(Dot, DirectedVariantEmitsBothArcs) {
+  Network net("dotnet");
+  const RouterId a = net.add_router();
+  const RouterId b = net.add_router();
+  net.connect_auto(Terminal::router(a), Terminal::router(b));
+  DotOptions opt;
+  opt.collapse_duplex = false;
+  const std::string dot = to_dot(net, opt);
+  EXPECT_NE(dot.find("r0 -> r1"), std::string::npos);
+  EXPECT_NE(dot.find("r1 -> r0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,253 @@
+// Tests for the derived routing algorithms: dimension-order (mesh), e-cube
+// (hypercube), and generic up*/down* — the deadlock-avoidance techniques
+// surveyed in §2 of the paper.
+#include <gtest/gtest.h>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/hops.hpp"
+#include "analysis/link_load.hpp"
+#include "analysis/reflexivity.hpp"
+#include "route/dimension_order.hpp"
+#include "route/ecube.hpp"
+#include "route/path.hpp"
+#include "route/updown.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "topo/torus.hpp"
+
+namespace servernet {
+namespace {
+
+// ---- dimension-order ----------------------------------------------------------
+
+TEST(DimensionOrder, RoutesAllPairsMinimally) {
+  const Mesh2D mesh(MeshSpec{.cols = 5, .rows = 4});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const HopStats stats = hop_stats(mesh.net(), table);
+  EXPECT_DOUBLE_EQ(stats.stretch(), 1.0);
+  EXPECT_EQ(stats.max_routed, (5 - 1) + (4 - 1) + 1U);
+}
+
+TEST(DimensionOrder, XBeforeY) {
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  const RoutingTable table = dimension_order_routes(mesh);
+  // From (0,0) to a node at (3,3): the first move must be east.
+  EXPECT_EQ(table.port(mesh.router_at(0, 0), mesh.node_at(3, 3, 0)), mesh_port::kEast);
+  // Once the column matches, moves are vertical.
+  EXPECT_EQ(table.port(mesh.router_at(3, 0), mesh.node_at(3, 3, 0)), mesh_port::kNorth);
+  EXPECT_EQ(table.port(mesh.router_at(3, 3), mesh.node_at(3, 3, 1)),
+            mesh_port::kFirstNode + 1);
+}
+
+TEST(DimensionOrder, NoNorthSouthToEastWestTurns) {
+  // The defining property: a packet never turns from Y back into X, so the
+  // channel-dependency graph cannot close a cycle.
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  const RoutingTable table = dimension_order_routes(mesh);
+  for (NodeId s : mesh.net().all_nodes()) {
+    for (NodeId d : mesh.net().all_nodes()) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(mesh.net(), table, s, d);
+      ASSERT_TRUE(r.ok());
+      bool seen_y = false;
+      for (ChannelId c : r.path.channels) {
+        const Channel& ch = mesh.net().channel(c);
+        if (!ch.src.is_router() || !ch.dst.is_router()) continue;
+        const bool is_y = ch.src_port == mesh_port::kNorth || ch.src_port == mesh_port::kSouth;
+        if (seen_y) {
+          EXPECT_TRUE(is_y) << "Y-to-X turn in route";
+        }
+        seen_y = seen_y || is_y;
+      }
+    }
+  }
+}
+
+TEST(DimensionOrder, DeadlockFreeOnMesh) {
+  const Mesh2D mesh(MeshSpec{});
+  EXPECT_TRUE(is_acyclic(build_cdg(mesh.net(), dimension_order_routes(mesh))));
+  EXPECT_TRUE(is_acyclic(build_cdg(mesh.net(), dimension_order_routes_yx(mesh))));
+}
+
+TEST(DimensionOrder, YxVariantMirrorsTurns) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes_yx(mesh);
+  EXPECT_EQ(table.port(mesh.router_at(0, 0), mesh.node_at(2, 2, 0)), mesh_port::kNorth);
+}
+
+TEST(DimensionOrder, Reflexive) {
+  // Dimension-order routes retrace themselves in reverse: X-then-Y out,
+  // and the return path is Y-then-X along the same cables... which is a
+  // *different* corner. The pairs on a shared row or column are mirrored;
+  // the rest are not.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  const ReflexivityReport rep = reflexivity(mesh.net(), dimension_order_routes(mesh));
+  // Same-row/col pairs: per node, 2+2 partners of 8 total => 18 of 36 pairs.
+  EXPECT_EQ(rep.pairs, 36U);
+  EXPECT_EQ(rep.reflexive, 18U);
+}
+
+// ---- e-cube ---------------------------------------------------------------------
+
+TEST(Ecube, RoutesMinimally) {
+  const Hypercube cube(HypercubeSpec{.dimensions = 4});
+  const HopStats stats = hop_stats(cube.net(), ecube_routes(cube));
+  EXPECT_DOUBLE_EQ(stats.stretch(), 1.0);
+  EXPECT_EQ(stats.max_routed, 4U + 1U);
+}
+
+TEST(Ecube, FixesLowestDifferingBitFirst) {
+  const Hypercube cube(HypercubeSpec{});
+  const RoutingTable table = ecube_routes(cube);
+  // 000 -> node at 110: lowest differing bit is dimension 1.
+  EXPECT_EQ(table.port(cube.router(0), cube.node(6)), 1U);
+  EXPECT_EQ(table.port(cube.router(2), cube.node(6)), 2U);
+  EXPECT_EQ(table.port(cube.router(6), cube.node(6)), 3U);  // node port
+}
+
+TEST(Ecube, HighFirstVariant) {
+  const Hypercube cube(HypercubeSpec{});
+  const RoutingTable table = ecube_routes_high_first(cube);
+  EXPECT_EQ(table.port(cube.router(0), cube.node(6)), 2U);
+}
+
+class EcubeDims : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EcubeDims, DeadlockFreeAndComplete) {
+  const Hypercube cube(HypercubeSpec{.dimensions = GetParam()});
+  for (const bool high_first : {false, true}) {
+    const RoutingTable table =
+        high_first ? ecube_routes_high_first(cube) : ecube_routes(cube);
+    EXPECT_FALSE(first_route_failure(cube.net(), table).has_value());
+    EXPECT_TRUE(is_acyclic(build_cdg(cube.net(), table)));
+  }
+}
+
+TEST_P(EcubeDims, PerfectlyBalancedUnderUniformLoad) {
+  // E-cube on a hypercube spreads uniform all-pairs traffic exactly evenly
+  // — the baseline against which Figure 2's disables look lopsided.
+  const Hypercube cube(HypercubeSpec{.dimensions = GetParam()});
+  const auto load = uniform_link_load(cube.net(), ecube_routes(cube));
+  const LoadSummary summary = summarize_router_links(cube.net(), load);
+  EXPECT_EQ(summary.min, summary.max);
+  EXPECT_DOUBLE_EQ(summary.imbalance, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EcubeDims, ::testing::Values(2U, 3U, 4U, 5U));
+
+// ---- up*/down* ------------------------------------------------------------------
+
+TEST(UpDown, ClassificationLevelsFromRoot) {
+  const Hypercube cube(HypercubeSpec{});
+  const UpDownClassification cls = classify_updown(cube.net(), cube.router(7));
+  EXPECT_EQ(cls.level[7], 0U);
+  EXPECT_EQ(cls.level[6], 1U);
+  EXPECT_EQ(cls.level[0], 3U);
+  // The channel 6 -> 7 ascends.
+  const ChannelId up = cube.net().router_out(cube.router(6), 0);
+  ASSERT_EQ(cube.net().channel(up).dst.router_id(), cube.router(7));
+  EXPECT_TRUE(cls.channel_is_up[up.index()]);
+  EXPECT_FALSE(cls.channel_is_up[cube.net().channel(up).reverse.index()]);
+}
+
+TEST(UpDown, EqualLevelTieBreaksById) {
+  const Ring ring(RingSpec{.routers = 4});
+  const UpDownClassification cls = classify_updown(ring.net(), ring.router(0));
+  // Routers 1 and 3 are both level 1; the channel 3 -> 1 is "up".
+  const ChannelId c31 = ring.net().router_out(ring.router(3), ring_port::kClockwise);
+  ASSERT_EQ(ring.net().channel(c31).dst.router_id(), ring.router(0));
+  // 1 -> 2 descends (level 1 -> 2), 2 -> 3 ascends? No: 3 is level 1, 2 is
+  // level 2, so 2 -> 3 is up.
+  const ChannelId c23 = ring.net().router_out(ring.router(2), ring_port::kClockwise);
+  ASSERT_EQ(ring.net().channel(c23).dst.router_id(), ring.router(3));
+  EXPECT_TRUE(cls.channel_is_up[c23.index()]);
+}
+
+class UpDownNetworks : public ::testing::TestWithParam<int> {
+ protected:
+  static Network build(int which) {
+    switch (which) {
+      case 0:
+        return Ring(RingSpec{.routers = 6, .nodes_per_router = 2}).net();
+      case 1:
+        return Torus2D(TorusSpec{.cols = 3, .rows = 4, .nodes_per_router = 1}).net();
+      case 2:
+        return Hypercube(HypercubeSpec{.dimensions = 4}).net();
+      case 3:
+        return Mesh2D(MeshSpec{.cols = 4, .rows = 3}).net();
+      default:
+        return FatTree(FatTreeSpec{.nodes = 32}).net();
+    }
+  }
+};
+
+TEST_P(UpDownNetworks, RoutesAllPairsDeadlockFree) {
+  // Up*/down* must be complete and loop-free on any connected topology.
+  const Network net = build(GetParam());
+  const RoutingTable table = updown_routes(net, RouterId{0U});
+  EXPECT_FALSE(first_route_failure(net, table).has_value());
+  EXPECT_TRUE(is_acyclic(build_cdg(net, table)));
+}
+
+TEST_P(UpDownNetworks, PathsAreLegalUpThenDown) {
+  const Network net = build(GetParam());
+  const UpDownClassification cls = classify_updown(net, RouterId{0U});
+  const RoutingTable table = updown_routes(net, cls);
+  for (NodeId s : net.all_nodes()) {
+    for (NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(net, table, s, d);
+      ASSERT_TRUE(r.ok());
+      bool descended = false;
+      for (ChannelId c : r.path.channels) {
+        const Channel& ch = net.channel(c);
+        if (!ch.src.is_router() || !ch.dst.is_router()) continue;
+        if (cls.channel_is_up[c.index()]) {
+          EXPECT_FALSE(descended) << "up channel after a down channel";
+        } else {
+          descended = true;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, UpDownNetworks, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(UpDown, UnevenUtilizationOnHypercube) {
+  // §2 / Figure 2: path restrictions concentrate traffic near the root —
+  // "the upper links are lightly utilized ... while the bottom links are
+  // more heavily used". E-cube's imbalance is 1.0; up/down's is well above.
+  const Hypercube cube(HypercubeSpec{});
+  const RoutingTable table = updown_routes(cube.net(), cube.router(7));
+  const auto load = uniform_link_load(cube.net(), table);
+  const LoadSummary summary = summarize_router_links(cube.net(), load);
+  EXPECT_GT(summary.imbalance, 1.5);
+  EXPECT_GE(summary.max, 2 * summary.min);
+}
+
+TEST(UpDown, MinimalOnThreeCube) {
+  const Hypercube cube(HypercubeSpec{});
+  const HopStats stats = hop_stats(cube.net(), updown_routes(cube.net(), cube.router(7)));
+  EXPECT_DOUBLE_EQ(stats.stretch(), 1.0);  // measured: no stretch at d=3
+}
+
+TEST(UpDown, RequiresConnectedRouters) {
+  Network net;
+  net.add_router();
+  net.add_router();  // never wired
+  const NodeId n = net.add_node();
+  net.connect(Terminal::node(n), 0, Terminal::router(RouterId{0U}), 0);
+  EXPECT_THROW(classify_updown(net, RouterId{0U}), PreconditionError);
+}
+
+TEST(UpDown, RootOutOfRangeRejected) {
+  const Ring ring(RingSpec{});
+  EXPECT_THROW(classify_updown(ring.net(), RouterId{99U}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace servernet

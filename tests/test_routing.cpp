@@ -1,0 +1,204 @@
+// Tests for the routing-table substrate and path tracing: ServerNet's
+// destination-indexed tables, route extraction, and failure diagnosis.
+#include <gtest/gtest.h>
+
+#include "route/path.hpp"
+#include "route/routing_table.hpp"
+#include "route/shortest_path.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(RoutingTable, StartsUnpopulated) {
+  const RoutingTable table(3, 5);
+  EXPECT_EQ(table.router_count(), 3U);
+  EXPECT_EQ(table.node_count(), 5U);
+  EXPECT_EQ(table.populated_entries(), 0U);
+  EXPECT_EQ(table.port(RouterId{0U}, NodeId{0U}), kInvalidPort);
+  EXPECT_FALSE(table.has_route(RouterId{2U}, NodeId{4U}));
+}
+
+TEST(RoutingTable, SetAndGet) {
+  RoutingTable table(2, 2);
+  table.set(RouterId{1U}, NodeId{0U}, 3);
+  EXPECT_EQ(table.port(RouterId{1U}, NodeId{0U}), 3U);
+  EXPECT_EQ(table.populated_entries(), 1U);
+  EXPECT_TRUE(table.has_route(RouterId{1U}, NodeId{0U}));
+}
+
+TEST(RoutingTable, BoundsChecked) {
+  RoutingTable table(2, 2);
+  EXPECT_THROW(table.set(RouterId{2U}, NodeId{0U}, 0), PreconditionError);
+  EXPECT_THROW(table.set(RouterId{0U}, NodeId{2U}, 0), PreconditionError);
+  EXPECT_THROW(table.port(RouterId{2U}, NodeId{0U}), PreconditionError);
+}
+
+TEST(RoutingTable, ValidateAgainstCatchesUnwiredPorts) {
+  Network net;
+  const RouterId r = net.add_router();
+  const NodeId n = net.add_node();
+  net.connect(Terminal::node(n), 0, Terminal::router(r), 0);
+  RoutingTable table = RoutingTable::sized_for(net);
+  table.set(r, n, 0);
+  EXPECT_NO_THROW(table.validate_against(net));
+  table.set(r, n, 3);  // unwired port
+  EXPECT_THROW(table.validate_against(net), PreconditionError);
+}
+
+// A 2-router fixture: n0 - r0 - r1 - n1.
+class TwoRouterLine : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r0_ = net_.add_router();
+    r1_ = net_.add_router();
+    n0_ = net_.add_node();
+    n1_ = net_.add_node();
+    net_.connect(Terminal::node(n0_), 0, Terminal::router(r0_), 0);
+    net_.connect(Terminal::node(n1_), 0, Terminal::router(r1_), 0);
+    net_.connect(Terminal::router(r0_), 1, Terminal::router(r1_), 1);
+  }
+  Network net_;
+  RouterId r0_, r1_;
+  NodeId n0_, n1_;
+};
+
+TEST_F(TwoRouterLine, TraceSucceeds) {
+  RoutingTable table = RoutingTable::sized_for(net_);
+  table.set(r0_, n1_, 1);
+  table.set(r1_, n1_, 0);
+  const RouteResult r = trace_route(net_, table, n0_, n1_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.path.channels.size(), 3U);
+  EXPECT_EQ(r.path.router_hops(), 2U);
+  EXPECT_EQ(r.path.src, n0_);
+  EXPECT_EQ(r.path.dst, n1_);
+  const std::string text = describe(net_, r.path);
+  EXPECT_NE(text.find("2 router hops"), std::string::npos);
+}
+
+TEST_F(TwoRouterLine, MissingEntryDiagnosed) {
+  RoutingTable table = RoutingTable::sized_for(net_);
+  table.set(r0_, n1_, 1);  // r1 has no entry
+  const RouteResult r = trace_route(net_, table, n0_, n1_);
+  EXPECT_EQ(r.status, RouteStatus::kNoTableEntry);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(TwoRouterLine, ForwardingLoopDiagnosed) {
+  RoutingTable table = RoutingTable::sized_for(net_);
+  table.set(r0_, n1_, 1);
+  table.set(r1_, n1_, 1);  // bounces back to r0
+  const RouteResult r = trace_route(net_, table, n0_, n1_);
+  EXPECT_EQ(r.status, RouteStatus::kLoop);
+}
+
+TEST_F(TwoRouterLine, WrongDeliveryDiagnosed) {
+  RoutingTable table = RoutingTable::sized_for(net_);
+  table.set(r0_, n1_, 0);  // delivers back into n0
+  const RouteResult r = trace_route(net_, table, n0_, n1_);
+  EXPECT_EQ(r.status, RouteStatus::kDeliveredWrong);
+}
+
+TEST_F(TwoRouterLine, FirstRouteFailureFindsPair) {
+  RoutingTable table = RoutingTable::sized_for(net_);
+  table.set(r0_, n1_, 1);
+  table.set(r1_, n1_, 0);
+  table.set(r1_, n0_, 1);
+  table.set(r0_, n0_, 0);
+  EXPECT_TRUE(routes_all_pairs(net_, table));
+  RoutingTable broken = RoutingTable::sized_for(net_);
+  broken.set(r0_, n1_, 1);
+  const auto failure = first_route_failure(net_, broken);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->status, RouteStatus::kNoTableEntry);
+}
+
+TEST(RouteStatusText, AllValuesNamed) {
+  EXPECT_EQ(to_string(RouteStatus::kOk), "ok");
+  EXPECT_EQ(to_string(RouteStatus::kNoTableEntry), "no-table-entry");
+  EXPECT_EQ(to_string(RouteStatus::kLoop), "forwarding-loop");
+  EXPECT_EQ(to_string(RouteStatus::kDeliveredWrong), "delivered-to-wrong-node");
+}
+
+// ---- shortest-path derivation -------------------------------------------------
+
+TEST(ShortestPath, MatchesBfsDistancesOnMesh) {
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  const RoutingTable table = shortest_path_routes(mesh.net());
+  for (NodeId s : mesh.net().all_nodes()) {
+    const RouterId rs = mesh.home_router(s);
+    for (NodeId d : mesh.net().all_nodes()) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(mesh.net(), table, s, d);
+      ASSERT_TRUE(r.ok());
+      const auto [sx, sy] = mesh.coords(rs);
+      const auto [dx, dy] = mesh.coords(mesh.home_router(d));
+      const std::uint32_t manhattan = (sx > dx ? sx - dx : dx - sx) +
+                                      (sy > dy ? sy - dy : dy - sy);
+      EXPECT_EQ(r.path.router_hops(), manhattan + 1U);
+    }
+  }
+}
+
+TEST(ShortestPath, DeterministicTieBreaking) {
+  const Ring ring(RingSpec{.routers = 4});
+  const RoutingTable a = shortest_path_routes(ring.net());
+  const RoutingTable b = shortest_path_routes(ring.net());
+  for (RouterId r : ring.net().all_routers()) {
+    for (NodeId d : ring.net().all_nodes()) {
+      EXPECT_EQ(a.port(r, d), b.port(r, d));
+    }
+  }
+  // On a 4-ring the two directions tie for the opposite node; the lowest
+  // port (clockwise) must win.
+  EXPECT_EQ(a.port(ring.router(0), ring.node(2, 0)), ring_port::kClockwise);
+}
+
+TEST(ShortestPath, DisablesForceDetours) {
+  const Ring ring(RingSpec{.routers = 4});
+  ChannelDisables disables(ring.net().channel_count());
+  // Cut the clockwise cable 0 -> 1 in both directions.
+  const ChannelId cw = ring.net().router_out(ring.router(0), ring_port::kClockwise);
+  disables.disable_duplex(ring.net(), cw);
+  EXPECT_EQ(disables.disabled_count(), 2U);
+  const RoutingTable table = shortest_path_routes(ring.net(), disables);
+  const RouteResult r = trace_route(ring.net(), table, ring.node(0, 0), ring.node(1, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.path.router_hops(), 4U);  // the long way round
+  for (ChannelId c : r.path.channels) EXPECT_FALSE(disables.is_disabled(c));
+}
+
+TEST(ShortestPath, UnreachableDestinationsGetNoEntry) {
+  Network net;
+  const RouterId r0 = net.add_router();
+  const RouterId r1 = net.add_router();
+  const NodeId n0 = net.add_node();
+  const NodeId n1 = net.add_node();
+  net.connect(Terminal::node(n0), 0, Terminal::router(r0), 0);
+  net.connect(Terminal::node(n1), 0, Terminal::router(r1), 0);
+  // r0 and r1 are not connected.
+  const RoutingTable table = shortest_path_routes(net);
+  EXPECT_FALSE(table.has_route(r0, n1));
+  EXPECT_TRUE(table.has_route(r1, n1));
+}
+
+TEST(ShortestPath, DistancesToNode) {
+  const Ring ring(RingSpec{.routers = 5});
+  const auto dist = distances_to_node(ring.net(), ring.node(0, 0));
+  EXPECT_EQ(dist[ring.router(0).index()], 1U);
+  EXPECT_EQ(dist[ring.router(1).index()], 2U);
+  EXPECT_EQ(dist[ring.router(4).index()], 2U);
+  EXPECT_EQ(dist[ring.router(2).index()], 3U);
+}
+
+TEST(ChannelDisables, EmptyMaskDisablesNothing) {
+  const ChannelDisables none;
+  EXPECT_FALSE(none.is_disabled(ChannelId{5U}));
+  EXPECT_EQ(none.disabled_count(), 0U);
+}
+
+}  // namespace
+}  // namespace servernet

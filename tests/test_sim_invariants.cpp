@@ -1,0 +1,179 @@
+// Deeper simulator invariants: flit conservation, arbitration fairness,
+// utilization accounting, and cross-checks between the simulator and the
+// static analyses.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/link_load.hpp"
+#include "analysis/saturation.hpp"
+#include "route/dimension_order.hpp"
+#include "route/path.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fully_connected.hpp"
+#include "topo/mesh.hpp"
+#include "util/assert.hpp"
+#include "workload/traffic.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(SimInvariants, BusyCyclesEqualFlitsTimesChannels) {
+  // Every flit occupies each channel of its path for exactly one cycle, so
+  // after a full drain: sum of busy cycles == flits/packet * sum of path
+  // channel counts.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 5;
+  sim::WormholeSim s(mesh.net(), table, cfg);
+  std::uint64_t expected_busy = 0;
+  for (std::uint32_t n = 0; n < mesh.net().node_count(); ++n) {
+    const NodeId src{n};
+    const NodeId dst{(n + 7) % mesh.net().node_count()};
+    s.offer_packet(src, dst);
+    expected_busy += cfg.flits_per_packet *
+                     trace_route(mesh.net(), table, src, dst).path.channels.size();
+  }
+  ASSERT_EQ(s.run_until_drained(100000).outcome, sim::RunOutcome::kCompleted);
+  std::uint64_t busy = 0;
+  for (std::uint64_t b : s.metrics().busy_cycles()) busy += b;
+  EXPECT_EQ(busy, expected_busy);
+}
+
+TEST(SimInvariants, UtilizationMatchesStaticLoadShape) {
+  // Under a drained all-pairs workload, per-channel busy counts equal the
+  // static uniform link load scaled by flits per packet.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 3;
+  sim::WormholeSim s(mesh.net(), table, cfg);
+  for (NodeId a : mesh.net().all_nodes()) {
+    for (NodeId b : mesh.net().all_nodes()) {
+      if (!(a == b)) s.offer_packet(a, b);
+    }
+  }
+  ASSERT_EQ(s.run_until_drained(1000000).outcome, sim::RunOutcome::kCompleted);
+  const auto static_load = uniform_link_load(mesh.net(), table);
+  for (std::size_t ci = 0; ci < static_load.size(); ++ci) {
+    EXPECT_EQ(s.metrics().busy_cycles()[ci], static_load[ci] * cfg.flits_per_packet)
+        << "channel " << ci;
+  }
+}
+
+TEST(SimInvariants, RoundRobinArbitrationIsFair) {
+  // Five senders on one router of a two-router group compete for the
+  // single inter-router link; sustained pressure must serve all of them
+  // within a bounded spread.
+  const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
+  const RoutingTable table = g.routing();
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 4;
+  sim::WormholeSim s(g.net(), table, cfg);
+  constexpr int kPerSender = 12;
+  for (int rep = 0; rep < kPerSender; ++rep) {
+    for (std::uint32_t k = 0; k < 5; ++k) {
+      s.offer_packet(g.node(0, k), g.node(1, k));
+    }
+  }
+  ASSERT_EQ(s.run_until_drained(100000).outcome, sim::RunOutcome::kCompleted);
+  // All senders delivered everything; compare per-sender completion times.
+  std::map<std::uint32_t, std::uint64_t> last_delivery;
+  for (std::uint32_t id = 0; id < s.packets_offered(); ++id) {
+    const sim::PacketRecord& rec = s.packet(id);
+    last_delivery[rec.src.value()] =
+        std::max(last_delivery[rec.src.value()], rec.delivered_cycle);
+  }
+  std::uint64_t lo = ~0ULL, hi = 0;
+  for (const auto& [src, t] : last_delivery) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  // Fair round-robin: the spread between the first and last sender to
+  // finish is at most a couple of packet times, not a full sender's batch.
+  EXPECT_LE(hi - lo, 3ULL * cfg.flits_per_packet * 2);
+}
+
+TEST(SimInvariants, LatencyNeverBelowUncontendedMinimum) {
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 6;
+  sim::WormholeSim s(mesh.net(), table, cfg);
+  UniformTraffic pattern(mesh.net().node_count());
+  BernoulliInjector injector(s, pattern, 0.2, /*seed=*/31);
+  ASSERT_TRUE(injector.run(1500));
+  ASSERT_EQ(injector.drain(100000).outcome, sim::RunOutcome::kCompleted);
+  // Minimum possible: 2 channels (adjacent via one router) + flits - 1.
+  EXPECT_GE(s.metrics().latency().min(), 2.0 + cfg.flits_per_packet - 1.0);
+}
+
+TEST(SimInvariants, InjectionBackpressureQueuesAtSource) {
+  // A source can only push one flit per cycle; offered bursts queue and
+  // total drain time is bounded below by flits * packets.
+  const Mesh2D mesh(MeshSpec{.cols = 2, .rows = 1});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 4;
+  sim::WormholeSim s(mesh.net(), table, cfg);
+  constexpr std::uint64_t kPackets = 20;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    s.offer_packet(mesh.node_at(0, 0, 0), mesh.node_at(1, 0, 0));
+  }
+  const auto result = s.run_until_drained(100000);
+  ASSERT_EQ(result.outcome, sim::RunOutcome::kCompleted);
+  EXPECT_GE(result.cycles, kPackets * cfg.flits_per_packet);
+}
+
+TEST(SimInvariants, SaturationBoundIsAnUpperBoundInPractice) {
+  // Offered load beyond lambda_sat cannot be fully accepted: measured
+  // delivered rate during the loaded window stays below the bound.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const SaturationEstimate est = uniform_saturation(mesh.net(), table);
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 4;
+  cfg.no_progress_threshold = 100000;
+  sim::WormholeSim s(mesh.net(), table, cfg);
+  UniformTraffic pattern(mesh.net().node_count());
+  BernoulliInjector injector(s, pattern, est.lambda_sat * 2.0, /*seed=*/77);
+  const std::uint64_t window = 4000;
+  ASSERT_TRUE(injector.run(window));
+  const double accepted = s.metrics().throughput_flits_per_cycle(window) /
+                          static_cast<double>(mesh.net().node_count());
+  EXPECT_LT(accepted, est.lambda_sat * 1.05);
+}
+
+TEST(SimInvariants, MetricsEmptyBeforeTraffic) {
+  const Mesh2D mesh(MeshSpec{.cols = 2, .rows = 1});
+  sim::WormholeSim s(mesh.net(), dimension_order_routes(mesh), sim::SimConfig{});
+  EXPECT_TRUE(s.metrics().latency().empty());
+  EXPECT_EQ(s.metrics().flits_delivered(), 0U);
+  EXPECT_EQ(s.flits_in_flight(), 0U);
+  s.step();
+  EXPECT_EQ(s.now(), 1U);
+  EXPECT_FALSE(s.deadlocked());
+}
+
+TEST(SimInvariants, PacketAccessorBoundsChecked) {
+  const Mesh2D mesh(MeshSpec{.cols = 2, .rows = 1});
+  sim::WormholeSim s(mesh.net(), dimension_order_routes(mesh), sim::SimConfig{});
+  EXPECT_THROW(s.packet(0), PreconditionError);
+}
+
+TEST(SimInvariants, OfferValidation) {
+  const Mesh2D mesh(MeshSpec{.cols = 2, .rows = 1});
+  sim::WormholeSim s(mesh.net(), dimension_order_routes(mesh), sim::SimConfig{});
+  EXPECT_THROW(s.offer_packet(NodeId{0U}, NodeId{99U}), PreconditionError);
+  EXPECT_THROW(s.offer_packet(NodeId{99U}, NodeId{0U}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace servernet

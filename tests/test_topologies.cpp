@@ -1,0 +1,204 @@
+// Structural tests for the baseline topology builders: mesh, ring, torus,
+// hypercube. Each builder's wiring conventions are load-bearing for the
+// routing derivations, so they are pinned here.
+#include <gtest/gtest.h>
+
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "topo/torus.hpp"
+#include "util/assert.hpp"
+
+namespace servernet {
+namespace {
+
+// ---- Mesh -------------------------------------------------------------------
+
+TEST(Mesh, PaperSixBySix) {
+  const Mesh2D mesh(MeshSpec{});
+  EXPECT_EQ(mesh.net().router_count(), 36U);
+  EXPECT_EQ(mesh.net().node_count(), 72U);  // two nodes per router (§3.1)
+  EXPECT_TRUE(mesh.net().is_connected());
+}
+
+TEST(Mesh, CoordinateRoundTrip) {
+  const Mesh2D mesh(MeshSpec{.cols = 5, .rows = 3});
+  for (std::uint32_t y = 0; y < 3; ++y) {
+    for (std::uint32_t x = 0; x < 5; ++x) {
+      const auto [cx, cy] = mesh.coords(mesh.router_at(x, y));
+      EXPECT_EQ(cx, x);
+      EXPECT_EQ(cy, y);
+    }
+  }
+}
+
+TEST(Mesh, EastWestWiring) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 2});
+  const Network& net = mesh.net();
+  const ChannelId east = net.router_out(mesh.router_at(0, 0), mesh_port::kEast);
+  ASSERT_TRUE(east.valid());
+  EXPECT_EQ(net.channel(east).dst.router_id(), mesh.router_at(1, 0));
+  EXPECT_EQ(net.channel(east).dst_port, mesh_port::kWest);
+  // Border ports stay unwired.
+  EXPECT_FALSE(net.router_out(mesh.router_at(0, 0), mesh_port::kWest).valid());
+  EXPECT_FALSE(net.router_out(mesh.router_at(2, 1), mesh_port::kEast).valid());
+  EXPECT_FALSE(net.router_out(mesh.router_at(0, 1), mesh_port::kNorth).valid());
+}
+
+TEST(Mesh, NodeHomes) {
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  for (std::uint32_t y = 0; y < 4; ++y) {
+    for (std::uint32_t x = 0; x < 4; ++x) {
+      for (std::uint32_t k = 0; k < mesh.spec().nodes_per_router; ++k) {
+        const NodeId n = mesh.node_at(x, y, k);
+        EXPECT_EQ(mesh.home_router(n), mesh.router_at(x, y));
+        EXPECT_EQ(mesh.net().attached_router(n), mesh.router_at(x, y));
+      }
+    }
+  }
+}
+
+TEST(Mesh, RejectsTooManyNodesForRadix) {
+  EXPECT_THROW(Mesh2D(MeshSpec{.cols = 2, .rows = 2, .nodes_per_router = 3}),
+               PreconditionError);
+}
+
+class MeshSizes : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(MeshSizes, LinkCountMatchesFormula) {
+  const auto [cols, rows] = GetParam();
+  const Mesh2D mesh(MeshSpec{.cols = cols, .rows = rows, .nodes_per_router = 2});
+  const std::size_t router_links =
+      static_cast<std::size_t>(cols - 1) * rows + static_cast<std::size_t>(rows - 1) * cols;
+  EXPECT_EQ(mesh.net().link_count(), router_links + mesh.net().node_count());
+  mesh.net().validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MeshSizes,
+                         ::testing::Values(std::pair{2U, 2U}, std::pair{3U, 5U},
+                                           std::pair{6U, 6U}, std::pair{8U, 8U},
+                                           std::pair{1U, 7U}));
+
+// ---- Ring -------------------------------------------------------------------
+
+TEST(Ring, FigureOneShape) {
+  const Ring ring(RingSpec{});
+  EXPECT_EQ(ring.net().router_count(), 4U);
+  EXPECT_EQ(ring.net().node_count(), 4U);
+  EXPECT_EQ(ring.net().link_count(), 4U + 4U);
+  EXPECT_TRUE(ring.net().is_connected());
+}
+
+TEST(Ring, ClockwiseWiring) {
+  const Ring ring(RingSpec{.routers = 5});
+  const Network& net = ring.net();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const ChannelId cw = net.router_out(ring.router(i), ring_port::kClockwise);
+    ASSERT_TRUE(cw.valid());
+    EXPECT_EQ(net.channel(cw).dst.router_id(), ring.router((i + 1) % 5));
+    EXPECT_EQ(net.channel(cw).dst_port, ring_port::kCounterClockwise);
+  }
+}
+
+TEST(Ring, RejectsTooSmall) { EXPECT_THROW(Ring(RingSpec{.routers = 2}), PreconditionError); }
+
+TEST(Ring, HomeRouter) {
+  const Ring ring(RingSpec{.routers = 4, .nodes_per_router = 2});
+  EXPECT_EQ(ring.home_router(ring.node(3, 1)), ring.router(3));
+  EXPECT_EQ(ring.net().node_count(), 8U);
+}
+
+// ---- Torus ------------------------------------------------------------------
+
+TEST(Torus, EveryRouterDegreeFourPlusNodes) {
+  const Torus2D torus(TorusSpec{});
+  for (RouterId r : torus.net().all_routers()) {
+    EXPECT_EQ(torus.net().router_degree(r), 4U + torus.spec().nodes_per_router);
+  }
+  EXPECT_TRUE(torus.net().is_connected());
+}
+
+TEST(Torus, WrapAroundWiring) {
+  const Torus2D torus(TorusSpec{.cols = 4, .rows = 3});
+  const Network& net = torus.net();
+  const ChannelId east = net.router_out(torus.router_at(3, 0), mesh_port::kEast);
+  ASSERT_TRUE(east.valid());
+  EXPECT_EQ(net.channel(east).dst.router_id(), torus.router_at(0, 0));
+  const ChannelId north = net.router_out(torus.router_at(1, 2), mesh_port::kNorth);
+  ASSERT_TRUE(north.valid());
+  EXPECT_EQ(net.channel(north).dst.router_id(), torus.router_at(1, 0));
+}
+
+TEST(Torus, RejectsDegenerateDimensions) {
+  EXPECT_THROW(Torus2D(TorusSpec{.cols = 2, .rows = 4}), PreconditionError);
+}
+
+TEST(Torus, LinkCount) {
+  const Torus2D torus(TorusSpec{.cols = 4, .rows = 4, .nodes_per_router = 1});
+  // 2 router links per router (each edge counted once) + node links.
+  EXPECT_EQ(torus.net().link_count(), 32U + 16U);
+}
+
+// ---- Hypercube --------------------------------------------------------------
+
+TEST(Hypercube, ThreeDimensional) {
+  const Hypercube cube(HypercubeSpec{});
+  EXPECT_EQ(cube.net().router_count(), 8U);
+  EXPECT_EQ(cube.net().node_count(), 8U);
+  EXPECT_EQ(cube.net().link_count(), 12U + 8U);
+  EXPECT_TRUE(cube.net().is_connected());
+}
+
+TEST(Hypercube, NeighborsDifferInOneBit) {
+  const Hypercube cube(HypercubeSpec{.dimensions = 4});
+  const Network& net = cube.net();
+  for (std::uint32_t c = 0; c < cube.corner_count(); ++c) {
+    for (std::uint32_t dim = 0; dim < 4; ++dim) {
+      const ChannelId out = net.router_out(cube.router(c), dim);
+      ASSERT_TRUE(out.valid());
+      const std::uint32_t peer = cube.corner(net.channel(out).dst.router_id());
+      EXPECT_EQ(c ^ peer, 1U << dim);
+      EXPECT_EQ(net.channel(out).dst_port, dim);
+    }
+  }
+}
+
+TEST(Hypercube, CornerLabelsAreBitPatterns) {
+  const Hypercube cube(HypercubeSpec{});
+  EXPECT_EQ(cube.net().router_label(cube.router(5)), "101");
+  EXPECT_EQ(cube.net().router_label(cube.router(0)), "000");
+}
+
+TEST(Hypercube, PaperPointSixDNeedsSevenPorts) {
+  // §3.2: a 64-node hypercube needs a 7-port router; with the 6-port
+  // ServerNet ASIC the construction must be rejected.
+  HypercubeSpec spec;
+  spec.dimensions = 6;
+  spec.nodes_per_router = 1;
+  spec.router_ports = kServerNetRouterPorts;
+  EXPECT_THROW(Hypercube cube(spec), PreconditionError);
+  spec.router_ports = 7;
+  EXPECT_NO_THROW(Hypercube cube(spec));
+}
+
+TEST(Hypercube, DefaultRadixIsMinimal) {
+  const Hypercube cube(HypercubeSpec{.dimensions = 5});
+  EXPECT_EQ(cube.spec().router_ports, 6U);
+}
+
+class HypercubeDims : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HypercubeDims, StructuralInvariants) {
+  const Hypercube cube(HypercubeSpec{.dimensions = GetParam()});
+  const std::uint32_t corners = 1U << GetParam();
+  EXPECT_EQ(cube.net().router_count(), corners);
+  EXPECT_EQ(cube.net().link_count(),
+            static_cast<std::size_t>(corners) * GetParam() / 2 + corners);
+  cube.net().validate();
+  EXPECT_TRUE(cube.net().is_connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeDims, ::testing::Values(1U, 2U, 3U, 4U, 5U, 6U, 7U));
+
+}  // namespace
+}  // namespace servernet

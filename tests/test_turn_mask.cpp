@@ -1,0 +1,234 @@
+// Tests for the §2.4 path-disable enforcement: turn masks, turn-graph
+// acyclicity certificates, and table-corruption drills proving that a
+// fabric with an acyclic mask cannot be deadlocked by a corrupted table.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+#include "core/fractahedron.hpp"
+#include "route/dimension_order.hpp"
+#include "route/shortest_path.hpp"
+#include "route/turn_mask.hpp"
+#include "sim/deadlock_detector.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "workload/scenarios.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(TurnMask, StartsAllForbiddenOrAllAllowed) {
+  const Ring ring(RingSpec{});
+  const TurnMask closed(ring.net(), false);
+  EXPECT_EQ(closed.allowed_turn_count(), 0U);
+  const TurnMask open(ring.net(), true);
+  EXPECT_EQ(open.allowed_turn_count(), 4U * 6U * 6U);
+  EXPECT_TRUE(open.allowed(ring.router(0), 0, 1));
+  EXPECT_FALSE(closed.allowed(ring.router(0), 0, 1));
+}
+
+TEST(TurnMask, AllowForbidRoundTrip) {
+  const Ring ring(RingSpec{});
+  TurnMask mask(ring.net(), false);
+  mask.allow(ring.router(1), 2, 3);
+  EXPECT_TRUE(mask.allowed(ring.router(1), 2, 3));
+  EXPECT_FALSE(mask.allowed(ring.router(1), 3, 2));
+  mask.forbid(ring.router(1), 2, 3);
+  EXPECT_FALSE(mask.allowed(ring.router(1), 2, 3));
+  EXPECT_THROW(mask.allow(ring.router(1), 6, 0), PreconditionError);
+}
+
+TEST(TurnMask, UsedTurnsCoverTracedPaths) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const TurnMask mask = turns_used_by(mesh.net(), table);
+  for (NodeId s : mesh.net().all_nodes()) {
+    for (NodeId d : mesh.net().all_nodes()) {
+      if (s == d) continue;
+      const RouteResult r = trace_route(mesh.net(), table, s, d);
+      ASSERT_TRUE(r.ok());
+      for (std::size_t i = 0; i + 1 < r.path.channels.size(); ++i) {
+        const Channel& in = mesh.net().channel(r.path.channels[i]);
+        const Channel& out = mesh.net().channel(r.path.channels[i + 1]);
+        EXPECT_TRUE(mask.allowed(in.dst.router_id(), in.dst_port, out.src_port));
+      }
+    }
+  }
+}
+
+TEST(TurnMask, FullMaskOnRingIsCyclic) {
+  const Ring ring(RingSpec{});
+  const TurnMask open(ring.net(), true);
+  EXPECT_FALSE(turn_graph_acyclic(ring.net(), open));
+  const auto cycle = find_turn_cycle(ring.net(), open);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->size(), 3U);
+}
+
+struct MaskCase {
+  const char* name;
+  bool expect_acyclic;
+};
+
+TEST(TurnMask, DimensionOrderMaskIsAcyclic) {
+  // The mask derived from dimension-order routing certifies the whole
+  // fabric: no table, however corrupted, can deadlock through it.
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  const TurnMask mask = turns_used_by(mesh.net(), dimension_order_routes(mesh));
+  EXPECT_TRUE(turn_graph_acyclic(mesh.net(), mask));
+}
+
+TEST(TurnMask, FractahedralMaskIsAcyclic) {
+  for (const FractahedronKind kind : {FractahedronKind::kThin, FractahedronKind::kFat}) {
+    FractahedronSpec spec;
+    spec.kind = kind;
+    const Fractahedron fh(spec);
+    const TurnMask mask = turns_used_by(fh.net(), fh.routing());
+    EXPECT_TRUE(turn_graph_acyclic(fh.net(), mask)) << to_string(kind);
+  }
+}
+
+TEST(TurnMask, FatTreeMaskIsAcyclic) {
+  const FatTree tree(FatTreeSpec{});
+  EXPECT_TRUE(turn_graph_acyclic(tree.net(), turns_used_by(tree.net(), tree.routing())));
+}
+
+TEST(TurnMask, GreedyRingMaskIsCyclic) {
+  // Greedy routing on the ring uses the full clockwise loop; its own turn
+  // set is already cyclic — disables derived from it certify nothing.
+  const Ring ring(RingSpec{});
+  const TurnMask mask = turns_used_by(ring.net(), shortest_path_routes(ring.net()));
+  EXPECT_FALSE(turn_graph_acyclic(ring.net(), mask));
+}
+
+TEST(TurnMask, AcyclicMaskUpperBoundsAnyFilteredCdg) {
+  // Subgraph argument: the CDG of the correct table is contained in the
+  // turn graph, so the certificate transfers.
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable table = fh.routing();
+  const TurnMask mask = turns_used_by(fh.net(), table);
+  ASSERT_TRUE(turn_graph_acyclic(fh.net(), mask));
+  EXPECT_TRUE(is_acyclic(build_cdg(fh.net(), table)));
+}
+
+// ---- corruption drills ----------------------------------------------------------
+
+/// Randomly rewrites `corruptions` populated entries to arbitrary wired
+/// ports.
+RoutingTable corrupt(const Network& net, const RoutingTable& good, std::size_t corruptions,
+                     Xoshiro256& rng) {
+  RoutingTable bad = good;
+  for (std::size_t i = 0; i < corruptions; ++i) {
+    const RouterId r{rng.below(net.router_count())};
+    const NodeId d{rng.below(net.node_count())};
+    // Pick any wired output port.
+    const auto outs = net.out_channels(Terminal::router(r));
+    const ChannelId c = outs[rng.below(outs.size())];
+    bad.set(r, d, net.channel(c).src_port);
+  }
+  return bad;
+}
+
+class CorruptionDrill : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptionDrill, MaskedFabricNeverDeadlocks) {
+  // §2.4's claim under fire: corrupt the fractahedral tables, enforce the
+  // mask derived from the *correct* tables, saturate with traffic. The
+  // run may stall (classified as forbidden-turn enforcement) or misroute,
+  // but a circular wait must never form.
+  FractahedronSpec spec;
+  spec.levels = 2;
+  const Fractahedron fh(spec);
+  const RoutingTable good = fh.routing();
+  const TurnMask mask = turns_used_by(fh.net(), good);
+  ASSERT_TRUE(turn_graph_acyclic(fh.net(), mask));
+
+  Xoshiro256 rng(GetParam());
+  const RoutingTable bad = corrupt(fh.net(), good, 40, rng);
+
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 16;
+  cfg.no_progress_threshold = 1000;
+  sim::WormholeSim s(fh.net(), bad, cfg);
+  s.enforce_turns(mask);
+  for (std::uint32_t n = 0; n < 64; ++n) {
+    s.offer_packet(NodeId{n}, NodeId{(n + 17) % 64});
+    s.offer_packet(NodeId{n}, NodeId{(n + 40) % 64});
+  }
+  const auto result = s.run_until_drained(200000);
+  if (result.outcome != sim::RunOutcome::kCompleted) {
+    const sim::StallReport report = sim::classify_stall(s);
+    EXPECT_NE(report.cause, sim::StallCause::kCircularWait)
+        << "corrupted table deadlocked through the mask, seed " << GetParam();
+  }
+}
+
+TEST_P(CorruptionDrill, UnmaskedCorruptionCanLoopForever) {
+  // Without enforcement a corrupted table can create forwarding loops;
+  // the tracer diagnoses them (the simulator equivalent would livelock
+  // its flits around the loop).
+  FractahedronSpec spec;
+  spec.levels = 2;
+  const Fractahedron fh(spec);
+  Xoshiro256 rng(GetParam() * 31 + 7);
+  const RoutingTable bad = corrupt(fh.net(), fh.routing(), 200, rng);
+  std::size_t anomalies = 0;
+  for (std::uint32_t n = 0; n < 64; ++n) {
+    const RouteResult r = trace_route(fh.net(), bad, NodeId{n}, NodeId{(n + 17) % 64});
+    anomalies += !r.ok();
+  }
+  EXPECT_GT(anomalies, 0U) << "corruption was a no-op; strengthen the drill";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionDrill,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL, 13ULL));
+
+TEST(TurnMaskSim, CorrectTableUnaffectedByItsOwnMask) {
+  const Fractahedron fh(FractahedronSpec{});
+  const RoutingTable table = fh.routing();
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 8;
+  sim::WormholeSim s(fh.net(), table, cfg);
+  s.enforce_turns(turns_used_by(fh.net(), table));
+  for (const Transfer& t : scenarios::fractahedron_corner_gang(fh)) {
+    s.offer_packet(t.src, t.dst);
+  }
+  EXPECT_EQ(s.run_until_drained(100000).outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(s.packets_misdelivered(), 0U);
+}
+
+TEST(TurnMaskSim, ForbiddenTurnStallIsClassified) {
+  // Corrupt one specific entry so a packet's route needs a masked turn.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable good = dimension_order_routes(mesh);
+  const TurnMask mask = turns_used_by(mesh.net(), good);
+  RoutingTable bad = good;
+  // Route (0,0)->(2,2): at router (2,0) the packet should go north; send
+  // it west instead — a Y-to-X style wrong turn the mask forbids... use
+  // the entry at (1,0) pointing back west.
+  bad.set(mesh.router_at(1, 0), mesh.node_at(2, 2, 0), mesh_port::kWest);
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 4;
+  cfg.no_progress_threshold = 200;
+  sim::WormholeSim s(mesh.net(), bad, cfg);
+  s.enforce_turns(mask);
+  s.offer_packet(mesh.node_at(0, 0, 0), mesh.node_at(2, 2, 0));
+  const auto result = s.run_until_drained(100000);
+  EXPECT_EQ(result.outcome, sim::RunOutcome::kDeadlocked);  // timeout symptom
+  const sim::StallReport report = sim::classify_stall(s);
+  EXPECT_EQ(report.cause, sim::StallCause::kForbiddenTurn);
+  EXPECT_FALSE(report.forbidden_turn_waits.empty());
+  EXPECT_NE(sim::to_string(report.cause).find("path-disable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace servernet

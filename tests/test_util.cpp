@@ -1,0 +1,266 @@
+// Unit tests for the utility substrate: strong ids, RNG, statistics,
+// table rendering, and assertions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strong_id.hpp"
+#include "util/table.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  RouterId r;
+  EXPECT_FALSE(r.valid());
+  EXPECT_EQ(r, RouterId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  NodeId n{42U};
+  EXPECT_TRUE(n.valid());
+  EXPECT_EQ(n.value(), 42U);
+  EXPECT_EQ(n.index(), 42U);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(ChannelId{1U}, ChannelId{2U});
+  EXPECT_EQ(ChannelId{3U}, ChannelId{3U});
+  EXPECT_NE(ChannelId{3U}, ChannelId{4U});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<RouterId, NodeId>);
+  static_assert(!std::is_same_v<NodeId, ChannelId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 100; ++i) hashes.insert(std::hash<NodeId>{}(NodeId{i}));
+  EXPECT_EQ(hashes.size(), 100U);
+}
+
+TEST(Require, ThrowsWithMessage) {
+  try {
+    SN_REQUIRE(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+  }
+}
+
+TEST(Require, PassesSilently) { SN_REQUIRE(true, "never seen"); }
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 500; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Xoshiro256 rng(7);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5U);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesP) {
+  Xoshiro256 rng(9);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+class PermutationProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PermutationProperty, IsAPermutation) {
+  Xoshiro256 rng(GetParam());
+  const auto perm = random_permutation(GetParam(), rng);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), GetParam());
+  if (!perm.empty()) {
+    EXPECT_EQ(*seen.begin(), 0U);
+    EXPECT_EQ(*seen.rbegin(), GetParam() - 1);
+  }
+}
+
+TEST_P(PermutationProperty, NoFixedPointVariantHasNone) {
+  if (GetParam() < 2) GTEST_SKIP();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Xoshiro256 rng(seed * 77 + GetParam());
+    const auto perm = random_permutation_no_fixed_points(GetParam(), rng);
+    std::set<std::uint32_t> seen(perm.begin(), perm.end());
+    ASSERT_EQ(seen.size(), GetParam());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      EXPECT_NE(perm[i], i) << "fixed point at " << i << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationProperty,
+                         ::testing::Values<std::size_t>(2, 3, 4, 5, 8, 16, 17, 64, 101));
+
+TEST(Accumulator, Empty) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0U);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MeanAndVariance) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8U);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, QuantileRejectsEmptyAndBadQ) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), PreconditionError);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), PreconditionError);
+  EXPECT_THROW(s.quantile(1.1), PreconditionError);
+}
+
+TEST(SampleSet, AddAfterQuantileStaysCorrect) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 4
+  EXPECT_EQ(h.total(), 5U);
+  EXPECT_EQ(h.bin_count(0), 2U);
+  EXPECT_EQ(h.bin_count(1), 1U);
+  EXPECT_EQ(h.bin_count(2), 0U);
+  EXPECT_EQ(h.bin_count(4), 2U);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+}
+
+TEST(Histogram, AsciiMentionsCounts) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(RatioString, Formats) {
+  EXPECT_EQ(ratio_string(12), "12:1");
+  EXPECT_EQ(ratio_string(1), "1:1");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "count"});
+  t.row().cell("alpha").cell(std::uint64_t{5});
+  t.row().cell("b").cell(12345);
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| name  | count |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 5     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TextTable, DoublePrecision) {
+  TextTable t({"x"});
+  t.row().cell(3.14159, 3);
+  EXPECT_NE(t.str().find("3.142"), std::string::npos);
+}
+
+TEST(TextTable, RejectsOverflowingRow) {
+  TextTable t({"only"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), PreconditionError);
+}
+
+TEST(TextTable, RejectsCellBeforeRow) {
+  TextTable t({"c"});
+  EXPECT_THROW(t.cell("x"), PreconditionError);
+}
+
+TEST(TextTable, AddRowConvenience) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1U);
+}
+
+}  // namespace
+}  // namespace servernet

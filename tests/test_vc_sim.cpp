@@ -1,0 +1,190 @@
+// Tests for the virtual-channel wormhole simulator: the Dally–Seitz
+// dateline scheme un-deadlocks minimal ring/torus routing (reference [6])
+// at a measurable buffer cost — the §2 trade-off ServerNet declined.
+#include <gtest/gtest.h>
+
+#include "route/dimension_order.hpp"
+#include "route/path.hpp"
+#include "route/shortest_path.hpp"
+#include "sim/vc_sim.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "util/assert.hpp"
+#include "workload/scenarios.hpp"
+
+namespace servernet {
+namespace {
+
+/// Dateline for a ring: the clockwise channel closing the loop (k-1 -> 0)
+/// and its counter-clockwise twin (0 -> k-1).
+std::vector<ChannelId> ring_datelines(const Ring& ring) {
+  const std::uint32_t k = ring.spec().routers;
+  const ChannelId cw = ring.net().router_out(ring.router(k - 1), ring_port::kClockwise);
+  const ChannelId ccw = ring.net().router_out(ring.router(0), ring_port::kCounterClockwise);
+  return {cw, ccw};
+}
+
+sim::VcSimConfig long_packets(std::uint32_t vcs) {
+  sim::VcSimConfig cfg;
+  cfg.vcs_per_channel = vcs;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 16;
+  cfg.no_progress_threshold = 500;
+  return cfg;
+}
+
+TEST(VcSelector, DatelineSteps) {
+  const Ring ring(RingSpec{});
+  const auto datelines = ring_datelines(ring);
+  const sim::DatelineVc sel(datelines, 2);
+  const ChannelId ordinary = ring.net().router_out(ring.router(0), ring_port::kClockwise);
+  EXPECT_EQ(sel.next_vc(0, ordinary, ordinary), 0U);
+  EXPECT_EQ(sel.next_vc(0, ordinary, datelines[0]), 1U);
+  EXPECT_EQ(sel.next_vc(1, ordinary, datelines[0]), 1U);  // clamps at the top VC
+  EXPECT_EQ(sel.initial_vc(NodeId{0U}, NodeId{1U}), 0U);
+}
+
+TEST(VcSelector, DatelineNeedsTwoVcs) {
+  EXPECT_THROW(sim::DatelineVc({}, 1), PreconditionError);
+}
+
+TEST(VcSim, SingleVcReproducesFigure1Deadlock) {
+  // With one VC the simulator degenerates to the plain wormhole router and
+  // the ring scenario deadlocks exactly as in WormholeSim.
+  const Ring ring(RingSpec{});
+  const sim::SingleVc sel;
+  sim::VcWormholeSim s(ring.net(), shortest_path_routes(ring.net()), sel, long_packets(1));
+  for (const Transfer& t : scenarios::ring_circular_shift(ring)) s.offer_packet(t.src, t.dst);
+  EXPECT_EQ(s.run_until_drained(100000).outcome, sim::RunOutcome::kDeadlocked);
+}
+
+TEST(VcSim, DatelineBreaksTheRingDeadlock) {
+  // Reference [6]'s remedy, measured: same routing, same traffic, two VCs
+  // with a dateline — the run drains.
+  const Ring ring(RingSpec{});
+  const sim::DatelineVc sel(ring_datelines(ring), 2);
+  sim::VcWormholeSim s(ring.net(), shortest_path_routes(ring.net()), sel, long_packets(2));
+  for (const Transfer& t : scenarios::ring_circular_shift(ring)) s.offer_packet(t.src, t.dst);
+  const auto result = s.run_until_drained(100000);
+  EXPECT_EQ(result.outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(s.packets_delivered(), 4U);
+}
+
+TEST(VcSim, DatelineScalesToLargerRings) {
+  const Ring ring(RingSpec{.routers = 8});
+  const sim::DatelineVc sel(ring_datelines(ring), 2);
+  sim::VcWormholeSim s(ring.net(), shortest_path_routes(ring.net()), sel, long_packets(2));
+  for (const Transfer& t : scenarios::ring_circular_shift(ring)) s.offer_packet(t.src, t.dst);
+  EXPECT_EQ(s.run_until_drained(200000).outcome, sim::RunOutcome::kCompleted);
+}
+
+TEST(VcSim, BufferCostIsVcsTimesDepth) {
+  // §2's objection in numbers: the 2-VC router carries twice the buffer
+  // flits of the single-VC design at equal depth.
+  const Ring ring(RingSpec{});
+  const RoutingTable table = shortest_path_routes(ring.net());
+  const sim::SingleVc single;
+  const sim::DatelineVc dateline(ring_datelines(ring), 2);
+  sim::VcWormholeSim one(ring.net(), table, single, long_packets(1));
+  sim::VcWormholeSim two(ring.net(), table, dateline, long_packets(2));
+  EXPECT_EQ(two.total_buffer_flits(), 2 * one.total_buffer_flits());
+}
+
+TEST(VcSim, UncontendedLatencyMatchesPlainModel) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const sim::SingleVc sel;
+  sim::VcSimConfig cfg;
+  cfg.vcs_per_channel = 1;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 4;
+  sim::VcWormholeSim s(mesh.net(), table, sel, cfg);
+  const NodeId src = mesh.node_at(0, 0, 0);
+  const NodeId dst = mesh.node_at(2, 2, 0);
+  const sim::PacketId id = s.offer_packet(src, dst);
+  ASSERT_EQ(s.run_until_drained(1000).outcome, sim::RunOutcome::kCompleted);
+  const std::size_t channels = trace_route(mesh.net(), table, src, dst).path.channels.size();
+  EXPECT_EQ(s.packet(id).delivered_cycle - s.packet(id).injected_cycle,
+            channels + cfg.flits_per_packet - 1);
+}
+
+TEST(VcSim, TwoVcsShareOnePhysicalWire) {
+  // Two packets on different VCs of the same channel interleave but the
+  // physical wire carries at most one flit per cycle: total time for both
+  // is at least 2 * flits.
+  const Mesh2D mesh(MeshSpec{.cols = 2, .rows = 1});
+  const RoutingTable table = dimension_order_routes(mesh);
+  // Send both packets across the single inter-router cable on distinct VCs
+  // via a selector that maps by destination parity.
+  class ParityVc final : public sim::VcSelector {
+   public:
+    [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId dst) const override {
+      return dst.value() % 2;
+    }
+    [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId,
+                                        ChannelId) const override {
+      return current;
+    }
+  };
+  const ParityVc sel;
+  sim::VcSimConfig cfg;
+  cfg.vcs_per_channel = 2;
+  cfg.fifo_depth = 8;
+  cfg.flits_per_packet = 8;
+  sim::VcWormholeSim s(mesh.net(), table, sel, cfg);
+  s.offer_packet(mesh.node_at(0, 0, 0), mesh.node_at(1, 0, 0));
+  s.offer_packet(mesh.node_at(0, 0, 1), mesh.node_at(1, 0, 1));
+  const auto result = s.run_until_drained(10000);
+  ASSERT_EQ(result.outcome, sim::RunOutcome::kCompleted);
+  EXPECT_GE(result.cycles, 2U * cfg.flits_per_packet);
+  EXPECT_EQ(s.metrics().flits_delivered(), 2U * cfg.flits_per_packet);
+}
+
+TEST(VcSim, ConservationUnderBurst) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const sim::SingleVc sel;
+  sim::VcSimConfig cfg;
+  cfg.vcs_per_channel = 2;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 4;
+  sim::VcWormholeSim s(mesh.net(), table, sel, cfg);
+  for (std::uint32_t n = 0; n < mesh.net().node_count(); ++n) {
+    s.offer_packet(NodeId{n}, NodeId{(n + 5) % mesh.net().node_count()});
+  }
+  ASSERT_EQ(s.run_until_drained(100000).outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(s.packets_delivered(), s.packets_offered());
+  EXPECT_EQ(s.flits_in_flight(), 0U);
+}
+
+TEST(VcSim, ConfigValidation) {
+  const Ring ring(RingSpec{});
+  const RoutingTable table = shortest_path_routes(ring.net());
+  const sim::SingleVc sel;
+  sim::VcSimConfig cfg;
+  cfg.vcs_per_channel = 0;
+  EXPECT_THROW(sim::VcWormholeSim(ring.net(), table, sel, cfg), PreconditionError);
+  cfg = sim::VcSimConfig{};
+  cfg.fifo_depth = 0;
+  EXPECT_THROW(sim::VcWormholeSim(ring.net(), table, sel, cfg), PreconditionError);
+}
+
+TEST(VcSim, SelectorOutOfRangeDetected) {
+  const Ring ring(RingSpec{});
+  class BadVc final : public sim::VcSelector {
+   public:
+    [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId) const override { return 7; }
+    [[nodiscard]] std::uint32_t next_vc(std::uint32_t, ChannelId, ChannelId) const override {
+      return 7;
+    }
+  };
+  const BadVc sel;
+  sim::VcSimConfig cfg;
+  cfg.vcs_per_channel = 2;
+  sim::VcWormholeSim s(ring.net(), shortest_path_routes(ring.net()), sel, cfg);
+  s.offer_packet(ring.node(0, 0), ring.node(1, 0));
+  EXPECT_THROW(s.step(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace servernet

@@ -1,0 +1,175 @@
+// Tests for traffic patterns and the paper's scenario builders.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "util/assert.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/traffic.hpp"
+
+namespace servernet {
+namespace {
+
+TEST(UniformTraffic, NeverPicksSource) {
+  UniformTraffic pattern(8);
+  Xoshiro256 rng(1);
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    for (int i = 0; i < 200; ++i) {
+      const auto d = pattern.destination(NodeId{s}, rng);
+      ASSERT_TRUE(d.has_value());
+      EXPECT_NE(*d, NodeId{s});
+      EXPECT_LT(d->value(), 8U);
+    }
+  }
+}
+
+TEST(UniformTraffic, CoversAllDestinations) {
+  UniformTraffic pattern(6);
+  Xoshiro256 rng(2);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(pattern.destination(NodeId{0U}, rng)->value());
+  EXPECT_EQ(seen.size(), 5U);
+}
+
+TEST(UniformTraffic, RoughlyUniform) {
+  UniformTraffic pattern(4);
+  Xoshiro256 rng(3);
+  std::map<std::uint32_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[pattern.destination(NodeId{0U}, rng)->value()];
+  for (const auto& [d, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 3.0, 0.02) << "dest " << d;
+  }
+}
+
+TEST(PermutationTraffic, BitComplement) {
+  auto pattern = PermutationTraffic::bit_complement(8);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(pattern.destination(NodeId{0U}, rng), NodeId{7U});
+  EXPECT_EQ(pattern.destination(NodeId{5U}, rng), NodeId{2U});
+}
+
+TEST(PermutationTraffic, BitReversal) {
+  auto pattern = PermutationTraffic::bit_reversal(8);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(pattern.destination(NodeId{1U}, rng), NodeId{4U});  // 001 -> 100
+  EXPECT_EQ(pattern.destination(NodeId{6U}, rng), NodeId{3U});  // 110 -> 011
+  // Palindromic addresses map to themselves and are skipped.
+  EXPECT_EQ(pattern.destination(NodeId{0U}, rng), std::nullopt);
+  EXPECT_EQ(pattern.destination(NodeId{5U}, rng), std::nullopt);  // 101
+}
+
+TEST(PermutationTraffic, BitPatternsRequirePowerOfTwo) {
+  EXPECT_THROW(PermutationTraffic::bit_complement(6), PreconditionError);
+  EXPECT_THROW(PermutationTraffic::bit_reversal(12), PreconditionError);
+}
+
+TEST(PermutationTraffic, RandomIsFixedPointFree) {
+  Xoshiro256 rng(5);
+  auto pattern = PermutationTraffic::random(16, rng);
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    const auto d = pattern.destination(NodeId{s}, rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_NE(*d, NodeId{s});
+  }
+}
+
+TEST(HotspotTraffic, FractionTargetsHotNode) {
+  HotspotTraffic pattern(16, NodeId{3U}, 0.5);
+  Xoshiro256 rng(7);
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hot += pattern.destination(NodeId{0U}, rng) == NodeId{3U};
+  }
+  // 50% targeted plus ~1/15 of the uniform remainder.
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.5 + 0.5 / 15.0, 0.02);
+}
+
+TEST(HotspotTraffic, HotNodeItselfSpraysUniformly) {
+  HotspotTraffic pattern(8, NodeId{3U}, 1.0);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto d = pattern.destination(NodeId{3U}, rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_NE(*d, NodeId{3U});
+  }
+}
+
+TEST(HotspotTraffic, Validation) {
+  EXPECT_THROW(HotspotTraffic(8, NodeId{9U}, 0.5), PreconditionError);
+  EXPECT_THROW(HotspotTraffic(8, NodeId{0U}, 1.5), PreconditionError);
+}
+
+TEST(TransferListTraffic, OnlyListedSourcesSend) {
+  const std::vector<Transfer> transfers{{NodeId{1U}, NodeId{4U}}, {NodeId{2U}, NodeId{5U}}};
+  TransferListTraffic pattern(transfers, 8);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(pattern.destination(NodeId{1U}, rng), NodeId{4U});
+  EXPECT_EQ(pattern.destination(NodeId{2U}, rng), NodeId{5U});
+  EXPECT_EQ(pattern.destination(NodeId{0U}, rng), std::nullopt);
+  EXPECT_EQ(pattern.destination(NodeId{7U}, rng), std::nullopt);
+}
+
+TEST(TransferListTraffic, RejectsDuplicateSources) {
+  const std::vector<Transfer> transfers{{NodeId{1U}, NodeId{4U}}, {NodeId{1U}, NodeId{5U}}};
+  EXPECT_THROW(TransferListTraffic(transfers, 8), PreconditionError);
+}
+
+// ---- scenario builders -----------------------------------------------------------
+
+TEST(Scenarios, MeshCornerTurnShape) {
+  const Mesh2D mesh(MeshSpec{});
+  const auto transfers = scenarios::mesh_corner_turn(mesh);
+  EXPECT_EQ(transfers.size(), 10U);
+  std::set<std::uint32_t> srcs, dsts;
+  for (const Transfer& t : transfers) {
+    srcs.insert(t.src.value());
+    dsts.insert(t.dst.value());
+  }
+  EXPECT_EQ(srcs.size(), 10U);
+  EXPECT_EQ(dsts.size(), 10U);
+}
+
+TEST(Scenarios, MeshCornerTurnRequiresSquare) {
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 3});
+  EXPECT_THROW(scenarios::mesh_corner_turn(mesh), PreconditionError);
+}
+
+TEST(Scenarios, FatTreeSqueezeRequiresPaperShape) {
+  const FatTree wrong(FatTreeSpec{.nodes = 32});
+  EXPECT_THROW(scenarios::fat_tree_quadrant_squeeze(wrong), PreconditionError);
+}
+
+TEST(Scenarios, FractahedronScenariosRequirePaperShape) {
+  FractahedronSpec thin;
+  thin.kind = FractahedronKind::kThin;
+  const Fractahedron fh(thin);
+  EXPECT_THROW(scenarios::fractahedron_diagonal(fh), PreconditionError);
+  EXPECT_THROW(scenarios::fractahedron_corner_gang(fh), PreconditionError);
+}
+
+TEST(Scenarios, RingCircularShiftCoversEveryNode) {
+  const Ring ring(RingSpec{.routers = 6});
+  const auto transfers = scenarios::ring_circular_shift(ring);
+  EXPECT_EQ(transfers.size(), 6U);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(transfers[i].src, ring.node(i, 0));
+    EXPECT_EQ(transfers[i].dst, ring.node((i + 3) % 6, 0));
+  }
+}
+
+TEST(Scenarios, CornerGangUsesOneCornerPerGroup) {
+  const Fractahedron fh(FractahedronSpec{});
+  const auto transfers = scenarios::fractahedron_corner_gang(fh);
+  for (const Transfer& t : transfers) {
+    EXPECT_EQ(fh.owner_member(t.src, 1), 3U);  // all sources on corner 3
+    EXPECT_EQ(fh.stack_of(t.dst, 1), 7U);      // all destinations in group 7
+  }
+}
+
+}  // namespace
+}  // namespace servernet
