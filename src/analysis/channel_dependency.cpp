@@ -11,6 +11,8 @@ std::size_t ChannelDependencyGraph::edge_count() const {
 }
 
 ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table) {
+  SN_REQUIRE(table.router_count() == net.router_count() && table.node_count() == net.node_count(),
+             "routing table dimensions do not match the network");
   ChannelDependencyGraph cdg;
   cdg.adjacency.assign(net.channel_count(), {});
 
@@ -23,12 +25,15 @@ ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table) 
       const Channel& c1 = net.channel(ChannelId{ci});
       if (!c1.dst.is_router()) continue;  // delivery channels have no successor
       if (c1.src.is_router()) {
-        const PortIndex chosen = table.port(c1.src.router_id(), d);
+        const PortIndex chosen = table.port_fast(c1.src.router_id(), d);
         if (chosen != c1.src_port) continue;  // c1 never carries d-bound traffic
       }
       const RouterId r = c1.dst.router_id();
-      const PortIndex out = table.port(r, d);
-      if (out == kInvalidPort) continue;
+      const PortIndex out = table.port_fast(r, d);
+      // Skip absent entries and entries naming a port the router does not
+      // have: such tables are indicted by the verifier's reachability pass;
+      // here they simply contribute no dependency.
+      if (out == kInvalidPort || out >= net.router_ports(r)) continue;
       const ChannelId c2 = net.router_out(r, out);
       if (!c2.valid()) continue;
       if (!net.channel(c2).dst.is_router() && net.channel(c2).dst.node_id() != d) {

@@ -25,7 +25,9 @@ struct ChannelDependencyGraph {
   [[nodiscard]] std::size_t edge_count() const;
 };
 
-/// Builds the dependency graph induced by `table` on `net`:
+/// Builds the dependency graph induced by `table` on `net`. Throws
+/// PreconditionError if the table's dimensions do not match the network
+/// (a mismatched table cannot describe this fabric's routing).
 /// edge c1 -> c2 exists iff there is a destination d such that a packet
 /// heading for d can occupy c1 (c1 is an injection channel, or the router
 /// feeding c1 forwards d into c1) and the router at the head of c1 then

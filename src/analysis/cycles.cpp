@@ -68,6 +68,73 @@ std::optional<std::vector<std::uint32_t>> find_cycle(
   return std::nullopt;
 }
 
+std::optional<std::vector<std::uint32_t>> minimal_cycle(
+    const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  // Self-loops are the shortest possible cycles; catch them while also
+  // validating the adjacency (same contract as is_acyclic).
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t w : adjacency[v]) {
+      SN_REQUIRE(w < n, "adjacency vertex out of range");
+      if (w == v) return std::vector<std::uint32_t>{v};
+    }
+  }
+
+  const SccResult scc = strongly_connected_components(adjacency);
+  std::vector<std::size_t> size(scc.component_count, 0);
+  for (std::uint32_t c : scc.component) ++size[c];
+  std::uint32_t target = 0;
+  std::size_t target_size = 0;
+  for (std::uint32_t c = 0; c < scc.component_count; ++c) {
+    if (size[c] >= 2 && (target_size == 0 || size[c] < target_size)) {
+      target = c;
+      target_size = size[c];
+    }
+  }
+  if (target_size == 0) return std::nullopt;
+
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (scc.component[v] == target) members.push_back(v);
+  }
+
+  constexpr std::uint32_t kInf = 0xffffffffU;
+  std::vector<std::uint32_t> dist(n, kInf);
+  std::vector<std::uint32_t> parent(n, kInf);
+  std::optional<std::vector<std::uint32_t>> best;
+  for (std::uint32_t v0 : members) {
+    if (best && best->size() == 2) break;  // no shorter cycle exists without self-loops
+    for (std::uint32_t v : members) dist[v] = parent[v] = kInf;
+    // BFS within the component; the first edge closing back to v0 does so
+    // at minimal depth.
+    std::vector<std::uint32_t> frontier{v0};
+    dist[v0] = 0;
+    bool closed = false;
+    while (!frontier.empty() && !closed) {
+      std::vector<std::uint32_t> next;
+      for (std::uint32_t x : frontier) {
+        for (std::uint32_t w : adjacency[x]) {
+          if (w == v0) {
+            std::vector<std::uint32_t> cycle;
+            for (std::uint32_t y = x; y != kInf; y = parent[y]) cycle.push_back(y);
+            std::reverse(cycle.begin(), cycle.end());
+            if (!best || cycle.size() < best->size()) best = std::move(cycle);
+            closed = true;
+            break;
+          }
+          if (scc.component[w] != target || dist[w] != kInf) continue;
+          dist[w] = dist[x] + 1;
+          parent[w] = x;
+          next.push_back(w);
+        }
+        if (closed) break;
+      }
+      frontier = std::move(next);
+    }
+  }
+  return best;
+}
+
 std::vector<std::size_t> SccResult::nontrivial_sizes() const {
   std::vector<std::size_t> sizes(component_count, 0);
   for (std::uint32_t c : component) ++sizes[c];

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "topo/network.hpp"
+#include "util/assert.hpp"
 #include "util/strong_id.hpp"
 
 namespace servernet {
@@ -28,7 +29,15 @@ class RoutingTable {
 
   void set(RouterId router, NodeId dest, PortIndex port);
   /// Output port, or kInvalidPort if the router has no route to `dest`.
+  /// Throws on out-of-range ids (API boundary — always checked).
   [[nodiscard]] PortIndex port(RouterId router, NodeId dest) const;
+  /// Hot-path lookup for inner loops (CDG construction, the simulators):
+  /// bounds are checked only in debug builds. Callers must have validated
+  /// the table's dimensions against the network up front.
+  [[nodiscard]] PortIndex port_fast(RouterId router, NodeId dest) const {
+    SN_ASSERT(router.index() < router_count_ && dest.index() < node_count_);
+    return ports_[router.index() * node_count_ + dest.index()];
+  }
   [[nodiscard]] bool has_route(RouterId router, NodeId dest) const {
     return port(router, dest) != kInvalidPort;
   }

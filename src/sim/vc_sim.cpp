@@ -27,6 +27,9 @@ VcWormholeSim::VcWormholeSim(const Network& net, RoutingTable table, const VcSel
   SN_REQUIRE(config.vcs_per_channel >= 1, "need at least one virtual channel");
   SN_REQUIRE(config.fifo_depth >= 1, "FIFO depth must be at least one flit");
   SN_REQUIRE(config.flits_per_packet >= 1, "packets need at least one flit");
+  SN_REQUIRE(table_.router_count() == net.router_count() &&
+                 table_.node_count() == net.node_count(),
+             "routing table dimensions do not match the network");
   const std::size_t channels = net.channel_count();
   const std::size_t slots = channels * config.vcs_per_channel;
   wire_.assign(channels, VcFlit{});
@@ -101,7 +104,7 @@ void VcWormholeSim::allocate_outputs() {
         if (granted_out_[in_slot].valid()) continue;
         const auto& q = fifo_[in_slot];
         if (q.empty() || !q.front().is_head) continue;
-        const PortIndex out_port = table_.port(r, packets_[q.front().packet].dst);
+        const PortIndex out_port = table_.port_fast(r, packets_[q.front().packet].dst);
         if (out_port == kInvalidPort) continue;
         const ChannelId out = net_.router_out(r, out_port);
         if (!out.valid()) continue;

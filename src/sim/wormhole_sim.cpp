@@ -9,6 +9,9 @@ WormholeSim::WormholeSim(const Network& net, RoutingTable table, const SimConfig
     : net_(net), table_(std::move(table)), config_(config) {
   SN_REQUIRE(config.fifo_depth >= 1, "FIFO depth must be at least one flit");
   SN_REQUIRE(config.flits_per_packet >= 1, "packets need at least one flit");
+  SN_REQUIRE(table_.router_count() == net.router_count() &&
+                 table_.node_count() == net.node_count(),
+             "routing table dimensions do not match the network");
   const std::size_t channels = net.channel_count();
   wire_.assign(channels, Flit{});
   fifo_.assign(channels, {});
@@ -81,7 +84,7 @@ ChannelId WormholeSim::requested_output(ChannelId in) const {
   const Terminal at = net_.channel(in).dst;
   if (!at.is_router()) return ChannelId::invalid();
   const RouterId router = at.router_id();
-  PortIndex port = table_.port(router, packets_[head.packet].dst);
+  PortIndex port = table_.port_fast(router, packets_[head.packet].dst);
   if (multipath_) {
     const auto& set = multipath_->choices(router, packets_[head.packet].dst);
     port = set.empty() ? kInvalidPort : set.front();
@@ -104,7 +107,7 @@ std::vector<ChannelId> WormholeSim::masked_turn_waits() const {
     if (!head.valid() || granted_out_[ci].valid()) continue;
     const Terminal at = net_.channel(in).dst;
     if (!at.is_router()) continue;
-    const PortIndex port = table_.port(at.router_id(), packets_[head.packet].dst);
+    const PortIndex port = table_.port_fast(at.router_id(), packets_[head.packet].dst);
     if (port == kInvalidPort) continue;
     if (!turn_mask_->allowed(at.router_id(), net_.channel(in).dst_port, port)) {
       waits.push_back(in);

@@ -1,0 +1,161 @@
+#include "verify/diagnostics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace servernet::verify {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void Report::begin_pass(std::string name) {
+  passes_.push_back(PassSummary{std::move(name), 0, 0, 0});
+}
+
+void Report::note_checks(std::size_t n) {
+  SN_REQUIRE(!passes_.empty(), "note_checks outside a pass");
+  passes_.back().checks += n;
+}
+
+void Report::add(Diagnostic d) {
+  SN_REQUIRE(!passes_.empty(), "diagnostic added outside a pass");
+  if (d.severity == Severity::kError) ++passes_.back().errors;
+  if (d.severity == Severity::kWarning) ++passes_.back().warnings;
+  diagnostics_.push_back(std::move(d));
+}
+
+std::size_t Report::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::size_t Report::total_checks() const {
+  std::size_t n = 0;
+  for (const PassSummary& p : passes_) n += p.checks;
+  return n;
+}
+
+void Report::write_text(std::ostream& os) const {
+  print_banner(os, "servernet-verify: " + fabric_);
+  TextTable summary({"pass", "checks", "errors", "warnings"});
+  for (const PassSummary& p : passes_) {
+    summary.row()
+        .cell(p.pass)
+        .cell(static_cast<std::uint64_t>(p.checks))
+        .cell(static_cast<std::uint64_t>(p.errors))
+        .cell(static_cast<std::uint64_t>(p.warnings));
+  }
+  summary.print(os);
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kInfo) continue;
+    os << '[' << to_string(d.severity) << "] " << d.rule << ": " << d.message << '\n';
+    for (const std::string& line : d.witness) os << "    " << line << '\n';
+  }
+  if (certified()) {
+    os << "CERTIFIED: no error-severity findings (" << total_checks() << " checks";
+    const std::size_t warnings = count(Severity::kWarning);
+    if (warnings != 0) os << ", " << warnings << " warning(s)";
+    os << ")\n";
+  } else {
+    os << "INDICTED: " << count(Severity::kError) << " error-severity finding(s)\n";
+  }
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Report::write_json(std::ostream& os) const {
+  os << "{\n  \"fabric\": ";
+  write_json_string(os, fabric_);
+  os << ",\n  \"certified\": " << (certified() ? "true" : "false");
+  os << ",\n  \"errors\": " << count(Severity::kError);
+  os << ",\n  \"warnings\": " << count(Severity::kWarning);
+  os << ",\n  \"passes\": [";
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    const PassSummary& p = passes_[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"pass\": ";
+    write_json_string(os, p.pass);
+    os << ", \"checks\": " << p.checks << ", \"errors\": " << p.errors
+       << ", \"warnings\": " << p.warnings << '}';
+  }
+  os << (passes_.empty() ? "" : "\n  ") << "],\n  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    os << (first ? "" : ",") << "\n    {\"severity\": ";
+    first = false;
+    write_json_string(os, to_string(d.severity));
+    os << ", \"rule\": ";
+    write_json_string(os, d.rule);
+    os << ", \"message\": ";
+    write_json_string(os, d.message);
+    os << ", \"witness\": [";
+    for (std::size_t i = 0; i < d.witness.size(); ++i) {
+      os << (i == 0 ? "" : ", ");
+      write_json_string(os, d.witness[i]);
+    }
+    os << "], \"channels\": [";
+    for (std::size_t i = 0; i < d.channels.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << d.channels[i];
+    }
+    os << "]}";
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+std::string Report::text() const {
+  std::ostringstream os;
+  write_text(os);
+  return os.str();
+}
+
+std::string Report::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace servernet::verify

@@ -1,0 +1,84 @@
+// Structured diagnostics for the static fabric verifier.
+//
+// Every verification pass reports through this layer: a Diagnostic carries
+// a severity, a stable machine-readable rule id ("deadlock.cdg-cycle"), a
+// one-line human message, and — whenever the finding is a refutation — a
+// concrete *witness*: rendered evidence lines (e.g. a CDG cycle as a
+// "router 0 p2 -> router 1 p4" channel sequence) plus the raw channel ids
+// so tools and tests can re-check the witness against the network instead
+// of trusting the verifier.
+//
+// A Report aggregates the diagnostics of one (Network, RoutingTable)
+// certification run and renders as text (for humans) or JSON (for CI and
+// golden tests). "Certified" means no error-severity findings; warnings
+// flag hardware-model or in-order concerns that do not refute deadlock
+// freedom.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace servernet::verify {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+[[nodiscard]] std::string to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  /// Stable rule id, "<pass>.<rule>"; tools match on this, never on text.
+  std::string rule;
+  /// One-line human summary.
+  std::string message;
+  /// Concrete evidence, one rendered hop or entry per line.
+  std::vector<std::string> witness;
+  /// Raw channel ids underlying the witness (cycle order for cycles);
+  /// empty when the finding has no channel-level witness.
+  std::vector<std::uint32_t> channels;
+};
+
+/// Per-pass accounting: how many facts the pass examined and what it found.
+struct PassSummary {
+  std::string pass;
+  std::size_t checks = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+class Report {
+ public:
+  Report() = default;
+  explicit Report(std::string fabric) : fabric_(std::move(fabric)) {}
+
+  /// Opens a new pass; subsequent add()/note_checks() accrue to it.
+  void begin_pass(std::string name);
+  /// Records that the current pass examined `n` more facts.
+  void note_checks(std::size_t n);
+  void add(Diagnostic d);
+
+  /// No error-severity findings.
+  [[nodiscard]] bool certified() const { return count(Severity::kError) == 0; }
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t total_checks() const;
+
+  [[nodiscard]] const std::string& fabric() const { return fabric_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  [[nodiscard]] const std::vector<PassSummary>& passes() const { return passes_; }
+
+  /// Human-readable rendering: pass summary table, then findings with
+  /// their witnesses, then the verdict line.
+  void write_text(std::ostream& os) const;
+  /// Deterministic pretty-printed JSON (golden-tested; no timestamps).
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string text() const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  std::string fabric_;
+  std::vector<PassSummary> passes_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace servernet::verify

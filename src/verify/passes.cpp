@@ -1,0 +1,480 @@
+#include "verify/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+
+namespace servernet::verify {
+
+namespace {
+
+/// Accumulates same-rule findings so one structural defect repeated across
+/// many (router, destination) entries renders as a single diagnostic with
+/// a capped witness list instead of thousands of lines.
+struct Aggregate {
+  std::size_t count = 0;
+  std::vector<std::string> witness;
+  std::vector<std::uint32_t> channels;
+
+  void hit(const VerifyOptions& options, std::string line) {
+    ++count;
+    if (witness.size() < options.max_witnesses) witness.push_back(std::move(line));
+  }
+};
+
+void flush(Report& report, Severity severity, const char* rule, const std::string& message,
+           Aggregate agg) {
+  if (agg.count == 0) return;
+  if (agg.count > agg.witness.size()) {
+    std::ostringstream os;
+    os << "... and " << (agg.count - agg.witness.size()) << " more";
+    agg.witness.push_back(os.str());
+  }
+  std::ostringstream os;
+  os << message << " (" << agg.count << " finding" << (agg.count == 1 ? "" : "s") << ')';
+  report.add(Diagnostic{severity, rule, os.str(), std::move(agg.witness),
+                        std::move(agg.channels)});
+}
+
+std::string node_name(const Network& net, NodeId n) {
+  return describe(net, Terminal::node(n));
+}
+std::string router_name(const Network& net, RouterId r) {
+  return describe(net, Terminal::router(r));
+}
+
+}  // namespace
+
+// ---- hardware ------------------------------------------------------------------
+
+void run_hardware_pass(const PassContext& ctx, Report& report) {
+  const Network& net = ctx.net;
+  const VerifyOptions& options = ctx.options;
+  report.begin_pass("hardware");
+
+  // Radix bound: the first-generation ServerNet router ASIC has six ports
+  // (§2); builders in this library may generalize beyond it.
+  Aggregate radix;
+  for (const RouterId r : net.all_routers()) {
+    if (net.router_ports(r) > options.asic_ports) {
+      std::ostringstream os;
+      os << router_name(net, r) << " has " << net.router_ports(r) << " ports (ASIC bound "
+         << options.asic_ports << ')';
+      radix.hit(options, os.str());
+    }
+  }
+  report.note_checks(net.router_count());
+  flush(report, options.enforce_asic_ports ? Severity::kError : Severity::kWarning,
+        "hardware.radix", "router radix exceeds the ServerNet ASIC port count", std::move(radix));
+
+  // Structural wiring invariants (port maps, reverse pairing). The Network
+  // validator throws on first violation; surface it as a diagnostic.
+  try {
+    net.validate();
+    report.note_checks(net.channel_count());
+  } catch (const PreconditionError& e) {
+    report.add(Diagnostic{Severity::kError, "hardware.invariant",
+                          "network wiring invariants violated",
+                          {std::string(e.what())},
+                          {}});
+  }
+
+  // Self cables and duplicate (parallel) cables between one terminal pair.
+  Aggregate self_links;
+  Aggregate parallel;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> cables;
+  const auto terminal_key = [](Terminal t) {
+    return (static_cast<std::uint64_t>(t.is_router() ? 0 : 1) << 32) | t.index;
+  };
+  std::size_t cable_count = 0;
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const Channel& c = net.channel(ChannelId{ci});
+    if (c.src == c.dst) {
+      self_links.hit(options, describe(net, ChannelId{ci}));
+      self_links.channels.push_back(static_cast<std::uint32_t>(ci));
+    }
+    if (c.reverse.valid() && c.reverse.index() < ci) continue;  // count each cable once
+    ++cable_count;
+    const std::uint64_t key_a = terminal_key(c.src);
+    const std::uint64_t key_b = terminal_key(c.dst);
+    if (++cables[{std::min(key_a, key_b), std::max(key_a, key_b)}] >= 2) {
+      parallel.hit(options, describe(net, ChannelId{ci}) + " duplicates an existing cable");
+    }
+  }
+  report.note_checks(cable_count);
+  flush(report, Severity::kError, "hardware.self-link", "channel connects a terminal to itself",
+        std::move(self_links));
+  flush(report, Severity::kWarning, "hardware.parallel-link",
+        "parallel duplex cables between one terminal pair", std::move(parallel));
+
+  // End nodes with no wired port can never receive traffic.
+  Aggregate unwired;
+  for (const NodeId n : net.all_nodes()) {
+    if (net.out_channels(Terminal::node(n)).empty()) {
+      unwired.hit(options, node_name(net, n) + " has no wired port");
+    }
+  }
+  report.note_checks(net.node_count());
+  flush(report, Severity::kWarning, "hardware.unwired-node", "end node is not wired to the fabric",
+        std::move(unwired));
+}
+
+// ---- reachability --------------------------------------------------------------
+
+namespace {
+
+enum class WalkStatus : std::uint8_t { kUnknown, kOnStack, kDelivers, kNoEntry, kFails };
+
+/// Canonical key for a forwarding cycle: rotated so the smallest router id
+/// leads, so the same loop found from different entry points dedupes.
+std::string cycle_key(std::vector<std::uint32_t> cycle) {
+  const auto smallest = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), smallest, cycle.end());
+  std::ostringstream os;
+  for (std::uint32_t v : cycle) os << v << ',';
+  return os.str();
+}
+
+}  // namespace
+
+void run_reachability_pass(const PassContext& ctx, Report& report) {
+  const Network& net = ctx.net;
+  const RoutingTable& table = ctx.table;
+  const VerifyOptions& options = ctx.options;
+  report.begin_pass("reachability");
+
+  const std::size_t router_count = net.router_count();
+  const std::size_t dest_count = net.node_count();
+
+  Aggregate bad_port;      // entry names a port the router does not have
+  Aggregate unwired_port;  // entry names an existing but unwired port
+  Aggregate misdelivery;   // entry delivers into the wrong end node
+  Aggregate dead_end;      // entry forwards to a router with no route
+  Aggregate incomplete;    // (source, destination) pairs with no route
+  std::set<std::string> seen_cycles;
+  std::vector<Diagnostic> loop_diags;
+
+  // Injection points: every wired node port and the router behind it.
+  std::vector<std::pair<NodeId, RouterId>> injections;
+  for (const NodeId s : net.all_nodes()) {
+    for (const ChannelId c : net.out_channels(Terminal::node(s))) {
+      const Terminal dst = net.channel(c).dst;
+      if (dst.is_router()) injections.emplace_back(s, dst.router_id());
+    }
+  }
+
+  std::vector<WalkStatus> status(router_count);
+  for (std::size_t d_index = 0; d_index < dest_count; ++d_index) {
+    const NodeId d{d_index};
+    std::fill(status.begin(), status.end(), WalkStatus::kUnknown);
+
+    for (std::size_t start = 0; start < router_count; ++start) {
+      if (status[start] != WalkStatus::kUnknown) continue;
+      // Follow the destination-indexed next-hop chain until it delivers,
+      // fails, or meets a router whose fate is already known.
+      std::vector<std::uint32_t> chain;
+      std::uint32_t cur = static_cast<std::uint32_t>(start);
+      WalkStatus result = WalkStatus::kFails;
+      while (true) {
+        if (status[cur] == WalkStatus::kOnStack) {
+          // New forwarding loop; the cycle is the chain suffix from cur.
+          const auto entry = std::find(chain.begin(), chain.end(), cur);
+          std::vector<std::uint32_t> cycle(entry, chain.end());
+          if (seen_cycles.insert(cycle_key(cycle)).second) {
+            Diagnostic diag;
+            diag.severity = Severity::kError;
+            diag.rule = "reachability.loop";
+            std::ostringstream os;
+            os << "forwarding loop of " << cycle.size() << " router(s) for destination "
+               << node_name(net, d);
+            diag.message = os.str();
+            for (const std::uint32_t v : cycle) {
+              const RouterId r{v};
+              const ChannelId c = net.router_out(r, table.port_fast(r, d));
+              diag.witness.push_back(describe(net, c));
+              diag.channels.push_back(c.value());
+            }
+            loop_diags.push_back(std::move(diag));
+          }
+          result = WalkStatus::kFails;
+          break;
+        }
+        if (status[cur] != WalkStatus::kUnknown) {
+          result = status[cur];
+          break;
+        }
+        const RouterId r{cur};
+        const PortIndex p = table.port_fast(r, d);
+        if (p == kInvalidPort) {
+          status[cur] = WalkStatus::kNoEntry;
+          result = WalkStatus::kNoEntry;
+          break;
+        }
+        if (p >= net.router_ports(r)) {
+          std::ostringstream os;
+          os << router_name(net, r) << " -> " << node_name(net, d) << " via port " << p
+             << " (router has " << net.router_ports(r) << " ports)";
+          bad_port.hit(options, os.str());
+          result = WalkStatus::kFails;
+          break;
+        }
+        const ChannelId c = net.router_out(r, p);
+        if (!c.valid()) {
+          std::ostringstream os;
+          os << router_name(net, r) << " -> " << node_name(net, d) << " via unwired port " << p;
+          unwired_port.hit(options, os.str());
+          result = WalkStatus::kFails;
+          break;
+        }
+        const Terminal to = net.channel(c).dst;
+        if (to.is_node()) {
+          if (to.node_id() == d) {
+            result = WalkStatus::kDelivers;
+          } else {
+            std::ostringstream os;
+            os << describe(net, c) << " delivers " << node_name(net, to.node_id())
+               << ", entry is for " << node_name(net, d);
+            misdelivery.hit(options, os.str());
+            misdelivery.channels.push_back(c.value());
+            result = WalkStatus::kFails;
+          }
+          break;
+        }
+        status[cur] = WalkStatus::kOnStack;
+        chain.push_back(cur);
+        cur = to.router_id().value();
+      }
+      // A chain that dies at a router with no entry is a progress failure
+      // of every populated entry feeding it.
+      if (result == WalkStatus::kNoEntry && !chain.empty()) {
+        std::ostringstream os;
+        os << router_name(net, RouterId{chain.back()}) << " forwards " << node_name(net, d)
+           << " to " << router_name(net, RouterId{cur}) << ", which has no route";
+        dead_end.hit(options, os.str());
+        dead_end.count += chain.size() - 1;  // every upstream entry fails too
+      }
+      const WalkStatus resolved =
+          result == WalkStatus::kDelivers ? WalkStatus::kDelivers : WalkStatus::kFails;
+      for (const std::uint32_t v : chain) {
+        if (status[v] == WalkStatus::kOnStack) status[v] = resolved;
+      }
+      if (status[cur] == WalkStatus::kUnknown || status[cur] == WalkStatus::kOnStack) {
+        status[cur] = result == WalkStatus::kNoEntry ? WalkStatus::kNoEntry : resolved;
+      }
+    }
+
+    // Completeness: every other node's injection router must deliver to d.
+    for (const auto& [s, home] : injections) {
+      if (s == d) continue;
+      if (status[home.index()] != WalkStatus::kDelivers) {
+        std::ostringstream os;
+        os << node_name(net, s) << " cannot reach " << node_name(net, d) << " (via "
+           << router_name(net, home) << ')';
+        incomplete.hit(options, os.str());
+      }
+    }
+  }
+
+  report.note_checks(table.populated_entries());
+  report.note_checks(injections.size() * (dest_count == 0 ? 0 : dest_count - 1));
+
+  flush(report, Severity::kError, "reachability.bad-port",
+        "routing entry names a port outside the router's range", std::move(bad_port));
+  flush(report, Severity::kError, "reachability.unwired-port",
+        "routing entry names an unwired port", std::move(unwired_port));
+  flush(report, Severity::kError, "reachability.misdelivery",
+        "routing entry delivers into the wrong end node", std::move(misdelivery));
+  flush(report, Severity::kError, "reachability.dead-end",
+        "routing entry forwards toward a router with no route", std::move(dead_end));
+  for (Diagnostic& diag : loop_diags) report.add(std::move(diag));
+  flush(report,
+        options.require_full_reachability ? Severity::kError : Severity::kWarning,
+        "reachability.incomplete", "node pairs without a route", std::move(incomplete));
+}
+
+// ---- deadlock ------------------------------------------------------------------
+
+void run_deadlock_pass(const PassContext& ctx, Report& report) {
+  const Network& net = ctx.net;
+  report.begin_pass("deadlock");
+
+  const ChannelDependencyGraph cdg = build_cdg(net, ctx.table);
+  report.note_checks(cdg.vertex_count() + cdg.edge_count());
+
+  if (is_acyclic(cdg)) {
+    std::ostringstream os;
+    os << "channel-dependency graph is acyclic: " << cdg.vertex_count() << " channels, "
+       << cdg.edge_count() << " dependencies (Dally & Seitz certificate)";
+    report.add(Diagnostic{Severity::kInfo, "deadlock.certified", os.str(), {}, {}});
+    return;
+  }
+
+  const auto cycle = minimal_cycle(cdg);
+  SN_ASSERT(cycle.has_value());
+  Diagnostic diag;
+  diag.severity = Severity::kError;
+  diag.rule = "deadlock.cdg-cycle";
+  std::ostringstream os;
+  os << "channel-dependency cycle of length " << cycle->size()
+     << " — wormhole deadlock possible (Figure 1)";
+  diag.message = os.str();
+  for (const std::uint32_t v : *cycle) {
+    diag.witness.push_back(describe(net, ChannelId{v}));
+    diag.channels.push_back(v);
+  }
+  report.add(std::move(diag));
+
+  const SccResult scc = strongly_connected_components(cdg.adjacency);
+  const auto sizes = scc.nontrivial_sizes();
+  std::ostringstream stats;
+  stats << sizes.size() << " deadlockable channel set(s); largest holds "
+        << (sizes.empty() ? std::size_t{0} : sizes.front()) << " channels";
+  report.add(Diagnostic{Severity::kInfo, "deadlock.scc", stats.str(), {}, {}});
+}
+
+// ---- up*/down* conformance -----------------------------------------------------
+
+void run_updown_pass(const PassContext& ctx, Report& report) {
+  const Network& net = ctx.net;
+  const RoutingTable& table = ctx.table;
+  const VerifyOptions& options = ctx.options;
+  const UpDownClassification* cls = options.updown;
+  SN_REQUIRE(cls != nullptr, "updown pass needs a classification");
+  report.begin_pass("updown");
+
+  if (cls->channel_is_up.size() != net.channel_count() ||
+      cls->level.size() != net.router_count()) {
+    report.add(Diagnostic{Severity::kError, "updown.classification-mismatch",
+                          "up/down classification does not match the network", {}, {}});
+    return;
+  }
+
+  const auto is_up = [&](ChannelId c) { return cls->channel_is_up[c.index()] != 0; };
+  const auto is_down = [&](ChannelId c) {
+    const Channel& ch = net.channel(c);
+    return ch.src.is_router() && ch.dst.is_router() && !is_up(c);
+  };
+
+  // Precompute wired in-channels per router once.
+  std::vector<std::vector<ChannelId>> inbound(net.router_count());
+  for (const RouterId r : net.all_routers()) {
+    inbound[r.index()] = net.in_channels(Terminal::router(r));
+  }
+
+  Aggregate violations;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  std::size_t checks = 0;
+  for (std::size_t d_index = 0; d_index < net.node_count(); ++d_index) {
+    const NodeId d{d_index};
+    for (const RouterId r : net.all_routers()) {
+      const PortIndex out = table.port_fast(r, d);
+      if (out == kInvalidPort || out >= net.router_ports(r)) continue;
+      const ChannelId c2 = net.router_out(r, out);
+      if (!c2.valid() || !is_up(c2)) continue;
+      // The next hop climbs; no d-carrying in-channel may have descended.
+      for (const ChannelId c1 : inbound[r.index()]) {
+        const Channel& ch1 = net.channel(c1);
+        if (ch1.src.is_router() &&
+            table.port_fast(ch1.src.router_id(), d) != ch1.src_port) {
+          continue;  // c1 never carries d-bound traffic
+        }
+        ++checks;
+        if (is_down(c1) && seen.emplace(c1.value(), c2.value()).second) {
+          std::ostringstream os;
+          os << "dest " << node_name(net, d) << ": down " << describe(net, c1) << " then up "
+             << describe(net, c2);
+          violations.hit(options, os.str());
+          violations.channels.push_back(c1.value());
+          violations.channels.push_back(c2.value());
+        }
+      }
+    }
+  }
+  report.note_checks(checks);
+  flush(report, Severity::kError, "updown.up-after-down",
+        "table hop climbs after descending, violating the up*/down* discipline (Figure 2)",
+        std::move(violations));
+}
+
+// ---- in-order / determinism ----------------------------------------------------
+
+void run_inorder_pass(const PassContext& ctx, Report& report) {
+  const Network& net = ctx.net;
+  const RoutingTable& table = ctx.table;
+  const VerifyOptions& options = ctx.options;
+  report.begin_pass("inorder");
+
+  // The table maps (router, destination) to exactly one output port and is
+  // independent of the input port, so consecutive packets of a stream
+  // follow one fixed path — ServerNet's in-order delivery premise (§3.3).
+  report.note_checks(table.populated_entries());
+  {
+    std::ostringstream os;
+    os << "destination-indexed deterministic table: " << table.populated_entries()
+       << " entries, single path per (source, destination)";
+    report.add(Diagnostic{Severity::kInfo, "inorder.single-path", os.str(), {}, {}});
+  }
+
+  // Nodes with several wired injection ports (dual-fabric configurations)
+  // can reorder a stream if the sender alternates fabrics mid-stream.
+  Aggregate multi;
+  for (const NodeId n : net.all_nodes()) {
+    const std::size_t wired = net.out_channels(Terminal::node(n)).size();
+    if (wired > 1) {
+      std::ostringstream os;
+      os << node_name(net, n) << " has " << wired << " wired injection ports";
+      multi.hit(options, os.str());
+    }
+  }
+  report.note_checks(net.node_count());
+  flush(report, Severity::kWarning, "inorder.multi-injection",
+        "multi-ported node: in-order delivery holds only per fabric (§3.3)", std::move(multi));
+}
+
+// ---- pipeline ------------------------------------------------------------------
+
+const std::vector<PassInfo>& pass_roster() {
+  static const std::vector<PassInfo> roster{
+      {"preflight", "-", "routing table dimensions match the network"},
+      {"hardware", "§2, Fig. 3", "ASIC radix bound, wiring invariants, cable sanity"},
+      {"reachability", "§2", "every entry makes progress; all pairs routable"},
+      {"deadlock", "§2, Fig. 1", "channel-dependency graph acyclicity with cycle witness"},
+      {"updown", "§2, Fig. 2", "hops respect up-then-down (needs a classification)"},
+      {"inorder", "§3.3", "single deterministic path per (source, destination)"},
+  };
+  return roster;
+}
+
+Report verify_fabric(const Network& net, const RoutingTable& table, const VerifyOptions& options,
+                     std::string fabric_name) {
+  if (fabric_name.empty()) fabric_name = net.name().empty() ? "fabric" : net.name();
+  Report report(std::move(fabric_name));
+  const PassContext ctx{net, table, options};
+
+  report.begin_pass("preflight");
+  report.note_checks(2);
+  const bool dims_ok =
+      table.router_count() == net.router_count() && table.node_count() == net.node_count();
+  if (!dims_ok) {
+    std::ostringstream os;
+    os << "table is " << table.router_count() << " routers x " << table.node_count()
+       << " nodes, network is " << net.router_count() << " x " << net.node_count();
+    report.add(Diagnostic{Severity::kError, "preflight.dimension-mismatch", os.str(), {}, {}});
+  }
+
+  run_hardware_pass(ctx, report);
+  if (dims_ok) {
+    run_reachability_pass(ctx, report);
+    run_deadlock_pass(ctx, report);
+    if (options.updown != nullptr) run_updown_pass(ctx, report);
+    run_inorder_pass(ctx, report);
+  }
+  return report;
+}
+
+}  // namespace servernet::verify

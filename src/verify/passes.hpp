@@ -1,0 +1,84 @@
+// The static fabric verifier: a composable pass pipeline over a
+// (Network, RoutingTable) pair.
+//
+// The paper's whole argument is a static property — a wormhole fabric is
+// deadlock-free iff its channel-dependency graph is acyclic (§2, Dally &
+// Seitz [6]) — and ServerNet tables are small enough to certify entirely
+// offline, the way a maintenance processor would before downloading them
+// into router RAM. Each pass either certifies one aspect of the fabric or
+// indicts it with a concrete witness a human can audit against the wiring:
+//
+//   preflight     table dimensions match the network
+//   hardware      §2/Fig. 3 — 6-port ASIC radix bound, wiring invariants,
+//                 self/parallel cables, unwired nodes
+//   reachability  every populated entry makes progress: no dead entries on
+//                 invalid/unwired ports, no misdeliveries, no forwarding
+//                 loops, every (source, destination) pair routable
+//   deadlock      §2/Fig. 1 — CDG acyclicity, with a minimal channel-cycle
+//                 witness on indictment and SCC statistics on the side
+//   updown        §2/Fig. 2 — table hops respect the up-then-down
+//                 discipline (runs when a classification is supplied)
+//   inorder       §3.3 — single deterministic path per (source,
+//                 destination), the ServerNet in-order delivery premise
+//
+// verify_fabric() runs the pipeline and returns a Report; the
+// `servernet-verify` CLI (tools/) wraps it for every registered
+// topology+routing combo.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/routing_table.hpp"
+#include "route/updown.hpp"
+#include "topo/network.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace servernet::verify {
+
+struct VerifyOptions {
+  /// When set, the updown pass checks every table hop against this
+  /// classification (§2, Figure 2).
+  const UpDownClassification* updown = nullptr;
+  /// Router radix bound for the hardware pass (§2's six-port ASIC).
+  PortIndex asic_ports = kServerNetRouterPorts;
+  /// Over-radix routers: error (modelling the real ASIC) or warning (the
+  /// library's generalized builders).
+  bool enforce_asic_ports = true;
+  /// Unroutable (source, destination) pairs: error or warning (partial
+  /// tables are legitimate mid-reconfiguration).
+  bool require_full_reachability = true;
+  /// Cap on rendered witness lines per aggregated diagnostic.
+  std::size_t max_witnesses = 8;
+};
+
+struct PassContext {
+  const Network& net;
+  const RoutingTable& table;
+  const VerifyOptions& options;
+};
+
+// Individual passes, exposed for composition and targeted testing. Each
+// opens its own section in the report. The table-shaped passes assume the
+// preflight dimension check already passed.
+void run_hardware_pass(const PassContext& ctx, Report& report);
+void run_reachability_pass(const PassContext& ctx, Report& report);
+void run_deadlock_pass(const PassContext& ctx, Report& report);
+void run_updown_pass(const PassContext& ctx, Report& report);
+void run_inorder_pass(const PassContext& ctx, Report& report);
+
+/// Static metadata about the standard pipeline, for --passes listings and
+/// docs.
+struct PassInfo {
+  const char* name;
+  const char* paper;
+  const char* summary;
+};
+[[nodiscard]] const std::vector<PassInfo>& pass_roster();
+
+/// Runs the full pipeline. `fabric_name` defaults to the network's name.
+[[nodiscard]] Report verify_fabric(const Network& net, const RoutingTable& table,
+                                   const VerifyOptions& options = {},
+                                   std::string fabric_name = {});
+
+}  // namespace servernet::verify

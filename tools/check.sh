@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitizer-clean verification gate: configure a dedicated build tree with
+# AddressSanitizer + UBSan, build, and run the verify-labeled tests (the
+# static fabric verifier suite plus the servernet-verify CLI registry run).
+#
+#   $ tools/check.sh              # build dir defaults to build-sanitize
+#   $ tools/check.sh my-builddir
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-sanitize}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSERVERNET_BUILD_BENCH=OFF \
+  -DSERVERNET_BUILD_EXAMPLES=OFF \
+  "-DSERVERNET_SANITIZE=address;undefined"
+cmake --build "${build_dir}" -j "$(nproc)"
+ctest --test-dir "${build_dir}" -L verify --output-on-failure -j "$(nproc)"
+echo "check.sh: verify-labeled tests sanitizer-clean"

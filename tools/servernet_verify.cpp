@@ -1,0 +1,246 @@
+// servernet-verify — static certification CLI over every registered
+// topology+routing combo.
+//
+//   $ servernet-verify --list                 # registry and expectations
+//   $ servernet-verify fat-fractahedron-64    # full report, exit 1 on errors
+//   $ servernet-verify ring-4-unrestricted    # indicted, cycle witness printed
+//   $ servernet-verify --json mesh-6x6-dor    # machine-readable diagnostics
+//   $ servernet-verify --all                  # certify the whole registry:
+//                                             # exit 0 iff every combo matches
+//                                             # its expected verdict (CI mode)
+//
+// The combos pair each builder in src/topo + src/core with its natural
+// routing; "unrestricted" combos use naive shortest-path routing on looping
+// topologies and are *expected* to be indicted — they prove the verifier
+// can still see Figure 1's deadlock.
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fractahedron.hpp"
+#include "route/dimension_order.hpp"
+#include "route/ecube.hpp"
+#include "route/shortest_path.hpp"
+#include "route/updown.hpp"
+#include "topo/cube_connected_cycles.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/fully_connected.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/kary_ncube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "topo/shuffle_exchange.hpp"
+#include "topo/torus.hpp"
+#include "verify/passes.hpp"
+
+using namespace servernet;
+
+namespace {
+
+struct Built {
+  // Owner keeps the topology object alive; `net` views it.
+  std::shared_ptr<void> owner;
+  const Network* net = nullptr;
+  RoutingTable table;
+  // Present when the routing is up*/down* by construction; enables the
+  // conformance pass.
+  std::optional<UpDownClassification> updown;
+  // Topologies that deliberately generalize beyond the six-port ASIC
+  // (e.g. 3-D meshes) downgrade the radix rule to a warning.
+  bool enforce_asic_ports = true;
+};
+
+struct Combo {
+  std::string name;
+  std::string what;
+  bool expect_certified = true;
+  std::function<Built()> build;
+};
+
+Built with_updown(std::shared_ptr<void> owner, const Network& net, RouterId root) {
+  Built b;
+  b.owner = std::move(owner);
+  b.net = &net;
+  UpDownClassification cls = classify_updown(net, root);
+  b.table = updown_routes(net, cls);
+  b.updown = std::move(cls);
+  return b;
+}
+
+const std::vector<Combo>& registry() {
+  static const std::vector<Combo> combos{
+      {"fat-fractahedron-64", "64-node fat fractahedron, depth-first routing (Fig. 7)", true,
+       [] {
+         auto t = std::make_shared<Fractahedron>(FractahedronSpec{});
+         return Built{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"thin-fractahedron-64", "64-node thin fractahedron, depth-first routing", true,
+       [] {
+         FractahedronSpec spec;
+         spec.kind = FractahedronKind::kThin;
+         auto t = std::make_shared<Fractahedron>(spec);
+         return Built{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"tetrahedron", "fully-connected 4-router group, direct routing (Fig. 4)", true,
+       [] {
+         auto t = std::make_shared<FullyConnectedGroup>(FullyConnectedSpec{});
+         return Built{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"fat-tree-4-2", "64-node 4-2 fat tree, static uplink partition (Fig. 6)", true,
+       [] {
+         auto t = std::make_shared<FatTree>(FatTreeSpec{});
+         return Built{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"fat-tree-3-3", "64-node 3-3 constant-bandwidth fat tree (§3.3)", true,
+       [] {
+         auto t = std::make_shared<FatTree>(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
+         return Built{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"mesh-6x6-dor", "6x6 mesh, dimension-order routing (§3.1)", true,
+       [] {
+         auto t = std::make_shared<Mesh2D>(MeshSpec{});
+         return Built{t, &t->net(), dimension_order_routes(*t), std::nullopt};
+       }},
+      {"mesh3d-4", "4x4x4 mesh, dimension-order routing (7-port routers)", true,
+       [] {
+         auto t = std::make_shared<KAryNCube>(KAryNCubeSpec{.dims = {4, 4, 4}});
+         return Built{t, &t->net(), t->dimension_order(), std::nullopt,
+                      /*enforce_asic_ports=*/false};
+       }},
+      {"hypercube-4-ecube", "4-D hypercube, e-cube routing (§3.2)", true,
+       [] {
+         auto t = std::make_shared<Hypercube>(HypercubeSpec{.dimensions = 4});
+         return Built{t, &t->net(), ecube_routes(*t), std::nullopt};
+       }},
+      {"ring-8-updown", "8-router ring, up*/down* routing", true,
+       [] {
+         auto t = std::make_shared<Ring>(RingSpec{.routers = 8});
+         return with_updown(t, t->net(), t->router(0));
+       }},
+      {"torus-4x4-updown", "4x4 torus, up*/down* routing", true,
+       [] {
+         auto t = std::make_shared<Torus2D>(TorusSpec{});
+         return with_updown(t, t->net(), RouterId{0U});
+       }},
+      {"ccc-3-updown", "cube-connected cycles CCC(3), up*/down* routing", true,
+       [] {
+         auto t = std::make_shared<CubeConnectedCycles>(CccSpec{});
+         return with_updown(t, t->net(), RouterId{0U});
+       }},
+      {"shuffle-exchange-4-updown", "16-router shuffle-exchange, up*/down* routing", true,
+       [] {
+         auto t = std::make_shared<ShuffleExchange>(ShuffleExchangeSpec{});
+         return with_updown(t, t->net(), RouterId{0U});
+       }},
+      {"ring-4-unrestricted", "Figure 1's four-switch loop, naive shortest-path", false,
+       [] {
+         auto t = std::make_shared<Ring>(RingSpec{});
+         return Built{t, &t->net(), shortest_path_routes(t->net()), std::nullopt};
+       }},
+      {"torus-4x4-unrestricted", "4x4 torus, naive minimal routing", false,
+       [] {
+         auto t = std::make_shared<Torus2D>(TorusSpec{});
+         return Built{t, &t->net(), shortest_path_routes(t->net()), std::nullopt};
+       }},
+  };
+  return combos;
+}
+
+verify::Report run_combo(const Combo& combo) {
+  const Built built = combo.build();
+  verify::VerifyOptions options;
+  if (built.updown) options.updown = &*built.updown;
+  options.enforce_asic_ports = built.enforce_asic_ports;
+  return verify::verify_fabric(*built.net, built.table, options, combo.name);
+}
+
+int usage() {
+  std::cerr << "usage: servernet-verify [--json] <combo> | --all | --list | --passes\n"
+               "run 'servernet-verify --list' for the registered combos\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool all = false;
+  bool list = false;
+  bool passes = false;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--passes") {
+      passes = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      names.push_back(arg);
+    }
+  }
+
+  if (passes) {
+    for (const verify::PassInfo& p : verify::pass_roster()) {
+      std::cout << p.name << " (" << p.paper << "): " << p.summary << '\n';
+    }
+    return 0;
+  }
+  if (list) {
+    for (const Combo& c : registry()) {
+      std::cout << c.name << " [" << (c.expect_certified ? "certified" : "indicted") << "] — "
+                << c.what << '\n';
+    }
+    return 0;
+  }
+  if (all) {
+    bool all_as_expected = true;
+    bool first = true;
+    if (json) std::cout << "[\n";
+    for (const Combo& c : registry()) {
+      const verify::Report report = run_combo(c);
+      const bool as_expected = report.certified() == c.expect_certified;
+      all_as_expected = all_as_expected && as_expected;
+      if (json) {
+        if (!first) std::cout << ",\n";
+        report.write_json(std::cout);
+      } else {
+        std::cout << c.name << ": " << (report.certified() ? "CERTIFIED" : "INDICTED") << " ("
+                  << (as_expected ? "as expected" : "UNEXPECTED") << ", "
+                  << report.total_checks() << " checks)\n";
+      }
+      first = false;
+    }
+    if (json) std::cout << "]\n";
+    return all_as_expected ? 0 : 1;
+  }
+  if (names.empty()) return usage();
+
+  bool any_errors = false;
+  for (const std::string& name : names) {
+    const Combo* combo = nullptr;
+    for (const Combo& c : registry()) {
+      if (c.name == name) combo = &c;
+    }
+    if (combo == nullptr) {
+      std::cerr << "unknown combo '" << name << "' — run with --list\n";
+      return 2;
+    }
+    const verify::Report report = run_combo(*combo);
+    if (json) {
+      report.write_json(std::cout);
+    } else {
+      report.write_text(std::cout);
+    }
+    any_errors = any_errors || !report.certified();
+  }
+  return any_errors ? 1 : 0;
+}
