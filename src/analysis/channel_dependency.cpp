@@ -10,17 +10,35 @@ std::size_t ChannelDependencyGraph::edge_count() const {
   return n;
 }
 
-ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table) {
+ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table,
+                                 CdgBuildStats* stats) {
   SN_REQUIRE(table.router_count() == net.router_count() && table.node_count() == net.node_count(),
              "routing table dimensions do not match the network");
   ChannelDependencyGraph cdg;
   cdg.adjacency.assign(net.channel_count(), {});
+  CdgBuildStats local_stats;
 
   // For each destination, walk every channel once: a channel c1 = (a -> r)
   // carries d-bound traffic iff a is a node (injection) or a's table entry
   // for d selects c1. The dependency successor is then r's entry for d.
   for (std::size_t d_index = 0; d_index < net.node_count(); ++d_index) {
     const NodeId d{d_index};
+    // Defective (router, d) entries are counted once each, per entry — not
+    // once per channel feeding the router.
+    for (const RouterId r : net.all_routers()) {
+      const PortIndex out = table.port_fast(r, d);
+      if (out == kInvalidPort) continue;
+      if (out >= net.router_ports(r)) {
+        ++local_stats.skipped_out_of_range;
+        continue;
+      }
+      const ChannelId c2 = net.router_out(r, out);
+      if (!c2.valid()) {
+        ++local_stats.skipped_unwired;
+      } else if (net.channel(c2).dst.is_node() && net.channel(c2).dst.node_id() != d) {
+        ++local_stats.skipped_misdelivery;
+      }
+    }
     for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
       const Channel& c1 = net.channel(ChannelId{ci});
       if (!c1.dst.is_router()) continue;  // delivery channels have no successor
@@ -30,9 +48,10 @@ ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table) 
       }
       const RouterId r = c1.dst.router_id();
       const PortIndex out = table.port_fast(r, d);
-      // Skip absent entries and entries naming a port the router does not
-      // have: such tables are indicted by the verifier's reachability pass;
-      // here they simply contribute no dependency.
+      // Absent entries legitimately contribute no dependency; defective
+      // entries (out-of-range port, unwired port, misdelivery — counted
+      // above) contribute none either, and the reachability pass indicts
+      // the defects themselves.
       if (out == kInvalidPort || out >= net.router_ports(r)) continue;
       const ChannelId c2 = net.router_out(r, out);
       if (!c2.valid()) continue;
@@ -48,6 +67,7 @@ ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table) 
     std::sort(succ.begin(), succ.end());
     succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
   }
+  if (stats != nullptr) *stats = local_stats;
   return cdg;
 }
 

@@ -25,13 +25,32 @@ struct ChannelDependencyGraph {
   [[nodiscard]] std::size_t edge_count() const;
 };
 
+/// Accounting for (channel, destination) entries build_cdg had to skip:
+/// they contribute no dependency, but a nonzero count means the table has
+/// defects the reachability pass will indict. The verifier's deadlock pass
+/// reports these through a diagnostic rather than dropping them silently.
+struct CdgBuildStats {
+  /// Entry names a port beyond the router's port count.
+  std::size_t skipped_out_of_range = 0;
+  /// Entry names an existing but unwired port.
+  std::size_t skipped_unwired = 0;
+  /// Entry delivers into a node other than the destination.
+  std::size_t skipped_misdelivery = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return skipped_out_of_range + skipped_unwired + skipped_misdelivery;
+  }
+};
+
 /// Builds the dependency graph induced by `table` on `net`. Throws
 /// PreconditionError if the table's dimensions do not match the network
 /// (a mismatched table cannot describe this fabric's routing).
 /// edge c1 -> c2 exists iff there is a destination d such that a packet
 /// heading for d can occupy c1 (c1 is an injection channel, or the router
 /// feeding c1 forwards d into c1) and the router at the head of c1 then
-/// forwards d into c2.
-[[nodiscard]] ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table);
+/// forwards d into c2. When `stats` is non-null it receives counts of the
+/// defective entries that were skipped mid-analysis.
+[[nodiscard]] ChannelDependencyGraph build_cdg(const Network& net, const RoutingTable& table,
+                                               CdgBuildStats* stats = nullptr);
 
 }  // namespace servernet

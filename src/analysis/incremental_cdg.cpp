@@ -1,0 +1,101 @@
+#include "analysis/incremental_cdg.hpp"
+
+#include <algorithm>
+
+#include "analysis/cycles.hpp"
+
+namespace servernet {
+
+IncrementalCdg::IncrementalCdg(const Network& net, const RoutingTable& table)
+    : full_(build_cdg(net, table)) {
+  const std::size_t n = full_.vertex_count();
+  predecessors_.assign(n, {});
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const std::uint32_t w : full_.adjacency[v]) predecessors_[w].push_back(v);
+  }
+  for (auto& preds : predecessors_) std::sort(preds.begin(), preds.end());
+  alive_.assign(n, 1);
+  alive_vertices_ = n;
+  alive_edges_ = full_.edge_count();
+}
+
+void IncrementalCdg::remove_channel(ChannelId c) {
+  SN_REQUIRE(c.index() < alive_.size(), "channel id out of range");
+  if (alive_[c.index()] == 0) return;
+  alive_[c.index()] = 0;
+  --alive_vertices_;
+  // Every dependency incident to c with a still-alive far end goes dark.
+  for (const std::uint32_t w : full_.adjacency[c.index()]) {
+    if (alive_[w] != 0) --alive_edges_;
+  }
+  for (const std::uint32_t p : predecessors_[c.index()]) {
+    if (alive_[p] != 0) --alive_edges_;
+  }
+  removed_stack_.push_back(c.value());
+}
+
+void IncrementalCdg::remove_channels(const std::vector<ChannelId>& channels) {
+  for (const ChannelId c : channels) remove_channel(c);
+}
+
+void IncrementalCdg::restore_all() {
+  // Replay in reverse: when v comes back, edges to/from far ends that are
+  // alive *at that point* resurface — the mirror of remove_channel.
+  while (!removed_stack_.empty()) {
+    const std::uint32_t v = removed_stack_.back();
+    removed_stack_.pop_back();
+    alive_[v] = 1;
+    ++alive_vertices_;
+    for (const std::uint32_t w : full_.adjacency[v]) {
+      if (alive_[w] != 0) ++alive_edges_;
+    }
+    for (const std::uint32_t p : predecessors_[v]) {
+      if (alive_[p] != 0) ++alive_edges_;
+    }
+    // A self-loop would be double-counted above; the CDG cannot contain one
+    // (a channel never depends on itself under deterministic tables), and
+    // build_cdg de-duplicates, so no correction is needed.
+  }
+}
+
+bool IncrementalCdg::is_acyclic() const {
+  const std::size_t n = alive_.size();
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (alive_[v] == 0) continue;
+    for (const std::uint32_t w : full_.adjacency[v]) {
+      if (alive_[w] != 0) ++indegree[w];
+    }
+  }
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (alive_[v] != 0 && indegree[v] == 0) ready.push_back(v);
+  }
+  std::size_t removed = 0;
+  while (!ready.empty()) {
+    const std::uint32_t v = ready.back();
+    ready.pop_back();
+    ++removed;
+    for (const std::uint32_t w : full_.adjacency[v]) {
+      if (alive_[w] != 0 && --indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  return removed == alive_vertices_;
+}
+
+std::optional<std::vector<std::uint32_t>> IncrementalCdg::minimal_cycle() const {
+  return servernet::minimal_cycle(masked_adjacency());
+}
+
+std::vector<std::vector<std::uint32_t>> IncrementalCdg::masked_adjacency() const {
+  std::vector<std::vector<std::uint32_t>> adjacency(alive_.size());
+  for (std::uint32_t v = 0; v < alive_.size(); ++v) {
+    if (alive_[v] == 0) continue;
+    for (const std::uint32_t w : full_.adjacency[v]) {
+      if (alive_[w] != 0) adjacency[v].push_back(w);
+    }
+  }
+  return adjacency;
+}
+
+}  // namespace servernet

@@ -1,0 +1,72 @@
+// Incremental channel-dependency graph: delta-updates under channel and
+// router removal instead of full rebuilds.
+//
+// The fault certifier (src/verify/faults) re-checks CDG acyclicity for
+// every single link/router fault in a fabric. Rebuilding the CDG per fault
+// costs O(destinations x channels); but a fault with a *stale* routing
+// table never adds dependencies — it only deletes the channels the dead
+// hardware provided — so the degraded CDG is exactly the induced subgraph
+// of the healthy CDG on the surviving channels. (Corollary: a fabric whose
+// healthy table is certified acyclic can never become deadlock-prone from
+// a fault alone; only stale-route and partition failures are reachable.
+// The cross-validation tests in tests/test_fault_certifier.cpp check this
+// subgraph identity against build_cdg() on every enumerated fault.)
+//
+// IncrementalCdg therefore builds the full CDG once and masks vertices in
+// O(degree) per removal, with an undo stack so one instance sweeps an
+// entire fault space: remove, query, restore_all, repeat.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/channel_dependency.hpp"
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+class IncrementalCdg {
+ public:
+  /// Builds the healthy CDG (same contract as build_cdg) plus the reverse
+  /// adjacency used for O(degree) removals.
+  IncrementalCdg(const Network& net, const RoutingTable& table);
+
+  /// Masks one channel vertex and its incident dependencies. No-op when
+  /// the channel is already removed.
+  void remove_channel(ChannelId c);
+  /// Masks a set of channels (e.g. DegradedNetwork::removed).
+  void remove_channels(const std::vector<ChannelId>& channels);
+  /// Un-masks everything removed since construction (or the last restore).
+  void restore_all();
+
+  [[nodiscard]] bool alive(ChannelId c) const { return alive_[c.index()] != 0; }
+  [[nodiscard]] std::size_t vertex_count() const { return full_.vertex_count(); }
+  [[nodiscard]] std::size_t alive_vertex_count() const { return alive_vertices_; }
+  /// Dependencies with both endpoints alive.
+  [[nodiscard]] std::size_t alive_edge_count() const { return alive_edges_; }
+
+  /// Kahn's algorithm over the masked graph.
+  [[nodiscard]] bool is_acyclic() const;
+  /// Minimal cycle of the masked graph, in healthy channel ids.
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> minimal_cycle() const;
+
+  /// The masked graph materialized in healthy channel-id space: removed
+  /// vertices keep their row (empty), surviving rows drop dead successors.
+  /// Used by the cross-validation tests against a from-scratch build_cdg.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> masked_adjacency() const;
+
+  [[nodiscard]] const ChannelDependencyGraph& full() const { return full_; }
+
+ private:
+  ChannelDependencyGraph full_;
+  /// predecessors_[c] = sorted channels with a dependency into c.
+  std::vector<std::vector<std::uint32_t>> predecessors_;
+  std::vector<char> alive_;
+  std::vector<std::uint32_t> removed_stack_;
+  std::size_t alive_vertices_ = 0;
+  std::size_t alive_edges_ = 0;
+};
+
+}  // namespace servernet

@@ -103,4 +103,15 @@ std::size_t DualFabric::stranded_pairs(const RoutingTable& lifted,
   return stranded;
 }
 
+std::optional<std::pair<NodeId, NodeId>> DualFabric::first_stranded_pair(
+    const RoutingTable& lifted, const ChannelDisables& failed) const {
+  for (NodeId s : net_.all_nodes()) {
+    for (NodeId d : net_.all_nodes()) {
+      if (s == d) continue;
+      if (!select_fabric(lifted, s, d, failed)) return std::pair{s, d};
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace servernet

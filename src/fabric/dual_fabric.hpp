@@ -12,6 +12,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 
 #include "route/routing_table.hpp"
 #include "route/shortest_path.hpp"
@@ -47,6 +48,12 @@ class DualFabric {
   /// under `failed` — zero for any single cable failure (tested).
   [[nodiscard]] std::size_t stranded_pairs(const RoutingTable& lifted,
                                            const ChannelDisables& failed) const;
+
+  /// First ordered pair with no clean fabric under `failed`, as a concrete
+  /// witness for diagnostics (the fault certifier's failover-exhausted
+  /// detail); nullopt when every pair is served.
+  [[nodiscard]] std::optional<std::pair<NodeId, NodeId>> first_stranded_pair(
+      const RoutingTable& lifted, const ChannelDisables& failed) const;
 
  private:
   std::size_t single_router_count_;

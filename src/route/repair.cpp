@@ -1,0 +1,62 @@
+#include "route/repair.hpp"
+
+#include <queue>
+#include <utility>
+
+#include "route/shortest_path.hpp"
+
+namespace servernet {
+
+UpDownClassification classify_updown_forest(const Network& net) {
+  SN_REQUIRE(net.router_count() > 0, "forest classification needs at least one router");
+  UpDownClassification cls;
+  cls.root = RouterId{std::uint32_t{0}};
+  cls.level.assign(net.router_count(), kUnreachable);
+  cls.channel_is_up.assign(net.channel_count(), 0);
+
+  // BFS forest: each unvisited router (ascending id) roots its component at
+  // level 0. Isolated routers — the corpses router faults leave behind —
+  // become trivial components with no channels to classify.
+  for (const RouterId root : net.all_routers()) {
+    if (cls.level[root.index()] != kUnreachable) continue;
+    cls.level[root.index()] = 0;
+    std::queue<RouterId> frontier;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const RouterId r = frontier.front();
+      frontier.pop();
+      for (const ChannelId c : net.out_channels(Terminal::router(r))) {
+        const Terminal to = net.channel(c).dst;
+        if (!to.is_router()) continue;
+        const RouterId nxt = to.router_id();
+        if (cls.level[nxt.index()] == kUnreachable) {
+          cls.level[nxt.index()] = cls.level[r.index()] + 1;
+          frontier.push(nxt);
+        }
+      }
+    }
+  }
+
+  // Same up/down rule as classify_updown: toward the smaller (level, id)
+  // key. Channels never span components, so the keys are always comparable
+  // within one BFS tree.
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const Channel& ch = net.channel(ChannelId{ci});
+    if (!ch.src.is_router() || !ch.dst.is_router()) continue;
+    const auto a = ch.src.router_id();
+    const auto b = ch.dst.router_id();
+    const auto key_a = std::pair{cls.level[a.index()], a.value()};
+    const auto key_b = std::pair{cls.level[b.index()], b.value()};
+    cls.channel_is_up[ci] = key_b < key_a ? 1 : 0;
+  }
+  return cls;
+}
+
+RepairRoute synthesize_updown_repair(const Network& net) {
+  RepairRoute repair;
+  repair.cls = classify_updown_forest(net);
+  repair.table = updown_routes(net, repair.cls);
+  return repair;
+}
+
+}  // namespace servernet

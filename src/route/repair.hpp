@@ -1,0 +1,43 @@
+// Repair-route synthesis for degraded fabrics.
+//
+// When a fault leaves the fabric connected but the stale routing table
+// broken (STALE-ROUTE in the fault certifier's taxonomy), the software
+// action §2 sketches is to recompute the tables and download them into the
+// surviving routers. This module performs that recomputation with the one
+// discipline the paper certifies for arbitrary topologies: up*/down*
+// (Figure 2), generalized to a *forest* classification so it tolerates the
+// disconnected router graphs faults produce (a dead fat-tree spine router
+// is an isolated vertex; a dual fabric is two components bridged only by
+// dual-ported nodes).
+//
+// Each router-graph component gets its own BFS root; channels are
+// classified up/down within their component exactly as classify_updown
+// does, and the derived table routes every destination reachable without
+// leaving the legal up*-then-down* language. The result is certified from
+// scratch by the caller (src/verify/faults) — synthesis is never trusted.
+#pragma once
+
+#include "route/routing_table.hpp"
+#include "route/updown.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+/// Like classify_updown, but roots a BFS forest: every router-graph
+/// component is levelled from its lowest-id member instead of requiring
+/// one connected component. `root` is the lowest-id router overall.
+[[nodiscard]] UpDownClassification classify_updown_forest(const Network& net);
+
+/// A synthesized repair: the table plus the classification that certifies
+/// its up*/down* conformance.
+struct RepairRoute {
+  UpDownClassification cls;
+  RoutingTable table;
+};
+
+/// Up*/down* reroutes for a (possibly degraded) fabric. Destinations with
+/// no legal path from a router simply get no entry there — the caller's
+/// verification decides whether that is acceptable.
+[[nodiscard]] RepairRoute synthesize_updown_repair(const Network& net);
+
+}  // namespace servernet

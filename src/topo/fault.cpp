@@ -1,0 +1,168 @@
+#include "topo/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace servernet {
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLink:
+      return "link";
+    case FaultKind::kRouter:
+      return "router";
+    case FaultKind::kDoubleLink:
+      return "double-link";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The lower channel id of the duplex pair containing `c` — the canonical
+/// name for a cable.
+ChannelId cable_key(const Network& net, ChannelId c) {
+  const ChannelId rev = net.channel(c).reverse;
+  return rev.valid() && rev < c ? rev : c;
+}
+
+std::string describe_cable(const Network& net, ChannelId c) {
+  const Channel& ch = net.channel(cable_key(net, c));
+  std::ostringstream os;
+  os << describe(net, ch.src) << " p" << ch.src_port << " <-> " << describe(net, ch.dst) << " p"
+     << ch.dst_port;
+  return os.str();
+}
+
+}  // namespace
+
+std::string describe(const Network& net, const Fault& fault) {
+  std::ostringstream os;
+  switch (fault.kind) {
+    case FaultKind::kLink:
+      os << "link " << describe_cable(net, fault.cable_a);
+      break;
+    case FaultKind::kRouter:
+      os << "router " << describe(net, Terminal::router(fault.router)) << " dead";
+      break;
+    case FaultKind::kDoubleLink:
+      os << "links " << describe_cable(net, fault.cable_a) << " and "
+         << describe_cable(net, fault.cable_b);
+      break;
+  }
+  return os.str();
+}
+
+std::vector<ChannelId> fault_channels(const Network& net, const Fault& fault) {
+  std::vector<ChannelId> removed;
+  const auto add_cable = [&](ChannelId c) {
+    SN_REQUIRE(c.index() < net.channel_count(), "fault cable out of range");
+    removed.push_back(c);
+    const ChannelId rev = net.channel(c).reverse;
+    if (rev.valid()) removed.push_back(rev);
+  };
+  switch (fault.kind) {
+    case FaultKind::kLink:
+      add_cable(fault.cable_a);
+      break;
+    case FaultKind::kDoubleLink:
+      SN_REQUIRE(cable_key(net, fault.cable_a) != cable_key(net, fault.cable_b),
+                 "double-link fault needs two distinct cables");
+      add_cable(fault.cable_a);
+      add_cable(fault.cable_b);
+      break;
+    case FaultKind::kRouter: {
+      SN_REQUIRE(fault.router.index() < net.router_count(), "fault router out of range");
+      const Terminal t = Terminal::router(fault.router);
+      for (const ChannelId c : net.out_channels(t)) add_cable(c);
+      break;
+    }
+  }
+  std::sort(removed.begin(), removed.end());
+  removed.erase(std::unique(removed.begin(), removed.end()), removed.end());
+  return removed;
+}
+
+DegradedNetwork apply_fault(const Network& net, const Fault& fault) {
+  DegradedNetwork degraded;
+  degraded.removed = fault_channels(net, fault);
+  degraded.channel_map.assign(net.channel_count(), kRemovedChannel);
+
+  Network& out = degraded.net;
+  out.set_name(net.name() + " - " + describe(net, fault));
+  for (const RouterId r : net.all_routers()) {
+    out.add_router(net.router_ports(r), net.router_label(r));
+  }
+  for (const NodeId n : net.all_nodes()) {
+    out.add_node(net.node_ports(n), net.node_label(n));
+  }
+
+  const auto is_removed = [&](ChannelId c) {
+    return std::binary_search(degraded.removed.begin(), degraded.removed.end(), c);
+  };
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const ChannelId id{ci};
+    const Channel& c = net.channel(id);
+    if (c.reverse.valid() && c.reverse < id) continue;  // one duplex cable at a time
+    if (is_removed(id)) continue;
+    const auto [fwd, rev] = out.connect(c.src, c.src_port, c.dst, c.dst_port);
+    degraded.channel_map[ci] = fwd.value();
+    if (c.reverse.valid()) degraded.channel_map[c.reverse.index()] = rev.value();
+  }
+  return degraded;
+}
+
+std::vector<Fault> enumerate_link_faults(const Network& net) {
+  std::vector<Fault> faults;
+  faults.reserve(net.link_count());
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const ChannelId id{ci};
+    if (cable_key(net, id) != id) continue;
+    faults.push_back(Fault::link(id));
+  }
+  return faults;
+}
+
+std::vector<Fault> enumerate_router_faults(const Network& net) {
+  std::vector<Fault> faults;
+  faults.reserve(net.router_count());
+  for (const RouterId r : net.all_routers()) faults.push_back(Fault::dead_router(r));
+  return faults;
+}
+
+std::vector<Fault> sample_double_link_faults(const Network& net, std::size_t count,
+                                             std::uint64_t seed) {
+  std::vector<ChannelId> cables;
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const ChannelId id{ci};
+    if (cable_key(net, id) == id) cables.push_back(id);
+  }
+  const std::size_t n = cables.size();
+  if (n < 2) return {};
+  const std::size_t total_pairs = n * (n - 1) / 2;
+
+  Xoshiro256 rng(seed);
+  std::vector<Fault> faults;
+  std::vector<char> taken(total_pairs, 0);
+  const auto pair_index = [n](std::size_t i, std::size_t j) {
+    // i < j; dense index into the strict upper triangle.
+    return i * n - i * (i + 1) / 2 + (j - i - 1);
+  };
+  const std::size_t want = std::min(count, total_pairs);
+  while (faults.size() < want) {
+    std::size_t i = static_cast<std::size_t>(rng.below(n));
+    std::size_t j = static_cast<std::size_t>(rng.below(n - 1));
+    if (j >= i) ++j;
+    if (i > j) std::swap(i, j);
+    char& slot = taken[pair_index(i, j)];
+    if (slot != 0) continue;
+    slot = 1;
+    faults.push_back(Fault::double_link(cables[i], cables[j]));
+  }
+  return faults;
+}
+
+}  // namespace servernet

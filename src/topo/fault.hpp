@@ -1,0 +1,88 @@
+// Fault application on a Network: deriving the degraded fabric left behind
+// by a dead cable or a dead router.
+//
+// The paper's availability story (§1, §4) rests on what the fabric looks
+// like *after* hardware dies: a failed cable loses both unidirectional
+// channels (without the reverse direction, acknowledgements cannot return),
+// and a failed router loses every cable on every port. apply_fault()
+// materializes that degraded fabric as a fresh Network that keeps every
+// router id, node id, port number and label identical to the healthy
+// original — only the dead cables are unwired — so the *stale* routing
+// table downloaded before the failure still indexes meaningfully into it.
+// Channel ids are renumbered (channels live in a dense vector), and the
+// returned mapping lets analyses translate between the two id spaces.
+//
+// enumerate_*_faults() span the single-fault space the fault certifier
+// (src/verify/faults) sweeps exhaustively; sample_double_link_faults()
+// draws a reproducible sample of the quadratically larger double-fault
+// space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace servernet {
+
+enum class FaultKind : std::uint8_t {
+  kLink,       // one duplex cable dies (both directions)
+  kRouter,     // a router dies: every cable on every port
+  kDoubleLink  // two distinct duplex cables die together
+};
+
+[[nodiscard]] std::string to_string(FaultKind k);
+
+/// One fault scenario. For link faults `cable_a` names either direction of
+/// the duplex pair; for double-link faults `cable_b` names the second cable.
+struct Fault {
+  FaultKind kind = FaultKind::kLink;
+  ChannelId cable_a = ChannelId::invalid();
+  ChannelId cable_b = ChannelId::invalid();
+  RouterId router = RouterId::invalid();
+
+  [[nodiscard]] static Fault link(ChannelId cable) { return {FaultKind::kLink, cable, {}, {}}; }
+  [[nodiscard]] static Fault dead_router(RouterId r) {
+    return {FaultKind::kRouter, {}, {}, r};
+  }
+  [[nodiscard]] static Fault double_link(ChannelId a, ChannelId b) {
+    return {FaultKind::kDoubleLink, a, b, {}};
+  }
+};
+
+/// Human-readable fault description ("link router 0 p2 <-> router 1 p4").
+[[nodiscard]] std::string describe(const Network& net, const Fault& fault);
+
+/// Sentinel in DegradedNetwork::channel_map for channels the fault removed.
+inline constexpr std::uint32_t kRemovedChannel = 0xffffffffU;
+
+/// The degraded fabric plus the id translation back to the healthy one.
+struct DegradedNetwork {
+  Network net;
+  /// Channels (healthy ids, both directions) the fault removed.
+  std::vector<ChannelId> removed;
+  /// healthy channel id -> degraded channel id, or kRemovedChannel.
+  std::vector<std::uint32_t> channel_map;
+};
+
+/// Channels (both directions) that `fault` kills, in ascending id order.
+[[nodiscard]] std::vector<ChannelId> fault_channels(const Network& net, const Fault& fault);
+
+/// Rebuilds `net` without the cables `fault` kills. Router/node ids, port
+/// counts, port assignments and labels are all preserved; only channel ids
+/// shift (see DegradedNetwork::channel_map).
+[[nodiscard]] DegradedNetwork apply_fault(const Network& net, const Fault& fault);
+
+/// One kLink fault per duplex cable, keyed on the lower channel id.
+[[nodiscard]] std::vector<Fault> enumerate_link_faults(const Network& net);
+
+/// One kRouter fault per router.
+[[nodiscard]] std::vector<Fault> enumerate_router_faults(const Network& net);
+
+/// `count` distinct unordered cable pairs drawn reproducibly from `seed`
+/// (fewer if the network has fewer distinct pairs).
+[[nodiscard]] std::vector<Fault> sample_double_link_faults(const Network& net, std::size_t count,
+                                                           std::uint64_t seed);
+
+}  // namespace servernet

@@ -76,8 +76,6 @@ void Report::write_text(std::ostream& os) const {
   }
 }
 
-namespace {
-
 void write_json_string(std::ostream& os, const std::string& s) {
   os << '"';
   for (const char c : s) {
@@ -105,8 +103,6 @@ void write_json_string(std::ostream& os, const std::string& s) {
   }
   os << '"';
 }
-
-}  // namespace
 
 void Report::write_json(std::ostream& os) const {
   os << "{\n  \"fabric\": ";

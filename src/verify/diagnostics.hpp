@@ -26,6 +26,10 @@ enum class Severity : std::uint8_t { kInfo, kWarning, kError };
 
 [[nodiscard]] std::string to_string(Severity s);
 
+/// Writes `s` as an escaped JSON string literal. Shared by the Report and
+/// FaultSpaceReport renderers so every verifier JSON stream escapes alike.
+void write_json_string(std::ostream& os, const std::string& s);
+
 struct Diagnostic {
   Severity severity = Severity::kInfo;
   /// Stable rule id, "<pass>.<rule>"; tools match on this, never on text.

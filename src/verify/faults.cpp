@@ -1,0 +1,404 @@
+#include "verify/faults.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "analysis/incremental_cdg.hpp"
+#include "route/repair.hpp"
+#include "route/shortest_path.hpp"
+#include "util/table.hpp"
+
+namespace servernet::verify {
+
+std::string to_string(FaultVerdict v) {
+  switch (v) {
+    case FaultVerdict::kSurvives:
+      return "survives";
+    case FaultVerdict::kFailover:
+      return "failover";
+    case FaultVerdict::kStaleRoute:
+      return "stale-route";
+    case FaultVerdict::kPartitioned:
+      return "partitioned";
+    case FaultVerdict::kDeadlockProne:
+      return "deadlock-prone";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Carries a healthy-network up/down classification onto a degraded copy:
+/// levels are router-indexed (routers are preserved), channel flags follow
+/// the surviving channels through the id mapping.
+UpDownClassification remap_classification(const UpDownClassification& cls,
+                                          const DegradedNetwork& degraded) {
+  UpDownClassification out;
+  out.root = cls.root;
+  out.level = cls.level;
+  out.channel_is_up.assign(degraded.net.channel_count(), 0);
+  for (std::size_t ci = 0; ci < degraded.channel_map.size(); ++ci) {
+    const std::uint32_t mapped = degraded.channel_map[ci];
+    if (mapped != kRemovedChannel) out.channel_is_up[mapped] = cls.channel_is_up[ci];
+  }
+  return out;
+}
+
+/// First ordered node pair with no physical path through the degraded
+/// router graph (packets cannot transit end nodes, so dual-ported nodes do
+/// not bridge fabrics). std::nullopt when every pair is connected.
+std::optional<std::pair<NodeId, NodeId>> first_disconnected_pair(const Network& net) {
+  // Undirected router components; duplex wiring makes out-edges sufficient.
+  constexpr std::uint32_t kUnset = 0xffffffffU;
+  std::vector<std::uint32_t> component(net.router_count(), kUnset);
+  std::uint32_t component_count = 0;
+  std::vector<RouterId> stack;
+  for (const RouterId seed : net.all_routers()) {
+    if (component[seed.index()] != kUnset) continue;
+    component[seed.index()] = component_count;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const RouterId r = stack.back();
+      stack.pop_back();
+      for (const ChannelId c : net.out_channels(Terminal::router(r))) {
+        const Terminal to = net.channel(c).dst;
+        if (!to.is_router()) continue;
+        const RouterId nxt = to.router_id();
+        if (component[nxt.index()] == kUnset) {
+          component[nxt.index()] = component_count;
+          stack.push_back(nxt);
+        }
+      }
+    }
+    ++component_count;
+  }
+
+  // Components each node can inject into / be delivered from.
+  std::vector<std::vector<std::uint32_t>> attached(net.node_count());
+  for (const NodeId n : net.all_nodes()) {
+    auto& comps = attached[n.index()];
+    for (const ChannelId c : net.out_channels(Terminal::node(n))) {
+      const Terminal to = net.channel(c).dst;
+      if (to.is_router()) comps.push_back(component[to.router_id().index()]);
+    }
+    std::sort(comps.begin(), comps.end());
+    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+  }
+
+  for (const NodeId s : net.all_nodes()) {
+    for (const NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      const auto& a = attached[s.index()];
+      const auto& b = attached[d.index()];
+      const bool shared = std::find_first_of(a.begin(), a.end(), b.begin(), b.end()) != a.end();
+      if (!shared) return std::pair{s, d};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string first_error_message(const Report& report) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity == Severity::kError) return d.message;
+  }
+  return "uncertified";
+}
+
+FaultOutcome classify_one(IncrementalCdg& inc, const Network& net, const RoutingTable& table,
+                          const Fault& fault, const FaultSpaceOptions& options) {
+  FaultOutcome outcome;
+  outcome.fault = fault;
+  outcome.description = describe(net, fault);
+
+  DegradedNetwork degraded = apply_fault(net, fault);
+  inc.remove_channels(degraded.removed);
+
+  // 1. Deadlock: the incremental CDG masks the dead channels in O(degree);
+  //    full rebuilds are cross-validated against this in the tests.
+  if (!inc.is_acyclic()) {
+    const auto cycle = inc.minimal_cycle();
+    SN_ASSERT(cycle.has_value());
+    outcome.verdict = FaultVerdict::kDeadlockProne;
+    outcome.witness_channels = *cycle;
+    std::ostringstream os;
+    os << "channel-dependency cycle of length " << cycle->size() << " survives the fault";
+    outcome.detail = os.str();
+    inc.restore_all();
+    return outcome;
+  }
+
+  // 2. Stale-table pass pipeline on the degraded wiring.
+  VerifyOptions per_fault = options.base;
+  per_fault.require_full_reachability = true;
+  UpDownClassification remapped;
+  if (options.base.updown != nullptr) {
+    remapped = remap_classification(*options.base.updown, degraded);
+    per_fault.updown = &remapped;
+  }
+  Report stale_report(outcome.description);
+  const PassContext ctx{degraded.net, table, per_fault};
+  run_reachability_pass(ctx, stale_report);
+  if (per_fault.updown != nullptr) run_updown_pass(ctx, stale_report);
+
+  if (stale_report.certified()) {
+    outcome.verdict = FaultVerdict::kSurvives;
+    inc.restore_all();
+    return outcome;
+  }
+
+  // 3. Dual-fabric failover: every pair served through a surviving fabric.
+  if (options.dual != nullptr) {
+    ChannelDisables failed(net.channel_count());
+    for (const ChannelId c : degraded.removed) failed.disable(c);
+    const std::size_t stranded = options.dual->stranded_pairs(table, failed);
+    if (stranded == 0) {
+      outcome.verdict = FaultVerdict::kFailover;
+      outcome.detail = "every pair served through the surviving fabric";
+      inc.restore_all();
+      return outcome;
+    }
+    std::ostringstream os;
+    os << stranded << " ordered pair(s) stranded on both fabrics";
+    if (const auto witness = options.dual->first_stranded_pair(table, failed)) {
+      os << ", first " << describe(net, Terminal::node(witness->first)) << " -> "
+         << describe(net, Terminal::node(witness->second));
+    }
+    outcome.detail = os.str();
+  }
+
+  // 4. Partition beats stale-route: no table can reconnect severed wires.
+  if (const auto pair = first_disconnected_pair(degraded.net)) {
+    outcome.verdict = FaultVerdict::kPartitioned;
+    std::ostringstream os;
+    os << describe(degraded.net, Terminal::node(pair->first)) << " physically cut off from "
+       << describe(degraded.net, Terminal::node(pair->second));
+    if (!outcome.detail.empty()) os << " (" << outcome.detail << ')';
+    outcome.detail = os.str();
+    inc.restore_all();
+    return outcome;
+  }
+
+  // 5. Stale route: the wiring can serve every pair, the table cannot.
+  outcome.verdict = FaultVerdict::kStaleRoute;
+  if (outcome.detail.empty()) outcome.detail = first_error_message(stale_report);
+  if (options.synthesize_repairs && options.dual == nullptr) {
+    outcome.repair_attempted = true;
+    const RepairRoute repair = synthesize_updown_repair(degraded.net);
+    VerifyOptions repair_options = options.base;
+    repair_options.updown = &repair.cls;
+    repair_options.require_full_reachability = true;
+    const Report repaired =
+        verify_fabric(degraded.net, repair.table, repair_options, outcome.description);
+    outcome.repair_certified = repaired.certified();
+    outcome.detail += outcome.repair_certified
+                          ? "; up*/down* repair certified"
+                          : "; repair FAILED: " + first_error_message(repaired);
+  }
+  inc.restore_all();
+  return outcome;
+}
+
+const char* kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLink:
+      return "link";
+    case FaultKind::kRouter:
+      return "router";
+    case FaultKind::kDoubleLink:
+      return "double-link";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+FaultOutcome classify_fault(const Network& net, const RoutingTable& table, const Fault& fault,
+                            const FaultSpaceOptions& options) {
+  IncrementalCdg inc(net, table);
+  return classify_one(inc, net, table, fault, options);
+}
+
+FaultSpaceReport certify_fault_space(const Network& net, const RoutingTable& table,
+                                     const FaultSpaceOptions& options, std::string fabric_name) {
+  if (fabric_name.empty()) fabric_name = net.name().empty() ? "fabric" : net.name();
+  if (options.dual != nullptr) {
+    SN_REQUIRE(options.dual->net().router_count() == net.router_count() &&
+                   options.dual->net().node_count() == net.node_count() &&
+                   options.dual->net().channel_count() == net.channel_count(),
+               "dual-fabric handle does not match the network under test");
+  }
+
+  FaultSpaceReport report;
+  report.fabric = std::move(fabric_name);
+  report.seed = options.seed;
+  report.healthy_certified = verify_fabric(net, table, options.base, report.fabric).certified();
+
+  IncrementalCdg inc(net, table);
+  report.healthy_acyclic = inc.is_acyclic();
+
+  const auto sweep = [&](const std::vector<Fault>& faults, FaultClassCounts& counts) {
+    for (const Fault& fault : faults) {
+      FaultOutcome outcome = classify_one(inc, net, table, fault, options);
+      ++counts.total;
+      ++counts.verdicts[static_cast<std::size_t>(outcome.verdict)];
+      if (outcome.repair_attempted) {
+        if (outcome.repair_certified) {
+          ++counts.repaired;
+        } else {
+          ++counts.repair_failed;
+        }
+      }
+      if (outcome.verdict != FaultVerdict::kSurvives) report.outcomes.push_back(std::move(outcome));
+    }
+  };
+
+  sweep(enumerate_link_faults(net), report.link);
+  if (options.router_faults) sweep(enumerate_router_faults(net), report.router);
+  if (options.double_link_samples > 0) {
+    sweep(sample_double_link_faults(net, options.double_link_samples, options.seed),
+          report.double_link);
+  }
+  return report;
+}
+
+const FaultOutcome* FaultSpaceReport::worst() const {
+  const FaultOutcome* stale = nullptr;
+  const FaultOutcome* partitioned = nullptr;
+  for (const FaultOutcome& o : outcomes) {
+    switch (o.verdict) {
+      case FaultVerdict::kDeadlockProne:
+        return &o;
+      case FaultVerdict::kStaleRoute:
+        if (stale == nullptr && !o.repair_certified) stale = &o;
+        break;
+      case FaultVerdict::kPartitioned:
+        if (partitioned == nullptr) partitioned = &o;
+        break;
+      default:
+        break;
+    }
+  }
+  return stale != nullptr ? stale : partitioned;
+}
+
+bool FaultSpaceReport::single_faults_covered() const {
+  for (const FaultOutcome& o : outcomes) {
+    if (o.fault.kind == FaultKind::kDoubleLink) continue;
+    if (o.verdict == FaultVerdict::kDeadlockProne) return false;
+    if (o.verdict == FaultVerdict::kStaleRoute && !o.repair_certified) return false;
+  }
+  return true;
+}
+
+void FaultSpaceReport::write_text(std::ostream& os) const {
+  print_banner(os, "fault-space: " + fabric);
+  os << "healthy fabric: " << (healthy_certified ? "CERTIFIED" : "INDICTED")
+     << ", CDG " << (healthy_acyclic ? "acyclic" : "CYCLIC") << '\n';
+
+  TextTable matrix({"fault class", "total", "survives", "failover", "stale", "repaired",
+                    "partitioned", "deadlock"});
+  const auto add = [&](const char* name, const FaultClassCounts& c) {
+    matrix.row()
+        .cell(name)
+        .cell(static_cast<std::uint64_t>(c.total))
+        .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kSurvives)))
+        .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kFailover)))
+        .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kStaleRoute)))
+        .cell(static_cast<std::uint64_t>(c.repaired))
+        .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kPartitioned)))
+        .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kDeadlockProne)));
+  };
+  add("link", link);
+  add("router", router);
+  add("double-link*", double_link);
+  matrix.print(os);
+  os << "* double-link: seeded sample (seed 0x" << std::hex << seed << std::dec << ")\n";
+
+  constexpr std::size_t kMaxListed = 12;
+  std::size_t listed = 0;
+  for (const FaultOutcome& o : outcomes) {
+    if (o.verdict == FaultVerdict::kFailover) continue;  // counted above, not noteworthy
+    if (listed == kMaxListed) {
+      os << "  ...\n";
+      break;
+    }
+    os << "  [" << to_string(o.verdict) << "] " << o.description;
+    if (!o.detail.empty()) os << " — " << o.detail;
+    os << '\n';
+    ++listed;
+  }
+  if (const FaultOutcome* w = worst()) {
+    os << "worst: " << w->description << " — " << to_string(w->verdict) << ": " << w->detail
+       << '\n';
+  }
+  os << "single-fault space: " << (single_faults_covered() ? "COVERED" : "NOT COVERED")
+     << " (every avoidable single fault survives, fails over, or has a certified repair)\n";
+}
+
+void FaultSpaceReport::write_json(std::ostream& os) const {
+  const auto counts = [&os](const char* key, const FaultClassCounts& c) {
+    os << '"' << key << "\": {\"total\": " << c.total
+       << ", \"survives\": " << c.of(FaultVerdict::kSurvives)
+       << ", \"failover\": " << c.of(FaultVerdict::kFailover)
+       << ", \"stale_route\": " << c.of(FaultVerdict::kStaleRoute)
+       << ", \"repaired\": " << c.repaired << ", \"repair_failed\": " << c.repair_failed
+       << ", \"partitioned\": " << c.of(FaultVerdict::kPartitioned)
+       << ", \"deadlock_prone\": " << c.of(FaultVerdict::kDeadlockProne) << '}';
+  };
+  os << "{\n  \"fabric\": ";
+  write_json_string(os, fabric);
+  os << ",\n  \"healthy_certified\": " << (healthy_certified ? "true" : "false");
+  os << ",\n  \"healthy_acyclic\": " << (healthy_acyclic ? "true" : "false");
+  os << ",\n  \"seed\": " << seed;
+  os << ",\n  \"single_faults_covered\": " << (single_faults_covered() ? "true" : "false");
+  os << ",\n  \"classes\": {\n    ";
+  counts("link", link);
+  os << ",\n    ";
+  counts("router", router);
+  os << ",\n    ";
+  counts("double_link", double_link);
+  os << "\n  },\n  \"worst\": ";
+  const FaultOutcome* w = worst();
+  const auto outcome_json = [&os](const FaultOutcome& o) {
+    os << "{\"fault\": ";
+    write_json_string(os, o.description);
+    os << ", \"kind\": \"" << kind_name(o.fault.kind) << "\", \"verdict\": \""
+       << to_string(o.verdict) << "\", \"detail\": ";
+    write_json_string(os, o.detail);
+    os << ", \"repair_attempted\": " << (o.repair_attempted ? "true" : "false")
+       << ", \"repair_certified\": " << (o.repair_certified ? "true" : "false")
+       << ", \"channels\": [";
+    for (std::size_t i = 0; i < o.witness_channels.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << o.witness_channels[i];
+    }
+    os << "]}";
+  };
+  if (w == nullptr) {
+    os << "null";
+  } else {
+    outcome_json(*w);
+  }
+  os << ",\n  \"outcomes\": [";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\n    ";
+    outcome_json(outcomes[i]);
+  }
+  os << (outcomes.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+std::string FaultSpaceReport::text() const {
+  std::ostringstream os;
+  write_text(os);
+  return os.str();
+}
+
+std::string FaultSpaceReport::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace servernet::verify

@@ -1,0 +1,145 @@
+// The fault-space certifier: exhaustive static analysis of degraded
+// fabrics.
+//
+// PR 1's verifier certifies the *healthy* fabric; the paper's availability
+// argument (§1, §4) is about what remains after hardware dies. This
+// subsystem enumerates every single link fault and every single router
+// fault (plus a seeded sample of double link faults), derives each
+// degraded fabric with the routing table left *stale* — exactly the state
+// of the network in the window between a failure and the maintenance
+// processor's reaction — and re-runs the static pass pipeline per fault:
+//
+//   deadlock     incremental CDG acyclicity (delta-update, src/analysis)
+//   reachability the PR 1 pass on the degraded wiring
+//   updown       stale-classification conformance, when one is supplied
+//   partition    physical router-graph connectivity per node pair
+//
+// Each fault is classified:
+//
+//   SURVIVES        stale table still routes every pair; CDG still acyclic
+//   FAILOVER        dual fabric only: the stale table is broken on one
+//                   fabric but every pair is served through the other (§1)
+//   STALE-ROUTE     the fabric stays connected but the stale table drops
+//                   pairs; the repair synthesizer (src/route/repair)
+//                   recomputes up*/down*-conformant tables and the repaired
+//                   fabric is re-certified from scratch
+//   PARTITIONED     some node pair is physically disconnected — no table
+//                   can help; this is what dual fabrics exist to prevent
+//   DEADLOCK-PRONE  the degraded CDG has a cycle. A fault never *adds*
+//                   dependencies, so a fabric certified acyclic when
+//                   healthy can never earn this verdict (the degraded CDG
+//                   is an induced subgraph); it marks already-indicted
+//                   tables whose cycles survive the fault.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fabric/dual_fabric.hpp"
+#include "route/routing_table.hpp"
+#include "topo/fault.hpp"
+#include "topo/network.hpp"
+#include "verify/passes.hpp"
+
+namespace servernet::verify {
+
+enum class FaultVerdict : std::uint8_t {
+  kSurvives,
+  kFailover,
+  kStaleRoute,
+  kPartitioned,
+  kDeadlockProne,
+};
+inline constexpr std::size_t kFaultVerdictCount = 5;
+
+[[nodiscard]] std::string to_string(FaultVerdict v);
+
+/// One classified fault scenario.
+struct FaultOutcome {
+  Fault fault;
+  FaultVerdict verdict = FaultVerdict::kSurvives;
+  /// describe(healthy_net, fault).
+  std::string description;
+  /// One-line witness: first unroutable pair, cycle summary, ...
+  std::string detail;
+  /// For DEADLOCK-PRONE: the minimal CDG cycle, in healthy channel ids.
+  std::vector<std::uint32_t> witness_channels;
+  bool repair_attempted = false;
+  /// The synthesized repair table passed a full from-scratch verification.
+  bool repair_certified = false;
+};
+
+/// Survivability counts for one fault class (the coverage-matrix row).
+struct FaultClassCounts {
+  std::size_t total = 0;
+  std::array<std::size_t, kFaultVerdictCount> verdicts{};
+  std::size_t repaired = 0;
+  std::size_t repair_failed = 0;
+
+  [[nodiscard]] std::size_t of(FaultVerdict v) const {
+    return verdicts[static_cast<std::size_t>(v)];
+  }
+};
+
+struct FaultSpaceOptions {
+  /// Pass options inherited by the per-fault and repair verifications
+  /// (radix enforcement, witness caps). `base.updown`, when set, must
+  /// classify the *healthy* network; it is remapped onto each degraded
+  /// fabric for the per-fault conformance check.
+  VerifyOptions base;
+  bool router_faults = true;
+  /// Seeded sample size of the double-link fault space (0 disables).
+  std::size_t double_link_samples = 12;
+  std::uint64_t seed = 0x5eedf417U;
+  /// Synthesize and re-certify up*/down* repairs for STALE-ROUTE faults.
+  bool synthesize_repairs = true;
+  /// When the fabric under test is `dual->net()`, STALE faults whose pairs
+  /// are all served through the surviving fabric classify as FAILOVER.
+  const DualFabric* dual = nullptr;
+};
+
+struct FaultSpaceReport {
+  std::string fabric;
+  bool healthy_certified = false;
+  bool healthy_acyclic = false;
+  std::uint64_t seed = 0;
+  FaultClassCounts link;
+  FaultClassCounts router;
+  FaultClassCounts double_link;
+  /// Every non-SURVIVES outcome, in enumeration order.
+  std::vector<FaultOutcome> outcomes;
+
+  /// The headline witness: the first DEADLOCK-PRONE outcome, else the
+  /// first unrepaired STALE-ROUTE, else the first PARTITIONED.
+  [[nodiscard]] const FaultOutcome* worst() const;
+
+  /// The certification gate for healthy-certified fabrics: the single-fault
+  /// space (all link + router faults) contains no DEADLOCK-PRONE verdict
+  /// and no STALE-ROUTE fault whose synthesized repair failed
+  /// certification. PARTITIONED faults do not count against coverage — no
+  /// routing table can reconnect severed hardware.
+  [[nodiscard]] bool single_faults_covered() const;
+
+  void write_text(std::ostream& os) const;
+  /// Stable JSON coverage matrix (schema in docs/VERIFICATION.md).
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string text() const;
+  [[nodiscard]] std::string json() const;
+};
+
+/// Classifies one fault. Exposed for targeted tests; certify_fault_space
+/// is the sweeping entry point.
+[[nodiscard]] FaultOutcome classify_fault(const Network& net, const RoutingTable& table,
+                                          const Fault& fault,
+                                          const FaultSpaceOptions& options = {});
+
+/// Enumerates the fault space of (net, table) and classifies every fault.
+/// `fabric_name` defaults to the network's name.
+[[nodiscard]] FaultSpaceReport certify_fault_space(const Network& net, const RoutingTable& table,
+                                                   const FaultSpaceOptions& options = {},
+                                                   std::string fabric_name = {});
+
+}  // namespace servernet::verify

@@ -303,8 +303,19 @@ void run_deadlock_pass(const PassContext& ctx, Report& report) {
   const Network& net = ctx.net;
   report.begin_pass("deadlock");
 
-  const ChannelDependencyGraph cdg = build_cdg(net, ctx.table);
+  CdgBuildStats skipped;
+  const ChannelDependencyGraph cdg = build_cdg(net, ctx.table, &skipped);
   report.note_checks(cdg.vertex_count() + cdg.edge_count());
+
+  if (skipped.total() != 0) {
+    std::ostringstream os;
+    os << "CDG construction skipped " << skipped.total() << " defective table entr"
+       << (skipped.total() == 1 ? "y" : "ies") << " (" << skipped.skipped_out_of_range
+       << " out-of-range port(s), " << skipped.skipped_unwired << " unwired port(s), "
+       << skipped.skipped_misdelivery
+       << " misdeliver(ies)); the reachability pass indicts each one";
+    report.add(Diagnostic{Severity::kInfo, "deadlock.skipped-entries", os.str(), {}, {}});
+  }
 
   if (is_acyclic(cdg)) {
     std::ostringstream os;

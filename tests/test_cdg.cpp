@@ -94,6 +94,62 @@ TEST(Cycles, AdjacencyBoundsChecked) {
   EXPECT_THROW(is_acyclic(g), PreconditionError);
 }
 
+// ---- minimal_cycle edge cases ---------------------------------------------------
+
+TEST(MinimalCycle, EmptyGraphHasNone) {
+  const std::vector<std::vector<std::uint32_t>> empty;
+  EXPECT_FALSE(minimal_cycle(empty).has_value());
+}
+
+TEST(MinimalCycle, AcyclicGraphHasNone) {
+  const std::vector<std::vector<std::uint32_t>> g{{1, 2}, {2}, {}};
+  EXPECT_FALSE(minimal_cycle(g).has_value());
+}
+
+TEST(MinimalCycle, SelfLoopWinsOverLongerCycle) {
+  // A channel depending on itself is the smallest possible witness and must
+  // beat the 3-cycle elsewhere in the graph.
+  const std::vector<std::vector<std::uint32_t>> g{{1}, {2}, {0}, {3}};
+  const auto cycle = minimal_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_EQ(cycle->size(), 1U);
+  EXPECT_EQ(cycle->front(), 3U);
+}
+
+TEST(MinimalCycle, TwoCycleExtractedExactly) {
+  const std::vector<std::vector<std::uint32_t>> g{{1}, {0}};
+  const auto cycle = minimal_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_EQ(cycle->size(), 2U);
+  // Both vertices present, consecutive hops are real edges.
+  EXPECT_NE(std::find(cycle->begin(), cycle->end(), 0U), cycle->end());
+  EXPECT_NE(std::find(cycle->begin(), cycle->end(), 1U), cycle->end());
+}
+
+TEST(MinimalCycle, PicksTheSmallestOfDisconnectedSccs) {
+  // Two disjoint SCCs: a 4-cycle {0..3} and a 2-cycle {4,5}. The minimal
+  // witness must come from the smaller component.
+  const std::vector<std::vector<std::uint32_t>> g{{1}, {2}, {3}, {0}, {5}, {4}};
+  const auto cycle = minimal_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_EQ(cycle->size(), 2U);
+  for (const std::uint32_t v : *cycle) EXPECT_GE(v, 4U);
+}
+
+TEST(MinimalCycle, WitnessHopsAreRealEdges) {
+  // A denser graph with chords: whatever cycle comes back, every
+  // consecutive hop (including the wrap-around) must be a real edge.
+  const std::vector<std::vector<std::uint32_t>> g{{1, 3}, {2, 3}, {0, 4}, {4}, {1}};
+  const auto cycle = minimal_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    const std::uint32_t from = (*cycle)[i];
+    const std::uint32_t to = (*cycle)[(i + 1) % cycle->size()];
+    EXPECT_NE(std::find(g[from].begin(), g[from].end(), to), g[from].end());
+  }
+  EXPECT_EQ(cycle->size(), 3U);  // 0 -> 1 -> 2 -> 0 is the smallest loop
+}
+
 // ---- CDG construction -----------------------------------------------------------
 
 TEST(Cdg, LineNetworkHasChainDependencies) {

@@ -1,0 +1,391 @@
+// Tests for the fault-space certifier stack: fault application on a
+// Network (src/topo/fault), the incremental CDG (src/analysis), repair
+// synthesis (src/route/repair), and the per-fault classifier + sweep
+// (src/verify/faults).
+//
+// The load-bearing test is IncrementalCdg.MatchesFullRebuildOnEveryFault:
+// the delta-updated CDG must agree with a from-scratch build_cdg() on the
+// degraded network for *every* enumerated fault — the induced-subgraph
+// identity the certifier's performance rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/cycles.hpp"
+#include "analysis/incremental_cdg.hpp"
+#include "fabric/dual_fabric.hpp"
+#include "route/dimension_order.hpp"
+#include "route/path.hpp"
+#include "route/repair.hpp"
+#include "route/shortest_path.hpp"
+#include "route/updown.hpp"
+#include "topo/fault.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "topo/torus.hpp"
+#include "verify/faults.hpp"
+
+namespace servernet {
+namespace {
+
+using verify::FaultSpaceOptions;
+using verify::FaultSpaceReport;
+using verify::FaultVerdict;
+
+// ---- fault application ----------------------------------------------------------
+
+TEST(FaultApplication, LinkFaultPreservesEverythingButTheCable) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const Network& net = mesh.net();
+  const Fault fault = Fault::link(net.router_out(mesh.router_at(0, 0), mesh_port::kEast));
+  const DegradedNetwork degraded = apply_fault(net, fault);
+
+  degraded.net.validate();
+  EXPECT_EQ(degraded.net.router_count(), net.router_count());
+  EXPECT_EQ(degraded.net.node_count(), net.node_count());
+  EXPECT_EQ(degraded.removed.size(), 2U);  // both directions of the duplex pair
+  EXPECT_EQ(degraded.net.channel_count(), net.channel_count() - 2);
+
+  // Every surviving channel keeps its endpoints and ports; removed channels
+  // map to the sentinel.
+  ASSERT_EQ(degraded.channel_map.size(), net.channel_count());
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const std::uint32_t mapped = degraded.channel_map[ci];
+    const bool removed = std::find(degraded.removed.begin(), degraded.removed.end(),
+                                   ChannelId{ci}) != degraded.removed.end();
+    if (removed) {
+      EXPECT_EQ(mapped, kRemovedChannel);
+      continue;
+    }
+    ASSERT_NE(mapped, kRemovedChannel);
+    const Channel& healthy = net.channel(ChannelId{ci});
+    const Channel& survivor = degraded.net.channel(ChannelId{mapped});
+    EXPECT_EQ(survivor.src, healthy.src);
+    EXPECT_EQ(survivor.src_port, healthy.src_port);
+    EXPECT_EQ(survivor.dst, healthy.dst);
+    EXPECT_EQ(survivor.dst_port, healthy.dst_port);
+  }
+}
+
+TEST(FaultApplication, RouterFaultUnwiresEveryIncidentCable) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const Network& net = mesh.net();
+  const RouterId center = mesh.router_at(1, 1);
+  const DegradedNetwork degraded = apply_fault(net, Fault::dead_router(center));
+  degraded.net.validate();
+  // 4 mesh neighbours + 2 nodes on the default mesh spec, duplex each.
+  EXPECT_EQ(degraded.removed.size(), 2U * net.out_channels(Terminal::router(center)).size());
+  EXPECT_TRUE(degraded.net.out_channels(Terminal::router(center)).empty());
+  EXPECT_TRUE(degraded.net.in_channels(Terminal::router(center)).empty());
+}
+
+TEST(FaultApplication, DoubleLinkSampleIsReproducibleAndDistinct) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const auto a = sample_double_link_faults(mesh.net(), 10, 42);
+  const auto b = sample_double_link_faults(mesh.net(), 10, 42);
+  const auto c = sample_double_link_faults(mesh.net(), 10, 43);
+  ASSERT_EQ(a.size(), 10U);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cable_a.value(), b[i].cable_a.value());
+    EXPECT_EQ(a[i].cable_b.value(), b[i].cable_b.value());
+    EXPECT_NE(a[i].cable_a.value(), a[i].cable_b.value());
+    pairs.insert({std::min(a[i].cable_a.value(), a[i].cable_b.value()),
+                  std::max(a[i].cable_a.value(), a[i].cable_b.value())});
+  }
+  EXPECT_EQ(pairs.size(), a.size());  // distinct unordered pairs
+  bool differs = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    differs = differs || a[i].cable_a.value() != c[i].cable_a.value() ||
+              a[i].cable_b.value() != c[i].cable_b.value();
+  }
+  EXPECT_TRUE(differs);  // a different seed draws a different sample
+}
+
+TEST(FaultApplication, SampleCapsAtThePairCount) {
+  // Figure 1's ring: 8 cables -> 28 distinct pairs.
+  const Ring ring(RingSpec{});
+  const auto sample = sample_double_link_faults(ring.net(), 1000, 7);
+  EXPECT_EQ(sample.size(), 28U);
+}
+
+// ---- incremental CDG ------------------------------------------------------------
+
+/// The acceptance criterion: for every enumerated fault, the incremental
+/// CDG (built once, delta-masked) must agree with a from-scratch build_cdg
+/// on the degraded network — same adjacency under the id translation, same
+/// acyclicity verdict.
+void expect_incremental_matches_rebuild(const Network& net, const RoutingTable& table) {
+  IncrementalCdg inc(net, table);
+  const std::size_t healthy_edges = inc.alive_edge_count();
+
+  std::vector<Fault> faults = enumerate_link_faults(net);
+  const auto routers = enumerate_router_faults(net);
+  faults.insert(faults.end(), routers.begin(), routers.end());
+  const auto doubles = sample_double_link_faults(net, 8, 99);
+  faults.insert(faults.end(), doubles.begin(), doubles.end());
+
+  for (const Fault& fault : faults) {
+    const DegradedNetwork degraded = apply_fault(net, fault);
+    inc.remove_channels(degraded.removed);
+
+    const ChannelDependencyGraph rebuilt = build_cdg(degraded.net, table);
+    const auto masked = inc.masked_adjacency();
+
+    ASSERT_EQ(rebuilt.vertex_count(), degraded.net.channel_count());
+    for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+      const std::uint32_t mapped = degraded.channel_map[ci];
+      if (mapped == kRemovedChannel) {
+        EXPECT_TRUE(masked[ci].empty()) << describe(net, fault);
+        continue;
+      }
+      std::vector<std::uint32_t> translated;
+      translated.reserve(masked[ci].size());
+      for (const std::uint32_t succ : masked[ci]) {
+        ASSERT_NE(degraded.channel_map[succ], kRemovedChannel);
+        translated.push_back(degraded.channel_map[succ]);
+      }
+      EXPECT_EQ(translated, rebuilt.adjacency[mapped])
+          << describe(net, fault) << " channel " << ci;
+    }
+    EXPECT_EQ(inc.is_acyclic(), is_acyclic(rebuilt)) << describe(net, fault);
+
+    inc.restore_all();
+    EXPECT_EQ(inc.alive_vertex_count(), net.channel_count());
+    EXPECT_EQ(inc.alive_edge_count(), healthy_edges);
+  }
+}
+
+TEST(IncrementalCdg, MatchesFullRebuildOnEveryFaultMeshDor) {
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  expect_incremental_matches_rebuild(mesh.net(), dimension_order_routes(mesh));
+}
+
+TEST(IncrementalCdg, MatchesFullRebuildOnEveryFaultRingUnrestricted) {
+  const Ring ring(RingSpec{});
+  expect_incremental_matches_rebuild(ring.net(), shortest_path_routes(ring.net()));
+}
+
+TEST(IncrementalCdg, MatchesFullRebuildOnEveryFaultTorusUnrestricted) {
+  const Torus2D torus(TorusSpec{.cols = 4, .rows = 4, .nodes_per_router = 1});
+  expect_incremental_matches_rebuild(torus.net(), shortest_path_routes(torus.net()));
+}
+
+TEST(IncrementalCdg, MatchesFullRebuildOnEveryFaultRingUpdown) {
+  const Ring ring(RingSpec{.routers = 8});
+  expect_incremental_matches_rebuild(ring.net(), updown_routes(ring.net(), ring.router(0)));
+}
+
+TEST(IncrementalCdg, RemoveChannelIsIdempotent) {
+  const Ring ring(RingSpec{});
+  IncrementalCdg inc(ring.net(), shortest_path_routes(ring.net()));
+  const std::size_t vertices = inc.alive_vertex_count();
+  inc.remove_channel(ChannelId{0U});
+  const std::size_t once_edges = inc.alive_edge_count();
+  inc.remove_channel(ChannelId{0U});
+  EXPECT_EQ(inc.alive_edge_count(), once_edges);
+  EXPECT_EQ(inc.alive_vertex_count(), vertices - 1);
+  EXPECT_FALSE(inc.alive(ChannelId{0U}));
+  inc.restore_all();
+  EXPECT_TRUE(inc.alive(ChannelId{0U}));
+  EXPECT_EQ(inc.alive_vertex_count(), vertices);
+}
+
+// ---- repair synthesis -----------------------------------------------------------
+
+TEST(Repair, ForestMatchesClassifyUpdownWhenConnected) {
+  // On a connected graph, the forest classification rooted at the lowest id
+  // coincides with classify_updown(net, router 0).
+  const Ring ring(RingSpec{.routers = 8});
+  const UpDownClassification forest = classify_updown_forest(ring.net());
+  const UpDownClassification single = classify_updown(ring.net(), ring.router(0));
+  EXPECT_EQ(forest.root, single.root);
+  EXPECT_EQ(forest.level, single.level);
+  EXPECT_EQ(forest.channel_is_up, single.channel_is_up);
+}
+
+TEST(Repair, ForestRoutesEachComponentOfADisconnectedFabric) {
+  // Two disjoint two-router islands: classify_updown would throw, the
+  // forest levels each island from its own root and the repair table
+  // serves every intra-island pair.
+  Network net("two islands");
+  std::vector<NodeId> nodes;
+  for (int island = 0; island < 2; ++island) {
+    const RouterId a = net.add_router();
+    const RouterId b = net.add_router();
+    net.connect(Terminal::router(a), 0, Terminal::router(b), 0);
+    nodes.push_back(net.add_node());
+    net.connect(Terminal::node(nodes.back()), 0, Terminal::router(a), 1);
+    nodes.push_back(net.add_node());
+    net.connect(Terminal::node(nodes.back()), 0, Terminal::router(b), 1);
+  }
+  const UpDownClassification cls = classify_updown_forest(net);
+  EXPECT_EQ(cls.level[0], 0U);
+  EXPECT_EQ(cls.level[2], 0U);  // second island rooted independently
+
+  const RepairRoute repair = synthesize_updown_repair(net);
+  for (const auto& pair : {std::pair{0, 1}, std::pair{2, 3}}) {
+    EXPECT_TRUE(
+        trace_route(net, repair.table, nodes[std::size_t(pair.first)],
+                    nodes[std::size_t(pair.second)])
+            .ok());
+    EXPECT_TRUE(
+        trace_route(net, repair.table, nodes[std::size_t(pair.second)],
+                    nodes[std::size_t(pair.first)])
+            .ok());
+  }
+  EXPECT_TRUE(is_acyclic(build_cdg(net, repair.table)));
+}
+
+// ---- fault classification -------------------------------------------------------
+
+TEST(FaultClassifier, MeshNodeCableFaultPartitions) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const NodeId lonely = mesh.node_at(0, 0, 0);
+  const Fault fault = Fault::link(mesh.net().node_out(lonely));
+  const auto outcome = verify::classify_fault(mesh.net(), table, fault);
+  EXPECT_EQ(outcome.verdict, FaultVerdict::kPartitioned);
+  EXPECT_FALSE(outcome.repair_attempted);  // no table reconnects severed wire
+}
+
+TEST(FaultClassifier, MeshInterRouterFaultIsStaleRouteWithCertifiedRepair) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const Fault fault =
+      Fault::link(mesh.net().router_out(mesh.router_at(0, 0), mesh_port::kEast));
+  const auto outcome = verify::classify_fault(mesh.net(), table, fault);
+  EXPECT_EQ(outcome.verdict, FaultVerdict::kStaleRoute);
+  EXPECT_TRUE(outcome.repair_attempted);
+  EXPECT_TRUE(outcome.repair_certified);
+}
+
+TEST(FaultClassifier, TorusUnrestrictedKeepsDeadlockCyclesUnderNodeFault) {
+  // Killing one node cable leaves every row/column routing loop intact:
+  // the degraded fabric still carries Figure 1's deadlock.
+  const Torus2D torus(TorusSpec{.cols = 4, .rows = 4, .nodes_per_router = 1});
+  const RoutingTable table = shortest_path_routes(torus.net());
+  const Fault fault = Fault::link(torus.net().node_out(torus.node_at(0, 0, 0)));
+  const auto outcome = verify::classify_fault(torus.net(), table, fault);
+  ASSERT_EQ(outcome.verdict, FaultVerdict::kDeadlockProne);
+  ASSERT_FALSE(outcome.witness_channels.empty());
+
+  // The witness must be a genuine cycle of the healthy CDG that avoids the
+  // removed channels — re-check it rather than trusting the verdict.
+  const ChannelDependencyGraph healthy = build_cdg(torus.net(), table);
+  const auto removed = fault_channels(torus.net(), fault);
+  for (std::size_t i = 0; i < outcome.witness_channels.size(); ++i) {
+    const std::uint32_t from = outcome.witness_channels[i];
+    const std::uint32_t to =
+        outcome.witness_channels[(i + 1) % outcome.witness_channels.size()];
+    EXPECT_EQ(std::find(removed.begin(), removed.end(), ChannelId{from}), removed.end());
+    const auto& succ = healthy.adjacency[from];
+    EXPECT_NE(std::find(succ.begin(), succ.end(), to), succ.end());
+  }
+}
+
+TEST(FaultClassifier, Ring4AnyCableFaultBreaksFigureOneCycle) {
+  // The paper's path-disable insight: disabling any one cable of the
+  // four-switch loop removes both directions' cycles, so no single
+  // inter-router fault is deadlock-prone — the table is merely stale, and
+  // an up*/down* reroute on the surviving path certifies.
+  const Ring ring(RingSpec{});
+  const RoutingTable table = shortest_path_routes(ring.net());
+  for (const Fault& fault : enumerate_link_faults(ring.net())) {
+    const Channel& cable = ring.net().channel(fault.cable_a);
+    if (!cable.src.is_router() || !cable.dst.is_router()) continue;
+    const auto outcome = verify::classify_fault(ring.net(), table, fault);
+    EXPECT_EQ(outcome.verdict, FaultVerdict::kStaleRoute) << outcome.description;
+    EXPECT_TRUE(outcome.repair_certified) << outcome.description;
+  }
+}
+
+TEST(FaultClassifier, CertifiedFabricsNeverBecomeDeadlockProne) {
+  // The induced-subgraph corollary as an end-to-end property: a fabric
+  // whose healthy table is acyclic cannot earn DEADLOCK-PRONE from any
+  // fault, single or double.
+  const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
+  FaultSpaceOptions options;
+  options.double_link_samples = 16;
+  const FaultSpaceReport report =
+      verify::certify_fault_space(mesh.net(), dimension_order_routes(mesh), options);
+  EXPECT_TRUE(report.healthy_certified);
+  EXPECT_TRUE(report.healthy_acyclic);
+  EXPECT_EQ(report.link.of(FaultVerdict::kDeadlockProne), 0U);
+  EXPECT_EQ(report.router.of(FaultVerdict::kDeadlockProne), 0U);
+  EXPECT_EQ(report.double_link.of(FaultVerdict::kDeadlockProne), 0U);
+  EXPECT_TRUE(report.single_faults_covered());
+}
+
+TEST(FaultClassifier, DualFabricAbsorbsEverySingleFault) {
+  // §1: "Full network fault-tolerance can be provided by configuring pairs
+  // of router fabrics with dual-ported nodes." Statically certified: every
+  // single link or router fault either survives or fails over.
+  const Mesh2D single(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  const DualFabric dual(single.net());
+  const RoutingTable lifted = dual.lift_routing(dimension_order_routes(single));
+
+  FaultSpaceOptions options;
+  options.dual = &dual;
+  options.double_link_samples = 0;
+  const FaultSpaceReport report =
+      verify::certify_fault_space(dual.net(), lifted, options, "dual-mesh");
+  EXPECT_TRUE(report.healthy_certified);
+  EXPECT_EQ(report.link.of(FaultVerdict::kSurvives) + report.link.of(FaultVerdict::kFailover),
+            report.link.total);
+  EXPECT_EQ(
+      report.router.of(FaultVerdict::kSurvives) + report.router.of(FaultVerdict::kFailover),
+      report.router.total);
+  EXPECT_TRUE(report.single_faults_covered());
+}
+
+TEST(FaultClassifier, VerdictPrecedencePartitionBeatsStale) {
+  // A dead router partitions its own nodes away; the verdict must say so
+  // rather than blaming the (equally broken) stale table.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const auto outcome =
+      verify::classify_fault(mesh.net(), table, Fault::dead_router(mesh.router_at(1, 1)));
+  EXPECT_EQ(outcome.verdict, FaultVerdict::kPartitioned);
+}
+
+// ---- report rendering -----------------------------------------------------------
+
+TEST(FaultSpaceReport, JsonCarriesTheCoverageMatrix) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  FaultSpaceOptions options;
+  options.double_link_samples = 4;
+  const FaultSpaceReport report = verify::certify_fault_space(
+      mesh.net(), dimension_order_routes(mesh), options, "mesh-3x3");
+  const std::string json = report.json();
+  for (const char* key :
+       {"\"fabric\": \"mesh-3x3\"", "\"healthy_certified\": true", "\"healthy_acyclic\": true",
+        "\"single_faults_covered\": true", "\"classes\"", "\"link\"", "\"router\"",
+        "\"double_link\"", "\"survives\"", "\"stale_route\"", "\"partitioned\"",
+        "\"deadlock_prone\"", "\"worst\"", "\"outcomes\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Stable output: rendering twice gives byte-identical JSON.
+  EXPECT_EQ(json, report.json());
+}
+
+TEST(FaultSpaceReport, TextNamesTheWorstFault) {
+  const Ring ring(RingSpec{});
+  FaultSpaceOptions options;
+  options.double_link_samples = 0;
+  const FaultSpaceReport report = verify::certify_fault_space(
+      ring.net(), shortest_path_routes(ring.net()), options, "ring-4");
+  EXPECT_FALSE(report.healthy_certified);
+  ASSERT_NE(report.worst(), nullptr);
+  EXPECT_EQ(report.worst()->verdict, FaultVerdict::kDeadlockProne);
+  const std::string text = report.text();
+  EXPECT_NE(text.find("deadlock-prone"), std::string::npos);
+  EXPECT_NE(text.find("NOT COVERED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace servernet

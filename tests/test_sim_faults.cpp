@@ -6,12 +6,16 @@
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
 #include "route/path.hpp"
+#include "route/repair.hpp"
 #include "route/shortest_path.hpp"
 #include "sim/deadlock_detector.hpp"
 #include "sim/wormhole_sim.hpp"
+#include "topo/fault.hpp"
 #include "topo/mesh.hpp"
 #include "topo/ring.hpp"
+#include "topo/torus.hpp"
 #include "util/assert.hpp"
+#include "verify/faults.hpp"
 #include "workload/scenarios.hpp"
 
 namespace servernet {
@@ -161,6 +165,100 @@ TEST(SimFaults, FaultPlusDualFabricStory) {
   }
   s.offer_packet(fh.node(0), fh.node(7));
   EXPECT_EQ(s.run_until_drained(10000).outcome, sim::RunOutcome::kCompleted);
+}
+
+// ---- static certifier vs. dynamic simulation ------------------------------------
+//
+// The fault certifier's verdicts are static claims about degraded fabrics;
+// these tests replay the same fault in the wormhole simulator and check the
+// observed behaviour matches the verdict.
+
+TEST(SimVsCertifier, StaleRouteVerdictMatchesSimAndRepairRestoresService) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  const RoutingTable stale = dimension_order_routes(mesh);
+  const Fault fault =
+      Fault::link(mesh.net().router_out(mesh.router_at(0, 0), mesh_port::kEast));
+
+  // Static verdict: connected but the stale table drops pairs; the
+  // synthesized up*/down* reroute certifies.
+  const auto outcome = verify::classify_fault(mesh.net(), stale, fault);
+  ASSERT_EQ(outcome.verdict, verify::FaultVerdict::kStaleRoute);
+  ASSERT_TRUE(outcome.repair_certified);
+
+  // Dynamic confirmation, stale table: the pair routed over the dead cable
+  // stalls on the fault, nothing is delivered.
+  const auto dead = fault_channels(mesh.net(), fault);
+  const NodeId src = mesh.node_at(0, 0, 0);
+  const NodeId dst = mesh.node_at(2, 0, 0);
+  {
+    sim::WormholeSim s(mesh.net(), stale, quick_config());
+    for (const ChannelId c : dead) s.fail_channel(c);
+    s.offer_packet(src, dst);
+    EXPECT_EQ(s.run_until_drained(100000).outcome, sim::RunOutcome::kDeadlocked);
+    EXPECT_EQ(s.packets_delivered(), 0U);
+    EXPECT_EQ(sim::classify_stall(s).cause, sim::StallCause::kFailedChannel);
+  }
+
+  // Dynamic confirmation, repaired table: the same repair the certifier
+  // verified (ports are preserved, so the degraded-net table drives the
+  // healthy net) routes around the dead cable and the transfer completes.
+  const DegradedNetwork degraded = apply_fault(mesh.net(), fault);
+  const RepairRoute repair = synthesize_updown_repair(degraded.net);
+  {
+    sim::WormholeSim s(mesh.net(), repair.table, quick_config());
+    for (const ChannelId c : dead) s.fail_channel(c);
+    s.offer_packet(src, dst);
+    EXPECT_EQ(s.run_until_drained(100000).outcome, sim::RunOutcome::kCompleted);
+    EXPECT_EQ(s.packets_delivered(), 1U);
+  }
+}
+
+TEST(SimVsCertifier, DeadlockProneVerdictMatchesObservedCircularWait) {
+  // Unrestricted 4x4 torus with a dead node cable in row 0: the certifier
+  // says the surviving CDG still has cycles, and indeed circular-shift
+  // traffic on row 2 — nowhere near the fault — deadlocks for real.
+  const Torus2D torus(TorusSpec{.cols = 4, .rows = 4, .nodes_per_router = 1});
+  const RoutingTable table = shortest_path_routes(torus.net());
+  const Fault fault = Fault::link(torus.net().node_out(torus.node_at(0, 0, 0)));
+  const auto outcome = verify::classify_fault(torus.net(), table, fault);
+  ASSERT_EQ(outcome.verdict, verify::FaultVerdict::kDeadlockProne);
+
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 2;
+  cfg.flits_per_packet = 16;
+  cfg.no_progress_threshold = 200;
+  sim::WormholeSim s(torus.net(), table, cfg);
+  for (const ChannelId c : fault_channels(torus.net(), fault)) s.fail_channel(c);
+  // +2 circular shift within row 2: the distance ties break toward east, so
+  // all four packets chase each other around the row's east loop.
+  for (std::uint32_t x = 0; x < 4; ++x) {
+    s.offer_packet(torus.node_at(x, 2, 0), torus.node_at((x + 2) % 4, 2, 0));
+  }
+  s.run_until_drained(100000);
+  ASSERT_TRUE(s.deadlocked());
+  const sim::StallReport report = sim::classify_stall(s);
+  EXPECT_EQ(report.cause, sim::StallCause::kCircularWait);
+  EXPECT_TRUE(report.deadlock.found());
+}
+
+TEST(SimVsCertifier, PartitionVerdictMatchesUndeliverableTraffic) {
+  // A single-attached node's only cable dies: statically PARTITIONED (no
+  // repair attempted), dynamically the node can neither send nor receive.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  const RoutingTable table = dimension_order_routes(mesh);
+  const NodeId cut = mesh.node_at(1, 1, 0);
+  const Fault fault = Fault::link(mesh.net().node_out(cut));
+  const auto outcome = verify::classify_fault(mesh.net(), table, fault);
+  ASSERT_EQ(outcome.verdict, verify::FaultVerdict::kPartitioned);
+  EXPECT_FALSE(outcome.repair_attempted);
+
+  sim::WormholeSim s(mesh.net(), table, quick_config());
+  for (const ChannelId c : fault_channels(mesh.net(), fault)) s.fail_channel(c);
+  s.offer_packet(cut, mesh.node_at(0, 0, 0));
+  s.offer_packet(mesh.node_at(0, 0, 0), cut);
+  EXPECT_EQ(s.run_until_drained(100000).outcome, sim::RunOutcome::kDeadlocked);
+  EXPECT_EQ(s.packets_delivered(), 0U);
+  EXPECT_EQ(sim::classify_stall(s).cause, sim::StallCause::kFailedChannel);
 }
 
 }  // namespace

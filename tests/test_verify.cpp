@@ -244,6 +244,44 @@ TEST(VerifyLint, MisdeliveryIndicted) {
   EXPECT_NE(find_rule(report, "reachability.misdelivery"), nullptr);
 }
 
+TEST(VerifyLint, DeadlockPassReportsSkippedEntries) {
+  // Defective entries contribute no CDG dependency; the deadlock pass must
+  // say how many it skipped instead of silently analyzing a smaller graph.
+  const Line line;
+  RoutingTable table = shortest_path_routes(line.net);
+  table.set(line.r0, line.n1, 3);   // unwired port
+  table.set(line.r1, line.n0, 17);  // out-of-range port
+  const Report report = verify_fabric(line.net, table);
+  const Diagnostic* skipped = find_rule(report, "deadlock.skipped-entries");
+  ASSERT_NE(skipped, nullptr) << report.text();
+  EXPECT_EQ(skipped->severity, Severity::kInfo);
+  EXPECT_NE(skipped->message.find("skipped 2 defective table entries"), std::string::npos)
+      << skipped->message;
+
+  // A clean table produces no such diagnostic.
+  const Report clean = verify_fabric(line.net, shortest_path_routes(line.net));
+  EXPECT_EQ(find_rule(clean, "deadlock.skipped-entries"), nullptr);
+}
+
+TEST(VerifyLint, BuildCdgStatsBreakDownByDefectKind) {
+  const Line line;
+  RoutingTable table = shortest_path_routes(line.net);
+  table.set(line.r0, line.n1, 3);   // unwired
+  table.set(line.r1, line.n0, 17);  // out of range
+  CdgBuildStats stats;
+  (void)build_cdg(line.net, table, &stats);
+  EXPECT_EQ(stats.skipped_unwired, 1U);
+  EXPECT_EQ(stats.skipped_out_of_range, 1U);
+  EXPECT_EQ(stats.skipped_misdelivery, 0U);
+  EXPECT_EQ(stats.total(), 2U);
+
+  RoutingTable misdeliver = shortest_path_routes(line.net);
+  misdeliver.set(line.r0, line.n1, 0);  // delivers into n0 instead
+  (void)build_cdg(line.net, misdeliver, &stats);
+  EXPECT_EQ(stats.skipped_misdelivery, 1U);
+  EXPECT_EQ(stats.total(), 1U);
+}
+
 TEST(VerifyLint, MissingEntriesReportedAsIncomplete) {
   const Line line;
   RoutingTable table = RoutingTable::sized_for(line.net);  // fully empty

@@ -8,11 +8,18 @@
 //   $ servernet-verify --all                  # certify the whole registry:
 //                                             # exit 0 iff every combo matches
 //                                             # its expected verdict (CI mode)
+//   $ servernet-verify --faults mesh-6x6-dor  # fault-space certification:
+//                                             # every single link/router fault
+//                                             # classified, coverage matrix
+//   $ servernet-verify --faults --all --json  # full-registry fault sweep,
+//                                             # stable JSON for CI
 //
 // The combos pair each builder in src/topo + src/core with its natural
 // routing; "unrestricted" combos use naive shortest-path routing on looping
 // topologies and are *expected* to be indicted — they prove the verifier
-// can still see Figure 1's deadlock.
+// can still see Figure 1's deadlock (and, under --faults, that the torus
+// keeps its surviving cycles while Figure 1's single loop is broken by any
+// one cable fault).
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "core/fractahedron.hpp"
+#include "fabric/dual_fabric.hpp"
 #include "route/dimension_order.hpp"
 #include "route/ecube.hpp"
 #include "route/shortest_path.hpp"
@@ -34,6 +42,7 @@
 #include "topo/ring.hpp"
 #include "topo/shuffle_exchange.hpp"
 #include "topo/torus.hpp"
+#include "verify/faults.hpp"
 #include "verify/passes.hpp"
 
 using namespace servernet;
@@ -51,6 +60,9 @@ struct Built {
   // Topologies that deliberately generalize beyond the six-port ASIC
   // (e.g. 3-D meshes) downgrade the radix rule to a warning.
   bool enforce_asic_ports = true;
+  // Set when `net` is a dual fabric; the fault certifier then grants
+  // FAILOVER verdicts to faults absorbed by the surviving fabric.
+  std::shared_ptr<DualFabric> dual = nullptr;
 };
 
 struct Combo {
@@ -135,6 +147,17 @@ const std::vector<Combo>& registry() {
          auto t = std::make_shared<ShuffleExchange>(ShuffleExchangeSpec{});
          return with_updown(t, t->net(), RouterId{0U});
        }},
+      {"dual-mesh-3x3-dor", "dual 3x3 mesh fabrics, dual-ported nodes (§1)", true,
+       [] {
+         const Mesh2D single(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+         auto dual = std::make_shared<DualFabric>(single.net());
+         Built b;
+         b.owner = dual;
+         b.net = &dual->net();
+         b.table = dual->lift_routing(dimension_order_routes(single));
+         b.dual = dual;
+         return b;
+       }},
       {"ring-4-unrestricted", "Figure 1's four-switch loop, naive shortest-path", false,
        [] {
          auto t = std::make_shared<Ring>(RingSpec{});
@@ -157,8 +180,28 @@ verify::Report run_combo(const Combo& combo) {
   return verify::verify_fabric(*built.net, built.table, options, combo.name);
 }
 
+verify::FaultSpaceReport run_combo_faults(const Combo& combo) {
+  const Built built = combo.build();
+  verify::FaultSpaceOptions options;
+  if (built.updown) options.base.updown = &*built.updown;
+  options.base.enforce_asic_ports = built.enforce_asic_ports;
+  options.dual = built.dual.get();
+  return verify::certify_fault_space(*built.net, built.table, options, combo.name);
+}
+
+/// CI gate for one fault-space report: the healthy verdict must match the
+/// registry expectation, and fabrics expected healthy must also have their
+/// whole single-fault space covered (every avoidable fault survives, fails
+/// over, or has a certified repair). Expected-indicted combos only need
+/// the matching healthy verdict — their fault spaces *should* show
+/// surviving deadlock cycles.
+bool faults_as_expected(const Combo& combo, const verify::FaultSpaceReport& report) {
+  if (report.healthy_certified != combo.expect_certified) return false;
+  return !combo.expect_certified || report.single_faults_covered();
+}
+
 int usage() {
-  std::cerr << "usage: servernet-verify [--json] <combo> | --all | --list | --passes\n"
+  std::cerr << "usage: servernet-verify [--json] [--faults] <combo> | --all | --list | --passes\n"
                "run 'servernet-verify --list' for the registered combos\n";
   return 2;
 }
@@ -170,6 +213,7 @@ int main(int argc, char** argv) {
   bool all = false;
   bool list = false;
   bool passes = false;
+  bool faults = false;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -181,6 +225,8 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg == "--passes") {
       passes = true;
+    } else if (arg == "--faults") {
+      faults = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -200,6 +246,30 @@ int main(int argc, char** argv) {
                 << c.what << '\n';
     }
     return 0;
+  }
+  if (all && faults) {
+    bool all_as_expected = true;
+    bool first = true;
+    if (json) std::cout << "[\n";
+    for (const Combo& c : registry()) {
+      const verify::FaultSpaceReport report = run_combo_faults(c);
+      const bool as_expected = faults_as_expected(c, report);
+      all_as_expected = all_as_expected && as_expected;
+      if (json) {
+        if (!first) std::cout << ",\n";
+        report.write_json(std::cout);
+      } else {
+        const std::size_t total = report.link.total + report.router.total +
+                                  report.double_link.total;
+        std::cout << c.name << ": "
+                  << (report.single_faults_covered() ? "COVERED" : "NOT COVERED") << " ("
+                  << (as_expected ? "as expected" : "UNEXPECTED") << ", " << total
+                  << " faults)\n";
+      }
+      first = false;
+    }
+    if (json) std::cout << "]\n";
+    return all_as_expected ? 0 : 1;
   }
   if (all) {
     bool all_as_expected = true;
@@ -234,13 +304,23 @@ int main(int argc, char** argv) {
       std::cerr << "unknown combo '" << name << "' — run with --list\n";
       return 2;
     }
-    const verify::Report report = run_combo(*combo);
-    if (json) {
-      report.write_json(std::cout);
+    if (faults) {
+      const verify::FaultSpaceReport report = run_combo_faults(*combo);
+      if (json) {
+        report.write_json(std::cout);
+      } else {
+        report.write_text(std::cout);
+      }
+      any_errors = any_errors || !faults_as_expected(*combo, report);
     } else {
-      report.write_text(std::cout);
+      const verify::Report report = run_combo(*combo);
+      if (json) {
+        report.write_json(std::cout);
+      } else {
+        report.write_text(std::cout);
+      }
+      any_errors = any_errors || !report.certified();
     }
-    any_errors = any_errors || !report.certified();
   }
   return any_errors ? 1 : 0;
 }
