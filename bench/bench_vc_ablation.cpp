@@ -73,11 +73,8 @@ class TorusDatelineVc final : public sim::VcSelector {
   std::vector<char> is_wrap_;
 };
 
-std::vector<ChannelId> ring_datelines(const Ring& ring) {
-  const std::uint32_t k = ring.spec().routers;
-  return {ring.net().router_out(ring.router(k - 1), ring_port::kClockwise),
-          ring.net().router_out(ring.router(0), ring_port::kCounterClockwise)};
-}
+// ring_datelines comes from route/vc_selector.hpp — the same cut the
+// static vc-deadlock certifier proves acyclic.
 
 const char* outcome_name(sim::RunOutcome o) {
   switch (o) {

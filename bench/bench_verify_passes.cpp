@@ -1,0 +1,136 @@
+// Verifier timing — how expensive is static certification?
+//
+// Times, per registry combo: topology+routing construction, the full
+// verify_fabric() pipeline, the physical CDG build, and (where the combo
+// carries them) the extended (channel, vc) CDG build and the escape
+// analysis. The point of the numbers: the whole static certificate costs
+// milliseconds even on the 64-node fabrics, so there is no performance
+// excuse for shipping an unverified routing — the argument docs/
+// VERIFICATION.md makes in prose.
+//
+// Writes a machine-readable BENCH_verify.json (path = argv[1], default
+// "BENCH_verify.json") for tracking regressions across PRs, and prints a
+// human table. Medians of `kRuns` runs; single-threaded.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/vc_cdg.hpp"
+#include "util/table.hpp"
+#include "verify/registry.hpp"
+
+using namespace servernet;
+
+namespace {
+
+constexpr int kRuns = 5;
+
+double median_ms(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+template <typename F>
+double time_ms(F&& f) {
+  std::vector<double> samples;
+  samples.reserve(kRuns);
+  for (int i = 0; i < kRuns; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return median_ms(std::move(samples));
+}
+
+struct Row {
+  std::string name;
+  double build_ms = 0.0;
+  double verify_ms = 0.0;
+  double cdg_ms = 0.0;
+  double extended_ms = -1.0;  // < 0: combo has no selector
+  double escape_ms = -1.0;    // < 0: combo has no multipath
+  std::size_t checks = 0;
+  bool certified = false;
+};
+
+void write_json(std::ostream& os, const std::vector<Row>& rows) {
+  os << "{\n  \"bench\": \"verify_passes\",\n  \"runs\": " << kRuns
+     << ",\n  \"unit\": \"ms\",\n  \"combos\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"name\": \"" << r.name << "\", \"build_ms\": " << r.build_ms
+       << ", \"verify_ms\": " << r.verify_ms << ", \"cdg_ms\": " << r.cdg_ms;
+    if (r.extended_ms >= 0.0) os << ", \"extended_cdg_ms\": " << r.extended_ms;
+    if (r.escape_ms >= 0.0) os << ", \"escape_ms\": " << r.escape_ms;
+    os << ", \"checks\": " << r.checks
+       << ", \"certified\": " << (r.certified ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_verify.json";
+  print_banner(std::cout, "static certification cost per registry combo (median of 5)");
+
+  std::vector<Row> rows;
+  for (const verify::RegistryCombo& combo : verify::registry()) {
+    Row row;
+    row.name = combo.name;
+    row.build_ms = time_ms([&] { (void)combo.build(); });
+    const verify::BuiltFabric built = combo.build();
+    const verify::VerifyOptions options = verify::verify_options(built);
+    row.verify_ms =
+        time_ms([&] { (void)verify::verify_fabric(*built.net, built.table, options, combo.name); });
+    row.cdg_ms = time_ms([&] { (void)build_cdg(*built.net, built.table); });
+    if (built.selector != nullptr) {
+      row.extended_ms = time_ms([&] {
+        (void)build_extended_cdg(*built.net, built.table, *built.selector,
+                                 built.vcs_per_channel);
+      });
+    }
+    if (built.multipath != nullptr) {
+      row.escape_ms =
+          time_ms([&] { (void)analyze_escape(*built.net, *built.multipath, built.table); });
+    }
+    const verify::Report report =
+        verify::verify_fabric(*built.net, built.table, options, combo.name);
+    row.checks = report.total_checks();
+    row.certified = report.certified();
+    rows.push_back(row);
+  }
+
+  TextTable t({"combo", "build ms", "verify ms", "cdg ms", "ext-cdg ms", "escape ms", "checks",
+               "verdict"});
+  for (const Row& r : rows) {
+    auto& row = t.row();
+    row.cell(r.name).cell(r.build_ms, 3).cell(r.verify_ms, 3).cell(r.cdg_ms, 3);
+    if (r.extended_ms >= 0.0) {
+      row.cell(r.extended_ms, 3);
+    } else {
+      row.cell("-");
+    }
+    if (r.escape_ms >= 0.0) {
+      row.cell(r.escape_ms, 3);
+    } else {
+      row.cell("-");
+    }
+    row.cell(r.checks).cell(r.certified ? "CERTIFIED" : "INDICTED");
+  }
+  t.print(std::cout);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  write_json(out, rows);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

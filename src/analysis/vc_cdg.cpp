@@ -1,0 +1,252 @@
+#include "analysis/vc_cdg.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "analysis/cycles.hpp"
+
+namespace servernet {
+
+std::size_t ExtendedCdg::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& succ : adjacency) n += succ.size();
+  return n;
+}
+
+ExtendedCdg build_extended_cdg(const Network& net, const RoutingTable& table,
+                               const VcSelector& selector, std::uint32_t vcs,
+                               CdgBuildStats* stats) {
+  SN_REQUIRE(table.router_count() == net.router_count() && table.node_count() == net.node_count(),
+             "routing table dimensions do not match the network");
+  SN_REQUIRE(vcs >= 1, "need at least one virtual channel");
+  ExtendedCdg cdg;
+  cdg.vcs = vcs;
+  cdg.channel_count = net.channel_count();
+  cdg.adjacency.assign(net.channel_count() * vcs, {});
+  CdgBuildStats local_stats;
+
+  // Per-destination BFS over (channel, vc) states, seeded at the injection
+  // channels. Each state has one deterministic successor, so the frontier
+  // is exactly the set of states a d-bound packet can occupy; `stamp`
+  // avoids reallocating the visited set per destination.
+  std::vector<std::uint32_t> stamp(cdg.adjacency.size(), 0);
+  std::deque<std::pair<ChannelId, std::uint32_t>> frontier;
+  for (std::size_t d_index = 0; d_index < net.node_count(); ++d_index) {
+    const NodeId d{d_index};
+    const auto mark = static_cast<std::uint32_t>(d_index + 1);
+
+    // Defective (router, d) entries are counted once each, per entry —
+    // the same accounting as build_cdg, so the verifier's skipped-entries
+    // diagnostic is comparable across both certificates.
+    for (const RouterId r : net.all_routers()) {
+      const PortIndex out = table.port_fast(r, d);
+      if (out == kInvalidPort) continue;
+      if (out >= net.router_ports(r)) {
+        ++local_stats.skipped_out_of_range;
+        continue;
+      }
+      const ChannelId c2 = net.router_out(r, out);
+      if (!c2.valid()) {
+        ++local_stats.skipped_unwired;
+      } else if (net.channel(c2).dst.is_node() && net.channel(c2).dst.node_id() != d) {
+        ++local_stats.skipped_misdelivery;
+      }
+    }
+
+    frontier.clear();
+    const auto visit = [&](ChannelId c, std::uint32_t vc) {
+      const std::uint32_t v = cdg.vertex(c, vc);
+      if (stamp[v] == mark) return;
+      stamp[v] = mark;
+      frontier.emplace_back(c, vc);
+    };
+    for (const NodeId s : net.all_nodes()) {
+      if (s == d) continue;
+      for (const ChannelId c : net.out_channels(Terminal::node(s))) {
+        const std::uint32_t vc = selector.initial_vc(s, d);
+        if (vc != selector.initial_vc(s, d)) {
+          ++cdg.selector_nondeterministic;
+          continue;
+        }
+        if (vc >= vcs) {
+          ++cdg.selector_out_of_range;
+          continue;
+        }
+        visit(c, vc);
+      }
+    }
+
+    while (!frontier.empty()) {
+      const auto [c1, v1] = frontier.front();
+      frontier.pop_front();
+      const Channel& ch1 = net.channel(c1);
+      if (!ch1.dst.is_router()) continue;  // delivery channels have no successor
+      const RouterId r = ch1.dst.router_id();
+      const PortIndex out = table.port_fast(r, d);
+      // Absent and defective entries (counted above) contribute no
+      // dependency; the reachability pass indicts the defects themselves.
+      if (out == kInvalidPort || out >= net.router_ports(r)) continue;
+      const ChannelId c2 = net.router_out(r, out);
+      if (!c2.valid()) continue;
+      if (net.channel(c2).dst.is_node() && net.channel(c2).dst.node_id() != d) continue;
+      const std::uint32_t v2 = selector.next_vc(v1, c1, c2);
+      if (v2 != selector.next_vc(v1, c1, c2)) {
+        ++cdg.selector_nondeterministic;
+        continue;
+      }
+      if (v2 >= vcs) {
+        ++cdg.selector_out_of_range;
+        continue;
+      }
+      cdg.adjacency[cdg.vertex(c1, v1)].push_back(cdg.vertex(c2, v2));
+      visit(c2, v2);
+    }
+  }
+
+  for (auto& succ : cdg.adjacency) {
+    std::sort(succ.begin(), succ.end());
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return cdg;
+}
+
+EscapeAnalysis analyze_escape(const Network& net, const MultipathTable& mp,
+                              const RoutingTable& escape) {
+  SN_REQUIRE(mp.router_count() == net.router_count() && mp.node_count() == net.node_count(),
+             "multipath table dimensions do not match the network");
+  SN_REQUIRE(escape.router_count() == net.router_count() &&
+                 escape.node_count() == net.node_count(),
+             "escape table dimensions do not match the network");
+  EscapeAnalysis result;
+  result.escape_adjacency.assign(net.channel_count(), {});
+
+  const std::size_t router_count = net.router_count();
+  std::vector<std::vector<std::uint32_t>> adaptive(router_count);  // router adjacency
+  std::vector<ChannelId> escape_channel(router_count);
+  std::vector<char> occupied(router_count);
+  std::vector<char> reach_mark(router_count);
+  std::vector<std::vector<char>> reach_from(router_count);  // lazily filled per dest
+
+  // Injection routers: where packets enter the fabric.
+  std::vector<std::vector<std::uint32_t>> entry_routers(net.node_count());
+  for (const NodeId s : net.all_nodes()) {
+    for (const ChannelId c : net.out_channels(Terminal::node(s))) {
+      const Terminal dst = net.channel(c).dst;
+      if (dst.is_router()) entry_routers[s.index()].push_back(dst.router_id().value());
+    }
+  }
+
+  const auto bfs_routers = [&](std::uint32_t start, std::vector<char>& mark) {
+    std::deque<std::uint32_t> queue;
+    if (mark[start] == 0) {
+      mark[start] = 1;
+      queue.push_back(start);
+    }
+    while (!queue.empty()) {
+      const std::uint32_t r = queue.front();
+      queue.pop_front();
+      for (const std::uint32_t next : adaptive[r]) {
+        if (mark[next] != 0) continue;
+        mark[next] = 1;
+        queue.push_back(next);
+      }
+    }
+  };
+
+  for (std::size_t d_index = 0; d_index < net.node_count(); ++d_index) {
+    const NodeId d{d_index};
+
+    // The adaptive next-hop graph and escape channel per router for d.
+    for (const RouterId r : net.all_routers()) {
+      adaptive[r.index()].clear();
+      for (const PortIndex p : mp.choices(r, d)) {
+        if (p >= net.router_ports(r)) continue;
+        const ChannelId c = net.router_out(r, p);
+        if (!c.valid()) continue;
+        const Terminal to = net.channel(c).dst;
+        if (to.is_router()) adaptive[r.index()].push_back(to.router_id().value());
+      }
+      const PortIndex ep = escape.port_fast(r, d);
+      escape_channel[r.index()] = (ep != kInvalidPort && ep < net.router_ports(r))
+                                      ? net.router_out(r, ep)
+                                      : ChannelId::invalid();
+    }
+
+    // Routers a d-bound packet can adaptively occupy.
+    std::fill(occupied.begin(), occupied.end(), 0);
+    for (const NodeId s : net.all_nodes()) {
+      if (s == d) continue;
+      for (const std::uint32_t r : entry_routers[s.index()]) bfs_routers(r, occupied);
+    }
+
+    // Coverage: every occupiable router must offer its escape channel
+    // among the adaptive choices (Duato: the escape network is always
+    // reachable, whatever the adaptive state).
+    for (std::size_t r = 0; r < router_count; ++r) {
+      if (occupied[r] == 0) continue;
+      ++result.checks;
+      const PortIndex ep = escape.port_fast(RouterId{r}, d);
+      const auto& choices = mp.choices(RouterId{r}, d);
+      const bool covered = escape_channel[r].valid() &&
+                           std::find(choices.begin(), choices.end(), ep) != choices.end();
+      if (!covered) {
+        result.missing.push_back(EscapeWitness{RouterId{r}, d, escape_channel[r]});
+      }
+    }
+
+    // Escape dependencies, direct and indirect: a d-bound packet holding
+    // *any* channel c1 (escape or adaptive) can advance its head through
+    // adaptive hops to any reachable router r' and there request r's
+    // escape channel. Conservative — reachability ignores which choices
+    // remain minimal for the packet — so acyclicity stays sufficient.
+    for (auto& cached : reach_from) cached.clear();
+    const auto reachable_from = [&](std::uint32_t r) -> const std::vector<char>& {
+      auto& cached = reach_from[r];
+      if (cached.empty()) {
+        cached.assign(router_count, 0);
+        bfs_routers(r, cached);
+      }
+      return cached;
+    };
+    const auto add_escape_edges = [&](ChannelId c1) {
+      const Terminal head = net.channel(c1).dst;
+      if (!head.is_router()) return;
+      const std::vector<char>& reach = reachable_from(head.router_id().value());
+      for (std::size_t r = 0; r < router_count; ++r) {
+        if (reach[r] == 0) continue;
+        const ChannelId e2 = escape_channel[r];
+        if (!e2.valid()) continue;
+        const Terminal to = net.channel(e2).dst;
+        if (to.is_node() && to.node_id() != d) continue;
+        if (e2 == c1) continue;
+        result.escape_adjacency[c1.index()].push_back(e2.value());
+      }
+    };
+    for (const NodeId s : net.all_nodes()) {
+      if (s == d) continue;
+      for (const ChannelId c : net.out_channels(Terminal::node(s))) add_escape_edges(c);
+    }
+    for (std::size_t r = 0; r < router_count; ++r) {
+      if (occupied[r] == 0) continue;
+      for (const PortIndex p : mp.choices(RouterId{r}, d)) {
+        if (p >= net.router_ports(RouterId{r})) continue;
+        const ChannelId c = net.router_out(RouterId{r}, p);
+        if (c.valid()) add_escape_edges(c);
+      }
+      // The escape channel itself may sit outside the choice set (that is
+      // the coverage failure above); its holds still create dependencies.
+      if (escape_channel[r].valid()) add_escape_edges(escape_channel[r]);
+    }
+  }
+
+  for (auto& succ : result.escape_adjacency) {
+    std::sort(succ.begin(), succ.end());
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+  }
+  result.escape_acyclic = is_acyclic(result.escape_adjacency);
+  if (!result.escape_acyclic) result.cycle = minimal_cycle(result.escape_adjacency);
+  return result;
+}
+
+}  // namespace servernet

@@ -1,0 +1,125 @@
+// Virtual-channel-aware deadlock analysis: the extended channel-dependency
+// graph over (channel, vc) pairs, and the Duato-style escape condition for
+// adaptive (multipath) routing.
+//
+// The physical CDG (analysis/channel_dependency.hpp) is exact only for
+// deterministic routing on plain routers. Two of the designs the paper
+// argues *against* — and this repo implements so the trade can be measured
+// — escape it:
+//
+//  * Virtual channels (§2, Dally & Seitz [6]): a blocked packet holds a
+//    (channel, vc) pair, not a whole channel. Minimal ring routing with a
+//    dateline selector has a cyclic physical CDG yet never deadlocks,
+//    because the dependency chain steps to a higher VC at the dateline and
+//    cannot close. build_extended_cdg() replays the VcSelector
+//    symbolically per destination, enumerating exactly the (channel, vc)
+//    states reachable by real packets; acyclicity of that graph is the
+//    Dally & Seitz extended certificate.
+//
+//  * Adaptive link selection (§3.3): a MultipathTable gives packets a
+//    *choice* of next hops, so no per-destination walk is deterministic.
+//    Duato's theorem restores a static certificate: the routing is
+//    deadlock-free if every router a packet can adaptively occupy also
+//    offers an *escape* next hop drawn from a deterministic subnetwork
+//    whose dependency graph — including the indirect dependencies created
+//    by adaptive wandering between two escape holds — is acyclic.
+//    analyze_escape() checks both halves and names the first router whose
+//    choice set omits its escape channel. (Mendlovic & Matias 2025 and
+//    Cano et al. 2025 push past sufficient conditions like this one; see
+//    docs/THEORY.md.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/channel_dependency.hpp"
+#include "route/multipath.hpp"
+#include "route/routing_table.hpp"
+#include "route/vc_selector.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+/// The extended dependency graph over (channel, vc) vertices. Vertex ids
+/// are channel.value() * vcs + vc, so witnesses project back onto physical
+/// channels losslessly.
+struct ExtendedCdg {
+  std::uint32_t vcs = 1;
+  std::size_t channel_count = 0;
+  /// adjacency[vertex(c, v)] = sorted, de-duplicated successor vertices.
+  std::vector<std::vector<std::uint32_t>> adjacency;
+
+  /// Selector returned a VC >= vcs (the state was dropped, not clamped —
+  /// a nonzero count refutes the certification).
+  std::size_t selector_out_of_range = 0;
+  /// Selector violated its determinism contract: two calls with identical
+  /// arguments disagreed.
+  std::size_t selector_nondeterministic = 0;
+
+  [[nodiscard]] std::uint32_t vertex(ChannelId c, std::uint32_t vc) const {
+    return c.value() * vcs + vc;
+  }
+  [[nodiscard]] ChannelId channel_of(std::uint32_t vertex) const {
+    return ChannelId{vertex / vcs};
+  }
+  [[nodiscard]] std::uint32_t vc_of(std::uint32_t vertex) const { return vertex % vcs; }
+
+  [[nodiscard]] std::size_t vertex_count() const { return adjacency.size(); }
+  [[nodiscard]] std::size_t edge_count() const;
+};
+
+/// Builds the extended CDG induced by `table` and `selector` on `net` with
+/// `vcs` virtual channels per physical channel. Per destination, the
+/// reachable (channel, vc) states are enumerated by BFS from the injection
+/// channels (seeded at selector.initial_vc), following the deterministic
+/// next hop and selector.next_vc — so, unlike build_cdg's channel sweep,
+/// only states an actual packet can occupy contribute dependencies. The
+/// same defective-entry accounting as build_cdg applies (`stats`); the
+/// selector-contract violations are counted on the returned graph itself.
+/// Throws PreconditionError on dimension mismatch or vcs == 0.
+[[nodiscard]] ExtendedCdg build_extended_cdg(const Network& net, const RoutingTable& table,
+                                             const VcSelector& selector, std::uint32_t vcs,
+                                             CdgBuildStats* stats = nullptr);
+
+/// One router whose adaptive choice set cannot fall back to the escape
+/// subnetwork for some destination.
+struct EscapeWitness {
+  RouterId router;
+  NodeId dest;
+  /// The escape channel the choice set omits; invalid when the escape
+  /// table itself has no usable entry at this router.
+  ChannelId escape = ChannelId::invalid();
+};
+
+/// Result of the Duato-style escape analysis.
+struct EscapeAnalysis {
+  /// Routers a packet can adaptively occupy whose choice set omits the
+  /// escape next hop (or whose escape entry is missing/unwired). Capped
+  /// by the caller-facing pass, not here.
+  std::vector<EscapeWitness> missing;
+  /// The escape dependency graph over physical channels: direct escape
+  /// dependencies plus the indirect ones created by adaptive wandering
+  /// (hold any channel, later request an escape channel).
+  std::vector<std::vector<std::uint32_t>> escape_adjacency;
+  bool escape_acyclic = true;
+  /// Minimal cycle through escape_adjacency when cyclic.
+  std::optional<std::vector<std::uint32_t>> cycle;
+  /// (router, destination) coverage checks performed.
+  std::size_t checks = 0;
+
+  [[nodiscard]] bool deadlock_free() const { return missing.empty() && escape_acyclic; }
+};
+
+/// Checks Duato's condition for `mp` with `escape` as the deterministic
+/// escape subnetwork (typically mp.first_choice_table(), but any
+/// deterministic table with matching dimensions works). Conservative in
+/// the indirect dependencies — a packet holding channel c is assumed able
+/// to request the escape channel of every router adaptively reachable
+/// from c's head — so a pass certifies deadlock freedom, while a cycle
+/// witness marks routings the condition cannot clear. Throws
+/// PreconditionError on dimension mismatches.
+[[nodiscard]] EscapeAnalysis analyze_escape(const Network& net, const MultipathTable& mp,
+                                            const RoutingTable& escape);
+
+}  // namespace servernet

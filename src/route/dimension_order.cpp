@@ -40,4 +40,35 @@ RoutingTable dimension_order_routes_yx(const Mesh2D& mesh) {
   return dimension_order_impl(mesh, /*x_first=*/false);
 }
 
+RoutingTable dimension_order_routes(const Torus2D& torus) {
+  const Network& net = torus.net();
+  const TorusSpec& spec = torus.spec();
+  RoutingTable table = RoutingTable::sized_for(net);
+  // Shorter way around a ring of size n: forward distance f = (to - from)
+  // mod n; go positive iff 2f <= n (ties positive, keeping the table
+  // deterministic).
+  const auto positive = [](std::uint32_t from, std::uint32_t to, std::uint32_t n) {
+    const std::uint32_t forward = (to + n - from) % n;
+    return 2 * forward <= n;
+  };
+  for (NodeId d : net.all_nodes()) {
+    const RouterId home = torus.home_router(d);
+    const auto [dx, dy] = torus.coords(home);
+    const PortIndex node_port = mesh_port::kFirstNode + d.value() % spec.nodes_per_router;
+    for (RouterId r : net.all_routers()) {
+      const auto [x, y] = torus.coords(r);
+      PortIndex port;
+      if (x != dx) {
+        port = positive(x, dx, spec.cols) ? mesh_port::kEast : mesh_port::kWest;
+      } else if (y != dy) {
+        port = positive(y, dy, spec.rows) ? mesh_port::kNorth : mesh_port::kSouth;
+      } else {
+        port = node_port;
+      }
+      table.set(r, d, port);
+    }
+  }
+  return table;
+}
+
 }  // namespace servernet

@@ -8,6 +8,7 @@
 
 #include "route/routing_table.hpp"
 #include "topo/mesh.hpp"
+#include "topo/torus.hpp"
 
 namespace servernet {
 
@@ -17,5 +18,13 @@ namespace servernet {
 /// Y-first variant (ablation: worst-case contention moves to the transposed
 /// corner but its magnitude is unchanged).
 [[nodiscard]] RoutingTable dimension_order_routes_yx(const Mesh2D& mesh);
+
+/// Minimal X-then-Y dimension-order routing for a 2-D torus: each
+/// dimension takes the shorter way around its ring (ties go to the
+/// positive direction), so the wrap channels are genuinely used. Cyclic —
+/// and therefore indicted — on the physical CDG; deadlock-free under a
+/// dateline VC selector (route/vc_selector.hpp), which the extended-CDG
+/// certifier proves statically.
+[[nodiscard]] RoutingTable dimension_order_routes(const Torus2D& torus);
 
 }  // namespace servernet

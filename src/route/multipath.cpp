@@ -56,4 +56,63 @@ RoutingTable MultipathTable::first_choice_table() const {
   return table;
 }
 
+namespace {
+
+MultipathTable adaptive_mesh_impl(const Mesh2D& mesh, bool west_first) {
+  const Network& net = mesh.net();
+  MultipathTable mp = MultipathTable::sized_for(net);
+  for (NodeId d : net.all_nodes()) {
+    const RouterId home = mesh.home_router(d);
+    const auto [dx, dy] = mesh.coords(home);
+    const PortIndex node_port =
+        mesh_port::kFirstNode + d.value() % mesh.spec().nodes_per_router;
+    for (RouterId r : net.all_routers()) {
+      const auto [x, y] = mesh.coords(r);
+      if (x == dx && y == dy) {
+        mp.add_choice(r, d, node_port);
+        continue;
+      }
+      // Dimension-order's port first, so the deterministic projection is
+      // exactly dimension_order_routes(mesh).
+      if (x > dx) {
+        mp.add_choice(r, d, mesh_port::kWest);
+        if (west_first) continue;  // -X movement is exclusive under west-first
+      } else if (x < dx) {
+        mp.add_choice(r, d, mesh_port::kEast);
+      }
+      if (y < dy) mp.add_choice(r, d, mesh_port::kNorth);
+      if (y > dy) mp.add_choice(r, d, mesh_port::kSouth);
+    }
+  }
+  return mp;
+}
+
+}  // namespace
+
+MultipathTable minimal_adaptive_routes(const Mesh2D& mesh) {
+  return adaptive_mesh_impl(mesh, /*west_first=*/false);
+}
+
+MultipathTable west_first_routes(const Mesh2D& mesh) {
+  return adaptive_mesh_impl(mesh, /*west_first=*/true);
+}
+
+MultipathTable strip_escape(const MultipathTable& mp, const RoutingTable& escape) {
+  SN_REQUIRE(mp.router_count() == escape.router_count() &&
+                 mp.node_count() == escape.node_count(),
+             "escape table dimensions do not match the multipath table");
+  MultipathTable stripped(mp.router_count(), mp.node_count());
+  for (std::size_t r = 0; r < mp.router_count(); ++r) {
+    for (std::size_t d = 0; d < mp.node_count(); ++d) {
+      const auto& set = mp.choices(RouterId{r}, NodeId{d});
+      const PortIndex ep = escape.port(RouterId{r}, NodeId{d});
+      for (const PortIndex p : set) {
+        if (set.size() >= 2 && p == ep) continue;
+        stripped.add_choice(RouterId{r}, NodeId{d}, p);
+      }
+    }
+  }
+  return stripped;
+}
+
 }  // namespace servernet

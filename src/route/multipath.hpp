@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "route/routing_table.hpp"
+#include "topo/mesh.hpp"
 #include "topo/network.hpp"
 
 namespace servernet {
@@ -47,5 +48,29 @@ class MultipathTable {
   std::size_t node_count_ = 0;
   std::vector<std::vector<PortIndex>> choices_;
 };
+
+/// Fully-adaptive minimal mesh routing: every direction that reduces the
+/// remaining distance is admissible, with the dimension-order (X-first)
+/// port listed first so first_choice_table() reproduces
+/// dimension_order_routes(mesh) exactly. *Not* deadlock-free — the escape
+/// analysis (analysis/vc_cdg.hpp) indicts it: an adaptively-wandering
+/// packet can hold the very channel another packet's escape path needs,
+/// closing a four-turn dependency cycle.
+[[nodiscard]] MultipathTable minimal_adaptive_routes(const Mesh2D& mesh);
+
+/// West-first turn-model adaptive mesh routing (Glass & Ni): a packet
+/// needing -X movement goes west first, deterministically; once no west
+/// movement remains it routes fully adaptively among the minimal
+/// directions. The dimension-order port again leads each choice set, so
+/// the deterministic projection is dimension_order_routes(mesh) — an
+/// escape subnetwork the Duato analysis certifies.
+[[nodiscard]] MultipathTable west_first_routes(const Mesh2D& mesh);
+
+/// Negative control for the escape analysis: removes the escape port from
+/// every choice set that offers alternatives (singleton sets keep their
+/// only choice so the table stays connected). The result routes every
+/// packet but leaves adaptive routers with no path into the escape
+/// subnetwork — the no-escape-channel indictment.
+[[nodiscard]] MultipathTable strip_escape(const MultipathTable& mp, const RoutingTable& escape);
 
 }  // namespace servernet

@@ -1,0 +1,49 @@
+#include "route/vc_selector.hpp"
+
+#include <algorithm>
+
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "topo/torus.hpp"
+
+namespace servernet {
+
+DatelineVc::DatelineVc(std::vector<ChannelId> datelines, std::uint32_t vc_count)
+    : vc_count_(vc_count) {
+  SN_REQUIRE(vc_count >= 2, "dateline needs at least two virtual channels");
+  std::size_t max_index = 0;
+  for (ChannelId c : datelines) max_index = std::max(max_index, c.index() + 1);
+  is_dateline_.assign(max_index, 0);
+  for (ChannelId c : datelines) is_dateline_[c.index()] = 1;
+}
+
+std::uint32_t DatelineVc::next_vc(std::uint32_t current, ChannelId /*from*/,
+                                  ChannelId to) const {
+  const bool crossing = to.index() < is_dateline_.size() && is_dateline_[to.index()] != 0;
+  if (!crossing) return current;
+  return std::min(current + 1, vc_count_ - 1);
+}
+
+std::vector<ChannelId> ring_datelines(const Ring& ring) {
+  const std::uint32_t k = ring.spec().routers;
+  return {ring.net().router_out(ring.router(k - 1), ring_port::kClockwise),
+          ring.net().router_out(ring.router(0), ring_port::kCounterClockwise)};
+}
+
+std::vector<ChannelId> torus_datelines(const Torus2D& torus) {
+  const Network& net = torus.net();
+  const std::uint32_t cols = torus.spec().cols;
+  const std::uint32_t rows = torus.spec().rows;
+  std::vector<ChannelId> datelines;
+  for (std::uint32_t y = 0; y < rows; ++y) {
+    datelines.push_back(net.router_out(torus.router_at(cols - 1, y), mesh_port::kEast));
+    datelines.push_back(net.router_out(torus.router_at(0, y), mesh_port::kWest));
+  }
+  for (std::uint32_t x = 0; x < cols; ++x) {
+    datelines.push_back(net.router_out(torus.router_at(x, rows - 1), mesh_port::kNorth));
+    datelines.push_back(net.router_out(torus.router_at(x, 0), mesh_port::kSouth));
+  }
+  return datelines;
+}
+
+}  // namespace servernet

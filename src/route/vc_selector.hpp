@@ -1,0 +1,82 @@
+// Virtual-channel selection policies (Dally & Seitz, reference [6] of the
+// paper).
+//
+// A VcSelector maps packets onto virtual channels hop by hop. It started
+// life inside the VC wormhole simulator (sim/vc_sim.hpp still re-exports
+// the names); it lives in route/ because the *static* verifier consumes
+// the same policy: the extended channel-dependency graph over
+// (channel, vc) pairs (analysis/vc_cdg.hpp) is built by replaying the
+// selector symbolically, so the certifier and the simulator can never
+// disagree about which VC a packet occupies.
+//
+// The contract every selector must honour — and the verifier checks by
+// double-calling (tests/test_vc_sim.cpp property-tests it): both hooks
+// must be pure functions of their arguments. initial_vc depends only on
+// (src, dst); next_vc only on (current vc, from, to). Body flits follow
+// their head through the same (channel, vc) sequence, and the static
+// analysis enumerates exactly the states real packets can occupy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace servernet {
+
+class Ring;
+class Torus2D;
+
+/// Chooses the virtual channel a packet uses on its next hop. Must be
+/// deterministic per (current vc, from, to) so that body flits follow
+/// their head.
+class VcSelector {
+ public:
+  virtual ~VcSelector() = default;
+  /// VC for the first hop (injection channel).
+  [[nodiscard]] virtual std::uint32_t initial_vc(NodeId src, NodeId dst) const = 0;
+  /// VC on channel `to`, arriving from channel `from` on `current`.
+  [[nodiscard]] virtual std::uint32_t next_vc(std::uint32_t current, ChannelId from,
+                                              ChannelId to) const = 0;
+};
+
+/// Everything stays on VC 0 — degenerates to the plain wormhole router.
+class SingleVc final : public VcSelector {
+ public:
+  [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId) const override { return 0; }
+  [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId,
+                                      ChannelId) const override {
+    return current;
+  }
+};
+
+/// Dally–Seitz dateline: packets start on VC 0 and step to the next VC
+/// whenever they traverse a dateline channel, so dependencies cannot close
+/// around a ring.
+class DatelineVc final : public VcSelector {
+ public:
+  DatelineVc(std::vector<ChannelId> datelines, std::uint32_t vc_count);
+  [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId) const override { return 0; }
+  [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId from,
+                                      ChannelId to) const override;
+
+ private:
+  std::vector<char> is_dateline_;
+  std::uint32_t vc_count_;
+};
+
+/// The canonical dateline placement for a ring: the two wrap channels
+/// (clockwise into router 0, counter-clockwise out of it), one per
+/// direction. With vc_count = 2 this makes minimal ring routing
+/// deadlock-free — certified statically by the extended CDG and
+/// demonstrated dynamically by the VC simulator.
+[[nodiscard]] std::vector<ChannelId> ring_datelines(const Ring& ring);
+
+/// Dateline placement for a 2-D torus: every wraparound channel in all
+/// four directions. Minimal dimension-order (X-then-Y) routing needs
+/// vc_count = 3 under DatelineVc's clamping step rule: a packet can enter
+/// its Y-ring already on VC 1 (having crossed the X dateline), so the
+/// Y-ring needs one more VC level to break its own wrap dependency.
+[[nodiscard]] std::vector<ChannelId> torus_datelines(const Torus2D& torus);
+
+}  // namespace servernet

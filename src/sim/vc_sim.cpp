@@ -5,22 +5,6 @@
 
 namespace servernet::sim {
 
-DatelineVc::DatelineVc(std::vector<ChannelId> datelines, std::uint32_t vc_count)
-    : vc_count_(vc_count) {
-  SN_REQUIRE(vc_count >= 2, "dateline needs at least two virtual channels");
-  std::size_t max_index = 0;
-  for (ChannelId c : datelines) max_index = std::max(max_index, c.index() + 1);
-  is_dateline_.assign(max_index, 0);
-  for (ChannelId c : datelines) is_dateline_[c.index()] = 1;
-}
-
-std::uint32_t DatelineVc::next_vc(std::uint32_t current, ChannelId /*from*/,
-                                  ChannelId to) const {
-  const bool crossing = to.index() < is_dateline_.size() && is_dateline_[to.index()] != 0;
-  if (!crossing) return current;
-  return std::min(current + 1, vc_count_ - 1);
-}
-
 VcWormholeSim::VcWormholeSim(const Network& net, RoutingTable table, const VcSelector& selector,
                              const VcSimConfig& config)
     : net_(net), table_(std::move(table)), selector_(selector), config_(config) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "route/routing_table.hpp"
+#include "route/vc_selector.hpp"
 #include "sim/flit.hpp"
 #include "sim/metrics.hpp"
 #include "sim/run_result.hpp"
@@ -30,43 +31,12 @@
 
 namespace servernet::sim {
 
-/// Chooses the virtual channel a packet uses on its next hop. Must be
-/// deterministic per (current vc, from, to) so that body flits follow
-/// their head.
-class VcSelector {
- public:
-  virtual ~VcSelector() = default;
-  /// VC for the first hop (injection channel).
-  [[nodiscard]] virtual std::uint32_t initial_vc(NodeId src, NodeId dst) const = 0;
-  /// VC on channel `to`, arriving from channel `from` on `current`.
-  [[nodiscard]] virtual std::uint32_t next_vc(std::uint32_t current, ChannelId from,
-                                              ChannelId to) const = 0;
-};
-
-/// Everything stays on VC 0 — degenerates to the plain wormhole router.
-class SingleVc final : public VcSelector {
- public:
-  [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId) const override { return 0; }
-  [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId,
-                                      ChannelId) const override {
-    return current;
-  }
-};
-
-/// Dally–Seitz dateline: packets start on VC 0 and step to the next VC
-/// whenever they traverse a dateline channel, so dependencies cannot close
-/// around a ring.
-class DatelineVc final : public VcSelector {
- public:
-  DatelineVc(std::vector<ChannelId> datelines, std::uint32_t vc_count);
-  [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId) const override { return 0; }
-  [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId from,
-                                      ChannelId to) const override;
-
- private:
-  std::vector<char> is_dateline_;
-  std::uint32_t vc_count_;
-};
+// The selector policies moved to route/vc_selector.hpp so the static
+// verifier (analysis/vc_cdg.hpp) shares them; re-exported here for the
+// simulator's historical callers.
+using servernet::DatelineVc;
+using servernet::SingleVc;
+using servernet::VcSelector;
 
 struct VcSimConfig {
   std::uint32_t vcs_per_channel = 2;

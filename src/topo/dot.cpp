@@ -18,6 +18,10 @@ std::string dot_id(const Terminal& t) {
 void write_dot(std::ostream& os, const Network& net, const DotOptions& options) {
   const char* graph_kind = options.collapse_duplex ? "graph" : "digraph";
   const char* edge_op = options.collapse_duplex ? " -- " : " -> ";
+  std::vector<char> highlighted(net.channel_count(), 0);
+  for (const ChannelId c : options.highlight) {
+    if (c.index() < highlighted.size()) highlighted[c.index()] = 1;
+  }
   os << graph_kind << " \"" << net.name() << "\" {\n";
   os << "  node [shape=circle];\n";
   for (RouterId r : net.all_routers()) {
@@ -37,7 +41,11 @@ void write_dot(std::ostream& os, const Network& net, const DotOptions& options) 
     const Channel& c = net.channel(id);
     if (options.collapse_duplex && c.reverse.index() < ci) continue;  // emit each cable once
     if (!options.include_nodes && (c.src.is_node() || c.dst.is_node())) continue;
-    os << "  " << dot_id(c.src) << edge_op << dot_id(c.dst) << ";\n";
+    bool hot = highlighted[ci] != 0;
+    if (options.collapse_duplex && c.reverse.valid()) hot = hot || highlighted[c.reverse.index()] != 0;
+    os << "  " << dot_id(c.src) << edge_op << dot_id(c.dst);
+    if (hot) os << " [color=red, penwidth=2.0]";
+    os << ";\n";
   }
   os << "}\n";
 }

@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "topo/network.hpp"
 
@@ -15,6 +16,10 @@ struct DotOptions {
   bool include_nodes = true;
   /// Render duplex pairs as one undirected edge instead of two arcs.
   bool collapse_duplex = true;
+  /// Channels drawn red and bold — the verifier's witness cycles
+  /// (`servernet-verify --dot-witness`). With collapse_duplex a cable is
+  /// highlighted when either direction is listed.
+  std::vector<ChannelId> highlight;
 };
 
 /// Writes `net` as a Graphviz graph to `os`.

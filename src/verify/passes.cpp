@@ -8,6 +8,7 @@
 
 #include "analysis/channel_dependency.hpp"
 #include "analysis/cycles.hpp"
+#include "analysis/vc_cdg.hpp"
 
 namespace servernet::verify {
 
@@ -46,6 +47,20 @@ std::string node_name(const Network& net, NodeId n) {
 }
 std::string router_name(const Network& net, RouterId r) {
   return describe(net, Terminal::router(r));
+}
+
+/// Shared skipped-entries diagnostic: the deadlock and vc-deadlock passes
+/// use identical defective-entry accounting, so the rule id is the only
+/// difference.
+void report_skipped_entries(Report& report, const char* rule, const CdgBuildStats& skipped) {
+  if (skipped.total() == 0) return;
+  std::ostringstream os;
+  os << "CDG construction skipped " << skipped.total() << " defective table entr"
+     << (skipped.total() == 1 ? "y" : "ies") << " (" << skipped.skipped_out_of_range
+     << " out-of-range port(s), " << skipped.skipped_unwired << " unwired port(s), "
+     << skipped.skipped_misdelivery
+     << " misdeliver(ies)); the reachability pass indicts each one";
+  report.add(Diagnostic{Severity::kInfo, rule, os.str(), {}, {}});
 }
 
 }  // namespace
@@ -307,15 +322,7 @@ void run_deadlock_pass(const PassContext& ctx, Report& report) {
   const ChannelDependencyGraph cdg = build_cdg(net, ctx.table, &skipped);
   report.note_checks(cdg.vertex_count() + cdg.edge_count());
 
-  if (skipped.total() != 0) {
-    std::ostringstream os;
-    os << "CDG construction skipped " << skipped.total() << " defective table entr"
-       << (skipped.total() == 1 ? "y" : "ies") << " (" << skipped.skipped_out_of_range
-       << " out-of-range port(s), " << skipped.skipped_unwired << " unwired port(s), "
-       << skipped.skipped_misdelivery
-       << " misdeliver(ies)); the reachability pass indicts each one";
-    report.add(Diagnostic{Severity::kInfo, "deadlock.skipped-entries", os.str(), {}, {}});
-  }
+  report_skipped_entries(report, "deadlock.skipped-entries", skipped);
 
   if (is_acyclic(cdg)) {
     std::ostringstream os;
@@ -346,6 +353,138 @@ void run_deadlock_pass(const PassContext& ctx, Report& report) {
   stats << sizes.size() << " deadlockable channel set(s); largest holds "
         << (sizes.empty() ? std::size_t{0} : sizes.front()) << " channels";
   report.add(Diagnostic{Severity::kInfo, "deadlock.scc", stats.str(), {}, {}});
+}
+
+// ---- vc-deadlock ---------------------------------------------------------------
+
+void run_vc_deadlock_pass(const PassContext& ctx, Report& report) {
+  const Network& net = ctx.net;
+  const VerifyOptions& options = ctx.options;
+  SN_REQUIRE(options.vc.selector != nullptr, "vc-deadlock pass needs a VC selector");
+  report.begin_pass("vc-deadlock");
+
+  CdgBuildStats skipped;
+  const ExtendedCdg cdg = build_extended_cdg(net, ctx.table, *options.vc.selector,
+                                             options.vc.vcs_per_channel, &skipped);
+  report.note_checks(cdg.vertex_count() + cdg.edge_count());
+  report_skipped_entries(report, "vc-deadlock.skipped-entries", skipped);
+
+  // The selector contract comes first: a broken selector refutes the whole
+  // state enumeration, so the acyclicity verdict below would be vacuous.
+  if (cdg.selector_nondeterministic != 0) {
+    std::ostringstream os;
+    os << "VC selector violated its determinism contract " << cdg.selector_nondeterministic
+       << " time(s): repeated calls with identical (current vc, from, to) disagreed";
+    report.add(Diagnostic{Severity::kError, "vc-deadlock.nondeterministic-selector", os.str(),
+                          {},
+                          {}});
+  }
+  if (cdg.selector_out_of_range != 0) {
+    std::ostringstream os;
+    os << "VC selector returned a virtual channel >= " << options.vc.vcs_per_channel << " for "
+       << cdg.selector_out_of_range << " state(s); those packets have no buffer to occupy";
+    report.add(Diagnostic{Severity::kError, "vc-deadlock.selector-out-of-range", os.str(),
+                          {},
+                          {}});
+  }
+
+  if (is_acyclic(cdg.adjacency)) {
+    std::ostringstream os;
+    os << "extended (channel, vc) dependency graph is acyclic: " << cdg.channel_count
+       << " channels x " << cdg.vcs << " VCs, " << cdg.edge_count()
+       << " dependencies (Dally & Seitz extended certificate)";
+    report.add(Diagnostic{Severity::kInfo, "vc-deadlock.certified", os.str(), {}, {}});
+
+    // The flip the pass exists for: how much of the physical CDG's
+    // cyclicity did virtual channels dissolve?
+    const ChannelDependencyGraph physical = build_cdg(net, ctx.table, nullptr);
+    const auto sizes = strongly_connected_components(physical.adjacency).nontrivial_sizes();
+    std::ostringstream cmp;
+    if (sizes.empty()) {
+      cmp << "physical CDG is already acyclic; the VC certificate is not load-bearing here";
+    } else {
+      cmp << "physical CDG alone has " << sizes.size() << " cyclic channel set(s) (largest "
+          << sizes.front() << " channels) — the virtual channels are what break them";
+    }
+    report.add(Diagnostic{Severity::kInfo, "vc-deadlock.physical", cmp.str(), {}, {}});
+    return;
+  }
+
+  const auto cycle = minimal_cycle(cdg.adjacency);
+  SN_ASSERT(cycle.has_value());
+  Diagnostic diag;
+  diag.severity = Severity::kError;
+  diag.rule = "vc-deadlock.extended-cycle";
+  std::ostringstream os;
+  os << "extended (channel, vc) dependency cycle of length " << cycle->size()
+     << " — the VC selector does not break the wormhole deadlock";
+  diag.message = os.str();
+  for (const std::uint32_t v : *cycle) {
+    const ChannelId c = cdg.channel_of(v);
+    std::ostringstream line;
+    line << describe(net, c) << " [vc " << cdg.vc_of(v) << ']';
+    diag.witness.push_back(line.str());
+    diag.channels.push_back(c.value());
+  }
+  report.add(std::move(diag));
+}
+
+// ---- escape (adaptive routing) -------------------------------------------------
+
+void run_escape_pass(const PassContext& ctx, Report& report) {
+  const Network& net = ctx.net;
+  const VerifyOptions& options = ctx.options;
+  SN_REQUIRE(options.multipath != nullptr, "escape pass needs a multipath table");
+  report.begin_pass("escape");
+
+  const EscapeAnalysis esc = analyze_escape(net, *options.multipath, ctx.table);
+  std::size_t escape_edges = 0;
+  for (const auto& succ : esc.escape_adjacency) escape_edges += succ.size();
+  report.note_checks(esc.checks + escape_edges);
+
+  Aggregate uncovered;
+  for (const EscapeWitness& w : esc.missing) {
+    std::ostringstream os;
+    if (w.escape.valid()) {
+      os << router_name(net, w.router) << ": choice set for " << node_name(net, w.dest)
+         << " omits the escape channel " << describe(net, w.escape);
+      if (uncovered.channels.size() < options.max_witnesses) {
+        uncovered.channels.push_back(w.escape.value());
+      }
+    } else {
+      os << router_name(net, w.router) << ": no usable escape entry for "
+         << node_name(net, w.dest);
+    }
+    uncovered.hit(options, os.str());
+  }
+  flush(report, Severity::kError, "escape.no-escape-channel",
+        "adaptive choice set cannot fall back to the escape subnetwork (Duato coverage)",
+        std::move(uncovered));
+
+  if (!esc.escape_acyclic) {
+    SN_ASSERT(esc.cycle.has_value());
+    Diagnostic diag;
+    diag.severity = Severity::kError;
+    diag.rule = "escape.extended-cycle";
+    std::ostringstream os;
+    os << "escape-channel dependency cycle of length " << esc.cycle->size()
+       << " (direct + indirect adaptive dependencies) — the escape subnetwork can itself "
+          "deadlock";
+    diag.message = os.str();
+    for (const std::uint32_t v : *esc.cycle) {
+      diag.witness.push_back(describe(net, ChannelId{v}));
+      diag.channels.push_back(v);
+    }
+    report.add(std::move(diag));
+  }
+
+  if (esc.deadlock_free()) {
+    std::ostringstream os;
+    os << "every adaptive choice set (max fanout " << options.multipath->max_fanout()
+       << ") reaches the escape subnetwork, whose extended dependency graph is acyclic: "
+       << escape_edges << " dependencies (Duato certificate)";
+    report.add(Diagnostic{Severity::kInfo, "escape.certified", os.str(), {}, {}});
+  }
 }
 
 // ---- up*/down* conformance -----------------------------------------------------
@@ -423,8 +562,15 @@ void run_inorder_pass(const PassContext& ctx, Report& report) {
   // The table maps (router, destination) to exactly one output port and is
   // independent of the input port, so consecutive packets of a stream
   // follow one fixed path — ServerNet's in-order delivery premise (§3.3).
+  // Adaptive choice sets forfeit the premise: certified deadlock-free by
+  // the escape pass, but sequential packets can race each other.
   report.note_checks(table.populated_entries());
-  {
+  if (options.multipath != nullptr && options.multipath->max_fanout() > 1) {
+    std::ostringstream os;
+    os << "adaptive choice sets with fanout up to " << options.multipath->max_fanout()
+       << ": sequential packets can take different paths — §3.3's out-of-order delivery risk";
+    report.add(Diagnostic{Severity::kWarning, "inorder.adaptive-choice-sets", os.str(), {}, {}});
+  } else {
     std::ostringstream os;
     os << "destination-indexed deterministic table: " << table.populated_entries()
        << " entries, single path per (source, destination)";
@@ -455,6 +601,10 @@ const std::vector<PassInfo>& pass_roster() {
       {"hardware", "§2, Fig. 3", "ASIC radix bound, wiring invariants, cable sanity"},
       {"reachability", "§2", "every entry makes progress; all pairs routable"},
       {"deadlock", "§2, Fig. 1", "channel-dependency graph acyclicity with cycle witness"},
+      {"vc-deadlock", "§2, ref [6]",
+       "extended (channel, vc) CDG acyclicity + selector contract (needs a VC selector)"},
+      {"escape", "§3.3, Duato",
+       "adaptive choice sets reach an acyclic escape subnetwork (needs a multipath table)"},
       {"updown", "§2, Fig. 2", "hops respect up-then-down (needs a classification)"},
       {"inorder", "§3.3", "single deterministic path per (source, destination)"},
   };
@@ -469,7 +619,7 @@ Report verify_fabric(const Network& net, const RoutingTable& table, const Verify
 
   report.begin_pass("preflight");
   report.note_checks(2);
-  const bool dims_ok =
+  bool dims_ok =
       table.router_count() == net.router_count() && table.node_count() == net.node_count();
   if (!dims_ok) {
     std::ostringstream os;
@@ -477,11 +627,32 @@ Report verify_fabric(const Network& net, const RoutingTable& table, const Verify
        << " nodes, network is " << net.router_count() << " x " << net.node_count();
     report.add(Diagnostic{Severity::kError, "preflight.dimension-mismatch", os.str(), {}, {}});
   }
+  if (options.multipath != nullptr) {
+    report.note_checks(1);
+    if (options.multipath->router_count() != net.router_count() ||
+        options.multipath->node_count() != net.node_count()) {
+      std::ostringstream os;
+      os << "multipath table is " << options.multipath->router_count() << " routers x "
+         << options.multipath->node_count() << " nodes, network is " << net.router_count()
+         << " x " << net.node_count();
+      report.add(
+          Diagnostic{Severity::kError, "preflight.multipath-mismatch", os.str(), {}, {}});
+      dims_ok = false;
+    }
+  }
 
   run_hardware_pass(ctx, report);
   if (dims_ok) {
     run_reachability_pass(ctx, report);
-    run_deadlock_pass(ctx, report);
+    // With a VC selector the extended (channel, vc) graph is the deadlock
+    // certificate — the physical CDG would wrongly indict a dateline
+    // routing. Without one, the physical CDG is exact.
+    if (options.vc.selector != nullptr) {
+      run_vc_deadlock_pass(ctx, report);
+    } else {
+      run_deadlock_pass(ctx, report);
+    }
+    if (options.multipath != nullptr) run_escape_pass(ctx, report);
     if (options.updown != nullptr) run_updown_pass(ctx, report);
     run_inorder_pass(ctx, report);
   }

@@ -16,6 +16,14 @@
 //                 loops, every (source, destination) pair routable
 //   deadlock      §2/Fig. 1 — CDG acyclicity, with a minimal channel-cycle
 //                 witness on indictment and SCC statistics on the side
+//   vc-deadlock   §2, Dally & Seitz [6] — when a VC selector is supplied,
+//                 replaces the deadlock pass: the *extended* CDG over
+//                 (channel, vc) pairs must be acyclic, certifying dateline
+//                 routings the physical CDG indicts
+//   escape        §3.3, Duato — when a multipath table is supplied: every
+//                 adaptive choice set reaches the deterministic escape
+//                 subnetwork (the verified table), whose dependency graph
+//                 with indirect adaptive dependencies is acyclic
 //   updown        §2/Fig. 2 — table hops respect the up-then-down
 //                 discipline (runs when a classification is supplied)
 //   inorder       §3.3 — single deterministic path per (source,
@@ -29,8 +37,10 @@
 #include <string>
 #include <vector>
 
+#include "route/multipath.hpp"
 #include "route/routing_table.hpp"
 #include "route/updown.hpp"
+#include "route/vc_selector.hpp"
 #include "topo/network.hpp"
 #include "verify/diagnostics.hpp"
 
@@ -50,6 +60,22 @@ struct VerifyOptions {
   bool require_full_reachability = true;
   /// Cap on rendered witness lines per aggregated diagnostic.
   std::size_t max_witnesses = 8;
+
+  /// Virtual-channel routing under certification. When `selector` is set,
+  /// the vc-deadlock pass replaces the physical deadlock pass: the
+  /// routers multiplex `vcs_per_channel` VCs per physical channel and the
+  /// extended (channel, vc) dependency graph is the deadlock certificate.
+  struct VcRouting {
+    const VcSelector* selector = nullptr;
+    std::uint32_t vcs_per_channel = 1;
+  };
+  VcRouting vc;
+
+  /// Adaptive routing under certification. When set, the escape pass
+  /// checks Duato's condition with the verified RoutingTable as the
+  /// deterministic escape subnetwork (callers typically verify
+  /// multipath->first_choice_table()).
+  const MultipathTable* multipath = nullptr;
 };
 
 struct PassContext {
@@ -64,6 +90,12 @@ struct PassContext {
 void run_hardware_pass(const PassContext& ctx, Report& report);
 void run_reachability_pass(const PassContext& ctx, Report& report);
 void run_deadlock_pass(const PassContext& ctx, Report& report);
+/// Requires ctx.options.vc.selector. Certifies the extended (channel, vc)
+/// dependency graph and the selector's determinism/range contract.
+void run_vc_deadlock_pass(const PassContext& ctx, Report& report);
+/// Requires ctx.options.multipath with dimensions matching the network;
+/// ctx.table is the escape subnetwork.
+void run_escape_pass(const PassContext& ctx, Report& report);
 void run_updown_pass(const PassContext& ctx, Report& report);
 void run_inorder_pass(const PassContext& ctx, Report& report);
 

@@ -1,0 +1,224 @@
+#include "verify/registry.hpp"
+
+#include <utility>
+
+#include "core/fractahedron.hpp"
+#include "route/dimension_order.hpp"
+#include "route/ecube.hpp"
+#include "route/shortest_path.hpp"
+#include "topo/cube_connected_cycles.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/fully_connected.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/kary_ncube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/ring.hpp"
+#include "topo/shuffle_exchange.hpp"
+#include "topo/torus.hpp"
+
+namespace servernet::verify {
+
+namespace {
+
+BuiltFabric with_updown(std::shared_ptr<void> owner, const Network& net, RouterId root) {
+  BuiltFabric b;
+  b.owner = std::move(owner);
+  b.net = &net;
+  UpDownClassification cls = classify_updown(net, root);
+  b.table = updown_routes(net, cls);
+  b.updown = std::move(cls);
+  return b;
+}
+
+BuiltFabric with_multipath(std::shared_ptr<void> owner, const Network& net,
+                           MultipathTable multipath) {
+  BuiltFabric b;
+  b.owner = std::move(owner);
+  b.net = &net;
+  auto mp = std::make_shared<const MultipathTable>(std::move(multipath));
+  b.table = mp->first_choice_table();
+  b.multipath = std::move(mp);
+  return b;
+}
+
+}  // namespace
+
+const std::vector<RegistryCombo>& registry() {
+  static const std::vector<RegistryCombo> combos{
+      {"fat-fractahedron-64", "64-node fat fractahedron, depth-first routing (Fig. 7)", true,
+       true,
+       [] {
+         auto t = std::make_shared<Fractahedron>(FractahedronSpec{});
+         return BuiltFabric{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"thin-fractahedron-64", "64-node thin fractahedron, depth-first routing", true, true,
+       [] {
+         FractahedronSpec spec;
+         spec.kind = FractahedronKind::kThin;
+         auto t = std::make_shared<Fractahedron>(spec);
+         return BuiltFabric{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"tetrahedron", "fully-connected 4-router group, direct routing (Fig. 4)", true, true,
+       [] {
+         auto t = std::make_shared<FullyConnectedGroup>(FullyConnectedSpec{});
+         return BuiltFabric{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"fat-tree-4-2", "64-node 4-2 fat tree, static uplink partition (Fig. 6)", true, true,
+       [] {
+         auto t = std::make_shared<FatTree>(FatTreeSpec{});
+         return BuiltFabric{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"fat-tree-3-3", "64-node 3-3 constant-bandwidth fat tree (§3.3)", true, true,
+       [] {
+         auto t = std::make_shared<FatTree>(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
+         return BuiltFabric{t, &t->net(), t->routing(), std::nullopt};
+       }},
+      {"mesh-6x6-dor", "6x6 mesh, dimension-order routing (§3.1)", true, true,
+       [] {
+         auto t = std::make_shared<Mesh2D>(MeshSpec{});
+         return BuiltFabric{t, &t->net(), dimension_order_routes(*t), std::nullopt};
+       }},
+      {"mesh3d-4", "4x4x4 mesh, dimension-order routing (7-port routers)", true, true,
+       [] {
+         auto t = std::make_shared<KAryNCube>(KAryNCubeSpec{.dims = {4, 4, 4}});
+         return BuiltFabric{t, &t->net(), t->dimension_order(), std::nullopt,
+                            /*enforce_asic_ports=*/false};
+       }},
+      {"hypercube-4-ecube", "4-D hypercube, e-cube routing (§3.2)", true, true,
+       [] {
+         auto t = std::make_shared<Hypercube>(HypercubeSpec{.dimensions = 4});
+         return BuiltFabric{t, &t->net(), ecube_routes(*t), std::nullopt};
+       }},
+      {"ring-8-updown", "8-router ring, up*/down* routing", true, true,
+       [] {
+         auto t = std::make_shared<Ring>(RingSpec{.routers = 8});
+         return with_updown(t, t->net(), t->router(0));
+       }},
+      {"torus-4x4-updown", "4x4 torus, up*/down* routing", true, true,
+       [] {
+         auto t = std::make_shared<Torus2D>(TorusSpec{});
+         return with_updown(t, t->net(), RouterId{0U});
+       }},
+      {"ccc-3-updown", "cube-connected cycles CCC(3), up*/down* routing", true, true,
+       [] {
+         auto t = std::make_shared<CubeConnectedCycles>(CccSpec{});
+         return with_updown(t, t->net(), RouterId{0U});
+       }},
+      {"shuffle-exchange-4-updown", "16-router shuffle-exchange, up*/down* routing", true, true,
+       [] {
+         auto t = std::make_shared<ShuffleExchange>(ShuffleExchangeSpec{});
+         return with_updown(t, t->net(), RouterId{0U});
+       }},
+      {"dual-mesh-3x3-dor", "dual 3x3 mesh fabrics, dual-ported nodes (§1)", true, true,
+       [] {
+         const Mesh2D single(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+         auto dual = std::make_shared<DualFabric>(single.net());
+         BuiltFabric b;
+         b.owner = dual;
+         b.net = &dual->net();
+         b.table = dual->lift_routing(dimension_order_routes(single));
+         b.dual = dual;
+         return b;
+       }},
+      // ---- VC combos: the same looping topologies the physical CDG
+      // indicts, certified through the extended (channel, vc) graph.
+      {"ring-4-dateline-vc",
+       "Figure 1's loop, minimal routing + 2-VC dateline (ref [6]) — extended CDG certifies",
+       true, false,
+       [] {
+         auto t = std::make_shared<Ring>(RingSpec{});
+         BuiltFabric b{t, &t->net(), shortest_path_routes(t->net()), std::nullopt};
+         b.selector = std::make_shared<const DatelineVc>(ring_datelines(*t), 2U);
+         b.vcs_per_channel = 2;
+         return b;
+       }},
+      {"torus-4x4-dateline-vc",
+       "4x4 torus, minimal X-then-Y routing + 3-VC dateline — extended CDG certifies", true,
+       false,
+       [] {
+         auto t = std::make_shared<Torus2D>(TorusSpec{});
+         BuiltFabric b{t, &t->net(), dimension_order_routes(*t), std::nullopt};
+         b.selector = std::make_shared<const DatelineVc>(torus_datelines(*t), 3U);
+         b.vcs_per_channel = 3;
+         return b;
+       }},
+      // ---- adaptive combos: Duato's escape condition over choice sets.
+      {"fat-tree-4-2-adaptive",
+       "4-2 fat tree, §3.3's adaptive climb — up*/down* escape certifies", true, false,
+       [] {
+         auto t = std::make_shared<FatTree>(FatTreeSpec{});
+         return with_multipath(t, t->net(), t->adaptive_routing());
+       }},
+      {"mesh-6x6-adaptive-escape",
+       "6x6 mesh, west-first adaptive routing with a dimension-order escape", true, false,
+       [] {
+         auto t = std::make_shared<Mesh2D>(MeshSpec{});
+         return with_multipath(t, t->net(), west_first_routes(*t));
+       }},
+      {"mesh-6x6-adaptive-minimal",
+       "6x6 mesh, fully-adaptive minimal routing — escape dependencies close a cycle", false,
+       false,
+       [] {
+         auto t = std::make_shared<Mesh2D>(MeshSpec{});
+         return with_multipath(t, t->net(), minimal_adaptive_routes(*t));
+       }},
+      {"mesh-6x6-adaptive-noescape",
+       "6x6 mesh, adaptive choice sets with the escape port stripped — no fallback path",
+       false, false,
+       [] {
+         auto t = std::make_shared<Mesh2D>(MeshSpec{});
+         const MultipathTable full = minimal_adaptive_routes(*t);
+         BuiltFabric b = with_multipath(t, t->net(), strip_escape(full, dimension_order_routes(*t)));
+         // Verify against the intended escape network, not the stripped
+         // projection: the point is that the choice sets cannot reach it.
+         b.table = dimension_order_routes(*t);
+         return b;
+       }},
+      // ---- deliberately deadlocking baselines (expected INDICTED).
+      {"ring-4-unrestricted", "Figure 1's four-switch loop, naive shortest-path", false, true,
+       [] {
+         auto t = std::make_shared<Ring>(RingSpec{});
+         return BuiltFabric{t, &t->net(), shortest_path_routes(t->net()), std::nullopt};
+       }},
+      {"torus-4x4-unrestricted", "4x4 torus, naive minimal routing", false, true,
+       [] {
+         auto t = std::make_shared<Torus2D>(TorusSpec{});
+         return BuiltFabric{t, &t->net(), shortest_path_routes(t->net()), std::nullopt};
+       }},
+  };
+  return combos;
+}
+
+VerifyOptions verify_options(const BuiltFabric& built) {
+  VerifyOptions options;
+  if (built.updown) options.updown = &*built.updown;
+  options.enforce_asic_ports = built.enforce_asic_ports;
+  if (built.selector != nullptr) {
+    options.vc.selector = built.selector.get();
+    options.vc.vcs_per_channel = built.vcs_per_channel;
+  }
+  options.multipath = built.multipath.get();
+  return options;
+}
+
+Report run_combo(const RegistryCombo& combo) {
+  const BuiltFabric built = combo.build();
+  return verify_fabric(*built.net, built.table, verify_options(built), combo.name);
+}
+
+FaultSpaceReport run_combo_faults(const RegistryCombo& combo) {
+  SN_REQUIRE(combo.fault_sweep, "combo is excluded from fault sweeps");
+  const BuiltFabric built = combo.build();
+  FaultSpaceOptions options;
+  if (built.updown) options.base.updown = &*built.updown;
+  options.base.enforce_asic_ports = built.enforce_asic_ports;
+  options.dual = built.dual.get();
+  return certify_fault_space(*built.net, built.table, options, combo.name);
+}
+
+bool faults_as_expected(const RegistryCombo& combo, const FaultSpaceReport& report) {
+  if (report.healthy_certified != combo.expect_certified) return false;
+  return !combo.expect_certified || report.single_faults_covered();
+}
+
+}  // namespace servernet::verify

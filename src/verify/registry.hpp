@@ -1,0 +1,92 @@
+// The topology+routing certification registry.
+//
+// Every builder in src/topo + src/core is paired here with its natural
+// routing and an *expected verdict*, so the CLI (`servernet-verify`), the
+// CI gates, the verify-labeled tests and the pass-timing bench all iterate
+// one authoritative list. PR 3 moved the registry out of the CLI into the
+// library precisely so the sim cross-validation suite
+// (tests/test_vc_certifier.cpp) can replay every combo in the wormhole /
+// VC simulators and fail loudly if the static verdict and the dynamic
+// behaviour ever disagree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/dual_fabric.hpp"
+#include "route/multipath.hpp"
+#include "route/routing_table.hpp"
+#include "route/updown.hpp"
+#include "route/vc_selector.hpp"
+#include "topo/network.hpp"
+#include "verify/faults.hpp"
+#include "verify/passes.hpp"
+
+namespace servernet::verify {
+
+/// A materialized combo: the topology object (kept alive by `owner`), its
+/// routing, and whatever optional certification inputs the combo carries.
+struct BuiltFabric {
+  // Owner keeps the topology object alive; `net` views it.
+  std::shared_ptr<void> owner;
+  const Network* net = nullptr;
+  RoutingTable table;
+  // Present when the routing is up*/down* by construction; enables the
+  // conformance pass.
+  std::optional<UpDownClassification> updown;
+  // Topologies that deliberately generalize beyond the six-port ASIC
+  // (e.g. 3-D meshes) downgrade the radix rule to a warning.
+  bool enforce_asic_ports = true;
+  // Set when `net` is a dual fabric; the fault certifier then grants
+  // FAILOVER verdicts to faults absorbed by the surviving fabric.
+  std::shared_ptr<DualFabric> dual = nullptr;
+  // Virtual-channel combos: the selector and VC count the routers run;
+  // enables the vc-deadlock pass in place of the physical deadlock pass.
+  std::shared_ptr<const VcSelector> selector = nullptr;
+  std::uint32_t vcs_per_channel = 1;
+  // Adaptive combos: the choice sets; `table` is then the escape
+  // subnetwork and the escape pass runs.
+  std::shared_ptr<const MultipathTable> multipath = nullptr;
+};
+
+struct RegistryCombo {
+  std::string name;
+  std::string what;
+  bool expect_certified = true;
+  /// Whether `servernet-verify --faults` sweeps this combo. VC and
+  /// adaptive combos are excluded: apply_fault() renumbers the surviving
+  /// channels, so dateline ChannelIds and choice sets would go stale on
+  /// the degraded fabric (extending the fault certifier to remap them is
+  /// future work, tracked in ROADMAP.md).
+  bool fault_sweep = true;
+  std::function<BuiltFabric()> build;
+};
+
+/// The authoritative combo list, in registration order.
+[[nodiscard]] const std::vector<RegistryCombo>& registry();
+
+/// VerifyOptions wired to a built fabric's optional inputs. The returned
+/// options hold pointers into `built` — keep it alive while verifying.
+[[nodiscard]] VerifyOptions verify_options(const BuiltFabric& built);
+
+/// Builds and verifies one combo.
+[[nodiscard]] Report run_combo(const RegistryCombo& combo);
+
+/// Builds one combo and certifies its fault space. Requires
+/// combo.fault_sweep.
+[[nodiscard]] FaultSpaceReport run_combo_faults(const RegistryCombo& combo);
+
+/// CI gate for one fault-space report: the healthy verdict must match the
+/// registry expectation, and fabrics expected healthy must also have their
+/// whole single-fault space covered (every avoidable fault survives, fails
+/// over, or has a certified repair). Expected-indicted combos only need
+/// the matching healthy verdict — their fault spaces *should* show
+/// surviving deadlock cycles.
+[[nodiscard]] bool faults_as_expected(const RegistryCombo& combo,
+                                      const FaultSpaceReport& report);
+
+}  // namespace servernet::verify

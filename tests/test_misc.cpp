@@ -41,7 +41,9 @@ TEST(Dot, TetrahedronMatchesFigureFour) {
 
 TEST(Dot, FractahedronRouterLabelsEncodePosition) {
   const Fractahedron fh(FractahedronSpec{});
-  const std::string dot = to_dot(fh.net(), DotOptions{.include_nodes = false});
+  DotOptions options;
+  options.include_nodes = false;
+  const std::string dot = to_dot(fh.net(), options);
   // Level-2 layer labels from the builder: L2S0Y<layer>R<member>.
   EXPECT_NE(dot.find("L2S0Y3R2"), std::string::npos);
   EXPECT_NE(dot.find("L1S7Y0R0"), std::string::npos);

@@ -15,14 +15,9 @@
 namespace servernet {
 namespace {
 
-/// Dateline for a ring: the clockwise channel closing the loop (k-1 -> 0)
-/// and its counter-clockwise twin (0 -> k-1).
-std::vector<ChannelId> ring_datelines(const Ring& ring) {
-  const std::uint32_t k = ring.spec().routers;
-  const ChannelId cw = ring.net().router_out(ring.router(k - 1), ring_port::kClockwise);
-  const ChannelId ccw = ring.net().router_out(ring.router(0), ring_port::kCounterClockwise);
-  return {cw, ccw};
-}
+// Datelines come from the library selector module (route/vc_selector.hpp,
+// re-exported through sim/vc_sim.hpp) so the simulator and the static
+// vc-deadlock verifier agree on where the loops are cut.
 
 sim::VcSimConfig long_packets(std::uint32_t vcs) {
   sim::VcSimConfig cfg;
@@ -45,7 +40,80 @@ TEST(VcSelector, DatelineSteps) {
 }
 
 TEST(VcSelector, DatelineNeedsTwoVcs) {
+  // vcs_per_channel = 1 leaves no VC to step into at the dateline — the
+  // scheme degenerates to the unprotected ring, so construction refuses.
   EXPECT_THROW(sim::DatelineVc({}, 1), PreconditionError);
+  EXPECT_THROW(sim::DatelineVc({ChannelId{0U}}, 0), PreconditionError);
+}
+
+TEST(VcSelector, DeterminismContractHoldsOverEveryTransition) {
+  // The static certifier double-calls the selector and indicts any
+  // nondeterminism (verify: vc-deadlock.nondeterministic-selector), so the
+  // shipped selectors must answer identically on repeated queries. Sweep
+  // every (vc, from, to) transition and every (src, dst) injection on a
+  // ring and compare two independent evaluations.
+  const Ring ring(RingSpec{.routers = 6});
+  const Network& net = ring.net();
+  const sim::DatelineVc dateline(ring_datelines(ring), 2);
+  const sim::SingleVc single;
+  const std::vector<const sim::VcSelector*> selectors{&dateline, &single};
+  for (const sim::VcSelector* sel : selectors) {
+    for (std::uint32_t s = 0; s < net.node_count(); ++s) {
+      for (std::uint32_t d = 0; d < net.node_count(); ++d) {
+        EXPECT_EQ(sel->initial_vc(NodeId{s}, NodeId{d}), sel->initial_vc(NodeId{s}, NodeId{d}));
+      }
+    }
+    for (std::uint32_t from = 0; from < net.channel_count(); ++from) {
+      for (std::uint32_t to = 0; to < net.channel_count(); ++to) {
+        for (std::uint32_t vc = 0; vc < 2; ++vc) {
+          const std::uint32_t first = sel->next_vc(vc, ChannelId{from}, ChannelId{to});
+          EXPECT_EQ(first, sel->next_vc(vc, ChannelId{from}, ChannelId{to}));
+        }
+      }
+    }
+  }
+}
+
+TEST(VcSelector, DatelineVcNeverDecreasesAndStaysInRange) {
+  // Monotone-and-bounded is what makes the dateline argument work: a
+  // packet's VC only steps up at a dateline and clamps at the top.
+  const Ring ring(RingSpec{.routers = 8});
+  const sim::DatelineVc sel(ring_datelines(ring), 3);
+  for (std::uint32_t from = 0; from < ring.net().channel_count(); ++from) {
+    for (std::uint32_t to = 0; to < ring.net().channel_count(); ++to) {
+      for (std::uint32_t vc = 0; vc < 3; ++vc) {
+        const std::uint32_t next = sel.next_vc(vc, ChannelId{from}, ChannelId{to});
+        EXPECT_GE(next, vc);
+        EXPECT_LT(next, 3U);
+      }
+    }
+  }
+}
+
+TEST(VcSelector, DatelineOnTwoRouterLoop) {
+  // The Ring builder refuses loops under three routers, so the smallest
+  // possible cycle is hand-built: two routers joined by two parallel
+  // cables. The dateline still cuts it and the 2-VC sim drains the
+  // exchange pattern the loop would otherwise wedge on.
+  Network net("loop-2");
+  const RouterId r0 = net.add_router(3, "R0");
+  const RouterId r1 = net.add_router(3, "R1");
+  const auto [cw, ccw_back] = net.connect(Terminal::router(r0), 0, Terminal::router(r1), 1);
+  const auto [cw_back, ccw] = net.connect(Terminal::router(r1), 0, Terminal::router(r0), 1);
+  const NodeId n0 = net.add_node(1);
+  const NodeId n1 = net.add_node(1);
+  net.connect(Terminal::node(n0), 0, Terminal::router(r0), 2);
+  net.connect(Terminal::node(n1), 0, Terminal::router(r1), 2);
+  net.validate();
+  (void)ccw_back;
+  const sim::DatelineVc sel({cw_back, ccw}, 2);
+  EXPECT_EQ(sel.next_vc(0, cw, cw_back), 1U);
+  EXPECT_EQ(sel.next_vc(1, cw, cw_back), 1U);  // clamps on the degenerate loop too
+  sim::VcWormholeSim s(net, shortest_path_routes(net), sel, long_packets(2));
+  s.offer_packet(n0, n1);
+  s.offer_packet(n1, n0);
+  EXPECT_EQ(s.run_until_drained(100000).outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(s.packets_delivered(), 2U);
 }
 
 TEST(VcSim, SingleVcReproducesFigure1Deadlock) {

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <string>
+#include <string_view>
 
 #include "analysis/channel_dependency.hpp"
 #include "analysis/cycles.hpp"
@@ -423,8 +424,18 @@ TEST(VerifyReport, TextRenderingNamesVerdict) {
 
 TEST(VerifyReport, PassRosterCoversPipeline) {
   const auto& roster = verify::pass_roster();
-  ASSERT_EQ(roster.size(), 6U);
+  ASSERT_EQ(roster.size(), 8U);  // preflight, hardware, reachability,
+                                 // deadlock, vc-deadlock, escape, updown,
+                                 // inorder
   EXPECT_STREQ(roster.front().name, "preflight");
+  bool has_vc = false;
+  bool has_escape = false;
+  for (const verify::PassInfo& p : roster) {
+    has_vc = has_vc || std::string_view{p.name} == "vc-deadlock";
+    has_escape = has_escape || std::string_view{p.name} == "escape";
+  }
+  EXPECT_TRUE(has_vc);
+  EXPECT_TRUE(has_escape);
 }
 
 }  // namespace

@@ -1,20 +1,58 @@
 #!/usr/bin/env bash
-# Sanitizer-clean verification gate: configure a dedicated build tree with
-# AddressSanitizer + UBSan, build, and run the verify-labeled tests (the
-# static fabric verifier suite plus the servernet-verify CLI registry run).
+# Sanitizer-clean verification gate: configure a dedicated build tree per
+# sanitizer set, build, and run the verify-labeled tests (the static fabric
+# verifier suite, the VC/escape certifier suite, and the servernet-verify
+# registry runs).
 #
-#   $ tools/check.sh              # build dir defaults to build-sanitize
-#   $ tools/check.sh my-builddir
+#   $ tools/check.sh                            # both stages:
+#                                               #   address;undefined -> build-sanitize
+#                                               #   thread            -> build-tsan
+#   $ tools/check.sh --sanitize=thread          # one stage, TSan only
+#   $ tools/check.sh --sanitize="address;undefined" my-builddir
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${repo_root}/build-sanitize}"
 
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSERVERNET_BUILD_BENCH=OFF \
-  -DSERVERNET_BUILD_EXAMPLES=OFF \
-  "-DSERVERNET_SANITIZE=address;undefined"
-cmake --build "${build_dir}" -j "$(nproc)"
-ctest --test-dir "${build_dir}" -L verify --output-on-failure -j "$(nproc)"
-echo "check.sh: verify-labeled tests sanitizer-clean"
+sanitizers=()
+build_dir=""
+for arg in "$@"; do
+  case "${arg}" in
+    --sanitize=*)
+      sanitizers+=("${arg#--sanitize=}")
+      ;;
+    -*)
+      echo "usage: tools/check.sh [--sanitize=<list>]... [build-dir]" >&2
+      exit 2
+      ;;
+    *)
+      build_dir="${arg}"
+      ;;
+  esac
+done
+if [ "${#sanitizers[@]}" -eq 0 ]; then
+  sanitizers=("address;undefined" "thread")
+fi
+if [ -n "${build_dir}" ] && [ "${#sanitizers[@]}" -gt 1 ]; then
+  echo "check.sh: an explicit build dir needs exactly one --sanitize stage" >&2
+  exit 2
+fi
+
+stage_dir() {
+  case "$1" in
+    thread) echo "${repo_root}/build-tsan" ;;
+    *) echo "${repo_root}/build-sanitize" ;;
+  esac
+}
+
+for sanitize in "${sanitizers[@]}"; do
+  dir="${build_dir:-$(stage_dir "${sanitize}")}"
+  echo "== check.sh: sanitize=${sanitize} -> ${dir} =="
+  cmake -B "${dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSERVERNET_BUILD_BENCH=OFF \
+    -DSERVERNET_BUILD_EXAMPLES=OFF \
+    "-DSERVERNET_SANITIZE=${sanitize}"
+  cmake --build "${dir}" -j "$(nproc)"
+  ctest --test-dir "${dir}" -L verify --output-on-failure -j "$(nproc)"
+done
+echo "check.sh: verify-labeled tests sanitizer-clean (${sanitizers[*]})"

@@ -1,5 +1,6 @@
 // servernet-verify — static certification CLI over every registered
-// topology+routing combo.
+// topology+routing combo (the registry lives in src/verify/registry.hpp so
+// tests and benches iterate the same list).
 //
 //   $ servernet-verify --list                 # registry and expectations
 //   $ servernet-verify fat-fractahedron-64    # full report, exit 1 on errors
@@ -13,197 +14,62 @@
 //                                             # classified, coverage matrix
 //   $ servernet-verify --faults --all --json  # full-registry fault sweep,
 //                                             # stable JSON for CI
+//   $ servernet-verify --dot-witness w.dot torus-4x4-unrestricted
+//                                             # Graphviz export with the
+//                                             # indictment witness in red
 //
 // The combos pair each builder in src/topo + src/core with its natural
-// routing; "unrestricted" combos use naive shortest-path routing on looping
-// topologies and are *expected* to be indicted — they prove the verifier
-// can still see Figure 1's deadlock (and, under --faults, that the torus
-// keeps its surviving cycles while Figure 1's single loop is broken by any
-// one cable fault).
-#include <functional>
+// routing. "Unrestricted" combos use naive shortest-path routing on looping
+// topologies and are *expected* to be indicted; the dateline-VC combos run
+// the same loops deadlock-free and are certified through the extended
+// (channel, vc) dependency graph; the adaptive combos exercise the Duato
+// escape analysis both ways. VC/adaptive combos are excluded from --faults
+// (see RegistryCombo::fault_sweep).
+#include <fstream>
 #include <iostream>
-#include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/fractahedron.hpp"
-#include "fabric/dual_fabric.hpp"
-#include "route/dimension_order.hpp"
-#include "route/ecube.hpp"
-#include "route/shortest_path.hpp"
-#include "route/updown.hpp"
-#include "topo/cube_connected_cycles.hpp"
-#include "topo/fat_tree.hpp"
-#include "topo/fully_connected.hpp"
-#include "topo/hypercube.hpp"
-#include "topo/kary_ncube.hpp"
-#include "topo/mesh.hpp"
-#include "topo/ring.hpp"
-#include "topo/shuffle_exchange.hpp"
-#include "topo/torus.hpp"
-#include "verify/faults.hpp"
-#include "verify/passes.hpp"
+#include "topo/dot.hpp"
+#include "verify/registry.hpp"
 
 using namespace servernet;
 
 namespace {
 
-struct Built {
-  // Owner keeps the topology object alive; `net` views it.
-  std::shared_ptr<void> owner;
-  const Network* net = nullptr;
-  RoutingTable table;
-  // Present when the routing is up*/down* by construction; enables the
-  // conformance pass.
-  std::optional<UpDownClassification> updown;
-  // Topologies that deliberately generalize beyond the six-port ASIC
-  // (e.g. 3-D meshes) downgrade the radix rule to a warning.
-  bool enforce_asic_ports = true;
-  // Set when `net` is a dual fabric; the fault certifier then grants
-  // FAILOVER verdicts to faults absorbed by the surviving fabric.
-  std::shared_ptr<DualFabric> dual = nullptr;
-};
-
-struct Combo {
-  std::string name;
-  std::string what;
-  bool expect_certified = true;
-  std::function<Built()> build;
-};
-
-Built with_updown(std::shared_ptr<void> owner, const Network& net, RouterId root) {
-  Built b;
-  b.owner = std::move(owner);
-  b.net = &net;
-  UpDownClassification cls = classify_updown(net, root);
-  b.table = updown_routes(net, cls);
-  b.updown = std::move(cls);
-  return b;
-}
-
-const std::vector<Combo>& registry() {
-  static const std::vector<Combo> combos{
-      {"fat-fractahedron-64", "64-node fat fractahedron, depth-first routing (Fig. 7)", true,
-       [] {
-         auto t = std::make_shared<Fractahedron>(FractahedronSpec{});
-         return Built{t, &t->net(), t->routing(), std::nullopt};
-       }},
-      {"thin-fractahedron-64", "64-node thin fractahedron, depth-first routing", true,
-       [] {
-         FractahedronSpec spec;
-         spec.kind = FractahedronKind::kThin;
-         auto t = std::make_shared<Fractahedron>(spec);
-         return Built{t, &t->net(), t->routing(), std::nullopt};
-       }},
-      {"tetrahedron", "fully-connected 4-router group, direct routing (Fig. 4)", true,
-       [] {
-         auto t = std::make_shared<FullyConnectedGroup>(FullyConnectedSpec{});
-         return Built{t, &t->net(), t->routing(), std::nullopt};
-       }},
-      {"fat-tree-4-2", "64-node 4-2 fat tree, static uplink partition (Fig. 6)", true,
-       [] {
-         auto t = std::make_shared<FatTree>(FatTreeSpec{});
-         return Built{t, &t->net(), t->routing(), std::nullopt};
-       }},
-      {"fat-tree-3-3", "64-node 3-3 constant-bandwidth fat tree (§3.3)", true,
-       [] {
-         auto t = std::make_shared<FatTree>(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
-         return Built{t, &t->net(), t->routing(), std::nullopt};
-       }},
-      {"mesh-6x6-dor", "6x6 mesh, dimension-order routing (§3.1)", true,
-       [] {
-         auto t = std::make_shared<Mesh2D>(MeshSpec{});
-         return Built{t, &t->net(), dimension_order_routes(*t), std::nullopt};
-       }},
-      {"mesh3d-4", "4x4x4 mesh, dimension-order routing (7-port routers)", true,
-       [] {
-         auto t = std::make_shared<KAryNCube>(KAryNCubeSpec{.dims = {4, 4, 4}});
-         return Built{t, &t->net(), t->dimension_order(), std::nullopt,
-                      /*enforce_asic_ports=*/false};
-       }},
-      {"hypercube-4-ecube", "4-D hypercube, e-cube routing (§3.2)", true,
-       [] {
-         auto t = std::make_shared<Hypercube>(HypercubeSpec{.dimensions = 4});
-         return Built{t, &t->net(), ecube_routes(*t), std::nullopt};
-       }},
-      {"ring-8-updown", "8-router ring, up*/down* routing", true,
-       [] {
-         auto t = std::make_shared<Ring>(RingSpec{.routers = 8});
-         return with_updown(t, t->net(), t->router(0));
-       }},
-      {"torus-4x4-updown", "4x4 torus, up*/down* routing", true,
-       [] {
-         auto t = std::make_shared<Torus2D>(TorusSpec{});
-         return with_updown(t, t->net(), RouterId{0U});
-       }},
-      {"ccc-3-updown", "cube-connected cycles CCC(3), up*/down* routing", true,
-       [] {
-         auto t = std::make_shared<CubeConnectedCycles>(CccSpec{});
-         return with_updown(t, t->net(), RouterId{0U});
-       }},
-      {"shuffle-exchange-4-updown", "16-router shuffle-exchange, up*/down* routing", true,
-       [] {
-         auto t = std::make_shared<ShuffleExchange>(ShuffleExchangeSpec{});
-         return with_updown(t, t->net(), RouterId{0U});
-       }},
-      {"dual-mesh-3x3-dor", "dual 3x3 mesh fabrics, dual-ported nodes (§1)", true,
-       [] {
-         const Mesh2D single(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
-         auto dual = std::make_shared<DualFabric>(single.net());
-         Built b;
-         b.owner = dual;
-         b.net = &dual->net();
-         b.table = dual->lift_routing(dimension_order_routes(single));
-         b.dual = dual;
-         return b;
-       }},
-      {"ring-4-unrestricted", "Figure 1's four-switch loop, naive shortest-path", false,
-       [] {
-         auto t = std::make_shared<Ring>(RingSpec{});
-         return Built{t, &t->net(), shortest_path_routes(t->net()), std::nullopt};
-       }},
-      {"torus-4x4-unrestricted", "4x4 torus, naive minimal routing", false,
-       [] {
-         auto t = std::make_shared<Torus2D>(TorusSpec{});
-         return Built{t, &t->net(), shortest_path_routes(t->net()), std::nullopt};
-       }},
-  };
-  return combos;
-}
-
-verify::Report run_combo(const Combo& combo) {
-  const Built built = combo.build();
-  verify::VerifyOptions options;
-  if (built.updown) options.updown = &*built.updown;
-  options.enforce_asic_ports = built.enforce_asic_ports;
-  return verify::verify_fabric(*built.net, built.table, options, combo.name);
-}
-
-verify::FaultSpaceReport run_combo_faults(const Combo& combo) {
-  const Built built = combo.build();
-  verify::FaultSpaceOptions options;
-  if (built.updown) options.base.updown = &*built.updown;
-  options.base.enforce_asic_ports = built.enforce_asic_ports;
-  options.dual = built.dual.get();
-  return verify::certify_fault_space(*built.net, built.table, options, combo.name);
-}
-
-/// CI gate for one fault-space report: the healthy verdict must match the
-/// registry expectation, and fabrics expected healthy must also have their
-/// whole single-fault space covered (every avoidable fault survives, fails
-/// over, or has a certified repair). Expected-indicted combos only need
-/// the matching healthy verdict — their fault spaces *should* show
-/// surviving deadlock cycles.
-bool faults_as_expected(const Combo& combo, const verify::FaultSpaceReport& report) {
-  if (report.healthy_certified != combo.expect_certified) return false;
-  return !combo.expect_certified || report.single_faults_covered();
-}
-
 int usage() {
-  std::cerr << "usage: servernet-verify [--json] [--faults] <combo> | --all | --list | --passes\n"
+  std::cerr << "usage: servernet-verify [--json] [--faults] [--dot-witness <file>] <combo>...\n"
+               "       servernet-verify [--json] [--faults] --all | --list | --passes\n"
                "run 'servernet-verify --list' for the registered combos\n";
   return 2;
+}
+
+/// Channels of the first error-severity diagnostic that carries a
+/// channel-level witness (the headline indictment).
+std::vector<ChannelId> witness_channels(const verify::Report& report) {
+  std::vector<ChannelId> channels;
+  for (const verify::Diagnostic& d : report.diagnostics()) {
+    if (d.severity != verify::Severity::kError || d.channels.empty()) continue;
+    for (const std::uint32_t c : d.channels) channels.push_back(ChannelId{c});
+    break;
+  }
+  return channels;
+}
+
+bool export_dot_witness(const std::string& path, const Network& net,
+                        const verify::Report& report) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  DotOptions options;
+  // Directed arcs: a dependency-cycle witness has an orientation the
+  // collapsed undirected rendering would erase.
+  options.collapse_duplex = false;
+  options.highlight = witness_channels(report);
+  write_dot(out, net, options);
+  return true;
 }
 
 }  // namespace
@@ -214,6 +80,7 @@ int main(int argc, char** argv) {
   bool list = false;
   bool passes = false;
   bool faults = false;
+  std::string dot_witness;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -227,12 +94,16 @@ int main(int argc, char** argv) {
       passes = true;
     } else if (arg == "--faults") {
       faults = true;
+    } else if (arg == "--dot-witness") {
+      if (i + 1 >= argc) return usage();
+      dot_witness = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
       names.push_back(arg);
     }
   }
+  if (!dot_witness.empty() && (all || faults || list || passes)) return usage();
 
   if (passes) {
     for (const verify::PassInfo& p : verify::pass_roster()) {
@@ -241,7 +112,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (list) {
-    for (const Combo& c : registry()) {
+    for (const verify::RegistryCombo& c : verify::registry()) {
       std::cout << c.name << " [" << (c.expect_certified ? "certified" : "indicted") << "] — "
                 << c.what << '\n';
     }
@@ -251,9 +122,10 @@ int main(int argc, char** argv) {
     bool all_as_expected = true;
     bool first = true;
     if (json) std::cout << "[\n";
-    for (const Combo& c : registry()) {
-      const verify::FaultSpaceReport report = run_combo_faults(c);
-      const bool as_expected = faults_as_expected(c, report);
+    for (const verify::RegistryCombo& c : verify::registry()) {
+      if (!c.fault_sweep) continue;  // VC/adaptive combos: see registry.hpp
+      const verify::FaultSpaceReport report = verify::run_combo_faults(c);
+      const bool as_expected = verify::faults_as_expected(c, report);
       all_as_expected = all_as_expected && as_expected;
       if (json) {
         if (!first) std::cout << ",\n";
@@ -275,8 +147,8 @@ int main(int argc, char** argv) {
     bool all_as_expected = true;
     bool first = true;
     if (json) std::cout << "[\n";
-    for (const Combo& c : registry()) {
-      const verify::Report report = run_combo(c);
+    for (const verify::RegistryCombo& c : verify::registry()) {
+      const verify::Report report = verify::run_combo(c);
       const bool as_expected = report.certified() == c.expect_certified;
       all_as_expected = all_as_expected && as_expected;
       if (json) {
@@ -296,8 +168,8 @@ int main(int argc, char** argv) {
 
   bool any_errors = false;
   for (const std::string& name : names) {
-    const Combo* combo = nullptr;
-    for (const Combo& c : registry()) {
+    const verify::RegistryCombo* combo = nullptr;
+    for (const verify::RegistryCombo& c : verify::registry()) {
       if (c.name == name) combo = &c;
     }
     if (combo == nullptr) {
@@ -305,19 +177,32 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (faults) {
-      const verify::FaultSpaceReport report = run_combo_faults(*combo);
+      if (!combo->fault_sweep) {
+        std::cerr << "combo '" << name << "' is excluded from fault sweeps (VC/adaptive "
+                     "routing state goes stale on degraded fabrics — see verify/registry.hpp)\n";
+        return 2;
+      }
+      const verify::FaultSpaceReport report = verify::run_combo_faults(*combo);
       if (json) {
         report.write_json(std::cout);
       } else {
         report.write_text(std::cout);
       }
-      any_errors = any_errors || !faults_as_expected(*combo, report);
+      any_errors = any_errors || !verify::faults_as_expected(*combo, report);
     } else {
-      const verify::Report report = run_combo(*combo);
+      const verify::BuiltFabric built = combo->build();
+      const verify::Report report =
+          verify::verify_fabric(*built.net, built.table, verify::verify_options(built),
+                                combo->name);
       if (json) {
         report.write_json(std::cout);
       } else {
         report.write_text(std::cout);
+      }
+      if (!dot_witness.empty()) {
+        if (!export_dot_witness(dot_witness, *built.net, report)) return 2;
+        std::cerr << "wrote " << dot_witness << " ("
+                  << witness_channels(report).size() << " witness channel(s) highlighted)\n";
       }
       any_errors = any_errors || !report.certified();
     }
