@@ -1,0 +1,426 @@
+#include "recovery/controller.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "route/path.hpp"
+#include "route/repair.hpp"
+#include "sim/deadlock_detector.hpp"
+#include "sim/vc_sim.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "verify/faults.hpp"
+
+namespace servernet::recovery {
+
+std::string to_string(RecoveryAction a) {
+  switch (a) {
+    case RecoveryAction::kNone:
+      return "NONE";
+    case RecoveryAction::kFailover:
+      return "FAILOVER";
+    case RecoveryAction::kRepair:
+      return "REPAIR";
+    case RecoveryAction::kPartialService:
+      return "PARTIAL-SERVICE";
+    case RecoveryAction::kRepairRejected:
+      return "REPAIR-REJECTED";
+  }
+  return "unknown";
+}
+
+RecoveryAction RecoveryReport::final_action() const {
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->action != RecoveryAction::kNone) return it->action;
+  }
+  return RecoveryAction::kNone;
+}
+
+bool RecoveryReport::all_repairs_certified() const {
+  return std::all_of(events.begin(), events.end(), [](const RecoveryEvent& e) {
+    return !e.repair_attempted || e.repair_certified;
+  });
+}
+
+namespace {
+
+[[nodiscard]] bool packet_pending(const sim::PacketRecord& rec) {
+  return !rec.delivered && !rec.misdelivered && !rec.lost;
+}
+
+}  // namespace
+
+template <class Sim>
+RecoveryController<Sim>::RecoveryController(Sim& sim, RecoveryOptions options)
+    : sim_(sim),
+      options_(std::move(options)),
+      monitor_(sim.net().channel_count(), options_.monitor),
+      dead_mask_(sim.net().channel_count(), 0) {}
+
+template <class Sim>
+void RecoveryController<Sim>::schedule_fault(FaultEpisode episode) {
+  for (const ChannelId c : episode.channels) {
+    SN_REQUIRE(c.index() < sim_.net().channel_count(), "fault episode channel out of range");
+  }
+  pending_.push_back(std::move(episode));
+}
+
+template <class Sim>
+void RecoveryController<Sim>::apply_due_episodes() {
+  const std::uint64_t now = sim_.now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->at_cycle > now) {
+      ++it;
+      continue;
+    }
+    for (const ChannelId c : it->channels) {
+      sim_.fail_channel(c);
+      if (it->restore_after > 0) restores_.emplace_back(now + it->restore_after, c);
+    }
+    it = pending_.erase(it);
+  }
+  for (auto it = restores_.begin(); it != restores_.end();) {
+    if (it->first > now) {
+      ++it;
+      continue;
+    }
+    // A channel the monitor already declared hard stays routed-around even
+    // if the hardware resurrects — hard is terminal by design.
+    sim_.restore_channel(it->second);
+    it = restores_.erase(it);
+  }
+}
+
+template <class Sim>
+bool RecoveryController<Sim>::add_hard(ChannelId c) {
+  bool added = false;
+  const auto add_one = [&](ChannelId ch) {
+    if (!ch.valid() || dead_mask_[ch.index()] != 0) return;
+    dead_mask_[ch.index()] = 1;
+    hard_.push_back(ch);
+    added = true;
+  };
+  // Duplex closure: a cable without its return path cannot carry
+  // acknowledgements, and apply_channel_faults removes both anyway.
+  add_one(c);
+  add_one(sim_.net().channel(c).reverse);
+  return added;
+}
+
+template <class Sim>
+bool RecoveryController<Sim>::settled() const {
+  if (sim_.packets_delivered() + sim_.packets_misdelivered() + sim_.packets_lost() <
+      sim_.packets_offered()) {
+    return false;
+  }
+  if (!pending_.empty() || !restores_.empty()) return false;
+  for (std::size_t ci = 0; ci < sim_.net().channel_count(); ++ci) {
+    const ChannelId c{ci};
+    // A SUSPECT link still owes a verdict; a down link the monitor thinks
+    // healthy has not been heartbeat-swept yet.
+    if (monitor_.state(c) == LinkState::kSuspect) return false;
+    if (sim_.channel_failed(c) && monitor_.state(c) == LinkState::kHealthy) return false;
+  }
+  return true;
+}
+
+template <class Sim>
+bool RecoveryController<Sim>::route_crosses_dead(NodeId src, NodeId dst) {
+  PortIndex port = 0;
+  if constexpr (std::is_same_v<Sim, sim::WormholeSim>) {
+    port = sim_.injection_port(src, dst);
+  }
+  const RouteResult r = trace_route(sim_.net(), sim_.table(), src, dst, port);
+  // A route the stale table cannot even trace needs the re-offer too: the
+  // packet would wedge or misdeliver if left in flight across the swap.
+  if (!r.ok()) return true;
+  return std::any_of(r.path.channels.begin(), r.path.channels.end(),
+                     [&](ChannelId c) { return dead_mask_[c.index()] != 0; });
+}
+
+template <class Sim>
+void RecoveryController<Sim>::handle_stall() {
+  const std::uint64_t now = sim_.now();
+  if constexpr (std::is_same_v<Sim, sim::WormholeSim>) {
+    const sim::StallReport report = sim::classify_stall(sim_);
+    switch (report.cause) {
+      case sim::StallCause::kFailedChannel:
+        // The stall classifier names the dead hardware directly — feed it
+        // to the probe ladder (faster than waiting for the next heartbeat,
+        // same transient/hard discipline).
+        for (const ChannelId c : report.failed_waits) monitor_.note_miss(c, now);
+        break;
+      case sim::StallCause::kCircularWait:
+        // True deadlock: quiesce breaks the cycle whatever the tables say.
+        recover_round(/*circular_wait=*/true);
+        break;
+      case sim::StallCause::kNone:
+      case sim::StallCause::kForbiddenTurn:
+        // Congestion, or the path-disable logic doing its job: not ours.
+        break;
+    }
+  } else {
+    // The VC simulator has no stall classifier; fall back to sweeping the
+    // link state, which is what the heartbeat does anyway.
+    for (std::size_t ci = 0; ci < sim_.net().channel_count(); ++ci) {
+      const ChannelId c{ci};
+      if (sim_.channel_failed(c)) monitor_.note_miss(c, now);
+    }
+  }
+}
+
+template <class Sim>
+void RecoveryController<Sim>::quiesce() {
+  bool deterministic = true;
+  if constexpr (std::is_same_v<Sim, sim::WormholeSim>) {
+    deterministic = !sim_.adaptive();
+  }
+  if (deterministic && !hard_.empty()) {
+    // Targeted purge: only packets whose (deterministic) route needs a
+    // dead channel are pulled back; unaffected worms keep streaming.
+    for (sim::PacketId pid = 0; pid < sim_.packets_offered(); ++pid) {
+      const sim::PacketRecord& rec = sim_.packet(pid);
+      if (packet_pending(rec) && route_crosses_dead(rec.src, rec.dst)) {
+        sim_.purge_and_reoffer(pid);
+      }
+    }
+  }
+  // Drain to zero flits in flight. Packets we could not predict (adaptive
+  // worms, victims blocked behind them) surface as a drain stall and are
+  // purged wholesale — the order-preserving re-offer makes that safe.
+  auto signature = [&] {
+    return std::tuple(sim_.flits_in_flight(), sim_.packets_delivered(),
+                      sim_.packets_misdelivered(), sim_.packets_lost());
+  };
+  auto last = signature();
+  std::uint64_t last_change = sim_.now();
+  bool purged_all = false;
+  while (sim_.flits_in_flight() > 0 && !sim_.deadlocked()) {
+    sim_.step();
+    const auto cur = signature();
+    if (cur != last) {
+      last = cur;
+      last_change = sim_.now();
+      continue;
+    }
+    if (sim_.now() - last_change < options_.stall_window) continue;
+    if (purged_all) break;  // defensive; the wholesale purge empties the fabric
+    for (sim::PacketId pid = 0; pid < sim_.packets_offered(); ++pid) {
+      if (packet_pending(sim_.packet(pid))) sim_.purge_and_reoffer(pid);
+    }
+    purged_all = true;
+    last_change = sim_.now();
+  }
+}
+
+template <class Sim>
+void RecoveryController<Sim>::strand_pair(NodeId src, NodeId dst) {
+  for (sim::PacketId pid = 0; pid < sim_.packets_offered(); ++pid) {
+    const sim::PacketRecord& rec = sim_.packet(pid);
+    if (rec.src == src && rec.dst == dst && packet_pending(rec)) sim_.cancel_packet(pid);
+  }
+  stranded_.emplace_back(src, dst);
+}
+
+template <class Sim>
+void RecoveryController<Sim>::divert_to_surviving_fabric(RecoveryEvent& ev) {
+  if constexpr (std::is_same_v<Sim, sim::WormholeSim>) {
+    ChannelDisables failed(sim_.net().channel_count());
+    for (const ChannelId c : hard_) failed.disable(c);
+    const std::size_t nodes = sim_.net().node_count();
+    std::size_t stranded = 0;
+    for (std::size_t s = 0; s < nodes; ++s) {
+      for (std::size_t d = 0; d < nodes; ++d) {
+        if (s == d) continue;
+        const NodeId src{s};
+        const NodeId dst{d};
+        const std::optional<PortIndex> port =
+            options_.dual->select_fabric(sim_.table(), src, dst, failed);
+        if (!port.has_value()) {
+          strand_pair(src, dst);
+          ++stranded;
+          continue;
+        }
+        if (*port != sim_.injection_port(src, dst)) {
+          sim_.set_injection_port(src, dst, *port);
+          ++ev.pairs_diverted;
+        }
+      }
+    }
+    ev.pairs_stranded = stranded;
+    ev.action =
+        stranded == 0 ? RecoveryAction::kFailover : RecoveryAction::kPartialService;
+  } else {
+    SN_REQUIRE(false, "dual-fabric failover requires the wormhole simulator");
+  }
+}
+
+template <class Sim>
+void RecoveryController<Sim>::install_or_reject_repair(RecoveryEvent& ev) {
+  ev.repair_attempted = true;
+  DegradedRepair repair = synthesize_repair(sim_.net(), hard_);
+
+  // Synthesis is never trusted: the repair must re-certify from scratch on
+  // the degraded fabric before it may touch router RAM. VC/multipath state
+  // is cleared — the repaired table is deterministic and physically
+  // acyclic, which implies extended-CDG acyclicity under any selector.
+  verify::VerifyOptions vo = options_.base;
+  vo.updown = &repair.route.cls;
+  vo.vc = {};
+  vo.multipath = nullptr;
+  vo.require_full_reachability = true;
+  verify::Report report = verify::verify_fabric(repair.degraded.net, repair.route.table, vo,
+                                                sim_.net().name() + " [repair]");
+  bool partial = false;
+  if (!report.certified()) {
+    // Full service is impossible (the fault physically disconnected
+    // pairs); certify the partial-service repair instead and cancel the
+    // stranded traffic.
+    vo.require_full_reachability = false;
+    report = verify::verify_fabric(repair.degraded.net, repair.route.table, vo,
+                                   sim_.net().name() + " [partial repair]");
+    partial = true;
+  }
+  if (!report.certified()) {
+    ev.action = RecoveryAction::kRepairRejected;
+    ev.detail += "; synthesized repair failed certification — not installed";
+    return;
+  }
+  ev.repair_certified = true;
+  if (partial) {
+    const auto disconnected = verify::disconnected_pairs(repair.degraded.net);
+    for (const auto& [src, dst] : disconnected) strand_pair(src, dst);
+    ev.pairs_stranded = disconnected.size();
+  }
+  sim_.swap_table(std::move(repair.route.table));
+  if constexpr (std::is_same_v<Sim, sim::WormholeSim>) {
+    sim_.clear_adaptive();
+  }
+  // Later rounds classify against the *installed* table: the healthy
+  // fabric's classification and choice sets no longer describe it.
+  options_.base.updown = nullptr;
+  options_.base.multipath = nullptr;
+  ev.action = partial ? RecoveryAction::kPartialService : RecoveryAction::kRepair;
+}
+
+template <class Sim>
+void RecoveryController<Sim>::recover_round(bool circular_wait) {
+  RecoveryEvent ev;
+  ev.dead_channels = hard_;
+  ev.escalated_cycle = sim_.now();
+  ev.detected_cycle = sim_.now();
+  for (const ChannelId c : hard_) {
+    if (monitor_.state(c) != LinkState::kHealthy) {
+      ev.detected_cycle = std::min(ev.detected_cycle, monitor_.first_evidence_cycle(c));
+    }
+  }
+  if (++rounds_ > options_.max_rounds) {
+    ev.action = RecoveryAction::kRepairRejected;
+    ev.quiesced_cycle = ev.installed_cycle = sim_.now();
+    ev.detail = "recovery round budget exhausted";
+    events_.push_back(std::move(ev));
+    return;
+  }
+
+  // The same classifier the static fault certifier runs, on the live
+  // table and the accumulated hard-fault set: static verdict and runtime
+  // action agree by construction (cross-validated in recovery/replay).
+  verify::FaultSpaceOptions fopts;
+  fopts.base = options_.base;
+  fopts.synthesize_repairs = false;  // the controller certifies its own repair below
+  fopts.dual = options_.dual;
+  const verify::FaultOutcome verdict =
+      verify::classify_channel_faults(sim_.net(), sim_.table(), hard_, fopts);
+  ev.detail = "static verdict: " + verify::to_string(verdict.verdict) +
+              (verdict.detail.empty() ? std::string{} : " — " + verdict.detail);
+
+  if (verdict.verdict == verify::FaultVerdict::kSurvives && !circular_wait) {
+    // The live table never routes into the dead channels; traffic flows on.
+    ev.action = RecoveryAction::kNone;
+    ev.quiesced_cycle = ev.installed_cycle = sim_.now();
+    events_.push_back(std::move(ev));
+    return;
+  }
+
+  const std::size_t purged_before = sim_.packets_purged();
+  sim_.pause_injection();
+  quiesce();
+  ev.quiesced_cycle = sim_.now();
+  ev.packets_purged = sim_.packets_purged() - purged_before;
+
+  if (verdict.verdict == verify::FaultVerdict::kSurvives) {
+    // Circular wait with a table that certifies on the degraded fabric:
+    // the quiesce itself broke the cycle; nothing to install.
+    ev.action = RecoveryAction::kNone;
+  } else if (options_.dual != nullptr) {
+    divert_to_surviving_fabric(ev);
+  } else {
+    install_or_reject_repair(ev);
+  }
+
+  sim_.resume_injection();
+  ev.installed_cycle = sim_.now();
+  events_.push_back(std::move(ev));
+}
+
+template <class Sim>
+RecoveryReport RecoveryController<Sim>::run(std::uint64_t max_cycles) {
+  const std::uint64_t start = sim_.now();
+  auto progress = [&] {
+    return std::tuple(sim_.packets_delivered(), sim_.packets_misdelivered(), sim_.packets_lost(),
+                      sim_.packets_purged(), sim_.flits_in_flight());
+  };
+  auto last = progress();
+  std::uint64_t last_change = sim_.now();
+  const auto link_down = [&](ChannelId c) { return sim_.channel_failed(c); };
+
+  while (sim_.now() - start < max_cycles && !sim_.deadlocked()) {
+    apply_due_episodes();
+    bool escalated = false;
+    for (const ChannelId c : monitor_.poll(sim_.now(), link_down)) {
+      escalated = add_hard(c) || escalated;
+    }
+    if (escalated) recover_round(/*circular_wait=*/false);
+    if (settled()) break;
+    sim_.step();
+    const auto cur = progress();
+    if (cur != last) {
+      last = cur;
+      last_change = sim_.now();
+    } else if (sim_.flits_in_flight() > 0 &&
+               sim_.now() - last_change >= options_.stall_window) {
+      handle_stall();
+      last_change = sim_.now();
+    }
+  }
+
+  RecoveryReport report;
+  const bool drained =
+      sim_.packets_delivered() + sim_.packets_misdelivered() + sim_.packets_lost() ==
+      sim_.packets_offered();
+  report.run.outcome = sim_.deadlocked() ? sim::RunOutcome::kDeadlocked
+                       : drained         ? sim::RunOutcome::kCompleted
+                                         : sim::RunOutcome::kCycleLimit;
+  report.run.cycles = sim_.now() - start;
+  report.run.packets_delivered = sim_.packets_delivered();
+  report.run.packets_misdelivered = sim_.packets_misdelivered();
+  report.run.packets_purged = sim_.packets_purged();
+  report.run.packets_lost = sim_.packets_lost();
+  report.run.out_of_order_deliveries = sim_.metrics().out_of_order_deliveries();
+  if constexpr (std::is_same_v<Sim, sim::WormholeSim>) {
+    report.run.packets_retried = sim_.packets_retried();
+  }
+  report.events = events_;
+  report.transient_recoveries = monitor_.transient_recoveries();
+  report.stranded = stranded_;
+  std::sort(report.stranded.begin(), report.stranded.end());
+  report.stranded.erase(std::unique(report.stranded.begin(), report.stranded.end()),
+                        report.stranded.end());
+  return report;
+}
+
+template class RecoveryController<sim::WormholeSim>;
+template class RecoveryController<sim::VcWormholeSim>;
+
+}  // namespace servernet::recovery

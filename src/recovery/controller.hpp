@@ -1,0 +1,192 @@
+// The self-healing fabric runtime: detect → quiesce → repair → failover.
+//
+// §2 of the paper sketches ServerNet's software maintenance loop — the
+// maintenance processor learns of a dead link from the link-level error
+// machinery, recomputes routing tables for the surviving fabric, certifies
+// them, and downloads them into router RAM while the fabric is held quiet.
+// The RecoveryController closes that loop over a running simulator:
+//
+//   detect   LinkHealthMonitor heartbeats + the stall classifier
+//            (sim/deadlock_detector) name suspect channels; the probe
+//            ladder separates flaky links (restored, no action) from hard
+//            faults (escalated here)
+//   quiesce  injection pauses; in-flight packets that need a dead channel
+//            are purged and re-offered *in sequence order* (strict
+//            per-(src,dst) order survives the swap); the fabric drains to
+//            zero flits in flight — installing a table into a moving
+//            fabric can create dependency cycles neither table has alone
+//   repair   route/repair synthesizes up*/down* reroutes on the degraded
+//            fabric and verify_fabric re-certifies them from scratch; only
+//            a CERTIFIED table is hot-swapped in (synthesis is never
+//            trusted). If full reachability fails, a partial-service
+//            repair is certified instead and the physically disconnected
+//            pairs are cancelled as lost.
+//   failover on dual fabrics (§1) no table is recomputed: every affected
+//            (src,dst) pair is diverted to the surviving fabric's
+//            injection port, whole transfers staying on one fabric so
+//            in-order delivery holds.
+//
+// The same classify_channel_faults() the static fault certifier uses
+// decides which action a hard-fault set needs, so the static verdict and
+// the runtime behaviour agree by construction; recovery/replay.hpp
+// cross-validates the two over every registered combo's fault space.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fabric/dual_fabric.hpp"
+#include "recovery/link_health.hpp"
+#include "sim/run_result.hpp"
+#include "topo/network.hpp"
+#include "verify/passes.hpp"
+
+namespace servernet::recovery {
+
+/// What one recovery round did after escalation.
+enum class RecoveryAction : std::uint8_t {
+  /// The stale table still serves every pair on the degraded fabric.
+  kNone,
+  /// Dual fabric: affected pairs diverted to the surviving fabric.
+  kFailover,
+  /// A re-certified repair table was hot-swapped in; all pairs served.
+  kRepair,
+  /// Repair (or failover) installed but physically disconnected pairs
+  /// remain; their packets were cancelled as lost.
+  kPartialService,
+  /// The synthesized repair failed certification and was NOT installed.
+  kRepairRejected,
+};
+
+[[nodiscard]] std::string to_string(RecoveryAction a);
+
+/// A scheduled hardware fault: `channels` stop transmitting at `at_cycle`;
+/// a transient episode restores them `restore_after` cycles later
+/// (0 = hard fault, never restores). List both directions of a cable —
+/// fault_channels() produces exactly this shape.
+struct FaultEpisode {
+  std::uint64_t at_cycle = 0;
+  std::vector<ChannelId> channels;
+  std::uint64_t restore_after = 0;
+};
+
+/// One escalation handled by the controller, with the lifecycle
+/// timestamps the recovery-latency bench aggregates.
+struct RecoveryEvent {
+  RecoveryAction action = RecoveryAction::kNone;
+  /// First evidence (heartbeat miss / stall indictment) on any of the
+  /// escalated channels.
+  std::uint64_t detected_cycle = 0;
+  /// The probe budget ran out and the controller took over.
+  std::uint64_t escalated_cycle = 0;
+  /// Zero flits in flight (kNone events: equals escalated_cycle).
+  std::uint64_t quiesced_cycle = 0;
+  /// New table installed / pairs diverted; end of the recovery round.
+  std::uint64_t installed_cycle = 0;
+  /// The full hard-fault set this round acted on (healthy channel ids).
+  std::vector<ChannelId> dead_channels;
+  bool repair_attempted = false;
+  bool repair_certified = false;
+  /// Packets purged-and-reoffered by this round's quiesce.
+  std::uint64_t packets_purged = 0;
+  /// Dual failover: pairs moved to the surviving fabric.
+  std::size_t pairs_diverted = 0;
+  /// Pairs cancelled as unreachable (partial service).
+  std::size_t pairs_stranded = 0;
+  /// Static verdict + witness for the hard-fault set.
+  std::string detail;
+};
+
+struct RecoveryOptions {
+  LinkHealthMonitor::Config monitor;
+  /// Cycles without packet-level progress (with flits in flight) before
+  /// the stall classifier is consulted. Keep well below the simulator's
+  /// no_progress_threshold so recovery acts before the sim declares
+  /// deadlock.
+  std::uint64_t stall_window = 200;
+  /// Bound on recovery rounds (a runaway detect/repair loop is a bug;
+  /// excess rounds record kRepairRejected and stop acting).
+  std::uint32_t max_rounds = 8;
+  /// Verification options for the *healthy* fabric (verify_options(built)
+  /// for registry combos): classification, VC selector, multipath. Repair
+  /// certification derives its own options from these.
+  verify::VerifyOptions base;
+  /// Set when the simulated network is dual->net(): recovery diverts pairs
+  /// instead of recomputing tables.
+  const DualFabric* dual = nullptr;
+};
+
+struct RecoveryReport {
+  sim::RunResult run;
+  std::vector<RecoveryEvent> events;
+  /// Flaky links that recovered inside the probe budget — detected,
+  /// never escalated, no action taken.
+  std::uint64_t transient_recoveries = 0;
+  /// Ordered pairs cancelled as unreachable, ascending, deduplicated.
+  std::vector<std::pair<NodeId, NodeId>> stranded;
+
+  /// The most consequential action taken (last non-kNone event's action).
+  [[nodiscard]] RecoveryAction final_action() const;
+  /// No attempted repair failed certification.
+  [[nodiscard]] bool all_repairs_certified() const;
+};
+
+/// Drives a simulator (WormholeSim or VcWormholeSim) through fault
+/// episodes and the full recovery lifecycle. The controller plays the
+/// maintenance processor: it owns the fault clock, watches health, and is
+/// the only writer of the sim's recovery surface (pause/purge/swap).
+/// `sim` and everything `options` points at must outlive the controller.
+template <class Sim>
+class RecoveryController {
+ public:
+  RecoveryController(Sim& sim, RecoveryOptions options);
+
+  void schedule_fault(FaultEpisode episode);
+
+  /// Runs the sim up to `max_cycles` further cycles, applying scheduled
+  /// episodes and recovering from escalated faults, until every offered
+  /// packet is delivered, misdelivered or lost AND no episode, suspect
+  /// link or undetected failure is outstanding.
+  [[nodiscard]] RecoveryReport run(std::uint64_t max_cycles);
+
+  /// Channels escalated to hard so far (healthy ids, duplex-closed).
+  [[nodiscard]] const std::vector<ChannelId>& hard_faults() const { return hard_; }
+  [[nodiscard]] const LinkHealthMonitor& monitor() const { return monitor_; }
+
+ private:
+  void apply_due_episodes();
+  /// True when every offered packet is terminal and no fault activity
+  /// (pending episode, scheduled restore, suspect or undetected-down
+  /// link) can still change the fabric.
+  [[nodiscard]] bool settled() const;
+  /// Adds `c` and its duplex partner to the hard set; false if all were
+  /// already present (an already-handled escalation).
+  bool add_hard(ChannelId c);
+  void handle_stall();
+  void recover_round(bool circular_wait);
+  /// Purges in-flight packets that need a dead channel and drains the
+  /// fabric to zero flits in flight (injection already paused).
+  void quiesce();
+  [[nodiscard]] bool route_crosses_dead(NodeId src, NodeId dst);
+  void divert_to_surviving_fabric(RecoveryEvent& ev);
+  void install_or_reject_repair(RecoveryEvent& ev);
+  /// Cancels every pending packet of the pair and records it stranded.
+  void strand_pair(NodeId src, NodeId dst);
+
+  Sim& sim_;
+  RecoveryOptions options_;
+  LinkHealthMonitor monitor_;
+  std::vector<FaultEpisode> pending_;
+  /// (restore_cycle, channel) for transient episodes in flight.
+  std::vector<std::pair<std::uint64_t, ChannelId>> restores_;
+  std::vector<ChannelId> hard_;
+  std::vector<char> dead_mask_;
+  std::vector<RecoveryEvent> events_;
+  std::vector<std::pair<NodeId, NodeId>> stranded_;
+  std::uint32_t rounds_ = 0;
+};
+
+}  // namespace servernet::recovery

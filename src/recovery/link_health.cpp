@@ -1,0 +1,57 @@
+#include "recovery/link_health.hpp"
+
+#include <algorithm>
+
+namespace servernet::recovery {
+
+LinkHealthMonitor::LinkHealthMonitor(std::size_t channel_count, const Config& config)
+    : config_(config), links_(channel_count) {
+  SN_REQUIRE(config.heartbeat_period >= 1, "heartbeat period must be at least one cycle");
+  SN_REQUIRE(config.probe_backoff >= 1, "probe backoff must be at least one cycle");
+  SN_REQUIRE(config.probe_budget >= 1, "need at least one probe before escalating");
+  next_heartbeat_ = config.heartbeat_period;
+}
+
+void LinkHealthMonitor::note_miss(ChannelId c, std::uint64_t now) {
+  SN_REQUIRE(c.index() < links_.size(), "channel id out of range");
+  Link& link = links_[c.index()];
+  if (link.state != LinkState::kHealthy) return;
+  link.state = LinkState::kSuspect;
+  link.probes = 0;
+  link.first_evidence = now;
+  link.next_probe = now + config_.probe_backoff;
+}
+
+std::vector<ChannelId> LinkHealthMonitor::poll(std::uint64_t now,
+                                               const std::function<bool(ChannelId)>& link_down) {
+  if (now >= next_heartbeat_) {
+    for (std::size_t ci = 0; ci < links_.size(); ++ci) {
+      if (links_[ci].state == LinkState::kHealthy && link_down(ChannelId{ci})) {
+        note_miss(ChannelId{ci}, now);
+      }
+    }
+    next_heartbeat_ = now + config_.heartbeat_period;
+  }
+
+  std::vector<ChannelId> newly_hard;
+  for (std::size_t ci = 0; ci < links_.size(); ++ci) {
+    Link& link = links_[ci];
+    if (link.state != LinkState::kSuspect || now < link.next_probe) continue;
+    if (!link_down(ChannelId{ci})) {
+      // Flaky link recovered within its budget: no maintenance action.
+      link.state = LinkState::kHealthy;
+      ++transient_recoveries_;
+      continue;
+    }
+    if (++link.probes >= config_.probe_budget) {
+      link.state = LinkState::kHard;
+      newly_hard.push_back(ChannelId{ci});
+    } else {
+      // Exponential backoff: probe k waits backoff * 2^k.
+      link.next_probe = now + (config_.probe_backoff << link.probes);
+    }
+  }
+  return newly_hard;
+}
+
+}  // namespace servernet::recovery

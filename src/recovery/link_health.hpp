@@ -1,0 +1,89 @@
+// Link-level fault detection: heartbeats, probes, and the transient/hard
+// escalation ladder.
+//
+// §2 rejects timeout-only recovery because "timeouts make it difficult to
+// distinguish between network congestion and hardware-related intermittent
+// failures requiring maintenance actions". ServerNet's answer is link-level
+// health signalling: every cable carries periodic keep-alives and CRC-
+// protected flits, so the maintenance processor hears about a dead or
+// flaky link directly instead of inferring it from stalled traffic. This
+// monitor models that channel:
+//
+//   HEALTHY --miss--> SUSPECT --budget exhausted--> HARD (terminal)
+//      ^                 |
+//      +--probe sees up--+   (counted as a transient recovery)
+//
+// A *miss* is any evidence of link trouble — a missed heartbeat, a CRC
+// error report, or the stall classifier naming the channel. A SUSPECT link
+// is probed with exponential backoff; a probe that finds the link up
+// clears it (flaky link, no action), while `probe_budget` consecutive
+// failed probes escalate it to HARD, the signal the recovery controller
+// acts on. HARD is terminal: dead hardware does not resurrect, it gets
+// repaired around.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace servernet::recovery {
+
+enum class LinkState : std::uint8_t { kHealthy, kSuspect, kHard };
+
+class LinkHealthMonitor {
+ public:
+  struct Config {
+    /// Cycles between heartbeat sweeps (each sweep notices every down
+    /// channel at once — the keep-alive miss).
+    std::uint64_t heartbeat_period = 16;
+    /// Base probe delay after a miss; doubles per failed probe.
+    std::uint64_t probe_backoff = 8;
+    /// Failed probes before a SUSPECT link escalates to HARD. With the
+    /// defaults, escalation takes backoff*(2^budget - 1) = 56 cycles of
+    /// probing after the miss — a transient fault shorter than that never
+    /// reaches the recovery controller.
+    std::uint32_t probe_budget = 3;
+  };
+
+  LinkHealthMonitor(std::size_t channel_count, const Config& config);
+
+  /// Direct evidence of trouble on `c` at cycle `now` (CRC error report,
+  /// stall classifier). HEALTHY links become SUSPECT; SUSPECT and HARD
+  /// links are unchanged (the probe ladder is already running).
+  void note_miss(ChannelId c, std::uint64_t now);
+
+  /// Advances the monitor to cycle `now`: runs the heartbeat sweep when
+  /// due (noting a miss on every channel `link_down` reports down) and
+  /// fires due probes on SUSPECT links. Returns the channels that
+  /// escalated to HARD this call, in ascending id order.
+  [[nodiscard]] std::vector<ChannelId> poll(std::uint64_t now,
+                                            const std::function<bool(ChannelId)>& link_down);
+
+  [[nodiscard]] LinkState state(ChannelId c) const { return links_[c.index()].state; }
+  [[nodiscard]] bool is_hard(ChannelId c) const { return state(c) == LinkState::kHard; }
+  /// Cycle of the first miss recorded on `c` (meaningful for SUSPECT and
+  /// HARD links) — the detection timestamp in recovery latency accounting.
+  [[nodiscard]] std::uint64_t first_evidence_cycle(ChannelId c) const {
+    return links_[c.index()].first_evidence;
+  }
+  /// SUSPECT links a probe found healthy again: flaky links that recovered
+  /// within their retry budget and never reached the controller.
+  [[nodiscard]] std::uint64_t transient_recoveries() const { return transient_recoveries_; }
+
+ private:
+  struct Link {
+    LinkState state = LinkState::kHealthy;
+    std::uint32_t probes = 0;
+    std::uint64_t first_evidence = 0;
+    std::uint64_t next_probe = 0;
+  };
+
+  Config config_;
+  std::vector<Link> links_;
+  std::uint64_t next_heartbeat_ = 0;
+  std::uint64_t transient_recoveries_ = 0;
+};
+
+}  // namespace servernet::recovery

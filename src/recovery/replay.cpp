@@ -1,0 +1,321 @@
+#include "recovery/replay.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+
+#include "route/path.hpp"
+#include "sim/vc_sim.hpp"
+#include "sim/wormhole_sim.hpp"
+
+namespace servernet::recovery {
+
+namespace {
+
+using NodePair = std::pair<NodeId, NodeId>;
+
+/// Simulator sizing for the replay: small packets and a high deadlock
+/// threshold so the controller's stall window (not the sim's own deadlock
+/// declaration) is what reacts first.
+constexpr std::uint32_t kFlitsPerPacket = 4;
+constexpr std::uint32_t kNoProgressThreshold = 100000;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Does the healthy-table route for (src, dst) need one of the channels
+/// this fault kills? (Deterministic prediction; adaptive combos use the
+/// escape table here, which is the right conservative proxy.)
+bool route_needs_dead(const Network& net, const RoutingTable& table, NodeId src, NodeId dst,
+                      const std::vector<char>& dead_mask) {
+  const RouteResult r = trace_route(net, table, src, dst);
+  if (!r.ok()) return true;
+  return std::any_of(r.path.channels.begin(), r.path.channels.end(),
+                     [&](ChannelId c) { return dead_mask[c.index()] != 0; });
+}
+
+struct Waves {
+  std::vector<NodePair> pairs;      // every pair offered in wave 1
+  std::vector<NodePair> affected;   // pairs whose route crosses the fault
+};
+
+Waves plan_waves(const Network& net, const RoutingTable& table,
+                 const std::vector<ChannelId>& dead,
+                 const std::vector<NodePair>& static_stranded) {
+  std::vector<char> dead_mask(net.channel_count(), 0);
+  for (const ChannelId c : dead) dead_mask[c.index()] = 1;
+
+  Waves w;
+  const std::size_t n = net.node_count();
+  // Background ring: one packet per node to its successor keeps every
+  // source busy and exercises unaffected routes across the swap.
+  for (std::size_t i = 0; i < n; ++i) {
+    w.pairs.emplace_back(NodeId{i}, NodeId{(i + 1) % n});
+  }
+  // Up to four pairs that definitely route through the fault: these are
+  // the packets the quiesce must purge and the repair must re-route.
+  for (std::size_t s = 0; s < n && w.affected.size() < 4; ++s) {
+    for (std::size_t d = 0; d < n && w.affected.size() < 4; ++d) {
+      if (s == d) continue;
+      if (route_needs_dead(net, table, NodeId{s}, NodeId{d}, dead_mask)) {
+        w.affected.emplace_back(NodeId{s}, NodeId{d});
+      }
+    }
+  }
+  // A couple of statically-stranded pairs, so the lost-packet accounting
+  // of PARTITIONED faults is actually exercised.
+  for (std::size_t i = 0; i < static_stranded.size() && i < 2; ++i) {
+    w.pairs.push_back(static_stranded[i]);
+  }
+  return w;
+}
+
+void check_agreement(ReplayFaultResult& out, const RecoveryReport& rep, std::size_t offered,
+                     const std::vector<NodePair>& static_stranded, bool inorder_matters) {
+  std::vector<std::string> reasons;
+  const auto require = [&](bool ok, const char* why) {
+    if (!ok) reasons.emplace_back(why);
+  };
+  const auto actions_subset = [&](std::initializer_list<RecoveryAction> allowed) {
+    return std::all_of(rep.events.begin(), rep.events.end(), [&](const RecoveryEvent& e) {
+      return std::find(allowed.begin(), allowed.end(), e.action) != allowed.end();
+    });
+  };
+  const auto has_action = [&](RecoveryAction a) {
+    return std::any_of(rep.events.begin(), rep.events.end(),
+                       [&](const RecoveryEvent& e) { return e.action == a; });
+  };
+
+  const sim::RunResult& run = rep.run;
+  require(run.packets_misdelivered == 0, "misdeliveries");
+  require(run.outcome == sim::RunOutcome::kCompleted, "traffic did not drain");
+  if (inorder_matters) {
+    require(run.out_of_order_deliveries == 0, "out-of-order deliveries across recovery");
+  }
+
+  switch (out.static_verdict) {
+    case verify::FaultVerdict::kSurvives:
+      require(actions_subset({RecoveryAction::kNone}), "recovery acted on a SURVIVES fault");
+      require(rep.stranded.empty() && run.packets_lost == 0, "packets lost on a SURVIVES fault");
+      require(run.packets_delivered == offered, "not every packet delivered");
+      break;
+    case verify::FaultVerdict::kFailover:
+      // Faults on the idle fabric need no diversion, so kNone is legal too.
+      require(actions_subset({RecoveryAction::kNone, RecoveryAction::kFailover}),
+              "action beyond failover on a FAILOVER fault");
+      require(rep.stranded.empty() && run.packets_lost == 0, "pairs stranded despite failover");
+      require(run.packets_delivered == offered, "not every packet delivered");
+      break;
+    case verify::FaultVerdict::kStaleRoute:
+      require(has_action(RecoveryAction::kRepair), "no repair installed for STALE-ROUTE");
+      require(rep.all_repairs_certified(), "uncertified repair installed");
+      require(rep.stranded.empty() && run.packets_lost == 0, "packets lost despite repair");
+      require(run.packets_delivered == offered, "not every packet delivered");
+      break;
+    case verify::FaultVerdict::kDeadlockProne:
+      require(has_action(RecoveryAction::kRepair) || has_action(RecoveryAction::kPartialService),
+              "no repair healed a DEADLOCK-PRONE fault");
+      require(rep.all_repairs_certified(), "uncertified repair installed");
+      require(rep.stranded == static_stranded, "stranded set differs from disconnected_pairs");
+      require(run.packets_delivered + run.packets_lost == offered, "packets unaccounted for");
+      break;
+    case verify::FaultVerdict::kPartitioned:
+      require(has_action(RecoveryAction::kPartialService),
+              "no partial-service recovery on a PARTITIONED fault");
+      require(rep.all_repairs_certified(), "uncertified repair installed");
+      require(rep.stranded == static_stranded, "stranded set differs from disconnected_pairs");
+      require(run.packets_delivered + run.packets_lost == offered, "packets unaccounted for");
+      break;
+  }
+
+  out.agree = reasons.empty();
+  std::string joined;
+  for (const std::string& r : reasons) {
+    if (!joined.empty()) joined += "; ";
+    joined += r;
+  }
+  out.detail = std::move(joined);
+}
+
+template <class Sim>
+void drive(ReplayFaultResult& out, const verify::BuiltFabric& built, Sim& sim,
+           const std::vector<ChannelId>& dead, const std::vector<NodePair>& static_stranded,
+           const RecoverySweepOptions& options) {
+  const Network& net = *built.net;
+
+  RecoveryOptions ropts;
+  ropts.base = verify::verify_options(built);
+  ropts.dual = built.dual.get();
+  RecoveryController<Sim> controller(sim, ropts);
+  controller.schedule_fault({options.fault_cycle, dead, /*restore_after=*/0});
+
+  const Waves waves = plan_waves(net, built.table, dead, static_stranded);
+  for (const NodePair& p : waves.pairs) (void)sim.offer_packet(p.first, p.second);
+  for (const NodePair& p : waves.affected) {
+    (void)sim.offer_packet(p.first, p.second);
+    (void)sim.offer_packet(p.first, p.second);
+  }
+  const RecoveryReport first = controller.run(options.max_cycles);
+
+  // Second wave on the surviving pairs: sequence numbers continue, so any
+  // reordering across the purge/re-offer/swap shows up here.
+  const auto stranded_now = [&](const NodePair& p) {
+    return std::binary_search(first.stranded.begin(), first.stranded.end(), p);
+  };
+  for (const NodePair& p : waves.pairs) {
+    if (!stranded_now(p)) (void)sim.offer_packet(p.first, p.second);
+  }
+  for (const NodePair& p : waves.affected) {
+    if (!stranded_now(p)) (void)sim.offer_packet(p.first, p.second);
+  }
+  const RecoveryReport rep = controller.run(options.max_cycles);
+
+  out.runtime_action = rep.final_action();
+  out.drain_cycles = first.run.cycles + rep.run.cycles;
+  out.packets_offered = sim.packets_offered();
+  out.packets_delivered = rep.run.packets_delivered;
+  out.packets_purged = rep.run.packets_purged;
+  out.packets_retried = rep.run.packets_retried;
+  out.packets_lost = rep.run.packets_lost;
+  out.packets_misdelivered = rep.run.packets_misdelivered;
+  out.out_of_order = rep.run.out_of_order_deliveries;
+  out.stranded_runtime = rep.stranded.size();
+  if (!rep.events.empty()) {
+    const RecoveryEvent& ev = rep.events.front();
+    out.detect_latency = ev.detected_cycle - options.fault_cycle;
+    for (const RecoveryEvent& e : rep.events) {
+      if (e.action != RecoveryAction::kNone) {
+        out.recover_latency = e.installed_cycle - e.escalated_cycle;
+        break;
+      }
+    }
+  }
+
+  // Adaptive combos forfeit the single-path in-order premise (§3.3).
+  const bool inorder_matters = built.multipath == nullptr;
+  check_agreement(out, rep, sim.packets_offered(), static_stranded, inorder_matters);
+}
+
+ReplayFaultResult replay_one(const verify::BuiltFabric& built, const Fault& fault,
+                             const RecoverySweepOptions& options) {
+  const Network& net = *built.net;
+
+  ReplayFaultResult out;
+  out.fault = fault;
+  out.description = describe(net, fault);
+
+  verify::FaultSpaceOptions fopts;
+  fopts.base = verify::verify_options(built);
+  fopts.dual = built.dual.get();
+  const verify::FaultOutcome sv = verify::classify_fault(net, built.table, fault, fopts);
+  out.static_verdict = sv.verdict;
+
+  const std::vector<ChannelId> dead = fault_channels(net, fault);
+  std::vector<NodePair> static_stranded;
+  if (sv.verdict == verify::FaultVerdict::kPartitioned ||
+      sv.verdict == verify::FaultVerdict::kDeadlockProne) {
+    static_stranded = verify::disconnected_pairs(apply_fault(net, fault).net);
+    std::sort(static_stranded.begin(), static_stranded.end());
+  }
+  out.stranded_static = static_stranded.size();
+
+  if (built.selector != nullptr) {
+    sim::VcSimConfig cfg;
+    cfg.vcs_per_channel = built.vcs_per_channel;
+    cfg.flits_per_packet = kFlitsPerPacket;
+    cfg.no_progress_threshold = kNoProgressThreshold;
+    sim::VcWormholeSim sim(net, built.table, *built.selector, cfg);
+    drive(out, built, sim, dead, static_stranded, options);
+  } else {
+    sim::SimConfig cfg;
+    cfg.flits_per_packet = kFlitsPerPacket;
+    cfg.no_progress_threshold = kNoProgressThreshold;
+    sim::WormholeSim sim(net, built.table, cfg);
+    if (built.multipath != nullptr) sim.route_adaptively(*built.multipath);
+    drive(out, built, sim, dead, static_stranded, options);
+  }
+  return out;
+}
+
+}  // namespace
+
+RecoverySweepReport replay_combo_recovery(const verify::RegistryCombo& combo,
+                                          const RecoverySweepOptions& options) {
+  SN_REQUIRE(combo.fault_sweep,
+             "combo '" + combo.name + "' is excluded from fault sweeps (fault_sweep = false)");
+  const verify::BuiltFabric built = combo.build();
+  const Network& net = *built.net;
+
+  RecoverySweepReport report;
+  report.fabric = combo.name;
+
+  std::vector<Fault> faults = enumerate_link_faults(net);
+  if (options.limit > 0 && faults.size() > options.limit) faults.resize(options.limit);
+  if (options.include_router_faults) {
+    std::vector<Fault> routers = enumerate_router_faults(net);
+    if (options.limit > 0 && routers.size() > options.limit) routers.resize(options.limit);
+    faults.insert(faults.end(), routers.begin(), routers.end());
+  }
+
+  for (const Fault& fault : faults) {
+    report.results.push_back(replay_one(built, fault, options));
+    ++report.faults;
+    if (report.results.back().agree) ++report.agreements;
+  }
+  return report;
+}
+
+void RecoverySweepReport::write_text(std::ostream& os) const {
+  os << "recovery replay: " << fabric << " — " << agreements << "/" << faults
+     << " faults agree with the static certifier\n";
+  for (const ReplayFaultResult& r : results) {
+    os << "  " << (r.agree ? "AGREE   " : "DISAGREE") << "  " << r.description << ": static "
+       << verify::to_string(r.static_verdict) << ", runtime " << to_string(r.runtime_action)
+       << " (detect " << r.detect_latency << "cy, recover " << r.recover_latency << "cy, "
+       << r.packets_delivered << "/" << r.packets_offered << " delivered, " << r.packets_purged
+       << " purged, " << r.packets_lost << " lost)";
+    if (!r.detail.empty()) os << " — " << r.detail;
+    os << '\n';
+  }
+}
+
+void RecoverySweepReport::write_json(std::ostream& os) const {
+  os << "{\n  \"fabric\": \"" << json_escape(fabric) << "\",\n  \"faults\": " << faults
+     << ",\n  \"agreements\": " << agreements
+     << ",\n  \"all_agree\": " << (all_agree() ? "true" : "false") << ",\n  \"results\": [";
+  bool first = true;
+  for (const ReplayFaultResult& r : results) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"fault\": \"" << json_escape(r.description) << "\", \"static\": \""
+       << verify::to_string(r.static_verdict) << "\", \"runtime\": \""
+       << to_string(r.runtime_action) << "\", \"agree\": " << (r.agree ? "true" : "false")
+       << ", \"detect_latency\": " << r.detect_latency
+       << ", \"recover_latency\": " << r.recover_latency
+       << ", \"drain_cycles\": " << r.drain_cycles << ", \"offered\": " << r.packets_offered
+       << ", \"delivered\": " << r.packets_delivered << ", \"purged\": " << r.packets_purged
+       << ", \"retried\": " << r.packets_retried << ", \"lost\": " << r.packets_lost
+       << ", \"misdelivered\": " << r.packets_misdelivered
+       << ", \"out_of_order\": " << r.out_of_order
+       << ", \"stranded_static\": " << r.stranded_static
+       << ", \"stranded_runtime\": " << r.stranded_runtime << ", \"detail\": \""
+       << json_escape(r.detail) << "\"}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace servernet::recovery

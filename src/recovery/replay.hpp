@@ -1,0 +1,91 @@
+// Static-vs-runtime cross-validation of the fault certifier.
+//
+// The fault certifier (verify/faults) promises what a degraded fabric will
+// do; the RecoveryController is the machinery that has to make it true.
+// This module replays every enumerated single fault of a registry combo
+// through a live simulator under the controller and checks that the two
+// worlds agree:
+//
+//   SURVIVES        no recovery action taken, every packet delivered
+//   FAILOVER        only failover actions, nobody stranded, all delivered
+//   STALE-ROUTE     a repair was installed, certified before install,
+//                   all delivered
+//   DEADLOCK-PRONE  a certified repair (possibly partial) healed it
+//   PARTITIONED     partial service: the runtime's stranded-pair set
+//                   matches disconnected_pairs() exactly; stranded traffic
+//                   is lost, everything else delivered
+//
+// In every case: zero misdeliveries, and — for deterministic combos —
+// zero out-of-order deliveries across the purge/re-offer/swap (adaptive
+// combos forfeit the in-order guarantee, §3.3). A disagreement anywhere
+// means one of the two sides is lying; tests/test_recovery.cpp fails on it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "recovery/controller.hpp"
+#include "topo/fault.hpp"
+#include "verify/faults.hpp"
+#include "verify/registry.hpp"
+
+namespace servernet::recovery {
+
+/// One fault replayed through the runtime, with the verdict comparison.
+struct ReplayFaultResult {
+  Fault fault;
+  std::string description;
+  verify::FaultVerdict static_verdict = verify::FaultVerdict::kSurvives;
+  RecoveryAction runtime_action = RecoveryAction::kNone;
+  bool agree = false;
+  /// First disagreement reason (empty when agree).
+  std::string detail;
+
+  /// Fault onset -> first monitor evidence.
+  std::uint64_t detect_latency = 0;
+  /// Escalation -> table installed / pairs diverted (the repair window).
+  std::uint64_t recover_latency = 0;
+  /// Total simulated cycles across both traffic waves.
+  std::uint64_t drain_cycles = 0;
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_purged = 0;
+  std::uint64_t packets_retried = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t packets_misdelivered = 0;
+  std::uint64_t out_of_order = 0;
+  std::size_t stranded_static = 0;
+  std::size_t stranded_runtime = 0;
+};
+
+struct RecoverySweepOptions {
+  bool include_router_faults = true;
+  /// Cycle the fault strikes (traffic is already in flight).
+  std::uint64_t fault_cycle = 12;
+  /// Per-wave cycle budget for the controller run.
+  std::uint64_t max_cycles = 30000;
+  /// Cap on replayed faults per class (0 = the whole space).
+  std::size_t limit = 0;
+};
+
+struct RecoverySweepReport {
+  std::string fabric;
+  std::size_t faults = 0;
+  std::size_t agreements = 0;
+  std::vector<ReplayFaultResult> results;
+
+  [[nodiscard]] bool all_agree() const { return agreements == faults; }
+  void write_text(std::ostream& os) const;
+  /// Stable JSON (schema in docs/VERIFICATION.md), for the CI artifact.
+  void write_json(std::ostream& os) const;
+};
+
+/// Replays the combo's single-fault space (links, and routers unless
+/// disabled) through a fresh simulator + controller per fault. Requires
+/// combo.fault_sweep.
+[[nodiscard]] RecoverySweepReport replay_combo_recovery(
+    const verify::RegistryCombo& combo, const RecoverySweepOptions& options = {});
+
+}  // namespace servernet::recovery

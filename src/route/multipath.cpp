@@ -97,6 +97,20 @@ MultipathTable west_first_routes(const Mesh2D& mesh) {
   return adaptive_mesh_impl(mesh, /*west_first=*/true);
 }
 
+MultipathTable prune_to_network(const MultipathTable& mp, const Network& net) {
+  SN_REQUIRE(mp.router_count() == net.router_count() && mp.node_count() == net.node_count(),
+             "multipath table dimensions do not match the network");
+  MultipathTable pruned(mp.router_count(), mp.node_count());
+  for (std::size_t r = 0; r < mp.router_count(); ++r) {
+    for (std::size_t d = 0; d < mp.node_count(); ++d) {
+      for (const PortIndex p : mp.choices(RouterId{r}, NodeId{d})) {
+        if (net.router_out(RouterId{r}, p).valid()) pruned.add_choice(RouterId{r}, NodeId{d}, p);
+      }
+    }
+  }
+  return pruned;
+}
+
 MultipathTable strip_escape(const MultipathTable& mp, const RoutingTable& escape) {
   SN_REQUIRE(mp.router_count() == escape.router_count() &&
                  mp.node_count() == escape.node_count(),

@@ -73,4 +73,11 @@ class MultipathTable {
 /// subnetwork — the no-escape-channel indictment.
 [[nodiscard]] MultipathTable strip_escape(const MultipathTable& mp, const RoutingTable& escape);
 
+/// Projects a choice table onto a (degraded) fabric with the same router
+/// and port numbering: ports whose output channel is unwired in `net` are
+/// dropped from every choice set. Used to re-certify an adaptive combo's
+/// fault scenarios — the surviving choice sets are exactly what the
+/// hardware can still exercise.
+[[nodiscard]] MultipathTable prune_to_network(const MultipathTable& mp, const Network& net);
+
 }  // namespace servernet

@@ -59,4 +59,12 @@ RepairRoute synthesize_updown_repair(const Network& net) {
   return repair;
 }
 
+DegradedRepair synthesize_repair(const Network& healthy,
+                                 const std::vector<ChannelId>& dead_channels) {
+  DegradedRepair out;
+  out.degraded = apply_channel_faults(healthy, dead_channels);
+  out.route = synthesize_updown_repair(out.degraded.net);
+  return out;
+}
+
 }  // namespace servernet

@@ -17,8 +17,11 @@
 // scratch by the caller (src/verify/faults) — synthesis is never trusted.
 #pragma once
 
+#include <vector>
+
 #include "route/routing_table.hpp"
 #include "route/updown.hpp"
+#include "topo/fault.hpp"
 #include "topo/network.hpp"
 
 namespace servernet {
@@ -39,5 +42,19 @@ struct RepairRoute {
 /// no legal path from a router simply get no entry there — the caller's
 /// verification decides whether that is acceptable.
 [[nodiscard]] RepairRoute synthesize_updown_repair(const Network& net);
+
+/// End-to-end repair for a healthy fabric minus `dead_channels` (healthy
+/// ids; duplex partners removed with them): materializes the degraded
+/// fabric and synthesizes the up*/down* reroute on it. Because apply_*
+/// preserves router ids, node ids and port numbers, `route.table` indexes
+/// the *healthy* fabric too — a recovery controller can hot-swap it into a
+/// simulator that keeps running on the healthy Network with the dead
+/// channels merely disabled.
+struct DegradedRepair {
+  DegradedNetwork degraded;
+  RepairRoute route;
+};
+[[nodiscard]] DegradedRepair synthesize_repair(const Network& healthy,
+                                               const std::vector<ChannelId>& dead_channels);
 
 }  // namespace servernet

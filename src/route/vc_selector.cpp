@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "topo/fault.hpp"
 #include "topo/mesh.hpp"
 #include "topo/ring.hpp"
 #include "topo/torus.hpp"
@@ -22,6 +23,18 @@ std::uint32_t DatelineVc::next_vc(std::uint32_t current, ChannelId /*from*/,
   const bool crossing = to.index() < is_dateline_.size() && is_dateline_[to.index()] != 0;
   if (!crossing) return current;
   return std::min(current + 1, vc_count_ - 1);
+}
+
+std::unique_ptr<VcSelector> DatelineVc::remap(
+    const std::vector<std::uint32_t>& channel_map) const {
+  std::vector<ChannelId> datelines;
+  for (std::size_t ci = 0; ci < is_dateline_.size(); ++ci) {
+    if (is_dateline_[ci] == 0) continue;
+    SN_REQUIRE(ci < channel_map.size(), "channel map does not cover the dateline set");
+    if (channel_map[ci] == kRemovedChannel) continue;  // dead dateline: unreachable anyway
+    datelines.push_back(ChannelId{channel_map[ci]});
+  }
+  return std::make_unique<DatelineVc>(std::move(datelines), vc_count_);
 }
 
 std::vector<ChannelId> ring_datelines(const Ring& ring) {

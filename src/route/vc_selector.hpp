@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "topo/network.hpp"
@@ -38,6 +39,16 @@ class VcSelector {
   /// VC on channel `to`, arriving from channel `from` on `current`.
   [[nodiscard]] virtual std::uint32_t next_vc(std::uint32_t current, ChannelId from,
                                               ChannelId to) const = 0;
+  /// Rebinds the selector to a degraded fabric's channel-id space.
+  /// `channel_map` maps healthy ids to degraded ids (kRemovedChannel from
+  /// topo/fault.hpp marks dead channels). Returns nullptr if the policy
+  /// cannot be remapped — callers must then treat the fault as
+  /// unverifiable rather than certify with misaligned channel ids.
+  [[nodiscard]] virtual std::unique_ptr<VcSelector> remap(
+      const std::vector<std::uint32_t>& channel_map) const {
+    (void)channel_map;
+    return nullptr;
+  }
 };
 
 /// Everything stays on VC 0 — degenerates to the plain wormhole router.
@@ -47,6 +58,10 @@ class SingleVc final : public VcSelector {
   [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId,
                                       ChannelId) const override {
     return current;
+  }
+  [[nodiscard]] std::unique_ptr<VcSelector> remap(
+      const std::vector<std::uint32_t>&) const override {
+    return std::make_unique<SingleVc>();
   }
 };
 
@@ -59,6 +74,11 @@ class DatelineVc final : public VcSelector {
   [[nodiscard]] std::uint32_t initial_vc(NodeId, NodeId) const override { return 0; }
   [[nodiscard]] std::uint32_t next_vc(std::uint32_t current, ChannelId from,
                                       ChannelId to) const override;
+  /// Datelines translate id-by-id; a dateline on a removed channel simply
+  /// drops (no surviving packet can cross it). The degraded selector keeps
+  /// the same vc_count, so the extended CDG stays comparable.
+  [[nodiscard]] std::unique_ptr<VcSelector> remap(
+      const std::vector<std::uint32_t>& channel_map) const override;
 
  private:
   std::vector<char> is_dateline_;

@@ -32,8 +32,17 @@ struct PacketRecord {
   std::uint64_t delivered_cycle = 0;  // tail flit absorbed by the destination
   bool injected = false;
   bool delivered = false;
+  /// Tail absorbed by the *wrong* node (corrupted or mid-swap-stale
+  /// table); terminal like delivered/lost — the packet is accounted for.
+  bool misdelivered = false;
+  /// Cancelled by the recovery controller (stranded pair on a partitioned
+  /// fabric); counts as lost, never as delivered.
+  bool lost = false;
   /// Per (src,dst) stream sequence number, for in-order delivery checks.
   std::uint64_t sequence = 0;
+  /// Times this packet was purged-and-resent by the timeout-retry scheme
+  /// (§2's rejected recovery); bounded by the sim's retry budget.
+  std::uint32_t retries = 0;
 };
 
 }  // namespace servernet::sim

@@ -21,6 +21,9 @@ class SimMetrics {
   }
   void on_wire_busy(std::size_t channel_index) { ++busy_cycles_[channel_index]; }
   void on_out_of_order_delivery() { ++out_of_order_; }
+  void on_packet_retried() { ++retried_; }
+  void on_packet_purged() { ++purged_; }
+  void on_misdelivery() { ++misdelivered_; }
 
   /// Packet latency, offer-to-tail-delivery, in cycles.
   [[nodiscard]] const SampleSet& latency() const { return latency_; }
@@ -40,11 +43,19 @@ class SimMetrics {
   [[nodiscard]] const std::vector<std::uint64_t>& busy_cycles() const { return busy_cycles_; }
   /// ServerNet requires zero (checked in the tests).
   [[nodiscard]] std::uint64_t out_of_order_deliveries() const { return out_of_order_; }
+  /// §2 timeout-retry purges (order-breaking resends).
+  [[nodiscard]] std::uint64_t packets_retried() const { return retried_; }
+  /// Recovery-controller quiesce purges (order-preserving re-offers).
+  [[nodiscard]] std::uint64_t packets_purged() const { return purged_; }
+  [[nodiscard]] std::uint64_t misdeliveries() const { return misdelivered_; }
 
  private:
   SampleSet latency_;
   std::uint64_t flits_delivered_ = 0;
   std::uint64_t out_of_order_ = 0;
+  std::uint64_t retried_ = 0;
+  std::uint64_t purged_ = 0;
+  std::uint64_t misdelivered_ = 0;
   std::vector<std::uint64_t> busy_cycles_;
 };
 

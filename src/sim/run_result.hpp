@@ -10,6 +10,18 @@ enum class RunOutcome : std::uint8_t { kCompleted, kDeadlocked, kCycleLimit };
 struct RunResult {
   RunOutcome outcome = RunOutcome::kCompleted;
   std::uint64_t cycles = 0;
+  // Packet accounting at the end of the run, so recovery outcomes are
+  // assertable from tests and JSON reports without poking sim getters.
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_misdelivered = 0;
+  /// Purged by §2's timeout-retry scheme and re-sent (order NOT preserved).
+  std::uint64_t packets_retried = 0;
+  /// Purged by the recovery controller's quiesce and re-offered in
+  /// sequence order (order preserved).
+  std::uint64_t packets_purged = 0;
+  /// Cancelled outright (stranded pairs on a partitioned fabric).
+  std::uint64_t packets_lost = 0;
+  std::uint64_t out_of_order_deliveries = 0;
 };
 
 }  // namespace servernet::sim

@@ -21,8 +21,37 @@ VcWormholeSim::VcWormholeSim(const Network& net, RoutingTable table, const VcSel
   owner_.assign(slots, kNoPacket);
   granted_out_.assign(slots, ChannelId::invalid());
   granted_vc_.assign(slots, 0);
+  failed_.assign(channels, 0);
   senders_.resize(net.node_count());
+  next_sequence_to_offer_.assign(net.node_count() * net.node_count(), 0);
+  next_sequence_to_deliver_.assign(net.node_count() * net.node_count(), 0);
   metrics_.on_init(channels);
+}
+
+void VcWormholeSim::fail_channel(ChannelId c) {
+  SN_REQUIRE(c.index() < net_.channel_count(), "channel id out of range");
+  failed_[c.index()] = 1;
+}
+
+bool VcWormholeSim::channel_failed(ChannelId c) const {
+  SN_REQUIRE(c.index() < net_.channel_count(), "channel id out of range");
+  return failed_[c.index()] != 0;
+}
+
+void VcWormholeSim::restore_channel(ChannelId c) {
+  SN_REQUIRE(c.index() < net_.channel_count(), "channel id out of range");
+  failed_[c.index()] = 0;
+}
+
+void VcWormholeSim::pause_injection() { injection_paused_ = true; }
+
+void VcWormholeSim::resume_injection() { injection_paused_ = false; }
+
+void VcWormholeSim::swap_table(RoutingTable table) {
+  SN_REQUIRE(table.router_count() == net_.router_count() &&
+                 table.node_count() == net_.node_count(),
+             "replacement routing table dimensions do not match the network");
+  table_ = std::move(table);
 }
 
 PacketId VcWormholeSim::offer_packet(NodeId src, NodeId dst) {
@@ -35,6 +64,7 @@ PacketId VcWormholeSim::offer_packet(NodeId src, NodeId dst) {
   rec.dst = dst;
   rec.flits = config_.flits_per_packet;
   rec.offered_cycle = cycle_;
+  rec.sequence = next_sequence_to_offer_[src.index() * net_.node_count() + dst.index()]++;
   packets_.push_back(rec);
   senders_[src.index()].queue.push_back(id);
   return id;
@@ -64,12 +94,28 @@ void VcWormholeSim::deliver_wires() {
       fifo_[slot(ChannelId{ci}, vf.vc)].push_back(vf.flit);
     } else {
       PacketRecord& rec = packets_[vf.flit.packet];
-      SN_REQUIRE(dst.node_id() == rec.dst, "flit delivered to wrong node");
       if (vf.flit.is_tail) {
-        rec.delivered = true;
-        rec.delivered_cycle = cycle_;
-        ++delivered_count_;
-        metrics_.on_packet_delivered(rec.offered_cycle, cycle_, rec.flits);
+        if (dst.node_id() == rec.dst) {
+          rec.delivered = true;
+          rec.delivered_cycle = cycle_;
+          ++delivered_count_;
+          metrics_.on_packet_delivered(rec.offered_cycle, cycle_, rec.flits);
+          const std::size_t stream = rec.src.index() * net_.node_count() + rec.dst.index();
+          if (rec.sequence != next_sequence_to_deliver_[stream]) {
+            metrics_.on_out_of_order_delivery();
+            // Resynchronize past the gap so a single reorder is counted once.
+            next_sequence_to_deliver_[stream] = rec.sequence + 1;
+          } else {
+            ++next_sequence_to_deliver_[stream];
+          }
+        } else {
+          // Only a corrupted or mid-swap-stale table can steer a packet to
+          // the wrong node; count it rather than crash.
+          rec.misdelivered = true;
+          rec.delivered_cycle = cycle_;
+          ++misdelivered_count_;
+          metrics_.on_misdelivery();
+        }
       }
     }
     vf = VcFlit{};
@@ -115,6 +161,7 @@ void VcWormholeSim::traverse_crossbars() {
       const std::uint32_t out_vc = granted_vc_[in_slot];
       const Flit flit = q.front();
       SN_ASSERT(owner_[slot(out, out_vc)] == flit.packet);
+      if (failed_[out.index()] != 0) continue;  // dead wire: the worm stalls in place
       if (wire_[out.index()].flit.valid() || !downstream_has_space(out, out_vc)) continue;
       q.pop_front();
       place_on_wire(out, VcFlit{flit, out_vc});
@@ -130,7 +177,7 @@ void VcWormholeSim::inject_from_nodes() {
   for (std::size_t ni = 0; ni < senders_.size(); ++ni) {
     NodeSendState& state = senders_[ni];
     if (state.current == kNoPacket) {
-      if (state.queue.empty()) continue;
+      if (injection_paused_ || state.queue.empty()) continue;
       state.current = state.queue.front();
       state.queue.pop_front();
       state.flits_sent = 0;
@@ -139,6 +186,7 @@ void VcWormholeSim::inject_from_nodes() {
     }
     const ChannelId out = net_.node_out(NodeId{ni}, 0);
     SN_REQUIRE(out.valid(), "sending node has no wired port");
+    if (failed_[out.index()] != 0) continue;  // dead injection link: source freezes
     if (wire_[out.index()].flit.valid() || !downstream_has_space(out, state.vc)) continue;
     PacketRecord& rec = packets_[state.current];
     Flit flit;
@@ -187,25 +235,83 @@ const PacketRecord& VcWormholeSim::packet(PacketId id) const {
   return packets_[id];
 }
 
-RunResult VcWormholeSim::run_until_drained(std::uint64_t max_cycles) {
-  RunResult result;
-  const std::uint64_t start = cycle_;
-  while (delivered_count_ < packets_.size()) {
-    if (cycle_ - start >= max_cycles) {
-      result.outcome = RunOutcome::kCycleLimit;
-      result.cycles = cycle_ - start;
-      return result;
-    }
-    step();
-    if (deadlocked_) {
-      result.outcome = RunOutcome::kDeadlocked;
-      result.cycles = cycle_ - start;
-      return result;
+void VcWormholeSim::purge_flits(PacketId victim) {
+  // Release grants whose active run belongs to the victim.
+  for (std::size_t in_slot = 0; in_slot < granted_out_.size(); ++in_slot) {
+    const ChannelId out = granted_out_[in_slot];
+    if (out.valid() && owner_[slot(out, granted_vc_[in_slot])] == victim) {
+      granted_out_[in_slot] = ChannelId::invalid();
     }
   }
-  result.outcome = RunOutcome::kCompleted;
+  for (PacketId& o : owner_) {
+    if (o == victim) o = kNoPacket;
+  }
+  // Drop the victim's flits from every VC buffer and physical wire.
+  for (auto& q : fifo_) {
+    std::erase_if(q, [&](const Flit& f) { return f.packet == victim; });
+  }
+  for (VcFlit& w : wire_) {
+    if (w.flit.valid() && w.flit.packet == victim) w = VcFlit{};
+  }
+  // Abort any in-progress injection.
+  PacketRecord& rec = packets_[victim];
+  NodeSendState& sender = senders_[rec.src.index()];
+  if (sender.current == victim) sender.current = kNoPacket;
+  rec.injected = false;
+  progress_this_cycle_ = true;  // the purge itself is forward progress
+}
+
+void VcWormholeSim::purge_and_reoffer(PacketId victim) {
+  SN_REQUIRE(victim < packets_.size(), "packet id out of range");
+  PacketRecord& rec = packets_[victim];
+  SN_REQUIRE(!rec.delivered && !rec.lost, "cannot purge a delivered or lost packet");
+  NodeSendState& sender = senders_[rec.src.index()];
+  if (!rec.injected && sender.current != victim) return;  // still queued — nothing in flight
+  purge_flits(victim);
+  // Re-insert before the first queued packet of the same stream with a
+  // higher sequence number: per-(src,dst) order survives the purge.
+  auto& q = sender.queue;
+  auto it = q.begin();
+  for (; it != q.end(); ++it) {
+    const PacketRecord& other = packets_[*it];
+    if (other.dst == rec.dst && other.sequence > rec.sequence) break;
+  }
+  q.insert(it, victim);
+  ++purged_count_;
+  metrics_.on_packet_purged();
+}
+
+void VcWormholeSim::cancel_packet(PacketId victim) {
+  SN_REQUIRE(victim < packets_.size(), "packet id out of range");
+  PacketRecord& rec = packets_[victim];
+  if (rec.delivered || rec.lost) return;
+  purge_flits(victim);
+  auto& q = senders_[rec.src.index()].queue;
+  std::erase(q, victim);
+  rec.lost = true;
+  ++lost_count_;
+}
+
+RunResult VcWormholeSim::finalize(RunOutcome outcome, std::uint64_t start) const {
+  RunResult result;
+  result.outcome = outcome;
   result.cycles = cycle_ - start;
+  result.packets_delivered = delivered_count_;
+  result.packets_misdelivered = misdelivered_count_;
+  result.packets_purged = purged_count_;
+  result.packets_lost = lost_count_;
+  result.out_of_order_deliveries = metrics_.out_of_order_deliveries();
   return result;
+}
+
+RunResult VcWormholeSim::run_until_drained(std::uint64_t max_cycles) {
+  const std::uint64_t start = cycle_;
+  while (delivered_count_ + misdelivered_count_ + lost_count_ < packets_.size()) {
+    if (cycle_ - start >= max_cycles) return finalize(RunOutcome::kCycleLimit, start);
+    step();
+    if (deadlocked_) return finalize(RunOutcome::kDeadlocked, start);
+  }
+  return finalize(RunOutcome::kCompleted, start);
 }
 
 std::size_t VcWormholeSim::total_buffer_flits() const {

@@ -59,10 +59,42 @@ class VcWormholeSim {
   void step();
   RunResult run_until_drained(std::uint64_t max_cycles);
 
+  // ---- fault + recovery surface (mirrors WormholeSim) -----------------------
+
+  /// Hardware fault injection: the channel stops transmitting from now on
+  /// (flits already on the wire still arrive).
+  void fail_channel(ChannelId c);
+  [[nodiscard]] bool channel_failed(ChannelId c) const;
+  /// Clears a fault (transient "flaky link" recovering before escalation).
+  void restore_channel(ChannelId c);
+
+  /// Stops *starting* queued packets; a packet mid-injection keeps
+  /// streaming. Used by the recovery quiesce phase.
+  void pause_injection();
+  void resume_injection();
+  [[nodiscard]] bool injection_paused() const { return injection_paused_; }
+
+  /// Atomically replaces the routing table; quiesce first (zero flits in
+  /// flight) to avoid reconfiguration ghost dependencies. The active
+  /// VcSelector is unchanged — sound because a repair table certified
+  /// acyclic on the physical CDG cannot form an extended-CDG cycle.
+  void swap_table(RoutingTable table);
+  [[nodiscard]] const RoutingTable& table() const { return table_; }
+
+  /// Order-preserving purge: removes the packet's flits everywhere and
+  /// re-inserts it into its source queue before any queued same-stream
+  /// packet with a higher sequence number.
+  void purge_and_reoffer(PacketId victim);
+  /// Cancels a packet outright (stranded pair on a partitioned fabric).
+  void cancel_packet(PacketId victim);
+  [[nodiscard]] std::size_t packets_purged() const { return purged_count_; }
+  [[nodiscard]] std::size_t packets_lost() const { return lost_count_; }
+
   [[nodiscard]] std::uint64_t now() const { return cycle_; }
   [[nodiscard]] bool deadlocked() const { return deadlocked_; }
   [[nodiscard]] std::size_t packets_offered() const { return packets_.size(); }
   [[nodiscard]] std::size_t packets_delivered() const { return delivered_count_; }
+  [[nodiscard]] std::size_t packets_misdelivered() const { return misdelivered_count_; }
   [[nodiscard]] std::size_t flits_in_flight() const;
   [[nodiscard]] const PacketRecord& packet(PacketId id) const;
   [[nodiscard]] const SimMetrics& metrics() const { return metrics_; }
@@ -93,6 +125,10 @@ class VcWormholeSim {
   void allocate_outputs();
   void traverse_crossbars();
   void inject_from_nodes();
+  /// Removes the victim's flits from grants, owners, FIFOs, wires and any
+  /// in-progress injection (shared by the re-offer/cancel paths).
+  void purge_flits(PacketId victim);
+  [[nodiscard]] RunResult finalize(RunOutcome outcome, std::uint64_t start) const;
 
   const Network& net_;
   RoutingTable table_;
@@ -103,9 +139,13 @@ class VcWormholeSim {
   bool progress_this_cycle_ = false;
   std::uint64_t cycles_without_progress_ = 0;
   bool deadlocked_ = false;
+  bool injection_paused_ = false;
 
   std::vector<PacketRecord> packets_;
   std::size_t delivered_count_ = 0;
+  std::size_t misdelivered_count_ = 0;
+  std::size_t purged_count_ = 0;
+  std::size_t lost_count_ = 0;
 
   // Physical wire per channel; FIFOs, ownership and grants per (channel, vc).
   std::vector<VcFlit> wire_;
@@ -113,7 +153,11 @@ class VcWormholeSim {
   std::vector<PacketId> owner_;             // [slot] of the *output* side
   std::vector<ChannelId> granted_out_;      // [slot] of the input side
   std::vector<std::uint32_t> granted_vc_;   // [slot]
+  std::vector<char> failed_;                // [channel]
   std::vector<NodeSendState> senders_;
+  // In-order delivery checking: next expected sequence per (src,dst).
+  std::vector<std::uint64_t> next_sequence_to_offer_;
+  std::vector<std::uint64_t> next_sequence_to_deliver_;
 
   SimMetrics metrics_;
 };

@@ -53,6 +53,37 @@ bool WormholeSim::channel_failed(ChannelId c) const {
   return failed_[c.index()] != 0;
 }
 
+void WormholeSim::restore_channel(ChannelId c) {
+  SN_REQUIRE(c.index() < failed_.size(), "channel id out of range");
+  failed_[c.index()] = 0;
+}
+
+void WormholeSim::pause_injection() { injection_paused_ = true; }
+
+void WormholeSim::resume_injection() { injection_paused_ = false; }
+
+void WormholeSim::swap_table(RoutingTable table) {
+  SN_REQUIRE(table.router_count() == net_.router_count() &&
+                 table.node_count() == net_.node_count(),
+             "replacement routing table dimensions do not match the network");
+  table_ = std::move(table);
+}
+
+void WormholeSim::set_injection_port(NodeId src, NodeId dst, PortIndex port) {
+  SN_REQUIRE(src.index() < net_.node_count() && dst.index() < net_.node_count(),
+             "injection-port override endpoints out of range");
+  SN_REQUIRE(net_.node_out(src, port).valid(), "injection port is not wired on this node");
+  if (injection_port_.empty()) injection_port_.assign(net_.node_count() * net_.node_count(), 0);
+  injection_port_[src.index() * net_.node_count() + dst.index()] = port;
+}
+
+PortIndex WormholeSim::injection_port(NodeId src, NodeId dst) const {
+  SN_REQUIRE(src.index() < net_.node_count() && dst.index() < net_.node_count(),
+             "injection-port lookup endpoints out of range");
+  if (injection_port_.empty()) return 0;
+  return injection_port_[src.index() * net_.node_count() + dst.index()];
+}
+
 void WormholeSim::enforce_turns(TurnMask mask) {
   SN_REQUIRE(mask.router_count() == net_.router_count(), "turn mask/network mismatch");
   SN_REQUIRE(!multipath_, "turn enforcement and adaptive routing are mutually exclusive");
@@ -67,9 +98,10 @@ void WormholeSim::route_adaptively(MultipathTable multipath) {
   multipath_ = std::move(multipath);
 }
 
-void WormholeSim::enable_timeout_retry(std::uint32_t timeout) {
+void WormholeSim::enable_timeout_retry(std::uint32_t timeout, std::uint32_t max_retries) {
   SN_REQUIRE(timeout >= 1, "retry timeout must be positive");
   retry_timeout_ = timeout;
+  max_retries_ = max_retries;
 }
 
 Flit WormholeSim::fifo_head(ChannelId c) const {
@@ -120,7 +152,7 @@ std::vector<ChannelId> WormholeSim::blocked_injection_channels() const {
   std::vector<ChannelId> blocked;
   for (std::size_t ni = 0; ni < senders_.size(); ++ni) {
     if (senders_[ni].current == kNoPacket) continue;
-    const ChannelId out = net_.node_out(NodeId{ni}, 0);
+    const ChannelId out = net_.node_out(NodeId{ni}, senders_[ni].port);
     if (out.valid() && failed_[out.index()]) blocked.push_back(out);
   }
   return blocked;
@@ -166,7 +198,9 @@ void WormholeSim::deliver_wires() {
         } else {
           // Only a corrupted routing table can steer a packet to the wrong
           // node; count it (never crash — corruption drills rely on this).
+          rec.misdelivered = true;
           ++misdelivered_count_;
+          metrics_.on_misdelivery();
         }
       }
     }
@@ -244,15 +278,19 @@ void WormholeSim::update_stall_counters_and_retry() {
       continue;
     }
     if (++stall_cycles_[ci] >= retry_timeout_ && victim == kNoPacket) {
-      victim = fifo_[ci].front().packet;
+      // Retry-budget exhausted packets stay wedged: endless resends into a
+      // hard-failed channel is exactly the failure mode §2 rejects, and a
+      // persistent stall is what lets classify_stall() name the fault.
+      if (packets_[fifo_[ci].front().packet].retries < max_retries_) {
+        victim = fifo_[ci].front().packet;
+      }
     }
   }
   if (victim != kNoPacket) purge_and_retry(victim);
 }
 
-void WormholeSim::purge_and_retry(PacketId victim) {
-  // "discard the packets in progress, and re-send the lost packets" (§2).
-  // 1. Release grants whose active run belongs to the victim.
+void WormholeSim::purge_flits(PacketId victim) {
+  // Release grants whose active run belongs to the victim.
   for (std::size_t in = 0; in < granted_out_.size(); ++in) {
     const ChannelId out = granted_out_[in];
     if (out.valid() && owner_[out.index()] == victim) {
@@ -262,21 +300,63 @@ void WormholeSim::purge_and_retry(PacketId victim) {
   for (PacketId& o : owner_) {
     if (o == victim) o = kNoPacket;
   }
-  // 2. Drop the victim's flits from every buffer and wire.
+  // Drop the victim's flits from every buffer and wire.
   for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
     auto& q = fifo_[ci];
     std::erase_if(q, [&](const Flit& f) { return f.packet == victim; });
     stall_cycles_[ci] = 0;
     if (wire_[ci].valid() && wire_[ci].packet == victim) wire_[ci] = Flit{};
   }
-  // 3. Abort any in-progress injection and queue a full resend.
+  // Abort any in-progress injection.
   PacketRecord& rec = packets_[victim];
   NodeSendState& sender = senders_[rec.src.index()];
   if (sender.current == victim) sender.current = kNoPacket;
   rec.injected = false;
-  sender.queue.push_back(victim);
-  ++retried_count_;
   progress_this_cycle_ = true;  // the purge itself is forward progress
+}
+
+void WormholeSim::purge_and_retry(PacketId victim) {
+  // "discard the packets in progress, and re-send the lost packets" (§2):
+  // the resend goes to the *back* of the source queue, so later packets of
+  // the same stream can overtake it — the in-order violation the paper
+  // holds against timeout recovery.
+  purge_flits(victim);
+  PacketRecord& rec = packets_[victim];
+  senders_[rec.src.index()].queue.push_back(victim);
+  ++rec.retries;
+  ++retried_count_;
+  metrics_.on_packet_retried();
+}
+
+void WormholeSim::purge_and_reoffer(PacketId victim) {
+  SN_REQUIRE(victim < packets_.size(), "packet id out of range");
+  PacketRecord& rec = packets_[victim];
+  SN_REQUIRE(!rec.delivered && !rec.lost, "cannot purge a delivered or lost packet");
+  NodeSendState& sender = senders_[rec.src.index()];
+  if (!rec.injected && sender.current != victim) return;  // still queued — nothing in flight
+  purge_flits(victim);
+  // Re-insert before the first queued packet of the same stream with a
+  // higher sequence number: per-(src,dst) order survives the purge.
+  auto& q = sender.queue;
+  auto it = q.begin();
+  for (; it != q.end(); ++it) {
+    const PacketRecord& other = packets_[*it];
+    if (other.dst == rec.dst && other.sequence > rec.sequence) break;
+  }
+  q.insert(it, victim);
+  ++purged_count_;
+  metrics_.on_packet_purged();
+}
+
+void WormholeSim::cancel_packet(PacketId victim) {
+  SN_REQUIRE(victim < packets_.size(), "packet id out of range");
+  PacketRecord& rec = packets_[victim];
+  if (rec.delivered || rec.lost) return;
+  purge_flits(victim);
+  auto& q = senders_[rec.src.index()].queue;
+  std::erase(q, victim);
+  rec.lost = true;
+  ++lost_count_;
 }
 
 void WormholeSim::traverse_crossbars() {
@@ -304,12 +384,15 @@ void WormholeSim::inject_from_nodes() {
   for (std::size_t ni = 0; ni < senders_.size(); ++ni) {
     NodeSendState& state = senders_[ni];
     if (state.current == kNoPacket) {
-      if (state.queue.empty()) continue;
+      if (injection_paused_ || state.queue.empty()) continue;
       state.current = state.queue.front();
       state.queue.pop_front();
       state.flits_sent = 0;
+      // The injection fabric is fixed per packet at start-of-injection so a
+      // failover mid-worm cannot split a packet across fabrics.
+      state.port = injection_port(NodeId{ni}, packets_[state.current].dst);
     }
-    const ChannelId out = net_.node_out(NodeId{ni}, 0);
+    const ChannelId out = net_.node_out(NodeId{ni}, state.port);
     SN_REQUIRE(out.valid(), "sending node has no wired port");
     if (failed_[out.index()] || wire_[out.index()].valid() || !downstream_has_space(out)) {
       continue;
@@ -369,41 +452,36 @@ const PacketRecord& WormholeSim::packet(PacketId id) const {
   return packets_[id];
 }
 
-RunResult WormholeSim::run_until_drained(std::uint64_t max_cycles) {
+RunResult WormholeSim::finalize(RunOutcome outcome, std::uint64_t start) const {
   RunResult result;
-  const std::uint64_t start = cycle_;
-  while (delivered_count_ + misdelivered_count_ < packets_.size()) {
-    if (cycle_ - start >= max_cycles) {
-      result.outcome = RunOutcome::kCycleLimit;
-      result.cycles = cycle_ - start;
-      return result;
-    }
-    step();
-    if (deadlocked_) {
-      result.outcome = RunOutcome::kDeadlocked;
-      result.cycles = cycle_ - start;
-      return result;
-    }
-  }
-  result.outcome = RunOutcome::kCompleted;
+  result.outcome = outcome;
   result.cycles = cycle_ - start;
+  result.packets_delivered = delivered_count_;
+  result.packets_misdelivered = misdelivered_count_;
+  result.packets_retried = retried_count_;
+  result.packets_purged = purged_count_;
+  result.packets_lost = lost_count_;
+  result.out_of_order_deliveries = metrics_.out_of_order_deliveries();
   return result;
 }
 
+RunResult WormholeSim::run_until_drained(std::uint64_t max_cycles) {
+  const std::uint64_t start = cycle_;
+  while (delivered_count_ + misdelivered_count_ + lost_count_ < packets_.size()) {
+    if (cycle_ - start >= max_cycles) return finalize(RunOutcome::kCycleLimit, start);
+    step();
+    if (deadlocked_) return finalize(RunOutcome::kDeadlocked, start);
+  }
+  return finalize(RunOutcome::kCompleted, start);
+}
+
 RunResult WormholeSim::run_for(std::uint64_t cycles) {
-  RunResult result;
   const std::uint64_t start = cycle_;
   for (std::uint64_t i = 0; i < cycles; ++i) {
     step();
-    if (deadlocked_) {
-      result.outcome = RunOutcome::kDeadlocked;
-      result.cycles = cycle_ - start;
-      return result;
-    }
+    if (deadlocked_) return finalize(RunOutcome::kDeadlocked, start);
   }
-  result.outcome = RunOutcome::kCompleted;
-  result.cycles = cycle_ - start;
-  return result;
+  return finalize(RunOutcome::kCompleted, start);
 }
 
 }  // namespace servernet::sim

@@ -62,6 +62,10 @@ class WormholeSim {
   /// classify_stall() in sim/deadlock_detector.hpp for the distinction.
   void fail_channel(ChannelId c);
   [[nodiscard]] bool channel_failed(ChannelId c) const;
+  /// Clears a fault: the channel transmits again from the next cycle.
+  /// Models a transient ("flaky") link recovering before the maintenance
+  /// processor escalates it to a hard fault (src/recovery).
+  void restore_channel(ChannelId c);
 
   /// Arms the §2.4 path-disable logic: turns absent from `mask` are never
   /// performed, whatever the routing table says. With a mask whose turn
@@ -81,8 +85,52 @@ class WormholeSim {
   /// counters, discard the packets in progress, and re-send the lost
   /// packets." A packet whose flits sit unmoved at one buffer for
   /// `timeout` cycles is purged in place and re-offered at its source.
-  void enable_timeout_retry(std::uint32_t timeout);
+  /// `max_retries` bounds the resends per packet: a packet stalled on a
+  /// hard-failed channel would otherwise retry forever (§2's argument —
+  /// timeouts cannot tell congestion from dead hardware); once a packet
+  /// exhausts its budget it stays wedged and the stall surfaces to
+  /// classify_stall() as a fault.
+  void enable_timeout_retry(std::uint32_t timeout,
+                            std::uint32_t max_retries = kUnlimitedRetries);
+  static constexpr std::uint32_t kUnlimitedRetries = 0xffffffffU;
   [[nodiscard]] std::size_t packets_retried() const { return retried_count_; }
+
+  // ---- recovery-protocol surface (driven by recovery::RecoveryController) ----
+
+  /// Stops *starting* queued packets; a packet already mid-injection keeps
+  /// streaming (severing a wormhole mid-worm would strand its tail). Used
+  /// by the quiesce phase so the fabric drains to zero flits in flight.
+  void pause_injection();
+  void resume_injection();
+  [[nodiscard]] bool injection_paused() const { return injection_paused_; }
+
+  /// Atomically replaces the routing table. Callers must quiesce first
+  /// (zero flits in flight): mixing routes of the old and new table in one
+  /// fabric can create dependency cycles neither table has on its own —
+  /// the classic reconfiguration ghost-dependency hazard.
+  void swap_table(RoutingTable table);
+  /// Drops the adaptive choice sets (repair installs are deterministic).
+  void clear_adaptive() { multipath_.reset(); }
+  [[nodiscard]] const RoutingTable& table() const { return table_; }
+
+  /// Dual-fabric failover: packets from `src` to `dst` offered or
+  /// re-offered from now on inject through the node's `port` (0 = X
+  /// fabric, 1 = Y fabric). A packet mid-injection keeps its port.
+  void set_injection_port(NodeId src, NodeId dst, PortIndex port);
+  [[nodiscard]] PortIndex injection_port(NodeId src, NodeId dst) const;
+
+  /// Order-preserving purge: removes the packet's flits from every buffer,
+  /// wire and grant, and re-inserts it into its source queue *before* any
+  /// queued packet of the same (src,dst) stream with a higher sequence
+  /// number — unlike §2's purge_and_retry (which appends and reorders),
+  /// this preserves strict per-stream order across a recovery swap.
+  void purge_and_reoffer(PacketId victim);
+  /// Cancels a packet outright (stranded pair on a partitioned fabric):
+  /// purges its flits, removes it from its source queue, and counts it
+  /// lost. Lost packets no longer block run_until_drained.
+  void cancel_packet(PacketId victim);
+  [[nodiscard]] std::size_t packets_purged() const { return purged_count_; }
+  [[nodiscard]] std::size_t packets_lost() const { return lost_count_; }
 
   /// Advances one cycle.
   void step();
@@ -132,6 +180,7 @@ class WormholeSim {
   struct NodeSendState {
     PacketId current = kNoPacket;
     std::uint32_t flits_sent = 0;
+    PortIndex port = 0;
     std::deque<PacketId> queue;
   };
 
@@ -142,6 +191,10 @@ class WormholeSim {
   void inject_from_nodes();
   void update_stall_counters_and_retry();
   void purge_and_retry(PacketId victim);
+  /// Removes the victim's flits from grants, owners, FIFOs, wires and any
+  /// in-progress injection (shared by the retry/re-offer/cancel paths).
+  void purge_flits(PacketId victim);
+  [[nodiscard]] RunResult finalize(RunOutcome outcome, std::uint64_t start) const;
 
   [[nodiscard]] bool downstream_has_space(ChannelId c) const;
   void place_on_wire(ChannelId c, Flit flit);
@@ -161,9 +214,16 @@ class WormholeSim {
   std::size_t delivered_count_ = 0;
   std::size_t misdelivered_count_ = 0;
   std::size_t retried_count_ = 0;
+  std::size_t purged_count_ = 0;
+  std::size_t lost_count_ = 0;
   std::uint32_t retry_timeout_ = 0;  // 0 = disabled
+  std::uint32_t max_retries_ = kUnlimitedRetries;
+  bool injection_paused_ = false;
   std::optional<TurnMask> turn_mask_;
   std::optional<MultipathTable> multipath_;
+  // Per (src,dst) injection-port overrides; empty until the first
+  // set_injection_port (single-fabric sims never allocate it).
+  std::vector<PortIndex> injection_port_;
 
   // Per channel: the flit on the wire this cycle (arrives downstream next
   // cycle), the FIFO at the downstream end, the owning packet for

@@ -86,13 +86,17 @@ std::vector<ChannelId> fault_channels(const Network& net, const Fault& fault) {
   return removed;
 }
 
-DegradedNetwork apply_fault(const Network& net, const Fault& fault) {
+namespace {
+
+/// Shared rebuild step: `removed` must be sorted, unique, duplex-closed.
+DegradedNetwork rebuild_without(const Network& net, std::vector<ChannelId> removed,
+                                const std::string& name) {
   DegradedNetwork degraded;
-  degraded.removed = fault_channels(net, fault);
+  degraded.removed = std::move(removed);
   degraded.channel_map.assign(net.channel_count(), kRemovedChannel);
 
   Network& out = degraded.net;
-  out.set_name(net.name() + " - " + describe(net, fault));
+  out.set_name(name);
   for (const RouterId r : net.all_routers()) {
     out.add_router(net.router_ports(r), net.router_label(r));
   }
@@ -113,6 +117,29 @@ DegradedNetwork apply_fault(const Network& net, const Fault& fault) {
     if (c.reverse.valid()) degraded.channel_map[c.reverse.index()] = rev.value();
   }
   return degraded;
+}
+
+}  // namespace
+
+DegradedNetwork apply_fault(const Network& net, const Fault& fault) {
+  return rebuild_without(net, fault_channels(net, fault),
+                         net.name() + " - " + describe(net, fault));
+}
+
+DegradedNetwork apply_channel_faults(const Network& net, const std::vector<ChannelId>& dead) {
+  std::vector<ChannelId> removed;
+  removed.reserve(dead.size() * 2);
+  for (const ChannelId c : dead) {
+    SN_REQUIRE(c.index() < net.channel_count(), "fault cable out of range");
+    removed.push_back(c);
+    const ChannelId rev = net.channel(c).reverse;
+    if (rev.valid()) removed.push_back(rev);
+  }
+  std::sort(removed.begin(), removed.end());
+  removed.erase(std::unique(removed.begin(), removed.end()), removed.end());
+  std::ostringstream name;
+  name << net.name() << " - " << removed.size() << " dead channels";
+  return rebuild_without(net, std::move(removed), name.str());
 }
 
 std::vector<Fault> enumerate_link_faults(const Network& net) {

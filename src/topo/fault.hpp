@@ -74,6 +74,13 @@ struct DegradedNetwork {
 /// shift (see DegradedNetwork::channel_map).
 [[nodiscard]] DegradedNetwork apply_fault(const Network& net, const Fault& fault);
 
+/// Like apply_fault, but for an arbitrary channel set (e.g. the hard-fault
+/// list a recovery controller accumulated at runtime, which need not match
+/// any single Fault shape). Each channel's duplex partner is removed with
+/// it — a cable without its return path cannot carry acknowledgements.
+[[nodiscard]] DegradedNetwork apply_channel_faults(const Network& net,
+                                                   const std::vector<ChannelId>& dead);
+
 /// One kLink fault per duplex cable, keyed on the lower channel id.
 [[nodiscard]] std::vector<Fault> enumerate_link_faults(const Network& net);
 

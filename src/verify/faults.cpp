@@ -47,10 +47,10 @@ UpDownClassification remap_classification(const UpDownClassification& cls,
   return out;
 }
 
-/// First ordered node pair with no physical path through the degraded
-/// router graph (packets cannot transit end nodes, so dual-ported nodes do
-/// not bridge fabrics). std::nullopt when every pair is connected.
-std::optional<std::pair<NodeId, NodeId>> first_disconnected_pair(const Network& net) {
+/// Router components each node can inject into / be delivered from
+/// (packets cannot transit end nodes, so dual-ported nodes do not bridge
+/// fabrics). Two nodes are physically connected iff their sets intersect.
+std::vector<std::vector<std::uint32_t>> node_component_sets(const Network& net) {
   // Undirected router components; duplex wiring makes out-edges sufficient.
   constexpr std::uint32_t kUnset = 0xffffffffU;
   std::vector<std::uint32_t> component(net.router_count(), kUnset);
@@ -76,7 +76,6 @@ std::optional<std::pair<NodeId, NodeId>> first_disconnected_pair(const Network& 
     ++component_count;
   }
 
-  // Components each node can inject into / be delivered from.
   std::vector<std::vector<std::uint32_t>> attached(net.node_count());
   for (const NodeId n : net.all_nodes()) {
     auto& comps = attached[n.index()];
@@ -87,14 +86,21 @@ std::optional<std::pair<NodeId, NodeId>> first_disconnected_pair(const Network& 
     std::sort(comps.begin(), comps.end());
     comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
   }
+  return attached;
+}
 
+bool components_shared(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  return std::find_first_of(a.begin(), a.end(), b.begin(), b.end()) != a.end();
+}
+
+/// First ordered node pair with no physical path through the degraded
+/// router graph. std::nullopt when every pair is connected.
+std::optional<std::pair<NodeId, NodeId>> first_disconnected_pair(const Network& net) {
+  const auto attached = node_component_sets(net);
   for (const NodeId s : net.all_nodes()) {
     for (const NodeId d : net.all_nodes()) {
       if (s == d) continue;
-      const auto& a = attached[s.index()];
-      const auto& b = attached[d.index()];
-      const bool shared = std::find_first_of(a.begin(), a.end(), b.begin(), b.end()) != a.end();
-      if (!shared) return std::pair{s, d};
+      if (!components_shared(attached[s.index()], attached[d.index()])) return std::pair{s, d};
     }
   }
   return std::nullopt;
@@ -107,27 +113,103 @@ std::string first_error_message(const Report& report) {
   return "uncertified";
 }
 
-FaultOutcome classify_one(IncrementalCdg& inc, const Network& net, const RoutingTable& table,
-                          const Fault& fault, const FaultSpaceOptions& options) {
-  FaultOutcome outcome;
-  outcome.fault = fault;
-  outcome.description = describe(net, fault);
+/// STALE-ROUTE / DEADLOCK-PRONE healing: synthesize the up*/down* reroute
+/// on the degraded wiring and re-certify it from scratch. The repair is a
+/// plain deterministic table, so the VC selector and multipath choice sets
+/// are cleared for its certification — sound because a physically-acyclic
+/// CDG cannot project an extended-CDG cycle, and the recovery controller
+/// drops adaptive mode when it installs a repair.
+void attempt_repair(FaultOutcome& outcome, const DegradedNetwork& degraded,
+                    const FaultSpaceOptions& options) {
+  if (!options.synthesize_repairs || options.dual != nullptr) return;
+  outcome.repair_attempted = true;
+  const RepairRoute repair = synthesize_updown_repair(degraded.net);
+  VerifyOptions repair_options = options.base;
+  repair_options.updown = &repair.cls;
+  repair_options.require_full_reachability = true;
+  repair_options.vc = {};
+  repair_options.multipath = nullptr;
+  const Report repaired =
+      verify_fabric(degraded.net, repair.table, repair_options, outcome.description);
+  outcome.repair_certified = repaired.certified();
+  outcome.detail += outcome.repair_certified
+                        ? "; up*/down* repair certified"
+                        : "; repair FAILED: " + first_error_message(repaired);
+}
 
-  DegradedNetwork degraded = apply_fault(net, fault);
-  inc.remove_channels(degraded.removed);
+/// Classification core over an already-materialized degraded fabric.
+/// `inc` carries the physical incremental CDG with the dead channels
+/// already masked; it is nullptr for VC combos, whose deadlock certificate
+/// is the extended CDG instead. Always restores `inc` before returning.
+FaultOutcome classify_degraded(IncrementalCdg* inc, const Network& net, const RoutingTable& table,
+                               const DegradedNetwork& degraded, FaultOutcome outcome,
+                               const FaultSpaceOptions& options) {
+  const auto finish = [&](FaultOutcome&& o) {
+    if (inc != nullptr) inc->restore_all();
+    return std::move(o);
+  };
 
-  // 1. Deadlock: the incremental CDG masks the dead channels in O(degree);
-  //    full rebuilds are cross-validated against this in the tests.
-  if (!inc.is_acyclic()) {
-    const auto cycle = inc.minimal_cycle();
+  // 1. Deadlock on the degraded fabric. Three certificates, matching the
+  //    healthy pipeline: physical CDG (incremental), extended (channel,vc)
+  //    CDG for VC routing, Duato escape analysis for adaptive routing.
+  if (options.base.vc.selector != nullptr) {
+    const auto remapped_selector = options.base.vc.selector->remap(degraded.channel_map);
+    SN_REQUIRE(remapped_selector != nullptr,
+               "VC selector does not support remapping onto a degraded fabric");
+    VerifyOptions vc_options;
+    vc_options.vc.selector = remapped_selector.get();
+    vc_options.vc.vcs_per_channel = options.base.vc.vcs_per_channel;
+    Report vc_report(outcome.description);
+    run_vc_deadlock_pass(PassContext{degraded.net, table, vc_options}, vc_report);
+    if (!vc_report.certified()) {
+      // A severed fabric can trip the analysis too; partition is the
+      // actionable verdict there (no selector can rejoin cut hardware).
+      if (const auto pair = first_disconnected_pair(degraded.net)) {
+        outcome.verdict = FaultVerdict::kPartitioned;
+        std::ostringstream os;
+        os << describe(degraded.net, Terminal::node(pair->first)) << " physically cut off from "
+           << describe(degraded.net, Terminal::node(pair->second));
+        outcome.detail = os.str();
+        return finish(std::move(outcome));
+      }
+      outcome.verdict = FaultVerdict::kDeadlockProne;
+      outcome.detail = first_error_message(vc_report);
+      attempt_repair(outcome, degraded, options);
+      return finish(std::move(outcome));
+    }
+  } else if (inc != nullptr && !inc->is_acyclic()) {
+    // The incremental CDG masks the dead channels in O(degree); full
+    // rebuilds are cross-validated against this in the tests.
+    const auto cycle = inc->minimal_cycle();
     SN_ASSERT(cycle.has_value());
     outcome.verdict = FaultVerdict::kDeadlockProne;
     outcome.witness_channels = *cycle;
     std::ostringstream os;
     os << "channel-dependency cycle of length " << cycle->size() << " survives the fault";
     outcome.detail = os.str();
-    inc.restore_all();
-    return outcome;
+    return finish(std::move(outcome));
+  } else if (options.base.multipath != nullptr) {
+    // Adaptive choice sets shrink to what the degraded hardware offers;
+    // the stale escape table must still satisfy Duato's condition.
+    const MultipathTable pruned = prune_to_network(*options.base.multipath, degraded.net);
+    VerifyOptions escape_options;
+    escape_options.multipath = &pruned;
+    Report escape_report(outcome.description);
+    run_escape_pass(PassContext{degraded.net, table, escape_options}, escape_report);
+    if (!escape_report.certified()) {
+      if (const auto pair = first_disconnected_pair(degraded.net)) {
+        outcome.verdict = FaultVerdict::kPartitioned;
+        std::ostringstream os;
+        os << describe(degraded.net, Terminal::node(pair->first)) << " physically cut off from "
+           << describe(degraded.net, Terminal::node(pair->second));
+        outcome.detail = os.str();
+        return finish(std::move(outcome));
+      }
+      outcome.verdict = FaultVerdict::kDeadlockProne;
+      outcome.detail = first_error_message(escape_report);
+      attempt_repair(outcome, degraded, options);
+      return finish(std::move(outcome));
+    }
   }
 
   // 2. Stale-table pass pipeline on the degraded wiring.
@@ -145,8 +227,7 @@ FaultOutcome classify_one(IncrementalCdg& inc, const Network& net, const Routing
 
   if (stale_report.certified()) {
     outcome.verdict = FaultVerdict::kSurvives;
-    inc.restore_all();
-    return outcome;
+    return finish(std::move(outcome));
   }
 
   // 3. Dual-fabric failover: every pair served through a surviving fabric.
@@ -157,8 +238,7 @@ FaultOutcome classify_one(IncrementalCdg& inc, const Network& net, const Routing
     if (stranded == 0) {
       outcome.verdict = FaultVerdict::kFailover;
       outcome.detail = "every pair served through the surviving fabric";
-      inc.restore_all();
-      return outcome;
+      return finish(std::move(outcome));
     }
     std::ostringstream os;
     os << stranded << " ordered pair(s) stranded on both fabrics";
@@ -177,28 +257,28 @@ FaultOutcome classify_one(IncrementalCdg& inc, const Network& net, const Routing
        << describe(degraded.net, Terminal::node(pair->second));
     if (!outcome.detail.empty()) os << " (" << outcome.detail << ')';
     outcome.detail = os.str();
-    inc.restore_all();
-    return outcome;
+    return finish(std::move(outcome));
   }
 
   // 5. Stale route: the wiring can serve every pair, the table cannot.
   outcome.verdict = FaultVerdict::kStaleRoute;
   if (outcome.detail.empty()) outcome.detail = first_error_message(stale_report);
-  if (options.synthesize_repairs && options.dual == nullptr) {
-    outcome.repair_attempted = true;
-    const RepairRoute repair = synthesize_updown_repair(degraded.net);
-    VerifyOptions repair_options = options.base;
-    repair_options.updown = &repair.cls;
-    repair_options.require_full_reachability = true;
-    const Report repaired =
-        verify_fabric(degraded.net, repair.table, repair_options, outcome.description);
-    outcome.repair_certified = repaired.certified();
-    outcome.detail += outcome.repair_certified
-                          ? "; up*/down* repair certified"
-                          : "; repair FAILED: " + first_error_message(repaired);
-  }
-  inc.restore_all();
-  return outcome;
+  attempt_repair(outcome, degraded, options);
+  return finish(std::move(outcome));
+}
+
+FaultOutcome classify_one(IncrementalCdg& inc, const Network& net, const RoutingTable& table,
+                          const Fault& fault, const FaultSpaceOptions& options) {
+  FaultOutcome outcome;
+  outcome.fault = fault;
+  outcome.description = describe(net, fault);
+  const DegradedNetwork degraded = apply_fault(net, fault);
+  // VC combos certify deadlock freedom on the *extended* CDG; their
+  // physical CDG is legitimately cyclic (that is the point of datelines),
+  // so the incremental physical certificate is not consulted.
+  IncrementalCdg* physical = options.base.vc.selector == nullptr ? &inc : nullptr;
+  if (physical != nullptr) physical->remove_channels(degraded.removed);
+  return classify_degraded(physical, net, table, degraded, std::move(outcome), options);
 }
 
 const char* kind_name(FaultKind k) {
@@ -219,6 +299,33 @@ FaultOutcome classify_fault(const Network& net, const RoutingTable& table, const
                             const FaultSpaceOptions& options) {
   IncrementalCdg inc(net, table);
   return classify_one(inc, net, table, fault, options);
+}
+
+FaultOutcome classify_channel_faults(const Network& net, const RoutingTable& table,
+                                     const std::vector<ChannelId>& dead,
+                                     const FaultSpaceOptions& options) {
+  const DegradedNetwork degraded = apply_channel_faults(net, dead);
+  FaultOutcome outcome;
+  outcome.description = degraded.net.name();
+  std::optional<IncrementalCdg> inc;
+  if (options.base.vc.selector == nullptr) {
+    inc.emplace(net, table);
+    inc->remove_channels(degraded.removed);
+  }
+  return classify_degraded(inc.has_value() ? &*inc : nullptr, net, table, degraded,
+                           std::move(outcome), options);
+}
+
+std::vector<std::pair<NodeId, NodeId>> disconnected_pairs(const Network& net) {
+  const auto attached = node_component_sets(net);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const NodeId s : net.all_nodes()) {
+    for (const NodeId d : net.all_nodes()) {
+      if (s == d) continue;
+      if (!components_shared(attached[s.index()], attached[d.index()])) pairs.emplace_back(s, d);
+    }
+  }
+  return pairs;
 }
 
 FaultSpaceReport certify_fault_space(const Network& net, const RoutingTable& table,
@@ -287,7 +394,11 @@ const FaultOutcome* FaultSpaceReport::worst() const {
 bool FaultSpaceReport::single_faults_covered() const {
   for (const FaultOutcome& o : outcomes) {
     if (o.fault.kind == FaultKind::kDoubleLink) continue;
-    if (o.verdict == FaultVerdict::kDeadlockProne) return false;
+    // A deadlock-prone verdict with a certified repair is covered: the
+    // maintenance processor quiesces and installs the reroute (adaptive
+    // combos lose a link's escape channel this way). Without a repair it
+    // is the uncoverable worst case.
+    if (o.verdict == FaultVerdict::kDeadlockProne && !o.repair_certified) return false;
     if (o.verdict == FaultVerdict::kStaleRoute && !o.repair_certified) return false;
   }
   return true;

@@ -25,11 +25,19 @@
 //                   fabric is re-certified from scratch
 //   PARTITIONED     some node pair is physically disconnected — no table
 //                   can help; this is what dual fabrics exist to prevent
-//   DEADLOCK-PRONE  the degraded CDG has a cycle. A fault never *adds*
-//                   dependencies, so a fabric certified acyclic when
-//                   healthy can never earn this verdict (the degraded CDG
-//                   is an induced subgraph); it marks already-indicted
-//                   tables whose cycles survive the fault.
+//   DEADLOCK-PRONE  the degraded deadlock certificate fails. For plain
+//                   deterministic routing that is the physical CDG; a
+//                   fault never *adds* dependencies, so a fabric certified
+//                   acyclic when healthy can never earn this verdict there
+//                   (the degraded CDG is an induced subgraph). VC combos
+//                   are checked on the *extended* (channel, vc) CDG with
+//                   the selector remapped into degraded channel ids;
+//                   adaptive combos re-run Duato's escape analysis with
+//                   the choice sets pruned to the surviving wiring — a
+//                   link fault can sever a router's escape channel, which
+//                   is deadlock-prone until repaired (the synthesized
+//                   reroute is attempted and re-certified for this verdict
+//                   too, so coverage can count it healed).
 #pragma once
 
 #include <array>
@@ -117,10 +125,10 @@ struct FaultSpaceReport {
   [[nodiscard]] const FaultOutcome* worst() const;
 
   /// The certification gate for healthy-certified fabrics: the single-fault
-  /// space (all link + router faults) contains no DEADLOCK-PRONE verdict
-  /// and no STALE-ROUTE fault whose synthesized repair failed
-  /// certification. PARTITIONED faults do not count against coverage — no
-  /// routing table can reconnect severed hardware.
+  /// space (all link + router faults) contains no DEADLOCK-PRONE or
+  /// STALE-ROUTE fault whose synthesized repair failed certification.
+  /// PARTITIONED faults do not count against coverage — no routing table
+  /// can reconnect severed hardware.
   [[nodiscard]] bool single_faults_covered() const;
 
   void write_text(std::ostream& os) const;
@@ -135,6 +143,21 @@ struct FaultSpaceReport {
 [[nodiscard]] FaultOutcome classify_fault(const Network& net, const RoutingTable& table,
                                           const Fault& fault,
                                           const FaultSpaceOptions& options = {});
+
+/// Classifies an arbitrary dead-channel set — the shape a recovery
+/// controller accumulates at runtime, which need not match any single
+/// Fault. Duplex partners are removed alongside each channel. The returned
+/// outcome's `fault` field is meaningless (there is no enumerated Fault);
+/// everything else follows the classify_fault taxonomy. An empty `dead`
+/// set classifies the healthy fabric (useful after a spurious detection).
+[[nodiscard]] FaultOutcome classify_channel_faults(const Network& net, const RoutingTable& table,
+                                                   const std::vector<ChannelId>& dead,
+                                                   const FaultSpaceOptions& options = {});
+
+/// Every ordered node pair with no physical path through the router graph
+/// (packets cannot transit end nodes). The exactness oracle for a recovery
+/// controller's stranded-pair set on PARTITIONED fabrics.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> disconnected_pairs(const Network& net);
 
 /// Enumerates the fault space of (net, table) and classifies every fault.
 /// `fabric_name` defaults to the network's name.

@@ -122,9 +122,11 @@ const std::vector<RegistryCombo>& registry() {
        }},
       // ---- VC combos: the same looping topologies the physical CDG
       // indicts, certified through the extended (channel, vc) graph.
+      // Fault sweeps remap the dateline set and choice sets into degraded
+      // channel ids, so these participate in --faults like everyone else.
       {"ring-4-dateline-vc",
        "Figure 1's loop, minimal routing + 2-VC dateline (ref [6]) — extended CDG certifies",
-       true, false,
+       true, true,
        [] {
          auto t = std::make_shared<Ring>(RingSpec{});
          BuiltFabric b{t, &t->net(), shortest_path_routes(t->net()), std::nullopt};
@@ -134,7 +136,7 @@ const std::vector<RegistryCombo>& registry() {
        }},
       {"torus-4x4-dateline-vc",
        "4x4 torus, minimal X-then-Y routing + 3-VC dateline — extended CDG certifies", true,
-       false,
+       true,
        [] {
          auto t = std::make_shared<Torus2D>(TorusSpec{});
          BuiltFabric b{t, &t->net(), dimension_order_routes(*t), std::nullopt};
@@ -144,27 +146,27 @@ const std::vector<RegistryCombo>& registry() {
        }},
       // ---- adaptive combos: Duato's escape condition over choice sets.
       {"fat-tree-4-2-adaptive",
-       "4-2 fat tree, §3.3's adaptive climb — up*/down* escape certifies", true, false,
+       "4-2 fat tree, §3.3's adaptive climb — up*/down* escape certifies", true, true,
        [] {
          auto t = std::make_shared<FatTree>(FatTreeSpec{});
          return with_multipath(t, t->net(), t->adaptive_routing());
        }},
       {"mesh-6x6-adaptive-escape",
-       "6x6 mesh, west-first adaptive routing with a dimension-order escape", true, false,
+       "6x6 mesh, west-first adaptive routing with a dimension-order escape", true, true,
        [] {
          auto t = std::make_shared<Mesh2D>(MeshSpec{});
          return with_multipath(t, t->net(), west_first_routes(*t));
        }},
       {"mesh-6x6-adaptive-minimal",
        "6x6 mesh, fully-adaptive minimal routing — escape dependencies close a cycle", false,
-       false,
+       true,
        [] {
          auto t = std::make_shared<Mesh2D>(MeshSpec{});
          return with_multipath(t, t->net(), minimal_adaptive_routes(*t));
        }},
       {"mesh-6x6-adaptive-noescape",
        "6x6 mesh, adaptive choice sets with the escape port stripped — no fallback path",
-       false, false,
+       false, true,
        [] {
          auto t = std::make_shared<Mesh2D>(MeshSpec{});
          const MultipathTable full = minimal_adaptive_routes(*t);
@@ -207,11 +209,11 @@ Report run_combo(const RegistryCombo& combo) {
 }
 
 FaultSpaceReport run_combo_faults(const RegistryCombo& combo) {
-  SN_REQUIRE(combo.fault_sweep, "combo is excluded from fault sweeps");
+  SN_REQUIRE(combo.fault_sweep,
+             "combo '" + combo.name + "' is excluded from fault sweeps (fault_sweep = false)");
   const BuiltFabric built = combo.build();
   FaultSpaceOptions options;
-  if (built.updown) options.base.updown = &*built.updown;
-  options.base.enforce_asic_ports = built.enforce_asic_ports;
+  options.base = verify_options(built);
   options.dual = built.dual.get();
   return certify_fault_space(*built.net, built.table, options, combo.name);
 }

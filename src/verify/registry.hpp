@@ -57,11 +57,12 @@ struct RegistryCombo {
   std::string name;
   std::string what;
   bool expect_certified = true;
-  /// Whether `servernet-verify --faults` sweeps this combo. VC and
-  /// adaptive combos are excluded: apply_fault() renumbers the surviving
-  /// channels, so dateline ChannelIds and choice sets would go stale on
-  /// the degraded fabric (extending the fault certifier to remap them is
-  /// future work, tracked in ROADMAP.md).
+  /// Whether `servernet-verify --faults` sweeps this combo. Every
+  /// registered combo participates today — the fault certifier remaps
+  /// dateline ChannelIds (VcSelector::remap) and prunes multipath choice
+  /// sets (prune_to_network) into degraded channel-id space — but the
+  /// escape hatch stays for future combos whose routing state cannot
+  /// survive apply_fault()'s channel renumbering.
   bool fault_sweep = true;
   std::function<BuiltFabric()> build;
 };

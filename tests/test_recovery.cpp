@@ -1,0 +1,280 @@
+// Tests for the self-healing fabric runtime (src/recovery): the link
+// health monitor's transient/hard escalation ladder, the controller's
+// quiesce → repair → failover lifecycle, and — the acceptance gate — the
+// static-vs-runtime replay agreement over every registered combo's
+// single-fault space.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fabric/dual_fabric.hpp"
+#include "recovery/controller.hpp"
+#include "recovery/link_health.hpp"
+#include "recovery/replay.hpp"
+#include "route/dimension_order.hpp"
+#include "route/path.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fault.hpp"
+#include "topo/mesh.hpp"
+#include "verify/faults.hpp"
+#include "verify/registry.hpp"
+
+namespace servernet {
+namespace {
+
+using recovery::FaultEpisode;
+using recovery::LinkHealthMonitor;
+using recovery::LinkState;
+using recovery::RecoveryAction;
+using recovery::RecoveryController;
+using recovery::RecoveryOptions;
+using recovery::RecoveryReport;
+
+LinkHealthMonitor::Config monitor_config() {
+  LinkHealthMonitor::Config cfg;
+  cfg.heartbeat_period = 16;
+  cfg.probe_backoff = 8;
+  cfg.probe_budget = 3;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// LinkHealthMonitor: the transient/hard distinction §2 says timeouts lack.
+// ---------------------------------------------------------------------------
+
+TEST(LinkHealth, TransientFaultRecoversWithoutEscalation) {
+  LinkHealthMonitor monitor(4, monitor_config());
+  const ChannelId flaky{0U};
+  // Down from cycle 4 to cycle 20 — shorter than the probe ladder.
+  const auto link_down = [&](std::uint64_t now) {
+    return [&, now](ChannelId c) { return c == flaky && now >= 4 && now <= 20; };
+  };
+  for (std::uint64_t now = 0; now < 200; ++now) {
+    EXPECT_TRUE(monitor.poll(now, link_down(now)).empty()) << "escalated at cycle " << now;
+  }
+  EXPECT_EQ(monitor.state(flaky), LinkState::kHealthy);
+  EXPECT_EQ(monitor.transient_recoveries(), 1U);
+}
+
+TEST(LinkHealth, HardFaultEscalatesWithinBudget) {
+  LinkHealthMonitor monitor(4, monitor_config());
+  const ChannelId dead{2U};
+  const auto link_down = [&](ChannelId c) { return c == dead; };
+  std::uint64_t hard_at = 0;
+  for (std::uint64_t now = 0; now < 200 && hard_at == 0; ++now) {
+    const auto newly_hard = monitor.poll(now, link_down);
+    if (!newly_hard.empty()) {
+      ASSERT_EQ(newly_hard.size(), 1U);
+      EXPECT_EQ(newly_hard[0], dead);
+      hard_at = now;
+    }
+  }
+  // Heartbeat miss at 16, probes at 24/40/72: budget exhausted at 72.
+  EXPECT_EQ(monitor.first_evidence_cycle(dead), 16U);
+  EXPECT_EQ(hard_at, 72U);
+  EXPECT_TRUE(monitor.is_hard(dead));
+  EXPECT_EQ(monitor.transient_recoveries(), 0U);
+  // Hard is terminal: a later poll with the link up does not resurrect it.
+  (void)monitor.poll(hard_at + 1, [](ChannelId) { return false; });
+  EXPECT_TRUE(monitor.is_hard(dead));
+}
+
+TEST(LinkHealth, DirectMissEvidenceBeatsTheHeartbeat) {
+  // A CRC-error report (note_miss) starts the probe ladder before the
+  // next heartbeat sweep would.
+  LinkHealthMonitor monitor(2, monitor_config());
+  const ChannelId dead{1U};
+  monitor.note_miss(dead, 2);
+  EXPECT_EQ(monitor.state(dead), LinkState::kSuspect);
+  EXPECT_EQ(monitor.first_evidence_cycle(dead), 2U);
+  std::uint64_t hard_at = 0;
+  for (std::uint64_t now = 3; now < 100 && hard_at == 0; ++now) {
+    if (!monitor.poll(now, [&](ChannelId c) { return c == dead; }).empty()) hard_at = now;
+  }
+  // Probes at 10/26/58 — ahead of the heartbeat-initiated 72.
+  EXPECT_EQ(hard_at, 58U);
+}
+
+// ---------------------------------------------------------------------------
+// RecoveryController lifecycle on a 3x3 mesh.
+// ---------------------------------------------------------------------------
+
+sim::SimConfig sim_config() {
+  sim::SimConfig cfg;
+  cfg.fifo_depth = 4;
+  cfg.flits_per_packet = 4;
+  cfg.no_progress_threshold = 100000;
+  return cfg;
+}
+
+RecoveryOptions mesh_options() {
+  RecoveryOptions opts;
+  opts.monitor = monitor_config();
+  return opts;
+}
+
+TEST(RecoveryController, FlakyLinkIsRiddenOut) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::WormholeSim sim(mesh.net(), table, sim_config());
+  RecoveryController<sim::WormholeSim> controller(sim, mesh_options());
+
+  const NodeId src = mesh.node_at(0, 0, 0);
+  const NodeId dst = mesh.node_at(2, 2, 0);
+  const RouteResult route = trace_route(mesh.net(), table, src, dst);
+  ASSERT_TRUE(route.ok());
+  // The cable drops for 20 cycles — inside the probe budget — then heals.
+  controller.schedule_fault({/*at_cycle=*/4, fault_channels(mesh.net(), Fault::link(route.path.channels[1])),
+                             /*restore_after=*/20});
+  for (int i = 0; i < 4; ++i) (void)sim.offer_packet(src, dst);
+
+  const RecoveryReport report = controller.run(20000);
+  EXPECT_EQ(report.run.outcome, sim::RunOutcome::kCompleted);
+  EXPECT_TRUE(report.events.empty()) << "a transient fault must not reach the controller";
+  EXPECT_GE(report.transient_recoveries, 1U);
+  EXPECT_EQ(report.run.packets_delivered, 4U);
+  EXPECT_EQ(report.run.packets_purged, 0U);
+  EXPECT_EQ(report.run.packets_lost, 0U);
+  EXPECT_EQ(report.run.out_of_order_deliveries, 0U);
+}
+
+TEST(RecoveryController, HardLinkInstallsCertifiedRepair) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::WormholeSim sim(mesh.net(), table, sim_config());
+  RecoveryController<sim::WormholeSim> controller(sim, mesh_options());
+
+  const NodeId src = mesh.node_at(0, 0, 0);
+  const NodeId dst = mesh.node_at(2, 0, 0);
+  const RouteResult route = trace_route(mesh.net(), table, src, dst);
+  ASSERT_TRUE(route.ok());
+  const ChannelId dead = route.path.channels[1];  // router-to-router hop
+  controller.schedule_fault({4, fault_channels(mesh.net(), Fault::link(dead)), 0});
+  // A same-stream burst through the fault: order must survive recovery.
+  for (int i = 0; i < 6; ++i) (void)sim.offer_packet(src, dst);
+
+  const RecoveryReport report = controller.run(20000);
+  EXPECT_EQ(report.run.outcome, sim::RunOutcome::kCompleted);
+  ASSERT_EQ(report.events.size(), 1U);
+  const recovery::RecoveryEvent& ev = report.events[0];
+  EXPECT_EQ(ev.action, RecoveryAction::kRepair);
+  EXPECT_TRUE(ev.repair_attempted);
+  EXPECT_TRUE(ev.repair_certified);
+  EXPECT_GE(ev.packets_purged, 1U);
+  EXPECT_LE(ev.detected_cycle, ev.escalated_cycle);
+  EXPECT_LE(ev.escalated_cycle, ev.quiesced_cycle);
+  EXPECT_LE(ev.quiesced_cycle, ev.installed_cycle);
+  EXPECT_EQ(report.run.packets_delivered, 6U);
+  EXPECT_EQ(report.run.packets_lost, 0U);
+  EXPECT_EQ(report.run.out_of_order_deliveries, 0U);
+  // The installed table routes around the dead cable.
+  const RouteResult repaired = trace_route(mesh.net(), sim.table(), src, dst);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(std::count(repaired.path.channels.begin(), repaired.path.channels.end(), dead), 0);
+}
+
+TEST(RecoveryController, SeveredNodeGetsPartialService) {
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::WormholeSim sim(mesh.net(), table, sim_config());
+  RecoveryController<sim::WormholeSim> controller(sim, mesh_options());
+
+  // Kill node 0's only cable into the fabric: no table can reconnect it.
+  const NodeId victim{0U};
+  const RouteResult route = trace_route(mesh.net(), table, victim, NodeId{1U});
+  ASSERT_TRUE(route.ok());
+  const std::vector<ChannelId> dead =
+      fault_channels(mesh.net(), Fault::link(route.path.channels.front()));
+  // Strike at cycle 2, before any worm can clear the doomed cable.
+  controller.schedule_fault({2, dead, 0});
+  (void)sim.offer_packet(victim, NodeId{5U});
+  (void)sim.offer_packet(NodeId{5U}, victim);
+  (void)sim.offer_packet(NodeId{3U}, NodeId{7U});
+
+  const RecoveryReport report = controller.run(20000);
+  EXPECT_EQ(report.run.outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(report.final_action(), RecoveryAction::kPartialService);
+  EXPECT_TRUE(report.all_repairs_certified());
+  // The runtime's stranded set is exactly the physically disconnected set.
+  const auto expected = verify::disconnected_pairs(apply_channel_faults(mesh.net(), dead).net);
+  EXPECT_EQ(report.stranded, expected);
+  EXPECT_EQ(report.run.packets_lost, 2U);
+  EXPECT_EQ(report.run.packets_delivered, 1U);
+}
+
+TEST(RecoveryController, DualFabricFailsOverWithoutRepair) {
+  const Mesh2D single(MeshSpec{.cols = 3, .rows = 3, .nodes_per_router = 1});
+  const DualFabric dual(single.net());
+  const RoutingTable lifted = dual.lift_routing(dimension_order_routes(single));
+  sim::WormholeSim sim(dual.net(), lifted, sim_config());
+  RecoveryOptions opts = mesh_options();
+  opts.dual = &dual;
+  RecoveryController<sim::WormholeSim> controller(sim, opts);
+
+  const NodeId src{0U};
+  const NodeId dst{8U};
+  // Break the X-fabric route between the pair; Y serves it untouched.
+  const RouteResult route = trace_route(dual.net(), lifted, src, dst, /*src_port=*/0);
+  ASSERT_TRUE(route.ok());
+  controller.schedule_fault({4, fault_channels(dual.net(), Fault::link(route.path.channels[1])), 0});
+  for (int i = 0; i < 4; ++i) (void)sim.offer_packet(src, dst);
+
+  const RecoveryReport report = controller.run(20000);
+  EXPECT_EQ(report.run.outcome, sim::RunOutcome::kCompleted);
+  EXPECT_EQ(report.final_action(), RecoveryAction::kFailover);
+  ASSERT_FALSE(report.events.empty());
+  EXPECT_GE(report.events.back().pairs_diverted, 1U);
+  EXPECT_FALSE(report.events.back().repair_attempted) << "failover must not rewrite tables";
+  EXPECT_TRUE(report.stranded.empty());
+  EXPECT_EQ(report.run.packets_delivered, 4U);
+  EXPECT_EQ(report.run.packets_lost, 0U);
+  EXPECT_EQ(report.run.out_of_order_deliveries, 0U);
+  // The affected pair now injects on the Y fabric.
+  EXPECT_EQ(sim.injection_port(src, dst), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance gate: replay every single fault of every certified combo
+// through the controller and require agreement with the static verdict.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> replayable_combos() {
+  std::vector<std::string> names;
+  for (const verify::RegistryCombo& c : verify::registry()) {
+    if (c.fault_sweep && c.expect_certified) names.push_back(c.name);
+  }
+  return names;
+}
+
+class RecoveryReplay : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RecoveryReplay, RuntimeAgreesWithStaticVerdicts) {
+  const verify::RegistryCombo* combo = nullptr;
+  for (const verify::RegistryCombo& c : verify::registry()) {
+    if (c.name == GetParam()) combo = &c;
+  }
+  ASSERT_NE(combo, nullptr);
+
+  const recovery::RecoverySweepReport report = recovery::replay_combo_recovery(*combo);
+  EXPECT_GT(report.faults, 0U);
+  for (const recovery::ReplayFaultResult& r : report.results) {
+    EXPECT_TRUE(r.agree) << r.description << ": static " << verify::to_string(r.static_verdict)
+                         << ", runtime " << recovery::to_string(r.runtime_action) << " — "
+                         << r.detail;
+  }
+  EXPECT_TRUE(report.all_agree());
+}
+
+std::string replay_param_name(const ::testing::TestParamInfo<std::string>& param_info) {
+  std::string name = param_info.param;
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, RecoveryReplay, ::testing::ValuesIn(replayable_combos()),
+                         replay_param_name);
+
+}  // namespace
+}  // namespace servernet

@@ -167,6 +167,35 @@ TEST(SimFaults, FaultPlusDualFabricStory) {
   EXPECT_EQ(s.run_until_drained(10000).outcome, sim::RunOutcome::kCompleted);
 }
 
+TEST(SimFaults, RetryBudgetIsBoundedOnHardFault) {
+  // §2's rejected scheme meets a hard fault: timeout-retry purges and
+  // re-sends, but the dead cable fails every attempt. The retry budget
+  // must bound the resends, and the terminal stall must classify as a
+  // hardware fault — not congestion — so recovery knows to act.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::WormholeSim s(mesh.net(), table, quick_config());
+  s.enable_timeout_retry(/*timeout=*/50, /*max_retries=*/3);
+  const NodeId src = mesh.node_at(0, 0, 0);
+  const NodeId dst = mesh.node_at(2, 0, 0);
+  const RouteResult route = trace_route(mesh.net(), table, src, dst);
+  const ChannelId broken = route.path.channels[1];
+  s.fail_channel(broken);
+  const sim::PacketId doomed = s.offer_packet(src, dst);
+
+  const auto result = s.run_until_drained(100000);
+  EXPECT_EQ(result.outcome, sim::RunOutcome::kDeadlocked);
+  // Exactly the budget, then the packet stays wedged — no infinite churn.
+  EXPECT_EQ(s.packets_retried(), 3U);
+  EXPECT_EQ(s.packet(doomed).retries, 3U);
+  EXPECT_EQ(result.packets_retried, 3U);
+  EXPECT_FALSE(s.packet(doomed).delivered);
+  const sim::StallReport report = sim::classify_stall(s);
+  EXPECT_EQ(report.cause, sim::StallCause::kFailedChannel);
+  ASSERT_EQ(report.failed_waits.size(), 1U);
+  EXPECT_EQ(report.failed_waits[0], broken);
+}
+
 // ---- static certifier vs. dynamic simulation ------------------------------------
 //
 // The fault certifier's verdicts are static claims about degraded fabrics;

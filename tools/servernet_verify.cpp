@@ -23,13 +23,16 @@
 // topologies and are *expected* to be indicted; the dateline-VC combos run
 // the same loops deadlock-free and are certified through the extended
 // (channel, vc) dependency graph; the adaptive combos exercise the Duato
-// escape analysis both ways. VC/adaptive combos are excluded from --faults
-// (see RegistryCombo::fault_sweep).
+// escape analysis both ways. Fault sweeps (--faults) cover every combo,
+// including VC/adaptive ones (their routing state is remapped into the
+// degraded channel-id space); --recover replays each static fault verdict
+// through the runtime recovery controller and cross-validates the two.
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "recovery/replay.hpp"
 #include "topo/dot.hpp"
 #include "verify/registry.hpp"
 
@@ -38,8 +41,9 @@ using namespace servernet;
 namespace {
 
 int usage() {
-  std::cerr << "usage: servernet-verify [--json] [--faults] [--dot-witness <file>] <combo>...\n"
-               "       servernet-verify [--json] [--faults] --all | --list | --passes\n"
+  std::cerr << "usage: servernet-verify [--json] [--faults|--recover] [--dot-witness <file>] "
+               "<combo>...\n"
+               "       servernet-verify [--json] [--faults|--recover] --all | --list | --passes\n"
                "run 'servernet-verify --list' for the registered combos\n";
   return 2;
 }
@@ -80,6 +84,7 @@ int main(int argc, char** argv) {
   bool list = false;
   bool passes = false;
   bool faults = false;
+  bool recover = false;
   std::string dot_witness;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +99,8 @@ int main(int argc, char** argv) {
       passes = true;
     } else if (arg == "--faults") {
       faults = true;
+    } else if (arg == "--recover") {
+      recover = true;
     } else if (arg == "--dot-witness") {
       if (i + 1 >= argc) return usage();
       dot_witness = argv[++i];
@@ -103,7 +110,8 @@ int main(int argc, char** argv) {
       names.push_back(arg);
     }
   }
-  if (!dot_witness.empty() && (all || faults || list || passes)) return usage();
+  if (!dot_witness.empty() && (all || faults || recover || list || passes)) return usage();
+  if (faults && recover) return usage();
 
   if (passes) {
     for (const verify::PassInfo& p : verify::pass_roster()) {
@@ -117,6 +125,29 @@ int main(int argc, char** argv) {
                 << c.what << '\n';
     }
     return 0;
+  }
+  if (all && recover) {
+    // Runtime replay gate: every static fault verdict must be matched by
+    // the recovery controller's behaviour. Expected-indicted combos are
+    // skipped — their fault spaces legitimately deadlock at runtime.
+    bool all_agree = true;
+    bool first = true;
+    if (json) std::cout << "[\n";
+    for (const verify::RegistryCombo& c : verify::registry()) {
+      if (!c.fault_sweep || !c.expect_certified) continue;
+      const recovery::RecoverySweepReport report = recovery::replay_combo_recovery(c);
+      all_agree = all_agree && report.all_agree();
+      if (json) {
+        if (!first) std::cout << ",\n";
+        report.write_json(std::cout);
+      } else {
+        std::cout << c.name << ": " << report.agreements << "/" << report.faults
+                  << (report.all_agree() ? " AGREE" : " DISAGREE") << '\n';
+      }
+      first = false;
+    }
+    if (json) std::cout << "]\n";
+    return all_agree ? 0 : 1;
   }
   if (all && faults) {
     bool all_as_expected = true;
@@ -176,10 +207,23 @@ int main(int argc, char** argv) {
       std::cerr << "unknown combo '" << name << "' — run with --list\n";
       return 2;
     }
-    if (faults) {
+    if (recover) {
       if (!combo->fault_sweep) {
-        std::cerr << "combo '" << name << "' is excluded from fault sweeps (VC/adaptive "
-                     "routing state goes stale on degraded fabrics — see verify/registry.hpp)\n";
+        std::cerr << "combo '" << name
+                  << "' is excluded from fault sweeps (see verify/registry.hpp)\n";
+        return 2;
+      }
+      const recovery::RecoverySweepReport report = recovery::replay_combo_recovery(*combo);
+      if (json) {
+        report.write_json(std::cout);
+      } else {
+        report.write_text(std::cout);
+      }
+      any_errors = any_errors || !report.all_agree();
+    } else if (faults) {
+      if (!combo->fault_sweep) {
+        std::cerr << "combo '" << name
+                  << "' is excluded from fault sweeps (see verify/registry.hpp)\n";
         return 2;
       }
       const verify::FaultSpaceReport report = verify::run_combo_faults(*combo);
