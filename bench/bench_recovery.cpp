@@ -14,6 +14,10 @@
 // even on the 64-node fabrics — the online counterpart to the
 // milliseconds-of-static-certification argument in bench_verify_passes.
 //
+// Also times the whole replay sweep at jobs=1 vs jobs=N through
+// exec/sharded_sweep — the worker-pool speedup row CI tracks (see
+// EXPERIMENTS.md; on a single-core host the two are expected to tie).
+//
 // Writes BENCH_recovery.json (path = argv[1], default "BENCH_recovery.json")
 // for tracking regressions across PRs, and prints a human table. Router
 // faults are skipped here (the test suite covers them); link faults are
@@ -26,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/sharded_sweep.hpp"
+#include "exec/worker_pool.hpp"
 #include "recovery/replay.hpp"
 #include "util/table.hpp"
 #include "verify/registry.hpp"
@@ -52,7 +58,14 @@ struct Row {
   double sweep_ms = 0.0;
 };
 
-void write_json(std::ostream& os, const std::vector<Row>& rows) {
+/// One sharded-sweep timing: the full replay suite at a job count.
+struct SweepRow {
+  unsigned jobs = 1;
+  double ms = 0.0;
+};
+
+void write_json(std::ostream& os, const std::vector<Row>& rows,
+                const std::vector<SweepRow>& sweeps, unsigned hardware_jobs) {
   os << "{\n  \"bench\": \"recovery\",\n  \"unit\": \"cycles\",\n  \"combos\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -62,6 +75,12 @@ void write_json(std::ostream& os, const std::vector<Row>& rows) {
        << ", \"recover_cycles_median\": " << r.recover_med
        << ", \"drain_cycles_median\": " << r.drain_med << ", \"sweep_ms\": " << r.sweep_ms
        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"hardware_jobs\": " << hardware_jobs << ",\n  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepRow& s = sweeps[i];
+    os << "    {\"workload\": \"recover_all\", \"jobs\": " << s.jobs << ", \"ms\": " << s.ms
+       << "}" << (i + 1 < sweeps.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -118,12 +137,36 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  // Whole replay suite at jobs=1 vs jobs=N; timed once per config (the
+  // suite is seconds long). N is at least 4 so the worker-pool path is
+  // exercised even on small hosts; a single-core host will honestly
+  // report a tie (see EXPERIMENTS.md).
+  const unsigned hardware = exec::WorkerPool::hardware_jobs();
+  const unsigned parallel_jobs = std::max(4U, hardware);
+  std::vector<const verify::RegistryCombo*> sweepable;
+  for (const verify::RegistryCombo& combo : verify::registry()) {
+    if (combo.fault_sweep && combo.expect_certified) sweepable.push_back(&combo);
+  }
+  std::vector<SweepRow> sweeps;
+  for (const unsigned jobs : {1U, parallel_jobs}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)exec::sweep_recovery(sweepable, exec::SweepOptions{jobs}, options);
+    const auto t1 = std::chrono::steady_clock::now();
+    sweeps.push_back({jobs, std::chrono::duration<double, std::milli>(t1 - t0).count()});
+  }
+
+  print_banner(std::cout, "full replay suite: jobs=1 vs jobs=N (exec/sharded_sweep)");
+  TextTable st({"jobs", "ms"});
+  for (const SweepRow& s : sweeps) st.row().cell(s.jobs).cell(s.ms, 1);
+  st.print(std::cout);
+  std::cout << "hardware_concurrency: " << hardware << "\n";
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << "\n";
     return 1;
   }
-  write_json(out, rows);
+  write_json(out, rows, sweeps, hardware);
   std::cout << "\nwrote " << out_path << "\n";
   return 0;
 }

@@ -8,9 +8,15 @@
 // excuse for shipping an unverified routing — the argument docs/
 // VERIFICATION.md makes in prose.
 //
+// Also times the two registry-scale sweeps (full certification and the
+// full fault sweep) at jobs=1 vs jobs=N through exec/sharded_sweep — the
+// rows CI tracks for the worker-pool speedup (see EXPERIMENTS.md; on a
+// single-core host the two are expected to tie).
+//
 // Writes a machine-readable BENCH_verify.json (path = argv[1], default
 // "BENCH_verify.json") for tracking regressions across PRs, and prints a
-// human table. Medians of `kRuns` runs; single-threaded.
+// human table. Medians of `kRuns` runs; per-combo rows single-threaded.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -19,6 +25,8 @@
 
 #include "analysis/channel_dependency.hpp"
 #include "analysis/vc_cdg.hpp"
+#include "exec/sharded_sweep.hpp"
+#include "exec/worker_pool.hpp"
 #include "util/table.hpp"
 #include "verify/registry.hpp"
 
@@ -57,7 +65,15 @@ struct Row {
   bool certified = false;
 };
 
-void write_json(std::ostream& os, const std::vector<Row>& rows) {
+/// One sharded-sweep timing: a registry-scale workload at a job count.
+struct SweepRow {
+  std::string workload;
+  unsigned jobs = 1;
+  double ms = 0.0;
+};
+
+void write_json(std::ostream& os, const std::vector<Row>& rows,
+                const std::vector<SweepRow>& sweeps, unsigned hardware_jobs) {
   os << "{\n  \"bench\": \"verify_passes\",\n  \"runs\": " << kRuns
      << ",\n  \"unit\": \"ms\",\n  \"combos\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -69,6 +85,12 @@ void write_json(std::ostream& os, const std::vector<Row>& rows) {
     os << ", \"checks\": " << r.checks
        << ", \"certified\": " << (r.certified ? "true" : "false") << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"hardware_jobs\": " << hardware_jobs << ",\n  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepRow& s = sweeps[i];
+    os << "    {\"workload\": \"" << s.workload << "\", \"jobs\": " << s.jobs
+       << ", \"ms\": " << s.ms << "}" << (i + 1 < sweeps.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -125,12 +147,45 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  // Registry-scale sweeps at jobs=1 vs jobs=N. The fault sweep is seconds,
+  // not milliseconds, so each config is timed once; N is at least 4 so the
+  // worker-pool path is exercised even on small hosts (a single-core host
+  // will honestly report a tie — see EXPERIMENTS.md).
+  const unsigned hardware = exec::WorkerPool::hardware_jobs();
+  const unsigned parallel_jobs = std::max(4U, hardware);
+  const auto sweep_once = [](auto&& f) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+  std::vector<const verify::RegistryCombo*> sweepable;
+  for (const verify::RegistryCombo& combo : verify::registry()) {
+    if (combo.fault_sweep) sweepable.push_back(&combo);
+  }
+  std::vector<SweepRow> sweeps;
+  for (const unsigned jobs : {1U, parallel_jobs}) {
+    const exec::SweepOptions sweep_options{jobs};
+    sweeps.push_back({"certify_all", jobs, sweep_once([&] {
+                        (void)exec::sweep_certification(verify::registry(), sweep_options);
+                      })});
+    sweeps.push_back({"fault_sweep_all", jobs, sweep_once([&] {
+                        (void)exec::sweep_fault_spaces(sweepable, sweep_options);
+                      })});
+  }
+
+  print_banner(std::cout, "registry-scale sweeps: jobs=1 vs jobs=N (exec/sharded_sweep)");
+  TextTable st({"workload", "jobs", "ms"});
+  for (const SweepRow& s : sweeps) st.row().cell(s.workload).cell(s.jobs).cell(s.ms, 1);
+  st.print(std::cout);
+  std::cout << "hardware_concurrency: " << hardware << "\n";
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << "\n";
     return 1;
   }
-  write_json(out, rows);
+  write_json(out, rows, sweeps, hardware);
   std::cout << "\nwrote " << out_path << "\n";
   return 0;
 }

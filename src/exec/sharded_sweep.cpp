@@ -1,0 +1,193 @@
+#include "exec/sharded_sweep.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "exec/worker_pool.hpp"
+#include "util/assert.hpp"
+
+namespace servernet::exec {
+
+namespace {
+
+/// One worker's private certification state for one combo: its own fabric
+/// build plus the sweep options wired to *that* build's updown/selector/
+/// multipath/dual members. Never shared across threads.
+struct ComboState {
+  verify::BuiltFabric built;
+  verify::FaultSpaceOptions fault_options;
+  /// Engaged lazily, only for fault sweeps (owns the incremental CDG).
+  std::optional<verify::FaultClassifier> classifier;
+};
+
+/// Heap-allocated on purpose: fault_options.base holds pointers into
+/// built's in-place members (e.g. the up/down classification), so the
+/// state must never move after verify_options() wires them.
+std::unique_ptr<ComboState> make_state(const verify::RegistryCombo& combo) {
+  auto state = std::make_unique<ComboState>();
+  state->built = combo.build();
+  state->fault_options.base = verify::verify_options(state->built);
+  state->fault_options.dual = state->built.dual.get();
+  return state;
+}
+
+/// Lazily materialized per-(worker, combo) state. The outer vector is
+/// indexed by worker (each slot touched only by that worker), the inner by
+/// combo position.
+class StateGrid {
+ public:
+  StateGrid(unsigned workers, std::size_t combos,
+            const std::vector<const verify::RegistryCombo*>& list)
+      : list_(list), grid_(workers) {
+    for (auto& row : grid_) row.resize(combos);
+  }
+
+  ComboState& at(unsigned worker, std::size_t combo) {
+    std::unique_ptr<ComboState>& slot = grid_[worker][combo];
+    if (slot == nullptr) slot = make_state(*list_[combo]);
+    return *slot;
+  }
+
+ private:
+  const std::vector<const verify::RegistryCombo*>& list_;
+  std::vector<std::vector<std::unique_ptr<ComboState>>> grid_;
+};
+
+/// A flattened task: one fault of one combo, or (fault == kHealthyTask)
+/// the combo's healthy-fabric verification.
+struct TaskRef {
+  std::size_t combo = 0;
+  std::size_t fault = 0;
+};
+constexpr std::size_t kHealthyTask = static_cast<std::size_t>(-1);
+
+void require_sweepable(const std::vector<const verify::RegistryCombo*>& combos) {
+  for (const verify::RegistryCombo* combo : combos) {
+    SN_REQUIRE(combo != nullptr && combo->fault_sweep,
+               "sharded sweeps require registry combos with fault_sweep enabled");
+  }
+}
+
+}  // namespace
+
+std::vector<verify::Report> sweep_certification(const std::vector<verify::RegistryCombo>& combos,
+                                                const SweepOptions& options) {
+  std::vector<verify::Report> reports(combos.size());
+  WorkerPool pool(options.jobs);
+  pool.run(combos.size(), [&](unsigned /*worker*/, std::size_t index) {
+    reports[index] = verify::run_combo(combos[index]);
+  });
+  return reports;
+}
+
+std::vector<verify::FaultSpaceReport> sweep_fault_spaces(
+    const std::vector<const verify::RegistryCombo*>& combos, const SweepOptions& options) {
+  require_sweepable(combos);
+
+  // Enumerate every combo's fault space up front, in serial sweep order,
+  // from a throwaway build (fault ids are stable across identical builds).
+  std::vector<std::vector<Fault>> fault_lists(combos.size());
+  std::vector<std::uint64_t> seeds(combos.size(), 0);
+  std::vector<TaskRef> tasks;
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    const std::unique_ptr<ComboState> state = make_state(*combos[c]);
+    fault_lists[c] = verify::fault_space_list(*state->built.net, state->fault_options);
+    seeds[c] = state->fault_options.seed;
+    tasks.push_back({c, kHealthyTask});
+    for (std::size_t f = 0; f < fault_lists[c].size(); ++f) tasks.push_back({c, f});
+  }
+
+  // Result slots: each written by exactly one task, read only after run().
+  std::vector<char> healthy_certified(combos.size(), 0);
+  std::vector<char> healthy_acyclic(combos.size(), 0);
+  std::vector<std::vector<verify::FaultOutcome>> outcomes(combos.size());
+  for (std::size_t c = 0; c < combos.size(); ++c) outcomes[c].resize(fault_lists[c].size());
+
+  WorkerPool pool(options.jobs);
+  StateGrid states(pool.jobs(), combos.size(), combos);
+  const auto classifier_of = [&](ComboState& state) -> verify::FaultClassifier& {
+    if (!state.classifier.has_value()) {
+      state.classifier.emplace(*state.built.net, state.built.table, state.fault_options);
+    }
+    return *state.classifier;
+  };
+  pool.run(tasks.size(), [&](unsigned worker, std::size_t index) {
+    const TaskRef task = tasks[index];
+    ComboState& state = states.at(worker, task.combo);
+    if (task.fault == kHealthyTask) {
+      healthy_certified[task.combo] =
+          verify::verify_fabric(*state.built.net, state.built.table, state.fault_options.base,
+                                combos[task.combo]->name)
+                  .certified()
+              ? 1
+              : 0;
+      healthy_acyclic[task.combo] = classifier_of(state).healthy_acyclic() ? 1 : 0;
+      return;
+    }
+    outcomes[task.combo][task.fault] =
+        classifier_of(state).classify(fault_lists[task.combo][task.fault]);
+  });
+
+  // Serial, index-ordered merge through the same helper the serial sweep
+  // uses — this is what makes the reports byte-identical at any job count.
+  std::vector<verify::FaultSpaceReport> reports(combos.size());
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    verify::FaultSpaceReport& report = reports[c];
+    report.fabric = combos[c]->name;
+    report.seed = seeds[c];
+    report.healthy_certified = healthy_certified[c] != 0;
+    report.healthy_acyclic = healthy_acyclic[c] != 0;
+    for (verify::FaultOutcome& outcome : outcomes[c]) report.merge_outcome(std::move(outcome));
+  }
+  return reports;
+}
+
+verify::FaultSpaceReport sweep_combo_faults(const verify::RegistryCombo& combo,
+                                            const SweepOptions& options) {
+  return std::move(sweep_fault_spaces({&combo}, options).front());
+}
+
+std::vector<recovery::RecoverySweepReport> sweep_recovery(
+    const std::vector<const verify::RegistryCombo*>& combos, const SweepOptions& options,
+    const recovery::RecoverySweepOptions& replay) {
+  require_sweepable(combos);
+
+  std::vector<std::vector<Fault>> fault_lists(combos.size());
+  std::vector<TaskRef> tasks;
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    const verify::BuiltFabric built = combos[c]->build();
+    fault_lists[c] = recovery::recovery_fault_list(*built.net, replay);
+    for (std::size_t f = 0; f < fault_lists[c].size(); ++f) tasks.push_back({c, f});
+  }
+
+  std::vector<std::vector<recovery::ReplayFaultResult>> results(combos.size());
+  for (std::size_t c = 0; c < combos.size(); ++c) results[c].resize(fault_lists[c].size());
+
+  WorkerPool pool(options.jobs);
+  StateGrid states(pool.jobs(), combos.size(), combos);
+  pool.run(tasks.size(), [&](unsigned worker, std::size_t index) {
+    const TaskRef task = tasks[index];
+    ComboState& state = states.at(worker, task.combo);
+    results[task.combo][task.fault] =
+        recovery::replay_fault(state.built, fault_lists[task.combo][task.fault], replay);
+  });
+
+  std::vector<recovery::RecoverySweepReport> reports(combos.size());
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    reports[c].fabric = combos[c]->name;
+    for (recovery::ReplayFaultResult& result : results[c]) {
+      reports[c].merge_result(std::move(result));
+    }
+  }
+  return reports;
+}
+
+recovery::RecoverySweepReport sweep_combo_recovery(const verify::RegistryCombo& combo,
+                                                   const SweepOptions& options,
+                                                   const recovery::RecoverySweepOptions& replay) {
+  return std::move(sweep_recovery({&combo}, options, replay).front());
+}
+
+}  // namespace servernet::exec

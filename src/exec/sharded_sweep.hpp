@@ -1,0 +1,83 @@
+// Sharded certification sweeps: the verifier's three registry-scale
+// workloads — full-registry certification (`servernet-verify --all`),
+// per-combo fault-space certification (`--faults`), and recovery replay
+// (`--recover`) — fanned out over a WorkerPool.
+//
+// Every fault and every combo is independent (IncrementalCdg made the
+// per-fault work cheap and isolated precisely so it could be swept), so
+// the drivers here shard the flattened (combo, fault) task space and let
+// work stealing absorb the imbalance between a tetrahedron and a 64-node
+// fractahedron.
+//
+// Determinism is a hard contract, not a best effort: for any job count,
+// the reports returned are **byte-identical** to the serial
+// run_combo_faults / replay_combo_recovery output (tests/test_exec.cpp
+// asserts it). Three rules make that true:
+//
+//   1. The task list is enumerated up front on the calling thread, in
+//      serial sweep order (fault_space_list / recovery_fault_list), and
+//      every result lands in its index-keyed slot; the merge is a serial
+//      post-pass in index order through the same merge_outcome /
+//      merge_result helpers the serial sweeps use.
+//   2. Mutable state is thread-confined: each worker lazily builds its
+//      *own* BuiltFabric (Network copy, routing state, simulators) and its
+//      own FaultClassifier / IncrementalCdg per combo. Workers share only
+//      the immutable task list and the registry. Builds are deterministic,
+//      so every worker's copy is id-identical.
+//   3. Seeds are fixed per task, never shared: the double-link sample is
+//      drawn once from FaultSpaceOptions::seed during enumeration, and
+//      each replay's simulator is seeded per fault exactly as in the
+//      serial sweep — no RNG state crosses a shard boundary.
+//
+// Ownership contract: the returned reports are self-contained values; all
+// worker-side fabric state dies inside the call. Combos passed by pointer
+// must outlive the call (they are registry entries in practice).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "recovery/replay.hpp"
+#include "verify/faults.hpp"
+#include "verify/registry.hpp"
+
+namespace servernet::exec {
+
+struct SweepOptions {
+  /// Worker count: 0 = WorkerPool::hardware_jobs(); 1 = serial on the
+  /// calling thread (no threads created).
+  unsigned jobs = 0;
+};
+
+/// Registry-wide certification (`--all`): one task per combo, each worker
+/// building and verifying its own fabric. Reports in `combos` order, each
+/// equal to verify::run_combo(combo).
+[[nodiscard]] std::vector<verify::Report> sweep_certification(
+    const std::vector<verify::RegistryCombo>& combos, const SweepOptions& options = {});
+
+/// Fault-space certification of many combos (`--faults --all`): the task
+/// space is every (combo, fault) pair plus one healthy-verification task
+/// per combo. Reports in `combos` order, each byte-identical to
+/// verify::run_combo_faults(*combo). All entries require fault_sweep.
+[[nodiscard]] std::vector<verify::FaultSpaceReport> sweep_fault_spaces(
+    const std::vector<const verify::RegistryCombo*>& combos, const SweepOptions& options = {});
+
+/// Single-combo convenience over sweep_fault_spaces.
+[[nodiscard]] verify::FaultSpaceReport sweep_combo_faults(const verify::RegistryCombo& combo,
+                                                          const SweepOptions& options = {});
+
+/// Recovery replay of many combos (`--recover --all`): one task per
+/// (combo, fault), each worker replaying through its own fabric build and
+/// simulator. Reports in `combos` order, each byte-identical to
+/// recovery::replay_combo_recovery(*combo, replay). All entries require
+/// fault_sweep.
+[[nodiscard]] std::vector<recovery::RecoverySweepReport> sweep_recovery(
+    const std::vector<const verify::RegistryCombo*>& combos, const SweepOptions& options = {},
+    const recovery::RecoverySweepOptions& replay = {});
+
+/// Single-combo convenience over sweep_recovery.
+[[nodiscard]] recovery::RecoverySweepReport sweep_combo_recovery(
+    const verify::RegistryCombo& combo, const SweepOptions& options = {},
+    const recovery::RecoverySweepOptions& replay = {});
+
+}  // namespace servernet::exec

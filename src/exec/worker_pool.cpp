@@ -1,0 +1,159 @@
+#include "exec/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace servernet::exec {
+
+namespace {
+
+constexpr std::uint64_t kIndexMask = 0xffffffffULL;
+
+std::uint64_t pack(std::uint64_t next, std::uint64_t end) { return (next << 32) | end; }
+std::uint64_t range_next(std::uint64_t r) { return r >> 32; }
+std::uint64_t range_end(std::uint64_t r) { return r & kIndexMask; }
+
+}  // namespace
+
+unsigned WorkerPool::hardware_jobs() {
+  return std::max(1U, std::thread::hardware_concurrency());
+}
+
+WorkerPool::WorkerPool(unsigned jobs)
+    : jobs_(jobs == 0 ? hardware_jobs() : jobs), shards_(jobs_) {
+  threads_.reserve(jobs_ - 1);
+  for (unsigned w = 1; w < jobs_; ++w) {
+    threads_.emplace_back([this, w] { thread_main(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(std::size_t count, const Task& task) {
+  SN_REQUIRE(count <= kIndexMask, "WorkerPool::run index space exceeds 2^32");
+  if (count == 0) return;
+  if (jobs_ == 1 || count == 1) {
+    // Serial fast path: same observable behaviour, no atomics. jobs = 1 is
+    // the determinism baseline the parallel runs are compared against.
+    for (std::size_t i = 0; i < count; ++i) task(0, i);
+    return;
+  }
+
+  // Deal contiguous chunks; stealing erases any initial imbalance.
+  for (unsigned w = 0; w < jobs_; ++w) {
+    const std::size_t begin = count * w / jobs_;
+    const std::size_t end = count * (w + 1) / jobs_;
+    shards_[w].range.store(pack(begin, end));
+  }
+  abort_.store(false);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    SN_REQUIRE(task_ == nullptr, "WorkerPool::run is not reentrant");
+    error_ = nullptr;
+    task_ = &task;
+    running_ = jobs_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+
+  work(0, task);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  task_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void WorkerPool::thread_main(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      task = task_;
+    }
+    work(worker, *task);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::work(unsigned worker, const Task& task) {
+  while (!abort_.load()) {
+    std::size_t index = 0;
+    if (!claim_own(worker, index) && !steal(worker, index)) break;
+    try {
+      task(worker, index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+      abort_.store(true);
+    }
+  }
+}
+
+bool WorkerPool::claim_own(unsigned worker, std::size_t& index) {
+  std::atomic<std::uint64_t>& range = shards_[worker].range;
+  std::uint64_t cur = range.load();
+  for (;;) {
+    const std::uint64_t next = range_next(cur);
+    if (next >= range_end(cur)) return false;
+    if (range.compare_exchange_weak(cur, pack(next + 1, range_end(cur)))) {
+      index = next;
+      return true;
+    }
+  }
+}
+
+bool WorkerPool::steal(unsigned worker, std::size_t& index) {
+  for (;;) {
+    // Pick the victim with the most work left; a failed CAS means someone
+    // else made progress, so rescanning always terminates.
+    unsigned victim = jobs_;
+    std::uint64_t victim_range = 0;
+    std::uint64_t best_remaining = 0;
+    for (unsigned v = 0; v < jobs_; ++v) {
+      if (v == worker) continue;
+      const std::uint64_t r = shards_[v].range.load();
+      const std::uint64_t remaining = range_end(r) - std::min(range_next(r), range_end(r));
+      if (remaining > best_remaining) {
+        best_remaining = remaining;
+        victim = v;
+        victim_range = r;
+      }
+    }
+    if (victim == jobs_) return false;
+
+    // Victim keeps the lower half, the thief takes [mid, end).
+    const std::uint64_t next = range_next(victim_range);
+    const std::uint64_t end = range_end(victim_range);
+    const std::uint64_t mid = next + (end - next) / 2;
+    if (!shards_[victim].range.compare_exchange_strong(victim_range, pack(next, mid))) {
+      continue;
+    }
+    index = mid;
+    if (mid + 1 < end) shards_[worker].range.store(pack(mid + 1, end));
+    return true;
+  }
+}
+
+}  // namespace servernet::exec

@@ -1,0 +1,112 @@
+// A small work-stealing worker pool for embarrassingly-parallel index
+// spaces.
+//
+// The certification workloads this repo sweeps — registry combos, per-combo
+// fault spaces, recovery replays — are large sets of *independent* tasks of
+// wildly uneven cost (a tetrahedron fault classifies in microseconds, a
+// 64-node fractahedron replay simulates tens of thousands of cycles).
+// A static partition would leave most workers idle behind the slowest
+// shard, so the pool deals ranges and lets idle workers steal half of the
+// largest remaining range:
+//
+//   * `run(count, task)` executes `task(worker, index)` exactly once for
+//     every index in [0, count). The *calling thread participates* as
+//     worker 0; the pool itself owns `jobs() - 1` threads, so a pool built
+//     with jobs = 1 owns no threads at all and `run` degenerates to a
+//     plain serial loop on the caller — the serial baseline and the
+//     parallel engine are the same code path.
+//   * Each worker starts with a contiguous chunk of the index space held
+//     in a single packed atomic {next, end}. Claiming pops one index with
+//     a CAS; a worker whose chunk is empty scans the other shards and
+//     steals the upper half of the largest one (Cilk-style victim split),
+//     so load imbalance self-corrects without a central queue.
+//
+// Ordering / ownership contracts a caller must respect:
+//
+//   * `task` is invoked concurrently from up to `jobs()` threads. It must
+//     confine its mutable state per (worker, index): write only to
+//     worker-indexed slots (scratch state) and index-indexed slots
+//     (results), never to shared accumulators. Deterministic merging is
+//     then a serial post-pass over the index-ordered results — this is
+//     exactly how exec/sharded_sweep reproduces byte-identical reports at
+//     any job count.
+//   * Task completion happens-before `run` returns (the pool joins a
+//     barrier internally), so the caller may read all result slots without
+//     further synchronization once `run` is back.
+//   * `run` is not reentrant: neither from two threads at once nor from
+//     inside a task (workers would deadlock on the internal barrier).
+//     One pool, one sweep at a time; create a second pool for nesting.
+//   * If any task throws, the pool stops handing out new indices, lets
+//     in-flight tasks finish, and rethrows the *first* exception on the
+//     caller; some indices may then never have run.
+//   * The destructor joins all threads; the pool must outlive every
+//     `run` call but holds no reference to `task` afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace servernet::exec {
+
+class WorkerPool {
+ public:
+  /// `task(worker, index)`: `worker` in [0, jobs()) is unique per
+  /// concurrent caller and stable for the thread within one `run`; use it
+  /// to index per-worker scratch state.
+  using Task = std::function<void(unsigned worker, std::size_t index)>;
+
+  /// jobs = 0 selects hardware_jobs(). jobs = 1 runs everything on the
+  /// calling thread (no threads are created).
+  explicit WorkerPool(unsigned jobs = 0);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total workers, including the calling thread: threads owned = jobs()-1.
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Runs `task(worker, index)` for every index in [0, count), blocking
+  /// until all claimed indices have finished. See the header comment for
+  /// the concurrency, determinism and exception contracts.
+  void run(std::size_t count, const Task& task);
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  [[nodiscard]] static unsigned hardware_jobs();
+
+ private:
+  /// One worker's index range, packed {next:32, end:32} so claim and
+  /// steal are single-word CAS operations. Cache-line aligned to keep
+  /// claim traffic off neighbouring shards.
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> range{0};
+  };
+
+  void thread_main(unsigned worker);
+  /// Claims indices (own shard first, then stealing) and runs the task
+  /// until the index space is exhausted or a task threw somewhere.
+  void work(unsigned worker, const Task& task);
+  bool claim_own(unsigned worker, std::size_t& index);
+  bool steal(unsigned worker, std::size_t& index);
+
+  unsigned jobs_;
+  std::vector<Shard> shards_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;       // bumped per run(); workers wait on it
+  unsigned running_ = 0;          // pool threads still inside work()
+  const Task* task_ = nullptr;    // valid for the duration of one run()
+  bool stop_ = false;
+  std::exception_ptr error_;      // first task exception of the run
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace servernet::exec

@@ -30,6 +30,35 @@
 // decides which action a hard-fault set needs, so the static verdict and
 // the runtime behaviour agree by construction; recovery/replay.hpp
 // cross-validates the two over every registered combo's fault space.
+//
+// Ordering contract. The lifecycle is strictly sequenced within a round
+// and rounds never overlap:
+//
+//   * per RecoveryEvent, detected_cycle <= escalated_cycle <=
+//     quiesced_cycle <= installed_cycle — each stage completes before the
+//     next begins;
+//   * injection is paused BEFORE any in-flight packet is purged, and a
+//     table is swapped (or pairs diverted) only after the fabric drains
+//     to zero flits in flight — a table installed into a moving fabric
+//     could create dependency cycles neither table has alone;
+//   * purged packets are re-offered in their original per-(src,dst)
+//     sequence order, so deterministic routings keep strict in-order
+//     delivery across the swap;
+//   * a new round cannot start until the previous round's
+//     installed_cycle: escalations arriving mid-round join the current
+//     round's hard-fault set instead of racing it. events are therefore
+//     recorded in nondecreasing installed_cycle order.
+//
+// Ownership contract. The controller is single-threaded and
+// thread-confined: it borrows `sim` (which must outlive it) and is the
+// ONLY writer of the sim's recovery surface (pause_injection / purge /
+// swap_table / divert) while alive — drive the sim only through run().
+// Everything RecoveryOptions points at (base verify options, the dual
+// fabric handle) is borrowed and must outlive the controller; the
+// controller owns its monitor, fault clock, episode queue and event log
+// outright. Nothing here is synchronized: parallel sweeps must give each
+// worker its own simulator + controller over its own fabric build (see
+// exec/sharded_sweep.hpp — replay_fault constructs both per fault).
 #pragma once
 
 #include <cstdint>

@@ -210,8 +210,10 @@ void drive(ReplayFaultResult& out, const verify::BuiltFabric& built, Sim& sim,
   check_agreement(out, rep, sim.packets_offered(), static_stranded, inorder_matters);
 }
 
-ReplayFaultResult replay_one(const verify::BuiltFabric& built, const Fault& fault,
-                             const RecoverySweepOptions& options) {
+}  // namespace
+
+ReplayFaultResult replay_fault(const verify::BuiltFabric& built, const Fault& fault,
+                               const RecoverySweepOptions& options) {
   const Network& net = *built.net;
 
   ReplayFaultResult out;
@@ -251,18 +253,7 @@ ReplayFaultResult replay_one(const verify::BuiltFabric& built, const Fault& faul
   return out;
 }
 
-}  // namespace
-
-RecoverySweepReport replay_combo_recovery(const verify::RegistryCombo& combo,
-                                          const RecoverySweepOptions& options) {
-  SN_REQUIRE(combo.fault_sweep,
-             "combo '" + combo.name + "' is excluded from fault sweeps (fault_sweep = false)");
-  const verify::BuiltFabric built = combo.build();
-  const Network& net = *built.net;
-
-  RecoverySweepReport report;
-  report.fabric = combo.name;
-
+std::vector<Fault> recovery_fault_list(const Network& net, const RecoverySweepOptions& options) {
   std::vector<Fault> faults = enumerate_link_faults(net);
   if (options.limit > 0 && faults.size() > options.limit) faults.resize(options.limit);
   if (options.include_router_faults) {
@@ -270,11 +261,25 @@ RecoverySweepReport replay_combo_recovery(const verify::RegistryCombo& combo,
     if (options.limit > 0 && routers.size() > options.limit) routers.resize(options.limit);
     faults.insert(faults.end(), routers.begin(), routers.end());
   }
+  return faults;
+}
 
-  for (const Fault& fault : faults) {
-    report.results.push_back(replay_one(built, fault, options));
-    ++report.faults;
-    if (report.results.back().agree) ++report.agreements;
+void RecoverySweepReport::merge_result(ReplayFaultResult result) {
+  ++faults;
+  if (result.agree) ++agreements;
+  results.push_back(std::move(result));
+}
+
+RecoverySweepReport replay_combo_recovery(const verify::RegistryCombo& combo,
+                                          const RecoverySweepOptions& options) {
+  SN_REQUIRE(combo.fault_sweep,
+             "combo '" + combo.name + "' is excluded from fault sweeps (fault_sweep = false)");
+  const verify::BuiltFabric built = combo.build();
+
+  RecoverySweepReport report;
+  report.fabric = combo.name;
+  for (const Fault& fault : recovery_fault_list(*built.net, options)) {
+    report.merge_result(replay_fault(built, fault, options));
   }
   return report;
 }

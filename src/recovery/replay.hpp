@@ -77,10 +77,32 @@ struct RecoverySweepReport {
   std::vector<ReplayFaultResult> results;
 
   [[nodiscard]] bool all_agree() const { return agreements == faults; }
+  /// Appends one replayed fault and updates the agreement tally. Call in
+  /// replay order — replay_combo_recovery and the sharded sweep both merge
+  /// through here, which is what keeps their reports byte-identical.
+  void merge_result(ReplayFaultResult result);
   void write_text(std::ostream& os) const;
-  /// Stable JSON (schema in docs/VERIFICATION.md), for the CI artifact.
+  /// Stable JSON (schema in docs/CLI.md), for the CI artifact.
   void write_json(std::ostream& os) const;
 };
+
+/// The fault list replay_combo_recovery sweeps, in replay order: every
+/// link fault, then every router fault (unless disabled), each class
+/// truncated to options.limit. Exposed so exec/sharded_sweep shards the
+/// identical list across workers.
+[[nodiscard]] std::vector<Fault> recovery_fault_list(const Network& net,
+                                                     const RecoverySweepOptions& options = {});
+
+/// Replays one fault through a fresh simulator + RecoveryController and
+/// compares the runtime behaviour against the static verdict.
+///
+/// Threading contract: `built` is read-only here but must be confined to
+/// the calling thread anyway — a BuiltFabric's Network and routing state
+/// are not guarded, and the replay builds simulators over them. Parallel
+/// sweeps give each worker its own combo.build() (see exec/sharded_sweep);
+/// two workers never share a BuiltFabric.
+[[nodiscard]] ReplayFaultResult replay_fault(const verify::BuiltFabric& built, const Fault& fault,
+                                             const RecoverySweepOptions& options = {});
 
 /// Replays the combo's single-fault space (links, and routers unless
 /// disabled) through a fresh simulator + controller per fault. Requires

@@ -267,20 +267,6 @@ FaultOutcome classify_degraded(IncrementalCdg* inc, const Network& net, const Ro
   return finish(std::move(outcome));
 }
 
-FaultOutcome classify_one(IncrementalCdg& inc, const Network& net, const RoutingTable& table,
-                          const Fault& fault, const FaultSpaceOptions& options) {
-  FaultOutcome outcome;
-  outcome.fault = fault;
-  outcome.description = describe(net, fault);
-  const DegradedNetwork degraded = apply_fault(net, fault);
-  // VC combos certify deadlock freedom on the *extended* CDG; their
-  // physical CDG is legitimately cyclic (that is the point of datelines),
-  // so the incremental physical certificate is not consulted.
-  IncrementalCdg* physical = options.base.vc.selector == nullptr ? &inc : nullptr;
-  if (physical != nullptr) physical->remove_channels(degraded.removed);
-  return classify_degraded(physical, net, table, degraded, std::move(outcome), options);
-}
-
 const char* kind_name(FaultKind k) {
   switch (k) {
     case FaultKind::kLink:
@@ -295,10 +281,43 @@ const char* kind_name(FaultKind k) {
 
 }  // namespace
 
+FaultClassifier::FaultClassifier(const Network& net, const RoutingTable& table,
+                                 FaultSpaceOptions options)
+    : net_(net), table_(table), options_(std::move(options)), inc_(net, table) {}
+
+bool FaultClassifier::healthy_acyclic() const { return inc_.is_acyclic(); }
+
+FaultOutcome FaultClassifier::classify(const Fault& fault) {
+  FaultOutcome outcome;
+  outcome.fault = fault;
+  outcome.description = describe(net_, fault);
+  const DegradedNetwork degraded = apply_fault(net_, fault);
+  // VC combos certify deadlock freedom on the *extended* CDG; their
+  // physical CDG is legitimately cyclic (that is the point of datelines),
+  // so the incremental physical certificate is not consulted.
+  IncrementalCdg* physical = options_.base.vc.selector == nullptr ? &inc_ : nullptr;
+  if (physical != nullptr) physical->remove_channels(degraded.removed);
+  return classify_degraded(physical, net_, table_, degraded, std::move(outcome), options_);
+}
+
 FaultOutcome classify_fault(const Network& net, const RoutingTable& table, const Fault& fault,
                             const FaultSpaceOptions& options) {
-  IncrementalCdg inc(net, table);
-  return classify_one(inc, net, table, fault, options);
+  FaultClassifier classifier(net, table, options);
+  return classifier.classify(fault);
+}
+
+std::vector<Fault> fault_space_list(const Network& net, const FaultSpaceOptions& options) {
+  std::vector<Fault> faults = enumerate_link_faults(net);
+  if (options.router_faults) {
+    const std::vector<Fault> routers = enumerate_router_faults(net);
+    faults.insert(faults.end(), routers.begin(), routers.end());
+  }
+  if (options.double_link_samples > 0) {
+    const std::vector<Fault> doubles =
+        sample_double_link_faults(net, options.double_link_samples, options.seed);
+    faults.insert(faults.end(), doubles.begin(), doubles.end());
+  }
+  return faults;
 }
 
 FaultOutcome classify_channel_faults(const Network& net, const RoutingTable& table,
@@ -343,32 +362,28 @@ FaultSpaceReport certify_fault_space(const Network& net, const RoutingTable& tab
   report.seed = options.seed;
   report.healthy_certified = verify_fabric(net, table, options.base, report.fabric).certified();
 
-  IncrementalCdg inc(net, table);
-  report.healthy_acyclic = inc.is_acyclic();
-
-  const auto sweep = [&](const std::vector<Fault>& faults, FaultClassCounts& counts) {
-    for (const Fault& fault : faults) {
-      FaultOutcome outcome = classify_one(inc, net, table, fault, options);
-      ++counts.total;
-      ++counts.verdicts[static_cast<std::size_t>(outcome.verdict)];
-      if (outcome.repair_attempted) {
-        if (outcome.repair_certified) {
-          ++counts.repaired;
-        } else {
-          ++counts.repair_failed;
-        }
-      }
-      if (outcome.verdict != FaultVerdict::kSurvives) report.outcomes.push_back(std::move(outcome));
-    }
-  };
-
-  sweep(enumerate_link_faults(net), report.link);
-  if (options.router_faults) sweep(enumerate_router_faults(net), report.router);
-  if (options.double_link_samples > 0) {
-    sweep(sample_double_link_faults(net, options.double_link_samples, options.seed),
-          report.double_link);
+  FaultClassifier classifier(net, table, options);
+  report.healthy_acyclic = classifier.healthy_acyclic();
+  for (const Fault& fault : fault_space_list(net, options)) {
+    report.merge_outcome(classifier.classify(fault));
   }
   return report;
+}
+
+void FaultSpaceReport::merge_outcome(FaultOutcome outcome) {
+  FaultClassCounts& counts = outcome.fault.kind == FaultKind::kLink     ? link
+                             : outcome.fault.kind == FaultKind::kRouter ? router
+                                                                        : double_link;
+  ++counts.total;
+  ++counts.verdicts[static_cast<std::size_t>(outcome.verdict)];
+  if (outcome.repair_attempted) {
+    if (outcome.repair_certified) {
+      ++counts.repaired;
+    } else {
+      ++counts.repair_failed;
+    }
+  }
+  if (outcome.verdict != FaultVerdict::kSurvives) outcomes.push_back(std::move(outcome));
 }
 
 const FaultOutcome* FaultSpaceReport::worst() const {

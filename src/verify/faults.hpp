@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/incremental_cdg.hpp"
 #include "fabric/dual_fabric.hpp"
 #include "route/routing_table.hpp"
 #include "topo/fault.hpp"
@@ -131,8 +132,14 @@ struct FaultSpaceReport {
   /// can reconnect severed hardware.
   [[nodiscard]] bool single_faults_covered() const;
 
+  /// Folds one classified fault into the per-class counts (keyed by
+  /// fault.kind) and, when non-SURVIVES, into `outcomes`. Call in
+  /// enumeration order — certify_fault_space and the sharded sweep both
+  /// merge through here, which is what keeps their reports byte-identical.
+  void merge_outcome(FaultOutcome outcome);
+
   void write_text(std::ostream& os) const;
-  /// Stable JSON coverage matrix (schema in docs/VERIFICATION.md).
+  /// Stable JSON coverage matrix (schema in docs/CLI.md).
   void write_json(std::ostream& os) const;
   [[nodiscard]] std::string text() const;
   [[nodiscard]] std::string json() const;
@@ -143,6 +150,42 @@ struct FaultSpaceReport {
 [[nodiscard]] FaultOutcome classify_fault(const Network& net, const RoutingTable& table,
                                           const Fault& fault,
                                           const FaultSpaceOptions& options = {});
+
+/// The exact fault enumeration certify_fault_space sweeps, in sweep order:
+/// every link fault, every router fault (when options.router_faults), then
+/// the seeded double-link sample. Exposed so exec/sharded_sweep can shard
+/// the identical list across workers and merge byte-identically.
+[[nodiscard]] std::vector<Fault> fault_space_list(const Network& net,
+                                                  const FaultSpaceOptions& options = {});
+
+/// A reusable, *thread-confined* fault-classification worker: owns the
+/// incremental physical CDG for one (net, table) pair so a sweep pays the
+/// full CDG build once, then classifies each fault with O(degree) channel
+/// masking (restored before classify() returns).
+///
+/// Ownership/threading contract: the classifier keeps references to `net`
+/// and `table` and copies `options` (whose `base` members point at
+/// caller-owned state — updown classification, VC selector, multipath
+/// table, dual handle); everything pointed at must outlive the classifier.
+/// classify() mutates internal state and must only be called from one
+/// thread at a time. Parallel sweeps give each worker its own fabric build
+/// and its own FaultClassifier (see exec/sharded_sweep) — two classifiers
+/// never share a Network.
+class FaultClassifier {
+ public:
+  FaultClassifier(const Network& net, const RoutingTable& table, FaultSpaceOptions options);
+
+  [[nodiscard]] FaultOutcome classify(const Fault& fault);
+  /// The healthy fabric's physical-CDG acyclicity (FaultSpaceReport's
+  /// `healthy_acyclic` field).
+  [[nodiscard]] bool healthy_acyclic() const;
+
+ private:
+  const Network& net_;
+  const RoutingTable& table_;
+  FaultSpaceOptions options_;
+  IncrementalCdg inc_;
+};
 
 /// Classifies an arbitrary dead-channel set — the shape a recovery
 /// controller accumulates at runtime, which need not match any single

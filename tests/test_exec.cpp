@@ -1,0 +1,207 @@
+// The parallel certification engine's two contracts:
+//
+//   1. WorkerPool executes every index exactly once, whatever the job
+//      count, skew, or exception traffic — the scheduling is allowed to
+//      vary, the coverage is not.
+//   2. The sharded sweeps are *byte-identical* to their serial
+//      counterparts (run_combo / run_combo_faults / replay_combo_recovery)
+//      at any job count. This is the determinism promise `--jobs` makes in
+//      docs/CLI.md, asserted on the JSON the CI artifacts are built from.
+//
+// The suite runs under the thread sanitizer in tools/check.sh, so the
+// jobs>1 cases double as the TSan workload for the whole verify stack.
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/sharded_sweep.hpp"
+#include "exec/worker_pool.hpp"
+#include "recovery/replay.hpp"
+#include "topo/fault.hpp"
+#include "verify/registry.hpp"
+
+using namespace servernet;
+
+namespace {
+
+const verify::RegistryCombo& combo_named(const std::string& name) {
+  for (const verify::RegistryCombo& c : verify::registry()) {
+    if (c.name == name) return c;
+  }
+  throw std::runtime_error("no combo named " + name);
+}
+
+// Small fabrics keep the sanitizer runtime of the byte-identity sweeps in
+// check; between them they cover plain, VC, dual-fabric, and indicted
+// classification paths.
+const char* const kSmallCombos[] = {"tetrahedron", "ring-8-updown", "ring-4-dateline-vc",
+                                    "dual-mesh-3x3-dor", "ring-4-unrestricted"};
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  exec::WorkerPool pool(8);
+  EXPECT_EQ(pool.jobs(), 8U);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.run(kCount, [&](unsigned /*worker*/, std::size_t index) {
+    hits[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPool, StealingCoversSkewedWork) {
+  // All the weight lands in worker 0's initial chunk; the other workers
+  // must steal it or the pool leaves most of the time on the table. Either
+  // way every index runs exactly once — that is the assertable contract.
+  exec::WorkerPool pool(4);
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.run(kCount, [&](unsigned /*worker*/, std::size_t index) {
+    if (index < kCount / 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    hits[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPool, SerialModeStaysOnCallingThread) {
+  exec::WorkerPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1U);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.run(16, [&](unsigned worker, std::size_t index) {
+    EXPECT_EQ(worker, 0U);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(index);  // no synchronization needed: single thread
+  });
+  ASSERT_EQ(order.size(), 16U);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    // The serial fast path is a plain in-order loop — the determinism
+    // baseline the parallel runs are compared against.
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(WorkerPool, ZeroCountRunsNothing) {
+  exec::WorkerPool pool(4);
+  std::atomic<int> calls{0};
+  pool.run(0, [&](unsigned, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(WorkerPool, CountBelowJobsStillCoversAll) {
+  exec::WorkerPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.run(3, [&](unsigned, std::size_t index) { hits[index].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkerPool, ExceptionPropagatesAndPoolSurvives) {
+  exec::WorkerPool pool(4);
+  EXPECT_THROW(pool.run(100,
+                        [&](unsigned, std::size_t index) {
+                          if (index == 37) throw std::runtime_error("task 37 failed");
+                        }),
+               std::runtime_error);
+  // The pool must remain usable after a failed run.
+  std::atomic<int> calls{0};
+  pool.run(50, [&](unsigned, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 50);
+}
+
+TEST(WorkerPool, HardwareJobsIsPositive) {
+  EXPECT_GE(exec::WorkerPool::hardware_jobs(), 1U);
+  exec::WorkerPool defaulted;  // jobs = 0 resolves to hardware_jobs()
+  EXPECT_EQ(defaulted.jobs(), exec::WorkerPool::hardware_jobs());
+}
+
+TEST(WorkerPool, WorkerIdsStayInRange) {
+  exec::WorkerPool pool(3);
+  std::atomic<bool> bad{false};
+  pool.run(200, [&](unsigned worker, std::size_t) {
+    if (worker >= 3) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ShardedSweep, CertificationMatchesSerialByteForByte) {
+  const std::vector<verify::RegistryCombo>& registry = verify::registry();
+  const std::vector<verify::Report> sharded =
+      exec::sweep_certification(registry, exec::SweepOptions{8});
+  ASSERT_EQ(sharded.size(), registry.size());
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const verify::Report serial = verify::run_combo(registry[i]);
+    EXPECT_EQ(sharded[i].json(), serial.json()) << registry[i].name;
+  }
+}
+
+TEST(ShardedSweep, FaultSweepMatchesSerialByteForByte) {
+  std::vector<const verify::RegistryCombo*> combos;
+  for (const char* name : kSmallCombos) combos.push_back(&combo_named(name));
+  const std::vector<verify::FaultSpaceReport> sharded =
+      exec::sweep_fault_spaces(combos, exec::SweepOptions{8});
+  ASSERT_EQ(sharded.size(), combos.size());
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const verify::FaultSpaceReport serial = verify::run_combo_faults(*combos[i]);
+    EXPECT_EQ(sharded[i].json(), serial.json()) << combos[i]->name;
+  }
+}
+
+TEST(ShardedSweep, FaultSweepJobCountsAgree) {
+  // jobs=1 (serial fast path, no threads) vs an oversubscribed pool.
+  const verify::RegistryCombo& combo = combo_named("tetrahedron");
+  const verify::FaultSpaceReport serial =
+      exec::sweep_combo_faults(combo, exec::SweepOptions{1});
+  const verify::FaultSpaceReport wide = exec::sweep_combo_faults(combo, exec::SweepOptions{16});
+  EXPECT_EQ(serial.json(), wide.json());
+}
+
+TEST(ShardedSweep, RecoveryMatchesSerialByteForByte) {
+  // Truncated fault space: the replay suite is the expensive sweep, and
+  // TSan multiplies it; the merge path is identical at any limit.
+  recovery::RecoverySweepOptions replay;
+  replay.limit = 6;
+  std::vector<const verify::RegistryCombo*> combos;
+  for (const char* name : {"tetrahedron", "ring-8-updown", "dual-mesh-3x3-dor"}) {
+    combos.push_back(&combo_named(name));
+  }
+  const std::vector<recovery::RecoverySweepReport> sharded =
+      exec::sweep_recovery(combos, exec::SweepOptions{8}, replay);
+  ASSERT_EQ(sharded.size(), combos.size());
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const recovery::RecoverySweepReport serial =
+        recovery::replay_combo_recovery(*combos[i], replay);
+    std::ostringstream serial_json;
+    std::ostringstream sharded_json;
+    serial.write_json(serial_json);
+    sharded[i].write_json(sharded_json);
+    EXPECT_EQ(sharded_json.str(), serial_json.str()) << combos[i]->name;
+  }
+}
+
+TEST(ShardedSweep, FaultListMatchesSerialEnumeration) {
+  // The shared enumeration is the first leg of the determinism contract:
+  // identical builds must yield identical fault lists.
+  const verify::RegistryCombo& combo = combo_named("ring-8-updown");
+  const verify::BuiltFabric a = combo.build();
+  const verify::BuiltFabric b = combo.build();
+  const std::vector<Fault> fa = verify::fault_space_list(*a.net);
+  const std::vector<Fault> fb = verify::fault_space_list(*b.net);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(describe(*a.net, fa[i]), describe(*b.net, fb[i]));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Documentation link/anchor checker — the CI `docs` job.
+#
+# Over every tracked *.md file, verifies that
+#   1. relative markdown links [text](path) resolve to a real file, and
+#      their #anchors match a heading in the target (GitHub slugging);
+#   2. backtick code references that look like repo paths with an
+#      extension (`src/exec/worker_pool.hpp`, `tools/check.sh`,
+#      `docs/CLI.md`) resolve to a real file.
+# External links (http/https/mailto) are not fetched.
+#
+# Usage: tools/check_docs.sh [file.md ...]   (default: all tracked *.md)
+set -u
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  while IFS= read -r f; do files+=("$f"); done \
+    < <(git ls-files --cached --others --exclude-standard '*.md')
+fi
+
+fail=0
+err() {
+  echo "check_docs: $1" >&2
+  fail=1
+}
+
+# GitHub-style heading slug: lowercase, strip everything but
+# alphanumerics/space/hyphen, spaces to hyphens. (Good enough for the
+# ASCII headings this repo uses; duplicate-heading -1 suffixes are not
+# generated, so don't rely on them.)
+slug() {
+  printf '%s' "$1" \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+
+anchors_of() { # file -> one slug per heading line
+  sed -n 's/^#\{1,6\} //p' "$1" | while IFS= read -r h; do
+    slug "$h"
+    echo
+  done
+}
+
+for f in "${files[@]}"; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+
+  # 1. Relative markdown links (skip images and absolute/external URLs).
+  while IFS= read -r link; do
+    [ -n "$link" ] || continue
+    case $link in
+      http://*|https://*|mailto:*|/*) continue ;;
+    esac
+    target=${link%%#*}
+    anchor=${link#*#}
+    [ "$anchor" = "$link" ] && anchor=""
+    if [ -n "$target" ]; then
+      resolved="$dir/$target"
+    else
+      resolved="$f" # same-file anchor
+    fi
+    if [ ! -e "$resolved" ]; then
+      err "$f: broken link '$link' (no such file: $resolved)"
+      continue
+    fi
+    if [ -n "$anchor" ]; then
+      case $resolved in
+        *.md)
+          if ! anchors_of "$resolved" | grep -qx "$anchor"; then
+            err "$f: broken anchor '#$anchor' in link '$link' ($resolved has no such heading)"
+          fi
+          ;;
+      esac
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$f" | sed -n 's/.*](\([^)]*\)).*/\1/p')
+
+  # 2. Backtick repo-path code references: `dir/.../name.ext` (optionally
+  # with a :line or trailing description after the path inside the same
+  # backticks is NOT matched — the reference must be the whole span).
+  while IFS= read -r ref; do
+    [ -n "$ref" ] || continue
+    path=${ref%%:*} # strip a trailing :line if present
+    # Prose often refers to library files src/-relative
+    # (`analysis/cycles.hpp`); accept either spelling.
+    if [ ! -e "$path" ] && [ ! -e "src/$path" ]; then
+      err "$f: code reference \`$ref\` does not resolve (no such file: $path)"
+    fi
+  done < <(grep -o '`[A-Za-z0-9_./-]*`' "$f" | tr -d '`' \
+             | grep -E '^[A-Za-z0-9_.-]+(/[A-Za-z0-9_.-]+)+\.[A-Za-z0-9]+(:[0-9]+)?$' \
+             | sort -u)
+done
+
+if [ $fail -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: all links and code references resolve"

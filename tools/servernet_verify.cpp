@@ -14,6 +14,11 @@
 //                                             # classified, coverage matrix
 //   $ servernet-verify --faults --all --json  # full-registry fault sweep,
 //                                             # stable JSON for CI
+//   $ servernet-verify --recover --all --jobs 8
+//                                             # runtime recovery replay of the
+//                                             # whole registry on 8 workers —
+//                                             # output byte-identical to
+//                                             # --jobs 1 (see docs/CLI.md)
 //   $ servernet-verify --dot-witness w.dot torus-4x4-unrestricted
 //                                             # Graphviz export with the
 //                                             # indictment witness in red
@@ -27,11 +32,18 @@
 // including VC/adaptive ones (their routing state is remapped into the
 // degraded channel-id space); --recover replays each static fault verdict
 // through the runtime recovery controller and cross-validates the two.
+//
+// The sweep modes (--all, --faults, --recover) shard their work across
+// --jobs N workers (default: hardware concurrency) via exec/sharded_sweep;
+// reports are merged deterministically, so the text and JSON output is
+// byte-identical at any job count.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "exec/sharded_sweep.hpp"
 #include "recovery/replay.hpp"
 #include "topo/dot.hpp"
 #include "verify/registry.hpp"
@@ -41,9 +53,10 @@ using namespace servernet;
 namespace {
 
 int usage() {
-  std::cerr << "usage: servernet-verify [--json] [--faults|--recover] [--dot-witness <file>] "
-               "<combo>...\n"
-               "       servernet-verify [--json] [--faults|--recover] --all | --list | --passes\n"
+  std::cerr << "usage: servernet-verify [--json] [--faults|--recover] [--jobs N] "
+               "[--dot-witness <file>] <combo>...\n"
+               "       servernet-verify [--json] [--faults|--recover] [--jobs N] --all\n"
+               "       servernet-verify --list | --passes\n"
                "run 'servernet-verify --list' for the registered combos\n";
   return 2;
 }
@@ -76,6 +89,17 @@ bool export_dot_witness(const std::string& path, const Network& net,
   return true;
 }
 
+/// Combos a fault/recovery sweep covers, in registry order.
+std::vector<const verify::RegistryCombo*> sweepable_combos(bool certified_only) {
+  std::vector<const verify::RegistryCombo*> combos;
+  for (const verify::RegistryCombo& c : verify::registry()) {
+    if (!c.fault_sweep) continue;
+    if (certified_only && !c.expect_certified) continue;
+    combos.push_back(&c);
+  }
+  return combos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +109,7 @@ int main(int argc, char** argv) {
   bool passes = false;
   bool faults = false;
   bool recover = false;
+  exec::SweepOptions sweep;  // jobs = 0: hardware concurrency
   std::string dot_witness;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +126,14 @@ int main(int argc, char** argv) {
       faults = true;
     } else if (arg == "--recover") {
       recover = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) return usage();
+      const long jobs = std::strtol(argv[++i], nullptr, 10);
+      if (jobs < 1 || jobs > 1024) {
+        std::cerr << "--jobs wants a worker count in [1, 1024]\n";
+        return 2;
+      }
+      sweep.jobs = static_cast<unsigned>(jobs);
     } else if (arg == "--dot-witness") {
       if (i + 1 >= argc) return usage();
       dot_witness = argv[++i];
@@ -130,67 +163,70 @@ int main(int argc, char** argv) {
     // Runtime replay gate: every static fault verdict must be matched by
     // the recovery controller's behaviour. Expected-indicted combos are
     // skipped — their fault spaces legitimately deadlock at runtime.
+    const std::vector<const verify::RegistryCombo*> combos =
+        sweepable_combos(/*certified_only=*/true);
+    const std::vector<recovery::RecoverySweepReport> reports =
+        exec::sweep_recovery(combos, sweep);
     bool all_agree = true;
-    bool first = true;
     if (json) std::cout << "[\n";
-    for (const verify::RegistryCombo& c : verify::registry()) {
-      if (!c.fault_sweep || !c.expect_certified) continue;
-      const recovery::RecoverySweepReport report = recovery::replay_combo_recovery(c);
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const recovery::RecoverySweepReport& report = reports[i];
       all_agree = all_agree && report.all_agree();
       if (json) {
-        if (!first) std::cout << ",\n";
+        if (i != 0) std::cout << ",\n";
         report.write_json(std::cout);
       } else {
-        std::cout << c.name << ": " << report.agreements << "/" << report.faults
+        std::cout << combos[i]->name << ": " << report.agreements << "/" << report.faults
                   << (report.all_agree() ? " AGREE" : " DISAGREE") << '\n';
       }
-      first = false;
     }
     if (json) std::cout << "]\n";
     return all_agree ? 0 : 1;
   }
   if (all && faults) {
+    const std::vector<const verify::RegistryCombo*> combos =
+        sweepable_combos(/*certified_only=*/false);
+    const std::vector<verify::FaultSpaceReport> reports =
+        exec::sweep_fault_spaces(combos, sweep);
     bool all_as_expected = true;
-    bool first = true;
     if (json) std::cout << "[\n";
-    for (const verify::RegistryCombo& c : verify::registry()) {
-      if (!c.fault_sweep) continue;  // VC/adaptive combos: see registry.hpp
-      const verify::FaultSpaceReport report = verify::run_combo_faults(c);
-      const bool as_expected = verify::faults_as_expected(c, report);
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const verify::FaultSpaceReport& report = reports[i];
+      const bool as_expected = verify::faults_as_expected(*combos[i], report);
       all_as_expected = all_as_expected && as_expected;
       if (json) {
-        if (!first) std::cout << ",\n";
+        if (i != 0) std::cout << ",\n";
         report.write_json(std::cout);
       } else {
-        const std::size_t total = report.link.total + report.router.total +
-                                  report.double_link.total;
-        std::cout << c.name << ": "
+        const std::size_t total =
+            report.link.total + report.router.total + report.double_link.total;
+        std::cout << combos[i]->name << ": "
                   << (report.single_faults_covered() ? "COVERED" : "NOT COVERED") << " ("
                   << (as_expected ? "as expected" : "UNEXPECTED") << ", " << total
                   << " faults)\n";
       }
-      first = false;
     }
     if (json) std::cout << "]\n";
     return all_as_expected ? 0 : 1;
   }
   if (all) {
+    const std::vector<verify::Report> reports =
+        exec::sweep_certification(verify::registry(), sweep);
     bool all_as_expected = true;
-    bool first = true;
     if (json) std::cout << "[\n";
-    for (const verify::RegistryCombo& c : verify::registry()) {
-      const verify::Report report = verify::run_combo(c);
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const verify::RegistryCombo& c = verify::registry()[i];
+      const verify::Report& report = reports[i];
       const bool as_expected = report.certified() == c.expect_certified;
       all_as_expected = all_as_expected && as_expected;
       if (json) {
-        if (!first) std::cout << ",\n";
+        if (i != 0) std::cout << ",\n";
         report.write_json(std::cout);
       } else {
         std::cout << c.name << ": " << (report.certified() ? "CERTIFIED" : "INDICTED") << " ("
                   << (as_expected ? "as expected" : "UNEXPECTED") << ", "
                   << report.total_checks() << " checks)\n";
       }
-      first = false;
     }
     if (json) std::cout << "]\n";
     return all_as_expected ? 0 : 1;
@@ -213,7 +249,7 @@ int main(int argc, char** argv) {
                   << "' is excluded from fault sweeps (see verify/registry.hpp)\n";
         return 2;
       }
-      const recovery::RecoverySweepReport report = recovery::replay_combo_recovery(*combo);
+      const recovery::RecoverySweepReport report = exec::sweep_combo_recovery(*combo, sweep);
       if (json) {
         report.write_json(std::cout);
       } else {
@@ -226,7 +262,7 @@ int main(int argc, char** argv) {
                   << "' is excluded from fault sweeps (see verify/registry.hpp)\n";
         return 2;
       }
-      const verify::FaultSpaceReport report = verify::run_combo_faults(*combo);
+      const verify::FaultSpaceReport report = exec::sweep_combo_faults(*combo, sweep);
       if (json) {
         report.write_json(std::cout);
       } else {
