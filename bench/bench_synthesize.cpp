@@ -1,0 +1,156 @@
+// Synthesis cost — what does deciding routability and synthesizing a
+// certified table cost per instance?
+//
+// Runs the decision procedure + synthesizer + from-scratch
+// re-certification (verify/synth_sweep) over the full synthesis roster —
+// every registry combo's wiring plus the masked demo instances — and
+// reports per instance:
+//
+//   decide   which path answered (full-mesh / updown-order / search) and
+//            how many search nodes it burned (zero for every fabric-shaped
+//            duplex instance — the fast paths are the headline)
+//   size     instance channels and required pairs
+//   total    decide + synthesize + re-certify wall time
+//
+// The point of the numbers: real ServerNet wiring is duplex, so existence
+// is decided by the up*/down* order construction without search, and the
+// whole decide->synthesize->re-certify loop stays in single-digit
+// milliseconds even on the 64-node fabrics — the existence question costs
+// no more than the certification the paper already budgets for the
+// maintenance processor. The search only pays on adversarial non-duplex
+// instances (the masked demos).
+//
+// Also times the whole sweep at jobs=1 vs jobs=N through
+// exec/sharded_sweep — the worker-pool speedup row CI tracks (on a
+// single-core host the two are expected to tie).
+//
+// Writes BENCH_synthesize.json (path = argv[1], default
+// "BENCH_synthesize.json") for tracking regressions across PRs, and prints
+// a human table.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exec/sharded_sweep.hpp"
+#include "exec/worker_pool.hpp"
+#include "util/table.hpp"
+#include "verify/synth_sweep.hpp"
+
+using namespace servernet;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::string status;
+  std::string method;
+  std::size_t channels = 0;
+  std::size_t pairs = 0;
+  std::size_t search_nodes = 0;
+  std::size_t table_entries = 0;
+  bool recertified = false;
+  double total_ms = 0.0;
+};
+
+/// One sharded-sweep timing: the full roster at a job count.
+struct SweepRow {
+  unsigned jobs = 1;
+  double ms = 0.0;
+};
+
+void write_json(std::ostream& os, const std::vector<Row>& rows,
+                const std::vector<SweepRow>& sweeps, unsigned hardware_jobs) {
+  os << "{\n  \"bench\": \"synthesize\",\n  \"unit\": \"ms\",\n  \"instances\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"name\": \"" << r.name << "\", \"status\": \"" << r.status << "\", \"method\": \""
+       << r.method << "\", \"channels\": " << r.channels << ", \"pairs\": " << r.pairs
+       << ", \"search_nodes\": " << r.search_nodes << ", \"table_entries\": " << r.table_entries
+       << ", \"recertified\": " << (r.recertified ? "true" : "false")
+       << ", \"total_ms\": " << r.total_ms << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"hardware_jobs\": " << hardware_jobs << ",\n  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepRow& s = sweeps[i];
+    os << "    {\"workload\": \"synthesize_all\", \"jobs\": " << s.jobs << ", \"ms\": " << s.ms
+       << "}" << (i + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_synthesize.json";
+  print_banner(std::cout,
+               "existence decision + synthesis + re-certification per roster instance");
+
+  std::vector<Row> rows;
+  for (const verify::SynthItem& item : verify::synth_roster()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const verify::SynthItemReport report = verify::run_synth_item(item);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Row row;
+    row.name = report.name;
+    row.status = analysis::to_string(report.decision.status);
+    row.method = report.decision.method;
+    row.channels = report.decision.instance_channels;
+    row.pairs = report.decision.instance_pairs;
+    row.search_nodes = report.decision.search_nodes;
+    row.table_entries = report.table_entries;
+    row.recertified = report.recertified;
+    row.total_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rows.push_back(row);
+  }
+
+  TextTable t({"instance", "decision", "method", "channels", "pairs", "nodes", "entries",
+               "recert", "total ms"});
+  for (const Row& r : rows) {
+    t.row()
+        .cell(r.name)
+        .cell(r.status)
+        .cell(r.method)
+        .cell(r.channels)
+        .cell(r.pairs)
+        .cell(r.search_nodes)
+        .cell(r.table_entries)
+        .cell(r.recertified ? "yes" : "no")
+        .cell(r.total_ms, 2);
+  }
+  t.print(std::cout);
+
+  // Whole roster at jobs=1 vs jobs=N; timed once per config. N is at
+  // least 4 so the worker-pool path is exercised even on small hosts; a
+  // single-core host will honestly report a tie.
+  const unsigned hardware = exec::WorkerPool::hardware_jobs();
+  const unsigned parallel_jobs = std::max(4U, hardware);
+  std::vector<const verify::SynthItem*> items;
+  for (const verify::SynthItem& item : verify::synth_roster()) items.push_back(&item);
+  std::vector<SweepRow> sweeps;
+  for (const unsigned jobs : {1U, parallel_jobs}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)exec::sweep_synthesize(items, exec::SweepOptions{jobs});
+    const auto t1 = std::chrono::steady_clock::now();
+    sweeps.push_back({jobs, std::chrono::duration<double, std::milli>(t1 - t0).count()});
+  }
+
+  print_banner(std::cout, "full synthesis sweep: jobs=1 vs jobs=N (exec/sharded_sweep)");
+  TextTable st({"jobs", "ms"});
+  for (const SweepRow& s : sweeps) st.row().cell(s.jobs).cell(s.ms, 1);
+  st.print(std::cout);
+  std::cout << "hardware_concurrency: " << hardware << "\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  write_json(out, rows, sweeps, hardware);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,523 @@
+#include "analysis/synth_condition.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace servernet::analysis {
+
+namespace {
+
+/// Word-packed bitset helpers (instances are small; std::vector<bool> is
+/// avoided for the byte-serializable memo key).
+using Bits = std::vector<std::uint64_t>;
+
+Bits make_bits(std::size_t n) { return Bits((n + 63) / 64, 0); }
+bool bit(const Bits& b, std::size_t i) { return (b[i / 64] >> (i % 64)) & 1U; }
+void set_bit(Bits& b, std::size_t i) { b[i / 64] |= std::uint64_t{1} << (i % 64); }
+void clear_bit(Bits& b, std::size_t i) { b[i / 64] &= ~(std::uint64_t{1} << (i % 64)); }
+
+/// Per-router outgoing channel lists, once per decision.
+struct Adjacency {
+  /// out[r] = indices into view.channels with tail == r.
+  std::vector<std::vector<std::uint32_t>> out;
+
+  explicit Adjacency(const ChannelGraphView& view) : out(view.routers) {
+    for (std::uint32_t c = 0; c < view.channels.size(); ++c) {
+      out[view.channels[c].tail].push_back(c);
+    }
+  }
+};
+
+/// Can `from` reach any router in `goal` using channels of `usable`,
+/// excluding channel `skip` (pass view.channels.size() for "none")?
+bool reaches(const ChannelGraphView& view, const Adjacency& adj, const Bits& usable,
+             std::uint32_t skip, std::uint32_t from, const Bits& goal) {
+  if (bit(goal, from)) return true;
+  Bits seen = make_bits(view.routers);
+  set_bit(seen, from);
+  std::vector<std::uint32_t> stack{from};
+  while (!stack.empty()) {
+    const std::uint32_t r = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t c : adj.out[r]) {
+      if (c == skip || !bit(usable, c)) continue;
+      const std::uint32_t h = view.channels[c].head;
+      if (bit(goal, h)) return true;
+      if (!bit(seen, h)) {
+        set_bit(seen, h);
+        stack.push_back(h);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::uint32_t> sorted_targets(const std::vector<SynthPair>& pairs) {
+  std::vector<std::uint32_t> targets;
+  for (const SynthPair& p : pairs) targets.push_back(p.dst);
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  return targets;
+}
+
+/// The guarded memoized backtracking search — the exact decision core.
+/// State: S = channels not yet finalized, W[t] = routers with a monotone
+/// path to target t through the finalized (higher-ordered) channels.
+/// Finalizing c = (x, y) credits x toward every target whose W already
+/// holds y; the guard insists every still-unserved pair keeps plain
+/// reachability to W' inside S \ {c}. Soundness: a completed sequence *is*
+/// a valid order (read in reverse). Completeness: any valid order's own
+/// elimination sequence passes the guard at every step, so the backtracking
+/// over guarded candidates cannot miss an order that exists.
+class Search {
+ public:
+  Search(const ChannelGraphView& view, const Adjacency& adj, const std::vector<char>& active,
+         const std::vector<SynthPair>& pairs, std::size_t budget)
+      : view_(view), adj_(adj), pairs_(pairs), budget_(budget) {
+    targets_ = sorted_targets(pairs);
+    target_slot_.assign(view.routers, kNoSlot);
+    for (std::uint32_t i = 0; i < targets_.size(); ++i) target_slot_[targets_[i]] = i;
+    s_ = make_bits(view.channels.size());
+    for (std::uint32_t c = 0; c < view.channels.size(); ++c) {
+      if (active[c] != 0) set_bit(s_, c);
+    }
+    for (const std::uint32_t t : targets_) {
+      w_.push_back(make_bits(view.routers));
+      set_bit(w_.back(), t);
+    }
+  }
+
+  /// kExists / kImpossible / kUndecided (budget exhausted).
+  SynthStatus run() {
+    const bool found = dfs();
+    if (found) return SynthStatus::kExists;
+    return exhausted_ ? SynthStatus::kUndecided : SynthStatus::kImpossible;
+  }
+
+  /// Valid after run() == kExists: ascending order positions (the reverse
+  /// of the elimination sequence — first finalized = highest).
+  [[nodiscard]] std::vector<std::uint32_t> order() const {
+    return {sequence_.rbegin(), sequence_.rend()};
+  }
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+
+  bool satisfied() const {
+    for (const SynthPair& p : pairs_) {
+      if (!bit(w_[target_slot_[p.dst]], p.src)) return false;
+    }
+    return true;
+  }
+
+  /// W after finalizing c: every target already crediting head(c) gains
+  /// tail(c). Returns the slots whose sets changed (for cheap undo).
+  std::vector<std::uint32_t> credit(std::uint32_t c) {
+    std::vector<std::uint32_t> changed;
+    const SynthChannel& ch = view_.channels[c];
+    for (std::uint32_t t = 0; t < targets_.size(); ++t) {
+      if (bit(w_[t], ch.head) && !bit(w_[t], ch.tail)) {
+        set_bit(w_[t], ch.tail);
+        changed.push_back(t);
+      }
+    }
+    return changed;
+  }
+
+  void uncredit(std::uint32_t c, const std::vector<std::uint32_t>& changed) {
+    for (const std::uint32_t t : changed) clear_bit(w_[t], view_.channels[c].tail);
+  }
+
+  /// The finalizability guard for candidate c, evaluated against the
+  /// *credited* state (call between credit() and uncredit()).
+  bool guard_ok(std::uint32_t c) const {
+    for (const SynthPair& p : pairs_) {
+      const Bits& wt = w_[target_slot_[p.dst]];
+      if (bit(wt, p.src)) continue;
+      if (!reaches(view_, adj_, s_, c, p.src, wt)) return false;
+    }
+    return true;
+  }
+
+  std::string memo_key() const {
+    std::string key;
+    key.reserve((s_.size() + w_.size() * (view_.routers / 64 + 1)) * 8);
+    const auto append = [&key](const Bits& b) {
+      key.append(reinterpret_cast<const char*>(b.data()), b.size() * sizeof(std::uint64_t));
+    };
+    append(s_);
+    for (const Bits& wt : w_) append(wt);
+    return key;
+  }
+
+  bool dfs() {
+    if (++nodes_ > budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    if (satisfied()) return true;
+    std::string key = memo_key();
+    if (memo_.contains(key)) return false;
+
+    // Guarded candidates, most new credit first (ties: lowest channel id).
+    struct Candidate {
+      std::uint32_t channel = 0;
+      std::size_t gain = 0;
+    };
+    std::vector<Candidate> candidates;
+    for (std::uint32_t c = 0; c < view_.channels.size(); ++c) {
+      if (!bit(s_, c)) continue;
+      clear_bit(s_, c);
+      const std::vector<std::uint32_t> changed = credit(c);
+      if (guard_ok(c)) candidates.push_back({c, changed.size()});
+      uncredit(c, changed);
+      set_bit(s_, c);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) { return a.gain > b.gain; });
+
+    for (const Candidate& cand : candidates) {
+      clear_bit(s_, cand.channel);
+      const std::vector<std::uint32_t> changed = credit(cand.channel);
+      sequence_.push_back(cand.channel);
+      if (dfs()) return true;
+      sequence_.pop_back();
+      uncredit(cand.channel, changed);
+      set_bit(s_, cand.channel);
+      if (exhausted_) return false;
+    }
+    memo_.insert(std::move(key));
+    return false;
+  }
+
+  const ChannelGraphView& view_;
+  const Adjacency& adj_;
+  const std::vector<SynthPair>& pairs_;
+  std::size_t budget_;
+  std::vector<std::uint32_t> targets_;
+  std::vector<std::uint32_t> target_slot_;
+  Bits s_;
+  std::vector<Bits> w_;
+  std::vector<std::uint32_t> sequence_;
+  std::unordered_set<std::string> memo_;
+  std::size_t nodes_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Pairs of `pairs` still reachable through the active channels.
+std::vector<SynthPair> rebase_pairs(const ChannelGraphView& view, const Adjacency& adj,
+                                    const std::vector<char>& active,
+                                    const std::vector<SynthPair>& pairs) {
+  Bits usable = make_bits(view.channels.size());
+  for (std::uint32_t c = 0; c < view.channels.size(); ++c) {
+    if (active[c] != 0) set_bit(usable, c);
+  }
+  std::vector<SynthPair> kept;
+  for (const SynthPair& p : pairs) {
+    Bits goal = make_bits(view.routers);
+    set_bit(goal, p.dst);
+    if (reaches(view, adj, usable, static_cast<std::uint32_t>(view.channels.size()), p.src,
+                goal)) {
+      kept.push_back(p);
+    }
+  }
+  return kept;
+}
+
+/// order_covers over a channel subset: only the channels listed in `order`
+/// are usable, at their listed positions.
+bool order_covers_impl(const ChannelGraphView& view, const std::vector<std::uint32_t>& order,
+                       const std::vector<SynthPair>& pairs) {
+  const std::vector<std::uint32_t> targets = sorted_targets(pairs);
+  for (const std::uint32_t t : targets) {
+    Bits reached = make_bits(view.routers);
+    set_bit(reached, t);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const SynthChannel& ch = view.channels[*it];
+      if (bit(reached, ch.head)) set_bit(reached, ch.tail);
+    }
+    for (const SynthPair& p : pairs) {
+      if (p.dst == t && !bit(reached, p.src)) return false;
+    }
+  }
+  return true;
+}
+
+/// Full-mesh fast path: every required pair is a single (active) hop, so
+/// single-hop direct routing is deadlock-free under any order.
+bool is_full_mesh(const ChannelGraphView& view, const std::vector<char>& active,
+                  const std::vector<SynthPair>& pairs) {
+  if (pairs.empty()) return false;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> direct;
+  for (std::uint32_t c = 0; c < view.channels.size(); ++c) {
+    if (active[c] != 0) direct.emplace_back(view.channels[c].tail, view.channels[c].head);
+  }
+  std::sort(direct.begin(), direct.end());
+  for (const SynthPair& p : pairs) {
+    if (!std::binary_search(direct.begin(), direct.end(), std::pair{p.src, p.dst})) return false;
+  }
+  return true;
+}
+
+/// Up*/down*-derived direct order for duplex (symmetric) instances: levels
+/// from a BFS forest, channels keyed so that every up hop precedes every
+/// down hop and successive hops strictly increase. Returns an empty vector
+/// when the active channel set is not symmetric.
+std::vector<std::uint32_t> updown_order(const ChannelGraphView& view,
+                                        const std::vector<char>& active) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs;
+  std::vector<std::uint32_t> kept;
+  for (std::uint32_t c = 0; c < view.channels.size(); ++c) {
+    if (active[c] == 0) continue;
+    arcs.emplace_back(view.channels[c].tail, view.channels[c].head);
+    kept.push_back(c);
+  }
+  std::sort(arcs.begin(), arcs.end());
+  for (const auto& [tail, head] : arcs) {
+    if (!std::binary_search(arcs.begin(), arcs.end(), std::pair{head, tail})) return {};
+  }
+
+  // BFS forest levels, each component rooted at its lowest router id.
+  constexpr std::uint32_t kUnset = 0xffffffffU;
+  std::vector<std::vector<std::uint32_t>> out(view.routers);
+  for (const std::uint32_t c : kept) out[view.channels[c].tail].push_back(view.channels[c].head);
+  std::vector<std::uint32_t> level(view.routers, kUnset);
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t root = 0; root < view.routers; ++root) {
+    if (level[root] != kUnset) continue;
+    level[root] = 0;
+    queue.assign(1, root);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const std::uint32_t r = queue[qi];
+      for (const std::uint32_t h : out[r]) {
+        if (level[h] == kUnset) {
+          level[h] = level[r] + 1;
+          queue.push_back(h);
+        }
+      }
+    }
+  }
+
+  // pos = rank in (level, id) order; up channels (toward the root) take
+  // positions below every down channel, each strictly increasing along any
+  // legal up*-then-down* walk.
+  std::vector<std::uint32_t> by_rank(view.routers);
+  for (std::uint32_t r = 0; r < view.routers; ++r) by_rank[r] = r;
+  std::sort(by_rank.begin(), by_rank.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return std::pair{level[a], a} < std::pair{level[b], b};
+  });
+  std::vector<std::uint32_t> pos(view.routers, 0);
+  for (std::uint32_t i = 0; i < by_rank.size(); ++i) pos[by_rank[i]] = i;
+
+  const auto key_of = [&](std::uint32_t c) {
+    const SynthChannel& ch = view.channels[c];
+    const bool up = std::pair{level[ch.head], ch.head} < std::pair{level[ch.tail], ch.tail};
+    const std::uint32_t routers = static_cast<std::uint32_t>(view.routers);
+    return up ? routers - 1 - pos[ch.head] : routers + pos[ch.head];
+  };
+  std::sort(kept.begin(), kept.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return std::pair{key_of(a), a} < std::pair{key_of(b), b};
+  });
+  return kept;
+}
+
+struct OnceResult {
+  SynthStatus status = SynthStatus::kUndecided;
+  std::vector<std::uint32_t> order;
+  std::string method;
+  std::size_t nodes = 0;
+};
+
+/// One exact decision over (view restricted to `active`, `pairs`), fast
+/// paths first, no core minimization.
+OnceResult decide_once(const ChannelGraphView& view, const Adjacency& adj,
+                       const std::vector<char>& active, const std::vector<SynthPair>& pairs,
+                       std::size_t budget) {
+  OnceResult r;
+  if (pairs.empty()) {
+    r.status = SynthStatus::kExists;
+    r.method = "trivial";
+    for (std::uint32_t c = 0; c < view.channels.size(); ++c) {
+      if (active[c] != 0) r.order.push_back(c);
+    }
+    return r;
+  }
+  if (is_full_mesh(view, active, pairs)) {
+    r.status = SynthStatus::kExists;
+    r.method = "full-mesh";
+    return r;
+  }
+  if (std::vector<std::uint32_t> order = updown_order(view, active); !order.empty()) {
+    if (order_covers_impl(view, order, pairs)) {
+      r.status = SynthStatus::kExists;
+      r.order = std::move(order);
+      r.method = "updown-order";
+      return r;
+    }
+  }
+  Search search(view, adj, active, pairs, budget);
+  r.status = search.run();
+  r.nodes = search.nodes();
+  r.method = "search";
+  if (r.status == SynthStatus::kExists) {
+    r.order = search.order();
+    SN_ASSERT(order_covers_impl(view, r.order, pairs));
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string to_string(SynthStatus s) {
+  switch (s) {
+    case SynthStatus::kExists:
+      return "exists";
+    case SynthStatus::kImpossible:
+      return "impossible";
+    case SynthStatus::kUndecided:
+      return "undecided";
+  }
+  return "unknown";
+}
+
+std::vector<SynthPair> reachable_pairs(const ChannelGraphView& view,
+                                       const std::vector<std::uint32_t>& targets) {
+  const Adjacency adj(view);
+  Bits usable = make_bits(view.channels.size());
+  for (std::uint32_t c = 0; c < view.channels.size(); ++c) set_bit(usable, c);
+  std::vector<std::uint32_t> goal_list = targets;
+  if (goal_list.empty()) {
+    for (std::uint32_t r = 0; r < view.routers; ++r) goal_list.push_back(r);
+  }
+  std::vector<SynthPair> pairs;
+  for (std::uint32_t u = 0; u < view.routers; ++u) {
+    // One BFS per source covers every target.
+    Bits seen = make_bits(view.routers);
+    set_bit(seen, u);
+    std::vector<std::uint32_t> stack{u};
+    while (!stack.empty()) {
+      const std::uint32_t r = stack.back();
+      stack.pop_back();
+      for (const std::uint32_t c : adj.out[r]) {
+        const std::uint32_t h = view.channels[c].head;
+        if (!bit(seen, h)) {
+          set_bit(seen, h);
+          stack.push_back(h);
+        }
+      }
+    }
+    for (const std::uint32_t v : goal_list) {
+      if (v != u && bit(seen, v)) pairs.push_back({u, v});
+    }
+  }
+  return pairs;
+}
+
+ChannelGraphView channel_graph_of(const Network& net, const std::vector<char>& allowed) {
+  SN_REQUIRE(allowed.empty() || allowed.size() == net.channel_count(),
+             "allowed-channel mask must cover every channel");
+  ChannelGraphView view;
+  view.routers = net.router_count();
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const Channel& ch = net.channel(ChannelId{ci});
+    if (!ch.src.is_router() || !ch.dst.is_router()) continue;
+    if (!allowed.empty() && allowed[ci] == 0) continue;
+    view.channels.push_back(
+        {ch.src.router_id().value(), ch.dst.router_id().value()});
+    view.network_channel.push_back(ChannelId{ci});
+  }
+  std::vector<std::uint32_t> targets;
+  for (const NodeId n : net.all_nodes()) {
+    for (const ChannelId c : net.out_channels(Terminal::node(n))) {
+      const Terminal to = net.channel(c).dst;
+      if (to.is_router()) targets.push_back(to.router_id().value());
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  view.pairs = reachable_pairs(view, targets);
+  return view;
+}
+
+bool order_covers(const ChannelGraphView& view, const std::vector<std::uint32_t>& order,
+                  const std::vector<SynthPair>& pairs) {
+  return order_covers_impl(view, order, pairs);
+}
+
+ChannelGraphView without_channel(const ChannelGraphView& view, std::uint32_t drop) {
+  SN_REQUIRE(drop < view.channels.size(), "channel index out of range");
+  ChannelGraphView sub;
+  sub.routers = view.routers;
+  for (std::uint32_t c = 0; c < view.channels.size(); ++c) {
+    if (c == drop) continue;
+    sub.channels.push_back(view.channels[c]);
+    if (!view.network_channel.empty()) sub.network_channel.push_back(view.network_channel[c]);
+  }
+  const Adjacency adj(sub);
+  std::vector<char> active(sub.channels.size(), 1);
+  sub.pairs = rebase_pairs(sub, adj, active, view.pairs);
+  return sub;
+}
+
+SynthDecision decide_routable(const ChannelGraphView& view, const SynthOptions& options) {
+  SN_REQUIRE(view.network_channel.empty() || view.network_channel.size() == view.channels.size(),
+             "network_channel must be empty or parallel to channels");
+  for (const SynthPair& p : view.pairs) {
+    SN_REQUIRE(p.src < view.routers && p.dst < view.routers && p.src != p.dst,
+               "pair endpoints must be distinct routers of the instance");
+  }
+  const Adjacency adj(view);
+  std::vector<char> active(view.channels.size(), 1);
+  {
+    // Contract: every required pair is plainly reachable — unreachable
+    // pairs are no instance at all (no table of any kind serves them).
+    const std::vector<SynthPair> reachable = rebase_pairs(view, adj, active, view.pairs);
+    SN_REQUIRE(reachable.size() == view.pairs.size(),
+               "view.pairs contains a pair with no directed path at all");
+  }
+
+  SynthDecision decision;
+  decision.instance_channels = view.channels.size();
+  decision.instance_pairs = view.pairs.size();
+  OnceResult once = decide_once(view, adj, active, view.pairs, options.node_budget);
+  decision.status = once.status;
+  decision.order = std::move(once.order);
+  decision.method = std::move(once.method);
+  decision.search_nodes = once.nodes;
+  if (decision.status != SynthStatus::kImpossible) return decision;
+
+  // Irreducible-core minimization by iterated deletion: drop a channel,
+  // re-base the pairs on what stays reachable, keep the deletion whenever
+  // the residue is still impossible; repeat until no deletion survives.
+  // (A probe that exhausts its budget conservatively keeps its channel.)
+  std::vector<SynthPair> pairs = view.pairs;
+  if (options.minimize_core) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (std::uint32_t c = 0; c < view.channels.size(); ++c) {
+        if (active[c] == 0) continue;
+        active[c] = 0;
+        std::vector<SynthPair> sub_pairs = rebase_pairs(view, adj, active, pairs);
+        const OnceResult probe = decide_once(view, adj, active, sub_pairs, options.node_budget);
+        if (probe.status == SynthStatus::kImpossible) {
+          pairs = std::move(sub_pairs);
+          shrunk = true;
+        } else {
+          active[c] = 1;
+        }
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c < view.channels.size(); ++c) {
+    if (active[c] != 0) decision.core_channels.push_back(c);
+  }
+  decision.core_pairs = std::move(pairs);
+  return decision;
+}
+
+}  // namespace servernet::analysis

@@ -1,0 +1,151 @@
+// The deadlock-free-routing existence condition (decision procedure).
+//
+// The verifier so far answers "is *this* table deadlock-free?"; this module
+// answers the prior question "does *any* deadlock-free destination-indexed
+// table exist on this wiring?" — the Mendlovic–Matias-style existence
+// condition over the channel graph. The theorem it rests on:
+//
+//   A deadlock-free destination-indexed routing serving a set P of ordered
+//   router pairs exists  iff  there is a total order on the channels such
+//   that every (u, v) in P has a path from u to v whose channels appear in
+//   strictly increasing order.
+//
+// (=>) any acyclic channel-dependency graph topologically sorts into such
+// an order. (<=) given the order, route per destination v by sweeping the
+// channels in *decreasing* order, admitting router x via channel c = (x, y)
+// the first time y is already admitted: following the admitted channel from
+// any router strictly increases the order, so the walk terminates at v and
+// the induced dependency graph is acyclic (src/route/synthesize.cpp builds
+// exactly this table).
+//
+// The procedure decides the condition exactly, by *guarded top-down
+// elimination*: a channel may be placed above all remaining channels
+// ("finalized") only if doing so keeps every still-unserved pair plainly
+// reachable; a memoized backtracking search over the finalizable candidates
+// either completes a total order (EXISTS) or exhausts the guarded space
+// (IMPOSSIBLE). Plain greedy elimination is *not* confluent — a locally
+// safe choice can forfeit credit another target still needed — which is why
+// the search, not a fixed pivot rule, is the decision procedure. Two fast
+// paths keep fabric-sized instances out of the search entirely:
+//
+//   full-mesh     every required pair is one hop; single-hop paths are
+//                 monotone under any order (the Cano-style VC-free direct
+//                 scheme for the paper's fully-connected groups)
+//   updown-order  duplex instances: order channels by an up*/down* forest
+//                 position (ups descending toward the root first, then
+//                 downs ascending away from it); every legal up*-then-down*
+//                 path is strictly increasing, so connected duplex wiring
+//                 always decides EXISTS without search
+//
+// On IMPOSSIBLE the witness is a *minimal irreducible core*: a channel
+// subgraph (with its still-required pairs) that admits no order, such that
+// removing any one channel — re-basing the pairs on what remains reachable
+// — makes the residue routable. The fuzz suite re-checks irreducibility
+// channel by channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/network.hpp"
+#include "util/strong_id.hpp"
+
+namespace servernet::analysis {
+
+/// One required ordered pair of routers: "some route from src must reach
+/// dst without deadlock".
+struct SynthPair {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  friend bool operator==(const SynthPair&, const SynthPair&) = default;
+};
+
+/// One directed channel of the abstract instance, tail -> head.
+struct SynthChannel {
+  std::uint32_t tail = 0;
+  std::uint32_t head = 0;
+};
+
+/// An abstract decision-procedure instance: a directed multigraph over
+/// router indices plus the pairs a routing must serve. Instances come from
+/// a Network (channel_graph_of) or are built directly (fuzz, demos).
+struct ChannelGraphView {
+  std::size_t routers = 0;
+  std::vector<SynthChannel> channels;
+  /// Per channel, the originating Network channel id — invalid() for
+  /// synthetic instances. Lets witnesses render against the real wiring.
+  std::vector<ChannelId> network_channel;
+  std::vector<SynthPair> pairs;
+};
+
+/// Every ordered (u, v) with a directed path u -> v, for targets restricted
+/// to `targets` (empty = every router). The default pair set of an
+/// instance: unreachable pairs are unservable by any table and excluded up
+/// front.
+[[nodiscard]] std::vector<SynthPair> reachable_pairs(const ChannelGraphView& view,
+                                                     const std::vector<std::uint32_t>& targets = {});
+
+/// The router-to-router channel graph of `net`. `allowed`, when non-empty,
+/// masks channels out of the instance by healthy channel id (node channels
+/// are unaffected — masks restrict transit wiring, not delivery). Pairs:
+/// every ordered (router, target) pair that is reachable through the kept
+/// channels, for every target router with at least one attached node.
+[[nodiscard]] ChannelGraphView channel_graph_of(const Network& net,
+                                                const std::vector<char>& allowed = {});
+
+enum class SynthStatus : std::uint8_t { kExists, kImpossible, kUndecided };
+
+[[nodiscard]] std::string to_string(SynthStatus s);
+
+struct SynthOptions {
+  /// Search-node budget before giving up with kUndecided. The fast paths
+  /// decide fabric-shaped (duplex) instances with zero search nodes; the
+  /// budget only matters for adversarial synthetic digraphs.
+  std::size_t node_budget = 300000;
+  /// Shrink the IMPOSSIBLE witness to an irreducible core (iterated
+  /// deletion; each probe is its own bounded search).
+  bool minimize_core = true;
+};
+
+/// The decision, with its certificate either way.
+struct SynthDecision {
+  SynthStatus status = SynthStatus::kUndecided;
+  /// kExists: channel indices into the view, lowest order position first.
+  /// Empty for the full-mesh fast path (single-hop routes need no order).
+  std::vector<std::uint32_t> order;
+  /// Fast path or search provenance: "trivial" | "full-mesh" |
+  /// "updown-order" | "search".
+  std::string method;
+  std::size_t search_nodes = 0;
+  /// Instance size the decision ran on (for reports).
+  std::size_t instance_channels = 0;
+  std::size_t instance_pairs = 0;
+  /// kImpossible: the irreducible core, as channel indices into the view.
+  std::vector<std::uint32_t> core_channels;
+  /// The pairs the core is still required to serve (re-based during
+  /// minimization) — no channel order over core_channels covers them all.
+  std::vector<SynthPair> core_pairs;
+};
+
+/// Decides whether any deadlock-free destination-indexed routing covering
+/// view.pairs exists. Deterministic: no randomness, stable tie-breaks.
+[[nodiscard]] SynthDecision decide_routable(const ChannelGraphView& view,
+                                            const SynthOptions& options = {});
+
+/// Certificate checker for EXISTS: true iff `order` (ascending positions,
+/// one entry per view channel) gives every pair in `pairs` a strictly
+/// order-increasing path.
+[[nodiscard]] bool order_covers(const ChannelGraphView& view,
+                                const std::vector<std::uint32_t>& order,
+                                const std::vector<SynthPair>& pairs);
+
+/// The instance left after deleting channel `drop` (an index into
+/// view.channels): pairs are re-based to those still reachable. The core
+/// minimizer iterates this, and the fuzz suite uses it to re-check
+/// irreducibility (every single-channel deletion must flip the core to
+/// EXISTS).
+[[nodiscard]] ChannelGraphView without_channel(const ChannelGraphView& view, std::uint32_t drop);
+
+}  // namespace servernet::analysis

@@ -190,4 +190,20 @@ recovery::RecoverySweepReport sweep_combo_recovery(const verify::RegistryCombo& 
   return std::move(sweep_recovery({&combo}, options, replay).front());
 }
 
+verify::SynthSweepReport sweep_synthesize(const std::vector<const verify::SynthItem*>& items,
+                                          const SweepOptions& options) {
+  for (const verify::SynthItem* item : items) {
+    SN_REQUIRE(item != nullptr, "synthesis sweep items must be non-null");
+  }
+  // One task per item; each worker builds its own instance, so the only
+  // shared state is the immutable item list and the index-keyed slots.
+  verify::SynthSweepReport report;
+  report.items.resize(items.size());
+  WorkerPool pool(options.jobs);
+  pool.run(items.size(), [&](unsigned /*worker*/, std::size_t index) {
+    report.items[index] = verify::run_synth_item(*items[index]);
+  });
+  return report;
+}
+
 }  // namespace servernet::exec

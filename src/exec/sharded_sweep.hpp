@@ -40,6 +40,7 @@
 #include "recovery/replay.hpp"
 #include "verify/faults.hpp"
 #include "verify/registry.hpp"
+#include "verify/synth_sweep.hpp"
 
 namespace servernet::exec {
 
@@ -79,5 +80,12 @@ struct SweepOptions {
 [[nodiscard]] recovery::RecoverySweepReport sweep_combo_recovery(
     const verify::RegistryCombo& combo, const SweepOptions& options = {},
     const recovery::RecoverySweepOptions& replay = {});
+
+/// Synthesis sweep (`--synthesize --all`): one task per roster item, each
+/// worker building, deciding, synthesizing and re-certifying its own
+/// instance. Items in `items` order; the assembled report is
+/// byte-identical to a serial run_synth_item loop at any job count.
+[[nodiscard]] verify::SynthSweepReport sweep_synthesize(
+    const std::vector<const verify::SynthItem*>& items, const SweepOptions& options = {});
 
 }  // namespace servernet::exec

@@ -1,12 +1,14 @@
 #include "recovery/controller.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <tuple>
 #include <type_traits>
 #include <utility>
 
 #include "route/path.hpp"
 #include "route/repair.hpp"
+#include "route/synthesize.hpp"
 #include "sim/deadlock_detector.hpp"
 #include "sim/vc_sim.hpp"
 #include "sim/wormhole_sim.hpp"
@@ -273,6 +275,7 @@ void RecoveryController<Sim>::install_or_reject_repair(RecoveryEvent& ev) {
   verify::Report report = verify::verify_fabric(repair.degraded.net, repair.route.table, vo,
                                                 sim_.net().name() + " [repair]");
   bool partial = false;
+  ev.repair_method = "forest-updown";
   if (!report.certified()) {
     // Full service is impossible (the fault physically disconnected
     // pairs); certify the partial-service repair instead and cancel the
@@ -283,7 +286,42 @@ void RecoveryController<Sim>::install_or_reject_repair(RecoveryEvent& ev) {
     partial = true;
   }
   if (!report.certified()) {
+    // Second chance: the existence-condition synthesizer
+    // (analysis/synth_condition + route/synthesize). Either a certified
+    // non-up*/down* table goes in, or the impossibility is proven — the
+    // round never ends in an unexplained rejection.
+    SynthesizedRoute synth = synthesize_routes(repair.degraded.net);
+    if (synth.decision.status == analysis::SynthStatus::kImpossible) {
+      ev.action = RecoveryAction::kRepairRejected;
+      std::ostringstream os;
+      os << "; proven unroutable: irreducible core of "
+         << synth.decision.core_channels.size()
+         << " channel(s) — no deadlock-free table exists on the degraded wiring";
+      ev.detail += os.str();
+      return;
+    }
+    if (synth.decision.status == analysis::SynthStatus::kExists) {
+      vo.updown = nullptr;
+      vo.require_full_reachability = true;
+      report = verify::verify_fabric(repair.degraded.net, synth.table, vo,
+                                     sim_.net().name() + " [synthesized repair]");
+      partial = false;
+      if (!report.certified()) {
+        vo.require_full_reachability = false;
+        report = verify::verify_fabric(repair.degraded.net, synth.table, vo,
+                                       sim_.net().name() + " [partial synthesized repair]");
+        partial = true;
+      }
+      if (report.certified()) {
+        ev.repair_method = "synthesized";
+        ev.detail += "; synthesized repair certified (" + synth.decision.method + " order)";
+        repair.route.table = std::move(synth.table);
+      }
+    }
+  }
+  if (!report.certified()) {
     ev.action = RecoveryAction::kRepairRejected;
+    ev.repair_method = "none";
     ev.detail += "; synthesized repair failed certification — not installed";
     return;
   }

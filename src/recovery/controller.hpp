@@ -119,6 +119,9 @@ struct RecoveryEvent {
   std::vector<ChannelId> dead_channels;
   bool repair_attempted = false;
   bool repair_certified = false;
+  /// How the installed repair was produced: "none" | "forest-updown" |
+  /// "synthesized".
+  std::string repair_method = "none";
   /// Packets purged-and-reoffered by this round's quiesce.
   std::uint64_t packets_purged = 0;
   /// Dual failover: pairs moved to the surviving fabric.

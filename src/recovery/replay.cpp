@@ -140,6 +140,23 @@ void check_agreement(ReplayFaultResult& out, const RecoveryReport& rep, std::siz
       require(rep.stranded == static_stranded, "stranded set differs from disconnected_pairs");
       require(run.packets_delivered + run.packets_lost == offered, "packets unaccounted for");
       break;
+    case verify::FaultVerdict::kSynthesizedRepair:
+      // The static certifier healed the fault through the existence-
+      // condition synthesizer; the runtime must install *some* certified
+      // repair (its own forest up*/down* attempt may succeed where the
+      // classifier's was skipped, so the method need not match).
+      require(has_action(RecoveryAction::kRepair) || has_action(RecoveryAction::kPartialService),
+              "no repair installed for SYNTHESIZED-REPAIR");
+      require(rep.all_repairs_certified(), "uncertified repair installed");
+      require(run.packets_delivered + run.packets_lost == offered, "packets unaccounted for");
+      break;
+    case verify::FaultVerdict::kProvenUnroutable:
+      // No deadlock-free table exists on the degraded wiring: the runtime
+      // must refuse to install anything rather than install blindly.
+      require(has_action(RecoveryAction::kRepairRejected),
+              "runtime installed a repair on a PROVEN-UNROUTABLE fault");
+      require(run.packets_delivered + run.packets_lost == offered, "packets unaccounted for");
+      break;
   }
 
   out.agree = reasons.empty();

@@ -1,0 +1,113 @@
+#include "route/synthesize.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+std::string to_string(SynthesisMethod m) {
+  switch (m) {
+    case SynthesisMethod::kOrderedMonotone:
+      return "ordered-monotone";
+    case SynthesisMethod::kFullMeshDirect:
+      return "full-mesh-direct";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Delivery entries: every router wired directly to a node forwards that
+/// node's traffic out the cable. Returns the attached routers per node.
+std::vector<std::vector<RouterId>> populate_delivery(const Network& net, RoutingTable& table) {
+  std::vector<std::vector<RouterId>> attached(net.node_count());
+  for (const NodeId n : net.all_nodes()) {
+    for (const ChannelId c : net.in_channels(Terminal::node(n))) {
+      const Channel& ch = net.channel(c);
+      if (!ch.src.is_router()) continue;
+      const RouterId r = ch.src.router_id();
+      if (!table.has_route(r, n)) table.set(r, n, ch.src_port);
+      attached[n.index()].push_back(r);
+    }
+    auto& list = attached[n.index()];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return attached;
+}
+
+/// Cano-style single-hop routes: each router forwards straight to the
+/// lowest attached router it has a direct (allowed) channel to. With every
+/// route one router hop long, no channel ever waits on another.
+void build_full_mesh_direct(const Network& net, const std::vector<char>& allowed,
+                            const std::vector<std::vector<RouterId>>& attached,
+                            RoutingTable& table) {
+  for (const NodeId n : net.all_nodes()) {
+    for (const RouterId u : net.all_routers()) {
+      if (table.has_route(u, n)) continue;  // attached: delivery entry
+      for (const RouterId t : attached[n.index()]) {
+        PortIndex port = kInvalidPort;
+        for (const ChannelId c : net.out_channels(Terminal::router(u))) {
+          if (!allowed.empty() && allowed[c.index()] == 0) continue;
+          const Channel& ch = net.channel(c);
+          if (ch.dst.is_router() && ch.dst.router_id() == t) {
+            port = ch.src_port;
+            break;  // out_channels is in port order; lowest port wins
+          }
+        }
+        if (port != kInvalidPort) {
+          table.set(u, n, port);
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// The ordered-monotone construction: per destination, sweep the channels
+/// in decreasing order, admitting a router the first time the channel's
+/// head already reaches the destination. Every admitted entry's next hop
+/// has a strictly higher order position, so routes terminate and the
+/// induced dependency graph is acyclic.
+void build_ordered_monotone(const Network& net, const analysis::ChannelGraphView& view,
+                            const std::vector<std::uint32_t>& order,
+                            const std::vector<std::vector<RouterId>>& attached,
+                            RoutingTable& table) {
+  std::vector<char> admitted(net.router_count(), 0);
+  for (const NodeId n : net.all_nodes()) {
+    std::fill(admitted.begin(), admitted.end(), 0);
+    for (const RouterId r : attached[n.index()]) admitted[r.index()] = 1;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const analysis::SynthChannel& ch = view.channels[*it];
+      if (admitted[ch.head] == 0 || admitted[ch.tail] != 0) continue;
+      admitted[ch.tail] = 1;
+      const ChannelId net_channel = view.network_channel[*it];
+      table.set(RouterId{ch.tail}, n, net.channel(net_channel).src_port);
+    }
+  }
+}
+
+}  // namespace
+
+SynthesizedRoute synthesize_routes(const Network& net, const std::vector<char>& allowed,
+                                   const analysis::SynthOptions& options) {
+  const analysis::ChannelGraphView view = analysis::channel_graph_of(net, allowed);
+  SynthesizedRoute out;
+  out.decision = analysis::decide_routable(view, options);
+  out.table = RoutingTable::sized_for(net);
+  if (!out.exists()) return out;
+
+  std::vector<std::vector<RouterId>> attached = populate_delivery(net, out.table);
+  if (out.decision.method == "full-mesh") {
+    out.method = SynthesisMethod::kFullMeshDirect;
+    build_full_mesh_direct(net, allowed, attached, out.table);
+  } else {
+    out.method = SynthesisMethod::kOrderedMonotone;
+    build_ordered_monotone(net, view, out.decision.order, attached, out.table);
+  }
+  return out;
+}
+
+}  // namespace servernet

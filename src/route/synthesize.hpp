@@ -1,0 +1,61 @@
+// Routing synthesis from the existence condition's certificate.
+//
+// analysis/synth_condition decides whether a deadlock-free destination-
+// indexed routing exists on a channel graph and, on EXISTS, hands back a
+// total channel order with strictly increasing paths for every required
+// pair. This module turns that certificate into a concrete RoutingTable:
+//
+//   ordered-monotone   per destination node, sweep the router channels in
+//                      *decreasing* order keeping the set of routers that
+//                      already reach the destination; the first channel
+//                      that lets a router join the set becomes its table
+//                      entry. Following entries strictly increases the
+//                      order, so the walk terminates and the induced
+//                      channel-dependency graph is acyclic by construction.
+//   full-mesh direct   when every required hop is direct (the paper's
+//                      fully-connected router groups, Fig. 3/4), emit
+//                      single-hop routes — the Cano-style VC-free scheme;
+//                      the router-channel dependency graph is edge-free.
+//
+// Synthesis is never trusted: callers re-certify the emitted table through
+// the existing CDG/reachability passes (src/verify) before it goes
+// anywhere near router RAM. `allowed` masks restrict which transit
+// channels the table may use — the decision and the table honour the mask
+// together, which is how abstract (non-duplex) instances are exercised on
+// real duplex wiring.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/synth_condition.hpp"
+#include "route/routing_table.hpp"
+#include "topo/network.hpp"
+
+namespace servernet {
+
+enum class SynthesisMethod : std::uint8_t { kOrderedMonotone, kFullMeshDirect };
+
+[[nodiscard]] std::string to_string(SynthesisMethod m);
+
+struct SynthesizedRoute {
+  /// The decision certificate (order or irreducible core) the table was —
+  /// or could not be — built from.
+  analysis::SynthDecision decision;
+  SynthesisMethod method = SynthesisMethod::kOrderedMonotone;
+  /// Sized for the network; unpopulated unless exists().
+  RoutingTable table;
+
+  [[nodiscard]] bool exists() const {
+    return decision.status == analysis::SynthStatus::kExists;
+  }
+};
+
+/// Decides and, on EXISTS, synthesizes a deadlock-free table for `net`.
+/// `allowed` (healthy channel ids; empty = all) masks transit channels out
+/// of both the decision and the table. Deterministic for fixed inputs.
+[[nodiscard]] SynthesizedRoute synthesize_routes(const Network& net,
+                                                 const std::vector<char>& allowed = {},
+                                                 const analysis::SynthOptions& options = {});
+
+}  // namespace servernet

@@ -7,8 +7,10 @@
 #include <utility>
 
 #include "analysis/incremental_cdg.hpp"
+#include "analysis/synth_condition.hpp"
 #include "route/repair.hpp"
 #include "route/shortest_path.hpp"
+#include "route/synthesize.hpp"
 #include "util/table.hpp"
 
 namespace servernet::verify {
@@ -25,6 +27,10 @@ std::string to_string(FaultVerdict v) {
       return "partitioned";
     case FaultVerdict::kDeadlockProne:
       return "deadlock-prone";
+    case FaultVerdict::kSynthesizedRepair:
+      return "synthesized-repair";
+    case FaultVerdict::kProvenUnroutable:
+      return "proven-unroutable";
   }
   return "unknown";
 }
@@ -123,18 +129,68 @@ void attempt_repair(FaultOutcome& outcome, const DegradedNetwork& degraded,
                     const FaultSpaceOptions& options) {
   if (!options.synthesize_repairs || options.dual != nullptr) return;
   outcome.repair_attempted = true;
-  const RepairRoute repair = synthesize_updown_repair(degraded.net);
-  VerifyOptions repair_options = options.base;
-  repair_options.updown = &repair.cls;
-  repair_options.require_full_reachability = true;
-  repair_options.vc = {};
-  repair_options.multipath = nullptr;
-  const Report repaired =
-      verify_fabric(degraded.net, repair.table, repair_options, outcome.description);
-  outcome.repair_certified = repaired.certified();
-  outcome.detail += outcome.repair_certified
-                        ? "; up*/down* repair certified"
-                        : "; repair FAILED: " + first_error_message(repaired);
+
+  if (!options.prefer_synthesized_repair) {
+    const RepairRoute repair = synthesize_updown_repair(degraded.net);
+    VerifyOptions repair_options = options.base;
+    repair_options.updown = &repair.cls;
+    repair_options.require_full_reachability = true;
+    repair_options.vc = {};
+    repair_options.multipath = nullptr;
+    const Report repaired =
+        verify_fabric(degraded.net, repair.table, repair_options, outcome.description);
+    if (repaired.certified()) {
+      outcome.repair_certified = true;
+      outcome.repair_method = "forest-updown";
+      outcome.detail += "; up*/down* repair certified";
+      return;
+    }
+    outcome.detail += "; up*/down* repair failed: " + first_error_message(repaired);
+  }
+
+  // Second chance: the existence condition (analysis/synth_condition).
+  // From here every path ends in a decision — a certified synthesized
+  // table, or a proof that none exists — never in "repair not found".
+  const SynthesizedRoute synth = synthesize_routes(degraded.net);
+  if (synth.decision.status == analysis::SynthStatus::kExists) {
+    VerifyOptions synth_options = options.base;
+    synth_options.updown = nullptr;
+    synth_options.require_full_reachability = true;
+    synth_options.vc = {};
+    synth_options.multipath = nullptr;
+    const Report recertified =
+        verify_fabric(degraded.net, synth.table, synth_options, outcome.description);
+    if (recertified.certified()) {
+      outcome.verdict = FaultVerdict::kSynthesizedRepair;
+      outcome.repair_certified = true;
+      outcome.repair_method = "synthesized";
+      outcome.detail += "; synthesized repair certified (" + synth.decision.method + " order)";
+    } else {
+      outcome.detail +=
+          "; synthesized repair failed certification: " + first_error_message(recertified);
+    }
+    return;
+  }
+  if (synth.decision.status == analysis::SynthStatus::kImpossible) {
+    outcome.verdict = FaultVerdict::kProvenUnroutable;
+    // The core comes back in degraded channel ids; invert channel_map so
+    // the witness renders on the wiring the operator knows.
+    std::vector<std::uint32_t> healthy_of(degraded.net.channel_count(), kRemovedChannel);
+    for (std::uint32_t ci = 0; ci < degraded.channel_map.size(); ++ci) {
+      if (degraded.channel_map[ci] != kRemovedChannel) healthy_of[degraded.channel_map[ci]] = ci;
+    }
+    const analysis::ChannelGraphView view = analysis::channel_graph_of(degraded.net);
+    outcome.witness_channels.clear();
+    for (const std::uint32_t c : synth.decision.core_channels) {
+      outcome.witness_channels.push_back(healthy_of[view.network_channel[c].value()]);
+    }
+    std::ostringstream os;
+    os << "; proven unroutable: irreducible core of " << synth.decision.core_channels.size()
+       << " channel(s) over " << synth.decision.core_pairs.size() << " required pair(s)";
+    outcome.detail += os.str();
+    return;
+  }
+  outcome.detail += "; existence undecided: synthesizer budget exhausted";
 }
 
 /// Classification core over an already-materialized degraded fabric.
@@ -379,7 +435,9 @@ void FaultSpaceReport::merge_outcome(FaultOutcome outcome) {
   if (outcome.repair_attempted) {
     if (outcome.repair_certified) {
       ++counts.repaired;
-    } else {
+    } else if (outcome.verdict != FaultVerdict::kProvenUnroutable) {
+      // A proven impossibility is a decision, not a failed repair; only
+      // genuinely undecided/uncertified attempts count as failures.
       ++counts.repair_failed;
     }
   }
@@ -388,6 +446,7 @@ void FaultSpaceReport::merge_outcome(FaultOutcome outcome) {
 
 const FaultOutcome* FaultSpaceReport::worst() const {
   const FaultOutcome* stale = nullptr;
+  const FaultOutcome* unroutable = nullptr;
   const FaultOutcome* partitioned = nullptr;
   for (const FaultOutcome& o : outcomes) {
     switch (o.verdict) {
@@ -396,6 +455,9 @@ const FaultOutcome* FaultSpaceReport::worst() const {
       case FaultVerdict::kStaleRoute:
         if (stale == nullptr && !o.repair_certified) stale = &o;
         break;
+      case FaultVerdict::kProvenUnroutable:
+        if (unroutable == nullptr) unroutable = &o;
+        break;
       case FaultVerdict::kPartitioned:
         if (partitioned == nullptr) partitioned = &o;
         break;
@@ -403,7 +465,8 @@ const FaultOutcome* FaultSpaceReport::worst() const {
         break;
     }
   }
-  return stale != nullptr ? stale : partitioned;
+  if (stale != nullptr) return stale;
+  return unroutable != nullptr ? unroutable : partitioned;
 }
 
 bool FaultSpaceReport::single_faults_covered() const {
@@ -415,6 +478,9 @@ bool FaultSpaceReport::single_faults_covered() const {
     // is the uncoverable worst case.
     if (o.verdict == FaultVerdict::kDeadlockProne && !o.repair_certified) return false;
     if (o.verdict == FaultVerdict::kStaleRoute && !o.repair_certified) return false;
+    // kSynthesizedRepair carries a certified table by construction and
+    // kProvenUnroutable is a decided impossibility (like kPartitioned,
+    // nothing a table could do) — both count as covered.
   }
   return true;
 }
@@ -425,7 +491,7 @@ void FaultSpaceReport::write_text(std::ostream& os) const {
      << ", CDG " << (healthy_acyclic ? "acyclic" : "CYCLIC") << '\n';
 
   TextTable matrix({"fault class", "total", "survives", "failover", "stale", "repaired",
-                    "partitioned", "deadlock"});
+                    "synth-repair", "unroutable", "partitioned", "deadlock"});
   const auto add = [&](const char* name, const FaultClassCounts& c) {
     matrix.row()
         .cell(name)
@@ -434,6 +500,8 @@ void FaultSpaceReport::write_text(std::ostream& os) const {
         .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kFailover)))
         .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kStaleRoute)))
         .cell(static_cast<std::uint64_t>(c.repaired))
+        .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kSynthesizedRepair)))
+        .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kProvenUnroutable)))
         .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kPartitioned)))
         .cell(static_cast<std::uint64_t>(c.of(FaultVerdict::kDeadlockProne)));
   };
@@ -461,7 +529,8 @@ void FaultSpaceReport::write_text(std::ostream& os) const {
        << '\n';
   }
   os << "single-fault space: " << (single_faults_covered() ? "COVERED" : "NOT COVERED")
-     << " (every avoidable single fault survives, fails over, or has a certified repair)\n";
+     << " (every avoidable single fault survives, fails over, has a certified repair, or is "
+        "decided)\n";
 }
 
 void FaultSpaceReport::write_json(std::ostream& os) const {
@@ -471,6 +540,8 @@ void FaultSpaceReport::write_json(std::ostream& os) const {
        << ", \"failover\": " << c.of(FaultVerdict::kFailover)
        << ", \"stale_route\": " << c.of(FaultVerdict::kStaleRoute)
        << ", \"repaired\": " << c.repaired << ", \"repair_failed\": " << c.repair_failed
+       << ", \"synthesized_repair\": " << c.of(FaultVerdict::kSynthesizedRepair)
+       << ", \"proven_unroutable\": " << c.of(FaultVerdict::kProvenUnroutable)
        << ", \"partitioned\": " << c.of(FaultVerdict::kPartitioned)
        << ", \"deadlock_prone\": " << c.of(FaultVerdict::kDeadlockProne) << '}';
   };
@@ -496,7 +567,7 @@ void FaultSpaceReport::write_json(std::ostream& os) const {
     write_json_string(os, o.detail);
     os << ", \"repair_attempted\": " << (o.repair_attempted ? "true" : "false")
        << ", \"repair_certified\": " << (o.repair_certified ? "true" : "false")
-       << ", \"channels\": [";
+       << ", \"repair_method\": \"" << o.repair_method << "\", \"channels\": [";
     for (std::size_t i = 0; i < o.witness_channels.size(); ++i) {
       os << (i == 0 ? "" : ", ") << o.witness_channels[i];
     }

@@ -23,6 +23,17 @@
 //                   pairs; the repair synthesizer (src/route/repair)
 //                   recomputes up*/down*-conformant tables and the repaired
 //                   fabric is re-certified from scratch
+//   SYNTH-REPAIR    the forest up*/down* repair failed (or was skipped) but
+//                   the existence-condition synthesizer
+//                   (analysis/synth_condition + route/synthesize) produced
+//                   a table that re-certified from scratch — the fault is
+//                   healed by a certified non-up*/down* routing
+//   UNROUTABLE      the decision procedure *proved* that no deadlock-free
+//                   destination-indexed table exists on the degraded
+//                   wiring; the witness channels are the irreducible core
+//                   mapped back to healthy channel ids. Every repair path
+//                   now ends in a decision — repaired, or proven
+//                   impossible — never in "repair not found"
 //   PARTITIONED     some node pair is physically disconnected — no table
 //                   can help; this is what dual fabrics exist to prevent
 //   DEADLOCK-PRONE  the degraded deadlock certificate fails. For plain
@@ -61,8 +72,10 @@ enum class FaultVerdict : std::uint8_t {
   kStaleRoute,
   kPartitioned,
   kDeadlockProne,
+  kSynthesizedRepair,
+  kProvenUnroutable,
 };
-inline constexpr std::size_t kFaultVerdictCount = 5;
+inline constexpr std::size_t kFaultVerdictCount = 7;
 
 [[nodiscard]] std::string to_string(FaultVerdict v);
 
@@ -74,11 +87,15 @@ struct FaultOutcome {
   std::string description;
   /// One-line witness: first unroutable pair, cycle summary, ...
   std::string detail;
-  /// For DEADLOCK-PRONE: the minimal CDG cycle, in healthy channel ids.
+  /// DEADLOCK-PRONE: the minimal CDG cycle; UNROUTABLE: the irreducible
+  /// channel core. Both in healthy channel ids.
   std::vector<std::uint32_t> witness_channels;
   bool repair_attempted = false;
   /// The synthesized repair table passed a full from-scratch verification.
   bool repair_certified = false;
+  /// How the fault was (or was not) healed: "none" | "forest-updown" |
+  /// "synthesized".
+  std::string repair_method = "none";
 };
 
 /// Survivability counts for one fault class (the coverage-matrix row).
@@ -103,8 +120,15 @@ struct FaultSpaceOptions {
   /// Seeded sample size of the double-link fault space (0 disables).
   std::size_t double_link_samples = 12;
   std::uint64_t seed = 0x5eedf417U;
-  /// Synthesize and re-certify up*/down* repairs for STALE-ROUTE faults.
+  /// Synthesize and re-certify repairs for STALE-ROUTE / DEADLOCK-PRONE
+  /// faults: forest up*/down* first, then the existence-condition
+  /// synthesizer as second chance (kSynthesizedRepair / kProvenUnroutable).
   bool synthesize_repairs = true;
+  /// Skip the forest up*/down* attempt and repair straight through the
+  /// existence-condition synthesizer. Duplex wiring nearly always admits
+  /// an up*/down* repair, so this knob is how sweeps and tests exercise
+  /// the synthesized-repair path on real fabrics.
+  bool prefer_synthesized_repair = false;
   /// When the fabric under test is `dual->net()`, STALE faults whose pairs
   /// are all served through the surviving fabric classify as FAILOVER.
   const DualFabric* dual = nullptr;
@@ -129,7 +153,9 @@ struct FaultSpaceReport {
   /// space (all link + router faults) contains no DEADLOCK-PRONE or
   /// STALE-ROUTE fault whose synthesized repair failed certification.
   /// PARTITIONED faults do not count against coverage — no routing table
-  /// can reconnect severed hardware.
+  /// can reconnect severed hardware — and PROVEN-UNROUTABLE faults are
+  /// likewise decided (the impossibility proof is the coverage); a
+  /// SYNTHESIZED-REPAIR verdict carries its certified table by definition.
   [[nodiscard]] bool single_faults_covered() const;
 
   /// Folds one classified fault into the per-class counts (keyed by

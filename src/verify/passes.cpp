@@ -8,7 +8,9 @@
 
 #include "analysis/channel_dependency.hpp"
 #include "analysis/cycles.hpp"
+#include "analysis/synth_condition.hpp"
 #include "analysis/vc_cdg.hpp"
+#include "route/synthesize.hpp"
 
 namespace servernet::verify {
 
@@ -593,6 +595,84 @@ void run_inorder_pass(const PassContext& ctx, Report& report) {
         "multi-ported node: in-order delivery holds only per fabric (§3.3)", std::move(multi));
 }
 
+void run_synthesize_pass(const PassContext& ctx, Report& report) {
+  const Network& net = ctx.net;
+  report.begin_pass("synthesize");
+
+  // Decide on the wiring itself — the installed table plays no part. The
+  // synthesized table is never trusted: it goes back through the
+  // reachability and deadlock passes before the pass vouches for it.
+  const analysis::SynthOptions synth_options;
+  const SynthesizedRoute synth = synthesize_routes(net, {}, synth_options);
+  const analysis::SynthDecision& decision = synth.decision;
+  report.note_checks(decision.instance_pairs);
+
+  if (decision.status == analysis::SynthStatus::kUndecided) {
+    std::ostringstream os;
+    os << "decision procedure gave up after " << decision.search_nodes
+       << " search nodes (budget " << synth_options.node_budget
+       << "): existence undecided";
+    report.add(Diagnostic{Severity::kWarning, "synthesize.budget", os.str(), {}, {}});
+    return;
+  }
+
+  if (decision.status == analysis::SynthStatus::kImpossible) {
+    // Map the core back to real channel ids so the witness renders — and
+    // --dot-witness draws — against the wiring.
+    const analysis::ChannelGraphView view = analysis::channel_graph_of(net);
+    std::ostringstream os;
+    os << "no deadlock-free destination-indexed routing exists: irreducible core of "
+       << decision.core_channels.size() << " channel(s) cannot serve "
+       << decision.core_pairs.size() << " required pair(s)";
+    Diagnostic diag{Severity::kError, "synthesize.unroutable", os.str(), {}, {}};
+    for (const std::uint32_t c : decision.core_channels) {
+      const ChannelId id = view.network_channel[c];
+      diag.witness.push_back(describe(net, id));
+      diag.channels.push_back(id.value());
+    }
+    report.add(std::move(diag));
+    return;
+  }
+
+  {
+    std::ostringstream os;
+    os << "deadlock-free routing exists (" << decision.method << ", "
+       << (decision.order.empty() ? std::string("no order needed")
+                                  : std::to_string(decision.order.size()) + "-channel order")
+       << ", " << decision.search_nodes << " search nodes); synthesized "
+       << to_string(synth.method) << " table with " << synth.table.populated_entries()
+       << " entries";
+    report.add(Diagnostic{Severity::kInfo, "synthesize.exists", os.str(), {}, {}});
+  }
+
+  // Re-certify the synthesized table through the existing passes on a
+  // scratch report; only the verdict (and any refutation) surfaces here.
+  VerifyOptions scratch_options;
+  scratch_options.require_full_reachability = ctx.options.require_full_reachability;
+  scratch_options.enforce_asic_ports = false;
+  scratch_options.max_witnesses = ctx.options.max_witnesses;
+  const PassContext scratch_ctx{net, synth.table, scratch_options};
+  Report scratch("synthesized");
+  run_reachability_pass(scratch_ctx, scratch);
+  run_deadlock_pass(scratch_ctx, scratch);
+  report.note_checks(scratch.total_checks());
+  if (scratch.certified()) {
+    std::ostringstream os;
+    os << "synthesized table re-certified: reachability + deadlock clean ("
+       << scratch.total_checks() << " checks)";
+    report.add(Diagnostic{Severity::kInfo, "synthesize.recertified", os.str(), {}, {}});
+  } else {
+    Diagnostic diag{Severity::kError, "synthesize.recertify",
+                    "synthesized table failed re-certification", {}, {}};
+    for (const Diagnostic& d : scratch.diagnostics()) {
+      if (d.severity != Severity::kError) continue;
+      diag.witness.push_back(d.rule + ": " + d.message);
+      diag.channels.insert(diag.channels.end(), d.channels.begin(), d.channels.end());
+    }
+    report.add(std::move(diag));
+  }
+}
+
 // ---- pipeline ------------------------------------------------------------------
 
 const std::vector<PassInfo>& pass_roster() {
@@ -607,6 +687,9 @@ const std::vector<PassInfo>& pass_roster() {
        "adaptive choice sets reach an acyclic escape subnetwork (needs a multipath table)"},
       {"updown", "§2, Fig. 2", "hops respect up-then-down (needs a classification)"},
       {"inorder", "§3.3", "single deterministic path per (source, destination)"},
+      {"synthesize", "§4",
+       "any deadlock-free table exists? synthesize + re-certify, or irreducible core "
+       "(opt-in)"},
   };
   return roster;
 }
@@ -655,6 +738,7 @@ Report verify_fabric(const Network& net, const RoutingTable& table, const Verify
     if (options.multipath != nullptr) run_escape_pass(ctx, report);
     if (options.updown != nullptr) run_updown_pass(ctx, report);
     run_inorder_pass(ctx, report);
+    if (options.synthesize) run_synthesize_pass(ctx, report);
   }
   return report;
 }

@@ -28,6 +28,12 @@
 //                 discipline (runs when a classification is supplied)
 //   inorder       §3.3 — single deterministic path per (source,
 //                 destination), the ServerNet in-order delivery premise
+//   synthesize    §4 — opt-in: decides whether *any* deadlock-free
+//                 destination-indexed table exists on the wiring
+//                 (analysis/synth_condition), synthesizes one on EXISTS
+//                 (route/synthesize) and re-certifies it through the
+//                 reachability + deadlock passes; on IMPOSSIBLE the
+//                 irreducible channel core is the witness
 //
 // verify_fabric() runs the pipeline and returns a Report; the
 // `servernet-verify` CLI (tools/) wraps it for every registered
@@ -76,6 +82,11 @@ struct VerifyOptions {
   /// deterministic escape subnetwork (callers typically verify
   /// multipath->first_choice_table()).
   const MultipathTable* multipath = nullptr;
+
+  /// Opt-in: run the synthesize pass — decide whether any deadlock-free
+  /// table exists on the wiring, synthesize one and re-certify it. Off by
+  /// default so existing certification output is unchanged.
+  bool synthesize = false;
 };
 
 struct PassContext {
@@ -98,6 +109,11 @@ void run_vc_deadlock_pass(const PassContext& ctx, Report& report);
 void run_escape_pass(const PassContext& ctx, Report& report);
 void run_updown_pass(const PassContext& ctx, Report& report);
 void run_inorder_pass(const PassContext& ctx, Report& report);
+/// Ignores ctx.table: decides routability of the wiring itself
+/// (analysis/synth_condition), synthesizes a table on EXISTS
+/// (route/synthesize) and re-certifies it via reachability + deadlock;
+/// errors with the irreducible core on IMPOSSIBLE.
+void run_synthesize_pass(const PassContext& ctx, Report& report);
 
 /// Static metadata about the standard pipeline, for --passes listings and
 /// docs.

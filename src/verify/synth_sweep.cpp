@@ -1,0 +1,237 @@
+#include "verify/synth_sweep.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "topo/ring.hpp"
+#include "util/table.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/registry.hpp"
+
+namespace servernet::verify {
+
+namespace {
+
+/// Registry combos feed the sweep as-is: the question is about the wiring,
+/// so the built routing state is dropped and only the Network (kept alive
+/// through the BuiltFabric) crosses over.
+SynthItem item_of_combo(const RegistryCombo& combo) {
+  SynthItem item;
+  item.name = combo.name;
+  item.what = combo.what;
+  // Duplex connected wiring always admits an up*/down* order, so every
+  // registry combo — including the deliberately deadlock-prone routings —
+  // expects EXISTS: the *wiring* is routable even when the installed
+  // table is not.
+  item.expect = analysis::SynthStatus::kExists;
+  item.build = [&combo]() {
+    auto built = std::make_shared<BuiltFabric>(combo.build());
+    SynthInstance instance;
+    instance.net = built->net;
+    instance.enforce_asic_ports = built->enforce_asic_ports;
+    instance.owner = std::move(built);
+    return instance;
+  };
+  return item;
+}
+
+/// Ring-4 with only the clockwise cables allowed: the unidirectional ring,
+/// the paper's Figure 1 deadlock substrate with no way out. Every channel
+/// is needed by some pair, so the irreducible core is the whole ring.
+SynthInstance build_oneway_ring() {
+  auto ring = std::make_shared<Ring>(RingSpec{4, 1, kServerNetRouterPorts});
+  SynthInstance instance;
+  instance.net = &ring->net();
+  instance.allowed.assign(instance.net->channel_count(), 1);
+  for (std::size_t ci = 0; ci < instance.net->channel_count(); ++ci) {
+    const Channel& ch = instance.net->channel(ChannelId{ci});
+    if (ch.src.is_router() && ch.dst.is_router() && ch.src_port == ring_port::kCounterClockwise) {
+      instance.allowed[ci] = 0;
+    }
+  }
+  instance.owner = std::move(ring);
+  return instance;
+}
+
+/// Ring-4 clockwise plus two counter-clockwise back-edges (1->0, 2->1):
+/// asymmetric, not full-mesh, yet routable — the instance that forces the
+/// backtracking search to produce the order.
+SynthInstance build_oneway_ring_backedges() {
+  SynthInstance instance = build_oneway_ring();
+  const Network& net = *instance.net;
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const Channel& ch = net.channel(ChannelId{ci});
+    if (!ch.src.is_router() || !ch.dst.is_router()) continue;
+    if (ch.src_port != ring_port::kCounterClockwise) continue;
+    const std::uint32_t src = ch.src.router_id().value();
+    if (src == 1 || src == 2) instance.allowed[ci] = 1;
+  }
+  return instance;
+}
+
+std::vector<SynthItem> build_roster() {
+  std::vector<SynthItem> roster;
+  for (const RegistryCombo& combo : registry()) roster.push_back(item_of_combo(combo));
+
+  SynthItem oneway;
+  oneway.name = "demo-oneway-ring-4";
+  oneway.what = "ring-4 masked to clockwise cables only: provably unroutable";
+  oneway.expect = analysis::SynthStatus::kImpossible;
+  oneway.build = build_oneway_ring;
+  roster.push_back(std::move(oneway));
+
+  SynthItem backedges;
+  backedges.name = "demo-oneway-ring-4-backedges";
+  backedges.what = "clockwise ring-4 plus two reverse cables: routable only by search";
+  backedges.expect = analysis::SynthStatus::kExists;
+  backedges.build = build_oneway_ring_backedges;
+  roster.push_back(std::move(backedges));
+  return roster;
+}
+
+}  // namespace
+
+const std::vector<SynthItem>& synth_roster() {
+  static const std::vector<SynthItem> roster = build_roster();
+  return roster;
+}
+
+const SynthItem* find_synth_item(const std::string& name) {
+  for (const SynthItem& item : synth_roster()) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+
+bool SynthItemReport::as_expected() const {
+  if (decision.status != expect) return false;
+  if (decision.status == analysis::SynthStatus::kExists) return recertified;
+  if (decision.status == analysis::SynthStatus::kImpossible) {
+    return !core_network_channels.empty() && !decision.core_pairs.empty();
+  }
+  return false;
+}
+
+SynthItemReport run_synth_item(const SynthItem& item) {
+  const SynthInstance instance = item.build();
+  SynthItemReport report;
+  report.name = item.name;
+  report.what = item.what;
+  report.expect = item.expect;
+
+  const SynthesizedRoute synth = synthesize_routes(*instance.net, instance.allowed);
+  report.decision = synth.decision;
+
+  if (report.decision.status == analysis::SynthStatus::kImpossible) {
+    const analysis::ChannelGraphView view =
+        analysis::channel_graph_of(*instance.net, instance.allowed);
+    for (const std::uint32_t c : report.decision.core_channels) {
+      report.core_network_channels.push_back(view.network_channel[c].value());
+    }
+    return report;
+  }
+  if (report.decision.status != analysis::SynthStatus::kExists) return report;
+
+  report.synthesis_method = to_string(synth.method);
+  report.table_entries = synth.table.populated_entries();
+
+  // Never trust the synthesizer: the emitted table rides the standard
+  // pipeline (preflight/hardware/reachability/deadlock/inorder).
+  VerifyOptions options;
+  options.enforce_asic_ports = instance.enforce_asic_ports;
+  options.require_full_reachability = instance.require_full_reachability;
+  const Report recert =
+      verify_fabric(*instance.net, synth.table, options, item.name + "-synthesized");
+  report.recertified = recert.certified();
+  if (!report.recertified) {
+    for (const Diagnostic& d : recert.diagnostics()) {
+      if (d.severity == Severity::kError) report.recert_errors.push_back(d.rule + ": " + d.message);
+    }
+  }
+  return report;
+}
+
+bool SynthSweepReport::all_as_expected() const {
+  return std::all_of(items.begin(), items.end(),
+                     [](const SynthItemReport& item) { return item.as_expected(); });
+}
+
+void SynthSweepReport::write_text(std::ostream& os) const {
+  print_banner(os, "synthesis sweep: deadlock-free routing existence + synthesis");
+  TextTable table({"instance", "decision", "method", "nodes", "synthesis", "entries",
+                   "recertified", "as expected"});
+  for (const SynthItemReport& item : items) {
+    table.row()
+        .cell(item.name)
+        .cell(to_string(item.decision.status))
+        .cell(item.decision.method)
+        .cell(static_cast<std::uint64_t>(item.decision.search_nodes));
+    if (item.decision.status == analysis::SynthStatus::kExists) {
+      table.cell(item.synthesis_method)
+          .cell(static_cast<std::uint64_t>(item.table_entries))
+          .cell(item.recertified ? "yes" : "NO");
+    } else if (item.decision.status == analysis::SynthStatus::kImpossible) {
+      std::ostringstream core;
+      core << "core: " << item.core_network_channels.size() << " ch / "
+           << item.decision.core_pairs.size() << " pairs";
+      table.cell(core.str()).cell("-").cell("-");
+    } else {
+      table.cell("-").cell("-").cell("-");
+    }
+    table.cell(item.as_expected() ? "yes" : "NO");
+  }
+  table.print(os);
+
+  for (const SynthItemReport& item : items) {
+    if (item.decision.status == analysis::SynthStatus::kImpossible) {
+      os << "\n" << item.name << ": no deadlock-free table exists; irreducible core of "
+         << item.core_network_channels.size() << " channel(s) over "
+         << item.decision.core_pairs.size() << " required pair(s), channel ids [";
+      for (std::size_t i = 0; i < item.core_network_channels.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << item.core_network_channels[i];
+      }
+      os << "]\n";
+    }
+    for (const std::string& err : item.recert_errors) {
+      os << "\n" << item.name << ": re-certification error: " << err << '\n';
+    }
+  }
+  os << "\nsynthesis sweep: " << items.size() << " instance(s), "
+     << (all_as_expected() ? "all as expected" : "DEVIATIONS FOUND") << '\n';
+}
+
+void SynthSweepReport::write_json(std::ostream& os) const {
+  os << "{\n  \"items\": [";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const SynthItemReport& item = items[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"instance\": ";
+    write_json_string(os, item.name);
+    os << ", \"what\": ";
+    write_json_string(os, item.what);
+    os << ", \"expect\": \"" << analysis::to_string(item.expect) << "\", \"status\": \""
+       << analysis::to_string(item.decision.status) << "\", \"method\": \""
+       << item.decision.method << "\", \"search_nodes\": " << item.decision.search_nodes
+       << ", \"channels\": " << item.decision.instance_channels
+       << ", \"pairs\": " << item.decision.instance_pairs;
+    if (item.decision.status == analysis::SynthStatus::kExists) {
+      os << ", \"synthesis\": {\"method\": \"" << item.synthesis_method
+         << "\", \"entries\": " << item.table_entries
+         << ", \"recertified\": " << (item.recertified ? "true" : "false") << '}';
+    }
+    if (item.decision.status == analysis::SynthStatus::kImpossible) {
+      os << ", \"core\": {\"channels\": [";
+      for (std::size_t c = 0; c < item.core_network_channels.size(); ++c) {
+        os << (c == 0 ? "" : ", ") << item.core_network_channels[c];
+      }
+      os << "], \"pairs\": " << item.decision.core_pairs.size() << '}';
+    }
+    os << ", \"as_expected\": " << (item.as_expected() ? "true" : "false") << '}';
+  }
+  os << (items.empty() ? "" : "\n  ") << "],\n  \"all_as_expected\": "
+     << (all_as_expected() ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace servernet::verify

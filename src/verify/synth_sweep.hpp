@@ -1,0 +1,99 @@
+// The synthesis sweep: the decision procedure + synthesizer run over a
+// roster of instances, for `servernet-verify --synthesize`.
+//
+// The roster is every registry combo's wiring (the installed routing is
+// irrelevant here — the question is whether *any* deadlock-free table
+// exists, and what the synthesizer makes of the answer) plus masked demo
+// instances that exercise the IMPOSSIBLE arm on real hardware wiring.
+// Network wiring is always duplex (Network::connect runs cables both
+// ways), so connected duplex instances always decide EXISTS via the
+// up*/down* order fast path; non-duplex instances are expressed as a real
+// Network plus an `allowed` channel mask, which is how an impossibility
+// core can still be rendered against real channels (`--dot-witness`).
+//
+// Every EXISTS verdict is distrusted twice: the decision's order is
+// checked by construction (analysis asserts order_covers), and the
+// synthesized table is re-certified through the standard verify_fabric
+// pipeline (reachability + deadlock + friends) before the item counts as
+// as-expected. IMPOSSIBLE verdicts carry the irreducible core.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/synth_condition.hpp"
+#include "route/synthesize.hpp"
+#include "topo/network.hpp"
+
+namespace servernet::verify {
+
+/// A materialized synthesis instance: the wiring (kept alive by `owner`)
+/// and the channel mask carving the abstract instance out of it.
+struct SynthInstance {
+  std::shared_ptr<void> owner;
+  const Network* net = nullptr;
+  /// Transit-channel mask by channel id; empty = every channel allowed.
+  std::vector<char> allowed;
+  /// Whether re-certification demands every (source, destination) pair be
+  /// routed (false for wirings whose router graph is legitimately split).
+  bool require_full_reachability = true;
+  /// Radix enforcement for the re-certification run (mirrors the combo).
+  bool enforce_asic_ports = true;
+};
+
+/// One sweep item: a named instance with its expected decision.
+struct SynthItem {
+  std::string name;
+  std::string what;
+  analysis::SynthStatus expect = analysis::SynthStatus::kExists;
+  std::function<SynthInstance()> build;
+};
+
+/// The authoritative sweep roster: every registry combo plus the masked
+/// demo instances, in stable order.
+[[nodiscard]] const std::vector<SynthItem>& synth_roster();
+
+/// Finds a roster item by name; nullptr when absent.
+[[nodiscard]] const SynthItem* find_synth_item(const std::string& name);
+
+/// One item's outcome: the decision certificate plus the re-certification
+/// verdict for the synthesized table.
+struct SynthItemReport {
+  std::string name;
+  std::string what;
+  analysis::SynthStatus expect = analysis::SynthStatus::kExists;
+  analysis::SynthDecision decision;
+  /// kExists only: how the table was built and how big it came out.
+  std::string synthesis_method;
+  std::size_t table_entries = 0;
+  /// kExists only: verify_fabric over the synthesized table came back
+  /// certified.
+  bool recertified = false;
+  /// First re-certification error messages when !recertified.
+  std::vector<std::string> recert_errors;
+  /// kImpossible only: the irreducible core as real network channel ids.
+  std::vector<std::uint32_t> core_network_channels;
+
+  /// Decision matches the expectation AND its certificate holds up:
+  /// EXISTS items must re-certify, IMPOSSIBLE items must carry a core.
+  [[nodiscard]] bool as_expected() const;
+};
+
+/// Decides, synthesizes and re-certifies one roster item. Deterministic.
+[[nodiscard]] SynthItemReport run_synth_item(const SynthItem& item);
+
+/// A whole sweep's outcomes, in roster order.
+struct SynthSweepReport {
+  std::vector<SynthItemReport> items;
+
+  [[nodiscard]] bool all_as_expected() const;
+  /// Summary table + per-item findings.
+  void write_text(std::ostream& os) const;
+  /// Deterministic JSON (the `--synthesize --json` CI artifact).
+  void write_json(std::ostream& os) const;
+};
+
+}  // namespace servernet::verify

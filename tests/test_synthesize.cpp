@@ -1,0 +1,447 @@
+// The deadlock-free-routing decision procedure + synthesizer
+// (analysis/synth_condition, route/synthesize, verify/synth_sweep) and
+// their fault-certifier / recovery integration.
+//
+// The decision procedure is validated three independent ways:
+//
+//   1. hand instances with known answers (unidirectional rings are
+//      impossible, duplex wiring always exists, fully-connected groups go
+//      direct),
+//   2. brute force: every small random digraph's verdict is re-derived by
+//      permuting all channel orders through the order_covers certificate
+//      checker,
+//   3. fuzz over masked real networks: EXISTS verdicts must synthesize a
+//      table that re-certifies through the standard passes (and one
+//      instance drains all-pairs traffic in the wormhole simulator);
+//      IMPOSSIBLE verdicts must carry an irreducible core — deleting any
+//      single core channel flips the residue to EXISTS.
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/synth_condition.hpp"
+#include "exec/sharded_sweep.hpp"
+#include "route/synthesize.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fault.hpp"
+#include "topo/ring.hpp"
+#include "util/rng.hpp"
+#include "verify/faults.hpp"
+#include "verify/passes.hpp"
+#include "verify/registry.hpp"
+#include "verify/synth_sweep.hpp"
+
+using namespace servernet;
+using analysis::ChannelGraphView;
+using analysis::SynthDecision;
+using analysis::SynthPair;
+using analysis::SynthStatus;
+
+namespace {
+
+const verify::RegistryCombo& combo_named(const std::string& name) {
+  for (const verify::RegistryCombo& c : verify::registry()) {
+    if (c.name == name) return c;
+  }
+  throw std::runtime_error("no combo named " + name);
+}
+
+ChannelGraphView abstract_view(std::size_t routers,
+                               std::vector<std::pair<std::uint32_t, std::uint32_t>> chans) {
+  ChannelGraphView view;
+  view.routers = routers;
+  for (const auto& [tail, head] : chans) view.channels.push_back({tail, head});
+  view.pairs = analysis::reachable_pairs(view);
+  return view;
+}
+
+/// Ground truth by exhaustion: some permutation of the channels gives
+/// every pair a strictly increasing path.
+bool brute_force_exists(const ChannelGraphView& view) {
+  std::vector<std::uint32_t> perm(view.channels.size());
+  std::iota(perm.begin(), perm.end(), 0U);
+  std::sort(perm.begin(), perm.end());
+  do {
+    if (analysis::order_covers(view, perm, view.pairs)) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+/// The core as a standalone instance (channels re-indexed, pairs kept).
+ChannelGraphView core_view_of(const ChannelGraphView& view, const SynthDecision& decision) {
+  ChannelGraphView core;
+  core.routers = view.routers;
+  for (const std::uint32_t c : decision.core_channels) core.channels.push_back(view.channels[c]);
+  core.pairs = decision.core_pairs;
+  return core;
+}
+
+/// Irreducibility: the core is impossible, and deleting any one channel
+/// (re-basing the pairs) makes the residue routable.
+void expect_irreducible(const ChannelGraphView& core, const std::string& label) {
+  ASSERT_FALSE(core.channels.empty()) << label;
+  ASSERT_FALSE(core.pairs.empty()) << label;
+  analysis::SynthOptions options;
+  options.minimize_core = false;
+  EXPECT_EQ(analysis::decide_routable(core, options).status, SynthStatus::kImpossible) << label;
+  for (std::uint32_t c = 0; c < core.channels.size(); ++c) {
+    const ChannelGraphView residue = analysis::without_channel(core, c);
+    EXPECT_EQ(analysis::decide_routable(residue, options).status, SynthStatus::kExists)
+        << label << ": residue after deleting core channel " << c << " is still impossible";
+  }
+}
+
+/// Ring-N with only the clockwise router channels allowed.
+std::vector<char> clockwise_mask(const Network& net) {
+  std::vector<char> allowed(net.channel_count(), 1);
+  for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+    const Channel& ch = net.channel(ChannelId{ci});
+    if (ch.src.is_router() && ch.dst.is_router() && ch.src_port == ring_port::kCounterClockwise) {
+      allowed[ci] = 0;
+    }
+  }
+  return allowed;
+}
+
+}  // namespace
+
+// ---- the condition on hand instances --------------------------------------------
+
+TEST(SynthCondition, UnidirectionalRingIsImpossibleWithWholeRingAsCore) {
+  const ChannelGraphView ring3 = abstract_view(3, {{0, 1}, {1, 2}, {2, 0}});
+  const SynthDecision decision = analysis::decide_routable(ring3);
+  EXPECT_EQ(decision.status, SynthStatus::kImpossible);
+  EXPECT_EQ(decision.core_channels.size(), 3U);
+  expect_irreducible(core_view_of(ring3, decision), "3-ring");
+}
+
+TEST(SynthCondition, DuplexPathDecidesByUpdownOrderWithoutSearch) {
+  // 0 <-> 1 <-> 2: symmetric, so the forest fast path must answer.
+  const ChannelGraphView path =
+      abstract_view(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
+  const SynthDecision decision = analysis::decide_routable(path);
+  EXPECT_EQ(decision.status, SynthStatus::kExists);
+  EXPECT_EQ(decision.method, "updown-order");
+  EXPECT_EQ(decision.search_nodes, 0U);
+  EXPECT_TRUE(analysis::order_covers(path, decision.order, path.pairs));
+}
+
+TEST(SynthCondition, FullMeshDecidesDirectWithoutOrder) {
+  const verify::BuiltFabric built = combo_named("tetrahedron").build();
+  const ChannelGraphView view = analysis::channel_graph_of(*built.net);
+  const SynthDecision decision = analysis::decide_routable(view);
+  EXPECT_EQ(decision.status, SynthStatus::kExists);
+  EXPECT_EQ(decision.method, "full-mesh");
+  EXPECT_TRUE(decision.order.empty());
+}
+
+TEST(SynthCondition, BackedgeRingNeedsTheSearch) {
+  // Clockwise 4-ring plus reverse channels 1->0 and 2->1: asymmetric and
+  // not full-mesh, yet routable — only the backtracking search finds it
+  // (plain greedy elimination is not confluent on instances like this).
+  const ChannelGraphView view =
+      abstract_view(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 0}, {2, 1}});
+  const SynthDecision decision = analysis::decide_routable(view);
+  EXPECT_EQ(decision.status, SynthStatus::kExists);
+  EXPECT_EQ(decision.method, "search");
+  EXPECT_GT(decision.search_nodes, 0U);
+  EXPECT_TRUE(analysis::order_covers(view, decision.order, view.pairs));
+}
+
+TEST(SynthCondition, CertificateCheckerRejectsBadOrders) {
+  const ChannelGraphView ring3 = abstract_view(3, {{0, 1}, {1, 2}, {2, 0}});
+  // No order covers the unidirectional ring's pairs.
+  std::vector<std::uint32_t> perm{0, 1, 2};
+  do {
+    EXPECT_FALSE(analysis::order_covers(ring3, perm, ring3.pairs));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(SynthCondition, RejectsUnreachablePairs) {
+  ChannelGraphView view = abstract_view(3, {{0, 1}});
+  view.pairs = {SynthPair{2, 0}};  // no directed path at all
+  EXPECT_THROW(analysis::decide_routable(view), std::logic_error);
+}
+
+// ---- brute-force cross-check ----------------------------------------------------
+
+TEST(SynthCondition, MatchesBruteForceOnRandomSmallDigraphs) {
+  Xoshiro256 rng(0x5eedc0de);
+  std::size_t instances = 0;
+  std::size_t impossible = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t routers = 2 + rng() % 3;  // 2..4
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> chans;
+    std::size_t extra = 1 + rng() % 6;  // total stays <= 6 (6! = 720 orders)
+    if (trial % 3 == 0 && routers >= 3) {
+      // A unidirectional ring plus a couple of random chords — the shape
+      // where impossibility actually occurs (uniform sparse digraphs are
+      // almost always routable or disconnected).
+      for (std::uint32_t r = 0; r < routers; ++r) {
+        chans.emplace_back(r, static_cast<std::uint32_t>((r + 1) % routers));
+      }
+      extra = rng() % 3;
+    }
+    for (std::size_t c = 0; c < extra; ++c) {
+      const auto tail = static_cast<std::uint32_t>(rng() % routers);
+      auto head = static_cast<std::uint32_t>(rng() % routers);
+      while (head == tail) head = static_cast<std::uint32_t>(rng() % routers);
+      chans.emplace_back(tail, head);
+    }
+    const ChannelGraphView view = abstract_view(routers, std::move(chans));
+    if (view.pairs.empty()) continue;
+    ++instances;
+    const SynthDecision decision = analysis::decide_routable(view);
+    const bool truth = brute_force_exists(view);
+    ASSERT_NE(decision.status, SynthStatus::kUndecided);
+    EXPECT_EQ(decision.status == SynthStatus::kExists, truth)
+        << "trial " << trial << ": decision procedure disagrees with brute force";
+    if (decision.status == SynthStatus::kExists) {
+      // The full-mesh fast path returns no order (single-hop paths are
+      // monotone under any order) — check the identity order instead.
+      std::vector<std::uint32_t> order = decision.order;
+      if (order.empty()) {
+        order.resize(view.channels.size());
+        std::iota(order.begin(), order.end(), 0U);
+      }
+      EXPECT_TRUE(analysis::order_covers(view, order, view.pairs)) << "trial " << trial;
+    } else {
+      ++impossible;
+      expect_irreducible(core_view_of(view, decision),
+                         "trial " + std::to_string(trial) + " core");
+    }
+  }
+  // The sample must actually exercise both arms.
+  EXPECT_GT(instances, 200U);
+  EXPECT_GT(impossible, 10U);
+}
+
+// ---- fuzz over masked real networks ---------------------------------------------
+
+TEST(SynthFuzz, MaskedRingInstancesSynthesizeOrProveImpossible) {
+  const Ring ring(RingSpec{8, 1, kServerNetRouterPorts});
+  const Network& net = ring.net();
+  Xoshiro256 rng(0xfab51ca1);
+  std::size_t exists_seen = 0;
+  std::size_t impossible_seen = 0;
+  bool sim_validated = false;
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random transit mask; node channels always stay.
+    std::vector<char> allowed(net.channel_count(), 1);
+    for (std::size_t ci = 0; ci < net.channel_count(); ++ci) {
+      const Channel& ch = net.channel(ChannelId{ci});
+      if (ch.src.is_router() && ch.dst.is_router() && rng() % 4 == 0) allowed[ci] = 0;
+    }
+    const ChannelGraphView view = analysis::channel_graph_of(net, allowed);
+    // Keep only strongly-connected instances: every pair stays required,
+    // so an EXISTS table must be total and full reachability must hold.
+    if (view.pairs.size() != net.router_count() * (net.router_count() - 1)) continue;
+
+    const SynthesizedRoute synth = synthesize_routes(net, allowed);
+    ASSERT_NE(synth.decision.status, SynthStatus::kUndecided) << "trial " << trial;
+    if (synth.decision.status == SynthStatus::kImpossible) {
+      ++impossible_seen;
+      expect_irreducible(core_view_of(view, synth.decision),
+                         "trial " + std::to_string(trial) + " masked core");
+      continue;
+    }
+    ++exists_seen;
+
+    // Re-certify through the standard passes.
+    verify::VerifyOptions options;
+    options.require_full_reachability = true;
+    verify::Report report("masked-ring-8");
+    const verify::PassContext ctx{net, synth.table, options};
+    verify::run_reachability_pass(ctx, report);
+    verify::run_deadlock_pass(ctx, report);
+    EXPECT_TRUE(report.certified())
+        << "trial " << trial << ": synthesized table failed re-certification";
+
+    // One wormhole cross-validation: all-pairs traffic must drain.
+    if (!sim_validated && report.certified()) {
+      sim_validated = true;
+      sim::SimConfig cfg;
+      cfg.fifo_depth = 2;
+      cfg.flits_per_packet = 8;
+      sim::WormholeSim sim(net, synth.table, cfg);
+      for (const NodeId s : net.all_nodes()) {
+        for (const NodeId d : net.all_nodes()) {
+          if (s != d) sim.offer_packet(s, d);
+        }
+      }
+      EXPECT_EQ(sim.run_until_drained(2'000'000).outcome, sim::RunOutcome::kCompleted)
+          << "trial " << trial << ": synthesized routing deadlocked in the simulator";
+    }
+  }
+  EXPECT_GT(exists_seen, 0U);
+  EXPECT_GT(impossible_seen, 0U);
+  EXPECT_TRUE(sim_validated);
+}
+
+// ---- the synthesizer ------------------------------------------------------------
+
+TEST(Synthesize, MaskedClockwiseRingIsProvenUnroutableOnRealWiring) {
+  const Ring ring(RingSpec{4, 1, kServerNetRouterPorts});
+  const SynthesizedRoute synth = synthesize_routes(ring.net(), clockwise_mask(ring.net()));
+  EXPECT_EQ(synth.decision.status, SynthStatus::kImpossible);
+  EXPECT_EQ(synth.decision.core_channels.size(), 4U);
+  EXPECT_FALSE(synth.exists());
+  EXPECT_EQ(synth.table.populated_entries(), 0U);
+}
+
+TEST(Synthesize, EveryRegistryWiringSynthesizesAndRecertifies) {
+  for (const verify::SynthItem& item : verify::synth_roster()) {
+    const verify::SynthItemReport report = verify::run_synth_item(item);
+    EXPECT_TRUE(report.as_expected()) << item.name;
+    if (report.decision.status == SynthStatus::kExists) {
+      EXPECT_TRUE(report.recertified) << item.name;
+      EXPECT_GT(report.table_entries, 0U) << item.name;
+    }
+  }
+}
+
+TEST(Synthesize, RosterNamesResolveAndDemosBehave) {
+  ASSERT_NE(verify::find_synth_item("tetrahedron"), nullptr);
+  EXPECT_EQ(verify::find_synth_item("no-such-instance"), nullptr);
+
+  const verify::SynthItem* demo = verify::find_synth_item("demo-oneway-ring-4");
+  ASSERT_NE(demo, nullptr);
+  const verify::SynthItemReport report = verify::run_synth_item(*demo);
+  EXPECT_EQ(report.decision.status, SynthStatus::kImpossible);
+  EXPECT_EQ(report.core_network_channels.size(), 4U);
+  EXPECT_TRUE(report.as_expected());
+
+  const verify::SynthItem* backedges = verify::find_synth_item("demo-oneway-ring-4-backedges");
+  ASSERT_NE(backedges, nullptr);
+  const verify::SynthItemReport search_report = verify::run_synth_item(*backedges);
+  EXPECT_EQ(search_report.decision.status, SynthStatus::kExists);
+  EXPECT_EQ(search_report.decision.method, "search");
+  EXPECT_TRUE(search_report.recertified);
+}
+
+TEST(Synthesize, SweepIsByteIdenticalAcrossJobCounts) {
+  std::vector<const verify::SynthItem*> items;
+  for (const verify::SynthItem& item : verify::synth_roster()) items.push_back(&item);
+  const auto json_of = [&](unsigned jobs) {
+    exec::SweepOptions options;
+    options.jobs = jobs;
+    std::ostringstream os;
+    exec::sweep_synthesize(items, options).write_json(os);
+    return os.str();
+  };
+  const std::string serial = json_of(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, json_of(4));
+}
+
+// ---- the verify pass ------------------------------------------------------------
+
+TEST(SynthesizePass, OptInPassReportsExistenceAndRecertification) {
+  const verify::BuiltFabric built = combo_named("ring-8-updown").build();
+  verify::VerifyOptions options = verify::verify_options(built);
+  options.synthesize = true;
+  const verify::Report report =
+      verify::verify_fabric(*built.net, built.table, options, "ring-8-updown");
+  EXPECT_TRUE(report.certified());
+  bool exists_diag = false;
+  bool recert_diag = false;
+  for (const verify::Diagnostic& d : report.diagnostics()) {
+    exists_diag = exists_diag || d.rule == "synthesize.exists";
+    recert_diag = recert_diag || d.rule == "synthesize.recertified";
+  }
+  EXPECT_TRUE(exists_diag);
+  EXPECT_TRUE(recert_diag);
+
+  // Off by default: the standard pipeline output carries no synthesize
+  // section.
+  const verify::Report plain =
+      verify::verify_fabric(*built.net, built.table, verify::verify_options(built));
+  for (const verify::Diagnostic& d : plain.diagnostics()) {
+    EXPECT_NE(d.rule.rfind("synthesize.", 0), 0U);
+  }
+}
+
+// ---- fault-certifier integration ------------------------------------------------
+
+TEST(SynthRepair, PreferSynthesizedRepairHealsStaleFaults) {
+  const verify::BuiltFabric built = combo_named("ring-8-updown").build();
+  verify::FaultSpaceOptions options;
+  options.base = verify::verify_options(built);
+  options.prefer_synthesized_repair = true;
+  options.double_link_samples = 4;
+  const verify::FaultSpaceReport report =
+      verify::certify_fault_space(*built.net, built.table, options, "ring-8-updown");
+  EXPECT_TRUE(report.healthy_certified);
+  EXPECT_TRUE(report.single_faults_covered());
+  const std::size_t synthesized = report.link.of(verify::FaultVerdict::kSynthesizedRepair) +
+                                  report.router.of(verify::FaultVerdict::kSynthesizedRepair) +
+                                  report.double_link.of(verify::FaultVerdict::kSynthesizedRepair);
+  EXPECT_GT(synthesized, 0U);
+  for (const verify::FaultOutcome& o : report.outcomes) {
+    if (o.verdict == verify::FaultVerdict::kSynthesizedRepair) {
+      EXPECT_TRUE(o.repair_certified) << o.description;
+      EXPECT_EQ(o.repair_method, "synthesized") << o.description;
+      EXPECT_NE(o.detail.find("synthesized repair certified"), std::string::npos);
+    }
+  }
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"synthesized_repair\""), std::string::npos);
+  EXPECT_NE(json.find("\"repair_method\": \"synthesized\""), std::string::npos);
+}
+
+TEST(SynthRepair, ForestRepairStillWinsByDefault) {
+  const verify::BuiltFabric built = combo_named("ring-8-updown").build();
+  verify::FaultSpaceOptions options;
+  options.base = verify::verify_options(built);
+  options.double_link_samples = 4;
+  const verify::FaultSpaceReport report =
+      verify::certify_fault_space(*built.net, built.table, options, "ring-8-updown");
+  EXPECT_TRUE(report.single_faults_covered());
+  for (const verify::FaultOutcome& o : report.outcomes) {
+    if (o.verdict == verify::FaultVerdict::kStaleRoute && o.repair_certified) {
+      EXPECT_EQ(o.repair_method, "forest-updown") << o.description;
+    }
+    EXPECT_NE(o.verdict, verify::FaultVerdict::kSynthesizedRepair) << o.description;
+  }
+}
+
+TEST(SynthRepair, ProvenUnroutableRendersInCountsWorstAndJson) {
+  verify::FaultSpaceReport report;
+  report.fabric = "hand-built";
+  report.healthy_certified = true;
+
+  verify::FaultOutcome unroutable;
+  unroutable.fault = Fault::link(ChannelId{0U});
+  unroutable.verdict = verify::FaultVerdict::kProvenUnroutable;
+  unroutable.description = "link 0";
+  unroutable.detail = "proven unroutable: irreducible core of 4 channel(s)";
+  unroutable.witness_channels = {0, 2, 4, 6};
+  unroutable.repair_attempted = true;
+  report.merge_outcome(unroutable);
+
+  EXPECT_EQ(report.link.of(verify::FaultVerdict::kProvenUnroutable), 1U);
+  EXPECT_EQ(report.link.repair_failed, 0U);  // a decision, not a failure
+  EXPECT_TRUE(report.single_faults_covered());
+  ASSERT_NE(report.worst(), nullptr);
+  EXPECT_EQ(report.worst()->verdict, verify::FaultVerdict::kProvenUnroutable);
+
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"proven_unroutable\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\": \"proven-unroutable\""), std::string::npos);
+  const std::string text = report.text();
+  EXPECT_NE(text.find("unroutable"), std::string::npos);
+
+  // Deadlock-prone still outranks a proven impossibility in worst().
+  verify::FaultOutcome prone;
+  prone.fault = Fault::link(ChannelId{2U});
+  prone.verdict = verify::FaultVerdict::kDeadlockProne;
+  prone.description = "link 1";
+  report.merge_outcome(prone);
+  EXPECT_EQ(report.worst()->verdict, verify::FaultVerdict::kDeadlockProne);
+  EXPECT_FALSE(report.single_faults_covered());
+}

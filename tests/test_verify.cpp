@@ -424,18 +424,21 @@ TEST(VerifyReport, TextRenderingNamesVerdict) {
 
 TEST(VerifyReport, PassRosterCoversPipeline) {
   const auto& roster = verify::pass_roster();
-  ASSERT_EQ(roster.size(), 8U);  // preflight, hardware, reachability,
+  ASSERT_EQ(roster.size(), 9U);  // preflight, hardware, reachability,
                                  // deadlock, vc-deadlock, escape, updown,
-                                 // inorder
+                                 // inorder, synthesize
   EXPECT_STREQ(roster.front().name, "preflight");
   bool has_vc = false;
   bool has_escape = false;
+  bool has_synthesize = false;
   for (const verify::PassInfo& p : roster) {
     has_vc = has_vc || std::string_view{p.name} == "vc-deadlock";
     has_escape = has_escape || std::string_view{p.name} == "escape";
+    has_synthesize = has_synthesize || std::string_view{p.name} == "synthesize";
   }
   EXPECT_TRUE(has_vc);
   EXPECT_TRUE(has_escape);
+  EXPECT_TRUE(has_synthesize);
 }
 
 }  // namespace

@@ -1,29 +1,36 @@
 # CLI determinism gate for the sharded sweeps: `servernet-verify --all
-# --json` must produce byte-identical output at --jobs 1 and --jobs 8.
-# Driven from ctest (servernet_verify_jobs_deterministic); expects
-# VERIFY_BIN and WORK_DIR.
+# --json` and `--synthesize --all --json` must produce byte-identical
+# output at --jobs 1 and --jobs 8. Driven from ctest
+# (servernet_verify_jobs_deterministic); expects VERIFY_BIN and WORK_DIR.
 if(NOT DEFINED VERIFY_BIN OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "VERIFY_BIN and WORK_DIR must be set")
 endif()
 
-set(out_j1 "${WORK_DIR}/verify_all_j1.json")
-set(out_j8 "${WORK_DIR}/verify_all_j8.json")
+# check_sweep(<slug> <mode flags...>): run the mode at --jobs 1 and
+# --jobs 8 and require byte-identical JSON.
+function(check_sweep slug)
+  set(out_j1 "${WORK_DIR}/verify_${slug}_j1.json")
+  set(out_j8 "${WORK_DIR}/verify_${slug}_j8.json")
 
-execute_process(COMMAND ${VERIFY_BIN} --all --json --jobs 1
-                OUTPUT_FILE ${out_j1} RESULT_VARIABLE rc_j1)
-if(NOT rc_j1 EQUAL 0)
-  message(FATAL_ERROR "--all --json --jobs 1 exited ${rc_j1}")
-endif()
+  execute_process(COMMAND ${VERIFY_BIN} ${ARGN} --json --jobs 1
+                  OUTPUT_FILE ${out_j1} RESULT_VARIABLE rc_j1)
+  if(NOT rc_j1 EQUAL 0)
+    message(FATAL_ERROR "${ARGN} --json --jobs 1 exited ${rc_j1}")
+  endif()
 
-execute_process(COMMAND ${VERIFY_BIN} --all --json --jobs 8
-                OUTPUT_FILE ${out_j8} RESULT_VARIABLE rc_j8)
-if(NOT rc_j8 EQUAL 0)
-  message(FATAL_ERROR "--all --json --jobs 8 exited ${rc_j8}")
-endif()
+  execute_process(COMMAND ${VERIFY_BIN} ${ARGN} --json --jobs 8
+                  OUTPUT_FILE ${out_j8} RESULT_VARIABLE rc_j8)
+  if(NOT rc_j8 EQUAL 0)
+    message(FATAL_ERROR "${ARGN} --json --jobs 8 exited ${rc_j8}")
+  endif()
 
-execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${out_j1} ${out_j8}
-                RESULT_VARIABLE diff)
-if(NOT diff EQUAL 0)
-  message(FATAL_ERROR "--jobs 1 and --jobs 8 JSON differ: ${out_j1} vs ${out_j8}")
-endif()
-message(STATUS "--jobs 1 and --jobs 8 output byte-identical")
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${out_j1} ${out_j8}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${ARGN}: --jobs 1 and --jobs 8 JSON differ: ${out_j1} vs ${out_j8}")
+  endif()
+  message(STATUS "${ARGN}: --jobs 1 and --jobs 8 output byte-identical")
+endfunction()
+
+check_sweep(all --all)
+check_sweep(synthesize --synthesize --all)

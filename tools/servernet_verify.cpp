@@ -22,6 +22,15 @@
 //   $ servernet-verify --dot-witness w.dot torus-4x4-unrestricted
 //                                             # Graphviz export with the
 //                                             # indictment witness in red
+//   $ servernet-verify --synthesize --all     # existence decision + synthesis
+//                                             # for every registry wiring plus
+//                                             # the masked demo instances;
+//                                             # exit 0 iff every decision and
+//                                             # re-certification is as expected
+//   $ servernet-verify --synthesize demo-oneway-ring-4 --dot-witness core.dot
+//                                             # decide one instance; on
+//                                             # IMPOSSIBLE the irreducible
+//                                             # channel core renders in red
 //
 // The combos pair each builder in src/topo + src/core with its natural
 // routing. "Unrestricted" combos use naive shortest-path routing on looping
@@ -33,10 +42,10 @@
 // degraded channel-id space); --recover replays each static fault verdict
 // through the runtime recovery controller and cross-validates the two.
 //
-// The sweep modes (--all, --faults, --recover) shard their work across
-// --jobs N workers (default: hardware concurrency) via exec/sharded_sweep;
-// reports are merged deterministically, so the text and JSON output is
-// byte-identical at any job count.
+// The sweep modes (--all, --faults, --recover, --synthesize) shard their
+// work across --jobs N workers (default: hardware concurrency) via
+// exec/sharded_sweep; reports are merged deterministically, so the text
+// and JSON output is byte-identical at any job count.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -53,10 +62,11 @@ using namespace servernet;
 namespace {
 
 int usage() {
-  std::cerr << "usage: servernet-verify [--json] [--faults|--recover] [--jobs N] "
+  std::cerr << "usage: servernet-verify [--json] [--faults|--recover|--synthesize] [--jobs N] "
                "[--dot-witness <file>] <combo>...\n"
-               "       servernet-verify [--json] [--faults|--recover] [--jobs N] --all\n"
-               "       servernet-verify --list | --passes\n"
+               "       servernet-verify [--json] [--faults|--recover|--synthesize] [--jobs N] "
+               "--all\n"
+               "       servernet-verify --list | --passes | --synthesize --list\n"
                "run 'servernet-verify --list' for the registered combos\n";
   return 2;
 }
@@ -89,6 +99,22 @@ bool export_dot_witness(const std::string& path, const Network& net,
   return true;
 }
 
+/// Graphviz export with an explicit channel set highlighted — the
+/// synthesize mode's irreducible impossibility core.
+bool export_dot_channels(const std::string& path, const Network& net,
+                         const std::vector<std::uint32_t>& channels) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  DotOptions options;
+  options.collapse_duplex = false;
+  for (const std::uint32_t c : channels) options.highlight.push_back(ChannelId{c});
+  write_dot(out, net, options);
+  return true;
+}
+
 /// Combos a fault/recovery sweep covers, in registry order.
 std::vector<const verify::RegistryCombo*> sweepable_combos(bool certified_only) {
   std::vector<const verify::RegistryCombo*> combos;
@@ -109,6 +135,7 @@ int main(int argc, char** argv) {
   bool passes = false;
   bool faults = false;
   bool recover = false;
+  bool synthesize = false;
   exec::SweepOptions sweep;  // jobs = 0: hardware concurrency
   std::string dot_witness;
   std::vector<std::string> names;
@@ -126,6 +153,8 @@ int main(int argc, char** argv) {
       faults = true;
     } else if (arg == "--recover") {
       recover = true;
+    } else if (arg == "--synthesize") {
+      synthesize = true;
     } else if (arg == "--jobs") {
       if (i + 1 >= argc) return usage();
       const long jobs = std::strtol(argv[++i], nullptr, 10);
@@ -144,7 +173,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!dot_witness.empty() && (all || faults || recover || list || passes)) return usage();
-  if (faults && recover) return usage();
+  if (static_cast<int>(faults) + static_cast<int>(recover) + static_cast<int>(synthesize) > 1) {
+    return usage();
+  }
 
   if (passes) {
     for (const verify::PassInfo& p : verify::pass_roster()) {
@@ -153,11 +184,29 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (list) {
+    if (synthesize) {
+      for (const verify::SynthItem& item : verify::synth_roster()) {
+        std::cout << item.name << " [expect " << analysis::to_string(item.expect) << "] — "
+                  << item.what << '\n';
+      }
+      return 0;
+    }
     for (const verify::RegistryCombo& c : verify::registry()) {
       std::cout << c.name << " [" << (c.expect_certified ? "certified" : "indicted") << "] — "
                 << c.what << '\n';
     }
     return 0;
+  }
+  if (all && synthesize) {
+    std::vector<const verify::SynthItem*> items;
+    for (const verify::SynthItem& item : verify::synth_roster()) items.push_back(&item);
+    const verify::SynthSweepReport report = exec::sweep_synthesize(items, sweep);
+    if (json) {
+      report.write_json(std::cout);
+    } else {
+      report.write_text(std::cout);
+    }
+    return report.all_as_expected() ? 0 : 1;
   }
   if (all && recover) {
     // Runtime replay gate: every static fault verdict must be matched by
@@ -235,6 +284,30 @@ int main(int argc, char** argv) {
 
   bool any_errors = false;
   for (const std::string& name : names) {
+    if (synthesize) {
+      const verify::SynthItem* item = verify::find_synth_item(name);
+      if (item == nullptr) {
+        std::cerr << "unknown synthesis instance '" << name
+                  << "' — run 'servernet-verify --synthesize --list'\n";
+        return 2;
+      }
+      verify::SynthSweepReport report;
+      report.items.push_back(verify::run_synth_item(*item));
+      if (json) {
+        report.write_json(std::cout);
+      } else {
+        report.write_text(std::cout);
+      }
+      if (!dot_witness.empty()) {
+        const verify::SynthInstance instance = item->build();
+        const std::vector<std::uint32_t>& core = report.items.front().core_network_channels;
+        if (!export_dot_channels(dot_witness, *instance.net, core)) return 2;
+        std::cerr << "wrote " << dot_witness << " (" << core.size()
+                  << " core channel(s) highlighted)\n";
+      }
+      any_errors = any_errors || !report.items.front().as_expected();
+      continue;
+    }
     const verify::RegistryCombo* combo = nullptr;
     for (const verify::RegistryCombo& c : verify::registry()) {
       if (c.name == name) combo = &c;
