@@ -1,0 +1,158 @@
+// Compositional certification cost — how does certify time scale with
+// depth when the flat CDG analysis is replaced by module summaries + glue
+// streaming?
+//
+// Sweeps fat tetrahedral fractahedrons from depth 1 to depth 7 (8 ->
+// 2 097 152 endpoints) plus the 100 000-endpoint pentahedral instance,
+// timing verify::compose_certify at jobs=1 and jobs=N. For every depth the
+// flat pipeline can still materialize (table entries under the builder's
+// 2^28 cap), the full flat verify_fabric is timed next to it — the
+// crossover the numbers exist to show: flat cost grows with
+// channels x destinations while the compositional cost is one depth-3
+// representative plus arithmetic streaming over the glue relation, so the
+// curve stays flat (milliseconds) where the flat column has already left
+// the chart.
+//
+// Writes BENCH_compose.json (path = argv[1], default "BENCH_compose.json")
+// for tracking regressions across PRs, and prints a human table. Sweep
+// rows record the host's hardware concurrency alongside the job count.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/fractahedron.hpp"
+#include "exec/worker_pool.hpp"
+#include "util/table.hpp"
+#include "verify/compose.hpp"
+#include "verify/passes.hpp"
+
+using namespace servernet;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::uint32_t levels = 1;
+  std::uint64_t endpoints = 0;
+  std::uint64_t modules = 0;
+  std::uint64_t glue_links = 0;
+  double compose_ms = 0.0;           // jobs = 1
+  double compose_parallel_ms = 0.0;  // jobs = N
+  double flat_ms = -1.0;             // < 0: not materializable
+  bool certified = false;
+};
+
+template <typename F>
+double once_ms(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void write_json(std::ostream& os, const std::vector<Row>& rows, unsigned parallel_jobs,
+                unsigned hardware_jobs) {
+  os << "{\n  \"bench\": \"compose\",\n  \"unit\": \"ms\",\n  \"instances\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"name\": \"" << r.name << "\", \"levels\": " << r.levels
+       << ", \"endpoints\": " << r.endpoints << ", \"modules\": " << r.modules
+       << ", \"glue_links\": " << r.glue_links << ", \"compose_ms\": " << r.compose_ms
+       << ", \"compose_jobs\": 1, \"compose_parallel_ms\": " << r.compose_parallel_ms
+       << ", \"parallel_jobs\": " << parallel_jobs << ", \"hardware\": " << hardware_jobs;
+    if (r.flat_ms >= 0.0) os << ", \"flat_ms\": " << r.flat_ms;
+    os << ", \"certified\": " << (r.certified ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"hardware_jobs\": " << hardware_jobs << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_compose.json";
+  print_banner(std::cout, "compositional certification: certify time vs depth");
+
+  const unsigned hardware = exec::WorkerPool::hardware_jobs();
+  const unsigned parallel_jobs = std::max(4U, hardware);
+
+  std::vector<FractahedronSpec> specs;
+  for (std::uint32_t n = 1; n <= 7; ++n) {
+    FractahedronSpec spec;
+    spec.levels = n;
+    specs.push_back(spec);
+  }
+  {
+    // The 100k-endpoint pentahedral instance (M=5, 8-port routers).
+    FractahedronSpec spec;
+    spec.levels = 5;
+    spec.group_routers = 5;
+    spec.router_ports = 8;
+    specs.push_back(spec);
+  }
+
+  std::vector<Row> rows;
+  for (const FractahedronSpec& spec : specs) {
+    const FractahedronShape shape(spec);
+    Row row;
+    row.name = fractahedron_fabric_name(spec);
+    row.levels = spec.levels;
+    row.endpoints = shape.total_nodes();
+    row.modules = shape.total_modules();
+    row.glue_links = shape.total_glue_links();
+
+    const verify::ComposeInput input{spec, std::nullopt, false};
+    verify::Report report;
+    row.compose_ms = once_ms([&] { report = verify::compose_certify(input, {/*jobs=*/1}); });
+    row.compose_parallel_ms =
+        once_ms([&] { (void)verify::compose_certify(input, {parallel_jobs}); });
+    row.certified = report.certified();
+
+    // Flat baseline where the builder still accepts the spec.
+    try {
+      const Fractahedron flat(spec);
+      row.flat_ms = once_ms([&] {
+        const RoutingTable table = flat.routing();
+        verify::VerifyOptions options;
+        const UpDownClassification updown = flat.updown_classification();
+        options.updown = &updown;
+        (void)verify::verify_fabric(flat.net(), table, options);
+      });
+    } catch (const PreconditionError&) {
+      // Over the materialization cap: exactly the regime compose is for.
+    }
+    rows.push_back(row);
+  }
+
+  TextTable t({"instance", "levels", "endpoints", "modules", "glue links", "compose ms",
+               "compose ms (N)", "flat ms"});
+  for (const Row& r : rows) {
+    auto& row = t.row();
+    row.cell(r.name)
+        .cell(r.levels)
+        .cell(r.endpoints)
+        .cell(r.modules)
+        .cell(r.glue_links)
+        .cell(r.compose_ms, 1)
+        .cell(r.compose_parallel_ms, 1);
+    if (r.flat_ms >= 0.0) {
+      row.cell(r.flat_ms, 1);
+    } else {
+      row.cell("-");
+    }
+  }
+  t.print(std::cout);
+  std::cout << "hardware_concurrency: " << hardware << " (parallel rows use jobs="
+            << parallel_jobs << ")\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  write_json(out, rows, parallel_jobs, hardware);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -59,9 +59,12 @@ struct Row {
 };
 
 /// One sharded-sweep timing: the full replay suite at a job count.
+/// `hardware` records the host's concurrency per row so stored timings
+/// stay interpretable on their own.
 struct SweepRow {
   unsigned jobs = 1;
   double ms = 0.0;
+  unsigned hardware = 1;
 };
 
 void write_json(std::ostream& os, const std::vector<Row>& rows,
@@ -80,7 +83,7 @@ void write_json(std::ostream& os, const std::vector<Row>& rows,
   for (std::size_t i = 0; i < sweeps.size(); ++i) {
     const SweepRow& s = sweeps[i];
     os << "    {\"workload\": \"recover_all\", \"jobs\": " << s.jobs << ", \"ms\": " << s.ms
-       << "}" << (i + 1 < sweeps.size() ? "," : "") << "\n";
+       << ", \"hardware\": " << s.hardware << "}" << (i + 1 < sweeps.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -152,7 +155,8 @@ int main(int argc, char** argv) {
     const auto t0 = std::chrono::steady_clock::now();
     (void)exec::sweep_recovery(sweepable, exec::SweepOptions{jobs}, options);
     const auto t1 = std::chrono::steady_clock::now();
-    sweeps.push_back({jobs, std::chrono::duration<double, std::milli>(t1 - t0).count()});
+    sweeps.push_back({jobs, std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                      hardware});
   }
 
   print_banner(std::cout, "full replay suite: jobs=1 vs jobs=N (exec/sharded_sweep)");

@@ -66,10 +66,15 @@ struct Row {
 };
 
 /// One sharded-sweep timing: a registry-scale workload at a job count.
+/// `hardware` records the host's concurrency alongside every row, so a
+/// stored row is interpretable without cross-referencing the file header
+/// (a jobs=8 timing on a 2-core host is an oversubscription datum, not a
+/// speedup datum).
 struct SweepRow {
   std::string workload;
   unsigned jobs = 1;
   double ms = 0.0;
+  unsigned hardware = 1;
 };
 
 void write_json(std::ostream& os, const std::vector<Row>& rows,
@@ -90,7 +95,8 @@ void write_json(std::ostream& os, const std::vector<Row>& rows,
   for (std::size_t i = 0; i < sweeps.size(); ++i) {
     const SweepRow& s = sweeps[i];
     os << "    {\"workload\": \"" << s.workload << "\", \"jobs\": " << s.jobs
-       << ", \"ms\": " << s.ms << "}" << (i + 1 < sweeps.size() ? "," : "") << "\n";
+       << ", \"ms\": " << s.ms << ", \"hardware\": " << s.hardware << "}"
+       << (i + 1 < sweeps.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -168,10 +174,12 @@ int main(int argc, char** argv) {
     const exec::SweepOptions sweep_options{jobs};
     sweeps.push_back({"certify_all", jobs, sweep_once([&] {
                         (void)exec::sweep_certification(verify::registry(), sweep_options);
-                      })});
+                      }),
+                      hardware});
     sweeps.push_back({"fault_sweep_all", jobs, sweep_once([&] {
                         (void)exec::sweep_fault_spaces(sweepable, sweep_options);
-                      })});
+                      }),
+                      hardware});
   }
 
   print_banner(std::cout, "registry-scale sweeps: jobs=1 vs jobs=N (exec/sharded_sweep)");

@@ -1,0 +1,185 @@
+#include "analysis/modular_cdg.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace servernet::analysis {
+
+std::string to_string(ModuleClass cls) {
+  switch (cls) {
+    case ModuleClass::kSolo:
+      return "solo";
+    case ModuleClass::kBottom:
+      return "bottom";
+    case ModuleClass::kInterior:
+      return "interior";
+    case ModuleClass::kTop:
+      return "top";
+    case ModuleClass::kFanout:
+      return "fanout";
+  }
+  return "?";
+}
+
+ModuleClass module_class_of(std::uint32_t level, std::uint32_t levels) {
+  if (levels == 1) return ModuleClass::kSolo;
+  if (level == levels) return ModuleClass::kTop;
+  if (level == 1) return ModuleClass::kBottom;
+  return ModuleClass::kInterior;
+}
+
+std::string describe_interface(InterfaceKey key, std::uint32_t down_ports) {
+  std::ostringstream os;
+  if (key.is_parent()) {
+    os << "up[member " << key.member(down_ports) << "]";
+  } else {
+    os << "down[member " << key.member(down_ports) << " slot " << key.slot(down_ports) << "]";
+  }
+  return os.str();
+}
+
+bool ModuleSummary::reflects_parent() const {
+  return std::any_of(transits.begin(), transits.end(), [](const ModuleTransit& t) {
+    return t.in.is_parent() && t.out.is_parent();
+  });
+}
+
+bool ModuleSummary::bounces_child() const {
+  return std::any_of(transits.begin(), transits.end(), [](const ModuleTransit& t) {
+    return !t.in.is_parent() && !t.out.is_parent() && t.in == t.out;
+  });
+}
+
+namespace {
+
+/// Shared extraction: given the boundary-in channels, the boundary-out map
+/// and the internal channel set of one module, walk the CDG and collect
+/// the transit set (depth <= 2: boundary-in, optional internal hop,
+/// boundary-out).
+ModuleSummary extract(const ChannelDependencyGraph& cdg,
+                      const std::vector<std::pair<std::uint32_t, InterfaceKey>>& boundary_in,
+                      const std::unordered_map<std::uint32_t, InterfaceKey>& boundary_out,
+                      const std::unordered_set<std::uint32_t>& internal, ModuleClass cls) {
+  ModuleSummary summary;
+  summary.cls = cls;
+  summary.internal_channels = internal.size();
+  for (const std::uint32_t c : internal) {
+    for (const std::uint32_t succ : cdg.adjacency[c]) {
+      if (internal.count(succ) != 0) summary.internal_chain_free = false;
+    }
+  }
+  for (const auto& [cin, in_key] : boundary_in) {
+    for (const std::uint32_t succ : cdg.adjacency[cin]) {
+      if (const auto out = boundary_out.find(succ); out != boundary_out.end()) {
+        summary.transits.push_back(ModuleTransit{in_key, out->second, false});
+      } else if (internal.count(succ) != 0) {
+        for (const std::uint32_t succ2 : cdg.adjacency[succ]) {
+          if (const auto out2 = boundary_out.find(succ2); out2 != boundary_out.end()) {
+            summary.transits.push_back(ModuleTransit{in_key, out2->second, true});
+          }
+          // internal -> internal successors are already indicted via
+          // internal_chain_free; anything else cannot occur (a channel's
+          // successors are out-channels of its head router).
+        }
+      }
+    }
+  }
+  std::sort(summary.transits.begin(), summary.transits.end());
+  summary.transits.erase(std::unique(summary.transits.begin(), summary.transits.end()),
+                         summary.transits.end());
+  return summary;
+}
+
+}  // namespace
+
+/// Boundary channels are restricted to *router-facing* ones: a CDG cycle
+/// cannot pass through a node (injection channels have no predecessors,
+/// delivery channels no successors), so node-attach interfaces can never
+/// participate in inter-module dependency cycles and would only add
+/// sink/source transits the gluing lemma must not be distracted by (e.g.
+/// the reflexive injection -> delivery dependency at every node port,
+/// which reads as a same-interface "bounce" but is terminal).
+bool router_to_router(const Network& net, ChannelId c) {
+  const Channel& ch = net.channel(c);
+  return ch.src.is_router() && ch.dst.is_router();
+}
+
+ModuleSummary summarize_module(const Fractahedron& rep, const ChannelDependencyGraph& cdg,
+                               std::uint32_t level, std::size_t stack, std::size_t layer) {
+  const Network& net = rep.net();
+  const FractahedronSpec& spec = rep.spec();
+  const std::uint32_t M = spec.group_routers;
+  const std::uint32_t d = spec.down_ports_per_router;
+
+  std::vector<std::pair<std::uint32_t, InterfaceKey>> boundary_in;
+  std::unordered_map<std::uint32_t, InterfaceKey> boundary_out;
+  std::unordered_set<std::uint32_t> internal;
+  for (std::uint32_t m = 0; m < M; ++m) {
+    const RouterId r = rep.router(level, stack, layer, m);
+    const InterfaceKey up_key = InterfaceKey::parent(m);
+    if (const ChannelId out = net.router_out(r, rep.up_port());
+        out.valid() && router_to_router(net, out)) {
+      boundary_out.emplace(out.value(), up_key);
+    }
+    if (const ChannelId in = net.router_in(r, rep.up_port());
+        in.valid() && router_to_router(net, in)) {
+      boundary_in.emplace_back(in.value(), up_key);
+    }
+    for (std::uint32_t t = 0; t < d; ++t) {
+      const InterfaceKey down_key = InterfaceKey::child(m, t, d);
+      if (const ChannelId out = net.router_out(r, rep.down_port(t));
+          out.valid() && router_to_router(net, out)) {
+        boundary_out.emplace(out.value(), down_key);
+      }
+      if (const ChannelId in = net.router_in(r, rep.down_port(t));
+          in.valid() && router_to_router(net, in)) {
+        boundary_in.emplace_back(in.value(), down_key);
+      }
+    }
+    for (std::uint32_t j = 0; j < M; ++j) {
+      if (j == m) continue;
+      if (const ChannelId out = net.router_out(r, rep.peer_port(m, j)); out.valid()) {
+        internal.insert(out.value());
+      }
+    }
+  }
+  return extract(cdg, boundary_in, boundary_out, internal,
+                 module_class_of(level, spec.levels));
+}
+
+ModuleSummary summarize_fanout(const Fractahedron& rep, const ChannelDependencyGraph& cdg,
+                               std::size_t stack, std::uint32_t child) {
+  const Network& net = rep.net();
+  const std::uint32_t cpus = rep.spec().cpus_per_fanout;
+  const RouterId fr = rep.fanout_router(stack, child);
+
+  std::vector<std::pair<std::uint32_t, InterfaceKey>> boundary_in;
+  std::unordered_map<std::uint32_t, InterfaceKey> boundary_out;
+  // Port 0 faces the level-1 group (the relay's "parent"); CPU ports are
+  // its child interfaces — node-attached, so excluded from the boundary
+  // for the same cycle-relevance reason as above.
+  if (const ChannelId out = net.router_out(fr, 0);
+      out.valid() && router_to_router(net, out)) {
+    boundary_out.emplace(out.value(), InterfaceKey::parent(0));
+  }
+  if (const ChannelId in = net.router_in(fr, 0);
+      in.valid() && router_to_router(net, in)) {
+    boundary_in.emplace_back(in.value(), InterfaceKey::parent(0));
+  }
+  for (std::uint32_t p = 0; p < cpus; ++p) {
+    const InterfaceKey key = InterfaceKey::child(0, p, cpus);
+    if (const ChannelId out = net.router_out(fr, 1 + p);
+        out.valid() && router_to_router(net, out)) {
+      boundary_out.emplace(out.value(), key);
+    }
+    if (const ChannelId in = net.router_in(fr, 1 + p);
+        in.valid() && router_to_router(net, in)) {
+      boundary_in.emplace_back(in.value(), key);
+    }
+  }
+  return extract(cdg, boundary_in, boundary_out, {}, ModuleClass::kFanout);
+}
+
+}  // namespace servernet::analysis

@@ -1,0 +1,124 @@
+// Per-module interface summaries of the fractahedron channel-dependency
+// graph — the module half of the compositional certifier (THEORY.md §11).
+//
+// A fractahedron is glued out of one repeated module: the fully-connected
+// M-router group. Seen from outside, a module is a black box with typed
+// boundary channels — an *up pair* per member with a wired up link
+// (to/from the parent group) and a *down pair* per (member, slot)
+// (to/from a child group, a fan-out router, or a CPU). Everything inside
+// is the module's peer mesh. Only *router-facing* boundary channels count:
+// a CDG cycle cannot pass through a node (injection channels have no
+// predecessors, delivery channels no successors), so node-attach
+// interfaces are excluded from summaries entirely.
+//
+// A ModuleSummary abstracts the module to exactly what gluing needs: the
+// set of boundary-in -> boundary-out *transits* its installed routing can
+// induce through the module (with whether each takes the one allowed
+// internal peer hop), plus the structural facts the level-gluing lemma
+// consumes:
+//
+//   S1  no parent-in -> parent-out reflection (a climb never re-descends
+//       and re-climbs inside one module);
+//   S2  no child(m,t)-in -> child(m,t)-out bounce on the same interface;
+//   S3  no internal -> internal dependency (peer chains have length <= 1,
+//       the "at most one intra-group hop per level" of §2.4).
+//
+// Summaries are *extracted, not assumed*: summarize_module walks the real
+// CDG of a materialized representative instance, so the lemma's premises
+// are checked against the very dependency graph the flat pass would use.
+// The compositional pass then certifies a depth-N fabric by (a) flat-
+// certifying a small representative, (b) extracting summaries and checking
+// S1–S3 plus within-class equality (bottom/interior/top modules of the
+// same family must summarize identically — the self-similarity claim), and
+// (c) streaming the glue relation (verify/compose.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/channel_dependency.hpp"
+#include "core/fractahedron.hpp"
+
+namespace servernet::analysis {
+
+/// Boundary-interface key of one module: the parent side keys on the
+/// member carrying the up link, the child side on (member, down slot).
+/// Packed so transits sort and compare as plain integers.
+struct InterfaceKey {
+  static constexpr std::uint32_t kParentBit = 0x8000'0000U;
+
+  std::uint32_t key = 0;
+
+  [[nodiscard]] static InterfaceKey parent(std::uint32_t member) {
+    return InterfaceKey{kParentBit | member};
+  }
+  [[nodiscard]] static InterfaceKey child(std::uint32_t member, std::uint32_t slot,
+                                          std::uint32_t down_ports) {
+    return InterfaceKey{member * down_ports + slot};
+  }
+  [[nodiscard]] bool is_parent() const { return (key & kParentBit) != 0; }
+  [[nodiscard]] std::uint32_t member(std::uint32_t down_ports) const {
+    return is_parent() ? (key & ~kParentBit) : key / down_ports;
+  }
+  [[nodiscard]] std::uint32_t slot(std::uint32_t down_ports) const {
+    return key % down_ports;  // child keys only
+  }
+  friend constexpr auto operator<=>(const InterfaceKey&, const InterfaceKey&) = default;
+};
+
+[[nodiscard]] std::string describe_interface(InterfaceKey key, std::uint32_t down_ports);
+
+/// One boundary-in -> boundary-out dependency the module's routing can
+/// induce, with whether it uses the single allowed internal peer hop.
+struct ModuleTransit {
+  InterfaceKey in;
+  InterfaceKey out;
+  bool via_peer = false;
+  friend constexpr auto operator<=>(const ModuleTransit&, const ModuleTransit&) = default;
+};
+
+/// Structural role of a module in the hierarchy. Summaries must be equal
+/// within a class — that equality is the checked self-similarity premise
+/// that lets one representative stand in for every level.
+enum class ModuleClass : std::uint8_t { kSolo, kBottom, kInterior, kTop, kFanout };
+
+[[nodiscard]] std::string to_string(ModuleClass cls);
+[[nodiscard]] ModuleClass module_class_of(std::uint32_t level, std::uint32_t levels);
+
+struct ModuleSummary {
+  ModuleClass cls = ModuleClass::kSolo;
+  /// Sorted, de-duplicated transit set.
+  std::vector<ModuleTransit> transits;
+  std::size_t internal_channels = 0;
+  /// S3: no internal -> internal CDG edge (every internal chain has
+  /// length <= 1). Stronger than acyclicity, and exactly what the
+  /// depth-first "at most one intra-group hop per level" routing yields.
+  bool internal_chain_free = true;
+
+  /// S1: some parent-in transit exits on a parent-out interface.
+  [[nodiscard]] bool reflects_parent() const;
+  /// S2: some child-in transit exits on the same child interface.
+  [[nodiscard]] bool bounces_child() const;
+  /// Class-equality ignores nothing: two summaries agree iff the glue
+  /// pass may treat their modules interchangeably.
+  friend bool operator==(const ModuleSummary&, const ModuleSummary&) = default;
+};
+
+/// Extracts the summary of the group module at (level, stack, layer) of a
+/// materialized representative from its channel-dependency graph: for
+/// every boundary-in channel, follow CDG edges through at most one
+/// internal channel and record which boundary-out channels are reachable.
+[[nodiscard]] ModuleSummary summarize_module(const Fractahedron& rep,
+                                             const ChannelDependencyGraph& cdg,
+                                             std::uint32_t level, std::size_t stack,
+                                             std::size_t layer);
+
+/// Summary of the fan-out relay under level-1 stack `stack`, child digit
+/// `child` (requires cpu_pair_fanout). The group side plays the parent
+/// interface; CPU ports are child interfaces (member 0, slot = CPU port).
+[[nodiscard]] ModuleSummary summarize_fanout(const Fractahedron& rep,
+                                             const ChannelDependencyGraph& cdg,
+                                             std::size_t stack, std::uint32_t child);
+
+}  // namespace servernet::analysis

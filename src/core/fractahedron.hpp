@@ -26,35 +26,27 @@
 // easily generalize to other fully connected groups of N-port routers"):
 // `group_routers` (M) and `down_ports_per_router` (d) are free parameters;
 // each group then has C = M*d children.
+//
+// This class *materializes* the fabric: a flat Network plus a
+// destination-indexed RoutingTable, bounded by 32-bit element ids and
+// O(routers × nodes) table memory. All shape arithmetic lives in
+// FractahedronShape (fractahedron_shape.hpp) so depth-5+ specs that can
+// never be materialized are still fully computable — the constructor
+// rejects over-budget specs with a diagnostic pointing at the
+// compositional certifier (`servernet-verify --compose`) instead of
+// overflowing.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/fractahedron_shape.hpp"
 #include "route/routing_table.hpp"
+#include "route/updown.hpp"
 #include "topo/network.hpp"
 
 namespace servernet {
-
-enum class FractahedronKind : std::uint8_t { kThin, kFat };
-
-struct FractahedronSpec {
-  /// Number of group levels N (level 1 is adjacent to the nodes).
-  std::uint32_t levels = 2;
-  FractahedronKind kind = FractahedronKind::kFat;
-  /// If true, each level-1 down port carries a fan-out router serving a
-  /// pair of CPUs (the paper's "one additional router level connecting
-  /// each pair of CPUs"); max nodes become 2*C^N instead of C^N.
-  bool cpu_pair_fanout = false;
-  /// Routers per fully-connected group (M = 4 for tetrahedra).
-  std::uint32_t group_routers = 4;
-  /// Down ports per group router (d = 2 in the 2-3-1 split).
-  std::uint32_t down_ports_per_router = 2;
-  PortIndex router_ports = kServerNetRouterPorts;
-  /// CPUs per fan-out router when cpu_pair_fanout is set.
-  std::uint32_t cpus_per_fanout = 2;
-};
 
 class Fractahedron {
  public:
@@ -62,6 +54,8 @@ class Fractahedron {
 
   [[nodiscard]] const FractahedronSpec& spec() const { return spec_; }
   [[nodiscard]] const Network& net() const { return net_; }
+  /// The spec's pure arithmetic (counts, addressing, canonical glue).
+  [[nodiscard]] const FractahedronShape& shape() const { return shape_; }
 
   // ---- shape ---------------------------------------------------------------
 
@@ -105,9 +99,19 @@ class Fractahedron {
   /// Depth-first address routing as described above.
   [[nodiscard]] RoutingTable routing() const;
 
+  /// Level-based up*/down* channel classification: a channel is "up" iff
+  /// it moves strictly closer to the top level (glue child->parent and
+  /// fan-out->group channels). Fat fractahedrons only — fat climbs go
+  /// straight up, so every depth-first route is up*-then-down* at channel
+  /// granularity; thin climbs funnel through member 0 with a peer hop
+  /// *before* the up link, which no 0/1 channel labelling can express
+  /// (the module summaries in verify/compose cover thin instead).
+  [[nodiscard]] UpDownClassification updown_classification() const;
+
   // ---- paper formulas (Table 1) ----------------------------------------------
 
   /// Max nodes at N levels: (1 or 2) * C^N depending on the fan-out level.
+  /// Overflow-checked: throws PreconditionError instead of wrapping.
   [[nodiscard]] static std::uint64_t analytic_max_nodes(const FractahedronSpec& spec);
   /// Paper's max router delays excluding fan-out hops: thin 4N-2, fat 3N-1
   /// (for tetrahedra); generalized to the same counting argument.
@@ -117,6 +121,7 @@ class Fractahedron {
 
  private:
   FractahedronSpec spec_;
+  FractahedronShape shape_;
   Network net_;
   std::uint32_t fanout_factor_ = 1;  // CPUs per level-1 down port
   // level_routers_[k-1][(stack * layers + layer) * M + member]
@@ -125,9 +130,6 @@ class Fractahedron {
   std::vector<RouterId> fanout_routers_;
 
   void build();
-  [[nodiscard]] std::uint64_t children_pow(std::uint32_t exponent) const;
 };
-
-[[nodiscard]] std::string to_string(FractahedronKind kind);
 
 }  // namespace servernet

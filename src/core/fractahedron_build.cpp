@@ -4,42 +4,51 @@
 
 namespace servernet {
 
-std::string to_string(FractahedronKind kind) {
-  return kind == FractahedronKind::kThin ? "thin" : "fat";
+namespace {
+
+/// Materialization budget: flat builds must fit 32-bit element ids and an
+/// O(routers × nodes) destination-indexed table. The table bound is the
+/// binding one long before ids run out — a depth-5 fat tetrahedron already
+/// needs 31744 × 32768 ≈ 1e9 cells — so the constructor refuses early with
+/// a pointer at the compositional certifier instead of thrashing or
+/// overflowing.
+constexpr std::uint64_t kMaxFlatTableEntries = std::uint64_t{1} << 28;
+
+void require_materializable(const FractahedronShape& shape) {
+  constexpr std::uint64_t id_cap = RouterId::kInvalidValue;  // shared by all StrongIds
+  const bool ids_fit = shape.total_routers() < id_cap && shape.total_nodes() < id_cap &&
+                       shape.total_channels() < id_cap;
+  const bool table_fits = shape.total_table_entries() <= kMaxFlatTableEntries;
+  if (ids_fit && table_fits) return;
+  throw PreconditionError(
+      fractahedron_fabric_name(shape.spec()) + " is too large to materialize as a flat Network (" +
+      std::to_string(shape.total_nodes()) + " nodes, " + std::to_string(shape.total_routers()) +
+      " routers, " + std::to_string(shape.total_channels()) + " channels, " +
+      std::to_string(shape.total_table_entries()) +
+      " routing-table entries) — specify it by FractahedronShape and certify compositionally "
+      "(servernet-verify --compose)");
 }
 
-Fractahedron::Fractahedron(const FractahedronSpec& spec) : spec_(spec), net_("fractahedron") {
-  SN_REQUIRE(spec.levels >= 1, "fractahedron needs at least one level");
-  SN_REQUIRE(spec.group_routers >= 2, "group needs at least two routers");
-  SN_REQUIRE(spec.down_ports_per_router >= 1, "group routers need a down port");
-  SN_REQUIRE(spec.router_ports >= spec.group_routers - 1 + spec.down_ports_per_router + 1,
-             "router radix too small for the peer/down/up split");
-  if (spec.cpu_pair_fanout) {
-    SN_REQUIRE(spec.cpus_per_fanout >= 1, "fan-out routers need CPUs");
-    SN_REQUIRE(spec.router_ports >= 1 + spec.cpus_per_fanout,
-               "fan-out router radix too small");
-    fanout_factor_ = spec.cpus_per_fanout;
-  }
-  net_.set_name(to_string(spec.kind) + "-fractahedron-N" + std::to_string(spec.levels) +
-                (spec.cpu_pair_fanout ? "-fanout" : ""));
+}  // namespace
+
+Fractahedron::Fractahedron(const FractahedronSpec& spec)
+    : spec_(spec), shape_(spec), net_("fractahedron") {
+  // shape_'s constructor has already validated the spec parameters and
+  // overflow-checked every 64-bit count; what is left is the flat budget.
+  require_materializable(shape_);
+  fanout_factor_ = shape_.fanout_factor();
+  net_.set_name(fractahedron_fabric_name(spec));
   build();
 }
 
-std::uint32_t Fractahedron::children_per_group() const {
-  return spec_.group_routers * spec_.down_ports_per_router;
-}
+std::uint32_t Fractahedron::children_per_group() const { return shape_.children_per_group(); }
 
 std::size_t Fractahedron::stacks(std::uint32_t level) const {
-  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
-  return static_cast<std::size_t>(children_pow(spec_.levels - level));
+  return static_cast<std::size_t>(shape_.stacks(level));
 }
 
 std::size_t Fractahedron::layers(std::uint32_t level) const {
-  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
-  if (spec_.kind == FractahedronKind::kThin) return 1;
-  std::size_t n = 1;
-  for (std::uint32_t i = 1; i < level; ++i) n *= spec_.group_routers;
-  return n;
+  return static_cast<std::size_t>(shape_.layers(level));
 }
 
 RouterId Fractahedron::router(std::uint32_t level, std::size_t stack, std::size_t layer,
@@ -66,39 +75,24 @@ NodeId Fractahedron::node(std::size_t address) const {
 
 std::uint32_t Fractahedron::digit(NodeId n, std::uint32_t level) const {
   SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
-  const std::uint64_t shift = children_pow(level - 1) * fanout_factor_;
-  return static_cast<std::uint32_t>((n.value() / shift) % children_per_group());
+  return shape_.digit(n.value(), level);
 }
 
 std::size_t Fractahedron::stack_of(NodeId n, std::uint32_t level) const {
-  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
-  return static_cast<std::size_t>(n.value() / (children_pow(level) * fanout_factor_));
+  return static_cast<std::size_t>(shape_.stack_of(n.value(), level));
 }
 
 std::uint32_t Fractahedron::owner_member(NodeId n, std::uint32_t level) const {
-  return digit(n, level) / spec_.down_ports_per_router;
+  return shape_.owner_member(n.value(), level);
 }
 
 PortIndex Fractahedron::peer_port(std::uint32_t i, std::uint32_t j) const {
-  SN_REQUIRE(i != j && i < spec_.group_routers && j < spec_.group_routers,
-             "bad peer pair");
-  return j < i ? j : j - 1;
+  return shape_.peer_port(i, j);
 }
 
-PortIndex Fractahedron::down_port(std::uint32_t slot) const {
-  SN_REQUIRE(slot < spec_.down_ports_per_router, "down slot out of range");
-  return spec_.group_routers - 1 + slot;
-}
+PortIndex Fractahedron::down_port(std::uint32_t slot) const { return shape_.down_port(slot); }
 
-PortIndex Fractahedron::up_port() const {
-  return spec_.group_routers - 1 + spec_.down_ports_per_router;
-}
-
-std::uint64_t Fractahedron::children_pow(std::uint32_t exponent) const {
-  std::uint64_t x = 1;
-  for (std::uint32_t i = 0; i < exponent; ++i) x *= children_per_group();
-  return x;
-}
+PortIndex Fractahedron::up_port() const { return shape_.up_port(); }
 
 void Fractahedron::build() {
   const std::uint32_t M = spec_.group_routers;
@@ -136,39 +130,29 @@ void Fractahedron::build() {
     }
   }
 
-  // 3. Wire inter-level links (parent down ports to child up ports).
-  for (std::uint32_t k = 2; k <= spec_.levels; ++k) {
-    const std::size_t child_layers = layers(k - 1);
+  // 3. Wire inter-level links: every child up link to the attachment the
+  // canonical glue relation prescribes — the same arithmetic the
+  // compositional glue pass checks, so the flat wiring and the streamed
+  // relation can never drift apart.
+  for (std::uint32_t k = 1; k < spec_.levels; ++k) {
     for (std::size_t s = 0; s < stacks(k); ++s) {
       for (std::size_t j = 0; j < layers(k); ++j) {
-        for (std::uint32_t r = 0; r < M; ++r) {
-          for (std::uint32_t t = 0; t < spec_.down_ports_per_router; ++t) {
-            const std::uint32_t c = r * spec_.down_ports_per_router + t;
-            const std::size_t child_stack = s * C + c;
-            std::size_t child_layer;
-            std::uint32_t child_member;
-            if (spec_.kind == FractahedronKind::kThin) {
-              // Thin: the group's single up link lives on member 0.
-              child_layer = 0;
-              child_member = 0;
-            } else {
-              // Fat: parent layer j corresponds to the child's up link at
-              // (member j / child_layers, layer j % child_layers).
-              child_member = static_cast<std::uint32_t>(j / child_layers);
-              child_layer = j % child_layers;
-            }
-            net_.connect(Terminal::router(router(k, s, j, r)), down_port(t),
-                         Terminal::router(router(k - 1, child_stack, child_layer, child_member)),
-                         up_port());
-          }
+        for (std::uint32_t m = 0; m < M; ++m) {
+          const FractahedronShape::ModuleCoord child{k, s, j};
+          if (!shape_.has_up_link(child, m)) continue;
+          const FractahedronShape::GlueAttachment glue = shape_.up_attachment(child, m);
+          net_.connect(Terminal::router(router(glue.parent.level,
+                                               static_cast<std::size_t>(glue.parent.stack),
+                                               static_cast<std::size_t>(glue.parent.layer),
+                                               glue.member)),
+                       down_port(glue.slot), Terminal::router(router(k, s, j, m)), up_port());
         }
       }
     }
   }
 
   // 4. Create nodes in address order, then attach below level 1.
-  const std::size_t total_nodes =
-      static_cast<std::size_t>(children_pow(spec_.levels)) * fanout_factor_;
+  const auto total_nodes = static_cast<std::size_t>(shape_.total_nodes());
   for (std::size_t a = 0; a < total_nodes; ++a) {
     net_.add_node(1, "cpu" + std::to_string(a));
   }
@@ -181,10 +165,9 @@ void Fractahedron::build() {
         const RouterId fr = net_.add_router(
             spec_.router_ports, "F" + std::to_string(s) + "." + std::to_string(c));
         fanout_routers_.push_back(fr);
-        const std::uint32_t member = c / spec_.down_ports_per_router;
-        const std::uint32_t slot = c % spec_.down_ports_per_router;
+        const FractahedronShape::GlueAttachment glue = shape_.fanout_attachment(s, c);
         // Fan-out port 0 goes up to the level-1 group; CPU ports follow.
-        net_.connect(Terminal::router(router(1, s, 0, member)), down_port(slot),
+        net_.connect(Terminal::router(router(1, s, 0, glue.member)), down_port(glue.slot),
                      Terminal::router(fr), 0);
         for (std::uint32_t p = 0; p < fanout_factor_; ++p) {
           const std::size_t address = (s * C + c) * fanout_factor_ + p;
@@ -206,10 +189,8 @@ void Fractahedron::build() {
 }
 
 std::uint64_t Fractahedron::analytic_max_nodes(const FractahedronSpec& spec) {
-  std::uint64_t x = spec.cpu_pair_fanout ? spec.cpus_per_fanout : 1;
-  const std::uint64_t c = std::uint64_t{spec.group_routers} * spec.down_ports_per_router;
-  for (std::uint32_t i = 0; i < spec.levels; ++i) x *= c;
-  return x;
+  FractahedronShape shape(spec);  // validates and overflow-checks
+  return shape.total_nodes();
 }
 
 std::uint64_t Fractahedron::analytic_max_delays(const FractahedronSpec& spec) {

@@ -15,6 +15,43 @@
 
 namespace servernet {
 
+UpDownClassification Fractahedron::updown_classification() const {
+  SN_REQUIRE(spec_.kind == FractahedronKind::kFat,
+             "up*/down* channel classification exists only for fat fractahedrons: thin climbs "
+             "funnel through member 0 with a peer hop before the up link, which no 0/1 channel "
+             "labelling can express (verify/compose covers thin via module summaries)");
+  UpDownClassification cls;
+  cls.root = router(spec_.levels, 0, 0, 0);
+  // Depth below the top level: level-k group routers sit at N-k, fan-out
+  // routers below level 1 at N. Peers tie, so peer channels are never up.
+  cls.level.assign(net_.router_count(), 0);
+  for (std::uint32_t k = 1; k <= spec_.levels; ++k) {
+    for (std::size_t s = 0; s < stacks(k); ++s) {
+      for (std::size_t j = 0; j < layers(k); ++j) {
+        for (std::uint32_t r = 0; r < spec_.group_routers; ++r) {
+          cls.level[router(k, s, j, r).index()] = spec_.levels - k;
+        }
+      }
+    }
+  }
+  if (spec_.cpu_pair_fanout) {
+    for (std::size_t s = 0; s < stacks(1); ++s) {
+      for (std::uint32_t c = 0; c < children_per_group(); ++c) {
+        cls.level[fanout_router(s, c).index()] = spec_.levels;
+      }
+    }
+  }
+  cls.channel_is_up.assign(net_.channel_count(), 0);
+  for (std::size_t i = 0; i < net_.channel_count(); ++i) {
+    const Channel& ch = net_.channel(ChannelId{i});
+    if (!ch.src.is_router() || !ch.dst.is_router()) continue;
+    if (cls.level[ch.dst.router_id().index()] < cls.level[ch.src.router_id().index()]) {
+      cls.channel_is_up[i] = 1;
+    }
+  }
+  return cls;
+}
+
 RoutingTable Fractahedron::routing() const {
   RoutingTable table = RoutingTable::sized_for(net_);
   const std::uint32_t M = spec_.group_routers;

@@ -1,0 +1,209 @@
+#include "core/fractahedron_shape.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace servernet {
+
+namespace {
+
+/// a * b with wraparound turned into a diagnosable failure. The message
+/// names the quantity so "levels=40" fails as a spec problem, not UB.
+std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b, const char* what) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    throw PreconditionError(std::string("fractahedron spec overflows 64-bit arithmetic "
+                                        "computing ") +
+                            what + " — reduce levels, group_routers or down_ports_per_router");
+  }
+  return a * b;
+}
+
+std::uint64_t checked_add(std::uint64_t a, std::uint64_t b, const char* what) {
+  if (b > std::numeric_limits<std::uint64_t>::max() - a) {
+    throw PreconditionError(std::string("fractahedron spec overflows 64-bit arithmetic "
+                                        "computing ") +
+                            what + " — reduce levels, group_routers or down_ports_per_router");
+  }
+  return a + b;
+}
+
+/// base^exponent, overflow-checked.
+std::uint64_t checked_pow(std::uint64_t base, std::uint32_t exponent, const char* what) {
+  std::uint64_t x = 1;
+  for (std::uint32_t i = 0; i < exponent; ++i) x = checked_mul(x, base, what);
+  return x;
+}
+
+}  // namespace
+
+std::string to_string(FractahedronKind kind) {
+  return kind == FractahedronKind::kThin ? "thin" : "fat";
+}
+
+std::string fractahedron_fabric_name(const FractahedronSpec& spec) {
+  return to_string(spec.kind) + "-fractahedron-N" + std::to_string(spec.levels) +
+         (spec.cpu_pair_fanout ? "-fanout" : "");
+}
+
+std::string to_string(const FractahedronShape::ModuleCoord& m) {
+  std::ostringstream os;
+  os << "level " << m.level << " stack " << m.stack << " layer " << m.layer;
+  return os.str();
+}
+
+FractahedronShape::FractahedronShape(const FractahedronSpec& spec) : spec_(spec) {
+  SN_REQUIRE(spec.levels >= 1, "fractahedron needs at least one level");
+  SN_REQUIRE(spec.group_routers >= 2, "group needs at least two routers");
+  SN_REQUIRE(spec.down_ports_per_router >= 1, "group routers need a down port");
+  SN_REQUIRE(spec.router_ports >= spec.group_routers - 1 + spec.down_ports_per_router + 1,
+             "router radix too small for the peer/down/up split");
+  if (spec.cpu_pair_fanout) {
+    SN_REQUIRE(spec.cpus_per_fanout >= 1, "fan-out routers need CPUs");
+    SN_REQUIRE(spec.router_ports >= 1 + spec.cpus_per_fanout, "fan-out router radix too small");
+    fanout_factor_ = spec.cpus_per_fanout;
+  }
+
+  const std::uint64_t M = spec.group_routers;
+  const std::uint64_t C = std::uint64_t{spec.group_routers} * spec.down_ports_per_router;
+
+  total_nodes_ = checked_mul(checked_pow(C, spec.levels, "max nodes C^N"), fanout_factor_,
+                             "max nodes with CPU fan-out");
+  std::uint64_t peer_links = 0;
+  for (std::uint32_t k = 1; k <= spec.levels; ++k) {
+    const std::uint64_t modules = checked_mul(stacks(k), layers(k), "modules per level");
+    total_modules_ = checked_add(total_modules_, modules, "total modules");
+    total_group_routers_ = checked_add(
+        total_group_routers_, checked_mul(modules, M, "routers per level"), "total routers");
+    peer_links = checked_add(peer_links, checked_mul(modules, M * (M - 1) / 2, "peer links"),
+                             "total peer links");
+    if (k >= 2) {
+      total_glue_links_ = checked_add(
+          total_glue_links_, checked_mul(modules, C, "glue links per level"), "total glue links");
+    }
+  }
+  std::uint64_t attach_links = 0;
+  if (spec.cpu_pair_fanout) {
+    total_fanout_routers_ = checked_mul(stacks(1), C, "fan-out routers");
+    // Group -> fan-out cables plus fan-out -> CPU cables.
+    attach_links = checked_add(total_fanout_routers_, total_nodes_, "attachment links");
+  } else {
+    attach_links = total_nodes_;
+  }
+  const std::uint64_t links = checked_add(checked_add(peer_links, total_glue_links_, "links"),
+                                          attach_links, "links");
+  total_channels_ = checked_mul(links, 2, "directed channels");
+  total_table_entries_ = checked_mul(total_routers(), total_nodes_, "routing-table entries");
+}
+
+void FractahedronShape::validate(const FractahedronSpec& spec) {
+  (void)FractahedronShape{spec};
+}
+
+std::uint64_t FractahedronShape::stacks(std::uint32_t level) const {
+  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
+  return children_pow(spec_.levels - level);
+}
+
+std::uint64_t FractahedronShape::layers(std::uint32_t level) const {
+  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
+  if (spec_.kind == FractahedronKind::kThin) return 1;
+  return checked_pow(spec_.group_routers, level - 1, "layers M^(k-1)");
+}
+
+std::uint64_t FractahedronShape::modules_at(std::uint32_t level) const {
+  return checked_mul(stacks(level), layers(level), "modules per level");
+}
+
+std::uint64_t FractahedronShape::children_pow(std::uint32_t exponent) const {
+  return checked_pow(children_per_group(), exponent, "children C^k");
+}
+
+std::uint32_t FractahedronShape::digit(std::uint64_t address, std::uint32_t level) const {
+  SN_REQUIRE(address < total_nodes_, "node address out of range");
+  const std::uint64_t shift = children_pow(level - 1) * fanout_factor_;
+  return static_cast<std::uint32_t>((address / shift) % children_per_group());
+}
+
+std::uint64_t FractahedronShape::stack_of(std::uint64_t address, std::uint32_t level) const {
+  SN_REQUIRE(address < total_nodes_, "node address out of range");
+  SN_REQUIRE(level >= 1 && level <= spec_.levels, "level out of range");
+  return address / (children_pow(level) * fanout_factor_);
+}
+
+std::uint32_t FractahedronShape::owner_member(std::uint64_t address, std::uint32_t level) const {
+  return digit(address, level) / spec_.down_ports_per_router;
+}
+
+PortIndex FractahedronShape::peer_port(std::uint32_t i, std::uint32_t j) const {
+  SN_REQUIRE(i != j && i < spec_.group_routers && j < spec_.group_routers, "bad peer pair");
+  return j < i ? j : j - 1;
+}
+
+PortIndex FractahedronShape::down_port(std::uint32_t slot) const {
+  SN_REQUIRE(slot < spec_.down_ports_per_router, "down slot out of range");
+  return spec_.group_routers - 1 + slot;
+}
+
+PortIndex FractahedronShape::up_port() const {
+  return spec_.group_routers - 1 + spec_.down_ports_per_router;
+}
+
+FractahedronShape::ModuleCoord FractahedronShape::module_at(std::uint64_t flat) const {
+  SN_REQUIRE(flat < total_modules_, "module index out of range");
+  for (std::uint32_t k = 1; k <= spec_.levels; ++k) {
+    const std::uint64_t here = modules_at(k);
+    if (flat < here) {
+      return ModuleCoord{k, flat / layers(k), flat % layers(k)};
+    }
+    flat -= here;
+  }
+  SN_REQUIRE(false, "module index out of range");  // unreachable
+  return {};
+}
+
+std::uint64_t FractahedronShape::module_index(const ModuleCoord& m) const {
+  SN_REQUIRE(m.level >= 1 && m.level <= spec_.levels, "level out of range");
+  SN_REQUIRE(m.stack < stacks(m.level) && m.layer < layers(m.level), "module out of range");
+  std::uint64_t base = 0;
+  for (std::uint32_t k = 1; k < m.level; ++k) base += modules_at(k);
+  return base + m.stack * layers(m.level) + m.layer;
+}
+
+bool FractahedronShape::has_up_link(const ModuleCoord& m, std::uint32_t member) const {
+  SN_REQUIRE(member < spec_.group_routers, "group member out of range");
+  if (m.level >= spec_.levels) return false;
+  return spec_.kind == FractahedronKind::kFat || member == 0;
+}
+
+FractahedronShape::GlueAttachment FractahedronShape::up_attachment(const ModuleCoord& m,
+                                                                   std::uint32_t member) const {
+  SN_REQUIRE(has_up_link(m, member), "member has no up link");
+  SN_REQUIRE(m.stack < stacks(m.level) && m.layer < layers(m.level), "module out of range");
+  const std::uint32_t C = children_per_group();
+  const auto child_digit = static_cast<std::uint32_t>(m.stack % C);
+  GlueAttachment glue;
+  glue.parent.level = m.level + 1;
+  glue.parent.stack = m.stack / C;
+  glue.parent.layer = spec_.kind == FractahedronKind::kThin
+                          ? 0
+                          : std::uint64_t{member} * layers(m.level) + m.layer;
+  glue.member = child_digit / spec_.down_ports_per_router;
+  glue.slot = child_digit % spec_.down_ports_per_router;
+  return glue;
+}
+
+FractahedronShape::GlueAttachment FractahedronShape::fanout_attachment(
+    std::uint64_t stack, std::uint32_t child) const {
+  SN_REQUIRE(spec_.cpu_pair_fanout, "no fan-out level in this fractahedron");
+  SN_REQUIRE(stack < stacks(1), "stack out of range");
+  SN_REQUIRE(child < children_per_group(), "child digit out of range");
+  GlueAttachment glue;
+  glue.parent = ModuleCoord{1, stack, 0};
+  glue.member = child / spec_.down_ports_per_router;
+  glue.slot = child % spec_.down_ports_per_router;
+  return glue;
+}
+
+}  // namespace servernet

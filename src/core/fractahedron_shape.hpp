@@ -1,0 +1,178 @@
+// The arithmetic shape of a fractahedron — every structural fact about a
+// fractahedral fabric (§2.2–2.4) computed from the spec alone, without
+// materializing a Network.
+//
+// The flat `Fractahedron` builder tops out where 32-bit element ids and
+// O(routers × nodes) tables stop fitting in memory; a depth-5 fat
+// pentahedron fabric already has 100 000 endpoints and a depth-7 fat
+// tetrahedron passes two million. The compositional certifier
+// (verify/compose) never needs the flat object — it needs exactly what
+// this class provides:
+//
+//   * checked 64-bit counting: nodes, routers, modules, glue links and
+//     channels per spec, with every intermediate product overflow-guarded
+//     (a PreconditionError instead of silent wraparound UB);
+//   * destination-address arithmetic (`digit`, `stack_of`, `owner_member`)
+//     on raw 64-bit addresses, the same formulas `Fractahedron` exposes on
+//     materialized NodeIds;
+//   * a *streaming module space*: every fully-connected group in the
+//     hierarchy has a dense flat index (level-major, then stack, then
+//     layer), so a sweep can shard billions of modules over a WorkerPool
+//     without a per-module allocation;
+//   * the *canonical glue relation*: for any module and member,
+//     `up_attachment` computes which (parent module, member, down slot)
+//     its up link must cable into — the inverse of the wiring loop in
+//     fractahedron_build.cpp, and the fact the level-gluing pass checks
+//     (THEORY.md §11).
+//
+// `Fractahedron` itself delegates its shape accessors here, so the flat
+// builder and the compositional certifier can never disagree about the
+// arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topo/network.hpp"
+#include "util/strong_id.hpp"
+
+namespace servernet {
+
+enum class FractahedronKind : std::uint8_t { kThin, kFat };
+
+struct FractahedronSpec {
+  /// Number of group levels N (level 1 is adjacent to the nodes).
+  std::uint32_t levels = 2;
+  FractahedronKind kind = FractahedronKind::kFat;
+  /// If true, each level-1 down port carries a fan-out router serving a
+  /// pair of CPUs (the paper's "one additional router level connecting
+  /// each pair of CPUs"); max nodes become 2*C^N instead of C^N.
+  bool cpu_pair_fanout = false;
+  /// Routers per fully-connected group (M = 4 for tetrahedra).
+  std::uint32_t group_routers = 4;
+  /// Down ports per group router (d = 2 in the 2-3-1 split).
+  std::uint32_t down_ports_per_router = 2;
+  PortIndex router_ports = kServerNetRouterPorts;
+  /// CPUs per fan-out router when cpu_pair_fanout is set.
+  std::uint32_t cpus_per_fanout = 2;
+};
+
+[[nodiscard]] std::string to_string(FractahedronKind kind);
+
+/// The canonical fabric name for a spec ("fat-fractahedron-N5-fanout");
+/// shared by the flat builder's Network name and the compose reports.
+[[nodiscard]] std::string fractahedron_fabric_name(const FractahedronSpec& spec);
+
+class FractahedronShape {
+ public:
+  /// One fully-connected router group in the hierarchy.
+  struct ModuleCoord {
+    std::uint32_t level = 1;           // in [1, N]
+    std::uint64_t stack = 0;           // in [0, stacks(level))
+    std::uint64_t layer = 0;           // in [0, layers(level))
+    friend constexpr auto operator<=>(const ModuleCoord&, const ModuleCoord&) = default;
+  };
+
+  /// Where a module's up link (or a fan-out router's group link) cables
+  /// into the level above: parent module, member router, down slot.
+  struct GlueAttachment {
+    ModuleCoord parent;
+    std::uint32_t member = 0;
+    std::uint32_t slot = 0;
+    friend constexpr auto operator<=>(const GlueAttachment&, const GlueAttachment&) = default;
+  };
+
+  /// Validates the spec (throws PreconditionError with the reason — bad
+  /// parameters or 64-bit count overflow) and precomputes the totals.
+  explicit FractahedronShape(const FractahedronSpec& spec);
+
+  /// The constructor's validation as a standalone check.
+  static void validate(const FractahedronSpec& spec);
+
+  [[nodiscard]] const FractahedronSpec& spec() const { return spec_; }
+  /// Children per group: C = M * d.
+  [[nodiscard]] std::uint32_t children_per_group() const {
+    return spec_.group_routers * spec_.down_ports_per_router;
+  }
+  /// CPUs per level-1 down port (1 without the fan-out level).
+  [[nodiscard]] std::uint32_t fanout_factor() const { return fanout_factor_; }
+
+  // ---- counting (all overflow-checked at construction) -----------------------
+
+  /// Number of groups ("stacks" of layers) at level k in [1, N]: C^(N-k).
+  [[nodiscard]] std::uint64_t stacks(std::uint32_t level) const;
+  /// Layers per stack at level k (thin: 1; fat: M^(k-1)).
+  [[nodiscard]] std::uint64_t layers(std::uint32_t level) const;
+  /// Group modules at level k: stacks(k) * layers(k).
+  [[nodiscard]] std::uint64_t modules_at(std::uint32_t level) const;
+
+  [[nodiscard]] std::uint64_t total_nodes() const { return total_nodes_; }
+  [[nodiscard]] std::uint64_t total_modules() const { return total_modules_; }
+  [[nodiscard]] std::uint64_t total_group_routers() const { return total_group_routers_; }
+  [[nodiscard]] std::uint64_t total_fanout_routers() const { return total_fanout_routers_; }
+  [[nodiscard]] std::uint64_t total_routers() const {
+    return total_group_routers_ + total_fanout_routers_;
+  }
+  /// Inter-level cables (parent down port -> child up port), levels 2..N.
+  [[nodiscard]] std::uint64_t total_glue_links() const { return total_glue_links_; }
+  /// Directed channels a flat materialization would carry.
+  [[nodiscard]] std::uint64_t total_channels() const { return total_channels_; }
+  /// Routing-table cells a flat materialization would populate.
+  [[nodiscard]] std::uint64_t total_table_entries() const { return total_table_entries_; }
+
+  // ---- destination-address arithmetic ---------------------------------------
+
+  /// Address digit at `level` (which child of the level-k group).
+  [[nodiscard]] std::uint32_t digit(std::uint64_t address, std::uint32_t level) const;
+  /// Stack index at `level` containing the address.
+  [[nodiscard]] std::uint64_t stack_of(std::uint64_t address, std::uint32_t level) const;
+  /// Group member (corner) whose down-port subtree contains the address.
+  [[nodiscard]] std::uint32_t owner_member(std::uint64_t address, std::uint32_t level) const;
+
+  // ---- port conventions (the 2-3-1 split) -----------------------------------
+
+  /// Port on group member `i` toward peer member `j`.
+  [[nodiscard]] PortIndex peer_port(std::uint32_t i, std::uint32_t j) const;
+  /// Down port for down slot t in [0, d).
+  [[nodiscard]] PortIndex down_port(std::uint32_t slot) const;
+  [[nodiscard]] PortIndex up_port() const;
+
+  // ---- streaming module space ------------------------------------------------
+
+  /// Dense index of every group module: levels ascending, then stack, then
+  /// layer — module_index(module_at(i)) == i for i in [0, total_modules()).
+  [[nodiscard]] ModuleCoord module_at(std::uint64_t flat) const;
+  [[nodiscard]] std::uint64_t module_index(const ModuleCoord& m) const;
+
+  // ---- the canonical glue relation ------------------------------------------
+
+  /// Whether member `member` of module `m` has a wired up link (fat: every
+  /// member below the top level; thin: member 0 only).
+  [[nodiscard]] bool has_up_link(const ModuleCoord& m, std::uint32_t member) const;
+  /// The attachment that up link must have: the inverse of the build
+  /// wiring — child (k, s, y) member m cables into parent stack s/C at
+  /// member (s%C)/d, slot (s%C)%d, layer m*layers(k)+y (thin: layer 0).
+  [[nodiscard]] GlueAttachment up_attachment(const ModuleCoord& m, std::uint32_t member) const;
+  /// Attachment of the fan-out router under level-1 stack `stack`, child
+  /// digit `child` (requires cpu_pair_fanout).
+  [[nodiscard]] GlueAttachment fanout_attachment(std::uint64_t stack, std::uint32_t child) const;
+
+  /// Overflow-checked C^exponent.
+  [[nodiscard]] std::uint64_t children_pow(std::uint32_t exponent) const;
+
+ private:
+  FractahedronSpec spec_;
+  std::uint32_t fanout_factor_ = 1;
+  std::uint64_t total_nodes_ = 0;
+  std::uint64_t total_modules_ = 0;
+  std::uint64_t total_group_routers_ = 0;
+  std::uint64_t total_fanout_routers_ = 0;
+  std::uint64_t total_glue_links_ = 0;
+  std::uint64_t total_channels_ = 0;
+  std::uint64_t total_table_entries_ = 0;
+};
+
+/// "level 2 stack 37 layer 1" — the witness vocabulary of the glue pass.
+[[nodiscard]] std::string to_string(const FractahedronShape::ModuleCoord& m);
+
+}  // namespace servernet

@@ -190,6 +190,23 @@ recovery::RecoverySweepReport sweep_combo_recovery(const verify::RegistryCombo& 
   return std::move(sweep_recovery({&combo}, options, replay).front());
 }
 
+std::vector<verify::Report> sweep_compose(const std::vector<const verify::ComposeItem*>& items,
+                                          const SweepOptions& options) {
+  for (const verify::ComposeItem* item : items) {
+    SN_REQUIRE(item != nullptr, "compose sweep items must be non-null");
+  }
+  // One task per item with intra-item jobs pinned to 1: nesting worker
+  // pools would oversubscribe, and run_compose_item is already
+  // deterministic at any job count, so per-item sharding buys nothing in a
+  // roster-wide sweep.
+  std::vector<verify::Report> reports(items.size());
+  WorkerPool pool(options.jobs);
+  pool.run(items.size(), [&](unsigned /*worker*/, std::size_t index) {
+    reports[index] = verify::run_compose_item(*items[index], /*jobs=*/1);
+  });
+  return reports;
+}
+
 verify::SynthSweepReport sweep_synthesize(const std::vector<const verify::SynthItem*>& items,
                                           const SweepOptions& options) {
   for (const verify::SynthItem* item : items) {

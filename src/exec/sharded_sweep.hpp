@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "recovery/replay.hpp"
+#include "verify/compose.hpp"
 #include "verify/faults.hpp"
 #include "verify/registry.hpp"
 #include "verify/synth_sweep.hpp"
@@ -87,5 +88,13 @@ struct SweepOptions {
 /// byte-identical to a serial run_synth_item loop at any job count.
 [[nodiscard]] verify::SynthSweepReport sweep_synthesize(
     const std::vector<const verify::SynthItem*>& items, const SweepOptions& options = {});
+
+/// Compositional-certification sweep (`--compose --all`): one task per
+/// roster item, each worker certifying its own instance (representative
+/// build, summaries, glue streaming) with intra-item jobs = 1 — the sweep
+/// parallelism is across items, so output is byte-identical to a serial
+/// run_compose_item loop at any job count. Reports in `items` order.
+[[nodiscard]] std::vector<verify::Report> sweep_compose(
+    const std::vector<const verify::ComposeItem*>& items, const SweepOptions& options = {});
 
 }  // namespace servernet::exec

@@ -1,0 +1,592 @@
+#include "verify/compose.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/modular_cdg.hpp"
+#include "core/fractahedron.hpp"
+#include "exec/worker_pool.hpp"
+#include "util/assert.hpp"
+#include "verify/passes.hpp"
+
+namespace servernet::verify {
+
+namespace {
+
+using analysis::InterfaceKey;
+using analysis::ModuleClass;
+using analysis::ModuleSummary;
+using analysis::ModuleTransit;
+using Coord = FractahedronShape::ModuleCoord;
+using Attachment = FractahedronShape::GlueAttachment;
+
+/// Representatives stay at depth 3: deep enough to exhibit every module
+/// class (bottom, interior, top) and every transit kind, small enough that
+/// the flat base case certifies in well under a second.
+constexpr std::uint32_t kRepresentativeLevels = 3;
+
+std::string first_errors(const Report& report, std::size_t cap) {
+  std::string out;
+  std::size_t shown = 0;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity != Severity::kError) continue;
+    if (shown++ == cap) break;
+    if (!out.empty()) out += "; ";
+    out += d.rule + ": " + d.message;
+  }
+  return out;
+}
+
+// ---- glue pass -------------------------------------------------------------
+
+/// The glue invariants, in check order. Each failed check is one
+/// violation; witnesses merge per rule.
+enum GlueRule : std::size_t {
+  kGlueRange = 0,
+  kGlueLevel = 1,
+  kGlueAncestor = 2,
+  kGlueLayer = 3,
+  kGlueRuleCount = 4,
+};
+
+constexpr std::array<const char*, kGlueRuleCount> kGlueRuleIds = {
+    "glue.out-of-range", "glue.level-stratification", "glue.ancestor-mismatch",
+    "glue.layer-mismatch"};
+constexpr std::array<const char*, kGlueRuleCount> kGlueRuleMessages = {
+    "up-link attachment names a nonexistent parent interface",
+    "up link does not attach to the next level up (the stratification the gluing lemma needs)",
+    "up link attaches outside the child's ancestral stack/member/slot",
+    "up link attaches to the wrong parent layer (fat layering broken)"};
+
+struct GlueViolation {
+  std::uint64_t order = 0;  // task index, for deterministic merging
+  std::string text;
+};
+
+/// Worker-confined accumulator: exact per-rule counts plus the lowest
+/// `cap` violations per rule by task order. Merging every worker's capped
+/// lists and re-capping yields exactly the serial first-`cap` witnesses —
+/// any globally-lowest violation is necessarily within its own worker's
+/// lowest `cap` — so output is byte-identical at any job count.
+struct GlueWorkerState {
+  std::array<std::vector<GlueViolation>, kGlueRuleCount> worst;
+  std::array<std::uint64_t, kGlueRuleCount> counts{};
+  std::uint64_t checks = 0;
+
+  void hit(std::size_t rule, std::uint64_t order, std::string text, std::size_t cap) {
+    ++counts[rule];
+    auto& list = worst[rule];
+    if (list.size() == cap && order > list.back().order) return;
+    const auto pos = std::lower_bound(
+        list.begin(), list.end(), order,
+        [](const GlueViolation& v, std::uint64_t o) { return v.order < o; });
+    list.insert(pos, GlueViolation{order, std::move(text)});
+    if (list.size() > cap) list.pop_back();
+  }
+};
+
+std::string describe_attachment(const Attachment& a) {
+  std::ostringstream os;
+  os << to_string(a.parent) << " member " << a.member << " slot " << a.slot;
+  return os.str();
+}
+
+/// Checks one up link's declared attachment against the canonical glue
+/// relation. `order` is the deterministic merge key.
+void check_attachment(const FractahedronShape& shape, const std::string& kind_of_link,
+                      const std::string& child_name, const Attachment& declared,
+                      const Attachment& canonical, std::uint64_t order, std::size_t cap,
+                      GlueWorkerState& state) {
+  const auto violation = [&](std::size_t rule) {
+    std::ostringstream os;
+    os << child_name << ' ' << kind_of_link << " attaches to "
+       << describe_attachment(declared) << " — expected " << describe_attachment(canonical);
+    state.hit(rule, order, os.str(), cap);
+  };
+
+  ++state.checks;
+  const bool in_range = declared.parent.level >= 1 &&
+                        declared.parent.level <= shape.spec().levels &&
+                        declared.parent.stack < shape.stacks(declared.parent.level) &&
+                        declared.parent.layer < shape.layers(declared.parent.level) &&
+                        declared.member < shape.spec().group_routers &&
+                        declared.slot < shape.spec().down_ports_per_router;
+  if (!in_range) {
+    violation(kGlueRange);
+    return;
+  }
+  ++state.checks;
+  if (declared.parent.level != canonical.parent.level) violation(kGlueLevel);
+  ++state.checks;
+  if (declared.parent.stack != canonical.parent.stack || declared.member != canonical.member ||
+      declared.slot != canonical.slot) {
+    violation(kGlueAncestor);
+  }
+  ++state.checks;
+  if (declared.parent.layer != canonical.parent.layer) violation(kGlueLayer);
+}
+
+void run_glue_pass(const FractahedronShape& shape, const ComposeInput& input,
+                   const ComposeOptions& options, Report& report) {
+  report.begin_pass("glue");
+  const std::uint32_t levels = shape.spec().levels;
+  const std::uint32_t M = shape.spec().group_routers;
+  const std::uint32_t C = shape.children_per_group();
+
+  // Task space: every module below the top level, then every fan-out
+  // relay. Both stream out of the shape; nothing is materialized.
+  std::uint64_t below_top = 0;
+  for (std::uint32_t k = 1; k < levels; ++k) below_top += shape.modules_at(k);
+  const std::uint64_t fanout_units =
+      shape.spec().cpu_pair_fanout ? shape.total_fanout_routers() : 0;
+  const std::uint64_t task_count = below_top + fanout_units;
+
+  exec::WorkerPool pool(options.jobs);
+  std::vector<GlueWorkerState> workers(pool.jobs());
+  const std::size_t cap = options.max_witnesses;
+  pool.run(static_cast<std::size_t>(task_count), [&](unsigned worker, std::size_t index) {
+    GlueWorkerState& state = workers[worker];
+    if (index < below_top) {
+      const Coord module = shape.module_at(index);
+      for (std::uint32_t m = 0; m < M; ++m) {
+        if (!shape.has_up_link(module, m)) continue;
+        const Attachment canonical = shape.up_attachment(module, m);
+        Attachment declared = canonical;
+        if (input.tamper && input.tamper->child == module && input.tamper->member == m) {
+          declared = input.tamper->attach;
+        }
+        std::ostringstream child;
+        child << to_string(module) << " member " << m;
+        check_attachment(shape, "up link", child.str(), declared, canonical,
+                         index * M + m, cap, state);
+      }
+    } else {
+      const std::uint64_t f = index - below_top;
+      const std::uint64_t stack = f / C;
+      const auto child = static_cast<std::uint32_t>(f % C);
+      const Attachment canonical = shape.fanout_attachment(stack, child);
+      std::ostringstream name;
+      name << "fan-out relay stack " << stack << " child " << child;
+      check_attachment(shape, "group link", name.str(), canonical, canonical, index * M, cap,
+                       state);
+    }
+  });
+
+  // Deterministic serial merge: exact counts, lowest-order witnesses.
+  std::uint64_t checks = 0;
+  for (const GlueWorkerState& w : workers) checks += w.checks;
+  report.note_checks(static_cast<std::size_t>(checks));
+  for (std::size_t rule = 0; rule < kGlueRuleCount; ++rule) {
+    std::uint64_t count = 0;
+    std::vector<GlueViolation> merged;
+    for (GlueWorkerState& w : workers) {
+      count += w.counts[rule];
+      merged.insert(merged.end(), std::make_move_iterator(w.worst[rule].begin()),
+                    std::make_move_iterator(w.worst[rule].end()));
+    }
+    if (count == 0) continue;
+    std::sort(merged.begin(), merged.end(),
+              [](const GlueViolation& a, const GlueViolation& b) { return a.order < b.order; });
+    if (merged.size() > cap) merged.resize(cap);
+    std::vector<std::string> witness;
+    witness.reserve(merged.size() + 1);
+    for (GlueViolation& v : merged) witness.push_back(std::move(v.text));
+    if (count > witness.size()) {
+      std::ostringstream os;
+      os << "... and " << (count - witness.size()) << " more";
+      witness.push_back(os.str());
+    }
+    std::ostringstream message;
+    message << kGlueRuleMessages[rule] << " (" << count << " finding" << (count == 1 ? "" : "s")
+            << ')';
+    report.add(Diagnostic{Severity::kError, kGlueRuleIds[rule], message.str(),
+                          std::move(witness),
+                          {}});
+  }
+}
+
+// ---- module pass -----------------------------------------------------------
+
+struct ModulePassResult {
+  bool ok = false;
+  /// One canonical summary per module class present in the family.
+  std::map<ModuleClass, ModuleSummary> canon;
+};
+
+ModulePassResult run_module_pass(const FractahedronSpec& spec, const ComposeInput& input,
+                                 const ComposeOptions& options, Report& report,
+                                 const Report** flat_oracle_out, Report& flat_oracle_storage) {
+  report.begin_pass("module");
+  ModulePassResult result;
+
+  FractahedronSpec rep_spec = spec;
+  rep_spec.levels = std::min(spec.levels, kRepresentativeLevels);
+  const Fractahedron rep(rep_spec);
+  const RoutingTable rep_table = rep.routing();
+
+  // Flat-certify the representative through the full standard pipeline —
+  // the inductive base case of the gluing lemma.
+  UpDownClassification rep_updown;
+  VerifyOptions rep_options;
+  rep_options.enforce_asic_ports = spec.router_ports <= kServerNetRouterPorts;
+  rep_options.max_witnesses = options.max_witnesses;
+  if (spec.kind == FractahedronKind::kFat) {
+    rep_updown = rep.updown_classification();
+    rep_options.updown = &rep_updown;
+  }
+  const Report rep_report = verify_fabric(rep.net(), rep_table, rep_options,
+                                          fractahedron_fabric_name(rep_spec) + "-representative");
+  report.note_checks(rep_report.total_checks());
+  if (!rep_report.certified()) {
+    report.add(Diagnostic{Severity::kError, "module.representative-indicted",
+                          "flat certification of the representative instance failed — the "
+                          "composition has no base case",
+                          {first_errors(rep_report, options.max_witnesses)},
+                          {}});
+    return result;
+  }
+  // When the target *is* the representative (depth <= 3), the flat run
+  // doubles as the cross-validation oracle.
+  if (rep_spec.levels == spec.levels && flat_oracle_out != nullptr) {
+    flat_oracle_storage = rep_report;
+    *flat_oracle_out = &flat_oracle_storage;
+  }
+
+  // Extract every module's interface summary from the representative's
+  // real dependency graph and demand within-class agreement — the checked
+  // self-similarity premise.
+  const ChannelDependencyGraph cdg = build_cdg(rep.net(), rep_table);
+  std::map<ModuleClass, std::string> canon_where;
+  std::size_t summary_checks = 0;
+  std::size_t divergences = 0;
+  std::vector<std::string> divergence_witness;
+  const auto record = [&](const ModuleSummary& summary, const std::string& where) {
+    ++summary_checks;
+    const auto [it, inserted] = result.canon.emplace(summary.cls, summary);
+    if (inserted) {
+      canon_where.emplace(summary.cls, where);
+      return;
+    }
+    if (it->second == summary) return;
+    ++divergences;
+    if (divergence_witness.size() < options.max_witnesses) {
+      divergence_witness.push_back(to_string(summary.cls) + " module at " + where +
+                                   " summarizes differently than " + canon_where[summary.cls]);
+    }
+  };
+  for (std::uint32_t k = 1; k <= rep_spec.levels; ++k) {
+    for (std::size_t s = 0; s < rep.stacks(k); ++s) {
+      for (std::size_t j = 0; j < rep.layers(k); ++j) {
+        record(analysis::summarize_module(rep, cdg, k, s, j),
+               to_string(Coord{k, s, j}));
+      }
+    }
+  }
+  if (rep_spec.cpu_pair_fanout) {
+    for (std::size_t s = 0; s < rep.stacks(1); ++s) {
+      for (std::uint32_t c = 0; c < rep.children_per_group(); ++c) {
+        std::ostringstream where;
+        where << "fan-out relay stack " << s << " child " << c;
+        record(analysis::summarize_fanout(rep, cdg, s, c), where.str());
+      }
+    }
+  }
+  report.note_checks(summary_checks);
+  if (divergences != 0) {
+    std::ostringstream message;
+    message << "module summaries diverge within a class — the family is not self-similar ("
+            << divergences << " finding" << (divergences == 1 ? "" : "s") << ')';
+    report.add(Diagnostic{Severity::kError, "module.class-divergence", message.str(),
+                          std::move(divergence_witness),
+                          {}});
+    return result;
+  }
+
+  // Negative control: forge the reflection premise S1 into the deepest
+  // non-top class present.
+  if (input.tamper_module_reflection) {
+    auto it = result.canon.find(ModuleClass::kInterior);
+    if (it == result.canon.end()) it = result.canon.find(ModuleClass::kBottom);
+    if (it == result.canon.end()) it = result.canon.begin();
+    it->second.transits.push_back(
+        ModuleTransit{InterfaceKey::parent(0), InterfaceKey::parent(0), false});
+  }
+
+  // The gluing lemma's per-module premises, per class.
+  const std::uint32_t d = spec.down_ports_per_router;
+  bool premises_ok = true;
+  std::ostringstream classes;
+  for (const auto& [cls, summary] : result.canon) {
+    report.note_checks(3);
+    if (summary.reflects_parent()) {
+      premises_ok = false;
+      std::vector<std::string> witness;
+      for (const ModuleTransit& t : summary.transits) {
+        if (t.in.is_parent() && t.out.is_parent() && witness.size() < options.max_witnesses) {
+          witness.push_back(to_string(cls) + " module: " +
+                            analysis::describe_interface(t.in, d) + " -> " +
+                            analysis::describe_interface(t.out, d));
+        }
+      }
+      report.add(Diagnostic{Severity::kError, "module.parent-reflection",
+                            "a climb can re-enter the parent interface it came from (premise "
+                            "S1), so cross-level dependencies are not stratified",
+                            std::move(witness),
+                            {}});
+    }
+    if (summary.bounces_child()) {
+      premises_ok = false;
+      report.add(Diagnostic{Severity::kError, "module.child-bounce",
+                            "a transit bounces back on its own child interface (premise S2)",
+                            {to_string(cls) + " module"},
+                            {}});
+    }
+    if (!summary.internal_chain_free) {
+      premises_ok = false;
+      report.add(Diagnostic{Severity::kError, "module.internal-chain",
+                            "internal peer dependencies chain (premise S3: at most one "
+                            "intra-group hop per level)",
+                            {to_string(cls) + " module"},
+                            {}});
+    }
+    if (classes.tellp() != 0) classes << ", ";
+    classes << to_string(cls) << " (" << summary.transits.size() << " transits)";
+  }
+  report.add(Diagnostic{Severity::kInfo, "module.summary",
+                        "module classes extracted from the depth-" +
+                            std::to_string(rep_spec.levels) + " representative: " + classes.str(),
+                        {},
+                        {}});
+  result.ok = premises_ok;
+  return result;
+}
+
+// ---- roster ---------------------------------------------------------------
+
+FractahedronSpec make_spec(std::uint32_t levels, FractahedronKind kind, bool fanout = false,
+                           std::uint32_t group_routers = 4, std::uint32_t down_ports = 2,
+                           PortIndex router_ports = kServerNetRouterPorts) {
+  FractahedronSpec spec;
+  spec.levels = levels;
+  spec.kind = kind;
+  spec.cpu_pair_fanout = fanout;
+  spec.group_routers = group_routers;
+  spec.down_ports_per_router = down_ports;
+  spec.router_ports = router_ports;
+  return spec;
+}
+
+ComposeItem plain_item(std::string name, std::string what, FractahedronSpec spec,
+                       bool cross_validate) {
+  ComposeItem item;
+  item.name = std::move(name);
+  item.what = std::move(what);
+  item.cross_validate = cross_validate;
+  item.build = [spec] { return ComposeInput{spec, std::nullopt, false}; };
+  return item;
+}
+
+std::vector<ComposeItem> build_roster() {
+  std::vector<ComposeItem> roster;
+
+  // Depth <= 3: every family, cross-validated against the flat oracle.
+  roster.push_back(plain_item("compose-fat-64", "64-node fat fractahedron vs the flat oracle",
+                              make_spec(2, FractahedronKind::kFat), true));
+  roster.push_back(plain_item("compose-thin-64", "64-node thin fractahedron vs the flat oracle",
+                              make_spec(2, FractahedronKind::kThin), true));
+  roster.push_back(plain_item("compose-fat-512", "512-node fat fractahedron vs the flat oracle",
+                              make_spec(3, FractahedronKind::kFat), true));
+  roster.push_back(plain_item("compose-thin-512", "512-node thin fractahedron vs the flat oracle",
+                              make_spec(3, FractahedronKind::kThin), true));
+  roster.push_back(plain_item(
+      "compose-fat-1024-fanout", "1024-CPU fat fractahedron with CPU-pair fan-out vs the oracle",
+      make_spec(3, FractahedronKind::kFat, true), true));
+  roster.push_back(plain_item("compose-solo-8", "single tetrahedron group (depth 1) vs the oracle",
+                              make_spec(1, FractahedronKind::kFat), true));
+  roster.push_back(plain_item(
+      "compose-pent-1000", "1000-node fat pentahedral fractahedron (M=5, 8-port) vs the oracle",
+      make_spec(3, FractahedronKind::kFat, false, 5, 2, 8), true));
+
+  // Scale: certified compositionally only — the flat pass cannot go here.
+  roster.push_back(plain_item("compose-fat-4096", "4096-node fat fractahedron, depth 4",
+                              make_spec(4, FractahedronKind::kFat), false));
+  roster.push_back(plain_item("compose-thin-32k", "32768-node thin fractahedron, depth 5",
+                              make_spec(5, FractahedronKind::kThin), false));
+  roster.push_back(plain_item(
+      "compose-pent-100k", "100000-endpoint fat pentahedral fractahedron, depth 5 (M=5, 8-port)",
+      make_spec(5, FractahedronKind::kFat, false, 5, 2, 8), false));
+  roster.push_back(plain_item(
+      "compose-fat-fanout-512k", "524288-CPU fat fractahedron with fan-out level, depth 6",
+      make_spec(6, FractahedronKind::kFat, true), false));
+  roster.push_back(plain_item("compose-fat-2m", "2097152-node fat fractahedron, depth 7",
+                              make_spec(7, FractahedronKind::kFat), false));
+
+  // Negative controls: one mutated up link each; the glue pass must name
+  // the offending interface.
+  {
+    ComposeItem item;
+    item.name = "compose-misglue-cross-stack";
+    item.what = "depth-4 fat fractahedron with one up link rewired to a foreign stack";
+    item.expect_certified = false;
+    item.build = [] {
+      ComposeInput input{make_spec(4, FractahedronKind::kFat), std::nullopt, false};
+      const FractahedronShape shape(input.spec);
+      GlueTamper tamper;
+      tamper.child = Coord{2, 5, 1};
+      tamper.member = 3;
+      tamper.attach = shape.up_attachment(tamper.child, tamper.member);
+      tamper.attach.parent.stack = 1;  // canonical ancestor is stack 0
+      input.tamper = tamper;
+      return input;
+    };
+    roster.push_back(std::move(item));
+  }
+  {
+    ComposeItem item;
+    item.name = "compose-misglue-level-skip";
+    item.what = "depth-5 fat fractahedron with one up link attached laterally (same level)";
+    item.expect_certified = false;
+    item.build = [] {
+      ComposeInput input{make_spec(5, FractahedronKind::kFat), std::nullopt, false};
+      GlueTamper tamper;
+      tamper.child = Coord{2, 3, 2};
+      tamper.member = 1;
+      // A lateral attachment: level 2 gluing into level 2.
+      tamper.attach = Attachment{Coord{2, 0, 1}, 1, 1};
+      input.tamper = tamper;
+      return input;
+    };
+    roster.push_back(std::move(item));
+  }
+  {
+    ComposeItem item;
+    item.name = "compose-misglue-layer-swap";
+    item.what = "depth-4 fat fractahedron with one up link landing on the wrong parent layer";
+    item.expect_certified = false;
+    item.build = [] {
+      ComposeInput input{make_spec(4, FractahedronKind::kFat), std::nullopt, false};
+      const FractahedronShape shape(input.spec);
+      GlueTamper tamper;
+      tamper.child = Coord{1, 9, 0};
+      tamper.member = 2;
+      tamper.attach = shape.up_attachment(tamper.child, tamper.member);
+      tamper.attach.parent.layer = 3;  // canonical layer is 2
+      input.tamper = tamper;
+      return input;
+    };
+    roster.push_back(std::move(item));
+  }
+  {
+    ComposeItem item;
+    item.name = "compose-reflect-module";
+    item.what = "depth-4 fat fractahedron with a forged parent-reflecting module summary";
+    item.expect_certified = false;
+    item.build = [] { return ComposeInput{make_spec(4, FractahedronKind::kFat), std::nullopt, true}; };
+    roster.push_back(std::move(item));
+  }
+  return roster;
+}
+
+}  // namespace
+
+Report compose_certify(const ComposeInput& input, const ComposeOptions& options,
+                       std::string fabric_name) {
+  const FractahedronShape shape(input.spec);  // validates + overflow-checks the spec
+  if (fabric_name.empty()) fabric_name = fractahedron_fabric_name(input.spec);
+  Report report(std::move(fabric_name));
+  const bool tampered = input.tamper.has_value() || input.tamper_module_reflection;
+  SN_REQUIRE(!options.cross_validate || !tampered,
+             "cross-validation compares against the canonical flat build; tampered inputs "
+             "have no flat counterpart");
+
+  const Report* flat_oracle = nullptr;
+  Report flat_oracle_storage;
+  const ModulePassResult modules = run_module_pass(
+      input.spec, input, options, report,
+      options.cross_validate ? &flat_oracle : nullptr, flat_oracle_storage);
+  if (modules.canon.empty()) return report;  // representative indicted: no base case
+
+  run_glue_pass(shape, input, options, report);
+
+  // The verdict plus what composing avoided.
+  report.begin_pass("compose");
+  report.note_checks(1);
+  {
+    std::ostringstream os;
+    os << "composed " << shape.total_nodes() << " endpoints from " << shape.total_modules()
+       << " modules (" << shape.total_routers() << " routers, " << shape.total_glue_links()
+       << " glue links); flat analysis avoided: " << shape.total_channels()
+       << " channels, " << shape.total_table_entries() << " routing-table entries";
+    report.add(Diagnostic{Severity::kInfo, "compose.scale", os.str(), {}, {}});
+  }
+  const bool compose_certified = report.certified();
+
+  if (options.cross_validate) {
+    report.begin_pass("cross-validate");
+    Report flat_storage;
+    if (flat_oracle == nullptr) {
+      // Target deeper than the representative: build the full flat
+      // instance (the caller vouches it is materializable).
+      const Fractahedron flat(input.spec);
+      const RoutingTable table = flat.routing();
+      UpDownClassification updown;
+      VerifyOptions flat_options;
+      flat_options.enforce_asic_ports = input.spec.router_ports <= kServerNetRouterPorts;
+      flat_options.max_witnesses = options.max_witnesses;
+      if (input.spec.kind == FractahedronKind::kFat) {
+        updown = flat.updown_classification();
+        flat_options.updown = &updown;
+      }
+      flat_storage = verify_fabric(flat.net(), table, flat_options,
+                                   fractahedron_fabric_name(input.spec) + "-flat");
+      flat_oracle = &flat_storage;
+    }
+    report.note_checks(flat_oracle->total_checks());
+    if (flat_oracle->certified() != compose_certified) {
+      std::vector<std::string> witness;
+      if (std::string errs = first_errors(*flat_oracle, options.max_witnesses); !errs.empty()) {
+        witness.push_back(std::move(errs));
+      }
+      report.add(Diagnostic{Severity::kError, "cross-validate.flat-disagreement",
+                            std::string("the flat pipeline says ") +
+                                (flat_oracle->certified() ? "CERTIFIED" : "INDICTED") +
+                                " but the compositional verdict is " +
+                                (compose_certified ? "CERTIFIED" : "INDICTED"),
+                            std::move(witness),
+                            {}});
+    } else {
+      report.add(Diagnostic{Severity::kInfo, "cross-validate.flat-agreement",
+                            "flat pipeline (deadlock, up*/down*, reachability: " +
+                                std::to_string(flat_oracle->total_checks()) +
+                                " checks) agrees with the compositional verdict",
+                            {},
+                            {}});
+    }
+  }
+  return report;
+}
+
+const std::vector<ComposeItem>& compose_roster() {
+  static const std::vector<ComposeItem> roster = build_roster();
+  return roster;
+}
+
+const ComposeItem* find_compose_item(const std::string& name) {
+  for (const ComposeItem& item : compose_roster()) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+
+Report run_compose_item(const ComposeItem& item, unsigned jobs) {
+  ComposeOptions options;
+  options.jobs = jobs;
+  options.cross_validate = item.cross_validate;
+  return compose_certify(item.build(), options, item.name);
+}
+
+}  // namespace servernet::verify

@@ -1,0 +1,117 @@
+// The compositional certifier: deadlock-freedom for fractahedrons at
+// scales the flat channel-dependency analysis can never reach.
+//
+// A flat certification is O(channels × destinations) in time and
+// O(routers × nodes) in table memory — hopeless for the 100k–1M-endpoint
+// fabrics the paper's self-similarity is *for*. compose_certify exploits
+// that self-similarity instead of fighting it (THEORY.md §11 states and
+// proves the level-gluing lemma this implements):
+//
+//   module pass   materialize a small *representative* instance of the
+//                 same family (depth min(N, 3)), flat-certify it through
+//                 the standard pipeline (the inductive base case), then
+//                 extract per-module interface summaries from its real CDG
+//                 (analysis/modular_cdg) and check the lemma's premises:
+//                 no parent reflection (S1), no child bounce (S2), no
+//                 internal chains (S3), and summary equality within each
+//                 module class — the checked self-similarity that lets one
+//                 module stand in for millions.
+//
+//   glue pass     stream every module of the *target* spec (levels 1..N-1
+//                 plus fan-out relays) straight out of FractahedronShape —
+//                 no Network is ever built — and check each up link's
+//                 attachment against the canonical ancestral relation:
+//                 in-range, level-stratified (k attaches to k+1), ancestor
+//                 consistent (parent stack/member/slot = the child's
+//                 address arithmetic) and layer-exact. Sharded over a
+//                 WorkerPool; violation witnesses merge deterministically
+//                 (lowest module index first), so output is byte-identical
+//                 at any --jobs count.
+//
+//   compose pass  the verdict plus scale accounting: what the flat
+//                 analysis would have cost (channels, table entries) and
+//                 what was actually examined.
+//
+//   cross-validate (opt-in, depth <= 3) build the full flat instance and
+//                 run the whole standard pipeline — deadlock, up*/down*
+//                 (fat), reachability — demanding verdict agreement. The
+//                 exact oracle that keeps the compositional engine honest
+//                 where both are feasible.
+//
+// The certificate is *conservative*: it accepts exactly canonical gluings
+// (the wiring fractahedron_build.cpp produces). A mutated gluing is
+// indicted with a witness naming the offending level/stack/layer/member
+// interface even when the mutation happens to remain deadlock-free — the
+// flat pass stays the exact oracle at small depth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fractahedron_shape.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace servernet::verify {
+
+/// One deliberately mis-glued up link, for negative controls: the up link
+/// of `child` member `member` is declared to attach at `parent` instead of
+/// its canonical attachment. The glue pass must indict it.
+struct GlueTamper {
+  FractahedronShape::ModuleCoord child;
+  std::uint32_t member = 0;
+  FractahedronShape::GlueAttachment attach;
+};
+
+struct ComposeInput {
+  FractahedronSpec spec;
+  /// Negative control: rewire one up link.
+  std::optional<GlueTamper> tamper;
+  /// Negative control: forge a parent-in -> parent-out transit into an
+  /// extracted module summary, violating premise S1.
+  bool tamper_module_reflection = false;
+};
+
+struct ComposeOptions {
+  /// Workers for the glue-streaming shard (0 = hardware, 1 = serial).
+  /// Output is byte-identical at any value.
+  unsigned jobs = 1;
+  /// Cap on rendered witness lines per diagnostic.
+  std::size_t max_witnesses = 8;
+  /// Depth <= 3 only: also run the flat pipeline and demand the verdicts
+  /// agree. Requires an untampered input (the flat build is canonical).
+  bool cross_validate = false;
+};
+
+/// Certifies `input.spec` compositionally. Never materializes the target
+/// fabric; the returned Report carries the module/glue/compose passes
+/// (and cross-validate when requested). `fabric_name` defaults to the
+/// spec's canonical fabric name.
+[[nodiscard]] Report compose_certify(const ComposeInput& input, const ComposeOptions& options = {},
+                                     std::string fabric_name = {});
+
+/// One roster entry: a named spec with its expected verdict, mirroring the
+/// registry/synthesis rosters (`servernet-verify --compose --list`).
+struct ComposeItem {
+  std::string name;
+  std::string what;
+  bool expect_certified = true;
+  bool cross_validate = false;
+  std::function<ComposeInput()> build;
+};
+
+/// The authoritative compose roster: every depth <= 3 family cross-checked
+/// against the flat oracle, the 100k–2M-endpoint scale instances, and the
+/// mutated negative controls.
+[[nodiscard]] const std::vector<ComposeItem>& compose_roster();
+
+/// Finds a roster item by name; nullptr when absent.
+[[nodiscard]] const ComposeItem* find_compose_item(const std::string& name);
+
+/// Certifies one roster item (report named after the item). Deterministic
+/// at any job count.
+[[nodiscard]] Report run_compose_item(const ComposeItem& item, unsigned jobs = 1);
+
+}  // namespace servernet::verify

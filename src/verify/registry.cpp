@@ -49,7 +49,9 @@ const std::vector<RegistryCombo>& registry() {
        true,
        [] {
          auto t = std::make_shared<Fractahedron>(FractahedronSpec{});
-         return BuiltFabric{t, &t->net(), t->routing(), std::nullopt};
+         // Fat climbs go straight up, so the depth-first tables satisfy the
+         // up*/down* discipline at channel granularity — certify it.
+         return BuiltFabric{t, &t->net(), t->routing(), t->updown_classification()};
        }},
       {"thin-fractahedron-64", "64-node thin fractahedron, depth-first routing", true, true,
        [] {

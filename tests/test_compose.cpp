@@ -1,0 +1,268 @@
+// Tests for the compositional certifier (verify/compose, analysis/
+// modular_cdg, THEORY.md §11): module-summary extraction and premises,
+// the streamed glue pass with its negative controls, cross-validation
+// against the flat pipeline, job-count determinism, and the sharded
+// roster sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/channel_dependency.hpp"
+#include "analysis/modular_cdg.hpp"
+#include "core/fractahedron.hpp"
+#include "exec/sharded_sweep.hpp"
+#include "util/assert.hpp"
+#include "verify/compose.hpp"
+
+namespace servernet {
+namespace {
+
+using verify::ComposeInput;
+using verify::ComposeItem;
+using verify::ComposeOptions;
+using Coord = FractahedronShape::ModuleCoord;
+
+FractahedronSpec make_spec(std::uint32_t levels, FractahedronKind kind, bool fanout = false) {
+  FractahedronSpec spec;
+  spec.levels = levels;
+  spec.kind = kind;
+  spec.cpu_pair_fanout = fanout;
+  return spec;
+}
+
+const verify::Diagnostic* find_rule(const verify::Report& report, const std::string& rule) {
+  for (const verify::Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
+
+// ---- cross-validation: the compositional verdict vs the flat oracle ---------
+
+TEST(Compose, AgreesWithFlatPipelineOnEveryMaterializableFamily) {
+  for (std::uint32_t levels = 1; levels <= 3; ++levels) {
+    for (const FractahedronKind kind : {FractahedronKind::kThin, FractahedronKind::kFat}) {
+      for (const bool fanout : {false, true}) {
+        ComposeInput input{make_spec(levels, kind, fanout), std::nullopt, false};
+        ComposeOptions options;
+        options.cross_validate = true;
+        const verify::Report report = verify::compose_certify(input, options);
+        EXPECT_TRUE(report.certified())
+            << "levels=" << levels << " " << to_string(kind) << " fanout=" << fanout << "\n"
+            << report.text();
+        EXPECT_NE(find_rule(report, "cross-validate.flat-agreement"), nullptr);
+      }
+    }
+  }
+}
+
+TEST(Compose, RosterVerdictsAllAsExpected) {
+  for (const ComposeItem& item : verify::compose_roster()) {
+    const verify::Report report = verify::run_compose_item(item, /*jobs=*/4);
+    EXPECT_EQ(report.certified(), item.expect_certified) << item.name << "\n" << report.text();
+  }
+}
+
+// ---- scale: depth 5+ certified without materializing the fabric -------------
+
+TEST(Compose, CertifiesHundredThousandEndpointsTheFlatBuilderRejects) {
+  const ComposeItem* item = verify::find_compose_item("compose-pent-100k");
+  ASSERT_NE(item, nullptr);
+  const ComposeInput input = item->build();
+  const FractahedronShape shape(input.spec);
+  EXPECT_EQ(shape.total_nodes(), 100000U);
+  // The flat builder must refuse this spec (the whole point of composing):
+  EXPECT_THROW(Fractahedron{input.spec}, PreconditionError);
+  const verify::Report report = verify::compose_certify(input);
+  EXPECT_TRUE(report.certified()) << report.text();
+  const verify::Diagnostic* scale = find_rule(report, "compose.scale");
+  ASSERT_NE(scale, nullptr);
+  EXPECT_NE(scale->message.find("100000 endpoints"), std::string::npos) << scale->message;
+}
+
+// ---- negative controls: mutated gluings are indicted with a witness ---------
+
+TEST(Compose, MisgluedUpLinkIndictedWithInterfaceWitness) {
+  const ComposeItem* item = verify::find_compose_item("compose-misglue-cross-stack");
+  ASSERT_NE(item, nullptr);
+  const verify::Report report = verify::run_compose_item(*item);
+  EXPECT_FALSE(report.certified());
+  const verify::Diagnostic* d = find_rule(report, "glue.ancestor-mismatch");
+  ASSERT_NE(d, nullptr) << report.text();
+  ASSERT_FALSE(d->witness.empty());
+  // The witness names the exact mis-glued interface: level, stack, layer,
+  // member — auditable against the wiring.
+  EXPECT_NE(d->witness.front().find("level 2 stack 5 layer 1 member 3"), std::string::npos)
+      << d->witness.front();
+  EXPECT_NE(d->witness.front().find("expected"), std::string::npos);
+}
+
+TEST(Compose, LateralGluingBreaksLevelStratification) {
+  const ComposeItem* item = verify::find_compose_item("compose-misglue-level-skip");
+  ASSERT_NE(item, nullptr);
+  const verify::Report report = verify::run_compose_item(*item);
+  EXPECT_FALSE(report.certified());
+  EXPECT_NE(find_rule(report, "glue.level-stratification"), nullptr) << report.text();
+}
+
+TEST(Compose, WrongParentLayerIndicted) {
+  const ComposeItem* item = verify::find_compose_item("compose-misglue-layer-swap");
+  ASSERT_NE(item, nullptr);
+  const verify::Report report = verify::run_compose_item(*item);
+  EXPECT_FALSE(report.certified());
+  const verify::Diagnostic* d = find_rule(report, "glue.layer-mismatch");
+  ASSERT_NE(d, nullptr) << report.text();
+  EXPECT_NE(d->witness.front().find("level 1 stack 9 layer 0 member 2"), std::string::npos);
+}
+
+TEST(Compose, ForgedParentReflectionViolatesS1) {
+  const ComposeItem* item = verify::find_compose_item("compose-reflect-module");
+  ASSERT_NE(item, nullptr);
+  const verify::Report report = verify::run_compose_item(*item);
+  EXPECT_FALSE(report.certified());
+  const verify::Diagnostic* d = find_rule(report, "module.parent-reflection");
+  ASSERT_NE(d, nullptr) << report.text();
+  EXPECT_NE(d->witness.front().find("up[member 0] -> up[member 0]"), std::string::npos)
+      << d->witness.front();
+}
+
+TEST(Compose, OutOfRangeAttachmentIndicted) {
+  ComposeInput input{make_spec(3, FractahedronKind::kFat), std::nullopt, false};
+  verify::GlueTamper tamper;
+  tamper.child = Coord{1, 3, 0};
+  tamper.member = 1;
+  tamper.attach =
+      FractahedronShape::GlueAttachment{Coord{2, 0, 0}, /*member=*/7, /*slot=*/0};
+  input.tamper = tamper;
+  const verify::Report report = verify::compose_certify(input);
+  EXPECT_FALSE(report.certified());
+  EXPECT_NE(find_rule(report, "glue.out-of-range"), nullptr) << report.text();
+}
+
+TEST(Compose, CrossValidationRefusesTamperedInputs) {
+  ComposeInput input{make_spec(2, FractahedronKind::kFat), std::nullopt, true};
+  ComposeOptions options;
+  options.cross_validate = true;
+  EXPECT_THROW((void)verify::compose_certify(input, options), PreconditionError);
+}
+
+// ---- module summaries: checked self-similarity -------------------------------
+
+TEST(ModularCdg, SummariesAgreeWithinEachClass) {
+  const Fractahedron rep(make_spec(3, FractahedronKind::kFat));
+  const ChannelDependencyGraph cdg = build_cdg(rep.net(), rep.routing());
+  // Level 2 is the interior class at depth 3: every (stack, layer) module
+  // must summarize identically — the self-similarity the gluing lemma
+  // leans on.
+  const analysis::ModuleSummary canon = analysis::summarize_module(rep, cdg, 2, 0, 0);
+  EXPECT_EQ(canon.cls, analysis::ModuleClass::kInterior);
+  for (std::size_t s = 0; s < rep.stacks(2); ++s) {
+    for (std::size_t j = 0; j < rep.layers(2); ++j) {
+      const analysis::ModuleSummary summary = analysis::summarize_module(rep, cdg, 2, s, j);
+      EXPECT_TRUE(summary == canon) << "stack " << s << " layer " << j;
+    }
+  }
+}
+
+TEST(ModularCdg, InteriorPremisesHoldOnTheRealCdg) {
+  const Fractahedron rep(make_spec(3, FractahedronKind::kFat));
+  const ChannelDependencyGraph cdg = build_cdg(rep.net(), rep.routing());
+  const analysis::ModuleSummary summary = analysis::summarize_module(rep, cdg, 2, 1, 2);
+  EXPECT_FALSE(summary.transits.empty());
+  EXPECT_FALSE(summary.reflects_parent());  // S1
+  EXPECT_FALSE(summary.bounces_child());    // S2
+  EXPECT_TRUE(summary.internal_chain_free); // S3
+  // Interior transits are exactly climbs, descends and turns — every one
+  // starts or ends at the parent side or crosses between children.
+  for (const analysis::ModuleTransit& t : summary.transits) {
+    EXPECT_FALSE(t.in.is_parent() && t.out.is_parent());
+    if (!t.in.is_parent() && !t.out.is_parent()) {
+      EXPECT_NE(t.in, t.out);
+    }
+  }
+}
+
+TEST(ModularCdg, ThinClimbsFunnelThroughPeerHops) {
+  // §2.2: thin groups climb via member 0's single up link, so a climb
+  // entering on member != 0 must take the internal peer hop to member 0.
+  const Fractahedron rep(make_spec(3, FractahedronKind::kThin));
+  const ChannelDependencyGraph cdg = build_cdg(rep.net(), rep.routing());
+  const analysis::ModuleSummary summary = analysis::summarize_module(rep, cdg, 2, 1, 0);
+  EXPECT_EQ(summary.cls, analysis::ModuleClass::kInterior);
+  const std::uint32_t d = rep.spec().down_ports_per_router;
+  bool saw_peer_climb = false;
+  for (const analysis::ModuleTransit& t : summary.transits) {
+    if (t.in.is_parent() || !t.out.is_parent()) continue;
+    // Every climb exits on member 0, the only member with an up link.
+    EXPECT_EQ(t.out.member(d), 0U);
+    EXPECT_EQ(t.via_peer, t.in.member(d) != 0U);
+    if (t.via_peer) saw_peer_climb = true;
+  }
+  EXPECT_TRUE(saw_peer_climb);
+}
+
+TEST(ModularCdg, FanoutRelaySummaryIsPassThrough) {
+  const Fractahedron rep(make_spec(2, FractahedronKind::kFat, /*fanout=*/true));
+  const ChannelDependencyGraph cdg = build_cdg(rep.net(), rep.routing());
+  const analysis::ModuleSummary relay = analysis::summarize_fanout(rep, cdg, 2, 5);
+  EXPECT_EQ(relay.cls, analysis::ModuleClass::kFanout);
+  // CPU-side channels are node-attached and excluded from the boundary,
+  // so the relay contributes no cycle-relevant transits at all.
+  EXPECT_TRUE(relay.transits.empty());
+  EXPECT_TRUE(relay.internal_chain_free);
+}
+
+TEST(ModularCdg, InterfaceKeyRoundTrips) {
+  const analysis::InterfaceKey up = analysis::InterfaceKey::parent(3);
+  EXPECT_TRUE(up.is_parent());
+  EXPECT_EQ(up.member(2), 3U);
+  const analysis::InterfaceKey down = analysis::InterfaceKey::child(2, 1, 2);
+  EXPECT_FALSE(down.is_parent());
+  EXPECT_EQ(down.member(2), 2U);
+  EXPECT_EQ(down.slot(2), 1U);
+  EXPECT_EQ(analysis::describe_interface(up, 2), "up[member 3]");
+  EXPECT_EQ(analysis::describe_interface(down, 2), "down[member 2 slot 1]");
+}
+
+// ---- determinism and the sharded sweep --------------------------------------
+
+TEST(Compose, OutputByteIdenticalAtAnyJobCount) {
+  for (const char* name : {"compose-fat-512", "compose-misglue-cross-stack"}) {
+    const ComposeItem* item = verify::find_compose_item(name);
+    ASSERT_NE(item, nullptr);
+    const std::string serial = verify::run_compose_item(*item, /*jobs=*/1).text();
+    const std::string sharded = verify::run_compose_item(*item, /*jobs=*/8).text();
+    EXPECT_EQ(serial, sharded) << name;
+  }
+}
+
+TEST(Compose, SweepComposeMatchesSerialLoop) {
+  std::vector<const ComposeItem*> items;
+  for (const char* name : {"compose-fat-64", "compose-thin-64", "compose-misglue-layer-swap"}) {
+    const ComposeItem* item = verify::find_compose_item(name);
+    ASSERT_NE(item, nullptr);
+    items.push_back(item);
+  }
+  const std::vector<verify::Report> sharded = exec::sweep_compose(items, exec::SweepOptions{4});
+  ASSERT_EQ(sharded.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(sharded[i].text(), verify::run_compose_item(*items[i], /*jobs=*/1).text())
+        << items[i]->name;
+  }
+}
+
+TEST(Compose, GlueWitnessesCappedDeterministically) {
+  // A tamper indicts one link; the cap logic must leave the exact count in
+  // the message ("1 finding") with no "... and N more" spill.
+  const ComposeItem* item = verify::find_compose_item("compose-misglue-cross-stack");
+  ASSERT_NE(item, nullptr);
+  const verify::Report report = verify::run_compose_item(*item);
+  const verify::Diagnostic* d = find_rule(report, "glue.ancestor-mismatch");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("(1 finding)"), std::string::npos) << d->message;
+  EXPECT_EQ(d->witness.size(), 1U);
+}
+
+}  // namespace
+}  // namespace servernet

@@ -2,12 +2,16 @@
 // (§2.2–2.4, Figures 4–5, Table 1) and their depth-first address routing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "analysis/bisection.hpp"
 #include "analysis/channel_dependency.hpp"
 #include "analysis/contention.hpp"
 #include "analysis/cycles.hpp"
 #include "analysis/hops.hpp"
 #include "core/fractahedron.hpp"
+#include "core/fractahedron_shape.hpp"
 #include "route/path.hpp"
 #include "util/assert.hpp"
 #include "workload/scenarios.hpp"
@@ -132,6 +136,108 @@ TEST(Fractahedron, AddressDigitsWithFanout) {
   const NodeId n = fh.node(13);  // child 6, CPU 1
   EXPECT_EQ(fh.digit(n, 1), 6U);
   EXPECT_EQ(fh.net().attached_router(n), fh.fanout_router(0, 6));
+}
+
+TEST(Fractahedron, AddressDigitsAtDepthFour) {
+  // The addressing helpers past depth 3 — and their agreement with the
+  // pure-arithmetic FractahedronShape surface the compositional certifier
+  // uses instead of a materialized net.
+  const Fractahedron fh(make_spec(4, FractahedronKind::kFat));
+  ASSERT_EQ(fh.net().node_count(), 4096U);
+  // Address 3755 = 3 + 8*5 + 64*2 + 512*7 (base-C digits 3, 5, 2, 7).
+  const NodeId n = fh.node(3755);
+  EXPECT_EQ(fh.digit(n, 1), 3U);
+  EXPECT_EQ(fh.digit(n, 2), 5U);
+  EXPECT_EQ(fh.digit(n, 3), 2U);
+  EXPECT_EQ(fh.digit(n, 4), 7U);
+  EXPECT_EQ(fh.stack_of(n, 1), 469U);
+  EXPECT_EQ(fh.stack_of(n, 2), 58U);
+  EXPECT_EQ(fh.stack_of(n, 3), 7U);
+  EXPECT_EQ(fh.stack_of(n, 4), 0U);
+  EXPECT_EQ(fh.owner_member(n, 1), 1U);  // digit / down ports
+  EXPECT_EQ(fh.owner_member(n, 2), 2U);
+  EXPECT_EQ(fh.owner_member(n, 3), 1U);
+  EXPECT_EQ(fh.owner_member(n, 4), 3U);
+  EXPECT_EQ(fh.net().attached_router(n), fh.router(1, 469, 0, 1));
+
+  const FractahedronShape shape(fh.spec());
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    EXPECT_EQ(shape.digit(3755, k), fh.digit(n, k)) << "level " << k;
+    EXPECT_EQ(shape.stack_of(3755, k), fh.stack_of(n, k)) << "level " << k;
+    EXPECT_EQ(shape.owner_member(3755, k), fh.owner_member(n, k)) << "level " << k;
+  }
+}
+
+TEST(FractahedronShape, DepthFiveArithmeticWithoutMaterializing) {
+  const FractahedronShape shape(make_spec(5, FractahedronKind::kFat));
+  EXPECT_EQ(shape.total_nodes(), 32768U);
+  EXPECT_EQ(shape.total_group_routers(), 31744U);
+  EXPECT_EQ(shape.total_modules(), 7936U);
+  EXPECT_EQ(shape.stacks(1), 4096U);
+  EXPECT_EQ(shape.layers(5), 256U);
+
+  // The dense streaming index round-trips across the level boundaries
+  // (level 1 occupies [0, 4096), level 2 [4096, 6144), ...).
+  for (const std::uint64_t i : {0ULL, 1ULL, 4095ULL, 4096ULL, 6143ULL, 6144ULL, 7935ULL}) {
+    EXPECT_EQ(shape.module_index(shape.module_at(i)), i) << i;
+  }
+
+  // The canonical glue relation inverts the build wiring: child (k, s, y)
+  // member m lands at parent stack s/C, member (s%C)/d, slot (s%C)%d,
+  // fat layer m*layers(k) + y.
+  const FractahedronShape::ModuleCoord child{3, 41, 13};
+  for (std::uint32_t m = 0; m < 4; ++m) {
+    ASSERT_TRUE(shape.has_up_link(child, m));
+    const FractahedronShape::GlueAttachment att = shape.up_attachment(child, m);
+    EXPECT_EQ(att.parent.level, 4U);
+    EXPECT_EQ(att.parent.stack, 5U);  // 41 / 8
+    EXPECT_EQ(att.member, 0U);        // (41 % 8) / 2
+    EXPECT_EQ(att.slot, 1U);          // (41 % 8) % 2
+    EXPECT_EQ(att.parent.layer, 16U * m + 13U);
+  }
+
+  // Thin: one up link per group (member 0), always landing on layer 0 —
+  // and thin stacks are single-layer, so the child coordinate uses layer 0.
+  const FractahedronShape thin(make_spec(5, FractahedronKind::kThin));
+  const FractahedronShape::ModuleCoord thin_child{3, 41, 0};
+  EXPECT_TRUE(thin.has_up_link(thin_child, 0));
+  EXPECT_FALSE(thin.has_up_link(thin_child, 1));
+  EXPECT_EQ(thin.up_attachment(thin_child, 0).parent.layer, 0U);
+
+  // Digits reconstruct the address at full depth.
+  const std::uint64_t address = 29876;
+  std::uint64_t rebuilt = 0;
+  std::uint64_t weight = 1;
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    rebuilt += weight * shape.digit(address, k);
+    weight *= shape.children_per_group();
+    EXPECT_EQ(shape.owner_member(address, k), shape.digit(address, k) / 2) << "level " << k;
+  }
+  EXPECT_EQ(rebuilt, address);
+}
+
+TEST(FractahedronShape, OverflowGuardInsteadOfWraparound) {
+  // 8^40 = 2^120 nodes: the counting must refuse, not wrap.
+  try {
+    const FractahedronShape shape(make_spec(40, FractahedronKind::kFat));
+    FAIL() << "8^40 nodes must not fit 64-bit counting";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("overflows 64-bit"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Fractahedron, FlatBuilderRefusalPointsAtCompose) {
+  // A depth-5 fat tetrahedron needs ~1e9 routing-table cells. The flat
+  // builder must refuse up front — naming the compositional path — rather
+  // than thrash.
+  try {
+    const Fractahedron fh(make_spec(5, FractahedronKind::kFat));
+    FAIL() << "depth-5 fat tetrahedron must exceed the flat budget";
+  } catch (const PreconditionError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("too large to materialize"), std::string::npos) << message;
+    EXPECT_NE(message.find("--compose"), std::string::npos) << message;
+  }
 }
 
 TEST(Fractahedron, NodesAttachToOwnerMembers) {

@@ -1,6 +1,6 @@
 # CLI determinism gate for the sharded sweeps: `servernet-verify --all
-# --json` and `--synthesize --all --json` must produce byte-identical
-# output at --jobs 1 and --jobs 8. Driven from ctest
+# --json`, `--synthesize --all --json` and `--compose --all --json` must
+# produce byte-identical output at --jobs 1 and --jobs 8. Driven from ctest
 # (servernet_verify_jobs_deterministic); expects VERIFY_BIN and WORK_DIR.
 if(NOT DEFINED VERIFY_BIN OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "VERIFY_BIN and WORK_DIR must be set")
@@ -34,3 +34,4 @@ endfunction()
 
 check_sweep(all --all)
 check_sweep(synthesize --synthesize --all)
+check_sweep(compose --compose --all)

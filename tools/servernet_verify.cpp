@@ -31,6 +31,19 @@
 //                                             # decide one instance; on
 //                                             # IMPOSSIBLE the irreducible
 //                                             # channel core renders in red
+//   $ servernet-verify --compose --all        # compositional certification of
+//                                             # the compose roster: depth <= 3
+//                                             # instances cross-validated
+//                                             # against the flat oracle, the
+//                                             # 100k–2M-endpoint instances
+//                                             # certified by module summaries +
+//                                             # glue streaming alone
+//   $ servernet-verify --compose compose-pent-100k --jobs 8
+//                                             # certify one 100000-endpoint
+//                                             # fabric without materializing
+//                                             # it; glue checks sharded over 8
+//                                             # workers, output byte-identical
+//                                             # to --jobs 1
 //
 // The combos pair each builder in src/topo + src/core with its natural
 // routing. "Unrestricted" combos use naive shortest-path routing on looping
@@ -62,11 +75,12 @@ using namespace servernet;
 namespace {
 
 int usage() {
-  std::cerr << "usage: servernet-verify [--json] [--faults|--recover|--synthesize] [--jobs N] "
-               "[--dot-witness <file>] <combo>...\n"
-               "       servernet-verify [--json] [--faults|--recover|--synthesize] [--jobs N] "
-               "--all\n"
-               "       servernet-verify --list | --passes | --synthesize --list\n"
+  std::cerr << "usage: servernet-verify [--json] [--faults|--recover|--synthesize|--compose] "
+               "[--jobs N] [--dot-witness <file>] <combo>...\n"
+               "       servernet-verify [--json] [--faults|--recover|--synthesize|--compose] "
+               "[--jobs N] --all\n"
+               "       servernet-verify --list | --passes | --synthesize --list | "
+               "--compose --list\n"
                "run 'servernet-verify --list' for the registered combos\n";
   return 2;
 }
@@ -136,6 +150,7 @@ int main(int argc, char** argv) {
   bool faults = false;
   bool recover = false;
   bool synthesize = false;
+  bool compose = false;
   exec::SweepOptions sweep;  // jobs = 0: hardware concurrency
   std::string dot_witness;
   std::vector<std::string> names;
@@ -155,6 +170,8 @@ int main(int argc, char** argv) {
       recover = true;
     } else if (arg == "--synthesize") {
       synthesize = true;
+    } else if (arg == "--compose") {
+      compose = true;
     } else if (arg == "--jobs") {
       if (i + 1 >= argc) return usage();
       const long jobs = std::strtol(argv[++i], nullptr, 10);
@@ -172,8 +189,13 @@ int main(int argc, char** argv) {
       names.push_back(arg);
     }
   }
-  if (!dot_witness.empty() && (all || faults || recover || list || passes)) return usage();
-  if (static_cast<int>(faults) + static_cast<int>(recover) + static_cast<int>(synthesize) > 1) {
+  // Compose reports have no materialized Network to render a witness into.
+  if (!dot_witness.empty() && (all || faults || recover || list || passes || compose)) {
+    return usage();
+  }
+  if (static_cast<int>(faults) + static_cast<int>(recover) + static_cast<int>(synthesize) +
+          static_cast<int>(compose) >
+      1) {
     return usage();
   }
 
@@ -191,11 +213,42 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (compose) {
+      for (const verify::ComposeItem& item : verify::compose_roster()) {
+        std::cout << item.name << " ["
+                  << (item.expect_certified ? "certified" : "indicted")
+                  << (item.cross_validate ? ", cross-validated" : "") << "] — " << item.what
+                  << '\n';
+      }
+      return 0;
+    }
     for (const verify::RegistryCombo& c : verify::registry()) {
       std::cout << c.name << " [" << (c.expect_certified ? "certified" : "indicted") << "] — "
                 << c.what << '\n';
     }
     return 0;
+  }
+  if (all && compose) {
+    std::vector<const verify::ComposeItem*> items;
+    for (const verify::ComposeItem& item : verify::compose_roster()) items.push_back(&item);
+    const std::vector<verify::Report> reports = exec::sweep_compose(items, sweep);
+    bool all_as_expected = true;
+    if (json) std::cout << "[\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const verify::Report& report = reports[i];
+      const bool as_expected = report.certified() == items[i]->expect_certified;
+      all_as_expected = all_as_expected && as_expected;
+      if (json) {
+        if (i != 0) std::cout << ",\n";
+        report.write_json(std::cout);
+      } else {
+        std::cout << items[i]->name << ": " << (report.certified() ? "CERTIFIED" : "INDICTED")
+                  << " (" << (as_expected ? "as expected" : "UNEXPECTED") << ", "
+                  << report.total_checks() << " checks)\n";
+      }
+    }
+    if (json) std::cout << "]\n";
+    return all_as_expected ? 0 : 1;
   }
   if (all && synthesize) {
     std::vector<const verify::SynthItem*> items;
@@ -284,6 +337,24 @@ int main(int argc, char** argv) {
 
   bool any_errors = false;
   for (const std::string& name : names) {
+    if (compose) {
+      const verify::ComposeItem* item = verify::find_compose_item(name);
+      if (item == nullptr) {
+        std::cerr << "unknown compose instance '" << name
+                  << "' — run 'servernet-verify --compose --list'\n";
+        return 2;
+      }
+      // Single-instance mode shards the glue streaming itself (sweep.jobs =
+      // 0 selects hardware concurrency); output is identical at any count.
+      const verify::Report report = verify::run_compose_item(*item, sweep.jobs);
+      if (json) {
+        report.write_json(std::cout);
+      } else {
+        report.write_text(std::cout);
+      }
+      any_errors = any_errors || report.certified() != item->expect_certified;
+      continue;
+    }
     if (synthesize) {
       const verify::SynthItem* item = verify::find_synth_item(name);
       if (item == nullptr) {
