@@ -21,6 +21,8 @@
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
 #include "route/ecube.hpp"
+#include "route/fat_tree_routes.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "route/shortest_path.hpp"
 #include "route/updown.hpp"
 #include "topo/cube_connected_cycles.hpp"
@@ -80,18 +82,18 @@ int main() {
     // for completeness of the roster.
     auto t = std::make_shared<FullyConnectedGroup>(
         FullyConnectedSpec{.routers = 1, .router_ports = 64});
-    RoutingTable rt = t->routing();
+    RoutingTable rt = fully_connected_routing(*t);
     roster.push_back(make_entry("star (one 64-port hub)", t, std::move(rt)));
   }
   {
     // Binary tree from the generic fat-tree machinery: down=2, up=1.
     auto t = std::make_shared<FatTree>(FatTreeSpec{.nodes = 64, .down = 2, .up = 1});
-    RoutingTable rt = t->routing();
+    RoutingTable rt = fat_tree_routing(*t);
     roster.push_back(make_entry("binary tree (2-1)", t, std::move(rt)));
   }
   {
     auto t = std::make_shared<FatTree>(FatTreeSpec{});
-    RoutingTable rt = t->routing();
+    RoutingTable rt = fat_tree_routing(*t);
     roster.push_back(make_entry("4-2 fat tree", t, std::move(rt)));
   }
   {

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "core/fractahedron.hpp"
-#include "exec/worker_pool.hpp"
+#include "util/worker_pool.hpp"
 #include "util/table.hpp"
 #include "verify/compose.hpp"
 #include "verify/passes.hpp"
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_compose.json";
   print_banner(std::cout, "compositional certification: certify time vs depth");
 
-  const unsigned hardware = exec::WorkerPool::hardware_jobs();
+  const unsigned hardware = WorkerPool::hardware_jobs();
   const unsigned parallel_jobs = std::max(4U, hardware);
 
   std::vector<FractahedronSpec> specs;

@@ -10,7 +10,9 @@
 #include "core/expansion.hpp"
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fat_tree_routes.hpp"
 #include "route/table_compression.hpp"
+#include "sim/injector.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/hypercube.hpp"
@@ -42,7 +44,7 @@ void table_compression() {
   }
   {
     const FatTree tree(FatTreeSpec{});
-    const CompressionReport rep = compress_tables(tree.net(), tree.routing(), 2);
+    const CompressionReport rep = compress_tables(tree.net(), fat_tree_routing(tree), 2);
     t.row().cell("4-2 fat tree (radix 2)").cell(tree.net().node_count())
         .cell(rep.dense_entries).cell(rep.mean_rules, 1).cell(rep.max_rules)
         .cell(rep.compression_ratio, 1);
@@ -113,7 +115,7 @@ void saturation_vs_sim() {
   const FatTree tree(FatTreeSpec{});
   const Fractahedron fracta(FractahedronSpec{});
   const Case cases[] = {{"6x6 mesh", mesh.net(), dimension_order_routes(mesh)},
-                        {"4-2 fat tree", tree.net(), tree.routing()},
+                        {"4-2 fat tree", tree.net(), fat_tree_routing(tree)},
                         {"fat fractahedron", fracta.net(), fracta.routing()}};
   for (const Case& c : cases) {
     const SaturationEstimate est = uniform_saturation(c.net, c.rt);
@@ -124,7 +126,7 @@ void saturation_vs_sim() {
       cfg.no_progress_threshold = 50000;
       sim::WormholeSim s(c.net, c.rt, cfg);
       UniformTraffic pattern(c.net.node_count());
-      BernoulliInjector injector(s, pattern, est.lambda_sat * factor, /*seed=*/11);
+      sim::BernoulliInjector injector(s, pattern, est.lambda_sat * factor, /*seed=*/11);
       injector.run(3000);
       injector.drain(400000);
       return s.metrics().latency().empty() ? 0.0 : s.metrics().latency().mean();
@@ -174,8 +176,8 @@ void locality() {
   const FatTree tree42(FatTreeSpec{});
   const FatTree tree33(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
   const Fractahedron fracta(FractahedronSpec{});
-  const RoutingTable rt42 = tree42.routing();
-  const RoutingTable rt33 = tree33.routing();
+  const RoutingTable rt42 = fat_tree_routing(tree42);
+  const RoutingTable rt33 = fat_tree_routing(tree33);
   const RoutingTable rtf = fracta.routing();
   auto mean_latency = [&](const Network& net, const RoutingTable& rt, std::size_t hood,
                           double frac) {
@@ -185,7 +187,7 @@ void locality() {
     cfg.no_progress_threshold = 50000;
     sim::WormholeSim s(net, rt, cfg);
     LocalityTraffic pattern(net.node_count(), hood, frac);
-    BernoulliInjector injector(s, pattern, 0.15, /*seed=*/23);
+    sim::BernoulliInjector injector(s, pattern, 0.15, /*seed=*/23);
     injector.run(3000);
     injector.drain(400000);
     return s.metrics().latency().empty() ? 0.0 : s.metrics().latency().mean();

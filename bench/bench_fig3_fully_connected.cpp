@@ -18,6 +18,7 @@
 #include "analysis/contention.hpp"
 #include "analysis/cycles.hpp"
 #include "analysis/hops.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "topo/fully_connected.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -38,7 +39,7 @@ int main() {
                            m, kServerNetRouterPorts))
                      : "-");
     if (m >= 2) {
-      const RoutingTable rt = group.routing();
+      const RoutingTable rt = fully_connected_routing(group);
       const ContentionReport report = max_link_contention(group.net(), rt);
       table.cell(ratio_string(report.worst.contention))
           .cell(is_acyclic(build_cdg(group.net(), rt)) ? "yes" : "NO")
@@ -61,7 +62,7 @@ int main() {
                                  std::pair{10U, 6U}}) {
     const FullyConnectedGroup group(
         FullyConnectedSpec{.routers = m, .router_ports = static_cast<PortIndex>(ports)});
-    const ContentionReport report = max_link_contention(group.net(), group.routing());
+    const ContentionReport report = max_link_contention(group.net(), fully_connected_routing(group));
     gen.row()
         .cell(std::size_t{ports})
         .cell(m)

@@ -13,6 +13,7 @@
 #include "analysis/contention.hpp"
 #include "analysis/cycles.hpp"
 #include "analysis/hops.hpp"
+#include "route/fat_tree_routes.hpp"
 #include "topo/fat_tree.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -44,7 +45,7 @@ int main() {
             << tree.levels() << "\n";
 
   {
-    const RoutingTable rt = tree.routing();
+    const RoutingTable rt = fat_tree_routing(tree);
     const HopStats hops = hop_stats(tree.net(), rt);
     const BisectionEstimate bis = estimate_bisection(tree.net(), 6);
     std::cout << "avg hops: " << hops.avg_routed << " (paper: 4.4)   max: " << hops.max_routed
@@ -65,7 +66,7 @@ int main() {
   for (const UplinkPolicy policy :
        {UplinkPolicy::kHighDigits, UplinkPolicy::kLowDigits, UplinkPolicy::kHashed}) {
     const FatTree t(FatTreeSpec{.policy = policy});
-    const RoutingTable rt = t.routing();
+    const RoutingTable rt = fat_tree_routing(t);
     const ContentionReport report = max_link_contention(t.net(), rt);
     table.row()
         .cell(policy_name(policy))
@@ -84,7 +85,7 @@ int main() {
 
   print_banner(std::cout, "3-3 fat tree alternative (§3.3)");
   const FatTree wide(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
-  const HopStats hops = hop_stats(wide.net(), wide.routing());
+  const HopStats hops = hop_stats(wide.net(), fat_tree_routing(wide));
   std::cout << "routers: " << wide.net().router_count() << " (paper: 100)   avg hops: "
             << hops.avg_routed << " (paper: 5.9)   max: " << hops.max_routed << "\n";
   return 0;

@@ -11,6 +11,7 @@
 #include "analysis/matching.hpp"
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fat_tree_routes.hpp"
 #include "route/table_compression.hpp"
 #include "route/path.hpp"
 #include "sim/wormhole_sim.hpp"
@@ -165,7 +166,7 @@ BENCHMARK(BM_MeshDimensionOrder)->Arg(6)->Arg(12)->Arg(23);
 void BM_FatTreeRouting(benchmark::State& state) {
   const FatTree tree(FatTreeSpec{});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tree.routing().populated_entries());
+    benchmark::DoNotOptimize(fat_tree_routing(tree).populated_entries());
   }
 }
 BENCHMARK(BM_FatTreeRouting);

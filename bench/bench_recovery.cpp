@@ -31,7 +31,7 @@
 #include <vector>
 
 #include "exec/sharded_sweep.hpp"
-#include "exec/worker_pool.hpp"
+#include "util/worker_pool.hpp"
 #include "recovery/replay.hpp"
 #include "util/table.hpp"
 #include "verify/registry.hpp"
@@ -144,7 +144,7 @@ int main(int argc, char** argv) {
   // suite is seconds long). N is at least 4 so the worker-pool path is
   // exercised even on small hosts; a single-core host will honestly
   // report a tie (see EXPERIMENTS.md).
-  const unsigned hardware = exec::WorkerPool::hardware_jobs();
+  const unsigned hardware = WorkerPool::hardware_jobs();
   const unsigned parallel_jobs = std::max(4U, hardware);
   std::vector<const verify::RegistryCombo*> sweepable;
   for (const verify::RegistryCombo& combo : verify::registry()) {

@@ -14,6 +14,7 @@
 //    protocol ... cannot tolerate out of order delivery." (§2)
 #include <iostream>
 
+#include "route/fat_tree_routes.hpp"
 #include "route/multipath.hpp"
 #include "route/shortest_path.hpp"
 #include "sim/wormhole_sim.hpp"
@@ -30,7 +31,7 @@ void adaptive_study() {
   print_banner(std::cout,
                "dynamic uplink selection on the 4-2 fat tree (squeeze + one stream)");
   const FatTree tree(FatTreeSpec{});
-  const RoutingTable rt = tree.routing();
+  const RoutingTable rt = fat_tree_routing(tree);
   MultipathTable mp = MultipathTable::from_table(tree.net(), rt);
   for (std::size_t v = 0; v < tree.virtual_switches(0); ++v) {
     if (v == 63 / 4) continue;

@@ -11,6 +11,7 @@
 #include "analysis/contention.hpp"
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fat_tree_routes.hpp"
 #include "sim/experiment.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "topo/fat_tree.hpp"
@@ -71,7 +72,7 @@ int main() {
   const FatTree tree(FatTreeSpec{});
   const Fractahedron fracta(FractahedronSpec{});
   const RoutingTable mesh_rt = dimension_order_routes(mesh);
-  const RoutingTable tree_rt = tree.routing();
+  const RoutingTable tree_rt = fat_tree_routing(tree);
   const RoutingTable fracta_rt = fracta.routing();
 
   sweep("6x6 mesh (72 nodes)", mesh.net(), mesh_rt);

@@ -36,7 +36,7 @@
 #include <vector>
 
 #include "exec/sharded_sweep.hpp"
-#include "exec/worker_pool.hpp"
+#include "util/worker_pool.hpp"
 #include "util/table.hpp"
 #include "verify/synth_sweep.hpp"
 
@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
   // Whole roster at jobs=1 vs jobs=N; timed once per config. N is at
   // least 4 so the worker-pool path is exercised even on small hosts; a
   // single-core host will honestly report a tie.
-  const unsigned hardware = exec::WorkerPool::hardware_jobs();
+  const unsigned hardware = WorkerPool::hardware_jobs();
   const unsigned parallel_jobs = std::max(4U, hardware);
   std::vector<const verify::SynthItem*> items;
   for (const verify::SynthItem& item : verify::synth_roster()) items.push_back(&item);

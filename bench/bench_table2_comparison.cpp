@@ -16,6 +16,7 @@
 #include "analysis/hops.hpp"
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fat_tree_routes.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/mesh.hpp"
 #include "util/stats.hpp"
@@ -51,10 +52,10 @@ int main() {
                         "10:1", "-", "36",
                         scenario_contention(mesh.net(), dimension_order_routes(mesh),
                                             scenarios::mesh_corner_turn(mesh))});
-  candidates.push_back({"4-2 fat tree", tree42.net(), tree42.routing(), "12:1", "4.4", "28",
-                        scenario_contention(tree42.net(), tree42.routing(),
+  candidates.push_back({"4-2 fat tree", tree42.net(), fat_tree_routing(tree42), "12:1", "4.4", "28",
+                        scenario_contention(tree42.net(), fat_tree_routing(tree42),
                                             scenarios::fat_tree_quadrant_squeeze(tree42))});
-  candidates.push_back({"3-3 fat tree", tree33.net(), tree33.routing(), "-", "5.9", "100", 0});
+  candidates.push_back({"3-3 fat tree", tree33.net(), fat_tree_routing(tree33), "-", "5.9", "100", 0});
   candidates.push_back({"fat fractahedron", fracta.net(), fracta.routing(), "4:1", "4.3", "48",
                         scenario_contention(fracta.net(), fracta.routing(),
                                             scenarios::fractahedron_diagonal(fracta))});

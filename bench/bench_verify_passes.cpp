@@ -26,7 +26,7 @@
 #include "analysis/channel_dependency.hpp"
 #include "analysis/vc_cdg.hpp"
 #include "exec/sharded_sweep.hpp"
-#include "exec/worker_pool.hpp"
+#include "util/worker_pool.hpp"
 #include "util/table.hpp"
 #include "verify/registry.hpp"
 
@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
   // not milliseconds, so each config is timed once; N is at least 4 so the
   // worker-pool path is exercised even on small hosts (a single-core host
   // will honestly report a tie — see EXPERIMENTS.md).
-  const unsigned hardware = exec::WorkerPool::hardware_jobs();
+  const unsigned hardware = WorkerPool::hardware_jobs();
   const unsigned parallel_jobs = std::max(4U, hardware);
   const auto sweep_once = [](auto&& f) {
     const auto t0 = std::chrono::steady_clock::now();

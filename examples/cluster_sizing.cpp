@@ -17,6 +17,7 @@
 #include "analysis/contention.hpp"
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fat_tree_routes.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/mesh.hpp"
@@ -89,7 +90,7 @@ int main() {
   const FatTree tree(FatTreeSpec{});
   const Fractahedron fracta(FractahedronSpec{});
   const RoutingTable mesh_rt = dimension_order_routes(mesh);
-  const RoutingTable tree_rt = tree.routing();
+  const RoutingTable tree_rt = fat_tree_routing(tree);
   const RoutingTable fracta_rt = fracta.routing();
 
   for (const std::size_t k : {4UL, 8UL, 16UL}) {

@@ -25,6 +25,8 @@
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
 #include "route/ecube.hpp"
+#include "route/fat_tree_routes.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "topo/dot.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/fully_connected.hpp"
@@ -65,7 +67,7 @@ Built build(const std::string& kind, std::uint32_t size) {
     FatTreeSpec spec;
     spec.nodes = size == 0 ? 64 : size;
     auto owner = std::make_shared<FatTree>(spec);
-    return {owner, &owner->net(), owner->routing()};
+    return {owner, &owner->net(), fat_tree_routing(*owner)};
   }
   if (kind == "hypercube") {
     HypercubeSpec spec;
@@ -75,7 +77,7 @@ Built build(const std::string& kind, std::uint32_t size) {
   }
   if (kind == "tetrahedron") {
     auto owner = std::make_shared<FullyConnectedGroup>(FullyConnectedSpec{});
-    return {owner, &owner->net(), owner->routing()};
+    return {owner, &owner->net(), fully_connected_routing(*owner)};
   }
   if (kind == "ccc") {
     CccSpec spec;
@@ -92,7 +94,7 @@ Built build(const std::string& kind, std::uint32_t size) {
   if (kind == "mesh3d") {
     const std::uint32_t side = size == 0 ? 4 : size;
     auto owner = std::make_shared<KAryNCube>(KAryNCubeSpec{.dims = {side, side, side}});
-    return {owner, &owner->net(), owner->dimension_order()};
+    return {owner, &owner->net(), dimension_order_routes(*owner)};
   }
   std::cerr << "unknown topology '" << kind << "'\n"
             << "choose: fat-fractahedron | thin-fractahedron | mesh | mesh3d | fat-tree |"

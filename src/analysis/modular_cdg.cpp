@@ -65,6 +65,7 @@ ModuleSummary extract(const ChannelDependencyGraph& cdg,
   ModuleSummary summary;
   summary.cls = cls;
   summary.internal_channels = internal.size();
+  // sn-lint: allow(determinism.unordered-iteration): folds into a single bool — every visit order yields the same internal_chain_free verdict
   for (const std::uint32_t c : internal) {
     for (const std::uint32_t succ : cdg.adjacency[c]) {
       if (internal.count(succ) != 0) summary.internal_chain_free = false;

@@ -5,7 +5,7 @@
 #include <optional>
 #include <utility>
 
-#include "exec/worker_pool.hpp"
+#include "util/worker_pool.hpp"
 #include "util/assert.hpp"
 
 namespace servernet::exec {
@@ -64,9 +64,12 @@ struct TaskRef {
 constexpr std::size_t kHealthyTask = static_cast<std::size_t>(-1);
 
 void require_sweepable(const std::vector<const verify::RegistryCombo*>& combos) {
-  for (const verify::RegistryCombo* combo : combos) {
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const verify::RegistryCombo* combo = combos[i];
     SN_REQUIRE(combo != nullptr && combo->fault_sweep,
-               "sharded sweeps require registry combos with fault_sweep enabled");
+               "sharded sweep combo #" + std::to_string(i) +
+                   (combo == nullptr ? " is null" : " ('" + combo->name +
+                                                        "') lacks fault_sweep"));
   }
 }
 
@@ -192,8 +195,8 @@ recovery::RecoverySweepReport sweep_combo_recovery(const verify::RegistryCombo& 
 
 std::vector<verify::Report> sweep_compose(const std::vector<const verify::ComposeItem*>& items,
                                           const SweepOptions& options) {
-  for (const verify::ComposeItem* item : items) {
-    SN_REQUIRE(item != nullptr, "compose sweep items must be non-null");
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    SN_REQUIRE(items[i] != nullptr, "compose sweep item #" + std::to_string(i) + " is null");
   }
   // One task per item with intra-item jobs pinned to 1: nesting worker
   // pools would oversubscribe, and run_compose_item is already
@@ -209,8 +212,8 @@ std::vector<verify::Report> sweep_compose(const std::vector<const verify::Compos
 
 verify::SynthSweepReport sweep_synthesize(const std::vector<const verify::SynthItem*>& items,
                                           const SweepOptions& options) {
-  for (const verify::SynthItem* item : items) {
-    SN_REQUIRE(item != nullptr, "synthesis sweep items must be non-null");
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    SN_REQUIRE(items[i] != nullptr, "synthesis sweep item #" + std::to_string(i) + " is null");
   }
   // One task per item; each worker builds its own instance, so the only
   // shared state is the immutable item list and the index-keyed slots.

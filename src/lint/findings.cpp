@@ -1,0 +1,96 @@
+#include "lint/findings.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "util/json.hpp"
+
+namespace servernet::lint {
+
+std::size_t Report::unsuppressed() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings_) {
+    if (!f.suppressed) ++n;
+  }
+  return n;
+}
+
+std::size_t Report::suppressed() const { return findings_.size() - unsuppressed(); }
+
+void Report::sort() {
+  std::stable_sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+}
+
+void Report::write_text(std::ostream& os) const {
+  for (const Finding& f : findings_) {
+    if (f.suppressed) continue;
+    os << f.file;
+    if (f.line != 0) os << ':' << f.line;
+    os << ": [" << f.rule << "] " << f.message << '\n';
+    for (const std::string& w : f.witness) os << "    " << w << '\n';
+  }
+  if (clean()) {
+    os << "CLEAN: no unsuppressed findings (" << files_scanned_ << " files, " << rules_run_
+       << " rules";
+    if (suppressed() != 0) os << ", " << suppressed() << " suppressed";
+    os << ")\n";
+  } else {
+    os << "DIRTY: " << unsuppressed() << " unsuppressed finding(s) across " << files_scanned_
+       << " files\n";
+  }
+}
+
+void Report::write_json(std::ostream& os) const {
+  os << "{\n  \"clean\": " << (clean() ? "true" : "false");
+  os << ",\n  \"files_scanned\": " << files_scanned_;
+  os << ",\n  \"rules_run\": " << rules_run_;
+  os << ",\n  \"unsuppressed\": " << unsuppressed();
+  os << ",\n  \"suppressed\": " << suppressed();
+  os << ",\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings_) {
+    os << (first ? "" : ",") << "\n    {\"rule\": ";
+    first = false;
+    write_json_string(os, f.rule);
+    os << ", \"file\": ";
+    write_json_string(os, f.file);
+    os << ", \"line\": " << f.line;
+    os << ", \"suppressed\": " << (f.suppressed ? "true" : "false");
+    os << ",\n     \"message\": ";
+    write_json_string(os, f.message);
+    if (!f.justification.empty()) {
+      os << ",\n     \"justification\": ";
+      write_json_string(os, f.justification);
+    }
+    if (!f.witness.empty()) {
+      os << ",\n     \"witness\": [";
+      for (std::size_t i = 0; i < f.witness.size(); ++i) {
+        os << (i == 0 ? "" : ", ");
+        write_json_string(os, f.witness[i]);
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << (findings_.empty() ? "]" : "\n  ]");
+  os << "\n}\n";
+}
+
+std::string Report::text() const {
+  std::ostringstream os;
+  write_text(os);
+  return os.str();
+}
+
+std::string Report::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace servernet::lint

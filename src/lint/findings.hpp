@@ -1,0 +1,66 @@
+// Structured findings for servernet-lint, mirroring verify::Diagnostic:
+// every finding carries a stable machine-readable rule id
+// ("layering.upward-include"), a file:line witness anchored in the scanned
+// tree, a one-line message, and optional rendered evidence. A Report
+// aggregates one lint run and renders as text (for humans) or JSON (for
+// the CI artifact); both orderings are deterministic — findings sort by
+// (file, line, rule) — so the JSON is byte-identical across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace servernet::lint {
+
+struct Finding {
+  /// Stable rule id, "<family>.<rule>"; tools match on this, never on text.
+  std::string rule;
+  /// Root-relative path of the offending file.
+  std::string file;
+  /// 1-based line of the witness (0 when the finding is file-scoped).
+  std::size_t line = 0;
+  /// One-line human summary.
+  std::string message;
+  /// Concrete evidence, one rendered entry per line.
+  std::vector<std::string> witness;
+  /// True when an inline `sn-lint: allow` with a justification covers it.
+  bool suppressed = false;
+  /// The allow's justification text (suppressed findings only).
+  std::string justification;
+};
+
+class Report {
+ public:
+  void add(Finding f) { findings_.push_back(std::move(f)); }
+  void note_files(std::size_t n) { files_scanned_ = n; }
+  void note_rules(std::size_t n) { rules_run_ = n; }
+
+  /// No unsuppressed findings.
+  [[nodiscard]] bool clean() const { return unsuppressed() == 0; }
+  [[nodiscard]] std::size_t unsuppressed() const;
+  [[nodiscard]] std::size_t suppressed() const;
+  [[nodiscard]] std::size_t files_scanned() const { return files_scanned_; }
+  [[nodiscard]] std::size_t rules_run() const { return rules_run_; }
+  [[nodiscard]] const std::vector<Finding>& findings() const { return findings_; }
+  [[nodiscard]] std::vector<Finding>& findings() { return findings_; }
+
+  /// Sorts findings by (file, line, rule, message) — call once after all
+  /// rules ran so every renderer sees the same canonical order.
+  void sort();
+
+  /// Human-readable rendering: one "file:line: [rule] message" per
+  /// unsuppressed finding with indented witnesses, then the verdict line.
+  void write_text(std::ostream& os) const;
+  /// Deterministic pretty-printed JSON (no timestamps, no absolute paths).
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string text() const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  std::size_t files_scanned_ = 0;
+  std::size_t rules_run_ = 0;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace servernet::lint

@@ -1,0 +1,132 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+
+#include "lint/rules_impl.hpp"
+
+namespace servernet::lint {
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"certify.float-verdict",
+       "no float/double in verdict-producing code (src/verify, src/exec)",
+       rules_impl::float_verdict},
+      {"certify.require-names-instance",
+       "SN_REQUIRE messages in certification paths must name the combo/instance",
+       rules_impl::require_names_instance},
+      {"certify.unverified-swap",
+       "every hot-swap call is dominated by a re-certification check",
+       rules_impl::unverified_swap},
+      {"determinism.pointer-order",
+       "no container ordering or comparator keyed on raw pointer values",
+       rules_impl::pointer_order},
+      {"determinism.unordered-iteration",
+       "no iteration over unordered_map/unordered_set in src/",
+       rules_impl::unordered_iteration},
+      {"determinism.unseeded-rng",
+       "no random_device/rand/time/clock entropy sources in src/",
+       rules_impl::unseeded_rng},
+      {"hygiene.global-state",
+       "no non-const namespace-scope variables in src/",
+       rules_impl::global_state},
+      {"hygiene.using-namespace-header",
+       "no using-namespace directives in headers",
+       rules_impl::using_namespace_header},
+      {"layering.module-cycle",
+       "no include cycles between src/ modules",
+       rules_impl::module_cycle},
+      {"layering.nonpublic-include",
+       "tools/ and bench/ include only public library headers",
+       rules_impl::nonpublic_include},
+      {"layering.unknown-module",
+       "every src/ module is registered in the layer map",
+       rules_impl::unknown_module},
+      {"layering.upward-include",
+       "no #include edge pointing up the layer DAG",
+       rules_impl::upward_include},
+      {"lint.missing-justification",
+       "every sn-lint allow carries a justification",
+       rules_impl::missing_justification},
+      {"lint.unknown-rule",
+       "every sn-lint allow names registered rules",
+       rules_impl::unknown_rule},
+  };
+  return kRules;
+}
+
+bool known_rule(const std::string& id) {
+  for (const Rule& r : rules()) {
+    if (r.id == id) return true;
+  }
+  return false;
+}
+
+namespace rules_impl {
+
+void missing_justification(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    for (const Allow& a : file.allows) {
+      if (!a.justification.empty()) continue;
+      report.add(Finding{"lint.missing-justification", file.rel, a.line,
+                         "sn-lint allow without a justification — append ': <why>'",
+                         {},
+                         false,
+                         {}});
+    }
+  }
+}
+
+void unknown_rule(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    for (const Allow& a : file.allows) {
+      for (const std::string& r : a.rules) {
+        if (known_rule(r)) continue;
+        report.add(Finding{"lint.unknown-rule", file.rel, a.line,
+                           "sn-lint allow names unknown rule '" + r + "'",
+                           {},
+                           false,
+                           {}});
+      }
+    }
+  }
+}
+
+}  // namespace rules_impl
+
+Report run_lint(const SourceTree& tree, const LintOptions& options) {
+  Report report;
+  report.note_files(tree.files.size());
+  std::size_t rules_run = 0;
+  for (const Rule& rule : rules()) {
+    const bool meta = rule.id.rfind("lint.", 0) == 0;
+    if (!options.only_rules.empty() && !meta &&
+        std::find(options.only_rules.begin(), options.only_rules.end(), rule.id) ==
+            options.only_rules.end()) {
+      continue;
+    }
+    rule.run(tree, report);
+    ++rules_run;
+  }
+  report.note_rules(rules_run);
+  apply_suppressions(tree, report);
+  report.sort();
+  return report;
+}
+
+void apply_suppressions(const SourceTree& tree, Report& report) {
+  // A finding is suppressed when the offending line (or the line above
+  // it, for a comment-only allow) carries a justified allow naming the
+  // rule. Meta lint.* findings are never suppressible — they police the
+  // suppression mechanism itself.
+  for (Finding& f : report.findings()) {
+    if (f.suppressed || f.rule.rfind("lint.", 0) == 0 || f.line == 0) continue;
+    const SourceFile* file = tree.find(f.file);
+    if (file == nullptr) continue;
+    if (const Allow* allow = file->allow_for(f.rule, f.line)) {
+      f.suppressed = true;
+      f.justification = allow->justification;
+    }
+  }
+}
+
+}  // namespace servernet::lint

@@ -1,0 +1,51 @@
+// Rule registry and engine for servernet-lint, mirroring the verify-pass
+// architecture: each rule is a named pass over the SourceTree that emits
+// Findings with stable ids. run_lint() executes the (optionally filtered)
+// registry in id order, applies inline `sn-lint: allow` suppressions, and
+// returns a canonically sorted Report.
+//
+// Rule families (catalog in docs/LINT.md):
+//   layering.*      — the layer DAG of docs/ARCHITECTURE.md, statically
+//   determinism.*   — the byte-identical-output contract
+//   certify.*       — certification-integrity invariants
+//   hygiene.*       — header/global hygiene
+//   lint.*          — meta rules about the suppression comments themselves
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/findings.hpp"
+#include "lint/source_model.hpp"
+
+namespace servernet::lint {
+
+struct Rule {
+  /// Stable id, "<family>.<rule>".
+  std::string id;
+  /// One-line description for --list-rules and docs.
+  std::string summary;
+  void (*run)(const SourceTree& tree, Report& report);
+};
+
+/// The full registry, sorted by id.
+[[nodiscard]] const std::vector<Rule>& rules();
+
+/// True when `id` names a registered rule.
+[[nodiscard]] bool known_rule(const std::string& id);
+
+struct LintOptions {
+  /// When non-empty, run only these rule ids (meta lint.* rules always run).
+  std::vector<std::string> only_rules;
+};
+
+/// Runs the registry over `tree`, marks findings covered by a justified
+/// inline allow as suppressed, and returns the sorted report.
+[[nodiscard]] Report run_lint(const SourceTree& tree, const LintOptions& options = {});
+
+/// Re-applies suppression marking to `report` (idempotent). Callers that
+/// append findings after run_lint — e.g. the --standalone header check —
+/// use this before re-sorting.
+void apply_suppressions(const SourceTree& tree, Report& report);
+
+}  // namespace servernet::lint

@@ -1,0 +1,171 @@
+// certify.* — certification-integrity invariants: a repaired table is
+// installed only after re-certification, precondition failures name the
+// instance they refute, and verdict-producing code stays in exact integer
+// arithmetic (a float epsilon in a verdict is a soundness hole).
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "lint/rules_impl.hpp"
+#include "lint/scan.hpp"
+
+namespace servernet::lint::rules_impl {
+
+namespace {
+
+bool in_certification_path(const SourceFile& file) {
+  return file.rel.rfind("src/verify/", 0) == 0 || file.rel.rfind("src/exec/", 0) == 0;
+}
+
+bool control_keyword(const std::string& token) {
+  return token == "if" || token == "for" || token == "while" || token == "switch" ||
+         token == "catch" || token == "do" || token == "else";
+}
+
+bool scope_keyword(const std::string& token) {
+  return token == "namespace" || token == "class" || token == "struct" || token == "enum" ||
+         token == "union";
+}
+
+/// Byte offset of the opening '{' of the function body enclosing `pos`,
+/// or npos. Walks the whole text keeping a stack of open braces, each
+/// classified from its "header" (the text since the previous ';', '{' or
+/// '}'): a brace whose header holds a '(' and no control-flow or scope
+/// keyword opens a function body.
+std::size_t enclosing_function_start(const std::string& joined, std::size_t pos) {
+  struct Open {
+    std::size_t at;
+    bool function;
+  };
+  std::vector<Open> stack;
+  std::size_t header_start = 0;
+  for (std::size_t i = 0; i < joined.size() && i < pos; ++i) {
+    const char c = joined[i];
+    if (c == ';' || c == '}') {
+      header_start = i + 1;
+      if (c == '}' && !stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (c != '{') continue;
+    const std::string header = joined.substr(header_start, i - header_start);
+    const bool has_call = header.find('(') != std::string::npos;
+    // Classify on the first identifier only: "template <class Sim> void
+    // f(...)" is a function even though "class" appears in the template
+    // parameter list.
+    const std::vector<Token> header_tokens = identifier_tokens(header);
+    std::string head_token = header_tokens.empty() ? std::string() : header_tokens.front().text;
+    if (head_token == "template" && header_tokens.size() > 1) {
+      // Skip the parameter list: the first token after the closing '>'.
+      const std::size_t open = header.find('<');
+      const std::size_t close = open == std::string::npos ? std::string::npos
+                                                          : match_angle(header, open);
+      head_token.clear();
+      if (close != std::string::npos) {
+        for (const Token& t : header_tokens) {
+          if (t.pos > close) {
+            head_token = t.text;
+            break;
+          }
+        }
+      }
+    }
+    const bool is_scope = scope_keyword(head_token);
+    const bool is_control = control_keyword(head_token);
+    // Braced initializers / lambdas inside headers are rare in this
+    // codebase; treat any '('-bearing non-scope, non-control header as a
+    // function body.
+    stack.push_back(Open{i, has_call && !is_scope && !is_control});
+    header_start = i + 1;
+  }
+  for (std::size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1].function) return stack[i - 1].at;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+void unverified_swap(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (!file.in_src()) continue;
+    const std::string joined = file.stripped_joined();
+    for (const Token& t : identifier_tokens(joined)) {
+      if (t.text != "swap_table") continue;
+      const char before = prev_nonspace(joined, t.pos);
+      if (before != '.' && before != '>') continue;  // not a call on an object
+      const std::size_t func = enclosing_function_start(joined, t.pos);
+      bool dominated = false;
+      if (func != std::string::npos) {
+        for (const Token& w : identifier_tokens(joined.substr(func, t.pos - func))) {
+          if (w.text == "certified" || w.text.rfind("verify", 0) == 0) {
+            dominated = true;
+            break;
+          }
+        }
+      }
+      if (dominated) continue;
+      report.add(Finding{"certify.unverified-swap", file.rel, t.line,
+                         "hot-swap is not dominated by re-certification: no certified()/"
+                         "verify_* call precedes swap_table() in this function",
+                         {}, false, {}});
+    }
+  }
+}
+
+void require_names_instance(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (!in_certification_path(file)) continue;
+    const std::string joined = file.stripped_joined();
+    for (const Token& t : identifier_tokens(joined)) {
+      if (t.text != "SN_REQUIRE") continue;
+      const std::size_t open = skip_ws(joined, t.pos + t.text.size());
+      if (open == std::string::npos || joined[open] != '(') continue;
+      const std::size_t close = match_paren(joined, open);
+      if (close == std::string::npos) continue;
+      const std::string args = joined.substr(open + 1, close - open - 1);
+      // Message = everything after the first top-level comma.
+      std::size_t depth = 0;
+      std::size_t comma = std::string::npos;
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        const char c = args[i];
+        // '<'/'>' stay out of the depth count: they appear far more often
+        // as comparisons than as template brackets inside a condition.
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') {
+          if (depth > 0) --depth;
+        }
+        if (c == ',' && depth == 0) {
+          comma = i;
+          break;
+        }
+      }
+      if (comma == std::string::npos) continue;
+      const std::string message = args.substr(comma + 1);
+      // String contents are blanked by the stripper, so any surviving
+      // identifier token means the message names a variable (fabric,
+      // combo, index, ...). A literal-only message names nothing.
+      if (!identifier_tokens(message).empty()) continue;
+      report.add(Finding{"certify.require-names-instance", file.rel, t.line,
+                         "SN_REQUIRE message is a bare literal: certification-path "
+                         "preconditions must name the combo/fabric/instance they refute",
+                         {}, false, {}});
+    }
+  }
+}
+
+void float_verdict(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (!in_certification_path(file)) continue;
+    const std::string joined = file.stripped_joined();
+    for (const Token& t : identifier_tokens(joined)) {
+      if (t.text != "float" && t.text != "double") continue;
+      report.add(Finding{"certify.float-verdict", file.rel, t.line,
+                         "'" + t.text +
+                             "' in verdict-producing code: certification arithmetic must be "
+                             "exact (integers/rationals), never floating point",
+                         {}, false, {}});
+    }
+  }
+}
+
+}  // namespace servernet::lint::rules_impl

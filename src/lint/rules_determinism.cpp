@@ -1,0 +1,171 @@
+// determinism.* — static enforcement of the byte-identical-output contract
+// (docs/ARCHITECTURE.md): no hash-order iteration, no ambient entropy, no
+// address-order comparisons anywhere in src/. The rules are token-level
+// heuristics over the stripped text; an order-independent use (e.g. a
+// fold into a bool) is sanctioned with an inline justified allow.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules_impl.hpp"
+#include "lint/scan.hpp"
+
+namespace servernet::lint::rules_impl {
+
+namespace {
+
+bool is_unordered_container(const std::string& token) {
+  return token == "unordered_map" || token == "unordered_set" || token == "unordered_multimap" ||
+         token == "unordered_multiset";
+}
+
+/// Names declared with an unordered container type in `joined`:
+/// `std::unordered_map<K, V> name`, members, parameters, references.
+std::set<std::string> unordered_names(const std::string& joined) {
+  std::set<std::string> names;
+  const std::vector<Token> tokens = identifier_tokens(joined);
+  for (const Token& t : tokens) {
+    if (!is_unordered_container(t.text)) continue;
+    std::size_t p = skip_ws(joined, t.pos + t.text.size());
+    if (p == std::string::npos || joined[p] != '<') continue;
+    const std::size_t close = match_angle(joined, p);
+    if (close == std::string::npos) continue;
+    p = skip_ws(joined, close + 1);
+    while (p != std::string::npos && (joined[p] == '&' || joined[p] == '*')) {
+      p = skip_ws(joined, p + 1);
+    }
+    if (p == std::string::npos) continue;
+    std::size_t q = p;
+    while (q < joined.size() &&
+           ((std::isalnum(static_cast<unsigned char>(joined[q])) != 0) || joined[q] == '_')) {
+      ++q;
+    }
+    if (q == p) continue;  // e.g. `unordered_map<K,V>::iterator`
+    const std::size_t after = skip_ws(joined, q);
+    if (after != std::string::npos && joined[after] == '(') continue;  // function name
+    names.insert(joined.substr(p, q - p));
+  }
+  return names;
+}
+
+/// The sibling file sharing this file's stem ("x.cpp" <-> "x.hpp"), so a
+/// member declared in the header is known when the source iterates it.
+const SourceFile* sibling(const SourceTree& tree, const SourceFile& file) {
+  std::string other = file.rel;
+  const std::string ext = file.kind == FileKind::kHeader ? ".cpp" : ".hpp";
+  other.replace(other.size() - 4, 4, ext);
+  return tree.find(other);
+}
+
+}  // namespace
+
+void unordered_iteration(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (!file.in_src()) continue;
+    const std::string joined = file.stripped_joined();
+    std::set<std::string> names = unordered_names(joined);
+    if (const SourceFile* twin = sibling(tree, file)) {
+      const std::set<std::string> more = unordered_names(twin->stripped_joined());
+      names.insert(more.begin(), more.end());
+    }
+    if (names.empty()) continue;
+    // Range-fors whose range expression mentions one of the names.
+    const std::vector<Token> tokens = identifier_tokens(joined);
+    for (const Token& t : tokens) {
+      if (t.text != "for") continue;
+      const std::size_t open = skip_ws(joined, t.pos + 3);
+      if (open == std::string::npos || joined[open] != '(') continue;
+      const std::size_t close = match_paren(joined, open);
+      if (close == std::string::npos) continue;
+      const std::string head = joined.substr(open + 1, close - open - 1);
+      // Range-for: a ':' not part of '::'.
+      std::size_t colon = std::string::npos;
+      for (std::size_t i = 0; i < head.size(); ++i) {
+        if (head[i] != ':') continue;
+        if (i + 1 < head.size() && head[i + 1] == ':') {
+          ++i;
+          continue;
+        }
+        if (i > 0 && head[i - 1] == ':') continue;
+        colon = i;
+        break;
+      }
+      if (colon == std::string::npos) continue;
+      const std::string range = head.substr(colon + 1);
+      for (const Token& rt : identifier_tokens(range)) {
+        if (names.count(rt.text) == 0) continue;
+        report.add(Finding{"determinism.unordered-iteration", file.rel, t.line,
+                           "range-for over unordered container '" + rt.text +
+                               "': hash order is nondeterministic — sort first, use an "
+                               "index-keyed vector, or justify with an allow",
+                           {"range expression: " + range}, false, {}});
+        break;
+      }
+    }
+  }
+}
+
+void unseeded_rng(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (!file.in_src()) continue;
+    const std::string joined = file.stripped_joined();
+    for (const Token& t : identifier_tokens(joined)) {
+      const bool always = t.text == "random_device" || t.text == "srand" || t.text == "drand48" ||
+                          t.text == "lrand48" || t.text == "mrand48" ||
+                          t.text == "default_random_engine";
+      const bool call_only = t.text == "rand" || t.text == "time" || t.text == "clock";
+      if (!always && !call_only) continue;
+      if (call_only) {
+        const std::size_t after = skip_ws(joined, t.pos + t.text.size());
+        if (after == std::string::npos || joined[after] != '(') continue;
+        const char before = prev_nonspace(joined, t.pos);
+        if (before == '.' || before == '>') continue;  // member call, not the libc one
+      }
+      report.add(Finding{"determinism.unseeded-rng", file.rel, t.line,
+                         "'" + t.text +
+                             "' is an ambient entropy/time source: src/ code must draw all "
+                             "randomness from an explicitly seeded util/rng generator",
+                         {}, false, {}});
+    }
+  }
+}
+
+void pointer_order(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (!file.in_src()) continue;
+    const std::string joined = file.stripped_joined();
+    for (const Token& t : identifier_tokens(joined)) {
+      const bool comparator = t.text == "less" || t.text == "greater";
+      const bool keyed = t.text == "set" || t.text == "map" || t.text == "multiset" ||
+                         t.text == "multimap";
+      if (!comparator && !keyed) continue;
+      const std::size_t open = skip_ws(joined, t.pos + t.text.size());
+      if (open == std::string::npos || joined[open] != '<') continue;
+      const std::size_t close = match_angle(joined, open);
+      if (close == std::string::npos) continue;
+      // First template argument, up to a depth-0 comma.
+      std::size_t depth = 0;
+      std::size_t end = close;
+      for (std::size_t i = open + 1; i < close; ++i) {
+        if (joined[i] == '<' || joined[i] == '(') ++depth;
+        if (joined[i] == '>' || joined[i] == ')') --depth;
+        if (joined[i] == ',' && depth == 0) {
+          end = i;
+          break;
+        }
+      }
+      std::string arg = joined.substr(open + 1, end - open - 1);
+      while (!arg.empty() && (std::isspace(static_cast<unsigned char>(arg.back())) != 0)) {
+        arg.pop_back();
+      }
+      if (arg.empty() || arg.back() != '*') continue;
+      report.add(Finding{"determinism.pointer-order", file.rel, t.line,
+                         "'" + t.text + "<" + arg +
+                             ">' orders by raw pointer value: address order varies across runs "
+                             "— key on a stable id instead",
+                         {}, false, {}});
+    }
+  }
+}
+
+}  // namespace servernet::lint::rules_impl

@@ -1,0 +1,154 @@
+// hygiene.* — header and global-state hygiene. `using namespace` in a
+// header leaks into every includer; a mutable namespace-scope variable is
+// cross-thread shared state the determinism contract forbids. Both rules
+// are line-level scans over the stripped text with a brace-stack scope
+// classifier for the global-state check. (The companion header
+// self-sufficiency check compiles each header standalone and lives in
+// lint/standalone.hpp — it needs a compiler, not a scan.)
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "lint/rules_impl.hpp"
+#include "lint/scan.hpp"
+
+namespace servernet::lint::rules_impl {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (std::isspace(static_cast<unsigned char>(s[b])) != 0)) ++b;
+  while (e > b && (std::isspace(static_cast<unsigned char>(s[e - 1])) != 0)) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with_token(const std::string& line, const std::string& token) {
+  if (line.rfind(token, 0) != 0) return false;
+  if (line.size() == token.size()) return true;
+  const char next = line[token.size()];
+  return (std::isalnum(static_cast<unsigned char>(next)) == 0) && next != '_';
+}
+
+/// Per-line scope classification: true when every enclosing brace at the
+/// *start* of the line was opened by a `namespace` (or `extern "C"`)
+/// header — i.e. the line sits at namespace scope.
+std::vector<bool> namespace_scope_lines(const SourceFile& file) {
+  const std::string joined = file.stripped_joined();
+  std::vector<bool> at_ns(file.stripped.size() + 2, true);
+  std::vector<bool> stack;  // per open brace: opened by namespace/extern?
+  std::size_t header_start = 0;
+  std::size_t line = 1;
+  bool all_ns = true;
+  auto recompute = [&stack]() {
+    for (const bool ns : stack) {
+      if (!ns) return false;
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < joined.size(); ++i) {
+    const char c = joined[i];
+    if (c == '\n') {
+      ++line;
+      if (line < at_ns.size()) at_ns[line] = all_ns;
+      continue;
+    }
+    if (c == ';' || c == '}') {
+      header_start = i + 1;
+      if (c == '}' && !stack.empty()) {
+        stack.pop_back();
+        all_ns = recompute();
+      }
+      continue;
+    }
+    if (c != '{') continue;
+    const std::string header = joined.substr(header_start, i - header_start);
+    bool ns = false;
+    for (const Token& t : identifier_tokens(header)) {
+      if (t.text == "namespace" || t.text == "extern") ns = true;
+    }
+    stack.push_back(ns);
+    all_ns = recompute();
+    header_start = i + 1;
+  }
+  return at_ns;
+}
+
+/// Heuristic: does this stripped namespace-scope line define a mutable
+/// variable? Conservative — multi-line declarations are missed, and any
+/// line mentioning const/constexpr, a type-only keyword, or a '(' before
+/// the initializer is skipped.
+bool mutable_global_definition(const std::string& stripped_line) {
+  const std::string line = trim(stripped_line);
+  if (line.empty()) return false;
+  for (const char* prefix : {"#", "//", "}", "{", ")", "[[", "public", "private", "protected"}) {
+    if (line.rfind(prefix, 0) == 0) return false;
+  }
+  for (const char* kw : {"using", "typedef", "template", "static_assert", "extern", "friend",
+                         "namespace", "class", "struct", "enum", "union", "concept", "requires",
+                         "return", "case", "goto", "if", "for", "while", "switch", "else", "do"}) {
+    if (starts_with_token(line, kw)) return false;
+  }
+  if (line.back() != ';') return false;  // only whole single-line statements
+  if (line.find("const") != std::string::npos) return false;
+  // An unbalanced ')' means this is the continuation line of a multi-line
+  // function declaration, not a variable definition.
+  std::size_t open_parens = 0;
+  for (const char c : line) {
+    if (c == '(') ++open_parens;
+    if (c == ')') {
+      if (open_parens == 0) return false;
+      --open_parens;
+    }
+  }
+  // Initializer start: '=' or a '{' after the name. A '(' before it means
+  // a function declaration/definition — not a variable.
+  std::size_t init = line.find('=');
+  if (init == std::string::npos) init = line.find('{');
+  const std::size_t paren = line.find('(');
+  if (paren != std::string::npos && (init == std::string::npos || paren < init)) return false;
+  // Needs at least "Type name" — two identifier tokens before the
+  // initializer (or the ';').
+  const std::string decl = line.substr(0, init == std::string::npos ? line.size() - 1 : init);
+  std::size_t idents = 0;
+  for (const Token& t : identifier_tokens(decl)) {
+    (void)t;
+    ++idents;
+  }
+  return idents >= 2;
+}
+
+}  // namespace
+
+void using_namespace_header(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (file.kind != FileKind::kHeader) continue;
+    const std::string joined = file.stripped_joined();
+    const std::vector<Token> tokens = identifier_tokens(joined);
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].text != "using" || tokens[i + 1].text != "namespace") continue;
+      report.add(Finding{"hygiene.using-namespace-header", file.rel, tokens[i].line,
+                         "using-namespace directive in a header leaks into every includer — "
+                         "qualify names or use targeted using-declarations",
+                         {}, false, {}});
+    }
+  }
+}
+
+void global_state(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (!file.in_src()) continue;
+    const std::vector<bool> at_ns = namespace_scope_lines(file);
+    for (std::size_t i = 0; i < file.stripped.size(); ++i) {
+      if (i + 1 >= at_ns.size() || !at_ns[i + 1]) continue;
+      if (!mutable_global_definition(file.stripped[i])) continue;
+      report.add(Finding{"hygiene.global-state", file.rel, i + 1,
+                         "mutable namespace-scope variable: src/ keeps no global state "
+                         "(determinism contract) — pass it explicitly or make it constexpr",
+                         {trim(file.stripped[i])}, false, {}});
+    }
+  }
+}
+
+}  // namespace servernet::lint::rules_impl

@@ -1,0 +1,35 @@
+// Internal declarations of the individual rule passes, one family per
+// translation unit. Only rules.cpp (the registry) and the family TUs
+// include this.
+#pragma once
+
+#include "lint/findings.hpp"
+#include "lint/source_model.hpp"
+
+namespace servernet::lint::rules_impl {
+
+// layering family (rules_layering.cpp)
+void upward_include(const SourceTree& tree, Report& report);
+void module_cycle(const SourceTree& tree, Report& report);
+void unknown_module(const SourceTree& tree, Report& report);
+void nonpublic_include(const SourceTree& tree, Report& report);
+
+// determinism family (rules_determinism.cpp)
+void unordered_iteration(const SourceTree& tree, Report& report);
+void unseeded_rng(const SourceTree& tree, Report& report);
+void pointer_order(const SourceTree& tree, Report& report);
+
+// certification-integrity family (rules_certify.cpp)
+void unverified_swap(const SourceTree& tree, Report& report);
+void require_names_instance(const SourceTree& tree, Report& report);
+void float_verdict(const SourceTree& tree, Report& report);
+
+// hygiene family (rules_hygiene.cpp)
+void using_namespace_header(const SourceTree& tree, Report& report);
+void global_state(const SourceTree& tree, Report& report);
+
+// meta family (rules.cpp)
+void missing_justification(const SourceTree& tree, Report& report);
+void unknown_rule(const SourceTree& tree, Report& report);
+
+}  // namespace servernet::lint::rules_impl

@@ -1,0 +1,207 @@
+// layering.* — the docs/ARCHITECTURE.md layer map, enforced statically on
+// the include graph. The layer order is a total order (source_model's
+// layer_order), so among *ranked* modules "no upward edge" alone makes
+// the graph acyclic; the cycle rule covers what that argument cannot:
+// rings through modules the layer map does not rank yet (which
+// layering.unknown-module flags individually, but whose edges still need
+// a cycle check). Edges sanctioned by a justified upward-include allow do
+// not feed cycles — an explicit reverse edge is a documented design
+// decision, not a layering accident.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules_impl.hpp"
+
+namespace servernet::lint::rules_impl {
+
+namespace {
+
+/// First path segment of an include target ("route/path.hpp" -> "route").
+std::string first_segment(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  return slash == std::string::npos ? std::string() : target.substr(0, slash);
+}
+
+struct Edge {
+  std::string from;
+  std::string to;
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// Module-level src/ include edges, sorted by (from, to, file, line).
+/// When `skip_allowed` is set, edges whose include line carries a
+/// justified layering allow are dropped — those edges are sanctioned
+/// exceptions and must not count toward cycles by themselves.
+std::vector<Edge> module_edges(const SourceTree& tree, bool skip_allowed) {
+  std::vector<Edge> edges;
+  for (const SourceFile& file : tree.files) {
+    if (!file.in_src()) continue;
+    for (const IncludeEdge& inc : file.includes) {
+      if (!inc.quoted) continue;
+      const std::string to = first_segment(inc.target);
+      if (to.empty() || to == file.module) continue;
+      if (skip_allowed && (file.allow_for("layering.upward-include", inc.line) != nullptr ||
+                           file.allow_for("layering.module-cycle", inc.line) != nullptr)) {
+        continue;
+      }
+      edges.push_back(Edge{file.module, to, file.rel, inc.line});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.from, a.to, a.file, a.line) < std::tie(b.from, b.to, b.file, b.line);
+  });
+  return edges;
+}
+
+}  // namespace
+
+void upward_include(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (!file.in_src()) continue;
+    const int from_rank = layer_rank(file.module);
+    if (from_rank < 0) continue;  // layering.unknown-module reports it
+    for (const IncludeEdge& inc : file.includes) {
+      if (!inc.quoted) continue;
+      const std::string to = first_segment(inc.target);
+      const int to_rank = layer_rank(to);
+      if (to_rank < 0 || to == file.module) continue;
+      if (to_rank <= from_rank) continue;
+      report.add(Finding{
+          "layering.upward-include", file.rel, inc.line,
+          "src/" + file.module + " (layer " + std::to_string(from_rank) + ") includes \"" +
+              inc.target + "\" from src/" + to + " (layer " + std::to_string(to_rank) +
+              "): include edges must point down the layer map",
+          {"layer order: " + [] {
+            std::string s;
+            for (const std::string& m : layer_order()) {
+              if (!s.empty()) s += " < ";
+              s += m;
+            }
+            return s;
+          }()},
+          false,
+          {}});
+    }
+  }
+}
+
+void module_cycle(const SourceTree& tree, Report& report) {
+  const std::vector<Edge> edges = module_edges(tree, /*skip_allowed=*/true);
+  std::map<std::string, std::set<std::string>> adj;
+  for (const Edge& e : edges) adj[e.from].insert(e.to);
+
+  // Iterative DFS cycle search from each module in name order; the first
+  // back edge found per cycle set anchors the finding. The module graph
+  // is tiny, so a simple coloring pass is plenty.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::vector<std::string>> reported;
+
+  struct Frame {
+    std::string module;
+    std::vector<std::string> next;
+    std::size_t i = 0;
+  };
+
+  for (const auto& [start, unused_targets] : adj) {
+    (void)unused_targets;
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames;
+    frames.push_back(Frame{start, {adj[start].begin(), adj[start].end()}, 0});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.i < top.next.size()) {
+        const std::string to = top.next[top.i++];
+        if (color[to] == 1) {
+          // Back edge: the grey stack from `to` to the top is a cycle.
+          const auto begin = std::find(stack.begin(), stack.end(), to);
+          std::vector<std::string> cycle(begin, stack.end());
+          // Canonicalize rotation so each cycle reports once.
+          const auto min_it = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), min_it, cycle.end());
+          if (reported.insert(cycle).second) {
+            std::string rendered;
+            for (const std::string& m : cycle) rendered += m + " -> ";
+            rendered += cycle.front();
+            // Anchor at the first witness edge of the cycle.
+            std::string file = "src";
+            std::size_t line = 0;
+            std::vector<std::string> witness;
+            for (std::size_t k = 0; k < cycle.size(); ++k) {
+              const std::string& from = cycle[k];
+              const std::string& into = cycle[(k + 1) % cycle.size()];
+              for (const Edge& e : edges) {
+                if (e.from == from && e.to == into) {
+                  if (line == 0) {
+                    file = e.file;
+                    line = e.line;
+                  }
+                  witness.push_back(from + " -> " + into + " (" + e.file + ":" +
+                                    std::to_string(e.line) + ")");
+                  break;
+                }
+              }
+            }
+            report.add(Finding{"layering.module-cycle", file, line,
+                               "src/ module include cycle: " + rendered, witness, false, {}});
+          }
+        } else if (color[to] == 0) {
+          color[to] = 1;
+          stack.push_back(to);
+          frames.push_back(Frame{to, {adj[to].begin(), adj[to].end()}, 0});
+        }
+      } else {
+        color[top.module] = 2;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+void unknown_module(const SourceTree& tree, Report& report) {
+  std::set<std::string> seen;
+  for (const SourceFile& file : tree.files) {
+    if (!file.in_src() || file.module.empty()) continue;
+    if (layer_rank(file.module) >= 0) continue;
+    if (!seen.insert(file.module).second) continue;
+    report.add(Finding{"layering.unknown-module", file.rel, 1,
+                       "src/" + file.module +
+                           " is not in the layer map — add it to lint::layer_order() and "
+                           "docs/ARCHITECTURE.md before routing includes through it",
+                       {},
+                       false,
+                       {}});
+  }
+}
+
+void nonpublic_include(const SourceTree& tree, Report& report) {
+  for (const SourceFile& file : tree.files) {
+    if (file.module != "tools" && file.module != "bench") continue;
+    for (const IncludeEdge& inc : file.includes) {
+      if (!inc.quoted) continue;
+      const std::string seg = first_segment(inc.target);
+      const bool library_header = layer_rank(seg) >= 0 && inc.target.size() >= 4 &&
+                                  inc.target.compare(inc.target.size() - 4, 4, ".hpp") == 0;
+      const bool internal = inc.target.find("/detail/") != std::string::npos ||
+                            (inc.target.size() >= 13 &&
+                             inc.target.compare(inc.target.size() - 13, 13, "_internal.hpp") == 0);
+      if (library_header && !internal) continue;
+      report.add(Finding{"layering.nonpublic-include", file.rel, inc.line,
+                         file.module + "/ may only include public library headers "
+                                       "(src/<module>/<name>.hpp), not \"" +
+                             inc.target + "\"",
+                         {},
+                         false,
+                         {}});
+    }
+  }
+}
+
+}  // namespace servernet::lint::rules_impl

@@ -1,0 +1,89 @@
+#include "lint/scan.hpp"
+
+#include <cctype>
+
+namespace servernet::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+bool ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> identifier_tokens(const std::string& joined) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < joined.size();) {
+    const char c = joined[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < joined.size() && ident_char(joined[j])) ++j;
+      tokens.push_back(Token{joined.substr(i, j - i), i, line});
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return tokens;
+}
+
+std::size_t line_of(const std::string& joined, std::size_t pos) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < pos && i < joined.size(); ++i) {
+    if (joined[i] == '\n') ++line;
+  }
+  return line;
+}
+
+namespace {
+
+std::size_t match_bracket(const std::string& joined, std::size_t open, char lhs, char rhs) {
+  if (open >= joined.size() || joined[open] != lhs) return std::string::npos;
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < joined.size(); ++i) {
+    if (joined[i] == lhs) ++depth;
+    if (joined[i] == rhs) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::size_t match_angle(const std::string& joined, std::size_t open) {
+  return match_bracket(joined, open, '<', '>');
+}
+
+std::size_t match_paren(const std::string& joined, std::size_t open) {
+  return match_bracket(joined, open, '(', ')');
+}
+
+std::size_t skip_ws(const std::string& joined, std::size_t pos) {
+  while (pos < joined.size() && (std::isspace(static_cast<unsigned char>(joined[pos])) != 0)) {
+    ++pos;
+  }
+  return pos < joined.size() ? pos : std::string::npos;
+}
+
+char prev_nonspace(const std::string& joined, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(joined[pos])) == 0) return joined[pos];
+  }
+  return '\0';
+}
+
+}  // namespace servernet::lint

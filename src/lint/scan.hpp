@@ -1,0 +1,38 @@
+// Token-level scanning helpers shared by the lint rules. All helpers
+// operate on the comment/string-stripped joined text of one file (see
+// SourceFile::stripped_joined), where offsets map 1:1 onto the raw bytes
+// so a position converts straight to a 1-based witness line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace servernet::lint {
+
+struct Token {
+  std::string text;
+  std::size_t pos = 0;   // byte offset in the joined text
+  std::size_t line = 0;  // 1-based
+};
+
+/// All identifier-shaped tokens ([A-Za-z_][A-Za-z0-9_]*), in order.
+[[nodiscard]] std::vector<Token> identifier_tokens(const std::string& joined);
+
+/// 1-based line number of byte offset `pos`.
+[[nodiscard]] std::size_t line_of(const std::string& joined, std::size_t pos);
+
+/// Index of the '>' matching the '<' at `open`, or npos. Treats every
+/// '<'/'>' as a bracket — callers only use it inside template argument
+/// lists of declarations, where comparison operators cannot appear.
+[[nodiscard]] std::size_t match_angle(const std::string& joined, std::size_t open);
+
+/// Index of the ')' matching the '(' at `open`, or npos.
+[[nodiscard]] std::size_t match_paren(const std::string& joined, std::size_t open);
+
+/// First non-whitespace position at or after `pos`, or npos.
+[[nodiscard]] std::size_t skip_ws(const std::string& joined, std::size_t pos);
+
+/// Last non-whitespace character strictly before `pos`, or '\0'.
+[[nodiscard]] char prev_nonspace(const std::string& joined, std::size_t pos);
+
+}  // namespace servernet::lint

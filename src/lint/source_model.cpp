@@ -1,0 +1,290 @@
+#include "lint/source_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace servernet::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (std::isspace(static_cast<unsigned char>(s[b])) != 0)) ++b;
+  while (e > b && (std::isspace(static_cast<unsigned char>(s[e - 1])) != 0)) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+void parse_includes(SourceFile& file) {
+  for (std::size_t i = 0; i < file.stripped.size(); ++i) {
+    const std::string& line = file.stripped[i];
+    std::size_t p = line.find_first_not_of(" \t");
+    if (p == std::string::npos || line[p] != '#') continue;
+    p = line.find_first_not_of(" \t", p + 1);
+    if (p == std::string::npos || line.compare(p, 7, "include") != 0) continue;
+    p = line.find_first_not_of(" \t", p + 7);
+    if (p == std::string::npos) continue;
+    const char open = line[p];
+    if (open != '"' && open != '<') continue;
+    const char close = open == '"' ? '"' : '>';
+    const std::size_t end = line.find(close, p + 1);
+    if (end == std::string::npos) continue;
+    // The stripper blanks string contents; recover the target from raw.
+    const std::string& raw = file.raw[i];
+    IncludeEdge edge;
+    edge.line = i + 1;
+    edge.target = raw.substr(p + 1, end - p - 1);
+    edge.quoted = open == '"';
+    file.includes.push_back(edge);
+  }
+}
+
+void parse_allows(SourceFile& file) {
+  constexpr const char* kTag = "// sn-lint:";
+  for (std::size_t i = 0; i < file.raw.size(); ++i) {
+    const std::string& raw = file.raw[i];
+    const std::size_t tag = raw.find(kTag);
+    if (tag == std::string::npos) continue;
+    std::size_t p = tag + std::string(kTag).size();
+    while (p < raw.size() && (std::isspace(static_cast<unsigned char>(raw[p])) != 0)) ++p;
+    if (raw.compare(p, 6, "allow(") != 0) continue;
+    const std::size_t open = p + 5;
+    const std::size_t close = raw.find(')', open);
+    if (close == std::string::npos) continue;
+    Allow allow;
+    allow.line = i + 1;
+    std::stringstream list(raw.substr(open + 1, close - open - 1));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      rule = trim(rule);
+      if (!rule.empty()) allow.rules.push_back(rule);
+    }
+    std::size_t after = close + 1;
+    while (after < raw.size() && (std::isspace(static_cast<unsigned char>(raw[after])) != 0)) {
+      ++after;
+    }
+    if (after < raw.size() && raw[after] == ':') {
+      allow.justification = trim(raw.substr(after + 1));
+    }
+    allow.comment_only_line = trim(raw.substr(0, tag)).empty();
+    file.allows.push_back(allow);
+  }
+}
+
+}  // namespace
+
+std::string SourceFile::stripped_joined() const {
+  std::string joined;
+  for (const std::string& line : stripped) {
+    joined += line;
+    joined += '\n';
+  }
+  return joined;
+}
+
+const Allow* SourceFile::allow_for(const std::string& rule, std::size_t line) const {
+  for (const Allow& a : allows) {
+    if (a.justification.empty()) continue;
+    const bool covers = a.line == line || (a.comment_only_line && a.line + 1 == line);
+    if (!covers) continue;
+    if (std::find(a.rules.begin(), a.rules.end(), rule) != a.rules.end()) return &a;
+  }
+  return nullptr;
+}
+
+const SourceFile* SourceTree::find(const std::string& rel) const {
+  for (const SourceFile& f : files) {
+    if (f.rel == rel) return &f;
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& layer_order() {
+  static const std::vector<std::string> kOrder = {
+      "util", "lint",     "topo", "route",  "core",     "analysis",
+      "fabric", "workload", "sim",  "verify", "recovery", "exec",
+  };
+  return kOrder;
+}
+
+int layer_rank(const std::string& module) {
+  const std::vector<std::string>& order = layer_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == module) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State : std::uint8_t { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R' &&
+                   (i < 2 || !is_ident_char(text[i - 2]))) {
+          // Raw string literal: R"delim( ... )delim"
+          raw_delim = ")";
+          std::size_t j = i + 1;
+          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+          raw_delim += '"';
+          state = State::kRawString;
+          out += c;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'' && !(i > 0 && (std::isdigit(static_cast<unsigned char>(text[i - 1])) != 0))) {
+          // Skip digit separators (1'000'000).
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k + 1 < raw_delim.size(); ++k) out += ' ';
+          out += '"';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+SourceFile load_source_file(const std::string& root, const std::string& rel) {
+  SourceFile file;
+  file.rel = rel;
+  const std::size_t slash = rel.find('/');
+  const std::string top = slash == std::string::npos ? rel : rel.substr(0, slash);
+  if (top == "src") {
+    const std::size_t second = rel.find('/', slash + 1);
+    file.module = second == std::string::npos ? "" : rel.substr(slash + 1, second - slash - 1);
+  } else {
+    file.module = top;
+  }
+  file.kind = rel.size() >= 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0 ? FileKind::kHeader
+                                                                            : FileKind::kSource;
+  std::ifstream in(fs::path(root) / rel, std::ios::binary);
+  SN_REQUIRE(in.good(), "lint: cannot open " + root + "/" + rel);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  file.raw = split_lines(text);
+  file.stripped = split_lines(strip_comments_and_strings(text));
+  file.stripped.resize(file.raw.size());
+  parse_includes(file);
+  parse_allows(file);
+  return file;
+}
+
+SourceTree load_source_tree(const std::string& root) {
+  SourceTree tree;
+  tree.root = root;
+  const fs::path base(root);
+  SN_REQUIRE(fs::is_directory(base), "lint: source root is not a directory: " + root);
+  std::vector<std::string> rels;
+  for (const char* top : {"src", "tools", "bench", "tests"}) {
+    const fs::path dir = base / top;
+    if (!fs::is_directory(dir)) continue;
+    for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      rels.push_back(fs::relative(it->path(), base).generic_string());
+    }
+  }
+  std::sort(rels.begin(), rels.end());
+  tree.files.reserve(rels.size());
+  for (const std::string& rel : rels) tree.files.push_back(load_source_file(root, rel));
+  return tree;
+}
+
+}  // namespace servernet::lint

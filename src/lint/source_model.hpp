@@ -1,0 +1,84 @@
+// Source model for servernet-lint: the repo's own tree as data.
+//
+// The linter does not parse C++ — it scans a comment/string-stripped view
+// of every file under src/, tools/, bench/, and tests/ plus the exact
+// `#include` edge list, which is enough to enforce the layer DAG, the
+// determinism contract, and the certification-integrity invariants as
+// token-level rules (docs/LINT.md). Keeping the model dumb keeps the rules
+// auditable: every finding cites a file:line witness a reviewer can check
+// by eye.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace servernet::lint {
+
+enum class FileKind : std::uint8_t { kHeader, kSource };
+
+/// One `#include` directive, as written.
+struct IncludeEdge {
+  std::size_t line = 0;  // 1-based
+  std::string target;    // path between the delimiters
+  bool quoted = false;   // "..." (project) vs <...> (system)
+};
+
+/// One inline suppression comment — "sn-lint:" then "allow(rule, ...)"
+/// then ": justification" (docs/LINT.md spells out the syntax; writing it
+/// verbatim here would register this line as an allow).
+struct Allow {
+  std::size_t line = 0;  // 1-based line carrying the comment
+  std::vector<std::string> rules;
+  std::string justification;
+  /// Nothing but the comment on its line: the allow also covers line+1.
+  bool comment_only_line = false;
+};
+
+struct SourceFile {
+  std::string rel;     // root-relative path, forward slashes
+  std::string module;  // "util".."exec" for src/<m>/, else "tools"/"bench"/"tests"
+  FileKind kind = FileKind::kSource;
+  std::vector<std::string> raw;       // verbatim lines
+  std::vector<std::string> stripped;  // comments + string/char contents blanked
+  std::vector<IncludeEdge> includes;
+  std::vector<Allow> allows;
+
+  [[nodiscard]] bool in_src() const { return rel.rfind("src/", 0) == 0; }
+  /// Stripped lines joined with '\n' (for multi-line token scans).
+  [[nodiscard]] std::string stripped_joined() const;
+  /// Is a finding of `rule` at `line` covered by a justified allow?
+  /// Returns the matching allow, or nullptr.
+  [[nodiscard]] const Allow* allow_for(const std::string& rule, std::size_t line) const;
+};
+
+struct SourceTree {
+  std::string root;  // as given to load_source_tree
+  std::vector<SourceFile> files;  // sorted by rel — scan order is deterministic
+
+  [[nodiscard]] const SourceFile* find(const std::string& rel) const;
+};
+
+/// The canonical layer order, lowest first. Mirrors the layer map in
+/// docs/ARCHITECTURE.md; `layering.unknown-module` fires for any src/
+/// module missing from this list.
+[[nodiscard]] const std::vector<std::string>& layer_order();
+
+/// Rank in layer_order(), or -1 for unknown modules (tools/bench/tests
+/// are deliberately unranked: they sit above the whole library).
+[[nodiscard]] int layer_rank(const std::string& module);
+
+/// Blanks comments and string/char-literal contents (quote characters are
+/// kept so rules can still see literal boundaries); preserves line
+/// structure so offsets map 1:1 onto the raw text.
+[[nodiscard]] std::string strip_comments_and_strings(const std::string& text);
+
+/// Loads one file (relative to root) into the model.
+[[nodiscard]] SourceFile load_source_file(const std::string& root, const std::string& rel);
+
+/// Walks root/{src,tools,bench,tests} for *.hpp / *.cpp, skipping any
+/// directory named "lint_fixtures" (the seeded-violation corpus must not
+/// indict the real tree). Files are sorted by relative path.
+[[nodiscard]] SourceTree load_source_tree(const std::string& root);
+
+}  // namespace servernet::lint

@@ -1,0 +1,67 @@
+#include "lint/standalone.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace servernet::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs `command` capturing stdout+stderr; returns the exit status and
+/// fills `output` with the first few lines.
+int run_capture(const std::string& command, std::vector<std::string>& output) {
+  const std::string full = command + " 2>&1";
+  FILE* pipe = ::popen(full.c_str(), "r");  // NOLINT(cert-env33-c): fixed compiler driver
+  SN_REQUIRE(pipe != nullptr, "lint: cannot spawn compiler: " + command);
+  char buffer[512];
+  std::string line;
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    line += buffer;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      if (output.size() < 6) output.push_back(line);
+      line.clear();
+    }
+  }
+  if (!line.empty() && output.size() < 6) output.push_back(line);
+  return ::pclose(pipe);
+}
+
+}  // namespace
+
+std::size_t check_headers_standalone(const SourceTree& tree, const StandaloneOptions& options,
+                                     Report& report) {
+  // Fixed TU path (not mkstemp) so repeated runs produce byte-identical
+  // compiler messages, keeping the JSON report deterministic.
+  const fs::path tu = fs::temp_directory_path() / "servernet_lint_standalone.cpp";
+  std::size_t checked = 0;
+  for (const SourceFile& file : tree.files) {
+    if (!file.in_src() || file.kind != FileKind::kHeader) continue;
+    ++checked;
+    {
+      std::ofstream out(tu, std::ios::trunc);
+      // rel is "src/<module>/<name>.hpp"; the project includes as
+      // "<module>/<name>.hpp" with -I<root>/src.
+      out << "#include \"" << file.rel.substr(4) << "\"\n";
+    }
+    const std::string command = options.cxx + " " + options.std_flag + " -fsyntax-only -I" +
+                                (fs::path(tree.root) / "src").string() + " " + tu.string();
+    std::vector<std::string> output;
+    const int status = run_capture(command, output);
+    if (status == 0) continue;
+    Finding f{"hygiene.header-standalone", file.rel, 1,
+              "header does not compile standalone — it relies on its includer's includes",
+              std::move(output), false, {}};
+    report.add(f);
+  }
+  std::error_code ec;
+  fs::remove(tu, ec);
+  return checked;
+}
+
+}  // namespace servernet::lint

@@ -1,0 +1,30 @@
+// hygiene.header-standalone — every public header must be self-sufficient:
+// includable as the first line of a fresh translation unit. The only
+// honest check is to actually compile it, so this pass shells out to a
+// C++ compiler (one -fsyntax-only invocation per header) and is therefore
+// opt-in: `servernet-lint --standalone` runs it, the default scan does
+// not. Findings land in the same Report with the same suppression rules.
+#pragma once
+
+#include <string>
+
+#include "lint/findings.hpp"
+#include "lint/source_model.hpp"
+
+namespace servernet::lint {
+
+struct StandaloneOptions {
+  /// Compiler driver to invoke (e.g. "c++", "/usr/bin/g++").
+  std::string cxx = "c++";
+  /// Language-standard flag; matches the project build.
+  std::string std_flag = "-std=c++20";
+};
+
+/// Compiles every src/ header standalone; emits one
+/// "hygiene.header-standalone" finding per header that fails, with the
+/// first compiler error lines as witness. Returns the number of headers
+/// checked.
+std::size_t check_headers_standalone(const SourceTree& tree, const StandaloneOptions& options,
+                                     Report& report);
+
+}  // namespace servernet::lint

@@ -71,4 +71,35 @@ RoutingTable dimension_order_routes(const Torus2D& torus) {
   return table;
 }
 
+RoutingTable dimension_order_routes(const KAryNCube& cube) {
+  const Network& net = cube.net();
+  const KAryNCubeSpec& spec = cube.spec();
+  RoutingTable table = RoutingTable::sized_for(net);
+  for (NodeId d : net.all_nodes()) {
+    const std::vector<std::uint32_t> target = cube.coords(cube.home_router(d));
+    const PortIndex node_port =
+        cube.first_node_port() + static_cast<PortIndex>(d.value() % spec.nodes_per_router);
+    for (RouterId r : net.all_routers()) {
+      const std::vector<std::uint32_t> here = cube.coords(r);
+      PortIndex port = node_port;
+      for (std::size_t dim = 0; dim < here.size(); ++dim) {
+        if (here[dim] == target[dim]) continue;
+        if (!spec.wrap) {
+          port = here[dim] < target[dim] ? KAryNCube::positive_port(dim)
+                                         : KAryNCube::negative_port(dim);
+        } else {
+          // Minimal direction around the ring; ties go positive.
+          const std::uint32_t extent = spec.dims[dim];
+          const std::uint32_t fwd = (target[dim] + extent - here[dim]) % extent;
+          port = fwd <= extent - fwd ? KAryNCube::positive_port(dim)
+                                     : KAryNCube::negative_port(dim);
+        }
+        break;  // correct the lowest differing dimension first
+      }
+      table.set(r, d, port);
+    }
+  }
+  return table;
+}
+
 }  // namespace servernet

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "route/routing_table.hpp"
+#include "topo/kary_ncube.hpp"
 #include "topo/mesh.hpp"
 #include "topo/torus.hpp"
 
@@ -26,5 +27,11 @@ namespace servernet {
 /// dateline VC selector (route/vc_selector.hpp), which the extended-CDG
 /// certifier proves statically.
 [[nodiscard]] RoutingTable dimension_order_routes(const Torus2D& torus);
+
+/// Generalized dimension-order routing for a k-ary n-cube: correct
+/// dimension 0 fully, then 1, ... Minimal and deadlock-free on meshes; on
+/// tori the wrap channels close dependency cycles (verified cyclic in the
+/// tests) — the reason the torus needs virtual channels or up*/down*.
+[[nodiscard]] RoutingTable dimension_order_routes(const KAryNCube& cube);
 
 }  // namespace servernet

@@ -1,0 +1,72 @@
+#include "route/fat_tree_routes.hpp"
+
+#include <cstdint>
+
+namespace servernet {
+
+namespace {
+
+std::uint64_t int_pow(std::uint64_t base, std::uint32_t exponent) {
+  std::uint64_t x = 1;
+  for (std::uint32_t i = 0; i < exponent; ++i) x *= base;
+  return x;
+}
+
+}  // namespace
+
+RoutingTable fat_tree_routing(const FatTree& tree) {
+  const FatTreeSpec& spec = tree.spec();
+  const std::uint32_t root_level = tree.levels();
+  RoutingTable table = RoutingTable::sized_for(tree.net());
+  for (std::uint32_t l = 0; l <= root_level; ++l) {
+    const std::uint64_t subtree_span = int_pow(spec.down, l + 1);
+    for (std::size_t v = 0; v < tree.virtual_switches(l); ++v) {
+      const std::uint64_t lo = v * subtree_span;
+      const std::uint64_t hi = lo + subtree_span;
+      for (std::size_t p = 0; p < tree.replicas(l); ++p) {
+        const RouterId r = tree.router(l, v, p);
+        for (std::uint32_t d = 0; d < spec.nodes; ++d) {
+          PortIndex port;
+          if (d >= lo && d < hi) {
+            port = static_cast<PortIndex>((d / int_pow(spec.down, l)) % spec.down);
+          } else {
+            const std::size_t root_rep = tree.root_replica_for(NodeId{d});
+            const auto u = static_cast<PortIndex>(
+                (root_rep / int_pow(spec.up, root_level - 1 - l)) % spec.up);
+            port = spec.down + u;
+          }
+          table.set(r, NodeId{d}, port);
+        }
+      }
+    }
+  }
+  return table;
+}
+
+MultipathTable fat_tree_adaptive_routing(const FatTree& tree) {
+  const FatTreeSpec& spec = tree.spec();
+  const std::uint32_t root_level = tree.levels();
+  const RoutingTable deterministic = fat_tree_routing(tree);
+  MultipathTable mp = MultipathTable::from_table(tree.net(), deterministic);
+  // Widen every climb entry to all up ports; the deterministic choice
+  // stays first so the projection reproduces fat_tree_routing().
+  for (std::uint32_t l = 0; l < root_level; ++l) {
+    const std::uint64_t subtree_span = int_pow(spec.down, l + 1);
+    for (std::size_t v = 0; v < tree.virtual_switches(l); ++v) {
+      const std::uint64_t lo = v * subtree_span;
+      const std::uint64_t hi = lo + subtree_span;
+      for (std::size_t p = 0; p < tree.replicas(l); ++p) {
+        const RouterId r = tree.router(l, v, p);
+        for (std::uint32_t d = 0; d < spec.nodes; ++d) {
+          if (d >= lo && d < hi) continue;  // descending: keep deterministic
+          for (std::uint32_t u = 0; u < spec.up; ++u) {
+            mp.add_choice(r, NodeId{d}, spec.down + u);
+          }
+        }
+      }
+    }
+  }
+  return mp;
+}
+
+}  // namespace servernet

@@ -1,0 +1,27 @@
+// Routing-table fillers for the fat trees of §3.3 (Figure 6).
+//
+// The tree itself (wiring, levels, replicas, the destination -> root-replica
+// partition) lives in topo/fat_tree; the table construction lives here on
+// the route side of the layer map, like every other filler.
+#pragma once
+
+#include "route/multipath.hpp"
+#include "route/routing_table.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace servernet {
+
+/// The static up*/down* table described in topo/fat_tree.hpp: climb toward
+/// the root replica selected by the tree's UplinkPolicy, then descend.
+/// Verified deadlock-free by the channel-dependency analysis
+/// (tests/analysis).
+[[nodiscard]] RoutingTable fat_tree_routing(const FatTree& tree);
+
+/// §3.3's "dynamically select a non-busy link" variant: on the climb,
+/// *every* up port is admissible (descent stays deterministic). Still
+/// up*/down* and therefore deadlock-free, but sequential packets of one
+/// stream can race each other — the simulator's adaptive mode measures
+/// the resulting out-of-order deliveries.
+[[nodiscard]] MultipathTable fat_tree_adaptive_routing(const FatTree& tree);
+
+}  // namespace servernet

@@ -1,0 +1,23 @@
+#include "route/fully_connected_routes.hpp"
+
+namespace servernet {
+
+RoutingTable fully_connected_routing(const FullyConnectedGroup& group) {
+  const Network& net = group.net();
+  RoutingTable table = RoutingTable::sized_for(net);
+  const PortIndex first_node_port = group.spec().routers - 1;
+  for (NodeId d : net.all_nodes()) {
+    const RouterId home = group.home_router(d);
+    const PortIndex node_port = first_node_port + d.value() % group.nodes_per_router();
+    for (RouterId r : net.all_routers()) {
+      if (r == home) {
+        table.set(r, d, node_port);
+      } else {
+        table.set(r, d, FullyConnectedGroup::peer_port(r.value(), home.value()));
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace servernet

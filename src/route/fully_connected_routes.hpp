@@ -1,0 +1,16 @@
+// Routing-table filler for the fully-connected router groups of Figure 3.
+//
+// The group wiring lives in topo/fully_connected; the table construction
+// lives here on the route side of the layer map.
+#pragma once
+
+#include "route/routing_table.hpp"
+#include "topo/fully_connected.hpp"
+
+namespace servernet {
+
+/// Direct routing: one inter-router hop at most. Trivially deadlock-free
+/// (the channel-dependency graph has no router-to-router chains).
+[[nodiscard]] RoutingTable fully_connected_routing(const FullyConnectedGroup& group);
+
+}  // namespace servernet

@@ -28,6 +28,11 @@
 #include <string>
 #include <vector>
 
+// The synthesizer is the documented reverse edge on the layer map: it
+// consumes the analysis-layer existence condition to build tables
+// (docs/ARCHITECTURE.md, the "analysis -> route -> verify edge run in
+// reverse").
+// sn-lint: allow(layering.upward-include): documented reverse edge — synthesis consumes the analysis-layer existence condition
 #include "analysis/synth_condition.hpp"
 #include "route/routing_table.hpp"
 #include "topo/network.hpp"

@@ -1,5 +1,8 @@
 #include "route/turn_mask.hpp"
 
+// The mask builder re-checks CDG acyclicity after each pruning step — the
+// same documented analysis -> route reverse edge as route/synthesize.hpp.
+// sn-lint: allow(layering.upward-include): documented reverse edge — pruning re-checks acyclicity via analysis/cycles
 #include "analysis/cycles.hpp"
 #include "util/assert.hpp"
 

@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include "sim/injector.hpp"
 #include "util/stats.hpp"
 
 namespace servernet::sim {

@@ -1,0 +1,40 @@
+#include "sim/injector.hpp"
+
+#include <optional>
+
+#include "util/assert.hpp"
+
+namespace servernet::sim {
+
+BernoulliInjector::BernoulliInjector(WormholeSim& simulator, TrafficPattern& pattern,
+                                     double offered_flits, std::uint64_t seed)
+    : sim_(simulator),
+      pattern_(pattern),
+      packet_probability_(offered_flits /
+                          static_cast<double>(simulator.config().flits_per_packet)),
+      rng_(seed) {
+  SN_REQUIRE(offered_flits >= 0.0, "offered load must be non-negative");
+  SN_REQUIRE(packet_probability_ <= 1.0, "offered load exceeds one packet per node per cycle");
+}
+
+bool BernoulliInjector::run(std::uint64_t cycles) {
+  const std::size_t nodes = sim_.net().node_count();
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    for (std::size_t n = 0; n < nodes; ++n) {
+      if (!rng_.bernoulli(packet_probability_)) continue;
+      const std::optional<NodeId> dst = pattern_.destination(NodeId{n}, rng_);
+      if (!dst) continue;
+      sim_.offer_packet(NodeId{n}, *dst);
+      ++offered_;
+    }
+    sim_.step();
+    if (sim_.deadlocked()) return false;
+  }
+  return true;
+}
+
+RunResult BernoulliInjector::drain(std::uint64_t max_cycles) {
+  return sim_.run_until_drained(max_cycles);
+}
+
+}  // namespace servernet::sim

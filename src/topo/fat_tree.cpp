@@ -108,57 +108,6 @@ std::size_t FatTree::root_replica_for(NodeId dest) const {
   return 0;
 }
 
-RoutingTable FatTree::routing() const {
-  RoutingTable table = RoutingTable::sized_for(net_);
-  for (std::uint32_t l = 0; l <= root_level_; ++l) {
-    const std::uint64_t subtree_span = down_pow(l + 1);
-    for (std::size_t v = 0; v < virtual_switches(l); ++v) {
-      const std::uint64_t lo = v * subtree_span;
-      const std::uint64_t hi = lo + subtree_span;
-      for (std::size_t p = 0; p < replicas(l); ++p) {
-        const RouterId r = router(l, v, p);
-        for (std::uint32_t d = 0; d < spec_.nodes; ++d) {
-          PortIndex port;
-          if (d >= lo && d < hi) {
-            port = static_cast<PortIndex>((d / down_pow(l)) % spec_.down);
-          } else {
-            const std::size_t root_rep = root_replica_for(NodeId{d});
-            const auto u =
-                static_cast<PortIndex>((root_rep / up_pow(root_level_ - 1 - l)) % spec_.up);
-            port = spec_.down + u;
-          }
-          table.set(r, NodeId{d}, port);
-        }
-      }
-    }
-  }
-  return table;
-}
-
-MultipathTable FatTree::adaptive_routing() const {
-  const RoutingTable deterministic = routing();
-  MultipathTable mp = MultipathTable::from_table(net_, deterministic);
-  // Widen every climb entry to all up ports; the deterministic choice
-  // stays first so the projection reproduces routing().
-  for (std::uint32_t l = 0; l < root_level_; ++l) {
-    const std::uint64_t subtree_span = down_pow(l + 1);
-    for (std::size_t v = 0; v < virtual_switches(l); ++v) {
-      const std::uint64_t lo = v * subtree_span;
-      const std::uint64_t hi = lo + subtree_span;
-      for (std::size_t p = 0; p < replicas(l); ++p) {
-        const RouterId r = router(l, v, p);
-        for (std::uint32_t d = 0; d < spec_.nodes; ++d) {
-          if (d >= lo && d < hi) continue;  // descending: keep deterministic
-          for (std::uint32_t u = 0; u < spec_.up; ++u) {
-            mp.add_choice(r, NodeId{d}, spec_.down + u);
-          }
-        }
-      }
-    }
-  }
-  return mp;
-}
-
 std::uint64_t FatTree::down_pow(std::uint32_t exponent) const {
   std::uint64_t x = 1;
   for (std::uint32_t i = 0; i < exponent; ++i) x *= spec_.down;

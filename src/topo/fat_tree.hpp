@@ -29,8 +29,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "route/multipath.hpp"
-#include "route/routing_table.hpp"
 #include "topo/network.hpp"
 
 namespace servernet {
@@ -76,17 +74,6 @@ class FatTree {
 
   /// Root replica selected for a destination under the configured policy.
   [[nodiscard]] std::size_t root_replica_for(NodeId dest) const;
-
-  /// The up*/down* routing table described above. Verified deadlock-free by
-  /// the channel-dependency analysis (tests/analysis).
-  [[nodiscard]] RoutingTable routing() const;
-
-  /// §3.3's "dynamically select a non-busy link" variant: on the climb,
-  /// *every* up port is admissible (descent stays deterministic). Still
-  /// up*/down* and therefore deadlock-free, but sequential packets of one
-  /// stream can race each other — the simulator's adaptive mode measures
-  /// the resulting out-of-order deliveries.
-  [[nodiscard]] MultipathTable adaptive_routing() const;
 
  private:
   FatTreeSpec spec_;

@@ -54,23 +54,6 @@ PortIndex FullyConnectedGroup::peer_port(std::uint32_t i, std::uint32_t j) {
   return j < i ? j : j - 1;
 }
 
-RoutingTable FullyConnectedGroup::routing() const {
-  RoutingTable table = RoutingTable::sized_for(net_);
-  const PortIndex first_node_port = spec_.routers - 1;
-  for (NodeId d : net_.all_nodes()) {
-    const RouterId home = home_router(d);
-    const PortIndex node_port = first_node_port + d.value() % nodes_per_router_;
-    for (RouterId r : net_.all_routers()) {
-      if (r == home) {
-        table.set(r, d, node_port);
-      } else {
-        table.set(r, d, peer_port(r.value(), home.value()));
-      }
-    }
-  }
-  return table;
-}
-
 std::uint32_t FullyConnectedGroup::analytic_node_ports(std::uint32_t m, PortIndex ports) {
   SN_REQUIRE(m >= 1 && ports >= m - 1, "invalid group parameters");
   return m * (ports - (m - 1));

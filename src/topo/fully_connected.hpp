@@ -17,7 +17,6 @@
 
 #include <cstdint>
 
-#include "route/routing_table.hpp"
 #include "topo/network.hpp"
 
 namespace servernet {
@@ -43,10 +42,6 @@ class FullyConnectedGroup {
 
   /// Port on router `i` leading to peer router `j`.
   [[nodiscard]] static PortIndex peer_port(std::uint32_t i, std::uint32_t j);
-
-  /// Direct routing: one inter-router hop at most. Trivially deadlock-free
-  /// (the channel-dependency graph has no router-to-router chains).
-  [[nodiscard]] RoutingTable routing() const;
 
   /// Closed-form figures reported in Figure 3 for a P-port, M-router group.
   [[nodiscard]] static std::uint32_t analytic_node_ports(std::uint32_t m, PortIndex ports);

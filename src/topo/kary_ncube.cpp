@@ -83,31 +83,4 @@ RouterId KAryNCube::home_router(NodeId n) const {
   return RouterId{n.index() / spec_.nodes_per_router};
 }
 
-RoutingTable KAryNCube::dimension_order() const {
-  RoutingTable table = RoutingTable::sized_for(net_);
-  for (NodeId d : net_.all_nodes()) {
-    const std::vector<std::uint32_t> target = coords(home_router(d));
-    const PortIndex node_port =
-        first_node_port() + static_cast<PortIndex>(d.value() % spec_.nodes_per_router);
-    for (RouterId r : net_.all_routers()) {
-      const std::vector<std::uint32_t> here = coords(r);
-      PortIndex port = node_port;
-      for (std::size_t dim = 0; dim < here.size(); ++dim) {
-        if (here[dim] == target[dim]) continue;
-        if (!spec_.wrap) {
-          port = here[dim] < target[dim] ? positive_port(dim) : negative_port(dim);
-        } else {
-          // Minimal direction around the ring; ties go positive.
-          const std::uint32_t extent = spec_.dims[dim];
-          const std::uint32_t fwd = (target[dim] + extent - here[dim]) % extent;
-          port = fwd <= extent - fwd ? positive_port(dim) : negative_port(dim);
-        }
-        break;  // correct the lowest differing dimension first
-      }
-      table.set(r, d, port);
-    }
-  }
-  return table;
-}
-
 }  // namespace servernet

@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "route/routing_table.hpp"
 #include "topo/network.hpp"
 
 namespace servernet {
@@ -49,12 +48,6 @@ class KAryNCube {
   [[nodiscard]] PortIndex first_node_port() const {
     return static_cast<PortIndex>(2 * dimensions());
   }
-
-  /// Dimension-order routing: correct dimension 0 fully, then 1, ...
-  /// Minimal and deadlock-free on meshes; on tori the wrap channels close
-  /// dependency cycles (verified cyclic in the tests) — the reason the
-  /// torus needs virtual channels or up*/down*.
-  [[nodiscard]] RoutingTable dimension_order() const;
 
  private:
   KAryNCubeSpec spec_;

@@ -1,0 +1,14 @@
+// Shared JSON string escaping. Every servernet JSON stream (the verifier
+// report, the fault-space report, the lint report) goes through this one
+// escaper so they all quote alike and stay byte-deterministic.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace servernet {
+
+/// Writes `s` as an escaped JSON string literal (quotes included).
+void write_json_string(std::ostream& os, const std::string& s);
+
+}  // namespace servernet

@@ -1,10 +1,10 @@
-#include "exec/worker_pool.hpp"
+#include "util/worker_pool.hpp"
 
 #include <algorithm>
 
 #include "util/assert.hpp"
 
-namespace servernet::exec {
+namespace servernet {
 
 namespace {
 
@@ -156,4 +156,4 @@ bool WorkerPool::steal(unsigned worker, std::size_t& index) {
   }
 }
 
-}  // namespace servernet::exec
+}  // namespace servernet

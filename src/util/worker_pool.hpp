@@ -52,7 +52,7 @@
 #include <thread>
 #include <vector>
 
-namespace servernet::exec {
+namespace servernet {
 
 class WorkerPool {
  public:
@@ -109,4 +109,4 @@ class WorkerPool {
   std::atomic<bool> abort_{false};
 };
 
-}  // namespace servernet::exec
+}  // namespace servernet

@@ -9,7 +9,7 @@
 #include "analysis/channel_dependency.hpp"
 #include "analysis/modular_cdg.hpp"
 #include "core/fractahedron.hpp"
-#include "exec/worker_pool.hpp"
+#include "util/worker_pool.hpp"
 #include "util/assert.hpp"
 #include "verify/passes.hpp"
 
@@ -145,7 +145,7 @@ void run_glue_pass(const FractahedronShape& shape, const ComposeInput& input,
       shape.spec().cpu_pair_fanout ? shape.total_fanout_routers() : 0;
   const std::uint64_t task_count = below_top + fanout_units;
 
-  exec::WorkerPool pool(options.jobs);
+  WorkerPool pool(options.jobs);
   std::vector<GlueWorkerState> workers(pool.jobs());
   const std::size_t cap = options.max_witnesses;
   pool.run(static_cast<std::size_t>(task_count), [&](unsigned worker, std::size_t index) {
@@ -500,8 +500,8 @@ Report compose_certify(const ComposeInput& input, const ComposeOptions& options,
   Report report(std::move(fabric_name));
   const bool tampered = input.tamper.has_value() || input.tamper_module_reflection;
   SN_REQUIRE(!options.cross_validate || !tampered,
-             "cross-validation compares against the canonical flat build; tampered inputs "
-             "have no flat counterpart");
+             "cross-validation compares against the canonical flat build; tampered input '" +
+                 report.fabric() + "' has no flat counterpart");
 
   const Report* flat_oracle = nullptr;
   Report flat_oracle_storage;

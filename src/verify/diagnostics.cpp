@@ -25,12 +25,13 @@ void Report::begin_pass(std::string name) {
 }
 
 void Report::note_checks(std::size_t n) {
-  SN_REQUIRE(!passes_.empty(), "note_checks outside a pass");
+  SN_REQUIRE(!passes_.empty(), "note_checks outside a pass (report '" + fabric_ + "')");
   passes_.back().checks += n;
 }
 
 void Report::add(Diagnostic d) {
-  SN_REQUIRE(!passes_.empty(), "diagnostic added outside a pass");
+  SN_REQUIRE(!passes_.empty(),
+             "diagnostic '" + d.rule + "' added outside a pass (report '" + fabric_ + "')");
   if (d.severity == Severity::kError) ++passes_.back().errors;
   if (d.severity == Severity::kWarning) ++passes_.back().warnings;
   diagnostics_.push_back(std::move(d));
@@ -74,34 +75,6 @@ void Report::write_text(std::ostream& os) const {
   } else {
     os << "INDICTED: " << count(Severity::kError) << " error-severity finding(s)\n";
   }
-}
-
-void write_json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          const char* hex = "0123456789abcdef";
-          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
 }
 
 void Report::write_json(std::ostream& os) const {

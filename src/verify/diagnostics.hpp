@@ -20,15 +20,18 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace servernet::verify {
 
 enum class Severity : std::uint8_t { kInfo, kWarning, kError };
 
 [[nodiscard]] std::string to_string(Severity s);
 
-/// Writes `s` as an escaped JSON string literal. Shared by the Report and
-/// FaultSpaceReport renderers so every verifier JSON stream escapes alike.
-void write_json_string(std::ostream& os, const std::string& s);
+/// The Report and FaultSpaceReport renderers share the project-wide JSON
+/// string escaper (util/json.hpp) so every verifier JSON stream escapes
+/// alike; re-exported here for the verify-side callers.
+using servernet::write_json_string;
 
 struct Diagnostic {
   Severity severity = Severity::kInfo;

@@ -211,7 +211,8 @@ FaultOutcome classify_degraded(IncrementalCdg* inc, const Network& net, const Ro
   if (options.base.vc.selector != nullptr) {
     const auto remapped_selector = options.base.vc.selector->remap(degraded.channel_map);
     SN_REQUIRE(remapped_selector != nullptr,
-               "VC selector does not support remapping onto a degraded fabric");
+               "VC selector does not support remapping onto degraded fabric '" + net.name() +
+                   "' (" + describe(net, outcome.fault) + ")");
     VerifyOptions vc_options;
     vc_options.vc.selector = remapped_selector.get();
     vc_options.vc.vcs_per_channel = options.base.vc.vcs_per_channel;
@@ -410,7 +411,7 @@ FaultSpaceReport certify_fault_space(const Network& net, const RoutingTable& tab
     SN_REQUIRE(options.dual->net().router_count() == net.router_count() &&
                    options.dual->net().node_count() == net.node_count() &&
                    options.dual->net().channel_count() == net.channel_count(),
-               "dual-fabric handle does not match the network under test");
+               "dual-fabric handle does not match network under test '" + fabric_name + "'");
   }
 
   FaultSpaceReport report;

@@ -362,7 +362,8 @@ void run_deadlock_pass(const PassContext& ctx, Report& report) {
 void run_vc_deadlock_pass(const PassContext& ctx, Report& report) {
   const Network& net = ctx.net;
   const VerifyOptions& options = ctx.options;
-  SN_REQUIRE(options.vc.selector != nullptr, "vc-deadlock pass needs a VC selector");
+  SN_REQUIRE(options.vc.selector != nullptr,
+             "vc-deadlock pass needs a VC selector (fabric '" + net.name() + "')");
   report.begin_pass("vc-deadlock");
 
   CdgBuildStats skipped;
@@ -436,7 +437,8 @@ void run_vc_deadlock_pass(const PassContext& ctx, Report& report) {
 void run_escape_pass(const PassContext& ctx, Report& report) {
   const Network& net = ctx.net;
   const VerifyOptions& options = ctx.options;
-  SN_REQUIRE(options.multipath != nullptr, "escape pass needs a multipath table");
+  SN_REQUIRE(options.multipath != nullptr,
+             "escape pass needs a multipath table (fabric '" + net.name() + "')");
   report.begin_pass("escape");
 
   const EscapeAnalysis esc = analyze_escape(net, *options.multipath, ctx.table);
@@ -496,7 +498,8 @@ void run_updown_pass(const PassContext& ctx, Report& report) {
   const RoutingTable& table = ctx.table;
   const VerifyOptions& options = ctx.options;
   const UpDownClassification* cls = options.updown;
-  SN_REQUIRE(cls != nullptr, "updown pass needs a classification");
+  SN_REQUIRE(cls != nullptr,
+             "updown pass needs an up*/down* classification (fabric '" + net.name() + "')");
   report.begin_pass("updown");
 
   if (cls->channel_is_up.size() != net.channel_count() ||

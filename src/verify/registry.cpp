@@ -5,6 +5,8 @@
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
 #include "route/ecube.hpp"
+#include "route/fat_tree_routes.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "route/shortest_path.hpp"
 #include "topo/cube_connected_cycles.hpp"
 #include "topo/fat_tree.hpp"
@@ -63,17 +65,17 @@ const std::vector<RegistryCombo>& registry() {
       {"tetrahedron", "fully-connected 4-router group, direct routing (Fig. 4)", true, true,
        [] {
          auto t = std::make_shared<FullyConnectedGroup>(FullyConnectedSpec{});
-         return BuiltFabric{t, &t->net(), t->routing(), std::nullopt};
+         return BuiltFabric{t, &t->net(), fully_connected_routing(*t), std::nullopt};
        }},
       {"fat-tree-4-2", "64-node 4-2 fat tree, static uplink partition (Fig. 6)", true, true,
        [] {
          auto t = std::make_shared<FatTree>(FatTreeSpec{});
-         return BuiltFabric{t, &t->net(), t->routing(), std::nullopt};
+         return BuiltFabric{t, &t->net(), fat_tree_routing(*t), std::nullopt};
        }},
       {"fat-tree-3-3", "64-node 3-3 constant-bandwidth fat tree (§3.3)", true, true,
        [] {
          auto t = std::make_shared<FatTree>(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
-         return BuiltFabric{t, &t->net(), t->routing(), std::nullopt};
+         return BuiltFabric{t, &t->net(), fat_tree_routing(*t), std::nullopt};
        }},
       {"mesh-6x6-dor", "6x6 mesh, dimension-order routing (§3.1)", true, true,
        [] {
@@ -83,7 +85,7 @@ const std::vector<RegistryCombo>& registry() {
       {"mesh3d-4", "4x4x4 mesh, dimension-order routing (7-port routers)", true, true,
        [] {
          auto t = std::make_shared<KAryNCube>(KAryNCubeSpec{.dims = {4, 4, 4}});
-         return BuiltFabric{t, &t->net(), t->dimension_order(), std::nullopt,
+         return BuiltFabric{t, &t->net(), dimension_order_routes(*t), std::nullopt,
                             /*enforce_asic_ports=*/false};
        }},
       {"hypercube-4-ecube", "4-D hypercube, e-cube routing (§3.2)", true, true,
@@ -151,7 +153,7 @@ const std::vector<RegistryCombo>& registry() {
        "4-2 fat tree, §3.3's adaptive climb — up*/down* escape certifies", true, true,
        [] {
          auto t = std::make_shared<FatTree>(FatTreeSpec{});
-         return with_multipath(t, t->net(), t->adaptive_routing());
+         return with_multipath(t, t->net(), fat_tree_adaptive_routing(*t));
        }},
       {"mesh-6x6-adaptive-escape",
        "6x6 mesh, west-first adaptive routing with a dimension-order escape", true, true,

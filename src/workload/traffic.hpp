@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "analysis/link_load.hpp"
-#include "sim/wormhole_sim.hpp"
 #include "topo/network.hpp"
 #include "util/rng.hpp"
 
@@ -75,30 +74,6 @@ class TransferListTraffic final : public TrafficPattern {
 
  private:
   std::vector<std::optional<NodeId>> dest_of_;
-};
-
-/// Open-loop Bernoulli injector: each node offers a packet with probability
-/// rate/flits_per_packet per cycle (so `rate` is offered flits per node per
-/// cycle) and runs the simulator cycle by cycle.
-class BernoulliInjector {
- public:
-  BernoulliInjector(sim::WormholeSim& simulator, TrafficPattern& pattern, double offered_flits,
-                    std::uint64_t seed);
-
-  /// Advances `cycles`, injecting as it goes. Returns false when the
-  /// simulator deadlocks.
-  bool run(std::uint64_t cycles);
-  /// Stops offering new packets and lets the network drain.
-  sim::RunResult drain(std::uint64_t max_cycles);
-
-  [[nodiscard]] std::size_t offered() const { return offered_; }
-
- private:
-  sim::WormholeSim& sim_;
-  TrafficPattern& pattern_;
-  double packet_probability_;
-  Xoshiro256 rng_;
-  std::size_t offered_ = 0;
 };
 
 }  // namespace servernet

@@ -1,0 +1,6 @@
+// Seeded violation: bench reaching into non-public headers.
+#include "util/ok.hpp"
+#include "verify/detail/epsilon.hpp"
+#include "helpers.cpp"
+
+int main() { return 0; }

@@ -1,0 +1,17 @@
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <set>
+
+namespace fixture {
+
+int g_rolls = 0;
+
+int roll() {
+  std::random_device rd;
+  return static_cast<int>(rd() + rand() + time(nullptr));
+}
+
+std::set<int*> g_watchers_by_address;
+
+}  // namespace fixture

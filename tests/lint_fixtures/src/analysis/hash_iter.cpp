@@ -1,0 +1,33 @@
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+int sum_hash_order() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}
+
+bool any_marked() {
+  std::unordered_set<int> marked;
+  bool any = false;
+  // sn-lint: allow(determinism.unordered-iteration): order-independent bool fold, fixture for the suppression path
+  for (const int m : marked) any = any || (m > 0);
+  return any;
+}
+
+int unjustified() {
+  std::unordered_set<int> bag;
+  int n = 0;
+  // sn-lint: allow(determinism.unordered-iteration)
+  for (const int b : bag) n += b;
+  return n;
+}
+
+// sn-lint: allow(determinism.no-such-rule): typo fixture
+int typo_marker() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Second half of the seeded mystery <-> enigma module cycle.
+#pragma once
+
+#include "mystery/widget.hpp"
+
+namespace fixture {
+inline int gadget() { return 2; }
+}  // namespace fixture

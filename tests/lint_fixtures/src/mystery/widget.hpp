@@ -1,0 +1,8 @@
+// Seeded violations: module missing from the layer map, include cycle.
+#pragma once
+
+#include "enigma/gadget.hpp"
+
+namespace fixture {
+inline int widget() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Seeded violation: topo (layer 2) reaching up into verify (layer 9).
+#pragma once
+
+#include "util/ok.hpp"
+#include "verify/verdict.hpp"
+
+namespace fixture {
+inline int topo_marker() { return 1; }
+}  // namespace fixture

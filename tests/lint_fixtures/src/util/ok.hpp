@@ -1,0 +1,12 @@
+// Clean fixture header: no findings expected anywhere in this file.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+constexpr std::uint32_t kAnswer = 42;
+
+[[nodiscard]] inline std::uint32_t twice(std::uint32_t x) { return 2 * x; }
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+#include "verify/verdict.hpp"
+
+#include <utility>
+
+namespace fixture {
+
+struct Table {};
+
+struct Sim {
+  void swap_table(Table t) { static_cast<void>(t); }
+};
+
+void install_unchecked(Sim& sim, Table t) {
+  sim.swap_table(std::move(t));
+}
+
+bool verify_fabric(const Table&) { return true; }
+
+void install_checked(Sim& sim, Table t) {
+  if (!verify_fabric(t)) return;
+  sim.swap_table(std::move(t));
+}
+
+void require_like() {
+  SN_REQUIRE(true, "bare literal message");
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded violations: float in verdict code, using-namespace in a header.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+
+struct Verdict {
+  double score = 0.0;
+  bool certified = false;
+};
+
+}  // namespace fixture

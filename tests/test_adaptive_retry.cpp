@@ -4,6 +4,7 @@
 // the price of reordering and retransmission.
 #include <gtest/gtest.h>
 
+#include "route/fat_tree_routes.hpp"
 #include "route/multipath.hpp"
 #include "route/shortest_path.hpp"
 #include "sim/wormhole_sim.hpp"
@@ -13,6 +14,7 @@
 #include "topo/ring.hpp"
 #include "util/assert.hpp"
 #include "workload/scenarios.hpp"
+#include "sim/injector.hpp"
 #include "workload/traffic.hpp"
 
 namespace servernet {
@@ -22,7 +24,7 @@ namespace {
 
 TEST(Multipath, FromTableIsSingletons) {
   const FatTree tree(FatTreeSpec{});
-  const RoutingTable rt = tree.routing();
+  const RoutingTable rt = fat_tree_routing(tree);
   const MultipathTable mp = MultipathTable::from_table(tree.net(), rt);
   EXPECT_EQ(mp.max_fanout(), 1U);
   for (RouterId r : tree.net().all_routers()) {
@@ -48,7 +50,7 @@ TEST(Multipath, AddChoiceDeduplicates) {
 
 TEST(Multipath, FatTreeAdaptiveWidensClimbsOnly) {
   const FatTree tree(FatTreeSpec{});
-  const MultipathTable mp = tree.adaptive_routing();
+  const MultipathTable mp = fat_tree_adaptive_routing(tree);
   EXPECT_EQ(mp.max_fanout(), 2U);  // both uplinks admissible
   // Leaf router 0: remote destination — two choices; local — one.
   const RouterId leaf = tree.router(0, 0, 0);
@@ -63,8 +65,8 @@ TEST(Multipath, FatTreeAdaptiveWidensClimbsOnly) {
 
 TEST(Multipath, FirstChoiceProjectionReproducesDeterministicTable) {
   const FatTree tree(FatTreeSpec{});
-  const RoutingTable rt = tree.routing();
-  const RoutingTable projected = tree.adaptive_routing().first_choice_table();
+  const RoutingTable rt = fat_tree_routing(tree);
+  const RoutingTable projected = fat_tree_adaptive_routing(tree).first_choice_table();
   for (RouterId r : tree.net().all_routers()) {
     for (NodeId d : tree.net().all_nodes()) {
       EXPECT_EQ(projected.port(r, d), rt.port(r, d));
@@ -81,10 +83,10 @@ TEST(AdaptiveSim, DeliversEverythingWithoutDeadlock) {
   cfg.fifo_depth = 4;
   cfg.flits_per_packet = 8;
   cfg.no_progress_threshold = 5000;
-  sim::WormholeSim s(tree.net(), tree.routing(), cfg);
-  s.route_adaptively(tree.adaptive_routing());
+  sim::WormholeSim s(tree.net(), fat_tree_routing(tree), cfg);
+  s.route_adaptively(fat_tree_adaptive_routing(tree));
   UniformTraffic pattern(tree.net().node_count());
-  BernoulliInjector injector(s, pattern, 0.4, /*seed=*/5);
+  sim::BernoulliInjector injector(s, pattern, 0.4, /*seed=*/5);
   ASSERT_TRUE(injector.run(2000));
   EXPECT_EQ(injector.drain(300000).outcome, sim::RunOutcome::kCompleted);
   EXPECT_EQ(s.packets_delivered(), s.packets_offered());
@@ -99,7 +101,7 @@ TEST(AdaptiveSim, BreaksInOrderDeliveryUnderContention) {
   // committed worm clear the shared input buffer, so the next stream
   // packet sees the backlog, takes the other uplink, and overtakes.
   const FatTree tree(FatTreeSpec{});
-  const RoutingTable rt = tree.routing();
+  const RoutingTable rt = fat_tree_routing(tree);
   // Widen ONLY the leaf-level climb entries for destination 63; the
   // background keeps its fixed paths.
   MultipathTable mp = MultipathTable::from_table(tree.net(), rt);
@@ -132,9 +134,9 @@ TEST(AdaptiveSim, BreaksInOrderDeliveryUnderContention) {
 
 TEST(AdaptiveSim, MutuallyExclusiveWithTurnEnforcement) {
   const FatTree tree(FatTreeSpec{});
-  const RoutingTable rt = tree.routing();
+  const RoutingTable rt = fat_tree_routing(tree);
   sim::WormholeSim s(tree.net(), rt, sim::SimConfig{});
-  s.route_adaptively(tree.adaptive_routing());
+  s.route_adaptively(fat_tree_adaptive_routing(tree));
   EXPECT_THROW(s.enforce_turns(TurnMask(tree.net(), true)), PreconditionError);
 }
 
@@ -166,7 +168,7 @@ TEST(TimeoutRetry, NoRetriesOnHealthyTraffic) {
   sim::WormholeSim s(mesh.net(), dimension_order_routes(mesh), cfg);
   s.enable_timeout_retry(2000);
   UniformTraffic pattern(mesh.net().node_count());
-  BernoulliInjector injector(s, pattern, 0.1, /*seed=*/9);
+  sim::BernoulliInjector injector(s, pattern, 0.1, /*seed=*/9);
   ASSERT_TRUE(injector.run(1000));
   ASSERT_EQ(injector.drain(100000).outcome, sim::RunOutcome::kCompleted);
   EXPECT_EQ(s.packets_retried(), 0U);

@@ -9,6 +9,8 @@
 #include "core/expansion.hpp"
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fat_tree_routes.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "route/table_compression.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/fully_connected.hpp"
@@ -119,7 +121,7 @@ TEST(Saturation, TwoRouterGroupClosedForm) {
   // M=2 group: the inter-router link carries 25 of the 90 ordered routes;
   // lambda_sat = (N-1)/L = 9/25.
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
-  const SaturationEstimate est = uniform_saturation(g.net(), g.routing());
+  const SaturationEstimate est = uniform_saturation(g.net(), fully_connected_routing(g));
   EXPECT_EQ(est.bottleneck_load, 25U);
   EXPECT_NEAR(est.lambda_sat, 9.0 / 25.0, 1e-12);
   const Channel& c = g.net().channel(est.bottleneck);
@@ -132,7 +134,7 @@ TEST(Saturation, FractahedronOutpacesFatTree) {
   // analytic saturation point is well above the 4-2 fat tree's.
   const FatTree tree(FatTreeSpec{});
   const Fractahedron fracta(FractahedronSpec{});
-  const double tree_sat = uniform_saturation(tree.net(), tree.routing()).lambda_sat;
+  const double tree_sat = uniform_saturation(tree.net(), fat_tree_routing(tree)).lambda_sat;
   const double fracta_sat = uniform_saturation(fracta.net(), fracta.routing()).lambda_sat;
   EXPECT_GT(fracta_sat, 1.5 * tree_sat);
 }
@@ -152,7 +154,7 @@ TEST(TableCompression, UniformColumnIsOneRule) {
   // In a 2-router group, the far router reaches every remote node through
   // one port -> its column over those addresses is near-uniform.
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
-  const RoutingTable table = g.routing();
+  const RoutingTable table = fully_connected_routing(g);
   // Router 1, destinations 0..4 (all behind router 0): single port.
   const std::size_t rules = prefix_rules_for_router(table, g.router(1), 2);
   // Column: five entries 'peer port' then five local node ports -> the

@@ -4,6 +4,7 @@
 
 #include "analysis/contention.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "route/path.hpp"
 #include "topo/fully_connected.hpp"
 #include "topo/mesh.hpp"
@@ -62,7 +63,7 @@ TEST(Contention, NodeLinksCanBeIncluded) {
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
   ContentionOptions options;
   options.router_links_only = false;
-  const ContentionReport report = max_link_contention(g.net(), g.routing(), options);
+  const ContentionReport report = max_link_contention(g.net(), fully_connected_routing(g), options);
   // A node's delivery channel carries at most one transfer of a partial
   // permutation; the inter-router link still dominates at 5.
   EXPECT_EQ(report.worst.contention, 5U);
@@ -70,7 +71,7 @@ TEST(Contention, NodeLinksCanBeIncluded) {
 
 TEST(Contention, TwoRouterGroupIsFiveToOne) {
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
-  const ContentionReport report = max_link_contention(g.net(), g.routing());
+  const ContentionReport report = max_link_contention(g.net(), fully_connected_routing(g));
   EXPECT_EQ(report.worst.contention, 5U);
   // The witness sources all live on one router, targets on the other.
   for (const Transfer& t : report.worst.witness) {

@@ -22,7 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "exec/sharded_sweep.hpp"
-#include "exec/worker_pool.hpp"
+#include "util/worker_pool.hpp"
 #include "recovery/replay.hpp"
 #include "topo/fault.hpp"
 #include "verify/registry.hpp"
@@ -45,7 +45,7 @@ const char* const kSmallCombos[] = {"tetrahedron", "ring-8-updown", "ring-4-date
                                     "dual-mesh-3x3-dor", "ring-4-unrestricted"};
 
 TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
-  exec::WorkerPool pool(8);
+  WorkerPool pool(8);
   EXPECT_EQ(pool.jobs(), 8U);
   constexpr std::size_t kCount = 10000;
   std::vector<std::atomic<int>> hits(kCount);
@@ -61,7 +61,7 @@ TEST(WorkerPool, StealingCoversSkewedWork) {
   // All the weight lands in worker 0's initial chunk; the other workers
   // must steal it or the pool leaves most of the time on the table. Either
   // way every index runs exactly once — that is the assertable contract.
-  exec::WorkerPool pool(4);
+  WorkerPool pool(4);
   constexpr std::size_t kCount = 64;
   std::vector<std::atomic<int>> hits(kCount);
   pool.run(kCount, [&](unsigned /*worker*/, std::size_t index) {
@@ -76,7 +76,7 @@ TEST(WorkerPool, StealingCoversSkewedWork) {
 }
 
 TEST(WorkerPool, SerialModeStaysOnCallingThread) {
-  exec::WorkerPool pool(1);
+  WorkerPool pool(1);
   EXPECT_EQ(pool.jobs(), 1U);
   const std::thread::id caller = std::this_thread::get_id();
   std::vector<std::size_t> order;
@@ -94,21 +94,21 @@ TEST(WorkerPool, SerialModeStaysOnCallingThread) {
 }
 
 TEST(WorkerPool, ZeroCountRunsNothing) {
-  exec::WorkerPool pool(4);
+  WorkerPool pool(4);
   std::atomic<int> calls{0};
   pool.run(0, [&](unsigned, std::size_t) { calls.fetch_add(1); });
   EXPECT_EQ(calls.load(), 0);
 }
 
 TEST(WorkerPool, CountBelowJobsStillCoversAll) {
-  exec::WorkerPool pool(8);
+  WorkerPool pool(8);
   std::vector<std::atomic<int>> hits(3);
   pool.run(3, [&](unsigned, std::size_t index) { hits[index].fetch_add(1); });
   for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
 TEST(WorkerPool, ExceptionPropagatesAndPoolSurvives) {
-  exec::WorkerPool pool(4);
+  WorkerPool pool(4);
   EXPECT_THROW(pool.run(100,
                         [&](unsigned, std::size_t index) {
                           if (index == 37) throw std::runtime_error("task 37 failed");
@@ -121,13 +121,13 @@ TEST(WorkerPool, ExceptionPropagatesAndPoolSurvives) {
 }
 
 TEST(WorkerPool, HardwareJobsIsPositive) {
-  EXPECT_GE(exec::WorkerPool::hardware_jobs(), 1U);
-  exec::WorkerPool defaulted;  // jobs = 0 resolves to hardware_jobs()
-  EXPECT_EQ(defaulted.jobs(), exec::WorkerPool::hardware_jobs());
+  EXPECT_GE(WorkerPool::hardware_jobs(), 1U);
+  WorkerPool defaulted;  // jobs = 0 resolves to hardware_jobs()
+  EXPECT_EQ(defaulted.jobs(), WorkerPool::hardware_jobs());
 }
 
 TEST(WorkerPool, WorkerIdsStayInRange) {
-  exec::WorkerPool pool(3);
+  WorkerPool pool(3);
   std::atomic<bool> bad{false};
   pool.run(200, [&](unsigned worker, std::size_t) {
     if (worker >= 3) bad.store(true);

@@ -7,6 +7,7 @@
 #include "analysis/contention.hpp"
 #include "analysis/cycles.hpp"
 #include "analysis/hops.hpp"
+#include "route/fat_tree_routes.hpp"
 #include "route/path.hpp"
 #include "topo/fat_tree.hpp"
 #include "util/assert.hpp"
@@ -42,14 +43,14 @@ TEST(FatTree, Paper33ShapeIsHundredRouters) {
 TEST(FatTree, Paper33AverageHops) {
   // §3.3: "transfers would take an average of 5.9 router hops".
   const FatTree t(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
-  const HopStats stats = hop_stats(t.net(), t.routing());
+  const HopStats stats = hop_stats(t.net(), fat_tree_routing(t));
   EXPECT_NEAR(stats.avg_routed, 5.9, 0.1);
 }
 
 TEST(FatTree, Paper42AverageHops) {
   // Table 2: average hops 4.4 for the 4-2 fat tree.
   const FatTree t(FatTreeSpec{});
-  const HopStats stats = hop_stats(t.net(), t.routing());
+  const HopStats stats = hop_stats(t.net(), fat_tree_routing(t));
   EXPECT_NEAR(stats.avg_routed, 4.4, 0.05);
   EXPECT_EQ(stats.max_routed, 5U);  // up 2, across the root, down 2, plus leaf
   EXPECT_DOUBLE_EQ(stats.stretch(), 1.0);  // up/down is minimal on a tree
@@ -114,7 +115,7 @@ TEST_P(FatTreeRouting, AllPairsRoute) {
   const FatTree t(FatTreeSpec{.nodes = c.nodes, .down = c.down, .up = c.up,
                               .router_ports = static_cast<PortIndex>(c.down + c.up),
                               .policy = c.policy});
-  const RoutingTable table = t.routing();
+  const RoutingTable table = fat_tree_routing(t);
   table.validate_against(t.net());
   EXPECT_FALSE(first_route_failure(t.net(), table).has_value());
 }
@@ -124,7 +125,7 @@ TEST_P(FatTreeRouting, DeadlockFree) {
   const FatTree t(FatTreeSpec{.nodes = c.nodes, .down = c.down, .up = c.up,
                               .router_ports = static_cast<PortIndex>(c.down + c.up),
                               .policy = c.policy});
-  EXPECT_TRUE(is_acyclic(build_cdg(t.net(), t.routing())));
+  EXPECT_TRUE(is_acyclic(build_cdg(t.net(), fat_tree_routing(t))));
 }
 
 TEST_P(FatTreeRouting, PathsAreFixedAndMinimalOnTheVirtualTree) {
@@ -132,7 +133,7 @@ TEST_P(FatTreeRouting, PathsAreFixedAndMinimalOnTheVirtualTree) {
   const FatTree t(FatTreeSpec{.nodes = c.nodes, .down = c.down, .up = c.up,
                               .router_ports = static_cast<PortIndex>(c.down + c.up),
                               .policy = c.policy});
-  const RoutingTable table = t.routing();
+  const RoutingTable table = fat_tree_routing(t);
   for (std::uint32_t s = 0; s < c.nodes; s += 7) {
     for (std::uint32_t d = 0; d < c.nodes; d += 5) {
       if (s == d) continue;
@@ -166,7 +167,7 @@ TEST(FatTree, PaperTwelveToOneScenario) {
   const FatTree t(FatTreeSpec{});
   const auto transfers = scenarios::fat_tree_quadrant_squeeze(t);
   ASSERT_EQ(transfers.size(), 12U);
-  EXPECT_EQ(scenario_contention(t.net(), t.routing(), transfers), 12U);
+  EXPECT_EQ(scenario_contention(t.net(), fat_tree_routing(t), transfers), 12U);
 }
 
 TEST(FatTree, ExhaustiveContentionAtLeastTwelveUnderAnyPolicy) {
@@ -175,7 +176,7 @@ TEST(FatTree, ExhaustiveContentionAtLeastTwelveUnderAnyPolicy) {
   for (const UplinkPolicy policy :
        {UplinkPolicy::kHighDigits, UplinkPolicy::kLowDigits, UplinkPolicy::kHashed}) {
     const FatTree t(FatTreeSpec{.policy = policy});
-    const ContentionReport report = max_link_contention(t.net(), t.routing());
+    const ContentionReport report = max_link_contention(t.net(), fat_tree_routing(t));
     EXPECT_GE(report.worst.contention, 12U) << "policy " << static_cast<int>(policy);
   }
 }
@@ -185,10 +186,10 @@ TEST(FatTree, ExhaustiveContentionFindsDescentSqueeze) {
   // descends a single top-level link under the high-digit partition, so
   // the true worst case is 16:1, above the paper's quoted 12:1.
   const FatTree t(FatTreeSpec{});
-  const ContentionReport report = max_link_contention(t.net(), t.routing());
+  const ContentionReport report = max_link_contention(t.net(), fat_tree_routing(t));
   EXPECT_EQ(report.worst.contention, 16U);
   // The witness is a valid partial permutation.
-  EXPECT_EQ(scenario_contention(t.net(), t.routing(), report.worst.witness),
+  EXPECT_EQ(scenario_contention(t.net(), fat_tree_routing(t), report.worst.witness),
             report.worst.contention);
 }
 
@@ -196,7 +197,7 @@ TEST(FatTree, SingleLeafDegenerateCase) {
   const FatTree t(FatTreeSpec{.nodes = 4, .down = 4, .up = 2});
   EXPECT_EQ(t.levels(), 0U);
   EXPECT_EQ(t.net().router_count(), 1U);
-  EXPECT_FALSE(first_route_failure(t.net(), t.routing()).has_value());
+  EXPECT_FALSE(first_route_failure(t.net(), fat_tree_routing(t)).has_value());
 }
 
 TEST(FatTree, RejectsBadSpecs) {

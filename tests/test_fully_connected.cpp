@@ -6,6 +6,7 @@
 #include "analysis/contention.hpp"
 #include "analysis/cycles.hpp"
 #include "analysis/hops.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "route/path.hpp"
 #include "topo/fully_connected.hpp"
 #include "util/assert.hpp"
@@ -67,7 +68,7 @@ TEST_P(Figure3, MeasuredContentionMatchesAnalytic) {
   const Figure3Row row = GetParam();
   if (row.routers < 2) GTEST_SKIP();
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = row.routers});
-  const RoutingTable table = g.routing();
+  const RoutingTable table = fully_connected_routing(g);
   const ContentionReport report = max_link_contention(g.net(), table);
   EXPECT_EQ(report.worst.contention, row.contention);
 }
@@ -87,7 +88,7 @@ class FullyConnectedRouting : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(FullyConnectedRouting, AllPairsRouteInAtMostTwoRouterHops) {
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = GetParam()});
-  const RoutingTable table = g.routing();
+  const RoutingTable table = fully_connected_routing(g);
   table.validate_against(g.net());
   for (NodeId s : g.net().all_nodes()) {
     for (NodeId d : g.net().all_nodes()) {
@@ -101,13 +102,13 @@ TEST_P(FullyConnectedRouting, AllPairsRouteInAtMostTwoRouterHops) {
 
 TEST_P(FullyConnectedRouting, DeadlockFree) {
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = GetParam()});
-  const ChannelDependencyGraph cdg = build_cdg(g.net(), g.routing());
+  const ChannelDependencyGraph cdg = build_cdg(g.net(), fully_connected_routing(g));
   EXPECT_TRUE(is_acyclic(cdg));
 }
 
 TEST_P(FullyConnectedRouting, RoutingKeyedOnHomeRouter) {
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = GetParam()});
-  const RoutingTable table = g.routing();
+  const RoutingTable table = fully_connected_routing(g);
   // From any router, all destinations behind the same peer use the same
   // port — the "exactly two bits of the destination node identifier"
   // property the paper highlights for the tetrahedron.
@@ -128,7 +129,7 @@ TEST(FullyConnected, GeneralizesToOtherRadixes) {
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = 5, .router_ports = 8});
   EXPECT_EQ(g.net().node_count(), 5U * 4U);
   EXPECT_EQ(FullyConnectedGroup::analytic_max_contention(5, 8), 4U);
-  const ContentionReport report = max_link_contention(g.net(), g.routing());
+  const ContentionReport report = max_link_contention(g.net(), fully_connected_routing(g));
   EXPECT_EQ(report.worst.contention, 4U);
 }
 
@@ -148,7 +149,7 @@ TEST(FullyConnected, RejectsInvalidSpecs) {
 
 TEST(FullyConnected, HopStatistics) {
   const FullyConnectedGroup tetra(FullyConnectedSpec{});
-  const HopStats stats = hop_stats(tetra.net(), tetra.routing());
+  const HopStats stats = hop_stats(tetra.net(), fully_connected_routing(tetra));
   EXPECT_EQ(stats.max_routed, 2U);
   // Within a router: 1 hop (2 of 11 peers); across: 2 hops.
   EXPECT_NEAR(stats.avg_routed, (2.0 * 1 + 9.0 * 2) / 11.0, 1e-9);

@@ -9,11 +9,13 @@
 #include "analysis/hops.hpp"
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fat_tree_routes.hpp"
 #include "route/path.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/mesh.hpp"
 #include "workload/scenarios.hpp"
+#include "sim/injector.hpp"
 #include "workload/traffic.hpp"
 
 namespace servernet {
@@ -30,7 +32,7 @@ TEST(TableTwo, HeadToHead) {
   EXPECT_EQ(tree.net().router_count(), 28U);
   EXPECT_EQ(fracta.net().router_count(), 48U);
 
-  const RoutingTable tree_table = tree.routing();
+  const RoutingTable tree_table = fat_tree_routing(tree);
   const RoutingTable fracta_table = fracta.routing();
   EXPECT_NEAR(hop_stats(tree.net(), tree_table).avg_routed, 4.4, 0.05);
   EXPECT_NEAR(hop_stats(fracta.net(), fracta_table).avg_routed, 4.3, 0.05);
@@ -105,7 +107,7 @@ TEST(SimVsAnalysis, ContentionShowsUpAsLatency) {
   cfg.flits_per_packet = 8;
 
   const FatTree tree(FatTreeSpec{});
-  const RoutingTable tree_table = tree.routing();
+  const RoutingTable tree_table = fat_tree_routing(tree);
   sim::WormholeSim tree_sim(tree.net(), tree_table, cfg);
   for (int rep = 0; rep < 8; ++rep) {
     for (const Transfer& t : scenarios::fat_tree_quadrant_squeeze(tree)) {
@@ -144,7 +146,7 @@ TEST(SimVsAnalysis, AcyclicTopologiesNeverDeadlockUnderStress) {
   }
   {
     const FatTree tree(FatTreeSpec{.nodes = 32});
-    cases.push_back({"fat-tree", tree.net(), tree.routing()});
+    cases.push_back({"fat-tree", tree.net(), fat_tree_routing(tree)});
   }
   {
     FractahedronSpec spec;
@@ -161,7 +163,7 @@ TEST(SimVsAnalysis, AcyclicTopologiesNeverDeadlockUnderStress) {
     cfg.no_progress_threshold = 5000;
     sim::WormholeSim s(c.net, c.table, cfg);
     UniformTraffic pattern(c.net.node_count());
-    BernoulliInjector injector(s, pattern, 0.8, /*seed=*/17);
+    sim::BernoulliInjector injector(s, pattern, 0.8, /*seed=*/17);
     ASSERT_TRUE(injector.run(2000)) << c.name << " deadlocked during injection";
     EXPECT_EQ(injector.drain(500000).outcome, sim::RunOutcome::kCompleted) << c.name;
     EXPECT_EQ(s.metrics().out_of_order_deliveries(), 0U) << c.name;

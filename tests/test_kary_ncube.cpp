@@ -68,7 +68,7 @@ TEST(KAryNCube, DorMatchesDedicatedMeshRouting) {
   // (modulo port numbering): path lengths agree on every pair.
   const KAryNCube generic(KAryNCubeSpec{.dims = {4, 4}, .nodes_per_router = 2});
   const Mesh2D dedicated(MeshSpec{.cols = 4, .rows = 4});
-  const RoutingTable gt = generic.dimension_order();
+  const RoutingTable gt = dimension_order_routes(generic);
   const RoutingTable dt = dimension_order_routes(dedicated);
   for (NodeId s : generic.net().all_nodes()) {
     for (NodeId d : generic.net().all_nodes()) {
@@ -83,7 +83,7 @@ class MeshDims : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
 
 TEST_P(MeshDims, DimensionOrderIsMinimalAndDeadlockFree) {
   const KAryNCube cube(KAryNCubeSpec{.dims = GetParam()});
-  const RoutingTable table = cube.dimension_order();
+  const RoutingTable table = dimension_order_routes(cube);
   EXPECT_FALSE(first_route_failure(cube.net(), table).has_value());
   const HopStats stats = hop_stats(cube.net(), table);
   EXPECT_DOUBLE_EQ(stats.stretch(), 1.0);
@@ -104,7 +104,7 @@ TEST(KAryNCube, TorusDimensionOrderIsCyclic) {
   // Minimal routing over wraps closes dependency loops — the §2 premise
   // in n dimensions, and why E15 needs dateline VCs.
   const KAryNCube torus(KAryNCubeSpec{.dims = {4, 4}, .wrap = true});
-  EXPECT_FALSE(is_acyclic(build_cdg(torus.net(), torus.dimension_order())));
+  EXPECT_FALSE(is_acyclic(build_cdg(torus.net(), dimension_order_routes(torus))));
 }
 
 TEST(KAryNCube, Section31InThreeDimensions) {
@@ -117,7 +117,7 @@ TEST(KAryNCube, Section31InThreeDimensions) {
   EXPECT_EQ(cube.net().node_count(), 1024U);
   EXPECT_EQ(flat.spec().router_ports, 6U);
   EXPECT_EQ(cube.spec().router_ports, 8U);
-  const RouteResult far = trace_route(cube.net(), cube.dimension_order(),
+  const RouteResult far = trace_route(cube.net(), dimension_order_routes(cube),
                                       cube.node_at({0, 0, 0}), cube.node_at({7, 7, 7}));
   ASSERT_TRUE(far.ok());
   EXPECT_EQ(far.path.router_hops(), 7U * 3U + 1U);  // 22 vs the 2-D mesh's 45
@@ -134,7 +134,7 @@ TEST(KAryNCube, Validation) {
 TEST(KAryNCube, SingleExtentDimensionsAreDegenerate) {
   const KAryNCube line(KAryNCubeSpec{.dims = {1, 5}});
   EXPECT_EQ(line.net().router_count(), 5U);
-  EXPECT_FALSE(first_route_failure(line.net(), line.dimension_order()).has_value());
+  EXPECT_FALSE(first_route_failure(line.net(), dimension_order_routes(line)).has_value());
 }
 
 }  // namespace

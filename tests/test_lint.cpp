@@ -1,0 +1,199 @@
+// servernet-lint engine tests: every seeded fixture violation in
+// tests/lint_fixtures/ is detected with the exact rule id and file:line
+// witness, the suppression mechanism works (and demands justifications),
+// the JSON report is byte-deterministic, and — the gate the CI lint job
+// relies on — the real tree scans clean.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lint/rules.hpp"
+#include "lint/source_model.hpp"
+
+namespace servernet::lint {
+namespace {
+
+std::string repo_root() { return SN_LINT_REPO_ROOT; }
+std::string fixture_root() { return repo_root() + "/tests/lint_fixtures"; }
+
+const Finding* find_finding(const Report& report, const std::string& rule,
+                            const std::string& file, std::size_t line) {
+  for (const Finding& f : report.findings()) {
+    if (f.rule == rule && f.file == file && f.line == line) return &f;
+  }
+  return nullptr;
+}
+
+/// One scan of the seeded-violation corpus, shared across tests.
+const Report& fixture_report() {
+  static const Report kReport = run_lint(load_source_tree(fixture_root()));
+  return kReport;
+}
+
+void expect_unsuppressed(const std::string& rule, const std::string& file, std::size_t line) {
+  const Finding* f = find_finding(fixture_report(), rule, file, line);
+  ASSERT_NE(f, nullptr) << rule << " not found at " << file << ":" << line;
+  EXPECT_FALSE(f->suppressed) << rule << " at " << file << ":" << line;
+}
+
+TEST(LintRegistry, SortedUniqueIdsAndLookup) {
+  const std::vector<Rule>& all = rules();
+  ASSERT_FALSE(all.empty());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].id, all[i].id) << "registry must be sorted by id";
+  }
+  EXPECT_TRUE(known_rule("layering.upward-include"));
+  EXPECT_TRUE(known_rule("determinism.unordered-iteration"));
+  EXPECT_FALSE(known_rule("determinism.no-such-rule"));
+}
+
+TEST(LintRegistry, LayerOrderMatchesArchitecture) {
+  EXPECT_EQ(layer_rank("util"), 0);
+  EXPECT_LT(layer_rank("topo"), layer_rank("route"));
+  EXPECT_LT(layer_rank("route"), layer_rank("analysis"));
+  EXPECT_LT(layer_rank("sim"), layer_rank("verify"));
+  EXPECT_LT(layer_rank("verify"), layer_rank("recovery"));
+  EXPECT_LT(layer_rank("recovery"), layer_rank("exec"));
+  EXPECT_EQ(layer_rank("no-such-module"), -1);
+}
+
+TEST(LintFixtures, LayeringUpwardInclude) {
+  expect_unsuppressed("layering.upward-include", "src/topo/upward.hpp", 5);
+}
+
+TEST(LintFixtures, LayeringModuleCycle) {
+  const Finding* f =
+      find_finding(fixture_report(), "layering.module-cycle", "src/enigma/gadget.hpp", 4);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->suppressed);
+  ASSERT_EQ(f->witness.size(), 2U);
+  EXPECT_EQ(f->witness[0], "enigma -> mystery (src/enigma/gadget.hpp:4)");
+  EXPECT_EQ(f->witness[1], "mystery -> enigma (src/mystery/widget.hpp:4)");
+}
+
+TEST(LintFixtures, LayeringUnknownModule) {
+  expect_unsuppressed("layering.unknown-module", "src/enigma/gadget.hpp", 1);
+  expect_unsuppressed("layering.unknown-module", "src/mystery/widget.hpp", 1);
+}
+
+TEST(LintFixtures, LayeringNonpublicInclude) {
+  expect_unsuppressed("layering.nonpublic-include", "bench/rogue_bench.cpp", 3);
+  expect_unsuppressed("layering.nonpublic-include", "bench/rogue_bench.cpp", 4);
+}
+
+TEST(LintFixtures, DeterminismUnorderedIteration) {
+  expect_unsuppressed("determinism.unordered-iteration", "src/analysis/hash_iter.cpp", 10);
+}
+
+TEST(LintFixtures, DeterminismUnseededRng) {
+  expect_unsuppressed("determinism.unseeded-rng", "src/analysis/entropy.cpp", 11);  // random_device
+  expect_unsuppressed("determinism.unseeded-rng", "src/analysis/entropy.cpp", 12);  // rand/time
+}
+
+TEST(LintFixtures, DeterminismPointerOrder) {
+  expect_unsuppressed("determinism.pointer-order", "src/analysis/entropy.cpp", 15);
+}
+
+TEST(LintFixtures, CertifyUnverifiedSwap) {
+  expect_unsuppressed("certify.unverified-swap", "src/verify/verdict.cpp", 14);
+}
+
+TEST(LintFixtures, CertifyDominatedSwapNotFlagged) {
+  // install_checked() re-certifies before swapping — must stay silent.
+  EXPECT_EQ(find_finding(fixture_report(), "certify.unverified-swap", "src/verify/verdict.cpp", 21),
+            nullptr);
+}
+
+TEST(LintFixtures, CertifyRequireNamesInstance) {
+  expect_unsuppressed("certify.require-names-instance", "src/verify/verdict.cpp", 25);
+}
+
+TEST(LintFixtures, CertifyFloatVerdict) {
+  expect_unsuppressed("certify.float-verdict", "src/verify/verdict.hpp", 11);
+}
+
+TEST(LintFixtures, HygieneUsingNamespaceHeader) {
+  expect_unsuppressed("hygiene.using-namespace-header", "src/verify/verdict.hpp", 6);
+}
+
+TEST(LintFixtures, HygieneGlobalState) {
+  expect_unsuppressed("hygiene.global-state", "src/analysis/entropy.cpp", 8);
+  expect_unsuppressed("hygiene.global-state", "src/analysis/entropy.cpp", 15);
+}
+
+TEST(LintFixtures, JustifiedAllowSuppresses) {
+  const Finding* f = find_finding(fixture_report(), "determinism.unordered-iteration",
+                                  "src/analysis/hash_iter.cpp", 18);
+  ASSERT_NE(f, nullptr) << "suppressed findings must still be recorded";
+  EXPECT_TRUE(f->suppressed);
+  EXPECT_NE(f->justification.find("order-independent"), std::string::npos);
+}
+
+TEST(LintFixtures, AllowWithoutJustificationDoesNotSuppress) {
+  expect_unsuppressed("determinism.unordered-iteration", "src/analysis/hash_iter.cpp", 26);
+  expect_unsuppressed("lint.missing-justification", "src/analysis/hash_iter.cpp", 25);
+}
+
+TEST(LintFixtures, AllowNamingUnknownRuleIsFlagged) {
+  expect_unsuppressed("lint.unknown-rule", "src/analysis/hash_iter.cpp", 30);
+}
+
+TEST(LintFixtures, ExactFindingCounts) {
+  // A new false positive (or a silently dead rule) shows up here first.
+  EXPECT_EQ(fixture_report().findings().size(), 21U);
+  EXPECT_EQ(fixture_report().unsuppressed(), 20U);
+  EXPECT_EQ(fixture_report().suppressed(), 1U);
+  EXPECT_FALSE(fixture_report().clean());
+}
+
+TEST(LintFixtures, RuleFilterRunsOnlySelectedRules) {
+  LintOptions options;
+  options.only_rules = {"layering.upward-include"};
+  const Report filtered = run_lint(load_source_tree(fixture_root()), options);
+  EXPECT_NE(find_finding(filtered, "layering.upward-include", "src/topo/upward.hpp", 5), nullptr);
+  for (const Finding& f : filtered.findings()) {
+    const bool meta = f.rule.rfind("lint.", 0) == 0;
+    EXPECT_TRUE(meta || f.rule == "layering.upward-include") << f.rule;
+  }
+}
+
+TEST(LintFixtures, JsonByteIdenticalAcrossRuns) {
+  const Report first = run_lint(load_source_tree(fixture_root()));
+  const Report second = run_lint(load_source_tree(fixture_root()));
+  EXPECT_EQ(first.json(), second.json());
+  EXPECT_EQ(first.text(), second.text());
+}
+
+TEST(LintTree, RealTreeIsClean) {
+  const Report report = run_lint(load_source_tree(repo_root()));
+  std::string dirty;
+  for (const Finding& f : report.findings()) {
+    if (!f.suppressed) dirty += f.file + ":" + std::to_string(f.line) + " [" + f.rule + "]\n";
+  }
+  EXPECT_TRUE(report.clean()) << dirty;
+  // The three sanctioned exceptions (route->analysis reverse edges, the
+  // modular-CDG bool fold) stay visible as suppressed findings.
+  EXPECT_EQ(report.suppressed(), 3U);
+}
+
+TEST(LintTree, FixtureCorpusIsSkippedByTreeWalk) {
+  const SourceTree tree = load_source_tree(repo_root());
+  for (const SourceFile& f : tree.files) {
+    EXPECT_EQ(f.rel.find("lint_fixtures"), std::string::npos) << f.rel;
+  }
+}
+
+TEST(LintModel, StripperBlanksCommentsAndStrings) {
+  const std::string stripped = strip_comments_and_strings(
+      "int x = 1; // trailing comment\nconst char* s = \"double inside\";\n/* block\n*/ int y;\n");
+  EXPECT_EQ(stripped.find("comment"), std::string::npos);
+  EXPECT_EQ(stripped.find("double"), std::string::npos);
+  EXPECT_EQ(stripped.find("block"), std::string::npos);
+  EXPECT_NE(stripped.find("int x = 1;"), std::string::npos);
+  EXPECT_NE(stripped.find("int y;"), std::string::npos);
+  // Line structure is preserved so offsets map onto raw lines.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace servernet::lint

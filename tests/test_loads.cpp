@@ -8,6 +8,7 @@
 #include "analysis/reflexivity.hpp"
 #include "route/dimension_order.hpp"
 #include "route/ecube.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "route/path.hpp"
 #include "route/shortest_path.hpp"
 #include "route/updown.hpp"
@@ -58,7 +59,7 @@ TEST(LinkLoad, TransferListCountsOnlyListedRoutes) {
 
 TEST(LinkLoad, SummaryExcludesNodeChannels) {
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
-  const auto load = uniform_link_load(g.net(), g.routing());
+  const auto load = uniform_link_load(g.net(), fully_connected_routing(g));
   const LoadSummary summary = summarize_router_links(g.net(), load);
   EXPECT_EQ(summary.channels, 2U);  // the two directions of the single cable
   // Each direction carries 5x5 = 25 cross-router routes.
@@ -116,7 +117,7 @@ TEST(HopStats, StretchAboveOneForDetouringRoutes) {
 
 TEST(Reflexivity, FullyConnectedGroupsAreFullyReflexive) {
   const FullyConnectedGroup tetra(FullyConnectedSpec{});
-  const ReflexivityReport rep = reflexivity(tetra.net(), tetra.routing());
+  const ReflexivityReport rep = reflexivity(tetra.net(), fully_connected_routing(tetra));
   EXPECT_EQ(rep.pairs, 12U * 11U / 2U);
   EXPECT_EQ(rep.reflexive, rep.pairs);
   EXPECT_DOUBLE_EQ(rep.fraction(), 1.0);

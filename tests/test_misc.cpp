@@ -7,6 +7,7 @@
 
 #include "analysis/hops.hpp"
 #include "core/fractahedron.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "route/path.hpp"
 #include "route/shortest_path.hpp"
 #include "sim/deadlock_detector.hpp"
@@ -82,7 +83,7 @@ TEST(Describe, DeadlockReportEmptyCase) {
 
 TEST(Describe, PathRendering) {
   const FullyConnectedGroup tetra(FullyConnectedSpec{});
-  const RoutingTable table = tetra.routing();
+  const RoutingTable table = fully_connected_routing(tetra);
   const RouteResult r = trace_route(tetra.net(), table, tetra.node(0, 0), tetra.node(3, 2));
   ASSERT_TRUE(r.ok());
   const std::string text = describe(tetra.net(), r.path);

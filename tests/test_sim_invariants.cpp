@@ -8,11 +8,13 @@
 #include "analysis/link_load.hpp"
 #include "analysis/saturation.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "route/path.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "topo/fully_connected.hpp"
 #include "topo/mesh.hpp"
 #include "util/assert.hpp"
+#include "sim/injector.hpp"
 #include "workload/traffic.hpp"
 
 namespace servernet {
@@ -69,7 +71,7 @@ TEST(SimInvariants, RoundRobinArbitrationIsFair) {
   // single inter-router link; sustained pressure must serve all of them
   // within a bounded spread.
   const FullyConnectedGroup g(FullyConnectedSpec{.routers = 2});
-  const RoutingTable table = g.routing();
+  const RoutingTable table = fully_connected_routing(g);
   sim::SimConfig cfg;
   cfg.fifo_depth = 2;
   cfg.flits_per_packet = 4;
@@ -106,7 +108,7 @@ TEST(SimInvariants, LatencyNeverBelowUncontendedMinimum) {
   cfg.flits_per_packet = 6;
   sim::WormholeSim s(mesh.net(), table, cfg);
   UniformTraffic pattern(mesh.net().node_count());
-  BernoulliInjector injector(s, pattern, 0.2, /*seed=*/31);
+  sim::BernoulliInjector injector(s, pattern, 0.2, /*seed=*/31);
   ASSERT_TRUE(injector.run(1500));
   ASSERT_EQ(injector.drain(100000).outcome, sim::RunOutcome::kCompleted);
   // Minimum possible: 2 channels (adjacent via one router) + flits - 1.
@@ -143,7 +145,7 @@ TEST(SimInvariants, SaturationBoundIsAnUpperBoundInPractice) {
   cfg.no_progress_threshold = 100000;
   sim::WormholeSim s(mesh.net(), table, cfg);
   UniformTraffic pattern(mesh.net().node_count());
-  BernoulliInjector injector(s, pattern, est.lambda_sat * 2.0, /*seed=*/77);
+  sim::BernoulliInjector injector(s, pattern, est.lambda_sat * 2.0, /*seed=*/77);
   const std::uint64_t window = 4000;
   ASSERT_TRUE(injector.run(window));
   const double accepted = s.metrics().throughput_flits_per_cycle(window) /

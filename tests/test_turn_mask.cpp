@@ -9,6 +9,7 @@
 #include "analysis/cycles.hpp"
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
+#include "route/fat_tree_routes.hpp"
 #include "route/shortest_path.hpp"
 #include "route/turn_mask.hpp"
 #include "sim/deadlock_detector.hpp"
@@ -96,7 +97,7 @@ TEST(TurnMask, FractahedralMaskIsAcyclic) {
 
 TEST(TurnMask, FatTreeMaskIsAcyclic) {
   const FatTree tree(FatTreeSpec{});
-  EXPECT_TRUE(turn_graph_acyclic(tree.net(), turns_used_by(tree.net(), tree.routing())));
+  EXPECT_TRUE(turn_graph_acyclic(tree.net(), turns_used_by(tree.net(), fat_tree_routing(tree))));
 }
 
 TEST(TurnMask, GreedyRingMaskIsCyclic) {

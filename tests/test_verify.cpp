@@ -13,6 +13,8 @@
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
 #include "route/ecube.hpp"
+#include "route/fat_tree_routes.hpp"
+#include "route/fully_connected_routes.hpp"
 #include "route/shortest_path.hpp"
 #include "route/updown.hpp"
 #include "topo/cube_connected_cycles.hpp"
@@ -79,15 +81,15 @@ TEST(VerifyCertify, HypercubeEcube) {
 TEST(VerifyCertify, FullyConnectedGroups) {
   for (std::uint32_t m = 2; m <= 6; ++m) {
     const FullyConnectedGroup group(FullyConnectedSpec{.routers = m});
-    expect_certified(group.net(), group.routing());
+    expect_certified(group.net(), fully_connected_routing(group));
   }
 }
 
 TEST(VerifyCertify, FatTrees) {
   const FatTree tree42(FatTreeSpec{});
-  expect_certified(tree42.net(), tree42.routing());
+  expect_certified(tree42.net(), fat_tree_routing(tree42));
   const FatTree tree33(FatTreeSpec{.nodes = 64, .down = 3, .up = 3});
-  expect_certified(tree33.net(), tree33.routing());
+  expect_certified(tree33.net(), fat_tree_routing(tree33));
 }
 
 TEST(VerifyCertify, Fractahedrons) {
@@ -123,7 +125,7 @@ TEST(VerifyCertify, KAryNCubeFamilies) {
   VerifyOptions lenient;
   lenient.enforce_asic_ports = false;
   const Report mesh3d_report =
-      verify_fabric(mesh3d.net(), mesh3d.dimension_order(), lenient);
+      verify_fabric(mesh3d.net(), dimension_order_routes(mesh3d), lenient);
   EXPECT_TRUE(mesh3d_report.certified()) << mesh3d_report.text();
   EXPECT_EQ(find_rule(mesh3d_report, "hardware.radix")->severity, Severity::kWarning);
   const KAryNCube torus2d(KAryNCubeSpec{.dims = {4, 4}, .wrap = true});

@@ -9,19 +9,26 @@
 #                                               #   thread            -> build-tsan
 #   $ tools/check.sh --sanitize=thread          # one stage, TSan only
 #   $ tools/check.sh --sanitize="address;undefined" my-builddir
+#   $ tools/check.sh --lint                     # lint stage only:
+#                                               #   servernet-lint over the tree
+#                                               #   + standalone header compiles
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 sanitizers=()
 build_dir=""
+run_lint=0
 for arg in "$@"; do
   case "${arg}" in
     --sanitize=*)
       sanitizers+=("${arg#--sanitize=}")
       ;;
+    --lint)
+      run_lint=1
+      ;;
     -*)
-      echo "usage: tools/check.sh [--sanitize=<list>]... [build-dir]" >&2
+      echo "usage: tools/check.sh [--sanitize=<list>]... [--lint] [build-dir]" >&2
       exit 2
       ;;
     *)
@@ -29,6 +36,20 @@ for arg in "$@"; do
       ;;
   esac
 done
+if [ "${run_lint}" -eq 1 ]; then
+  dir="${build_dir:-${repo_root}/build-lint}"
+  echo "== check.sh: lint -> ${dir} =="
+  cmake -B "${dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSERVERNET_WERROR=ON \
+    -DSERVERNET_BUILD_BENCH=OFF \
+    -DSERVERNET_BUILD_EXAMPLES=OFF \
+    -DSERVERNET_BUILD_TESTS=OFF
+  cmake --build "${dir}" -j "$(nproc)" --target servernet-lint
+  "${dir}/tools/servernet-lint" --root "${repo_root}" --standalone
+  echo "check.sh: lint stage clean"
+  exit 0
+fi
 if [ "${#sanitizers[@]}" -eq 0 ]; then
   sanitizers=("address;undefined" "thread")
 fi

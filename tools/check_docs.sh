@@ -5,7 +5,7 @@
 #   1. relative markdown links [text](path) resolve to a real file, and
 #      their #anchors match a heading in the target (GitHub slugging);
 #   2. backtick code references that look like repo paths with an
-#      extension (`src/exec/worker_pool.hpp`, `tools/check.sh`,
+#      extension (`src/util/worker_pool.hpp`, `tools/check.sh`,
 #      `docs/CLI.md`) resolve to a real file.
 # External links (http/https/mailto) are not fetched.
 #

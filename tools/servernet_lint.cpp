@@ -1,0 +1,115 @@
+// servernet-lint: the project-specific static analyzer. Scans the repo's
+// own src/, tools/, bench/, and tests/ trees and enforces the layer DAG,
+// the determinism contract, certification-integrity invariants, and
+// header hygiene as structured rules with file:line witnesses
+// (docs/LINT.md has the catalog and the suppression policy).
+//
+//   servernet-lint --root .                  # text report, exit 1 if dirty
+//   servernet-lint --root . --json report.json
+//   servernet-lint --root . --rule layering.upward-include
+//   servernet-lint --root . --standalone --cxx g++
+//   servernet-lint --list-rules
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/standalone.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: servernet-lint [--root DIR] [--json PATH|-] [--rule ID]...\n"
+        "                      [--standalone] [--cxx CMD] [--list-rules]\n"
+        "\n"
+        "  --root DIR     source tree to scan (default: .)\n"
+        "  --json PATH    also write the JSON report to PATH ('-' = stdout,\n"
+        "                 replacing the text report)\n"
+        "  --rule ID      run only this rule (repeatable; meta lint.* rules\n"
+        "                 always run)\n"
+        "  --standalone   additionally compile every src/ header standalone\n"
+        "  --cxx CMD      compiler driver for --standalone (default: c++)\n"
+        "  --list-rules   print the rule registry and exit\n"
+        "\n"
+        "exit status: 0 clean, 1 unsuppressed findings, 2 usage error\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace servernet::lint;
+  std::string root = ".";
+  std::string json_path;
+  bool standalone = false;
+  bool list_rules = false;
+  LintOptions options;
+  StandaloneOptions standalone_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "servernet-lint: " << flag << " needs a value\n";
+        std::exit(usage(std::cerr, 2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--rule") {
+      options.only_rules.push_back(value("--rule"));
+    } else if (arg == "--standalone") {
+      standalone = true;
+    } else if (arg == "--cxx") {
+      standalone_options.cxx = value("--cxx");
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else {
+      std::cerr << "servernet-lint: unknown argument '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  if (list_rules) {
+    for (const Rule& rule : rules()) {
+      std::cout << rule.id << "\n    " << rule.summary << '\n';
+    }
+    return 0;
+  }
+
+  for (const std::string& id : options.only_rules) {
+    if (!known_rule(id)) {
+      std::cerr << "servernet-lint: unknown rule '" << id << "' (see --list-rules)\n";
+      return 2;
+    }
+  }
+
+  const SourceTree tree = load_source_tree(root);
+  Report report = run_lint(tree, options);
+  if (standalone) {
+    check_headers_standalone(tree, standalone_options, report);
+    apply_suppressions(tree, report);
+    report.sort();
+  }
+
+  if (json_path == "-") {
+    report.write_json(std::cout);
+  } else {
+    report.write_text(std::cout);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::trunc);
+      if (!out.good()) {
+        std::cerr << "servernet-lint: cannot write " << json_path << '\n';
+        return 2;
+      }
+      report.write_json(out);
+    }
+  }
+  return report.clean() ? 0 : 1;
+}
