@@ -1,0 +1,172 @@
+// Chaos campaign throughput — what does adversarial robustness cost?
+//
+// Runs the full chaos campaign suite (recovery/campaign) over every
+// certified fault-sweep combo and reports, per combo:
+//
+//   campaigns/s  generate + drive + judge throughput, wall clock
+//   recover p50/p99  detect-to-install latency over every recovery round
+//                    the campaigns forced (cycles) — the storm-load
+//                    counterpart to bench_recovery's clean single-fault
+//                    medians
+//
+// The point of the numbers: the invariant checker adds nothing measurable
+// on top of driving the simulator, a full multi-family campaign resolves
+// in milliseconds, and recovery latency under correlated storms stays in
+// the same few-hundred-cycle band as the clean replay sweep — graceful
+// degradation is not slower degradation.
+//
+// Also times the whole campaign suite at jobs=1 vs jobs=N through
+// exec/sharded_sweep — the worker-pool row CI tracks (on a single-core
+// host the two are expected to tie; see EXPERIMENTS.md).
+//
+// Writes BENCH_chaos.json (path = argv[1], default "BENCH_chaos.json")
+// for tracking regressions across PRs, and prints a human table.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exec/sharded_sweep.hpp"
+#include "recovery/campaign.hpp"
+#include "util/table.hpp"
+#include "util/worker_pool.hpp"
+#include "verify/registry.hpp"
+
+using namespace servernet;
+
+namespace {
+
+std::uint64_t percentile_cycles(std::vector<std::uint64_t> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(samples.size() - 1));
+  return samples[rank];
+}
+
+struct Row {
+  std::string name;
+  std::size_t campaigns = 0;
+  std::size_t passed = 0;
+  std::size_t rounds = 0;    // recovery rounds with a latency sample
+  std::size_t rejected = 0;  // budget-exhausted rounds across the suite
+  std::uint64_t recover_p50 = 0;
+  std::uint64_t recover_p99 = 0;
+  double ms = 0.0;
+  double campaigns_per_s = 0.0;
+};
+
+struct SweepRow {
+  unsigned jobs = 1;
+  double ms = 0.0;
+  unsigned hardware = 1;
+};
+
+void write_json(std::ostream& os, std::uint64_t seed, const std::vector<Row>& rows,
+                const std::vector<SweepRow>& sweeps, unsigned hardware_jobs) {
+  os << "{\n  \"bench\": \"chaos\",\n  \"unit\": \"cycles\",\n  \"seed\": " << seed
+     << ",\n  \"combos\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"name\": \"" << r.name << "\", \"campaigns\": " << r.campaigns
+       << ", \"passed\": " << r.passed << ", \"rounds\": " << r.rounds
+       << ", \"rounds_rejected\": " << r.rejected
+       << ", \"recover_cycles_p50\": " << r.recover_p50
+       << ", \"recover_cycles_p99\": " << r.recover_p99 << ", \"ms\": " << r.ms
+       << ", \"campaigns_per_s\": " << r.campaigns_per_s << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"hardware_jobs\": " << hardware_jobs << ",\n  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepRow& s = sweeps[i];
+    os << "    {\"workload\": \"chaos_all\", \"jobs\": " << s.jobs << ", \"ms\": " << s.ms
+       << ", \"hardware\": " << s.hardware << "}" << (i + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_chaos.json";
+  print_banner(std::cout, "chaos campaigns: throughput and recovery latency under storms");
+
+  recovery::CampaignGenOptions gen;
+  gen.seed = 1;
+  gen.campaigns = 3 * recovery::kCampaignFamilyCount;  // three of each family
+
+  std::vector<Row> rows;
+  for (const verify::RegistryCombo& combo : verify::registry()) {
+    if (!combo.fault_sweep || !combo.expect_certified) continue;
+    const auto t0 = std::chrono::steady_clock::now();
+    const recovery::ChaosSweepReport report = recovery::run_combo_campaigns(combo, gen);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Row row;
+    row.name = combo.name;
+    row.campaigns = report.campaigns;
+    row.passed = report.passed;
+    row.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    row.campaigns_per_s =
+        row.ms > 0.0 ? 1000.0 * static_cast<double>(report.campaigns) / row.ms : 0.0;
+    std::vector<std::uint64_t> latencies;
+    for (const recovery::CampaignResult& r : report.results) {
+      row.rejected += r.rounds_rejected;
+      latencies.insert(latencies.end(), r.recover_latencies.begin(), r.recover_latencies.end());
+    }
+    row.rounds = latencies.size();
+    row.recover_p50 = percentile_cycles(latencies, 0.50);
+    row.recover_p99 = percentile_cycles(std::move(latencies), 0.99);
+    rows.push_back(row);
+  }
+
+  TextTable t({"combo", "campaigns", "passed", "rounds", "rejected", "recover p50", "recover p99",
+               "ms", "campaigns/s"});
+  for (const Row& r : rows) {
+    t.row()
+        .cell(r.name)
+        .cell(r.campaigns)
+        .cell(r.passed)
+        .cell(r.rounds)
+        .cell(r.rejected)
+        .cell(r.recover_p50)
+        .cell(r.recover_p99)
+        .cell(r.ms, 1)
+        .cell(r.campaigns_per_s, 1);
+  }
+  t.print(std::cout);
+
+  // Whole campaign suite at jobs=1 vs jobs=N (at least 4, so the worker
+  // pool path runs even on small hosts; single-core hosts report a tie).
+  const unsigned hardware = WorkerPool::hardware_jobs();
+  const unsigned parallel_jobs = std::max(4U, hardware);
+  std::vector<const verify::RegistryCombo*> sweepable;
+  for (const verify::RegistryCombo& combo : verify::registry()) {
+    if (combo.fault_sweep && combo.expect_certified) sweepable.push_back(&combo);
+  }
+  std::vector<SweepRow> sweeps;
+  for (const unsigned jobs : {1U, parallel_jobs}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)exec::sweep_campaigns(sweepable, exec::SweepOptions{jobs}, gen);
+    const auto t1 = std::chrono::steady_clock::now();
+    sweeps.push_back(
+        {jobs, std::chrono::duration<double, std::milli>(t1 - t0).count(), hardware});
+  }
+
+  print_banner(std::cout, "full campaign suite: jobs=1 vs jobs=N (exec/sharded_sweep)");
+  TextTable st({"jobs", "ms"});
+  for (const SweepRow& s : sweeps) st.row().cell(s.jobs).cell(s.ms, 1);
+  st.print(std::cout);
+  std::cout << "hardware_concurrency: " << hardware << "\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  write_json(out, gen.seed, rows, sweeps, hardware);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -193,6 +193,52 @@ recovery::RecoverySweepReport sweep_combo_recovery(const verify::RegistryCombo& 
   return std::move(sweep_recovery({&combo}, options, replay).front());
 }
 
+std::vector<recovery::ChaosSweepReport> sweep_campaigns(
+    const std::vector<const verify::RegistryCombo*>& combos, const SweepOptions& options,
+    const recovery::CampaignGenOptions& gen, const recovery::CampaignOptions& run) {
+  require_sweepable(combos);
+
+  // Campaign schedules are enumerated up front in serial order from a
+  // throwaway build: generation is a pure function of (fabric, gen), so
+  // every worker's own build sees the exact same campaigns.
+  std::vector<std::vector<recovery::Campaign>> campaign_lists(combos.size());
+  std::vector<TaskRef> tasks;
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    const verify::BuiltFabric built = combos[c]->build();
+    campaign_lists[c] = recovery::generate_campaigns(built, gen);
+    for (std::size_t k = 0; k < campaign_lists[c].size(); ++k) tasks.push_back({c, k});
+  }
+
+  std::vector<std::vector<recovery::CampaignResult>> results(combos.size());
+  for (std::size_t c = 0; c < combos.size(); ++c) results[c].resize(campaign_lists[c].size());
+
+  WorkerPool pool(options.jobs);
+  StateGrid states(pool.jobs(), combos.size(), combos);
+  pool.run(tasks.size(), [&](unsigned worker, std::size_t index) {
+    const TaskRef task = tasks[index];
+    ComboState& state = states.at(worker, task.combo);
+    results[task.combo][task.fault] =
+        recovery::run_campaign(state.built, campaign_lists[task.combo][task.fault], run);
+  });
+
+  std::vector<recovery::ChaosSweepReport> reports(combos.size());
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    reports[c].fabric = combos[c]->name;
+    reports[c].seed = gen.seed;
+    for (recovery::CampaignResult& result : results[c]) {
+      reports[c].merge_result(std::move(result));
+    }
+  }
+  return reports;
+}
+
+recovery::ChaosSweepReport sweep_combo_campaigns(const verify::RegistryCombo& combo,
+                                                 const SweepOptions& options,
+                                                 const recovery::CampaignGenOptions& gen,
+                                                 const recovery::CampaignOptions& run) {
+  return std::move(sweep_campaigns({&combo}, options, gen, run).front());
+}
+
 std::vector<verify::Report> sweep_compose(const std::vector<const verify::ComposeItem*>& items,
                                           const SweepOptions& options) {
   for (std::size_t i = 0; i < items.size(); ++i) {

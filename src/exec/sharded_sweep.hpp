@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "recovery/campaign.hpp"
 #include "recovery/replay.hpp"
 #include "verify/compose.hpp"
 #include "verify/faults.hpp"
@@ -81,6 +82,22 @@ struct SweepOptions {
 [[nodiscard]] recovery::RecoverySweepReport sweep_combo_recovery(
     const verify::RegistryCombo& combo, const SweepOptions& options = {},
     const recovery::RecoverySweepOptions& replay = {});
+
+/// Chaos campaign sweep of many combos (`--chaos --all`): one task per
+/// (combo, campaign). Campaign lists are generated up front in serial
+/// order from a throwaway build (generation is deterministic per fabric +
+/// seed), each worker then runs campaigns against its own fabric build and
+/// simulator. Reports in `combos` order, each byte-identical to
+/// recovery::run_combo_campaigns(*combo, gen, run). All entries require
+/// fault_sweep.
+[[nodiscard]] std::vector<recovery::ChaosSweepReport> sweep_campaigns(
+    const std::vector<const verify::RegistryCombo*>& combos, const SweepOptions& options = {},
+    const recovery::CampaignGenOptions& gen = {}, const recovery::CampaignOptions& run = {});
+
+/// Single-combo convenience over sweep_campaigns.
+[[nodiscard]] recovery::ChaosSweepReport sweep_combo_campaigns(
+    const verify::RegistryCombo& combo, const SweepOptions& options = {},
+    const recovery::CampaignGenOptions& gen = {}, const recovery::CampaignOptions& run = {});
 
 /// Synthesis sweep (`--synthesize --all`): one task per roster item, each
 /// worker building, deciding, synthesizing and re-certifying its own

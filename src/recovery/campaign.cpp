@@ -1,0 +1,526 @@
+#include "recovery/campaign.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "route/path.hpp"
+#include "sim/vc_sim.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/fault.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace servernet::recovery {
+
+namespace {
+
+using NodePair = std::pair<NodeId, NodeId>;
+
+/// Same sim sizing the recovery replay uses: small packets, deadlock
+/// threshold far above any campaign's cycle budget so the controller's
+/// stall window reacts first and kDeadlocked can only mean a real wedge.
+constexpr std::uint32_t kFlitsPerPacket = 4;
+constexpr std::uint32_t kNoProgressThreshold = 100000;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Canonical cable id: the lower-numbered direction of the duplex pair.
+ChannelId canonical_cable(const Network& net, ChannelId c) {
+  const ChannelId rev = net.channel(c).reverse;
+  if (rev.valid() && rev.index() < c.index()) return rev;
+  return c;
+}
+
+/// Draws a cable not yet in `used` (marked on return). Bounded retries
+/// keep the draw total even on tiny fabrics; after that, reuse is
+/// tolerated — the schedule stays valid, just less varied.
+ChannelId pick_cable(const Network& net, Xoshiro256& rng, std::vector<char>& used) {
+  ChannelId cable = canonical_cable(net, ChannelId{std::size_t{0}});
+  for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+    cable = canonical_cable(net, ChannelId{rng.below(net.channel_count())});
+    if (used[cable.index()] == 0) break;
+  }
+  used[cable.index()] = 1;
+  return cable;
+}
+
+/// The bundle as cables: both directions of each duplex pair kept
+/// together, so staggered bursts fail whole cables, never half of one.
+std::vector<std::vector<ChannelId>> group_cables(const Network& net,
+                                                 const std::vector<ChannelId>& channels) {
+  std::vector<char> seen(net.channel_count(), 0);
+  std::vector<std::vector<ChannelId>> cables;
+  for (const ChannelId ch : channels) {
+    if (seen[ch.index()] != 0) continue;
+    seen[ch.index()] = 1;
+    std::vector<ChannelId> cable{ch};
+    const ChannelId rev = net.channel(ch).reverse;
+    if (rev.valid() && seen[rev.index()] == 0 &&
+        std::binary_search(channels.begin(), channels.end(), rev)) {
+      seen[rev.index()] = 1;
+      cable.push_back(rev);
+    }
+    cables.push_back(std::move(cable));
+  }
+  return cables;
+}
+
+Campaign make_campaign(const verify::BuiltFabric& built, CampaignFamily family,
+                       std::uint32_t index, std::uint64_t seed) {
+  const Network& net = *built.net;
+  Campaign c;
+  c.family = family;
+  c.index = index;
+  c.seed = seed;
+  Xoshiro256 rng(seed);
+  std::vector<char> used(net.channel_count(), 0);
+  const std::uint64_t t0 = 4 + rng.below(24);
+  std::ostringstream desc;
+
+  switch (family) {
+    case CampaignFamily::kBundleStorm: {
+      // Every channel of one router's cable bundle dies, in up to three
+      // staggered bursts — the correlated-failure mode one cut conduit or
+      // one dead spine produces.
+      const RouterId r{rng.below(net.router_count())};
+      const std::vector<std::vector<ChannelId>> cables =
+          group_cables(net, fault_channels(net, Fault::dead_router(r)));
+      const std::size_t bursts = std::min<std::size_t>(3, std::max<std::size_t>(1, cables.size()));
+      const std::size_t per = (cables.size() + bursts - 1) / bursts;
+      std::uint64_t at = t0;
+      for (std::size_t b = 0; b < bursts; ++b) {
+        FaultEpisode ep;
+        ep.at_cycle = at;
+        for (std::size_t i = b * per; i < cables.size() && i < (b + 1) * per; ++i) {
+          ep.channels.insert(ep.channels.end(), cables[i].begin(), cables[i].end());
+        }
+        if (ep.channels.empty()) continue;
+        c.episodes.push_back(std::move(ep));
+        at += 12 + rng.below(28);
+      }
+      desc << "bundle storm: router " << r.index() << " in " << c.episodes.size() << " burst(s)";
+      break;
+    }
+    case CampaignFamily::kFlappingLink: {
+      // A cable that keeps dipping just long enough to be noticed and
+      // recovering just fast enough to beat the probe budget — the case
+      // only the monitor's flap budget can end.
+      c.monitor.flap_budget = 3;
+      const ChannelId cable = pick_cable(net, rng, used);
+      const std::vector<ChannelId> channels = fault_channels(net, Fault::link(cable));
+      const std::uint32_t dips = c.monitor.flap_budget + 2;
+      for (std::uint32_t k = 0; k < dips; ++k) {
+        // 24-cycle dips straddle a heartbeat (period 16) so each one is
+        // detected, and recover before the probe budget (56 cycles) runs
+        // out; 64-cycle spacing lets each recovery complete.
+        c.episodes.push_back({t0 + k * 64, channels, /*restore_after=*/24});
+      }
+      desc << "flapping link: cable " << cable.index() << ", " << dips << " dips";
+      break;
+    }
+    case CampaignFamily::kTransientRace: {
+      // One transient episode whose restore lands inside the escalation
+      // window: depending on the draw, the probe ladder either catches
+      // the recovery (no action) or condemns the channel first — both
+      // sides of the race must leave a consistent story.
+      const ChannelId cable = pick_cable(net, rng, used);
+      const bool over_budget = rng.below(2) == 1;
+      // Escalation lands 56–72 cycles after onset (next heartbeat plus
+      // the exhausted probe ladder); straddle that window from both sides.
+      const std::uint64_t restore_after =
+          over_budget ? 56 + rng.below(40) : 30 + rng.below(20);
+      c.episodes.push_back({t0, fault_channels(net, Fault::link(cable)), restore_after});
+      desc << "transient race: cable " << cable.index() << ", restore after " << restore_after
+           << " (" << (over_budget ? "over" : "under") << " the probe budget)";
+      break;
+    }
+    case CampaignFamily::kMidRecoveryFault: {
+      // The second cable dies while the first escalation is mid-round —
+      // inside its detect/quiesce/repair window — so the controller must
+      // finish the round and pick the new fault up immediately after.
+      const ChannelId a = pick_cable(net, rng, used);
+      const ChannelId b = pick_cable(net, rng, used);
+      c.episodes.push_back({t0, fault_channels(net, Fault::link(a)), 0});
+      c.episodes.push_back({t0 + 40 + rng.below(40), fault_channels(net, Fault::link(b)), 0});
+      desc << "mid-recovery fault: cable " << a.index() << " then cable " << b.index();
+      break;
+    }
+    case CampaignFamily::kDualPlaneDouble: {
+      if (built.dual != nullptr) {
+        // Both planes of one node's dual attach die in sequence: the X
+        // fault diverts the node's pairs to Y, then Y dies too and the
+        // pairs must be stranded, not wedged.
+        const NodeId n{rng.below(net.node_count())};
+        c.episodes.push_back({t0, fault_channels(net, Fault::link(net.node_out(n, 0))), 0});
+        c.episodes.push_back(
+            {t0 + 24 + rng.below(48), fault_channels(net, Fault::link(net.node_out(n, 1))), 0});
+        desc << "dual-plane double fault: node " << n.index() << ", X attach then Y attach";
+      } else {
+        // Single fabric: the same family degenerates to a correlated
+        // double-cable storm landing in one cycle.
+        const ChannelId a = pick_cable(net, rng, used);
+        const ChannelId b = pick_cable(net, rng, used);
+        FaultEpisode ep;
+        ep.at_cycle = t0;
+        ep.channels = fault_channels(net, Fault::link(a));
+        const std::vector<ChannelId> more = fault_channels(net, Fault::link(b));
+        ep.channels.insert(ep.channels.end(), more.begin(), more.end());
+        std::sort(ep.channels.begin(), ep.channels.end());
+        ep.channels.erase(std::unique(ep.channels.begin(), ep.channels.end()), ep.channels.end());
+        c.episodes.push_back(std::move(ep));
+        desc << "correlated double fault: cables " << a.index() << " and " << b.index()
+             << " (single fabric)";
+      }
+      break;
+    }
+    case CampaignFamily::kRoundExhaustion: {
+      // More distinct faults than the round budget allows: rounds beyond
+      // max_rounds must reject, and the run must still terminate with a
+      // consistent report instead of looping on repairs.
+      c.max_rounds = 2;
+      c.max_cycles = 8000;
+      for (std::uint32_t k = 0; k < c.max_rounds + 3; ++k) {
+        const ChannelId cable = pick_cable(net, rng, used);
+        c.episodes.push_back({t0 + k * 400, fault_channels(net, Fault::link(cable)), 0});
+      }
+      desc << "round exhaustion: " << c.episodes.size() << " faults against a budget of "
+           << c.max_rounds;
+      break;
+    }
+  }
+  c.description = desc.str();
+  return c;
+}
+
+/// Does the healthy-table route for (src, dst) cross any channel the
+/// campaign will kill? (Deterministic prediction; adaptive combos use the
+/// escape table, the right conservative proxy — same as replay.)
+bool route_crosses(const Network& net, const RoutingTable& table, NodeId src, NodeId dst,
+                   const std::vector<char>& dead_mask) {
+  const RouteResult r = trace_route(net, table, src, dst);
+  if (!r.ok()) return true;
+  return std::any_of(r.path.channels.begin(), r.path.channels.end(),
+                     [&](ChannelId ch) { return dead_mask[ch.index()] != 0; });
+}
+
+struct TrafficPlan {
+  std::vector<NodePair> pairs;     // offered once per wave
+  std::vector<NodePair> targeted;  // offered twice in wave 1 (cross the storm)
+};
+
+TrafficPlan plan_traffic(const Network& net, const RoutingTable& table, const Campaign& c) {
+  // Decorrelated from the schedule stream: the generator consumed the
+  // Xoshiro sequence of c.seed, so the traffic draws from a distinct one.
+  Xoshiro256 rng(c.seed ^ 0x7472616666696373ULL);
+  TrafficPlan plan;
+  const std::size_t n = net.node_count();
+  // Background ring: every source stays busy across the swaps.
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.pairs.emplace_back(NodeId{i}, NodeId{(i + 1) % n});
+  }
+  // Pairs that definitely route through the storm: the packets quiesce
+  // must purge and the repair (or failover) must carry.
+  std::vector<char> dead_mask(net.channel_count(), 0);
+  for (const FaultEpisode& ep : c.episodes) {
+    for (const ChannelId ch : ep.channels) dead_mask[ch.index()] = 1;
+  }
+  for (std::size_t s = 0; s < n && plan.targeted.size() < 4; ++s) {
+    for (std::size_t d = 0; d < n && plan.targeted.size() < 4; ++d) {
+      if (s == d) continue;
+      if (route_crosses(net, table, NodeId{s}, NodeId{d}, dead_mask)) {
+        plan.targeted.emplace_back(NodeId{s}, NodeId{d});
+      }
+    }
+  }
+  // Seeded random pairs for coverage the scans above don't pick.
+  for (std::size_t k = 0; k < 6; ++k) {
+    const NodeId src{rng.below(n)};
+    const NodeId dst{rng.below(n)};
+    if (src != dst) plan.pairs.emplace_back(src, dst);
+  }
+  return plan;
+}
+
+template <class Sim>
+void drive_campaign(CampaignResult& out, const verify::BuiltFabric& built, Sim& sim,
+                    const Campaign& campaign, const CampaignOptions& options) {
+  RecoveryOptions ropts;
+  ropts.monitor = campaign.monitor;
+  ropts.max_rounds = campaign.max_rounds;
+  ropts.base = verify::verify_options(built);
+  ropts.dual = built.dual.get();
+  RecoveryController<Sim> controller(sim, ropts);
+  for (const FaultEpisode& ep : campaign.episodes) controller.schedule_fault(ep);
+
+  const TrafficPlan plan = plan_traffic(*built.net, built.table, campaign);
+  for (const NodePair& p : plan.pairs) (void)sim.offer_packet(p.first, p.second);
+  for (const NodePair& p : plan.targeted) {
+    (void)sim.offer_packet(p.first, p.second);
+    (void)sim.offer_packet(p.first, p.second);
+  }
+  const RecoveryReport first = controller.run(campaign.max_cycles);
+
+  // Second wave on the surviving pairs: sequence numbers continue, so any
+  // reordering across the purges and swaps shows up here.
+  const auto stranded_now = [&](const NodePair& p) {
+    return std::binary_search(first.stranded.begin(), first.stranded.end(), p);
+  };
+  for (const NodePair& p : plan.pairs) {
+    if (!stranded_now(p)) (void)sim.offer_packet(p.first, p.second);
+  }
+  for (const NodePair& p : plan.targeted) {
+    if (!stranded_now(p)) (void)sim.offer_packet(p.first, p.second);
+  }
+  const RecoveryReport rep = controller.run(campaign.max_cycles);
+
+  RecoveryTrace trace;
+  trace.report = rep;
+  trace.packets.reserve(sim.packets_offered());
+  for (sim::PacketId pid = 0; pid < sim.packets_offered(); ++pid) {
+    const sim::PacketRecord& rec = sim.packet(pid);
+    trace.packets.push_back({rec.src, rec.dst, rec.delivered, rec.misdelivered, rec.lost});
+  }
+  // Adaptive combos forfeit the single-path in-order premise (§3.3).
+  trace.inorder_matters = built.multipath == nullptr;
+  trace.dual = built.dual != nullptr;
+  trace.max_recovery_latency = options.max_recovery_latency;
+  if (options.corrupt_trace) options.corrupt_trace(trace);
+
+  out.invariants = check_recovery_invariants(trace);
+  out.run = trace.report.run;
+  out.cycles = first.run.cycles + trace.report.run.cycles;
+  out.packets_offered = sim.packets_offered();
+  out.events = trace.report.events.size();
+  out.pairs_stranded = trace.report.stranded.size();
+  out.transient_recoveries = trace.report.transient_recoveries;
+  for (const RecoveryEvent& ev : trace.report.events) {
+    if (ev.action == RecoveryAction::kRepairRejected) {
+      ++out.rounds_rejected;
+      continue;
+    }
+    if (ev.action != RecoveryAction::kNone) {
+      out.recover_latencies.push_back(ev.installed_cycle - ev.detected_cycle);
+    }
+  }
+}
+
+const char* outcome_name(sim::RunOutcome outcome) {
+  switch (outcome) {
+    case sim::RunOutcome::kCompleted:
+      return "completed";
+    case sim::RunOutcome::kDeadlocked:
+      return "deadlocked";
+    case sim::RunOutcome::kCycleLimit:
+      return "cycle-limit";
+  }
+  return "unknown";
+}
+
+void write_episodes_json(std::ostream& os, const std::vector<FaultEpisode>& episodes) {
+  os << "[";
+  bool first = true;
+  for (const FaultEpisode& ep : episodes) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"at\": " << ep.at_cycle << ", \"restore_after\": " << ep.restore_after
+       << ", \"channels\": [";
+    for (std::size_t i = 0; i < ep.channels.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << ep.channels[i].index();
+    }
+    os << "]}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string to_string(CampaignFamily family) {
+  switch (family) {
+    case CampaignFamily::kBundleStorm:
+      return "bundle-storm";
+    case CampaignFamily::kFlappingLink:
+      return "flapping-link";
+    case CampaignFamily::kTransientRace:
+      return "transient-race";
+    case CampaignFamily::kMidRecoveryFault:
+      return "mid-recovery";
+    case CampaignFamily::kDualPlaneDouble:
+      return "dual-plane";
+    case CampaignFamily::kRoundExhaustion:
+      return "round-exhaustion";
+  }
+  return "unknown";
+}
+
+std::vector<Campaign> generate_campaigns(const verify::BuiltFabric& built,
+                                         const CampaignGenOptions& options) {
+  const Network& net = *built.net;
+  // One seed stream per (base seed, fabric): campaigns are independent of
+  // each other and of every other combo's, and index i's schedule never
+  // changes when the campaign count does.
+  Xoshiro256 seeds(options.seed ^ fnv1a(net.name()));
+  std::vector<Campaign> out;
+  out.reserve(options.campaigns);
+  for (std::uint32_t i = 0; i < options.campaigns; ++i) {
+    const auto family = static_cast<CampaignFamily>(i % kCampaignFamilyCount);
+    out.push_back(make_campaign(built, family, i, seeds()));
+  }
+  return out;
+}
+
+std::vector<FaultEpisode> shrink_episodes(
+    const std::vector<FaultEpisode>& episodes,
+    const std::function<bool(const std::vector<FaultEpisode>&)>& still_fails) {
+  std::vector<FaultEpisode> current = episodes;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < current.size();) {
+      std::vector<FaultEpisode> candidate = current;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return current;
+}
+
+CampaignResult run_campaign(const verify::BuiltFabric& built, const Campaign& campaign,
+                            const CampaignOptions& options) {
+  CampaignResult out;
+  out.campaign = campaign;
+  if (built.selector != nullptr) {
+    sim::VcSimConfig cfg;
+    cfg.vcs_per_channel = built.vcs_per_channel;
+    cfg.flits_per_packet = kFlitsPerPacket;
+    cfg.no_progress_threshold = kNoProgressThreshold;
+    sim::VcWormholeSim sim(*built.net, built.table, *built.selector, cfg);
+    drive_campaign(out, built, sim, campaign, options);
+  } else {
+    sim::SimConfig cfg;
+    cfg.flits_per_packet = kFlitsPerPacket;
+    cfg.no_progress_threshold = kNoProgressThreshold;
+    sim::WormholeSim sim(*built.net, built.table, cfg);
+    if (built.multipath != nullptr) sim.route_adaptively(*built.multipath);
+    drive_campaign(out, built, sim, campaign, options);
+  }
+
+  if (!out.ok() && options.shrink_failures) {
+    CampaignOptions inner = options;
+    inner.shrink_failures = false;
+    const auto still_fails = [&](const std::vector<FaultEpisode>& episodes) {
+      Campaign sub = campaign;
+      sub.episodes = episodes;
+      return !run_campaign(built, sub, inner).ok();
+    };
+    out.shrunk = shrink_episodes(campaign.episodes, still_fails);
+  }
+  return out;
+}
+
+void ChaosSweepReport::merge_result(CampaignResult result) {
+  ++campaigns;
+  if (result.ok()) ++passed;
+  results.push_back(std::move(result));
+}
+
+ChaosSweepReport run_combo_campaigns(const verify::RegistryCombo& combo,
+                                     const CampaignGenOptions& gen,
+                                     const CampaignOptions& options) {
+  SN_REQUIRE(combo.fault_sweep,
+             "combo '" + combo.name + "' is excluded from fault sweeps (fault_sweep = false)");
+  const verify::BuiltFabric built = combo.build();
+
+  ChaosSweepReport report;
+  report.fabric = combo.name;
+  report.seed = gen.seed;
+  for (const Campaign& campaign : generate_campaigns(built, gen)) {
+    report.merge_result(run_campaign(built, campaign, options));
+  }
+  return report;
+}
+
+void ChaosSweepReport::write_text(std::ostream& os) const {
+  os << "chaos campaigns: " << fabric << " — " << passed << "/" << campaigns
+     << " campaigns hold every recovery invariant (seed " << seed << ")\n";
+  for (const CampaignResult& r : results) {
+    os << "  " << (r.ok() ? "OK      " : "VIOLATED") << "  #" << r.campaign.index << " "
+       << to_string(r.campaign.family) << " [seed " << r.campaign.seed << "]: "
+       << r.campaign.description << " — " << r.events << " event(s), " << r.rounds_rejected
+       << " rejected, " << r.run.packets_delivered << "/" << r.packets_offered << " delivered, "
+       << r.run.packets_lost << " lost, " << r.pairs_stranded << " stranded, "
+       << outcome_name(r.run.outcome) << " in " << r.cycles << "cy\n";
+    if (r.ok()) continue;
+    for (const InvariantViolation& v : r.invariants.violations) {
+      os << "            " << v.invariant << ": " << v.detail << '\n';
+    }
+    os << "            minimal failing schedule (" << r.shrunk.size() << " of "
+       << r.campaign.episodes.size() << " episode(s)):";
+    for (const FaultEpisode& ep : r.shrunk) {
+      os << " [at " << ep.at_cycle << ", " << ep.channels.size() << " ch"
+         << (ep.restore_after > 0 ? ", transient" : "") << "]";
+    }
+    os << '\n';
+  }
+}
+
+void ChaosSweepReport::write_json(std::ostream& os) const {
+  os << "{\n  \"fabric\": ";
+  write_json_string(os, fabric);
+  os << ",\n  \"seed\": " << seed << ",\n  \"campaigns\": " << campaigns
+     << ",\n  \"passed\": " << passed << ",\n  \"all_ok\": " << (all_ok() ? "true" : "false")
+     << ",\n  \"results\": [";
+  bool first = true;
+  for (const CampaignResult& r : results) {
+    if (!first) os << ",";
+    first = false;
+    std::uint64_t latency_max = 0;
+    for (const std::uint64_t l : r.recover_latencies) latency_max = std::max(latency_max, l);
+    os << "\n    {\"index\": " << r.campaign.index << ", \"family\": \""
+       << to_string(r.campaign.family) << "\", \"seed\": " << r.campaign.seed << ", \"ok\": "
+       << (r.ok() ? "true" : "false") << ", \"description\": ";
+    write_json_string(os, r.campaign.description);
+    os << ", \"episodes\": " << r.campaign.episodes.size() << ", \"events\": " << r.events
+       << ", \"rounds_rejected\": " << r.rounds_rejected << ", \"outcome\": \""
+       << outcome_name(r.run.outcome) << "\", \"cycles\": " << r.cycles
+       << ", \"offered\": " << r.packets_offered << ", \"delivered\": " << r.run.packets_delivered
+       << ", \"purged\": " << r.run.packets_purged << ", \"lost\": " << r.run.packets_lost
+       << ", \"misdelivered\": " << r.run.packets_misdelivered
+       << ", \"out_of_order\": " << r.run.out_of_order_deliveries
+       << ", \"stranded\": " << r.pairs_stranded
+       << ", \"transient_recoveries\": " << r.transient_recoveries
+       << ", \"recover_latency_max\": " << latency_max;
+    if (!r.ok()) {
+      // Failing campaigns carry everything needed to replay them: the
+      // seed above, the full schedule, and the shrunk minimal schedule.
+      os << ", \"violations\": [";
+      for (std::size_t i = 0; i < r.invariants.violations.size(); ++i) {
+        if (i > 0) os << ", ";
+        write_json_string(os, r.invariants.violations[i].invariant + ": " +
+                                  r.invariants.violations[i].detail);
+      }
+      os << "], \"schedule\": ";
+      write_episodes_json(os, r.campaign.episodes);
+      os << ", \"shrunk_schedule\": ";
+      write_episodes_json(os, r.shrunk);
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace servernet::recovery

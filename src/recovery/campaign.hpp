@@ -1,0 +1,173 @@
+// Seeded chaos campaigns: adversarial fault schedules for the recovery
+// runtime.
+//
+// recovery/replay.hpp proves the controller agrees with the static
+// certifier on every *clean* enumerated fault — one fault, injected once,
+// into a quiet fabric. Real fabrics are messier (§2's motivation): cable
+// bundles fail together, intermittent links oscillate around the probe
+// budget, hardware dies while the previous repair is still quiescing, and
+// dual fabrics lose both planes. This module generates those schedules,
+// deterministically from a printed seed, and drives the controller
+// through each one while recovery/invariants.hpp judges the event stream.
+//
+// Campaign families (every registry combo gets all of them):
+//
+//   bundle-storm      all channels of one router's cable bundle fail in
+//                     staggered bursts (the correlated-failure case)
+//   flapping-link     one cable oscillates: each dip recovers inside the
+//                     probe budget until the flap budget condemns it
+//   transient-race    a transient episode whose restore lands in the
+//                     window where HARD escalation fires — either side of
+//                     the race must leave a consistent story
+//   mid-recovery      a second cable dies while the first round is still
+//                     in its detect/quiesce/repair window
+//   dual-plane        both planes of a node's dual attach die in sequence
+//                     (on single fabrics: a correlated double-cable storm)
+//   round-exhaustion  more distinct faults than max_rounds allows, so the
+//                     budget runs out and excess rounds must reject
+//
+// Determinism contract: generate_campaigns() and run_campaign() are pure
+// functions of (fabric, options, campaign) — no wall clock, no global
+// RNG. A failing campaign is therefore replayable from its seed alone,
+// and exec::sweep_campaigns can shard runs across threads with
+// byte-identical reports at any job count.
+//
+// Failing campaigns are shrunk: the episode list is delta-debugged
+// (greedy removal to a fixed point, each candidate re-run from scratch)
+// down to a 1-minimal subsequence that still violates an invariant, which
+// is what the report prints.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "recovery/controller.hpp"
+#include "recovery/invariants.hpp"
+#include "verify/registry.hpp"
+
+namespace servernet::recovery {
+
+enum class CampaignFamily : std::uint8_t {
+  kBundleStorm,
+  kFlappingLink,
+  kTransientRace,
+  kMidRecoveryFault,
+  kDualPlaneDouble,
+  kRoundExhaustion,
+};
+inline constexpr std::size_t kCampaignFamilyCount = 6;
+
+[[nodiscard]] std::string to_string(CampaignFamily family);
+
+/// One generated campaign: a fault schedule plus the controller knobs it
+/// is meant to stress. Self-contained — re-running a Campaign (or a
+/// shrunk subsequence of its episodes) needs no generator state.
+struct Campaign {
+  CampaignFamily family = CampaignFamily::kBundleStorm;
+  /// Drives both the schedule and the traffic plan; printed in reports so
+  /// any failure replays from the command line.
+  std::uint64_t seed = 0;
+  /// Position in the combo's campaign list.
+  std::uint32_t index = 0;
+  /// Monitor the controller runs with (the flapping family counts on its
+  /// flap_budget; the race family on its probe timing).
+  LinkHealthMonitor::Config monitor;
+  /// Round budget (the exhaustion family shrinks it so the budget
+  /// actually runs out inside one campaign).
+  std::uint32_t max_rounds = 8;
+  /// Per-wave cycle budget (smaller for exhaustion campaigns, which
+  /// knowingly leave traffic wedged and would otherwise burn the budget).
+  std::uint64_t max_cycles = 30000;
+  std::vector<FaultEpisode> episodes;
+  std::string description;
+};
+
+struct CampaignGenOptions {
+  std::uint64_t seed = 1;
+  /// Campaigns per combo; families rotate, so >= kCampaignFamilyCount
+  /// covers every family.
+  std::uint32_t campaigns = 12;
+};
+
+/// Generates the campaign list for one built fabric. Deterministic: same
+/// (fabric, options) give the same list, byte for byte. Families that
+/// need hardware the fabric lacks (dual-plane on a single fabric)
+/// substitute a correlated double-cable storm under the same family tag.
+[[nodiscard]] std::vector<Campaign> generate_campaigns(const verify::BuiltFabric& built,
+                                                       const CampaignGenOptions& options = {});
+
+struct CampaignOptions {
+  /// Bound for the latency-bounded invariant.
+  std::uint64_t max_recovery_latency = 20000;
+  /// Delta-debug failing campaigns down to a minimal episode subsequence.
+  bool shrink_failures = true;
+  /// Test hook: corrupts the assembled trace before the invariant checker
+  /// sees it. This is how the seeded-violation fixtures prove the checker
+  /// and the shrinker actually fire (tests/test_chaos.cpp); never set in
+  /// production sweeps.
+  std::function<void(RecoveryTrace&)> corrupt_trace;
+};
+
+struct CampaignResult {
+  Campaign campaign;
+  InvariantReport invariants;
+  /// Final (cumulative) run outcome across both traffic waves.
+  sim::RunResult run;
+  std::uint64_t cycles = 0;
+  std::uint64_t packets_offered = 0;
+  std::size_t events = 0;
+  std::size_t rounds_rejected = 0;
+  std::size_t pairs_stranded = 0;
+  std::uint64_t transient_recoveries = 0;
+  /// Detect-to-install latency of every recovery round, in event order —
+  /// the distribution bench_chaos reports p50/p99 over.
+  std::vector<std::uint64_t> recover_latencies;
+  /// 1-minimal failing episode subsequence (empty when ok or shrinking
+  /// is disabled).
+  std::vector<FaultEpisode> shrunk;
+
+  [[nodiscard]] bool ok() const { return invariants.ok(); }
+};
+
+/// Runs one campaign against a fresh simulator pair built from `built`
+/// and judges the trace. Deterministic for a fixed (built, campaign,
+/// options).
+[[nodiscard]] CampaignResult run_campaign(const verify::BuiltFabric& built,
+                                          const Campaign& campaign,
+                                          const CampaignOptions& options = {});
+
+/// Greedy delta-debugging over an episode list: repeatedly drops any
+/// single episode whose removal keeps `still_fails` true, to a fixed
+/// point. The result is 1-minimal (no single remaining episode can be
+/// removed) and deterministic for a deterministic predicate.
+[[nodiscard]] std::vector<FaultEpisode> shrink_episodes(
+    const std::vector<FaultEpisode>& episodes,
+    const std::function<bool(const std::vector<FaultEpisode>&)>& still_fails);
+
+/// Per-combo campaign sweep report, mergeable in serial order (the same
+/// shape the recovery replay report has, so exec::sweep_campaigns keeps
+/// the byte-identity contract).
+struct ChaosSweepReport {
+  std::string fabric;
+  std::uint64_t seed = 0;
+  std::size_t campaigns = 0;
+  std::size_t passed = 0;
+  std::vector<CampaignResult> results;
+
+  [[nodiscard]] bool all_ok() const { return passed == campaigns; }
+  void merge_result(CampaignResult result);
+  void write_text(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+};
+
+/// Generates and runs every campaign for one registry combo, serially.
+/// exec::sweep_campaigns is the sharded equivalent; both produce
+/// byte-identical reports.
+[[nodiscard]] ChaosSweepReport run_combo_campaigns(const verify::RegistryCombo& combo,
+                                                   const CampaignGenOptions& gen = {},
+                                                   const CampaignOptions& options = {});
+
+}  // namespace servernet::recovery

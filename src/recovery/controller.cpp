@@ -88,8 +88,11 @@ void RecoveryController<Sim>::apply_due_episodes() {
       continue;
     }
     // A channel the monitor already declared hard stays routed-around even
-    // if the hardware resurrects — hard is terminal by design.
-    sim_.restore_channel(it->second);
+    // if the hardware resurrects — hard is terminal by design, and the
+    // installed repair no longer uses the channel. Restoring it would
+    // desynchronize the sim from the monitor's verdict, so the restore is
+    // dropped, not deferred.
+    if (dead_mask_[it->second.index()] == 0) sim_.restore_channel(it->second);
     it = restores_.erase(it);
   }
 }
@@ -370,6 +373,7 @@ void RecoveryController<Sim>::recover_round(bool circular_wait) {
   fopts.dual = options_.dual;
   const verify::FaultOutcome verdict =
       verify::classify_channel_faults(sim_.net(), sim_.table(), hard_, fopts);
+  ev.static_verdict = verdict.verdict;
   ev.detail = "static verdict: " + verify::to_string(verdict.verdict) +
               (verdict.detail.empty() ? std::string{} : " — " + verdict.detail);
 

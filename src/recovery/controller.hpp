@@ -71,6 +71,7 @@
 #include "recovery/link_health.hpp"
 #include "sim/run_result.hpp"
 #include "topo/network.hpp"
+#include "verify/faults.hpp"
 #include "verify/passes.hpp"
 
 namespace servernet::recovery {
@@ -128,6 +129,11 @@ struct RecoveryEvent {
   std::size_t pairs_diverted = 0;
   /// Pairs cancelled as unreachable (partial service).
   std::size_t pairs_stranded = 0;
+  /// The classify_channel_faults verdict this round acted on. Empty for
+  /// budget-exhausted rounds, which reject without classifying. The
+  /// invariant checker (recovery/invariants.hpp) holds the runtime action
+  /// to this verdict on every round.
+  std::optional<verify::FaultVerdict> static_verdict;
   /// Static verdict + witness for the hard-fault set.
   std::string detail;
 };

@@ -1,0 +1,205 @@
+#include "recovery/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace servernet::recovery {
+
+namespace {
+
+/// Runtime actions the static verdict permits for one round. Mirrors
+/// recover_round's decision tree, so a mismatch means the controller and
+/// the classifier disagree about the same hard-fault set — exactly the
+/// static-vs-runtime drift the replay gate checks fault-by-fault, held
+/// here on every round of a multi-round storm.
+bool action_allowed(verify::FaultVerdict verdict, RecoveryAction action, bool dual) {
+  if (verdict == verify::FaultVerdict::kSurvives) return action == RecoveryAction::kNone;
+  if (dual) {
+    // Dual fabrics never recompute tables: every non-SURVIVES verdict is
+    // answered by diverting pairs, stranding only what both planes lost.
+    return action == RecoveryAction::kFailover || action == RecoveryAction::kPartialService;
+  }
+  switch (verdict) {
+    case verify::FaultVerdict::kSurvives:
+    case verify::FaultVerdict::kFailover:
+      // kFailover requires a dual fabric; unreachable in the non-dual arm.
+      return false;
+    case verify::FaultVerdict::kStaleRoute:
+    case verify::FaultVerdict::kDeadlockProne:
+    case verify::FaultVerdict::kSynthesizedRepair:
+      return action == RecoveryAction::kRepair || action == RecoveryAction::kPartialService ||
+             action == RecoveryAction::kRepairRejected;
+    case verify::FaultVerdict::kPartitioned:
+      // Full reachability is physically gone: a full-service kRepair would
+      // mean the certifier passed a table that cannot exist.
+      return action == RecoveryAction::kPartialService ||
+             action == RecoveryAction::kRepairRejected;
+    case verify::FaultVerdict::kProvenUnroutable:
+      return action == RecoveryAction::kRepairRejected;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string InvariantReport::summary() const {
+  if (violations.empty()) return "ok";
+  std::string out;
+  for (const InvariantViolation& v : violations) {
+    if (out.find(v.invariant) != std::string::npos) continue;
+    if (!out.empty()) out += "; ";
+    out += v.invariant;
+  }
+  return out;
+}
+
+InvariantReport check_recovery_invariants(const RecoveryTrace& trace) {
+  InvariantReport out;
+  const auto violate = [&](const char* invariant, const std::string& detail) {
+    out.violations.push_back({invariant, detail});
+  };
+  const RecoveryReport& rep = trace.report;
+  const sim::RunResult& run = rep.run;
+
+  // lifecycle-monotone + rounds-sequential + latency-bounded +
+  // certified-install + verdict-action-consistent, event by event.
+  std::uint64_t prev_installed = 0;
+  for (std::size_t i = 0; i < rep.events.size(); ++i) {
+    const RecoveryEvent& ev = rep.events[i];
+    std::ostringstream who;
+    who << "event " << i << " (" << to_string(ev.action) << ")";
+
+    if (ev.detected_cycle > ev.escalated_cycle || ev.escalated_cycle > ev.quiesced_cycle ||
+        ev.quiesced_cycle > ev.installed_cycle) {
+      std::ostringstream os;
+      os << who.str() << ": detected=" << ev.detected_cycle
+         << " escalated=" << ev.escalated_cycle << " quiesced=" << ev.quiesced_cycle
+         << " installed=" << ev.installed_cycle;
+      violate("lifecycle-monotone", os.str());
+    }
+    if (i > 0 && ev.installed_cycle < prev_installed) {
+      std::ostringstream os;
+      os << who.str() << ": installed=" << ev.installed_cycle << " before previous round's "
+         << prev_installed;
+      violate("rounds-sequential", os.str());
+    }
+    prev_installed = std::max(prev_installed, ev.installed_cycle);
+
+    if (ev.installed_cycle - ev.detected_cycle > trace.max_recovery_latency) {
+      std::ostringstream os;
+      os << who.str() << ": " << (ev.installed_cycle - ev.detected_cycle)
+         << " cycles detect-to-install exceeds the " << trace.max_recovery_latency
+         << "-cycle bound";
+      violate("latency-bounded", os.str());
+    }
+
+    switch (ev.action) {
+      case RecoveryAction::kRepair:
+      case RecoveryAction::kPartialService:
+        if (ev.repair_attempted && !ev.repair_certified) {
+          violate("certified-install",
+                  who.str() + ": table installed without certification");
+        }
+        if (ev.action == RecoveryAction::kRepair &&
+            (!ev.repair_attempted || ev.repair_method == "none")) {
+          violate("certified-install", who.str() + ": repair installed from nowhere");
+        }
+        break;
+      case RecoveryAction::kRepairRejected:
+        if (ev.repair_certified) {
+          violate("certified-install",
+                  who.str() + ": round rejected yet claims a certified repair");
+        }
+        break;
+      case RecoveryAction::kNone:
+      case RecoveryAction::kFailover:
+        if (ev.repair_attempted) {
+          violate("certified-install",
+                  who.str() + ": repair attempted on a round that installs nothing");
+        }
+        break;
+    }
+
+    if (ev.static_verdict.has_value() &&
+        !action_allowed(*ev.static_verdict, ev.action, trace.dual)) {
+      violate("verdict-action-consistent",
+              who.str() + ": static verdict " + verify::to_string(*ev.static_verdict) +
+                  " does not permit runtime action " + to_string(ev.action));
+    }
+    if (!ev.static_verdict.has_value() && ev.action != RecoveryAction::kRepairRejected) {
+      violate("verdict-action-consistent",
+              who.str() + ": round acted without a static verdict");
+    }
+  }
+
+  // no-misdelivery.
+  if (run.packets_misdelivered != 0) {
+    std::ostringstream os;
+    os << run.packets_misdelivered << " packet(s) delivered to the wrong node";
+    violate("no-misdelivery", os.str());
+  }
+
+  // no-silent-loss: losses must be accounted as stranded pairs (the
+  // stranded list is sorted and deduplicated by the controller).
+  std::uint64_t lost_seen = 0;
+  for (std::size_t pid = 0; pid < trace.packets.size(); ++pid) {
+    const PacketTrace& p = trace.packets[pid];
+    if (!p.lost) continue;
+    ++lost_seen;
+    if (!std::binary_search(rep.stranded.begin(), rep.stranded.end(),
+                            std::make_pair(p.src, p.dst))) {
+      std::ostringstream os;
+      os << "packet " << pid << " (" << p.src.index() << " -> " << p.dst.index()
+         << ") lost but its pair was never recorded stranded";
+      violate("no-silent-loss", os.str());
+    }
+  }
+  if (lost_seen != run.packets_lost) {
+    std::ostringstream os;
+    os << "run counts " << run.packets_lost << " lost packet(s) but the trace shows "
+       << lost_seen;
+    violate("no-silent-loss", os.str());
+  }
+
+  // in-order-delivery.
+  if (trace.inorder_matters && run.out_of_order_deliveries != 0) {
+    std::ostringstream os;
+    os << run.out_of_order_deliveries
+       << " out-of-order deliveries on a deterministic routing across the swap";
+    violate("in-order-delivery", os.str());
+  }
+
+  // graceful-termination.
+  const bool any_rejected =
+      std::any_of(rep.events.begin(), rep.events.end(), [](const RecoveryEvent& e) {
+        return e.action == RecoveryAction::kRepairRejected;
+      });
+  switch (run.outcome) {
+    case sim::RunOutcome::kDeadlocked:
+      violate("graceful-termination", "the simulator declared deadlock under recovery");
+      break;
+    case sim::RunOutcome::kCycleLimit:
+      if (!any_rejected) {
+        violate("graceful-termination",
+                "traffic never drained although every round claims success");
+      }
+      break;
+    case sim::RunOutcome::kCompleted: {
+      std::uint64_t terminal = 0;
+      for (const PacketTrace& p : trace.packets) {
+        if (p.delivered || p.misdelivered || p.lost) ++terminal;
+      }
+      if (terminal != trace.packets.size()) {
+        std::ostringstream os;
+        os << (trace.packets.size() - terminal)
+           << " packet(s) neither delivered nor lost on a completed run";
+        violate("graceful-termination", os.str());
+      }
+      break;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace servernet::recovery

@@ -1,0 +1,93 @@
+// The recovery ordering contract as an executable checker.
+//
+// RecoveryController's header states the lifecycle contract in prose:
+// stages sequenced within a round, rounds never overlapping, quiesce
+// before swap, order-preserving re-offer, no table installed without a
+// fresh certification, packets lost only when their pair is recorded
+// stranded. The chaos campaign engine (recovery/campaign.hpp) exists to
+// attack that contract with adversarial fault schedules — this module is
+// the judge it hands every run to.
+//
+// Each invariant has a stable id (the strings below appear in JSON
+// reports, docs/VERIFICATION.md and the seeded-violation fixtures in
+// tests/test_chaos.cpp):
+//
+//   lifecycle-monotone        per event: detected <= escalated <=
+//                             quiesced <= installed
+//   rounds-sequential         events recorded in nondecreasing
+//                             installed_cycle order (rounds never overlap)
+//   no-misdelivery            no packet ever delivered to the wrong node
+//   no-silent-loss            every lost packet's (src,dst) pair appears
+//                             in the stranded list, and the lost counts
+//                             reconcile
+//   in-order-delivery         deterministic combos: zero out-of-order
+//                             deliveries across every purge/swap
+//   certified-install         installed repairs were certified; rejected
+//                             rounds installed nothing
+//   latency-bounded           installed - detected <= max_recovery_latency
+//                             for every round
+//   verdict-action-consistent the runtime action of each round is one the
+//                             static classify_channel_faults verdict
+//                             permits
+//   graceful-termination      the run never ends in sim-declared deadlock;
+//                             an undrained fabric is only legal when some
+//                             round was budget-rejected (service was
+//                             knowingly withheld, not silently wedged)
+//
+// The checker is pure: it looks only at the trace handed to it, never at
+// a live simulator, so failing traces can be shrunk and replayed
+// deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recovery/controller.hpp"
+#include "topo/network.hpp"
+
+namespace servernet::recovery {
+
+/// One terminal packet as the checker sees it.
+struct PacketTrace {
+  NodeId src;
+  NodeId dst;
+  bool delivered = false;
+  bool misdelivered = false;
+  bool lost = false;
+};
+
+/// Everything one campaign run exposes to the invariant checker.
+struct RecoveryTrace {
+  /// The controller's final (cumulative) report for the run.
+  RecoveryReport report;
+  /// Per-packet terminal states (index = PacketId).
+  std::vector<PacketTrace> packets;
+  /// Deterministic combos promise strict per-(src,dst) order across swaps
+  /// (§3.3); adaptive combos forfeit it and skip the in-order invariant.
+  bool inorder_matters = true;
+  /// Dual-fabric run: failover replaces repair, so certified-install has
+  /// nothing to certify.
+  bool dual = false;
+  /// Bound for the latency-bounded invariant, in cycles.
+  std::uint64_t max_recovery_latency = 20000;
+};
+
+struct InvariantViolation {
+  /// Stable invariant id (see the header comment).
+  std::string invariant;
+  std::string detail;
+};
+
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// "ok", or the violated invariant ids joined with "; ".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Checks the full recovery contract over one trace. Pure and
+/// deterministic: same trace, same report.
+[[nodiscard]] InvariantReport check_recovery_invariants(const RecoveryTrace& trace);
+
+}  // namespace servernet::recovery

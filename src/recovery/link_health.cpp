@@ -9,6 +9,7 @@ LinkHealthMonitor::LinkHealthMonitor(std::size_t channel_count, const Config& co
   SN_REQUIRE(config.heartbeat_period >= 1, "heartbeat period must be at least one cycle");
   SN_REQUIRE(config.probe_backoff >= 1, "probe backoff must be at least one cycle");
   SN_REQUIRE(config.probe_budget >= 1, "need at least one probe before escalating");
+  SN_REQUIRE(config.flap_budget >= 1, "need at least one tolerated transient recovery");
   next_heartbeat_ = config.heartbeat_period;
 }
 
@@ -38,8 +39,17 @@ std::vector<ChannelId> LinkHealthMonitor::poll(std::uint64_t now,
     Link& link = links_[ci];
     if (link.state != LinkState::kSuspect || now < link.next_probe) continue;
     if (!link_down(ChannelId{ci})) {
+      if (link.flaps >= config_.flap_budget) {
+        // The link is up right now, but it has burned its flap budget:
+        // a permanently flapping cable must not ride the transient path
+        // forever. Condemn it as intermittent hardware.
+        link.state = LinkState::kHard;
+        newly_hard.push_back(ChannelId{ci});
+        continue;
+      }
       // Flaky link recovered within its budget: no maintenance action.
       link.state = LinkState::kHealthy;
+      ++link.flaps;
       ++transient_recoveries_;
       continue;
     }

@@ -20,6 +20,13 @@
 // failed probes escalate it to HARD, the signal the recovery controller
 // acts on. HARD is terminal: dead hardware does not resurrect, it gets
 // repaired around.
+//
+// Transient recoveries are *remembered* per link: a cable that keeps
+// oscillating just inside the probe budget would otherwise flap forever
+// without ever reaching the controller. After `flap_budget` transient
+// recoveries on one link, the next probe that finds it up escalates it to
+// HARD anyway — an intermittent cable is a maintenance action, not a
+// congestion artifact (§2's whole point).
 #pragma once
 
 #include <cstdint>
@@ -45,6 +52,12 @@ class LinkHealthMonitor {
     /// probing after the miss — a transient fault shorter than that never
     /// reaches the recovery controller.
     std::uint32_t probe_budget = 3;
+    /// Transient recoveries tolerated per link before the ladder stops
+    /// trusting it: once a link has burned this budget, the next probe
+    /// that finds it up escalates to HARD instead of clearing it. The
+    /// link may be physically up at that moment — HARD here means
+    /// "condemned as intermittent", and the controller routes around it.
+    std::uint32_t flap_budget = 8;
   };
 
   LinkHealthMonitor(std::size_t channel_count, const Config& config);
@@ -76,6 +89,8 @@ class LinkHealthMonitor {
   struct Link {
     LinkState state = LinkState::kHealthy;
     std::uint32_t probes = 0;
+    /// Lifetime transient recoveries on this link (never resets).
+    std::uint32_t flaps = 0;
     std::uint64_t first_evidence = 0;
     std::uint64_t next_probe = 0;
   };

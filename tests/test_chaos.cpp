@@ -1,0 +1,412 @@
+// The chaos campaign engine and its judge (src/recovery/campaign,
+// src/recovery/invariants): seeded-violation fixtures prove every
+// invariant in the checker actually fires, the generator is shown
+// deterministic per (fabric, seed), every campaign family holds the
+// recovery contract on real small fabrics, and the delta-debugging
+// shrinker reduces failing schedules to 1-minimal subsequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "recovery/campaign.hpp"
+#include "recovery/invariants.hpp"
+#include "verify/faults.hpp"
+#include "verify/registry.hpp"
+
+namespace servernet {
+namespace {
+
+using recovery::Campaign;
+using recovery::CampaignFamily;
+using recovery::CampaignGenOptions;
+using recovery::CampaignOptions;
+using recovery::CampaignResult;
+using recovery::ChaosSweepReport;
+using recovery::check_recovery_invariants;
+using recovery::FaultEpisode;
+using recovery::InvariantReport;
+using recovery::PacketTrace;
+using recovery::RecoveryAction;
+using recovery::RecoveryEvent;
+using recovery::RecoveryTrace;
+
+const verify::RegistryCombo& combo_named(const std::string& name) {
+  for (const verify::RegistryCombo& c : verify::registry()) {
+    if (c.name == name) return c;
+  }
+  throw std::runtime_error("no combo named " + name);
+}
+
+bool violates(const InvariantReport& report, const std::string& invariant) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&](const auto& v) { return v.invariant == invariant; });
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-violation fixtures: every invariant id must be reachable. Each
+// fixture starts from a trace the checker accepts and breaks exactly one
+// aspect of it, so a firing means the intended check fired.
+// ---------------------------------------------------------------------------
+
+/// A lifecycle-consistent kRepair event the checker accepts as-is.
+RecoveryEvent clean_repair_event() {
+  RecoveryEvent ev;
+  ev.action = RecoveryAction::kRepair;
+  ev.detected_cycle = 16;
+  ev.escalated_cycle = 72;
+  ev.quiesced_cycle = 90;
+  ev.installed_cycle = 120;
+  ev.repair_attempted = true;
+  ev.repair_certified = true;
+  ev.repair_method = "forest-updown";
+  ev.static_verdict = verify::FaultVerdict::kStaleRoute;
+  return ev;
+}
+
+/// A completed two-packet run with one repair round; passes every check.
+RecoveryTrace clean_trace() {
+  RecoveryTrace trace;
+  trace.report.run.outcome = sim::RunOutcome::kCompleted;
+  trace.report.run.packets_delivered = 2;
+  trace.report.events.push_back(clean_repair_event());
+  trace.packets.push_back({NodeId{0U}, NodeId{1U}, /*delivered=*/true, false, false});
+  trace.packets.push_back({NodeId{1U}, NodeId{0U}, /*delivered=*/true, false, false});
+  return trace;
+}
+
+TEST(RecoveryInvariants, CleanTraceHoldsEveryInvariant) {
+  const InvariantReport report = check_recovery_invariants(clean_trace());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.summary(), "ok");
+}
+
+TEST(RecoveryInvariants, LifecycleMonotoneCatchesTimeTravel) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.events[0].quiesced_cycle = trace.report.events[0].escalated_cycle - 1;
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "lifecycle-monotone"));
+}
+
+TEST(RecoveryInvariants, RoundsSequentialCatchesOverlap) {
+  RecoveryTrace trace = clean_trace();
+  RecoveryEvent second = clean_repair_event();
+  second.detected_cycle = 10;
+  second.escalated_cycle = 60;
+  second.quiesced_cycle = 80;
+  second.installed_cycle = 100;  // before the first round's 120
+  trace.report.events.push_back(second);
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "rounds-sequential"));
+}
+
+TEST(RecoveryInvariants, NoMisdeliveryCatchesWrongNode) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.run.packets_misdelivered = 1;
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "no-misdelivery"));
+}
+
+TEST(RecoveryInvariants, NoSilentLossCatchesUnstrandedLoss) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.run.packets_lost = 1;
+  trace.packets[1] = {NodeId{1U}, NodeId{0U}, false, false, /*lost=*/true};
+  // The pair was never recorded stranded: silent loss.
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "no-silent-loss"));
+  // Recording it stranded legitimizes the loss.
+  trace.report.stranded.emplace_back(NodeId{1U}, NodeId{0U});
+  EXPECT_FALSE(violates(check_recovery_invariants(trace), "no-silent-loss"));
+}
+
+TEST(RecoveryInvariants, NoSilentLossCatchesCountMismatch) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.run.packets_lost = 1;  // the per-packet trace shows zero
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "no-silent-loss"));
+}
+
+TEST(RecoveryInvariants, InOrderDeliveryOnlyBindsDeterministicCombos) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.run.out_of_order_deliveries = 3;
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "in-order-delivery"));
+  trace.inorder_matters = false;  // adaptive combos forfeit the premise
+  EXPECT_FALSE(violates(check_recovery_invariants(trace), "in-order-delivery"));
+}
+
+TEST(RecoveryInvariants, CertifiedInstallCatchesUncertifiedSwap) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.events[0].repair_certified = false;
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "certified-install"));
+}
+
+TEST(RecoveryInvariants, CertifiedInstallCatchesRepairFromNowhere) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.events[0].repair_attempted = false;
+  trace.report.events[0].repair_method = "none";
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "certified-install"));
+}
+
+TEST(RecoveryInvariants, CertifiedInstallCatchesRejectedRoundClaimingRepair) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.events[0].action = RecoveryAction::kRepairRejected;
+  trace.report.events[0].static_verdict.reset();
+  // Still claims repair_certified = true from the fixture: contradiction.
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "certified-install"));
+}
+
+TEST(RecoveryInvariants, LatencyBoundedCatchesSlowRounds) {
+  RecoveryTrace trace = clean_trace();
+  trace.max_recovery_latency = 50;  // the fixture's round takes 104 cycles
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "latency-bounded"));
+}
+
+TEST(RecoveryInvariants, VerdictActionConsistentCatchesForbiddenAction) {
+  RecoveryTrace trace = clean_trace();
+  // The classifier said the stale table survives; repairing anyway means
+  // the runtime disagreed with the static verdict.
+  trace.report.events[0].static_verdict = verify::FaultVerdict::kSurvives;
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "verdict-action-consistent"));
+}
+
+TEST(RecoveryInvariants, VerdictActionConsistentRequiresAVerdict) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.events[0].static_verdict.reset();
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "verdict-action-consistent"));
+}
+
+TEST(RecoveryInvariants, DualFabricAnswersFaultsByDiverting) {
+  RecoveryTrace trace = clean_trace();
+  trace.dual = true;
+  RecoveryEvent& ev = trace.report.events[0];
+  ev.action = RecoveryAction::kFailover;
+  ev.repair_attempted = false;
+  ev.repair_certified = false;
+  ev.repair_method = "none";
+  ev.static_verdict = verify::FaultVerdict::kFailover;
+  EXPECT_TRUE(check_recovery_invariants(trace).ok());
+  // The same event on a single fabric is impossible: nothing to fail
+  // over to.
+  trace.dual = false;
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "verdict-action-consistent"));
+}
+
+TEST(RecoveryInvariants, GracefulTerminationCatchesDeadlock) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.run.outcome = sim::RunOutcome::kDeadlocked;
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "graceful-termination"));
+}
+
+TEST(RecoveryInvariants, CycleLimitIsOnlyLegalAfterARejectedRound) {
+  RecoveryTrace trace = clean_trace();
+  trace.report.run.outcome = sim::RunOutcome::kCycleLimit;
+  // Every round claims success yet traffic never drained: a wedge.
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "graceful-termination"));
+  RecoveryEvent rejected;
+  rejected.action = RecoveryAction::kRepairRejected;
+  rejected.detected_cycle = rejected.escalated_cycle = 200;
+  rejected.quiesced_cycle = rejected.installed_cycle = 200;
+  trace.report.events.push_back(rejected);
+  // Service was knowingly withheld: the undrained fabric is accounted for.
+  EXPECT_FALSE(violates(check_recovery_invariants(trace), "graceful-termination"));
+}
+
+TEST(RecoveryInvariants, CompletedRunMustTerminateEveryPacket) {
+  RecoveryTrace trace = clean_trace();
+  trace.packets[1].delivered = false;  // neither delivered nor lost
+  EXPECT_TRUE(violates(check_recovery_invariants(trace), "graceful-termination"));
+}
+
+// ---------------------------------------------------------------------------
+// Campaign generation: deterministic, seed-sensitive, family-complete.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignGen, DeterministicAcrossIdenticalBuilds) {
+  const verify::RegistryCombo& combo = combo_named("tetrahedron");
+  const verify::BuiltFabric a = combo.build();
+  const verify::BuiltFabric b = combo.build();
+  CampaignGenOptions gen;
+  gen.seed = 7;
+  gen.campaigns = 12;
+  const std::vector<Campaign> ca = recovery::generate_campaigns(a, gen);
+  const std::vector<Campaign> cb = recovery::generate_campaigns(b, gen);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].family, cb[i].family);
+    EXPECT_EQ(ca[i].seed, cb[i].seed);
+    EXPECT_EQ(ca[i].description, cb[i].description);
+    ASSERT_EQ(ca[i].episodes.size(), cb[i].episodes.size());
+    for (std::size_t e = 0; e < ca[i].episodes.size(); ++e) {
+      EXPECT_EQ(ca[i].episodes[e].at_cycle, cb[i].episodes[e].at_cycle);
+      EXPECT_EQ(ca[i].episodes[e].restore_after, cb[i].episodes[e].restore_after);
+      EXPECT_EQ(ca[i].episodes[e].channels, cb[i].episodes[e].channels);
+    }
+  }
+}
+
+TEST(CampaignGen, SeedChangesTheSchedules) {
+  const verify::BuiltFabric built = combo_named("tetrahedron").build();
+  CampaignGenOptions gen;
+  gen.campaigns = 6;
+  gen.seed = 1;
+  const std::vector<Campaign> a = recovery::generate_campaigns(built, gen);
+  gen.seed = 2;
+  const std::vector<Campaign> b = recovery::generate_campaigns(built, gen);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_differ = any_differ || a[i].seed != b[i].seed;
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(CampaignGen, FamiliesRotateAndSchedulesAreNonEmpty) {
+  const verify::BuiltFabric built = combo_named("ring-8-updown").build();
+  CampaignGenOptions gen;
+  gen.campaigns = 2 * recovery::kCampaignFamilyCount;
+  const std::vector<Campaign> campaigns = recovery::generate_campaigns(built, gen);
+  ASSERT_EQ(campaigns.size(), gen.campaigns);
+  std::set<CampaignFamily> seen;
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    const Campaign& c = campaigns[i];
+    seen.insert(c.family);
+    EXPECT_EQ(c.index, i);
+    EXPECT_FALSE(c.episodes.empty()) << c.description;
+    EXPECT_FALSE(c.description.empty());
+    for (const FaultEpisode& ep : c.episodes) EXPECT_FALSE(ep.channels.empty());
+  }
+  EXPECT_EQ(seen.size(), recovery::kCampaignFamilyCount);
+}
+
+// ---------------------------------------------------------------------------
+// Real campaign runs: every family must hold the contract on fabrics that
+// cover the plain, VC, and dual-fabric recovery paths.
+// ---------------------------------------------------------------------------
+
+class ChaosCampaigns : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ChaosCampaigns, EveryFamilyHoldsEveryInvariant) {
+  CampaignGenOptions gen;
+  gen.seed = 1;
+  gen.campaigns = recovery::kCampaignFamilyCount;  // one of each family
+  const ChaosSweepReport report = recovery::run_combo_campaigns(combo_named(GetParam()), gen);
+  ASSERT_EQ(report.campaigns, gen.campaigns);
+  for (const CampaignResult& r : report.results) {
+    EXPECT_TRUE(r.ok()) << recovery::to_string(r.campaign.family) << " [seed " << r.campaign.seed
+                        << "] " << r.campaign.description << ": " << r.invariants.summary();
+  }
+  EXPECT_TRUE(report.all_ok());
+}
+
+std::string chaos_param_name(const ::testing::TestParamInfo<const char*>& param_info) {
+  std::string name = param_info.param;
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCombos, ChaosCampaigns,
+                         ::testing::Values("tetrahedron", "ring-8-updown", "ring-4-dateline-vc",
+                                           "dual-mesh-3x3-dor"),
+                         chaos_param_name);
+
+TEST(ChaosCampaign, DualPlaneFamilyStrandsInsteadOfWedging) {
+  const verify::RegistryCombo& combo = combo_named("dual-mesh-3x3-dor");
+  const verify::BuiltFabric built = combo.build();
+  CampaignGenOptions gen;
+  gen.campaigns = recovery::kCampaignFamilyCount;
+  const std::vector<Campaign> campaigns = recovery::generate_campaigns(built, gen);
+  const auto it = std::find_if(campaigns.begin(), campaigns.end(), [](const Campaign& c) {
+    return c.family == CampaignFamily::kDualPlaneDouble;
+  });
+  ASSERT_NE(it, campaigns.end());
+  ASSERT_EQ(it->episodes.size(), 2U) << "dual fabrics get the two-plane schedule";
+  const CampaignResult result = recovery::run_campaign(built, *it);
+  EXPECT_TRUE(result.ok()) << result.invariants.summary();
+  EXPECT_NE(result.run.outcome, sim::RunOutcome::kDeadlocked);
+}
+
+TEST(ChaosCampaign, RoundExhaustionFamilyRejectsExcessRounds) {
+  const verify::BuiltFabric built = combo_named("tetrahedron").build();
+  CampaignGenOptions gen;
+  gen.campaigns = recovery::kCampaignFamilyCount;
+  const std::vector<Campaign> campaigns = recovery::generate_campaigns(built, gen);
+  const auto it = std::find_if(campaigns.begin(), campaigns.end(), [](const Campaign& c) {
+    return c.family == CampaignFamily::kRoundExhaustion;
+  });
+  ASSERT_NE(it, campaigns.end());
+  EXPECT_EQ(it->max_rounds, 2U);
+  const CampaignResult result = recovery::run_campaign(built, *it);
+  EXPECT_TRUE(result.ok()) << result.invariants.summary();
+  EXPECT_GE(result.rounds_rejected, 1U) << "the budget never ran out";
+}
+
+// ---------------------------------------------------------------------------
+// The failure path: the corrupt_trace hook plants a violation in a real
+// run, proving the checker fires end-to-end and the shrinker reduces the
+// schedule.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosCampaign, CorruptTraceTripsCheckerAndShrinksSchedule) {
+  const verify::BuiltFabric built = combo_named("tetrahedron").build();
+  CampaignGenOptions gen;
+  gen.campaigns = recovery::kCampaignFamilyCount;
+  const std::vector<Campaign> campaigns = recovery::generate_campaigns(built, gen);
+  const auto it = std::find_if(campaigns.begin(), campaigns.end(), [](const Campaign& c) {
+    return c.family == CampaignFamily::kMidRecoveryFault;
+  });
+  ASSERT_NE(it, campaigns.end());
+  ASSERT_EQ(it->episodes.size(), 2U);
+
+  CampaignOptions options;
+  // Fault-dependent corruption: any round at all claims a misdelivery, so
+  // the failure persists while either episode remains and vanishes when
+  // the schedule is empty — exactly what the shrinker needs to bite on.
+  options.corrupt_trace = [](RecoveryTrace& trace) {
+    if (!trace.report.events.empty()) trace.report.run.packets_misdelivered = 1;
+  };
+  const CampaignResult result = recovery::run_campaign(built, *it, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(violates(result.invariants, "no-misdelivery")) << result.invariants.summary();
+  // Either episode alone still escalates a round, so the 1-minimal
+  // schedule is a single episode.
+  ASSERT_EQ(result.shrunk.size(), 1U);
+  EXPECT_FALSE(result.shrunk[0].channels.empty());
+}
+
+// ---------------------------------------------------------------------------
+// shrink_episodes in isolation: greedy delta-debugging to a 1-minimal,
+// order-preserving subsequence.
+// ---------------------------------------------------------------------------
+
+std::vector<FaultEpisode> episodes_at(std::initializer_list<std::uint64_t> cycles) {
+  std::vector<FaultEpisode> out;
+  for (const std::uint64_t at : cycles) out.push_back({at, {ChannelId{0U}}, 0});
+  return out;
+}
+
+bool has_episode_at(const std::vector<FaultEpisode>& episodes, std::uint64_t at) {
+  return std::any_of(episodes.begin(), episodes.end(),
+                     [&](const FaultEpisode& ep) { return ep.at_cycle == at; });
+}
+
+TEST(ShrinkEpisodes, ReducesToTheFailingCore) {
+  const std::vector<FaultEpisode> full = episodes_at({100, 200, 300, 400, 500});
+  // Fails only while both cycle-100 and cycle-300 episodes survive.
+  const auto still_fails = [](const std::vector<FaultEpisode>& eps) {
+    return has_episode_at(eps, 100) && has_episode_at(eps, 300);
+  };
+  const std::vector<FaultEpisode> shrunk = recovery::shrink_episodes(full, still_fails);
+  ASSERT_EQ(shrunk.size(), 2U);
+  EXPECT_EQ(shrunk[0].at_cycle, 100U);  // order preserved
+  EXPECT_EQ(shrunk[1].at_cycle, 300U);
+  // Re-shrinking a 1-minimal schedule is a fixed point.
+  const std::vector<FaultEpisode> again = recovery::shrink_episodes(shrunk, still_fails);
+  EXPECT_EQ(again.size(), 2U);
+}
+
+TEST(ShrinkEpisodes, UnconditionalFailureShrinksToNothing) {
+  const std::vector<FaultEpisode> full = episodes_at({10, 20, 30});
+  const std::vector<FaultEpisode> shrunk =
+      recovery::shrink_episodes(full, [](const std::vector<FaultEpisode>&) { return true; });
+  EXPECT_TRUE(shrunk.empty()) << "a schedule-independent failure needs no episodes";
+}
+
+}  // namespace
+}  // namespace servernet

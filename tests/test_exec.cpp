@@ -190,6 +190,30 @@ TEST(ShardedSweep, RecoveryMatchesSerialByteForByte) {
   }
 }
 
+TEST(ShardedSweep, ChaosCampaignsMatchSerialByteForByte) {
+  // One campaign per family keeps the TSan runtime sane; the merge path
+  // is identical at any count.
+  recovery::CampaignGenOptions gen;
+  gen.seed = 1;
+  gen.campaigns = recovery::kCampaignFamilyCount;
+  std::vector<const verify::RegistryCombo*> combos;
+  for (const char* name : {"tetrahedron", "ring-8-updown", "dual-mesh-3x3-dor"}) {
+    combos.push_back(&combo_named(name));
+  }
+  const std::vector<recovery::ChaosSweepReport> sharded =
+      exec::sweep_campaigns(combos, exec::SweepOptions{8}, gen);
+  ASSERT_EQ(sharded.size(), combos.size());
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const recovery::ChaosSweepReport serial = recovery::run_combo_campaigns(*combos[i], gen);
+    std::ostringstream serial_json;
+    std::ostringstream sharded_json;
+    serial.write_json(serial_json);
+    sharded[i].write_json(sharded_json);
+    EXPECT_EQ(sharded_json.str(), serial_json.str()) << combos[i]->name;
+    EXPECT_TRUE(sharded[i].all_ok()) << combos[i]->name;
+  }
+}
+
 TEST(ShardedSweep, FaultListMatchesSerialEnumeration) {
   // The shared enumeration is the first leg of the determinism contract:
   // identical builds must yield identical fault lists.

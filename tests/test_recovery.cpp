@@ -97,6 +97,34 @@ TEST(LinkHealth, DirectMissEvidenceBeatsTheHeartbeat) {
   EXPECT_EQ(hard_at, 58U);
 }
 
+TEST(LinkHealth, FlapBudgetCondemnsIntermittentLink) {
+  // A cable that dips for 24 cycles out of every 64: each dip is caught by
+  // a heartbeat and recovers inside the probe budget, so without flap
+  // memory the ladder would ride it out forever.
+  LinkHealthMonitor::Config cfg = monitor_config();
+  cfg.flap_budget = 2;
+  LinkHealthMonitor monitor(4, cfg);
+  const ChannelId flaky{1U};
+  const auto link_down = [&](std::uint64_t now) {
+    return [&, now](ChannelId c) { return c == flaky && now % 64 >= 4 && now % 64 <= 28; };
+  };
+  std::uint64_t hard_at = 0;
+  for (std::uint64_t now = 0; now < 400 && hard_at == 0; ++now) {
+    const auto newly_hard = monitor.poll(now, link_down(now));
+    if (!newly_hard.empty()) {
+      ASSERT_EQ(newly_hard.size(), 1U);
+      EXPECT_EQ(newly_hard[0], flaky);
+      hard_at = now;
+    }
+  }
+  // Dips 1 and 2 recover as transients (probes at 40 and 104 find the
+  // link up); dip 3's recovery probe at 168 finds the budget burned and
+  // condemns the link instead.
+  EXPECT_EQ(monitor.transient_recoveries(), 2U);
+  EXPECT_EQ(hard_at, 168U);
+  EXPECT_TRUE(monitor.is_hard(flaky));
+}
+
 // ---------------------------------------------------------------------------
 // RecoveryController lifecycle on a 3x3 mesh.
 // ---------------------------------------------------------------------------
@@ -233,6 +261,75 @@ TEST(RecoveryController, DualFabricFailsOverWithoutRepair) {
   EXPECT_EQ(report.run.out_of_order_deliveries, 0U);
   // The affected pair now injects on the Y fabric.
   EXPECT_EQ(sim.injection_port(src, dst), 1U);
+}
+
+TEST(RecoveryController, RestoreRaceDoesNotResurrectHardChannel) {
+  // A transient episode whose restore lands AFTER the probe budget runs
+  // out: the channel escalates to HARD at cycle 72, then the episode's
+  // restore comes due at 104. HARD is terminal — the restore must be
+  // dropped, not resurrect the channel the controller already repaired
+  // around.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::WormholeSim sim(mesh.net(), table, sim_config());
+  RecoveryController<sim::WormholeSim> controller(sim, mesh_options());
+
+  const NodeId src = mesh.node_at(0, 0, 0);
+  const NodeId dst = mesh.node_at(2, 0, 0);
+  const RouteResult route = trace_route(mesh.net(), table, src, dst);
+  ASSERT_TRUE(route.ok());
+  const ChannelId dead = route.path.channels[1];
+  controller.schedule_fault(
+      {4, fault_channels(mesh.net(), Fault::link(dead)), /*restore_after=*/100});
+  for (int i = 0; i < 4; ++i) (void)sim.offer_packet(src, dst);
+
+  const RecoveryReport report = controller.run(20000);
+  EXPECT_EQ(report.run.outcome, sim::RunOutcome::kCompleted);
+  ASSERT_EQ(report.events.size(), 1U);
+  EXPECT_EQ(report.events[0].action, RecoveryAction::kRepair);
+  EXPECT_EQ(report.transient_recoveries, 0U);
+  EXPECT_TRUE(controller.monitor().is_hard(dead)) << "the late restore resurrected a HARD link";
+  // The repaired table keeps routing around the condemned channel.
+  const RouteResult repaired = trace_route(mesh.net(), sim.table(), src, dst);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(std::count(repaired.path.channels.begin(), repaired.path.channels.end(), dead), 0);
+  EXPECT_EQ(report.run.packets_delivered, 4U);
+  EXPECT_EQ(report.run.out_of_order_deliveries, 0U);
+}
+
+TEST(RecoveryController, RoundBudgetExhaustionRejectsAndStillTerminates) {
+  // More distinct escalations than max_rounds allows: the excess round
+  // must record kRepairRejected (no classification, no install) and run()
+  // must still come back with a consistent report instead of looping.
+  const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
+  const RoutingTable table = dimension_order_routes(mesh);
+  sim::WormholeSim sim(mesh.net(), table, sim_config());
+  RecoveryOptions opts = mesh_options();
+  opts.max_rounds = 1;
+  RecoveryController<sim::WormholeSim> controller(sim, opts);
+
+  const NodeId src = mesh.node_at(0, 0, 0);
+  const NodeId dst = mesh.node_at(2, 0, 0);
+  const RouteResult route = trace_route(mesh.net(), table, src, dst);
+  ASSERT_TRUE(route.ok());
+  // Two cables far apart in time, so they escalate as separate rounds.
+  const RouteResult other = trace_route(mesh.net(), table, mesh.node_at(0, 2, 0), mesh.node_at(2, 2, 0));
+  ASSERT_TRUE(other.ok());
+  controller.schedule_fault({4, fault_channels(mesh.net(), Fault::link(route.path.channels[1])), 0});
+  controller.schedule_fault({600, fault_channels(mesh.net(), Fault::link(other.path.channels[1])), 0});
+  for (int i = 0; i < 4; ++i) (void)sim.offer_packet(src, dst);
+
+  const RecoveryReport report = controller.run(20000);
+  ASSERT_EQ(report.events.size(), 2U);
+  EXPECT_EQ(report.events[0].action, RecoveryAction::kRepair);
+  ASSERT_TRUE(report.events[0].static_verdict.has_value());
+  EXPECT_EQ(report.events[1].action, RecoveryAction::kRepairRejected);
+  EXPECT_FALSE(report.events[1].static_verdict.has_value())
+      << "budget-exhausted rounds reject without classifying";
+  EXPECT_FALSE(report.events[1].repair_attempted);
+  // Rounds still close in order even when the budget slams shut.
+  EXPECT_GE(report.events[1].installed_cycle, report.events[0].installed_cycle);
+  EXPECT_EQ(report.run.packets_delivered, 4U);
 }
 
 // ---------------------------------------------------------------------------

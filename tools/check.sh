@@ -75,5 +75,9 @@ for sanitize in "${sanitizers[@]}"; do
     "-DSERVERNET_SANITIZE=${sanitize}"
   cmake --build "${dir}" -j "$(nproc)"
   ctest --test-dir "${dir}" -L verify --output-on-failure -j "$(nproc)"
+  # Fixed-seed chaos smoke under the sanitizer: the campaign engine drives
+  # the controller through fault storms the clean replay sweep never takes
+  # (mid-recovery purges, rejected rounds, flap condemnations).
+  "${dir}/tools/servernet-verify" --chaos --all --seed 1 --campaigns 3 --jobs "$(nproc)"
 done
 echo "check.sh: verify-labeled tests sanitizer-clean (${sanitizers[*]})"

@@ -44,6 +44,16 @@
 //                                             # it; glue checks sharded over 8
 //                                             # workers, output byte-identical
 //                                             # to --jobs 1
+//   $ servernet-verify --chaos --all --seed 1 --campaigns 50
+//                                             # seeded chaos campaigns (cable-
+//                                             # bundle storms, flapping links,
+//                                             # mid-recovery faults, ...) over
+//                                             # every certified fault-sweep
+//                                             # combo; exit 0 iff every
+//                                             # recovery invariant holds on
+//                                             # every campaign. Failures are
+//                                             # shrunk to a minimal schedule
+//                                             # and replay from the seed
 //
 // The combos pair each builder in src/topo + src/core with its natural
 // routing. "Unrestricted" combos use naive shortest-path routing on looping
@@ -55,10 +65,11 @@
 // degraded channel-id space); --recover replays each static fault verdict
 // through the runtime recovery controller and cross-validates the two.
 //
-// The sweep modes (--all, --faults, --recover, --synthesize) shard their
-// work across --jobs N workers (default: hardware concurrency) via
-// exec/sharded_sweep; reports are merged deterministically, so the text
-// and JSON output is byte-identical at any job count.
+// The sweep modes (--all, --faults, --recover, --synthesize, --chaos)
+// shard their work across --jobs N workers (default: hardware
+// concurrency) via exec/sharded_sweep; reports are merged
+// deterministically, so the text and JSON output is byte-identical at any
+// job count.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -75,10 +86,11 @@ using namespace servernet;
 namespace {
 
 int usage() {
-  std::cerr << "usage: servernet-verify [--json] [--faults|--recover|--synthesize|--compose] "
-               "[--jobs N] [--dot-witness <file>] <combo>...\n"
-               "       servernet-verify [--json] [--faults|--recover|--synthesize|--compose] "
-               "[--jobs N] --all\n"
+  std::cerr << "usage: servernet-verify [--json] [--faults|--recover|--synthesize|--compose"
+               "|--chaos] [--jobs N] [--dot-witness <file>] <combo>...\n"
+               "       servernet-verify [--json] [--faults|--recover|--synthesize|--compose"
+               "|--chaos] [--jobs N] --all\n"
+               "       servernet-verify --chaos [--seed S] [--campaigns N] --all\n"
                "       servernet-verify --list | --passes | --synthesize --list | "
                "--compose --list\n"
                "run 'servernet-verify --list' for the registered combos\n";
@@ -151,7 +163,10 @@ int main(int argc, char** argv) {
   bool recover = false;
   bool synthesize = false;
   bool compose = false;
+  bool chaos = false;
+  bool chaos_knobs = false;  // --seed / --campaigns seen (chaos-only flags)
   exec::SweepOptions sweep;  // jobs = 0: hardware concurrency
+  recovery::CampaignGenOptions gen;
   std::string dot_witness;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
@@ -172,6 +187,21 @@ int main(int argc, char** argv) {
       synthesize = true;
     } else if (arg == "--compose") {
       compose = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) return usage();
+      gen.seed = std::strtoull(argv[++i], nullptr, 10);
+      chaos_knobs = true;
+    } else if (arg == "--campaigns") {
+      if (i + 1 >= argc) return usage();
+      const long campaigns = std::strtol(argv[++i], nullptr, 10);
+      if (campaigns < 1 || campaigns > 100000) {
+        std::cerr << "--campaigns wants a per-combo count in [1, 100000]\n";
+        return 2;
+      }
+      gen.campaigns = static_cast<std::uint32_t>(campaigns);
+      chaos_knobs = true;
     } else if (arg == "--jobs") {
       if (i + 1 >= argc) return usage();
       const long jobs = std::strtol(argv[++i], nullptr, 10);
@@ -190,14 +220,15 @@ int main(int argc, char** argv) {
     }
   }
   // Compose reports have no materialized Network to render a witness into.
-  if (!dot_witness.empty() && (all || faults || recover || list || passes || compose)) {
+  if (!dot_witness.empty() && (all || faults || recover || list || passes || compose || chaos)) {
     return usage();
   }
   if (static_cast<int>(faults) + static_cast<int>(recover) + static_cast<int>(synthesize) +
-          static_cast<int>(compose) >
+          static_cast<int>(compose) + static_cast<int>(chaos) >
       1) {
     return usage();
   }
+  if (chaos_knobs && !chaos) return usage();  // --seed/--campaigns shape chaos sweeps only
 
   if (passes) {
     for (const verify::PassInfo& p : verify::pass_roster()) {
@@ -260,6 +291,31 @@ int main(int argc, char** argv) {
       report.write_text(std::cout);
     }
     return report.all_as_expected() ? 0 : 1;
+  }
+  if (all && chaos) {
+    // Chaos gate: every campaign family against every certified fault-
+    // sweep combo; all recovery invariants must hold on every run.
+    // Expected-indicted combos are skipped for the same reason --recover
+    // skips them: their fault spaces legitimately deadlock at runtime.
+    const std::vector<const verify::RegistryCombo*> combos =
+        sweepable_combos(/*certified_only=*/true);
+    const std::vector<recovery::ChaosSweepReport> reports =
+        exec::sweep_campaigns(combos, sweep, gen);
+    bool all_ok = true;
+    if (json) std::cout << "[\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const recovery::ChaosSweepReport& report = reports[i];
+      all_ok = all_ok && report.all_ok();
+      if (json) {
+        if (i != 0) std::cout << ",\n";
+        report.write_json(std::cout);
+      } else {
+        std::cout << combos[i]->name << ": " << report.passed << "/" << report.campaigns
+                  << (report.all_ok() ? " OK" : " VIOLATED") << '\n';
+      }
+    }
+    if (json) std::cout << "]\n";
+    return all_ok ? 0 : 1;
   }
   if (all && recover) {
     // Runtime replay gate: every static fault verdict must be matched by
@@ -387,7 +443,20 @@ int main(int argc, char** argv) {
       std::cerr << "unknown combo '" << name << "' — run with --list\n";
       return 2;
     }
-    if (recover) {
+    if (chaos) {
+      if (!combo->fault_sweep) {
+        std::cerr << "combo '" << name
+                  << "' is excluded from fault sweeps (see verify/registry.hpp)\n";
+        return 2;
+      }
+      const recovery::ChaosSweepReport report = exec::sweep_combo_campaigns(*combo, sweep, gen);
+      if (json) {
+        report.write_json(std::cout);
+      } else {
+        report.write_text(std::cout);
+      }
+      any_errors = any_errors || !report.all_ok();
+    } else if (recover) {
       if (!combo->fault_sweep) {
         std::cerr << "combo '" << name
                   << "' is excluded from fault sweeps (see verify/registry.hpp)\n";
