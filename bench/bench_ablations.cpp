@@ -20,8 +20,8 @@
 #include "topo/ring.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "workload/injector.hpp"
 #include "workload/scenarios.hpp"
-#include "sim/injector.hpp"
 #include "workload/traffic.hpp"
 
 using namespace servernet;
@@ -96,7 +96,7 @@ void thin_vs_fat_under_load() {
       cfg.no_progress_threshold = 20000;
       sim::WormholeSim s(fh.net(), rt, cfg);
       UniformTraffic pattern(fh.net().node_count());
-      sim::BernoulliInjector injector(s, pattern, offered, /*seed=*/7);
+      workload::BernoulliInjector injector(s, pattern, offered, /*seed=*/7);
       const bool alive = injector.run(4000);
       injector.drain(200000);
       t.row()

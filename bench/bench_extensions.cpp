@@ -12,8 +12,8 @@
 #include "route/dimension_order.hpp"
 #include "route/fat_tree_routes.hpp"
 #include "route/table_compression.hpp"
-#include "sim/injector.hpp"
 #include "sim/wormhole_sim.hpp"
+#include "workload/injector.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/hypercube.hpp"
 #include "topo/mesh.hpp"
@@ -126,7 +126,7 @@ void saturation_vs_sim() {
       cfg.no_progress_threshold = 50000;
       sim::WormholeSim s(c.net, c.rt, cfg);
       UniformTraffic pattern(c.net.node_count());
-      sim::BernoulliInjector injector(s, pattern, est.lambda_sat * factor, /*seed=*/11);
+      workload::BernoulliInjector injector(s, pattern, est.lambda_sat * factor, /*seed=*/11);
       injector.run(3000);
       injector.drain(400000);
       return s.metrics().latency().empty() ? 0.0 : s.metrics().latency().mean();
@@ -187,7 +187,7 @@ void locality() {
     cfg.no_progress_threshold = 50000;
     sim::WormholeSim s(net, rt, cfg);
     LocalityTraffic pattern(net.node_count(), hood, frac);
-    sim::BernoulliInjector injector(s, pattern, 0.15, /*seed=*/23);
+    workload::BernoulliInjector injector(s, pattern, 0.15, /*seed=*/23);
     injector.run(3000);
     injector.drain(400000);
     return s.metrics().latency().empty() ? 0.0 : s.metrics().latency().mean();

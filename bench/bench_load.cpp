@@ -1,0 +1,210 @@
+// Heavy-traffic load curves — E21: the scenario database under load, and
+// the paper's Table 2 contention figures re-validated *dynamically*.
+//
+// Two products:
+//
+//   1. Offered-load vs throughput/latency curves for the head-to-head
+//      fabrics (4-2 fat tree vs fat fractahedron, both 64 nodes) under
+//      four scenario families from the workload database — the §4 "heavy
+//      loading" picture, per scenario.
+//   2. Table 2, measured instead of counted: the fat-tree quadrant
+//      squeeze (12:1) and the fractahedron diagonal (4:1) transfer sets
+//      driven open-loop to their plateau. A contention-C bottleneck link
+//      moves one flit per cycle, so per-sender accepted throughput should
+//      plateau near 1/C — the static analysis and the flit-level
+//      simulator must agree on which fabric degrades 3x harder.
+//
+// Also times the full --load roster at jobs=1 vs jobs=N through
+// exec/sharded_sweep (byte-identity is asserted in tests/test_exec.cpp;
+// here we only track the wall-clock cost of the worker-pool path).
+//
+// Writes BENCH_load.json (path = argv[1], default "BENCH_load.json") and
+// prints human tables.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/contention.hpp"
+#include "core/fractahedron.hpp"
+#include "exec/sharded_sweep.hpp"
+#include "route/fat_tree_routes.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/table.hpp"
+#include "util/worker_pool.hpp"
+#include "workload/experiment.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/traffic.hpp"
+
+using namespace servernet;
+
+namespace {
+
+const char* const kBenchFabrics[] = {"fat-tree-4-2", "fat-fractahedron-64"};
+const char* const kBenchScenarios[] = {"uniform", "incast", "all-to-all", "hotspot-tenants"};
+
+/// One adversarial transfer set driven to its plateau.
+struct Table2Row {
+  std::string name;
+  std::size_t contention = 0;  // static scenario_contention over the table
+  std::size_t senders = 0;
+  double plateau_per_sender = 0.0;   // max measured accepted, flits/sender/cycle
+  double predicted_per_sender = 0.0; // 1 / contention
+};
+
+Table2Row measure_plateau(const std::string& name, const Network& net,
+                          const RoutingTable& table, const std::vector<Transfer>& transfers) {
+  Table2Row row;
+  row.name = name;
+  row.contention = scenario_contention(net, table, transfers);
+  row.senders = transfers.size();
+  row.predicted_per_sender = 1.0 / static_cast<double>(row.contention);
+  for (const double offered : {0.10, 0.20, 0.40, 0.60, 0.80, 1.00}) {
+    TransferListTraffic pattern(transfers, net.node_count());
+    workload::ExperimentConfig cfg;
+    cfg.offered_flits = offered;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    cfg.drain_limit = 200000;
+    cfg.seed = 0xC0FFEE;
+    const workload::ExperimentResult r =
+        workload::run_load_point(net, table, pattern, cfg);
+    // window_accepted_flits averages over every node; only the
+    // transfer-set sources inject, so rescale to per-sender throughput.
+    const double per_sender = r.window_accepted_flits *
+                              static_cast<double>(net.node_count()) /
+                              static_cast<double>(row.senders);
+    row.plateau_per_sender = std::max(row.plateau_per_sender, per_sender);
+  }
+  return row;
+}
+
+struct SweepRow {
+  unsigned jobs = 1;
+  double ms = 0.0;
+};
+
+void write_json(std::ostream& os, const verify::LoadSweepReport& curves,
+                const std::vector<Table2Row>& table2, double throughput_ratio,
+                double contention_ratio, const std::vector<SweepRow>& sweeps,
+                unsigned hardware_jobs) {
+  os << "{\n  \"bench\": \"load\",\n  \"unit\": \"flits/node/cycle\",\n  \"curves\": [\n";
+  for (std::size_t i = 0; i < curves.items.size(); ++i) {
+    const verify::LoadItemReport& item = curves.items[i];
+    os << "    {\"item\": \"" << item.name << "\", \"fabric\": \"" << item.fabric
+       << "\", \"scenario\": \"" << item.scenario << "\", \"seed\": " << item.seed
+       << ", \"nodes\": " << item.nodes << ", \"points\": [";
+    for (std::size_t p = 0; p < item.points.size(); ++p) {
+      const verify::LoadPoint& point = item.points[p];
+      os << (p == 0 ? "" : ", ") << "{\"offered\": " << point.offered
+         << ", \"accepted\": " << point.accepted
+         << ", \"mean_latency\": " << point.mean_latency
+         << ", \"p95_latency\": " << point.p95_latency
+         << ", \"saturated\": " << (point.saturated ? "true" : "false")
+         << ", \"deadlocked\": " << (point.deadlocked ? "true" : "false") << "}";
+    }
+    os << "], \"saturation_offered\": " << item.saturation_offered()
+       << ", \"peak_accepted\": " << item.peak_accepted() << "}"
+       << (i + 1 < curves.items.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"table2\": {\n    \"rows\": [\n";
+  for (std::size_t i = 0; i < table2.size(); ++i) {
+    const Table2Row& r = table2[i];
+    os << "      {\"scenario\": \"" << r.name << "\", \"contention\": " << r.contention
+       << ", \"senders\": " << r.senders
+       << ", \"plateau_per_sender\": " << r.plateau_per_sender
+       << ", \"predicted_per_sender\": " << r.predicted_per_sender << "}"
+       << (i + 1 < table2.size() ? "," : "") << "\n";
+  }
+  os << "    ],\n    \"throughput_ratio\": " << throughput_ratio
+     << ",\n    \"contention_ratio\": " << contention_ratio << "\n  },\n  \"hardware_jobs\": "
+     << hardware_jobs << ",\n  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    os << "    {\"workload\": \"load_all\", \"jobs\": " << sweeps[i].jobs
+       << ", \"ms\": " << sweeps[i].ms << "}" << (i + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_load.json";
+
+  // ---- scenario curves on the head-to-head fabrics ------------------------
+  std::vector<const verify::LoadItem*> items;
+  for (const char* const fabric : kBenchFabrics) {
+    for (const char* const scenario : kBenchScenarios) {
+      const verify::LoadItem* item =
+          verify::find_load_item(std::string(fabric) + "/" + scenario);
+      if (item == nullptr) {
+        std::cerr << "load roster is missing " << fabric << "/" << scenario << "\n";
+        return 1;
+      }
+      items.push_back(item);
+    }
+  }
+  const verify::LoadSweepReport curves = exec::sweep_load(items);
+  curves.write_text(std::cout);
+
+  // ---- Table 2, dynamically -----------------------------------------------
+  const FatTree tree(FatTreeSpec{});
+  const Fractahedron fracta(FractahedronSpec{});
+  const RoutingTable tree_rt = fat_tree_routing(tree);
+  const RoutingTable fracta_rt = fracta.routing();
+
+  std::vector<Table2Row> table2;
+  table2.push_back(measure_plateau("fat-tree-squeeze", tree.net(), tree_rt,
+                                   scenarios::fat_tree_quadrant_squeeze(tree)));
+  table2.push_back(measure_plateau("fractahedron-diagonal", fracta.net(), fracta_rt,
+                                   scenarios::fractahedron_diagonal(fracta)));
+
+  print_banner(std::cout, "Table 2 re-validated dynamically: plateau vs 1/contention");
+  TextTable t2({"scenario", "contention", "senders", "plateau/sender", "predicted 1/C"});
+  for (const Table2Row& r : table2) {
+    t2.row()
+        .cell(r.name)
+        .cell(static_cast<std::uint64_t>(r.contention))
+        .cell(static_cast<std::uint64_t>(r.senders))
+        .cell(r.plateau_per_sender, 4)
+        .cell(r.predicted_per_sender, 4);
+  }
+  t2.print(std::cout);
+
+  const double throughput_ratio =
+      table2[1].plateau_per_sender / std::max(table2[0].plateau_per_sender, 1e-9);
+  const double contention_ratio =
+      static_cast<double>(table2[0].contention) / static_cast<double>(table2[1].contention);
+  std::cout << "measured throughput ratio (fractahedron : fat tree) = " << throughput_ratio
+            << "; static contention ratio (12:1 vs 4:1) = " << contention_ratio << "\n";
+
+  // ---- full roster at jobs=1 vs jobs=N ------------------------------------
+  const unsigned hardware = WorkerPool::hardware_jobs();
+  const unsigned parallel_jobs = std::max(4U, hardware);
+  std::vector<const verify::LoadItem*> roster;
+  for (const verify::LoadItem& item : verify::load_roster()) roster.push_back(&item);
+  std::vector<SweepRow> sweeps;
+  for (const unsigned jobs : {1U, parallel_jobs}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)exec::sweep_load(roster, exec::SweepOptions{jobs});
+    const auto t1 = std::chrono::steady_clock::now();
+    sweeps.push_back({jobs, std::chrono::duration<double, std::milli>(t1 - t0).count()});
+  }
+  print_banner(std::cout, "full --load roster: jobs=1 vs jobs=N (exec/sharded_sweep)");
+  TextTable st({"jobs", "ms"});
+  for (const SweepRow& s : sweeps) st.row().cell(s.jobs).cell(s.ms, 1);
+  st.print(std::cout);
+  std::cout << "hardware_concurrency: " << hardware << "\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  write_json(out, curves, table2, throughput_ratio, contention_ratio, sweeps, hardware);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -12,11 +12,11 @@
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
 #include "route/fat_tree_routes.hpp"
-#include "sim/experiment.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/mesh.hpp"
 #include "util/table.hpp"
+#include "workload/experiment.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/traffic.hpp"
 
@@ -31,7 +31,7 @@ void sweep(const std::string& name, const Network& net, const RoutingTable& tabl
   TextTable t({"offered (flits/node/cy)", "accepted", "mean latency", "p50", "p95", "note"});
   for (const double offered : {0.02, 0.05, 0.10, 0.20, 0.30, 0.45, 0.60}) {
     UniformTraffic pattern(net.node_count());
-    sim::ExperimentConfig cfg;
+    workload::ExperimentConfig cfg;
     cfg.offered_flits = offered;
     cfg.warmup_cycles = 1000;
     cfg.measure_cycles = 4000;
@@ -40,7 +40,7 @@ void sweep(const std::string& name, const Network& net, const RoutingTable& tabl
     cfg.sim.flits_per_packet = 8;
     cfg.sim.no_progress_threshold = 20000;
     cfg.seed = 0xC0FFEE;
-    const sim::ExperimentResult p = sim::run_load_point(net, table, pattern, cfg);
+    const workload::ExperimentResult p = workload::run_load_point(net, table, pattern, cfg);
     t.row().cell(offered, 2).cell(p.accepted_flits, 3).cell(p.mean_latency, 1)
         .cell(p.p50_latency, 1).cell(p.p95_latency, 1)
         .cell(p.deadlocked ? "DEADLOCKED" : (p.saturated ? "saturated" : ""));

@@ -14,7 +14,7 @@
 #include "core/fractahedron.hpp"
 #include "route/path.hpp"
 #include "sim/wormhole_sim.hpp"
-#include "sim/injector.hpp"
+#include "workload/injector.hpp"
 #include "workload/traffic.hpp"
 
 int main() {
@@ -54,7 +54,7 @@ int main() {
   cfg.flits_per_packet = 8;
   sim::WormholeSim simulator(fracta.net(), table, cfg);
   UniformTraffic pattern(fracta.net().node_count());
-  sim::BernoulliInjector injector(simulator, pattern, /*offered_flits=*/0.2, /*seed=*/42);
+  workload::BernoulliInjector injector(simulator, pattern, /*offered_flits=*/0.2, /*seed=*/42);
   injector.run(2000);
   injector.drain(100000);
   std::cout << "simulated " << simulator.now() << " cycles: " << simulator.packets_delivered()

@@ -239,6 +239,55 @@ recovery::ChaosSweepReport sweep_combo_campaigns(const verify::RegistryCombo& co
   return std::move(sweep_campaigns({&combo}, options, gen, run).front());
 }
 
+verify::LoadSweepReport sweep_load(const std::vector<const verify::LoadItem*>& items,
+                                   const SweepOptions& options, std::uint64_t seed) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    SN_REQUIRE(items[i] != nullptr, "load sweep item #" + std::to_string(i) + " is null");
+  }
+
+  // Flatten to (item, point) tasks in serial curve order.
+  std::vector<TaskRef> tasks;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t p = 0; p < items[i]->offered.size(); ++p) tasks.push_back({i, p});
+  }
+
+  std::vector<std::vector<verify::LoadPoint>> points(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) points[i].resize(items[i]->offered.size());
+
+  WorkerPool pool(options.jobs);
+  // Each worker keeps its own fabric build per item; a curve point is a
+  // pure function of (item, offered, seed), so slots are write-once.
+  std::vector<std::vector<std::unique_ptr<verify::BuiltFabric>>> fabrics(pool.jobs());
+  for (auto& row : fabrics) row.resize(items.size());
+  pool.run(tasks.size(), [&](unsigned worker, std::size_t index) {
+    const TaskRef task = tasks[index];
+    const verify::LoadItem& item = *items[task.combo];
+    std::unique_ptr<verify::BuiltFabric>& built = fabrics[worker][task.combo];
+    if (built == nullptr) built = std::make_unique<verify::BuiltFabric>(item.build());
+    const std::uint64_t effective = seed == 0 ? item.seed : seed;
+    points[task.combo][task.fault] =
+        verify::run_load_point(item, *built, item.offered[task.fault], effective);
+  });
+
+  verify::LoadSweepReport report;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const verify::LoadItem& item = *items[i];
+    verify::LoadItemReport item_report;
+    item_report.name = item.name;
+    item_report.fabric = item.fabric;
+    item_report.scenario = item.scenario;
+    item_report.seed = seed == 0 ? item.seed : seed;
+    // Geometry from a throwaway serial build — cheap relative to the
+    // curves, and it keeps the report independent of worker scheduling.
+    const verify::BuiltFabric built = item.build();
+    item_report.nodes = built.net->node_count();
+    item_report.routers = built.net->router_count();
+    item_report.points = std::move(points[i]);
+    report.items.push_back(std::move(item_report));
+  }
+  return report;
+}
+
 std::vector<verify::Report> sweep_compose(const std::vector<const verify::ComposeItem*>& items,
                                           const SweepOptions& options) {
   for (std::size_t i = 0; i < items.size(); ++i) {

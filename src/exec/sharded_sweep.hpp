@@ -41,6 +41,7 @@
 #include "recovery/replay.hpp"
 #include "verify/compose.hpp"
 #include "verify/faults.hpp"
+#include "verify/load_sweep.hpp"
 #include "verify/registry.hpp"
 #include "verify/synth_sweep.hpp"
 
@@ -105,6 +106,17 @@ struct SweepOptions {
 /// byte-identical to a serial run_synth_item loop at any job count.
 [[nodiscard]] verify::SynthSweepReport sweep_synthesize(
     const std::vector<const verify::SynthItem*>& items, const SweepOptions& options = {});
+
+/// Load sweep (`--load --all`): the task space is every (item, curve
+/// point) pair, each worker building its own fabric + scenario per item —
+/// scenario state never crosses a shard boundary, and each point derives
+/// its injection seed from (seed, point index) exactly as the serial
+/// run_load_item loop does. Reports in `items` order, byte-identical to
+/// that serial loop at any job count. `seed` == 0 keeps each item's
+/// baked-in seed.
+[[nodiscard]] verify::LoadSweepReport sweep_load(
+    const std::vector<const verify::LoadItem*>& items, const SweepOptions& options = {},
+    std::uint64_t seed = 0);
 
 /// Compositional-certification sweep (`--compose --all`): one task per
 /// roster item, each worker certifying its own instance (representative

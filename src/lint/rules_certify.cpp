@@ -17,6 +17,32 @@ bool in_certification_path(const SourceFile& file) {
   return file.rel.rfind("src/verify/", 0) == 0 || file.rel.rfind("src/exec/", 0) == 0;
 }
 
+/// The sibling file sharing this file's stem ("x.cpp" <-> "x.hpp"), so a
+/// header-only verdict surface still scopes its implementation file.
+const SourceFile* sibling(const SourceTree& tree, const SourceFile& file) {
+  std::string other = file.rel;
+  const std::string ext = file.kind == FileKind::kHeader ? ".cpp" : ".hpp";
+  other.replace(other.size() - 4, 4, ext);
+  return tree.find(other);
+}
+
+/// True when the file (or its hpp/cpp sibling) uses the verdict vocabulary
+/// — Verdict types, certified/indicted outcomes. Certification-path files
+/// that only *measure* (the load sweep's throughput/latency curves) are
+/// not verdict-producing: floating point is the correct arithmetic there,
+/// and their pass/fail verdicts (deadlocked flags) stay exact bools.
+bool produces_verdicts(const SourceTree& tree, const SourceFile& file) {
+  const auto mentions = [](const SourceFile& f) {
+    const std::string joined = f.stripped_joined();
+    return joined.find("Verdict") != std::string::npos ||
+           joined.find("certified") != std::string::npos ||
+           joined.find("indicted") != std::string::npos;
+  };
+  if (mentions(file)) return true;
+  const SourceFile* twin = sibling(tree, file);
+  return twin != nullptr && mentions(*twin);
+}
+
 bool control_keyword(const std::string& token) {
   return token == "if" || token == "for" || token == "while" || token == "switch" ||
          token == "catch" || token == "do" || token == "else";
@@ -156,6 +182,7 @@ void require_names_instance(const SourceTree& tree, Report& report) {
 void float_verdict(const SourceTree& tree, Report& report) {
   for (const SourceFile& file : tree.files) {
     if (!in_certification_path(file)) continue;
+    if (!produces_verdicts(tree, file)) continue;
     const std::string joined = file.stripped_joined();
     for (const Token& t : identifier_tokens(joined)) {
       if (t.text != "float" && t.text != "double") continue;

@@ -128,7 +128,7 @@ const SourceFile* SourceTree::find(const std::string& rel) const {
 const std::vector<std::string>& layer_order() {
   static const std::vector<std::string> kOrder = {
       "util", "lint",     "topo", "route",  "core",     "analysis",
-      "fabric", "workload", "sim",  "verify", "recovery", "exec",
+      "fabric", "sim", "workload",  "verify", "recovery", "exec",
   };
   return kOrder;
 }

@@ -1,0 +1,437 @@
+// Verbatim pre-SoA WormholeSim implementation (see reference_sim.hpp for
+// why this is kept unoptimized).
+#include "sim/reference_sim.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace servernet::sim {
+
+ReferenceSim::ReferenceSim(const Network& net, RoutingTable table, const SimConfig& config)
+    : net_(net), table_(std::move(table)), config_(config) {
+  SN_REQUIRE(config.fifo_depth >= 1, "FIFO depth must be at least one flit");
+  SN_REQUIRE(config.flits_per_packet >= 1, "packets need at least one flit");
+  SN_REQUIRE(table_.router_count() == net.router_count() &&
+                 table_.node_count() == net.node_count(),
+             "routing table dimensions do not match the network");
+  const std::size_t channels = net.channel_count();
+  wire_.assign(channels, Flit{});
+  fifo_.assign(channels, {});
+  owner_.assign(channels, kNoPacket);
+  failed_.assign(channels, 0);
+  rr_pointer_.assign(channels, 0);
+  stall_cycles_.assign(channels, 0);
+  popped_.assign(channels, 0);
+  granted_out_.assign(channels, ChannelId::invalid());
+  senders_.resize(net.node_count());
+  next_sequence_to_offer_.assign(net.node_count() * net.node_count(), 0);
+  next_sequence_to_deliver_.assign(net.node_count() * net.node_count(), 0);
+  metrics_.on_init(channels);
+}
+
+PacketId ReferenceSim::offer_packet(NodeId src, NodeId dst) {
+  SN_REQUIRE(src.index() < net_.node_count() && dst.index() < net_.node_count(),
+             "packet endpoints out of range");
+  SN_REQUIRE(!(src == dst), "packets must leave their source");
+  const auto id = static_cast<PacketId>(packets_.size());
+  PacketRecord rec;
+  rec.src = src;
+  rec.dst = dst;
+  rec.flits = config_.flits_per_packet;
+  rec.offered_cycle = cycle_;
+  rec.sequence = next_sequence_to_offer_[src.index() * net_.node_count() + dst.index()]++;
+  packets_.push_back(rec);
+  senders_[src.index()].queue.push_back(id);
+  return id;
+}
+
+void ReferenceSim::fail_channel(ChannelId c) {
+  SN_REQUIRE(c.index() < failed_.size(), "channel id out of range");
+  failed_[c.index()] = 1;
+}
+
+bool ReferenceSim::channel_failed(ChannelId c) const {
+  SN_REQUIRE(c.index() < failed_.size(), "channel id out of range");
+  return failed_[c.index()] != 0;
+}
+
+void ReferenceSim::restore_channel(ChannelId c) {
+  SN_REQUIRE(c.index() < failed_.size(), "channel id out of range");
+  failed_[c.index()] = 0;
+}
+
+void ReferenceSim::pause_injection() { injection_paused_ = true; }
+
+void ReferenceSim::resume_injection() { injection_paused_ = false; }
+
+void ReferenceSim::swap_table(RoutingTable table) {
+  SN_REQUIRE(table.router_count() == net_.router_count() &&
+                 table.node_count() == net_.node_count(),
+             "replacement routing table dimensions do not match the network");
+  table_ = std::move(table);
+}
+
+void ReferenceSim::set_injection_port(NodeId src, NodeId dst, PortIndex port) {
+  SN_REQUIRE(src.index() < net_.node_count() && dst.index() < net_.node_count(),
+             "injection-port override endpoints out of range");
+  SN_REQUIRE(net_.node_out(src, port).valid(), "injection port is not wired on this node");
+  if (injection_port_.empty()) injection_port_.assign(net_.node_count() * net_.node_count(), 0);
+  injection_port_[src.index() * net_.node_count() + dst.index()] = port;
+}
+
+PortIndex ReferenceSim::injection_port(NodeId src, NodeId dst) const {
+  SN_REQUIRE(src.index() < net_.node_count() && dst.index() < net_.node_count(),
+             "injection-port lookup endpoints out of range");
+  if (injection_port_.empty()) return 0;
+  return injection_port_[src.index() * net_.node_count() + dst.index()];
+}
+
+void ReferenceSim::enforce_turns(TurnMask mask) {
+  SN_REQUIRE(mask.router_count() == net_.router_count(), "turn mask/network mismatch");
+  SN_REQUIRE(!multipath_, "turn enforcement and adaptive routing are mutually exclusive");
+  turn_mask_ = std::move(mask);
+}
+
+void ReferenceSim::route_adaptively(MultipathTable multipath) {
+  SN_REQUIRE(multipath.router_count() == net_.router_count() &&
+                 multipath.node_count() == net_.node_count(),
+             "multipath table/network mismatch");
+  SN_REQUIRE(!turn_mask_, "turn enforcement and adaptive routing are mutually exclusive");
+  multipath_ = std::move(multipath);
+}
+
+void ReferenceSim::enable_timeout_retry(std::uint32_t timeout, std::uint32_t max_retries) {
+  SN_REQUIRE(timeout >= 1, "retry timeout must be positive");
+  retry_timeout_ = timeout;
+  max_retries_ = max_retries;
+}
+
+Flit ReferenceSim::fifo_head(ChannelId c) const {
+  const auto& q = fifo_[c.index()];
+  return q.empty() ? Flit{} : q.front();
+}
+
+ChannelId ReferenceSim::requested_output(ChannelId in) const {
+  const Flit head = fifo_head(in);
+  if (!head.valid()) return ChannelId::invalid();
+  if (granted_out_[in.index()].valid()) return granted_out_[in.index()];
+  const Terminal at = net_.channel(in).dst;
+  if (!at.is_router()) return ChannelId::invalid();
+  const RouterId router = at.router_id();
+  PortIndex port = table_.port_fast(router, packets_[head.packet].dst);
+  if (multipath_) {
+    const auto& set = multipath_->choices(router, packets_[head.packet].dst);
+    port = set.empty() ? kInvalidPort : set.front();
+  }
+  if (port == kInvalidPort) return ChannelId::invalid();
+  if (turn_mask_ && !turn_mask_->allowed(router, net_.channel(in).dst_port, port)) {
+    return ChannelId::invalid();
+  }
+  return net_.router_out(router, port);
+}
+
+bool ReferenceSim::downstream_has_space(ChannelId c) const {
+  if (!net_.channel(c).dst.is_router()) return true;  // nodes sink a flit per cycle
+  const std::size_t committed = fifo_[c.index()].size() + (wire_[c.index()].valid() ? 1 : 0);
+  return committed < config_.fifo_depth;
+}
+
+void ReferenceSim::place_on_wire(ChannelId c, Flit flit) {
+  SN_ASSERT(!wire_[c.index()].valid());
+  wire_[c.index()] = flit;
+  metrics_.on_wire_busy(c.index());
+  progress_this_cycle_ = true;
+}
+
+void ReferenceSim::deliver_wires() {
+  for (std::size_t ci = 0; ci < wire_.size(); ++ci) {
+    Flit& flit = wire_[ci];
+    if (!flit.valid()) continue;
+    const Terminal dst = net_.channel(ChannelId{ci}).dst;
+    if (dst.is_router()) {
+      SN_ASSERT(fifo_[ci].size() < config_.fifo_depth);
+      fifo_[ci].push_back(flit);
+    } else {
+      PacketRecord& rec = packets_[flit.packet];
+      if (flit.is_tail) {
+        rec.delivered_cycle = cycle_;
+        if (dst.node_id() == rec.dst) {
+          rec.delivered = true;
+          ++delivered_count_;
+          metrics_.on_packet_delivered(rec.offered_cycle, cycle_, rec.flits);
+          const std::size_t stream = rec.src.index() * net_.node_count() + rec.dst.index();
+          if (rec.sequence != next_sequence_to_deliver_[stream]) {
+            metrics_.on_out_of_order_delivery();
+            next_sequence_to_deliver_[stream] = rec.sequence + 1;
+          } else {
+            ++next_sequence_to_deliver_[stream];
+          }
+        } else {
+          rec.misdelivered = true;
+          ++misdelivered_count_;
+          metrics_.on_misdelivery();
+        }
+      }
+    }
+    flit = Flit{};
+    progress_this_cycle_ = true;
+  }
+}
+
+void ReferenceSim::allocate_outputs() {
+  for (RouterId r : net_.all_routers()) {
+    const PortIndex ports = net_.router_ports(r);
+    for (PortIndex out_port = 0; out_port < ports; ++out_port) {
+      const ChannelId out = net_.router_out(r, out_port);
+      if (!out.valid() || owner_[out.index()] != kNoPacket) continue;
+      const std::uint32_t start = rr_pointer_[out.index()];
+      for (PortIndex offset = 0; offset < ports; ++offset) {
+        const PortIndex in_port = (start + offset) % ports;
+        const ChannelId in = net_.router_in(r, in_port);
+        if (!in.valid()) continue;
+        const Flit head = fifo_head(in);
+        if (!head.valid() || !head.is_head || granted_out_[in.index()].valid()) continue;
+        if (requested_output(in) != out) continue;
+        owner_[out.index()] = head.packet;
+        granted_out_[in.index()] = out;
+        rr_pointer_[out.index()] = (in_port + 1) % ports;
+        break;
+      }
+    }
+  }
+}
+
+void ReferenceSim::allocate_outputs_adaptive() {
+  for (RouterId r : net_.all_routers()) {
+    const PortIndex ports = net_.router_ports(r);
+    for (PortIndex in_port = 0; in_port < ports; ++in_port) {
+      const ChannelId in = net_.router_in(r, in_port);
+      if (!in.valid()) continue;
+      const Flit head = fifo_head(in);
+      if (!head.valid() || !head.is_head || granted_out_[in.index()].valid()) continue;
+      const auto& set = multipath_->choices(r, packets_[head.packet].dst);
+      ChannelId best = ChannelId::invalid();
+      std::size_t best_credit = 0;
+      for (const PortIndex port : set) {
+        const ChannelId out = net_.router_out(r, port);
+        if (!out.valid() || owner_[out.index()] != kNoPacket || failed_[out.index()]) continue;
+        std::size_t credit = 1;  // delivery channels: always willing
+        if (net_.channel(out).dst.is_router()) {
+          const std::size_t used =
+              fifo_[out.index()].size() + (wire_[out.index()].valid() ? 1 : 0);
+          credit = config_.fifo_depth - std::min<std::size_t>(used, config_.fifo_depth);
+        }
+        if (!best.valid() || credit > best_credit) {
+          best = out;
+          best_credit = credit;
+        }
+      }
+      if (best.valid()) {
+        owner_[best.index()] = head.packet;
+        granted_out_[in.index()] = best;
+      }
+    }
+  }
+}
+
+void ReferenceSim::update_stall_counters_and_retry() {
+  PacketId victim = kNoPacket;
+  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
+    if (fifo_[ci].empty() || popped_[ci]) {
+      stall_cycles_[ci] = 0;
+      continue;
+    }
+    if (++stall_cycles_[ci] >= retry_timeout_ && victim == kNoPacket) {
+      if (packets_[fifo_[ci].front().packet].retries < max_retries_) {
+        victim = fifo_[ci].front().packet;
+      }
+    }
+  }
+  if (victim != kNoPacket) purge_and_retry(victim);
+}
+
+void ReferenceSim::purge_flits(PacketId victim) {
+  for (std::size_t in = 0; in < granted_out_.size(); ++in) {
+    const ChannelId out = granted_out_[in];
+    if (out.valid() && owner_[out.index()] == victim) {
+      granted_out_[in] = ChannelId::invalid();
+    }
+  }
+  for (PacketId& o : owner_) {
+    if (o == victim) o = kNoPacket;
+  }
+  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
+    auto& q = fifo_[ci];
+    std::erase_if(q, [&](const Flit& f) { return f.packet == victim; });
+    stall_cycles_[ci] = 0;
+    if (wire_[ci].valid() && wire_[ci].packet == victim) wire_[ci] = Flit{};
+  }
+  PacketRecord& rec = packets_[victim];
+  NodeSendState& sender = senders_[rec.src.index()];
+  if (sender.current == victim) sender.current = kNoPacket;
+  rec.injected = false;
+  progress_this_cycle_ = true;  // the purge itself is forward progress
+}
+
+void ReferenceSim::purge_and_retry(PacketId victim) {
+  purge_flits(victim);
+  PacketRecord& rec = packets_[victim];
+  senders_[rec.src.index()].queue.push_back(victim);
+  ++rec.retries;
+  ++retried_count_;
+  metrics_.on_packet_retried();
+}
+
+void ReferenceSim::purge_and_reoffer(PacketId victim) {
+  SN_REQUIRE(victim < packets_.size(), "packet id out of range");
+  PacketRecord& rec = packets_[victim];
+  SN_REQUIRE(!rec.delivered && !rec.lost, "cannot purge a delivered or lost packet");
+  NodeSendState& sender = senders_[rec.src.index()];
+  if (!rec.injected && sender.current != victim) return;  // still queued — nothing in flight
+  purge_flits(victim);
+  auto& q = sender.queue;
+  auto it = q.begin();
+  for (; it != q.end(); ++it) {
+    const PacketRecord& other = packets_[*it];
+    if (other.dst == rec.dst && other.sequence > rec.sequence) break;
+  }
+  q.insert(it, victim);
+  ++purged_count_;
+  metrics_.on_packet_purged();
+}
+
+void ReferenceSim::cancel_packet(PacketId victim) {
+  SN_REQUIRE(victim < packets_.size(), "packet id out of range");
+  PacketRecord& rec = packets_[victim];
+  if (rec.delivered || rec.lost) return;
+  purge_flits(victim);
+  auto& q = senders_[rec.src.index()].queue;
+  std::erase(q, victim);
+  rec.lost = true;
+  ++lost_count_;
+}
+
+void ReferenceSim::traverse_crossbars() {
+  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
+    auto& q = fifo_[ci];
+    if (q.empty()) continue;
+    const ChannelId out = granted_out_[ci];
+    if (!out.valid()) continue;  // head still waiting for a grant
+    const Flit flit = q.front();
+    SN_ASSERT(owner_[out.index()] == flit.packet);
+    if (failed_[out.index()] || wire_[out.index()].valid() || !downstream_has_space(out)) {
+      continue;
+    }
+    q.pop_front();
+    popped_[ci] = 1;
+    place_on_wire(out, flit);
+    if (flit.is_tail) {
+      owner_[out.index()] = kNoPacket;
+      granted_out_[ci] = ChannelId::invalid();
+    }
+  }
+}
+
+void ReferenceSim::inject_from_nodes() {
+  for (std::size_t ni = 0; ni < senders_.size(); ++ni) {
+    NodeSendState& state = senders_[ni];
+    if (state.current == kNoPacket) {
+      if (injection_paused_ || state.queue.empty()) continue;
+      state.current = state.queue.front();
+      state.queue.pop_front();
+      state.flits_sent = 0;
+      state.port = injection_port(NodeId{ni}, packets_[state.current].dst);
+    }
+    const ChannelId out = net_.node_out(NodeId{ni}, state.port);
+    SN_REQUIRE(out.valid(), "sending node has no wired port");
+    if (failed_[out.index()] || wire_[out.index()].valid() || !downstream_has_space(out)) {
+      continue;
+    }
+    PacketRecord& rec = packets_[state.current];
+    Flit flit;
+    flit.packet = state.current;
+    flit.is_head = state.flits_sent == 0;
+    flit.is_tail = state.flits_sent + 1 == rec.flits;
+    if (flit.is_head) {
+      rec.injected = true;
+      rec.injected_cycle = cycle_;
+    }
+    place_on_wire(out, flit);
+    ++state.flits_sent;
+    if (flit.is_tail) state.current = kNoPacket;
+  }
+}
+
+void ReferenceSim::step() {
+  SN_REQUIRE(!deadlocked_, "simulator is deadlocked; inspect state or reset");
+  progress_this_cycle_ = false;
+  std::fill(popped_.begin(), popped_.end(), 0);
+  deliver_wires();
+  if (multipath_) {
+    allocate_outputs_adaptive();
+  } else {
+    allocate_outputs();
+  }
+  traverse_crossbars();
+  inject_from_nodes();
+  if (retry_timeout_ > 0) update_stall_counters_and_retry();
+  ++cycle_;
+  if (progress_this_cycle_ || flits_in_flight() == 0) {
+    cycles_without_progress_ = 0;
+  } else if (++cycles_without_progress_ >= config_.no_progress_threshold) {
+    deadlocked_ = true;
+  }
+}
+
+std::size_t ReferenceSim::flits_in_flight() const {
+  std::size_t n = 0;
+  for (const auto& q : fifo_) n += q.size();
+  for (const Flit& w : wire_) {
+    if (w.valid()) ++n;
+  }
+  for (const NodeSendState& s : senders_) {
+    if (s.current != kNoPacket) {
+      n += packets_[s.current].flits - s.flits_sent;
+    }
+  }
+  return n;
+}
+
+const PacketRecord& ReferenceSim::packet(PacketId id) const {
+  SN_REQUIRE(id < packets_.size(), "packet id out of range");
+  return packets_[id];
+}
+
+RunResult ReferenceSim::finalize(RunOutcome outcome, std::uint64_t start) const {
+  RunResult result;
+  result.outcome = outcome;
+  result.cycles = cycle_ - start;
+  result.packets_delivered = delivered_count_;
+  result.packets_misdelivered = misdelivered_count_;
+  result.packets_retried = retried_count_;
+  result.packets_purged = purged_count_;
+  result.packets_lost = lost_count_;
+  result.out_of_order_deliveries = metrics_.out_of_order_deliveries();
+  return result;
+}
+
+RunResult ReferenceSim::run_until_drained(std::uint64_t max_cycles) {
+  const std::uint64_t start = cycle_;
+  while (delivered_count_ + misdelivered_count_ + lost_count_ < packets_.size()) {
+    if (cycle_ - start >= max_cycles) return finalize(RunOutcome::kCycleLimit, start);
+    step();
+    if (deadlocked_) return finalize(RunOutcome::kDeadlocked, start);
+  }
+  return finalize(RunOutcome::kCompleted, start);
+}
+
+RunResult ReferenceSim::run_for(std::uint64_t cycles) {
+  const std::uint64_t start = cycle_;
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    step();
+    if (deadlocked_) return finalize(RunOutcome::kDeadlocked, start);
+  }
+  return finalize(RunOutcome::kCompleted, start);
+}
+
+}  // namespace servernet::sim

@@ -1,0 +1,150 @@
+// The pre-SoA wormhole simulator, pinned as a behavioral oracle.
+//
+// This is the original per-object implementation of WormholeSim —
+// std::deque input FIFOs, full-fabric scans every cycle — kept verbatim
+// (modulo the class name) when the production simulator moved to the flat
+// structure-of-arrays core. It exists for exactly one purpose: the
+// cycle-exactness gate. tests/test_workload.cpp drives ReferenceSim and
+// WormholeSim in lockstep over every seed-registry combo and demands
+// identical per-cycle observable state — delivery counts, latencies,
+// sequence accounting, deadlock verdicts — so any divergence in the fast
+// core is caught against this model, not argued about.
+//
+// Do not optimize this class. Its value is that it is obviously the old
+// simulator; speed is the production core's job.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "route/multipath.hpp"
+#include "route/routing_table.hpp"
+#include "route/turn_mask.hpp"
+#include "sim/flit.hpp"
+#include "sim/metrics.hpp"
+#include "sim/run_result.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "topo/network.hpp"
+
+namespace servernet::sim {
+
+/// The original deque-based wormhole simulator. API mirrors WormholeSim
+/// (it *was* WormholeSim); see wormhole_sim.hpp for the model contract.
+class ReferenceSim {
+ public:
+  ReferenceSim(const Network& net, RoutingTable table, const SimConfig& config);
+
+  PacketId offer_packet(NodeId src, NodeId dst);
+
+  void fail_channel(ChannelId c);
+  [[nodiscard]] bool channel_failed(ChannelId c) const;
+  void restore_channel(ChannelId c);
+
+  void enforce_turns(TurnMask mask);
+  [[nodiscard]] bool turns_enforced() const { return turn_mask_.has_value(); }
+
+  void route_adaptively(MultipathTable multipath);
+  [[nodiscard]] bool adaptive() const { return multipath_.has_value(); }
+
+  void enable_timeout_retry(std::uint32_t timeout,
+                            std::uint32_t max_retries = WormholeSim::kUnlimitedRetries);
+  [[nodiscard]] std::size_t packets_retried() const { return retried_count_; }
+
+  void pause_injection();
+  void resume_injection();
+  [[nodiscard]] bool injection_paused() const { return injection_paused_; }
+
+  void swap_table(RoutingTable table);
+  void clear_adaptive() { multipath_.reset(); }
+  [[nodiscard]] const RoutingTable& table() const { return table_; }
+
+  void set_injection_port(NodeId src, NodeId dst, PortIndex port);
+  [[nodiscard]] PortIndex injection_port(NodeId src, NodeId dst) const;
+
+  void purge_and_reoffer(PacketId victim);
+  void cancel_packet(PacketId victim);
+  [[nodiscard]] std::size_t packets_purged() const { return purged_count_; }
+  [[nodiscard]] std::size_t packets_lost() const { return lost_count_; }
+
+  void step();
+  RunResult run_until_drained(std::uint64_t max_cycles);
+  RunResult run_for(std::uint64_t cycles);
+
+  [[nodiscard]] std::uint64_t now() const { return cycle_; }
+  [[nodiscard]] bool deadlocked() const { return deadlocked_; }
+  [[nodiscard]] std::size_t packets_offered() const { return packets_.size(); }
+  [[nodiscard]] std::size_t packets_delivered() const { return delivered_count_; }
+  [[nodiscard]] std::size_t packets_misdelivered() const { return misdelivered_count_; }
+  [[nodiscard]] std::size_t flits_in_flight() const;
+  [[nodiscard]] const PacketRecord& packet(PacketId id) const;
+  [[nodiscard]] const SimMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const Network& net() const { return net_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  [[nodiscard]] PacketId output_owner(ChannelId c) const { return owner_[c.index()]; }
+  [[nodiscard]] std::size_t fifo_occupancy(ChannelId c) const { return fifo_[c.index()].size(); }
+  [[nodiscard]] Flit fifo_head(ChannelId c) const;
+  [[nodiscard]] ChannelId requested_output(ChannelId in) const;
+
+ private:
+  struct NodeSendState {
+    PacketId current = kNoPacket;
+    std::uint32_t flits_sent = 0;
+    PortIndex port = 0;
+    std::deque<PacketId> queue;
+  };
+
+  void deliver_wires();
+  void allocate_outputs();
+  void allocate_outputs_adaptive();
+  void traverse_crossbars();
+  void inject_from_nodes();
+  void update_stall_counters_and_retry();
+  void purge_and_retry(PacketId victim);
+  void purge_flits(PacketId victim);
+  [[nodiscard]] RunResult finalize(RunOutcome outcome, std::uint64_t start) const;
+
+  [[nodiscard]] bool downstream_has_space(ChannelId c) const;
+  void place_on_wire(ChannelId c, Flit flit);
+
+  const Network& net_;
+  RoutingTable table_;
+  SimConfig config_;
+
+  std::uint64_t cycle_ = 0;
+  bool progress_this_cycle_ = false;
+  std::uint64_t cycles_without_progress_ = 0;
+  bool deadlocked_ = false;
+
+  std::vector<PacketRecord> packets_;
+  std::size_t delivered_count_ = 0;
+  std::size_t misdelivered_count_ = 0;
+  std::size_t retried_count_ = 0;
+  std::size_t purged_count_ = 0;
+  std::size_t lost_count_ = 0;
+  std::uint32_t retry_timeout_ = 0;  // 0 = disabled
+  std::uint32_t max_retries_ = WormholeSim::kUnlimitedRetries;
+  bool injection_paused_ = false;
+  std::optional<TurnMask> turn_mask_;
+  std::optional<MultipathTable> multipath_;
+  std::vector<PortIndex> injection_port_;
+
+  std::vector<Flit> wire_;
+  std::vector<std::deque<Flit>> fifo_;
+  std::vector<PacketId> owner_;
+  std::vector<char> failed_;
+  std::vector<std::uint32_t> rr_pointer_;
+  std::vector<std::uint32_t> stall_cycles_;
+  std::vector<char> popped_;
+  std::vector<ChannelId> granted_out_;
+
+  std::vector<NodeSendState> senders_;
+  std::vector<std::uint64_t> next_sequence_to_offer_;
+  std::vector<std::uint64_t> next_sequence_to_deliver_;
+
+  SimMetrics metrics_;
+};
+
+}  // namespace servernet::sim

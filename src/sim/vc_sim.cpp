@@ -17,7 +17,9 @@ VcWormholeSim::VcWormholeSim(const Network& net, RoutingTable table, const VcSel
   const std::size_t channels = net.channel_count();
   const std::size_t slots = channels * config.vcs_per_channel;
   wire_.assign(channels, VcFlit{});
-  fifo_.assign(slots, {});
+  fifo_slots_.assign(slots * config.fifo_depth, Flit{});
+  fifo_head_.assign(slots, 0);
+  fifo_size_.assign(slots, 0);
   owner_.assign(slots, kNoPacket);
   granted_out_.assign(slots, ChannelId::invalid());
   granted_vc_.assign(slots, 0);
@@ -70,11 +72,38 @@ PacketId VcWormholeSim::offer_packet(NodeId src, NodeId dst) {
   return id;
 }
 
+void VcWormholeSim::fifo_push(std::size_t s, Flit flit) {
+  const std::uint32_t depth = config_.fifo_depth;
+  fifo_slots_[s * depth + (fifo_head_[s] + fifo_size_[s]) % depth] = flit;
+  ++fifo_size_[s];
+}
+
+void VcWormholeSim::fifo_pop(std::size_t s) {
+  fifo_head_[s] = (fifo_head_[s] + 1) % config_.fifo_depth;
+  --fifo_size_[s];
+}
+
+std::size_t VcWormholeSim::fifo_purge_victim(std::size_t s, PacketId victim) {
+  const std::uint32_t size = fifo_size_[s];
+  if (size == 0) return 0;
+  const std::uint32_t depth = config_.fifo_depth;
+  const std::uint32_t head = fifo_head_[s];
+  std::uint32_t kept = 0;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const Flit f = fifo_slots_[s * depth + (head + i) % depth];
+    if (f.packet == victim) continue;
+    fifo_slots_[s * depth + (head + kept) % depth] = f;
+    ++kept;
+  }
+  fifo_size_[s] = kept;
+  return size - kept;
+}
+
 bool VcWormholeSim::downstream_has_space(ChannelId c, std::uint32_t vc) const {
   if (!net_.channel(c).dst.is_router()) return true;
   const std::size_t in_flight =
       wire_[c.index()].flit.valid() && wire_[c.index()].vc == vc ? 1 : 0;
-  return fifo_[slot(c, vc)].size() + in_flight < config_.fifo_depth;
+  return fifo_size_[slot(c, vc)] + in_flight < config_.fifo_depth;
 }
 
 void VcWormholeSim::place_on_wire(ChannelId c, VcFlit flit) {
@@ -90,9 +119,10 @@ void VcWormholeSim::deliver_wires() {
     if (!vf.flit.valid()) continue;
     const Terminal dst = net_.channel(ChannelId{ci}).dst;
     if (dst.is_router()) {
-      SN_ASSERT(fifo_[slot(ChannelId{ci}, vf.vc)].size() < config_.fifo_depth);
-      fifo_[slot(ChannelId{ci}, vf.vc)].push_back(vf.flit);
+      SN_ASSERT(fifo_size_[slot(ChannelId{ci}, vf.vc)] < config_.fifo_depth);
+      fifo_push(slot(ChannelId{ci}, vf.vc), vf.flit);
     } else {
+      --flits_in_flight_;  // sunk at the node, whatever its position in the worm
       PacketRecord& rec = packets_[vf.flit.packet];
       if (vf.flit.is_tail) {
         if (dst.node_id() == rec.dst) {
@@ -132,9 +162,9 @@ void VcWormholeSim::allocate_outputs() {
       for (std::uint32_t in_vc = 0; in_vc < config_.vcs_per_channel; ++in_vc) {
         const std::size_t in_slot = slot(in, in_vc);
         if (granted_out_[in_slot].valid()) continue;
-        const auto& q = fifo_[in_slot];
-        if (q.empty() || !q.front().is_head) continue;
-        const PortIndex out_port = table_.port_fast(r, packets_[q.front().packet].dst);
+        if (fifo_size_[in_slot] == 0 || !fifo_front(in_slot).is_head) continue;
+        const Flit head = fifo_front(in_slot);
+        const PortIndex out_port = table_.port_fast(r, packets_[head.packet].dst);
         if (out_port == kInvalidPort) continue;
         const ChannelId out = net_.router_out(r, out_port);
         if (!out.valid()) continue;
@@ -142,7 +172,7 @@ void VcWormholeSim::allocate_outputs() {
         SN_REQUIRE(out_vc < config_.vcs_per_channel, "selector chose an unavailable VC");
         const std::size_t out_slot = slot(out, out_vc);
         if (owner_[out_slot] != kNoPacket) continue;  // VC busy; wait
-        owner_[out_slot] = q.front().packet;
+        owner_[out_slot] = head.packet;
         granted_out_[in_slot] = out;
         granted_vc_[in_slot] = out_vc;
       }
@@ -154,16 +184,15 @@ void VcWormholeSim::traverse_crossbars() {
   for (std::size_t ci = 0; ci < net_.channel_count(); ++ci) {
     for (std::uint32_t vc = 0; vc < config_.vcs_per_channel; ++vc) {
       const std::size_t in_slot = slot(ChannelId{ci}, vc);
-      auto& q = fifo_[in_slot];
-      if (q.empty()) continue;
+      if (fifo_size_[in_slot] == 0) continue;
       const ChannelId out = granted_out_[in_slot];
       if (!out.valid()) continue;
       const std::uint32_t out_vc = granted_vc_[in_slot];
-      const Flit flit = q.front();
+      const Flit flit = fifo_front(in_slot);
       SN_ASSERT(owner_[slot(out, out_vc)] == flit.packet);
       if (failed_[out.index()] != 0) continue;  // dead wire: the worm stalls in place
       if (wire_[out.index()].flit.valid() || !downstream_has_space(out, out_vc)) continue;
-      q.pop_front();
+      fifo_pop(in_slot);
       place_on_wire(out, VcFlit{flit, out_vc});
       if (flit.is_tail) {
         owner_[slot(out, out_vc)] = kNoPacket;
@@ -183,6 +212,7 @@ void VcWormholeSim::inject_from_nodes() {
       state.flits_sent = 0;
       state.vc = selector_.initial_vc(NodeId{ni}, packets_[state.current].dst);
       SN_REQUIRE(state.vc < config_.vcs_per_channel, "selector chose an unavailable VC");
+      flits_in_flight_ += packets_[state.current].flits;
     }
     const ChannelId out = net_.node_out(NodeId{ni}, 0);
     SN_REQUIRE(out.valid(), "sending node has no wired port");
@@ -218,18 +248,6 @@ void VcWormholeSim::step() {
   }
 }
 
-std::size_t VcWormholeSim::flits_in_flight() const {
-  std::size_t n = 0;
-  for (const auto& q : fifo_) n += q.size();
-  for (const VcFlit& w : wire_) {
-    if (w.flit.valid()) ++n;
-  }
-  for (const NodeSendState& s : senders_) {
-    if (s.current != kNoPacket) n += packets_[s.current].flits - s.flits_sent;
-  }
-  return n;
-}
-
 const PacketRecord& VcWormholeSim::packet(PacketId id) const {
   SN_REQUIRE(id < packets_.size(), "packet id out of range");
   return packets_[id];
@@ -247,16 +265,24 @@ void VcWormholeSim::purge_flits(PacketId victim) {
     if (o == victim) o = kNoPacket;
   }
   // Drop the victim's flits from every VC buffer and physical wire.
-  for (auto& q : fifo_) {
-    std::erase_if(q, [&](const Flit& f) { return f.packet == victim; });
+  std::size_t removed = 0;
+  for (std::size_t s = 0; s < fifo_size_.size(); ++s) {
+    removed += fifo_purge_victim(s, victim);
   }
   for (VcFlit& w : wire_) {
-    if (w.flit.valid() && w.flit.packet == victim) w = VcFlit{};
+    if (w.flit.valid() && w.flit.packet == victim) {
+      w = VcFlit{};
+      ++removed;
+    }
   }
+  flits_in_flight_ -= removed;
   // Abort any in-progress injection.
   PacketRecord& rec = packets_[victim];
   NodeSendState& sender = senders_[rec.src.index()];
-  if (sender.current == victim) sender.current = kNoPacket;
+  if (sender.current == victim) {
+    flits_in_flight_ -= rec.flits - sender.flits_sent;
+    sender.current = kNoPacket;
+  }
   rec.injected = false;
   progress_this_cycle_ = true;  // the purge itself is forward progress
 }

@@ -15,6 +15,11 @@
 // virtual channels — the classic dateline selector makes minimal ring and
 // torus routing deadlock-free, at vcs-times the buffer budget of the
 // ServerNet router (quantified in bench_vc_ablation).
+// Buffer storage follows the SoA layout of the production WormholeSim:
+// every (channel, vc) FIFO is a fixed-capacity ring buffer inside one
+// contiguous slab, and flits-in-flight is maintained incrementally — the
+// per-deque allocation churn and the O(slots) occupancy scan per cycle
+// were the two costs that made VC ablations drag at scale.
 #pragma once
 
 #include <cstdint>
@@ -95,7 +100,8 @@ class VcWormholeSim {
   [[nodiscard]] std::size_t packets_offered() const { return packets_.size(); }
   [[nodiscard]] std::size_t packets_delivered() const { return delivered_count_; }
   [[nodiscard]] std::size_t packets_misdelivered() const { return misdelivered_count_; }
-  [[nodiscard]] std::size_t flits_in_flight() const;
+  /// O(1): maintained incrementally as flits enter and leave the fabric.
+  [[nodiscard]] std::size_t flits_in_flight() const { return flits_in_flight_; }
   [[nodiscard]] const PacketRecord& packet(PacketId id) const;
   [[nodiscard]] const SimMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const Network& net() const { return net_; }
@@ -118,6 +124,14 @@ class VcWormholeSim {
   [[nodiscard]] std::size_t slot(ChannelId c, std::uint32_t vc) const {
     return c.index() * config_.vcs_per_channel + vc;
   }
+  // ---- flat ring-buffer FIFO primitives (slab = slots × fifo_depth) ----
+  [[nodiscard]] Flit fifo_front(std::size_t s) const {
+    return fifo_slots_[s * config_.fifo_depth + fifo_head_[s]];
+  }
+  void fifo_push(std::size_t s, Flit flit);
+  void fifo_pop(std::size_t s);
+  /// Removes the victim's flits, preserving order; returns flits removed.
+  std::size_t fifo_purge_victim(std::size_t s, PacketId victim);
   [[nodiscard]] bool downstream_has_space(ChannelId c, std::uint32_t vc) const;
   void place_on_wire(ChannelId c, VcFlit flit);
 
@@ -146,10 +160,14 @@ class VcWormholeSim {
   std::size_t misdelivered_count_ = 0;
   std::size_t purged_count_ = 0;
   std::size_t lost_count_ = 0;
+  std::size_t flits_in_flight_ = 0;
 
   // Physical wire per channel; FIFOs, ownership and grants per (channel, vc).
+  // Slot s's ring buffer occupies fifo_slots_[s*fifo_depth, (s+1)*fifo_depth).
   std::vector<VcFlit> wire_;
-  std::vector<std::deque<Flit>> fifo_;      // [slot]
+  std::vector<Flit> fifo_slots_;            // [slot × depth]
+  std::vector<std::uint32_t> fifo_head_;    // [slot]
+  std::vector<std::uint32_t> fifo_size_;    // [slot]
   std::vector<PacketId> owner_;             // [slot] of the *output* side
   std::vector<ChannelId> granted_out_;      // [slot] of the input side
   std::vector<std::uint32_t> granted_vc_;   // [slot]

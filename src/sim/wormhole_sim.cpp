@@ -14,13 +14,33 @@ WormholeSim::WormholeSim(const Network& net, RoutingTable table, const SimConfig
              "routing table dimensions do not match the network");
   const std::size_t channels = net.channel_count();
   wire_.assign(channels, Flit{});
-  fifo_.assign(channels, {});
+  wire_busy_.resize(channels);
+  fifo_slots_.assign(channels * config.fifo_depth, Flit{});
+  fifo_head_.assign(channels, 0);
+  fifo_size_.assign(channels, 0);
+  fifo_nonempty_.resize(channels);
   owner_.assign(channels, kNoPacket);
   failed_.assign(channels, 0);
   rr_pointer_.assign(channels, 0);
   stall_cycles_.assign(channels, 0);
   popped_.assign(channels, 0);
   granted_out_.assign(channels, ChannelId::invalid());
+  dst_is_router_.assign(channels, 0);
+  dst_router_.assign(channels, 0);
+  dst_node_.assign(channels, 0);
+  dst_port_.assign(channels, 0);
+  for (std::size_t ci = 0; ci < channels; ++ci) {
+    const Channel& ch = net.channel(ChannelId{ci});
+    if (ch.dst.is_router()) {
+      dst_is_router_[ci] = 1;
+      dst_router_[ci] = ch.dst.router_id().value();
+    } else {
+      dst_node_[ci] = ch.dst.node_id().value();
+    }
+    dst_port_[ci] = ch.dst_port;
+  }
+  router_pending_.resize(net.router_count());
+  sender_active_.resize(net.node_count());
   senders_.resize(net.node_count());
   next_sequence_to_offer_.assign(net.node_count() * net.node_count(), 0);
   next_sequence_to_deliver_.assign(net.node_count() * net.node_count(), 0);
@@ -40,6 +60,7 @@ PacketId WormholeSim::offer_packet(NodeId src, NodeId dst) {
   rec.sequence = next_sequence_to_offer_[src.index() * net_.node_count() + dst.index()]++;
   packets_.push_back(rec);
   senders_[src.index()].queue.push_back(id);
+  sender_active_.set(src.index());
   return id;
 }
 
@@ -104,18 +125,47 @@ void WormholeSim::enable_timeout_retry(std::uint32_t timeout, std::uint32_t max_
   max_retries_ = max_retries;
 }
 
+void WormholeSim::fifo_push(std::size_t ci, Flit flit) {
+  const std::uint32_t depth = config_.fifo_depth;
+  fifo_slots_[ci * depth + (fifo_head_[ci] + fifo_size_[ci]) % depth] = flit;
+  if (fifo_size_[ci]++ == 0) fifo_nonempty_.set(ci);
+}
+
+void WormholeSim::fifo_pop(std::size_t ci) {
+  fifo_head_[ci] = (fifo_head_[ci] + 1) % config_.fifo_depth;
+  if (--fifo_size_[ci] == 0) {
+    fifo_nonempty_.clear(ci);
+    stall_cycles_[ci] = 0;
+  }
+}
+
+std::size_t WormholeSim::fifo_purge(std::size_t ci, PacketId victim) {
+  const std::uint32_t size = fifo_size_[ci];
+  if (size == 0) return 0;
+  const std::uint32_t depth = config_.fifo_depth;
+  const std::uint32_t head = fifo_head_[ci];
+  std::uint32_t kept = 0;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const Flit f = fifo_slots_[ci * depth + (head + i) % depth];
+    if (f.packet == victim) continue;
+    fifo_slots_[ci * depth + (head + kept) % depth] = f;
+    ++kept;
+  }
+  fifo_size_[ci] = kept;
+  if (kept == 0) fifo_nonempty_.clear(ci);
+  return size - kept;
+}
+
 Flit WormholeSim::fifo_head(ChannelId c) const {
-  const auto& q = fifo_[c.index()];
-  return q.empty() ? Flit{} : q.front();
+  return fifo_size_[c.index()] == 0 ? Flit{} : fifo_front(c.index());
 }
 
 ChannelId WormholeSim::requested_output(ChannelId in) const {
   const Flit head = fifo_head(in);
   if (!head.valid()) return ChannelId::invalid();
   if (granted_out_[in.index()].valid()) return granted_out_[in.index()];
-  const Terminal at = net_.channel(in).dst;
-  if (!at.is_router()) return ChannelId::invalid();
-  const RouterId router = at.router_id();
+  if (!dst_is_router_[in.index()]) return ChannelId::invalid();
+  const RouterId router{dst_router_[in.index()]};
   PortIndex port = table_.port_fast(router, packets_[head.packet].dst);
   if (multipath_) {
     const auto& set = multipath_->choices(router, packets_[head.packet].dst);
@@ -124,7 +174,7 @@ ChannelId WormholeSim::requested_output(ChannelId in) const {
   if (port == kInvalidPort) return ChannelId::invalid();
   // §2.4 path-disable enforcement: the crossbar refuses turns outside the
   // programmed mask, whatever the (possibly corrupted) table asks for.
-  if (turn_mask_ && !turn_mask_->allowed(router, net_.channel(in).dst_port, port)) {
+  if (turn_mask_ && !turn_mask_->allowed(router, dst_port_[in.index()], port)) {
     return ChannelId::invalid();
   }
   return net_.router_out(router, port);
@@ -133,18 +183,15 @@ ChannelId WormholeSim::requested_output(ChannelId in) const {
 std::vector<ChannelId> WormholeSim::masked_turn_waits() const {
   std::vector<ChannelId> waits;
   if (!turn_mask_) return waits;
-  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
+  fifo_nonempty_.for_each_set([&](std::size_t ci) {
     const ChannelId in{ci};
-    const Flit head = fifo_head(in);
-    if (!head.valid() || granted_out_[ci].valid()) continue;
-    const Terminal at = net_.channel(in).dst;
-    if (!at.is_router()) continue;
-    const PortIndex port = table_.port_fast(at.router_id(), packets_[head.packet].dst);
-    if (port == kInvalidPort) continue;
-    if (!turn_mask_->allowed(at.router_id(), net_.channel(in).dst_port, port)) {
-      waits.push_back(in);
-    }
-  }
+    if (granted_out_[ci].valid() || !dst_is_router_[ci]) return;
+    const Flit head = fifo_front(ci);
+    const RouterId router{dst_router_[ci]};
+    const PortIndex port = table_.port_fast(router, packets_[head.packet].dst);
+    if (port == kInvalidPort) return;
+    if (!turn_mask_->allowed(router, dst_port_[ci], port)) waits.push_back(in);
+  });
   return waits;
 }
 
@@ -159,31 +206,32 @@ std::vector<ChannelId> WormholeSim::blocked_injection_channels() const {
 }
 
 bool WormholeSim::downstream_has_space(ChannelId c) const {
-  if (!net_.channel(c).dst.is_router()) return true;  // nodes sink a flit per cycle
-  const std::size_t committed = fifo_[c.index()].size() + (wire_[c.index()].valid() ? 1 : 0);
+  if (!dst_is_router_[c.index()]) return true;  // nodes sink a flit per cycle
+  const std::size_t committed = fifo_size_[c.index()] + (wire_busy_.test(c.index()) ? 1 : 0);
   return committed < config_.fifo_depth;
 }
 
 void WormholeSim::place_on_wire(ChannelId c, Flit flit) {
-  SN_ASSERT(!wire_[c.index()].valid());
+  SN_ASSERT(!wire_busy_.test(c.index()));
   wire_[c.index()] = flit;
+  wire_busy_.set(c.index());
   metrics_.on_wire_busy(c.index());
   progress_this_cycle_ = true;
 }
 
 void WormholeSim::deliver_wires() {
-  for (std::size_t ci = 0; ci < wire_.size(); ++ci) {
-    Flit& flit = wire_[ci];
-    if (!flit.valid()) continue;
-    const Terminal dst = net_.channel(ChannelId{ci}).dst;
-    if (dst.is_router()) {
-      SN_ASSERT(fifo_[ci].size() < config_.fifo_depth);
-      fifo_[ci].push_back(flit);
+  wire_busy_.for_each_set([&](std::size_t ci) {
+    const Flit flit = wire_[ci];
+    if (dst_is_router_[ci]) {
+      SN_ASSERT(fifo_size_[ci] < config_.fifo_depth);
+      fifo_push(ci, flit);
+      router_pending_.set(dst_router_[ci]);
     } else {
+      --flits_in_flight_;  // sunk at the node, whatever its position in the worm
       PacketRecord& rec = packets_[flit.packet];
       if (flit.is_tail) {
         rec.delivered_cycle = cycle_;
-        if (dst.node_id() == rec.dst) {
+        if (NodeId{dst_node_[ci]} == rec.dst) {
           rec.delivered = true;
           ++delivered_count_;
           metrics_.on_packet_delivered(rec.offered_cycle, cycle_, rec.flits);
@@ -204,88 +252,120 @@ void WormholeSim::deliver_wires() {
         }
       }
     }
-    flit = Flit{};
+    wire_[ci] = Flit{};
+    wire_busy_.clear(ci);
     progress_this_cycle_ = true;
+  });
+}
+
+bool WormholeSim::allocate_router(RouterId r) {
+  // Cache each input port's channel and requested output up front: the
+  // request is invariant across this router's allocation pass, so the
+  // original O(ports^2) table lookups collapse to O(ports) while the
+  // grant order (output-port-ascending, round-robin input scan) stays
+  // exactly the reference simulator's.
+  const PortIndex ports = net_.router_ports(r);
+  scratch_in_.assign(ports, ChannelId::invalid());
+  scratch_req_.assign(ports, ChannelId::invalid());
+  bool keep = false;
+  for (PortIndex p = 0; p < ports; ++p) {
+    const ChannelId in = net_.router_in(r, p);
+    if (!in.valid()) continue;
+    const std::size_t ci = in.index();
+    if (fifo_size_[ci] == 0) continue;
+    keep = true;
+    scratch_in_[p] = in;
+    const Flit head = fifo_front(ci);
+    if (!head.is_head || granted_out_[ci].valid()) continue;
+    scratch_req_[p] = requested_output(in);
   }
+  if (!keep) return false;
+  for (PortIndex out_port = 0; out_port < ports; ++out_port) {
+    const ChannelId out = net_.router_out(r, out_port);
+    if (!out.valid() || owner_[out.index()] != kNoPacket) continue;
+    const std::uint32_t start = rr_pointer_[out.index()];
+    for (PortIndex offset = 0; offset < ports; ++offset) {
+      const PortIndex in_port = (start + offset) % ports;
+      if (!(scratch_req_[in_port] == out)) continue;
+      const ChannelId in = scratch_in_[in_port];
+      owner_[out.index()] = fifo_front(in.index()).packet;
+      granted_out_[in.index()] = out;
+      scratch_req_[in_port] = ChannelId::invalid();
+      rr_pointer_[out.index()] = (in_port + 1) % ports;
+      break;
+    }
+  }
+  return true;
+}
+
+bool WormholeSim::allocate_router_adaptive(RouterId r) {
+  // Input-centric allocation: every waiting head picks the free admissible
+  // output with the most downstream credit (§3.3's non-busy-link rule).
+  const PortIndex ports = net_.router_ports(r);
+  bool keep = false;
+  for (PortIndex in_port = 0; in_port < ports; ++in_port) {
+    const ChannelId in = net_.router_in(r, in_port);
+    if (!in.valid()) continue;
+    const std::size_t ici = in.index();
+    if (fifo_size_[ici] == 0) continue;
+    keep = true;
+    const Flit head = fifo_front(ici);
+    if (!head.is_head || granted_out_[ici].valid()) continue;
+    const auto& set = multipath_->choices(r, packets_[head.packet].dst);
+    ChannelId best = ChannelId::invalid();
+    std::size_t best_credit = 0;
+    for (const PortIndex port : set) {
+      const ChannelId out = net_.router_out(r, port);
+      if (!out.valid() || owner_[out.index()] != kNoPacket || failed_[out.index()]) continue;
+      std::size_t credit = 1;  // delivery channels: always willing
+      if (dst_is_router_[out.index()]) {
+        const std::size_t used =
+            fifo_size_[out.index()] + (wire_busy_.test(out.index()) ? 1 : 0);
+        credit = config_.fifo_depth - std::min<std::size_t>(used, config_.fifo_depth);
+      }
+      if (!best.valid() || credit > best_credit) {
+        best = out;
+        best_credit = credit;
+      }
+    }
+    if (best.valid()) {
+      owner_[best.index()] = head.packet;
+      granted_out_[ici] = best;
+    }
+  }
+  return keep;
 }
 
 void WormholeSim::allocate_outputs() {
-  // For every router, gather head flits awaiting a grant and arbitrate per
-  // output channel, round-robin over the router's input ports.
-  for (RouterId r : net_.all_routers()) {
-    const PortIndex ports = net_.router_ports(r);
-    for (PortIndex out_port = 0; out_port < ports; ++out_port) {
-      const ChannelId out = net_.router_out(r, out_port);
-      if (!out.valid() || owner_[out.index()] != kNoPacket) continue;
-      // Scan input ports starting at the round-robin pointer.
-      const std::uint32_t start = rr_pointer_[out.index()];
-      for (PortIndex offset = 0; offset < ports; ++offset) {
-        const PortIndex in_port = (start + offset) % ports;
-        const ChannelId in = net_.router_in(r, in_port);
-        if (!in.valid()) continue;
-        const Flit head = fifo_head(in);
-        if (!head.valid() || !head.is_head || granted_out_[in.index()].valid()) continue;
-        if (requested_output(in) != out) continue;
-        owner_[out.index()] = head.packet;
-        granted_out_[in.index()] = out;
-        rr_pointer_[out.index()] = (in_port + 1) % ports;
-        break;
-      }
-    }
-  }
+  router_pending_.for_each_set([&](std::size_t ri) {
+    if (!allocate_router(RouterId{ri})) router_pending_.clear(ri);
+  });
 }
 
 void WormholeSim::allocate_outputs_adaptive() {
-  // Input-centric allocation: every waiting head picks the free admissible
-  // output with the most downstream credit (§3.3's non-busy-link rule).
-  for (RouterId r : net_.all_routers()) {
-    const PortIndex ports = net_.router_ports(r);
-    for (PortIndex in_port = 0; in_port < ports; ++in_port) {
-      const ChannelId in = net_.router_in(r, in_port);
-      if (!in.valid()) continue;
-      const Flit head = fifo_head(in);
-      if (!head.valid() || !head.is_head || granted_out_[in.index()].valid()) continue;
-      const auto& set = multipath_->choices(r, packets_[head.packet].dst);
-      ChannelId best = ChannelId::invalid();
-      std::size_t best_credit = 0;
-      for (const PortIndex port : set) {
-        const ChannelId out = net_.router_out(r, port);
-        if (!out.valid() || owner_[out.index()] != kNoPacket || failed_[out.index()]) continue;
-        std::size_t credit = 1;  // delivery channels: always willing
-        if (net_.channel(out).dst.is_router()) {
-          const std::size_t used =
-              fifo_[out.index()].size() + (wire_[out.index()].valid() ? 1 : 0);
-          credit = config_.fifo_depth - std::min<std::size_t>(used, config_.fifo_depth);
-        }
-        if (!best.valid() || credit > best_credit) {
-          best = out;
-          best_credit = credit;
-        }
-      }
-      if (best.valid()) {
-        owner_[best.index()] = head.packet;
-        granted_out_[in.index()] = best;
-      }
-    }
-  }
+  router_pending_.for_each_set([&](std::size_t ri) {
+    if (!allocate_router_adaptive(RouterId{ri})) router_pending_.clear(ri);
+  });
 }
 
 void WormholeSim::update_stall_counters_and_retry() {
+  // Empty FIFOs hold stall = 0 by construction (reset on drain and purge),
+  // so scanning only the non-empty set matches the reference full scan.
   PacketId victim = kNoPacket;
-  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
-    if (fifo_[ci].empty() || popped_[ci]) {
+  fifo_nonempty_.for_each_set([&](std::size_t ci) {
+    if (popped_[ci]) {
       stall_cycles_[ci] = 0;
-      continue;
+      return;
     }
     if (++stall_cycles_[ci] >= retry_timeout_ && victim == kNoPacket) {
       // Retry-budget exhausted packets stay wedged: endless resends into a
       // hard-failed channel is exactly the failure mode §2 rejects, and a
       // persistent stall is what lets classify_stall() name the fault.
-      if (packets_[fifo_[ci].front().packet].retries < max_retries_) {
-        victim = fifo_[ci].front().packet;
+      if (packets_[fifo_front(ci).packet].retries < max_retries_) {
+        victim = fifo_front(ci).packet;
       }
     }
-  }
+  });
   if (victim != kNoPacket) purge_and_retry(victim);
 }
 
@@ -301,16 +381,24 @@ void WormholeSim::purge_flits(PacketId victim) {
     if (o == victim) o = kNoPacket;
   }
   // Drop the victim's flits from every buffer and wire.
-  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
-    auto& q = fifo_[ci];
-    std::erase_if(q, [&](const Flit& f) { return f.packet == victim; });
-    stall_cycles_[ci] = 0;
-    if (wire_[ci].valid() && wire_[ci].packet == victim) wire_[ci] = Flit{};
+  std::size_t removed = 0;
+  for (std::size_t ci = 0; ci < fifo_size_.size(); ++ci) {
+    removed += fifo_purge(ci, victim);
+    if (wire_busy_.test(ci) && wire_[ci].packet == victim) {
+      wire_[ci] = Flit{};
+      wire_busy_.clear(ci);
+      ++removed;
+    }
   }
+  std::fill(stall_cycles_.begin(), stall_cycles_.end(), 0);
+  flits_in_flight_ -= removed;
   // Abort any in-progress injection.
   PacketRecord& rec = packets_[victim];
   NodeSendState& sender = senders_[rec.src.index()];
-  if (sender.current == victim) sender.current = kNoPacket;
+  if (sender.current == victim) {
+    flits_in_flight_ -= rec.flits - sender.flits_sent;
+    sender.current = kNoPacket;
+  }
   rec.injected = false;
   progress_this_cycle_ = true;  // the purge itself is forward progress
 }
@@ -323,6 +411,7 @@ void WormholeSim::purge_and_retry(PacketId victim) {
   purge_flits(victim);
   PacketRecord& rec = packets_[victim];
   senders_[rec.src.index()].queue.push_back(victim);
+  sender_active_.set(rec.src.index());
   ++rec.retries;
   ++retried_count_;
   metrics_.on_packet_retried();
@@ -344,6 +433,7 @@ void WormholeSim::purge_and_reoffer(PacketId victim) {
     if (other.dst == rec.dst && other.sequence > rec.sequence) break;
   }
   q.insert(it, victim);
+  sender_active_.set(rec.src.index());
   ++purged_count_;
   metrics_.on_packet_purged();
 }
@@ -360,42 +450,45 @@ void WormholeSim::cancel_packet(PacketId victim) {
 }
 
 void WormholeSim::traverse_crossbars() {
-  for (std::size_t ci = 0; ci < fifo_.size(); ++ci) {
-    auto& q = fifo_[ci];
-    if (q.empty()) continue;
+  fifo_nonempty_.for_each_set([&](std::size_t ci) {
     const ChannelId out = granted_out_[ci];
-    if (!out.valid()) continue;  // head still waiting for a grant
-    const Flit flit = q.front();
+    if (!out.valid()) return;  // head still waiting for a grant
+    const Flit flit = fifo_front(ci);
     SN_ASSERT(owner_[out.index()] == flit.packet);
-    if (failed_[out.index()] || wire_[out.index()].valid() || !downstream_has_space(out)) {
-      continue;
+    if (failed_[out.index()] || wire_busy_.test(out.index()) || !downstream_has_space(out)) {
+      return;
     }
-    q.pop_front();
+    fifo_pop(ci);
     popped_[ci] = 1;
+    popped_list_.push_back(static_cast<std::uint32_t>(ci));
     place_on_wire(out, flit);
     if (flit.is_tail) {
       owner_[out.index()] = kNoPacket;
       granted_out_[ci] = ChannelId::invalid();
     }
-  }
+  });
 }
 
 void WormholeSim::inject_from_nodes() {
-  for (std::size_t ni = 0; ni < senders_.size(); ++ni) {
+  sender_active_.for_each_set([&](std::size_t ni) {
     NodeSendState& state = senders_[ni];
     if (state.current == kNoPacket) {
-      if (injection_paused_ || state.queue.empty()) continue;
+      if (injection_paused_ || state.queue.empty()) {
+        if (state.queue.empty()) sender_active_.clear(ni);
+        return;
+      }
       state.current = state.queue.front();
       state.queue.pop_front();
       state.flits_sent = 0;
       // The injection fabric is fixed per packet at start-of-injection so a
       // failover mid-worm cannot split a packet across fabrics.
       state.port = injection_port(NodeId{ni}, packets_[state.current].dst);
+      flits_in_flight_ += packets_[state.current].flits;
     }
     const ChannelId out = net_.node_out(NodeId{ni}, state.port);
     SN_REQUIRE(out.valid(), "sending node has no wired port");
-    if (failed_[out.index()] || wire_[out.index()].valid() || !downstream_has_space(out)) {
-      continue;
+    if (failed_[out.index()] || wire_busy_.test(out.index()) || !downstream_has_space(out)) {
+      return;
     }
     PacketRecord& rec = packets_[state.current];
     Flit flit;
@@ -408,14 +501,18 @@ void WormholeSim::inject_from_nodes() {
     }
     place_on_wire(out, flit);
     ++state.flits_sent;
-    if (flit.is_tail) state.current = kNoPacket;
-  }
+    if (flit.is_tail) {
+      state.current = kNoPacket;
+      if (state.queue.empty()) sender_active_.clear(ni);
+    }
+  });
 }
 
 void WormholeSim::step() {
   SN_REQUIRE(!deadlocked_, "simulator is deadlocked; inspect state or reset");
   progress_this_cycle_ = false;
-  std::fill(popped_.begin(), popped_.end(), 0);
+  for (const std::uint32_t ci : popped_list_) popped_[ci] = 0;
+  popped_list_.clear();
   deliver_wires();
   if (multipath_) {
     allocate_outputs_adaptive();
@@ -426,25 +523,11 @@ void WormholeSim::step() {
   inject_from_nodes();
   if (retry_timeout_ > 0) update_stall_counters_and_retry();
   ++cycle_;
-  if (progress_this_cycle_ || flits_in_flight() == 0) {
+  if (progress_this_cycle_ || flits_in_flight_ == 0) {
     cycles_without_progress_ = 0;
   } else if (++cycles_without_progress_ >= config_.no_progress_threshold) {
     deadlocked_ = true;
   }
-}
-
-std::size_t WormholeSim::flits_in_flight() const {
-  std::size_t n = 0;
-  for (const auto& q : fifo_) n += q.size();
-  for (const Flit& w : wire_) {
-    if (w.valid()) ++n;
-  }
-  for (const NodeSendState& s : senders_) {
-    if (s.current != kNoPacket) {
-      n += packets_[s.current].flits - s.flits_sent;
-    }
-  }
-  return n;
 }
 
 const PacketRecord& WormholeSim::packet(PacketId id) const {

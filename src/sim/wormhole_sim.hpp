@@ -18,6 +18,19 @@
 //
 // Deadlock is detected as sustained lack of flit movement while flits are
 // in flight; sim/deadlock_detector.hpp then extracts the wait-for cycle.
+//
+// Implementation: a flat structure-of-arrays core. Input FIFOs are fixed-
+// capacity ring buffers in one contiguous slab (`fifo_slots_`), channel
+// occupancy lives in dense bitsets (busy wires, non-empty FIFOs), and each
+// per-cycle pass walks a worklist — routers with pending input flits,
+// nodes with pending injections — instead of the whole fabric, so a cycle
+// costs O(live flits), not O(channels + routers + nodes). Every worklist
+// iterates in ascending index order, which keeps the arbitration sequence
+// (router-ascending, output-port-ascending, round-robin input scan)
+// bit-for-bit identical to the original per-object simulator; that claim
+// is not folklore but a test — tests/test_workload.cpp locksteps this
+// class against sim::ReferenceSim (the pinned pre-SoA implementation)
+// across the seed registry combos.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +45,7 @@
 #include "sim/metrics.hpp"
 #include "sim/run_result.hpp"
 #include "topo/network.hpp"
+#include "util/bitset.hpp"
 
 namespace servernet::sim {
 
@@ -151,7 +165,9 @@ class WormholeSim {
   [[nodiscard]] std::size_t packets_delivered() const { return delivered_count_; }
   /// Packets a (corrupted) table delivered to the wrong node.
   [[nodiscard]] std::size_t packets_misdelivered() const { return misdelivered_count_; }
-  [[nodiscard]] std::size_t flits_in_flight() const;
+  /// O(1): maintained incrementally as flits enter and leave the fabric
+  /// (the original recomputing scan is what made big-fabric steps O(n)).
+  [[nodiscard]] std::size_t flits_in_flight() const { return flits_in_flight_; }
   [[nodiscard]] const PacketRecord& packet(PacketId id) const;
   [[nodiscard]] const SimMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const Network& net() const { return net_; }
@@ -163,7 +179,9 @@ class WormholeSim {
   /// or kNoPacket.
   [[nodiscard]] PacketId output_owner(ChannelId c) const { return owner_[c.index()]; }
   /// FIFO occupancy at the downstream end of a channel.
-  [[nodiscard]] std::size_t fifo_occupancy(ChannelId c) const { return fifo_[c.index()].size(); }
+  [[nodiscard]] std::size_t fifo_occupancy(ChannelId c) const {
+    return fifo_size_[c.index()];
+  }
   /// Head flit of a channel's downstream FIFO (invalid Flit if empty).
   [[nodiscard]] Flit fifo_head(ChannelId c) const;
   /// The output channel the head packet of `in`'s FIFO needs next
@@ -184,9 +202,22 @@ class WormholeSim {
     std::deque<PacketId> queue;
   };
 
+  // ---- flat ring-buffer FIFO primitives (slab = channels × fifo_depth) ----
+  [[nodiscard]] Flit fifo_front(std::size_t ci) const {
+    return fifo_slots_[ci * config_.fifo_depth + fifo_head_[ci]];
+  }
+  void fifo_push(std::size_t ci, Flit flit);
+  void fifo_pop(std::size_t ci);
+  /// Removes the victim's flits, preserving order; returns flits removed.
+  std::size_t fifo_purge(std::size_t ci, PacketId victim);
+
   void deliver_wires();
   void allocate_outputs();
   void allocate_outputs_adaptive();
+  /// One router's deterministic output arbitration; returns true when the
+  /// router still has input flits (keeps its worklist bit).
+  bool allocate_router(RouterId r);
+  bool allocate_router_adaptive(RouterId r);
   void traverse_crossbars();
   void inject_from_nodes();
   void update_stall_counters_and_retry();
@@ -216,6 +247,7 @@ class WormholeSim {
   std::size_t retried_count_ = 0;
   std::size_t purged_count_ = 0;
   std::size_t lost_count_ = 0;
+  std::size_t flits_in_flight_ = 0;
   std::uint32_t retry_timeout_ = 0;  // 0 = disabled
   std::uint32_t max_retries_ = kUnlimitedRetries;
   bool injection_paused_ = false;
@@ -225,22 +257,51 @@ class WormholeSim {
   // set_injection_port (single-fabric sims never allocate it).
   std::vector<PortIndex> injection_port_;
 
-  // Per channel: the flit on the wire this cycle (arrives downstream next
-  // cycle), the FIFO at the downstream end, the owning packet for
-  // router-outgoing channels, and a round-robin pointer per channel for
-  // output arbitration.
+  // ---- SoA channel state ----------------------------------------------------
+  // Flit on the wire per channel (arrives downstream next cycle), with
+  // `wire_busy_` as the dense index of valid entries.
   std::vector<Flit> wire_;
-  std::vector<std::deque<Flit>> fifo_;
+  DenseBitset wire_busy_;
+  // Input FIFOs as ring buffers in one slab: channel c's slots are
+  // [c*fifo_depth, (c+1)*fifo_depth), head/size per channel, and
+  // `fifo_nonempty_` as the dense index of channels holding flits.
+  std::vector<Flit> fifo_slots_;
+  std::vector<std::uint32_t> fifo_head_;
+  std::vector<std::uint32_t> fifo_size_;
+  DenseBitset fifo_nonempty_;
+  // Owning packet per router-outgoing channel, grant per router-incoming
+  // channel, round-robin pointer per output, fault flags.
   std::vector<PacketId> owner_;
   std::vector<char> failed_;
   std::vector<std::uint32_t> rr_pointer_;
   // Timeout-retry bookkeeping: per channel, cycles the FIFO head has sat
-  // unmoved, and whether a flit was popped this cycle.
+  // unmoved; `popped_` flags flits forwarded this cycle, undone via
+  // `popped_list_` instead of a full-fabric clear.
   std::vector<std::uint32_t> stall_cycles_;
   std::vector<char> popped_;
+  std::vector<std::uint32_t> popped_list_;
   // For router-incoming channels: the output channel the current head run
   // has been granted (invalid when no grant is active).
   std::vector<ChannelId> granted_out_;
+
+  // Precomputed channel geometry (saves a Network::channel() indirection
+  // on every hot-path touch): destination kind, router/node id, and the
+  // input port a channel lands on.
+  std::vector<char> dst_is_router_;
+  std::vector<std::uint32_t> dst_router_;
+  std::vector<std::uint32_t> dst_node_;
+  std::vector<PortIndex> dst_port_;
+
+  // Worklists: routers with at least one non-empty input FIFO, nodes with
+  // a packet queued or mid-injection. Maintained eagerly on insert,
+  // pruned lazily when a pass finds them idle.
+  DenseBitset router_pending_;
+  DenseBitset sender_active_;
+
+  // Per-router allocation scratch (in-channel and requested-out caches),
+  // reused across routers to avoid per-cycle allocation.
+  std::vector<ChannelId> scratch_in_;
+  std::vector<ChannelId> scratch_req_;
 
   std::vector<NodeSendState> senders_;
   // In-order delivery checking: next expected sequence per (src,dst).

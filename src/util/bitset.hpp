@@ -1,0 +1,66 @@
+// Dense bitset over [0, n) with ascending set-bit iteration.
+//
+// The SoA simulator core keeps its per-cycle worklists — busy wires,
+// non-empty input FIFOs, routers with allocation work, nodes with pending
+// injections — as bitsets so a cycle touches only the live fraction of a
+// 1k–4k-router fabric instead of scanning every channel. Iteration order
+// is strictly ascending index, which is what makes bitset-driven passes
+// cycle-exact drop-ins for the original full-fabric ascending loops.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace servernet {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void clear(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+
+  void clear_all() { words_.assign(words_.size(), 0); }
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  [[nodiscard]] bool any() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls `fn(index)` for every set bit in ascending index order. Each
+  /// word is snapshotted as iteration reaches it, so the callback may
+  /// clear any bit (including the current one) safely; bits *set* during
+  /// iteration inside an already-snapshotted word are picked up next pass.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        w &= w - 1;
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+      }
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace servernet

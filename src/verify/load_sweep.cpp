@@ -1,0 +1,245 @@
+#include "verify/load_sweep.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "route/dimension_order.hpp"
+#include "topo/mesh.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+#include "workload/scenario_registry.hpp"
+
+namespace servernet::verify {
+
+namespace {
+
+/// Fabrics the load sweep curves run on. Physical-channel combos only: the
+/// experiment harness drives WormholeSim, and the VC/adaptive combos
+/// answer a different question (buffer cost, escape policy) that
+/// bench_vc_ablation already measures.
+const char* const kLoadFabrics[] = {
+    "fat-fractahedron-64", "thin-fractahedron-64", "fat-tree-4-2",
+    "mesh-6x6-dor",        "hypercube-4-ecube",
+};
+
+/// Offered-load curve shared by the small-fabric items: spans the region
+/// where every roster fabric transitions from free-flowing to saturated.
+const double kCurve[] = {0.05, 0.10, 0.20, 0.35, 0.50};
+
+/// The 1024-router scale item: one node per router keeps the in-order
+/// sequence tracking (node_count^2 entries) at 16 MB instead of the 4 GB a
+/// 2048-node fabric would need.
+BuiltFabric build_mesh_32x32() {
+  auto t = std::make_shared<Mesh2D>(MeshSpec{.cols = 32, .rows = 32, .nodes_per_router = 1});
+  return BuiltFabric{t, &t->net(), dimension_order_routes(*t), std::nullopt};
+}
+
+std::vector<LoadItem> build_roster() {
+  std::vector<LoadItem> roster;
+  for (const char* const fabric : kLoadFabrics) {
+    const RegistryCombo* combo = nullptr;
+    for (const RegistryCombo& c : registry()) {
+      if (c.name == fabric) combo = &c;
+    }
+    SN_REQUIRE(combo != nullptr,
+               "load roster references unregistered combo '" + std::string(fabric) + "'");
+    for (const workload::ScenarioSpec& scenario : workload::scenario_roster()) {
+      LoadItem item;
+      item.name = std::string(fabric) + "/" + scenario.name;
+      item.fabric = fabric;
+      item.scenario = scenario.name;
+      item.what = scenario.what;
+      item.offered.assign(std::begin(kCurve), std::end(kCurve));
+      item.experiment.warmup_cycles = 500;
+      item.experiment.measure_cycles = 2000;
+      item.experiment.drain_limit = 50000;
+      item.build = combo->build;
+      roster.push_back(std::move(item));
+    }
+  }
+
+  // 1024-router scale points: two scenarios, three points, reduced windows
+  // — the whole sub-sweep must clear CI's 60 s budget while still showing
+  // the uniform and tenant-hotspot saturation shape at scale.
+  for (const char* const scenario : {"uniform", "hotspot-tenants"}) {
+    LoadItem item;
+    item.name = std::string("mesh-32x32-dor/") + scenario;
+    item.fabric = "mesh-32x32-dor";
+    item.scenario = scenario;
+    item.what = workload::find_scenario(scenario)->what;
+    item.offered = {0.05, 0.15, 0.30};
+    item.experiment.warmup_cycles = 200;
+    item.experiment.measure_cycles = 600;
+    item.experiment.drain_limit = 20000;
+    item.build = build_mesh_32x32;
+    roster.push_back(std::move(item));
+  }
+  return roster;
+}
+
+/// JSON doubles at fixed precision so reports are byte-stable and diffable.
+void write_json_double(std::ostream& os, double value) {
+  os << std::fixed << std::setprecision(4) << value << std::defaultfloat
+     << std::setprecision(6);
+}
+
+}  // namespace
+
+const std::vector<LoadItem>& load_roster() {
+  static const std::vector<LoadItem> roster = build_roster();
+  return roster;
+}
+
+const LoadItem* find_load_item(const std::string& name) {
+  for (const LoadItem& item : load_roster()) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+
+std::vector<const LoadItem*> select_load_items(const std::string& fabric,
+                                               const std::string& scenario) {
+  std::vector<const LoadItem*> selected;
+  for (const LoadItem& item : load_roster()) {
+    if (!fabric.empty() && item.fabric != fabric && item.name != fabric) continue;
+    if (!scenario.empty() && item.scenario != scenario) continue;
+    selected.push_back(&item);
+  }
+  return selected;
+}
+
+LoadPoint run_load_point(const LoadItem& item, const BuiltFabric& built, double offered,
+                         std::uint64_t seed) {
+  const std::size_t point =
+      static_cast<std::size_t>(std::find(item.offered.begin(), item.offered.end(), offered) -
+                               item.offered.begin());
+  const std::unique_ptr<TrafficPattern> pattern =
+      workload::make_scenario(item.scenario, built.net->node_count(), seed);
+  workload::ExperimentConfig config = item.experiment;
+  config.offered_flits = offered;
+  config.seed = seed + point;
+  const workload::ExperimentResult r =
+      workload::run_load_point(*built.net, built.table, *pattern, config);
+
+  LoadPoint result;
+  result.offered = offered;
+  // Window-delivered throughput: past saturation this plateaus at fabric
+  // capacity instead of tracking offered load through the drain.
+  result.accepted = r.window_accepted_flits;
+  result.mean_latency = r.mean_latency;
+  result.p50_latency = r.p50_latency;
+  result.p95_latency = r.p95_latency;
+  result.measured_packets = r.measured_packets;
+  result.saturated = r.saturated;
+  result.deadlocked = r.deadlocked;
+  return result;
+}
+
+LoadItemReport run_load_item(const LoadItem& item, std::uint64_t seed) {
+  const std::uint64_t effective = seed == 0 ? item.seed : seed;
+  const BuiltFabric built = item.build();
+  LoadItemReport report;
+  report.name = item.name;
+  report.fabric = item.fabric;
+  report.scenario = item.scenario;
+  report.seed = effective;
+  report.nodes = built.net->node_count();
+  report.routers = built.net->router_count();
+  for (const double offered : item.offered) {
+    report.points.push_back(run_load_point(item, built, offered, effective));
+  }
+  return report;
+}
+
+double LoadItemReport::saturation_offered() const {
+  for (const LoadPoint& p : points) {
+    if (p.saturated || p.deadlocked) return p.offered;
+  }
+  return 0.0;
+}
+
+double LoadItemReport::peak_accepted() const {
+  double peak = 0.0;
+  for (const LoadPoint& p : points) peak = std::max(peak, p.accepted);
+  return peak;
+}
+
+bool LoadItemReport::ok() const {
+  return std::none_of(points.begin(), points.end(),
+                      [](const LoadPoint& p) { return p.deadlocked; });
+}
+
+bool LoadSweepReport::all_ok() const {
+  return std::all_of(items.begin(), items.end(),
+                     [](const LoadItemReport& item) { return item.ok(); });
+}
+
+void LoadSweepReport::write_text(std::ostream& os) const {
+  print_banner(os, "load sweep: offered load vs throughput/latency per scenario");
+  TextTable table({"item", "nodes", "peak accepted", "saturates at", "mean lat @low",
+                   "p95 lat @low", "ok"});
+  for (const LoadItemReport& item : items) {
+    table.row()
+        .cell(item.name)
+        .cell(static_cast<std::uint64_t>(item.nodes))
+        .cell(item.peak_accepted(), 4);
+    if (item.saturation_offered() > 0.0) {
+      table.cell(item.saturation_offered(), 2);
+    } else {
+      table.cell("never");
+    }
+    if (item.points.empty()) {
+      table.cell("-").cell("-");
+    } else {
+      table.cell(item.points.front().mean_latency, 1).cell(item.points.front().p95_latency, 1);
+    }
+    table.cell(item.ok() ? "yes" : "NO");
+  }
+  table.print(os);
+  os << "\nload sweep: " << items.size() << " curve(s), "
+     << (all_ok() ? "no deadlocks" : "DEADLOCK OBSERVED") << '\n';
+}
+
+void LoadSweepReport::write_json(std::ostream& os) const {
+  os << "{\n  \"items\": [";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const LoadItemReport& item = items[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"item\": ";
+    write_json_string(os, item.name);
+    os << ", \"fabric\": ";
+    write_json_string(os, item.fabric);
+    os << ", \"scenario\": ";
+    write_json_string(os, item.scenario);
+    os << ", \"seed\": " << item.seed << ", \"nodes\": " << item.nodes
+       << ", \"routers\": " << item.routers << ", \"points\": [";
+    for (std::size_t p = 0; p < item.points.size(); ++p) {
+      const LoadPoint& point = item.points[p];
+      os << (p == 0 ? "" : ", ") << "{\"offered\": ";
+      write_json_double(os, point.offered);
+      os << ", \"accepted\": ";
+      write_json_double(os, point.accepted);
+      os << ", \"mean_latency\": ";
+      write_json_double(os, point.mean_latency);
+      os << ", \"p50_latency\": ";
+      write_json_double(os, point.p50_latency);
+      os << ", \"p95_latency\": ";
+      write_json_double(os, point.p95_latency);
+      os << ", \"measured_packets\": " << point.measured_packets
+         << ", \"saturated\": " << (point.saturated ? "true" : "false")
+         << ", \"deadlocked\": " << (point.deadlocked ? "true" : "false") << '}';
+    }
+    os << "], \"saturation_offered\": ";
+    write_json_double(os, item.saturation_offered());
+    os << ", \"peak_accepted\": ";
+    write_json_double(os, item.peak_accepted());
+    os << ", \"ok\": " << (item.ok() ? "true" : "false") << '}';
+  }
+  os << (items.empty() ? "" : "\n  ") << "],\n  \"all_ok\": "
+     << (all_ok() ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace servernet::verify

@@ -1,0 +1,107 @@
+// Heavy-traffic load sweep: offered-load vs throughput/latency curves for
+// registry fabrics under the workload scenario database
+// (`servernet-verify --load`).
+//
+// The paper's §4 future work — "simulations of large topologies in order
+// to better understand network performance under heavy loading" — in the
+// registry's shape: a roster of (fabric, scenario) items, each a pure
+// function of (fabric, seed), swept shard-parallel with byte-identical
+// text/JSON output at any job count. Curves come from the steady-state
+// experiment harness (workload/experiment.hpp): warmup, measurement
+// window, bounded drain, per offered-load point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "verify/registry.hpp"
+#include "workload/experiment.hpp"
+
+namespace servernet::verify {
+
+/// One offered-load point on a curve (inputs + measured outputs).
+struct LoadPoint {
+  /// Offered load, flits per node per cycle.
+  double offered = 0.0;
+  /// Accepted throughput, flits/node/cycle: flits *delivered inside* the
+  /// measurement window, so the curve plateaus at capacity past saturation.
+  double accepted = 0.0;
+  double mean_latency = 0.0;
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  std::size_t measured_packets = 0;
+  /// Post-measurement drain did not finish: past saturation.
+  bool saturated = false;
+  bool deadlocked = false;
+};
+
+/// One roster item: a fabric x scenario pair plus its curve definition.
+struct LoadItem {
+  /// "<fabric>/<scenario>" — the `--load <name>` selector.
+  std::string name;
+  std::string fabric;
+  std::string scenario;
+  std::string what;
+  /// Base seed; point i runs scenario seed `seed` and injection seed
+  /// `seed + i` so points differ in arrivals but share the scenario shape.
+  std::uint64_t seed = 1996;
+  /// Offered-load curve, flits/node/cycle, strictly increasing.
+  std::vector<double> offered;
+  /// Cycle windows for every point (offered_flits/seed overridden per point).
+  workload::ExperimentConfig experiment;
+  std::function<BuiltFabric()> build;
+};
+
+struct LoadItemReport {
+  std::string name;
+  std::string fabric;
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t nodes = 0;
+  std::size_t routers = 0;
+  std::vector<LoadPoint> points;
+
+  /// Lowest offered load that saturated (or deadlocked); 0 when the whole
+  /// curve drained — the fabric's measured saturation point under this
+  /// scenario, the figure EXPERIMENTS.md E21 quotes.
+  [[nodiscard]] double saturation_offered() const;
+  [[nodiscard]] double peak_accepted() const;
+  /// Certified fabrics must never deadlock, at any offered load:
+  /// saturation shows up as an unfinished drain, not a dependency cycle.
+  [[nodiscard]] bool ok() const;
+};
+
+struct LoadSweepReport {
+  std::vector<LoadItemReport> items;
+  [[nodiscard]] bool all_ok() const;
+  void write_text(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+};
+
+/// The load roster, in report order: every load-swept fabric crossed with
+/// every scenario in the workload catalog, plus the reduced-window curves
+/// for the 1024-router mesh (kept to two scenarios so the CI sweep fits
+/// its time budget).
+const std::vector<LoadItem>& load_roster();
+
+/// Lookup by "<fabric>/<scenario>" name; nullptr when unknown.
+const LoadItem* find_load_item(const std::string& name);
+
+/// Roster subset, preserving order. Empty `fabric`/`scenario` match all;
+/// `fabric` also matches a full "<fabric>/<scenario>" item name.
+std::vector<const LoadItem*> select_load_items(const std::string& fabric,
+                                               const std::string& scenario);
+
+/// Runs one curve point: builds the scenario for the item's fabric at
+/// `seed`, injects at `offered`, measures. Pure function of its arguments.
+LoadPoint run_load_point(const LoadItem& item, const BuiltFabric& built, double offered,
+                         std::uint64_t seed);
+
+/// Runs one item's whole curve serially. `seed` == 0 keeps the item's
+/// baked-in seed (the sweep default).
+LoadItemReport run_load_item(const LoadItem& item, std::uint64_t seed = 0);
+
+}  // namespace servernet::verify

@@ -1,0 +1,65 @@
+#include "workload/experiment.hpp"
+
+#include "util/stats.hpp"
+#include "workload/injector.hpp"
+
+namespace servernet::workload {
+
+ExperimentResult run_load_point(const Network& net, const RoutingTable& table,
+                                TrafficPattern& pattern, const ExperimentConfig& config) {
+  SN_REQUIRE(config.measure_cycles > 0, "measurement window must be non-empty");
+  sim::WormholeSim simulator(net, table, config.sim);
+  BernoulliInjector injector(simulator, pattern, config.offered_flits, config.seed);
+
+  ExperimentResult result;
+  if (!injector.run(config.warmup_cycles)) {
+    result.deadlocked = true;
+    return result;
+  }
+  const std::size_t first_measured = simulator.packets_offered();
+  if (!injector.run(config.measure_cycles)) {
+    result.deadlocked = true;
+    return result;
+  }
+  const std::size_t last_measured = simulator.packets_offered();
+
+  // Drain without offering further load.
+  const sim::RunResult drain = simulator.run_until_drained(config.drain_limit);
+  result.saturated = drain.outcome != sim::RunOutcome::kCompleted;
+  result.deadlocked = drain.outcome == sim::RunOutcome::kDeadlocked;
+
+  SampleSet latency;
+  std::uint64_t delivered_flits = 0;
+  for (std::size_t id = first_measured; id < last_measured; ++id) {
+    const sim::PacketRecord& rec = simulator.packet(static_cast<sim::PacketId>(id));
+    if (!rec.delivered) continue;
+    latency.add(static_cast<double>(rec.delivered_cycle - rec.offered_cycle));
+    delivered_flits += rec.flits;
+  }
+  // Window throughput counts by *delivery* time instead: every packet that
+  // landed while the measurement window was open, whenever it was offered.
+  const std::uint64_t window_start = config.warmup_cycles;
+  const std::uint64_t window_end = config.warmup_cycles + config.measure_cycles;
+  std::uint64_t window_flits = 0;
+  for (std::size_t id = 0; id < simulator.packets_offered(); ++id) {
+    const sim::PacketRecord& rec = simulator.packet(static_cast<sim::PacketId>(id));
+    if (!rec.delivered) continue;
+    if (rec.delivered_cycle < window_start || rec.delivered_cycle >= window_end) continue;
+    window_flits += rec.flits;
+  }
+  result.measured_packets = latency.size();
+  result.accepted_flits = static_cast<double>(delivered_flits) /
+                          static_cast<double>(config.measure_cycles) /
+                          static_cast<double>(net.node_count());
+  result.window_accepted_flits = static_cast<double>(window_flits) /
+                                 static_cast<double>(config.measure_cycles) /
+                                 static_cast<double>(net.node_count());
+  if (!latency.empty()) {
+    result.mean_latency = latency.mean();
+    result.p50_latency = latency.quantile(0.5);
+    result.p95_latency = latency.quantile(0.95);
+  }
+  return result;
+}
+
+}  // namespace servernet::workload

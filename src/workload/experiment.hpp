@@ -15,10 +15,10 @@
 #include "topo/network.hpp"
 #include "workload/traffic.hpp"
 
-namespace servernet::sim {
+namespace servernet::workload {
 
 struct ExperimentConfig {
-  SimConfig sim;
+  sim::SimConfig sim;
   /// Offered load, flits per node per cycle.
   double offered_flits = 0.1;
   std::uint64_t warmup_cycles = 1000;
@@ -30,8 +30,15 @@ struct ExperimentConfig {
 
 struct ExperimentResult {
   /// Accepted throughput during the measurement window, flits/node/cycle,
-  /// counting only packets offered within the window.
+  /// counting only packets offered within the window. Packets delivered
+  /// *after* the window (during the drain) still count, so past
+  /// saturation this tracks offered load rather than capacity — use
+  /// `window_accepted_flits` for the steady-state throughput figure.
   double accepted_flits = 0.0;
+  /// Flits *delivered inside* the measurement window, per node per cycle
+  /// — the classic accepted-throughput metric that plateaus at fabric
+  /// capacity when offered load exceeds it.
+  double window_accepted_flits = 0.0;
   /// Latency statistics over packets offered during the measurement
   /// window and delivered before the drain limit.
   double mean_latency = 0.0;
@@ -50,4 +57,4 @@ struct ExperimentResult {
                                               TrafficPattern& pattern,
                                               const ExperimentConfig& config);
 
-}  // namespace servernet::sim
+}  // namespace servernet::workload

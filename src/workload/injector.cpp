@@ -1,12 +1,12 @@
-#include "sim/injector.hpp"
+#include "workload/injector.hpp"
 
 #include <optional>
 
 #include "util/assert.hpp"
 
-namespace servernet::sim {
+namespace servernet::workload {
 
-BernoulliInjector::BernoulliInjector(WormholeSim& simulator, TrafficPattern& pattern,
+BernoulliInjector::BernoulliInjector(sim::WormholeSim& simulator, TrafficPattern& pattern,
                                      double offered_flits, std::uint64_t seed)
     : sim_(simulator),
       pattern_(pattern),
@@ -33,8 +33,8 @@ bool BernoulliInjector::run(std::uint64_t cycles) {
   return true;
 }
 
-RunResult BernoulliInjector::drain(std::uint64_t max_cycles) {
+sim::RunResult BernoulliInjector::drain(std::uint64_t max_cycles) {
   return sim_.run_until_drained(max_cycles);
 }
 
-}  // namespace servernet::sim
+}  // namespace servernet::workload

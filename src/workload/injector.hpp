@@ -1,10 +1,11 @@
 // Open-loop Bernoulli injection: drives a WormholeSim cycle by cycle from
 // a workload TrafficPattern.
 //
-// Lives in sim (not workload) because it *owns a simulator reference*: the
-// layer map runs util -> ... -> workload -> sim, so traffic patterns know
-// nothing about simulators and the injector — the one piece that couples a
-// pattern to a sim — sits on the sim side of that edge.
+// Lives in workload (not sim) because it *is the workload*: the layer map
+// runs util -> ... -> sim -> workload, so the simulator knows nothing
+// about traffic, and the injector — the one piece that couples a pattern
+// to a sim — sits on the workload side of that edge together with the
+// patterns it samples from.
 #pragma once
 
 #include <cstdint>
@@ -13,30 +14,30 @@
 #include "util/rng.hpp"
 #include "workload/traffic.hpp"
 
-namespace servernet::sim {
+namespace servernet::workload {
 
 /// Open-loop Bernoulli injector: each node offers a packet with probability
 /// rate/flits_per_packet per cycle (so `rate` is offered flits per node per
 /// cycle) and runs the simulator cycle by cycle.
 class BernoulliInjector {
  public:
-  BernoulliInjector(WormholeSim& simulator, TrafficPattern& pattern, double offered_flits,
+  BernoulliInjector(sim::WormholeSim& simulator, TrafficPattern& pattern, double offered_flits,
                     std::uint64_t seed);
 
   /// Advances `cycles`, injecting as it goes. Returns false when the
   /// simulator deadlocks.
   bool run(std::uint64_t cycles);
   /// Stops offering new packets and lets the network drain.
-  RunResult drain(std::uint64_t max_cycles);
+  sim::RunResult drain(std::uint64_t max_cycles);
 
   [[nodiscard]] std::size_t offered() const { return offered_; }
 
  private:
-  WormholeSim& sim_;
+  sim::WormholeSim& sim_;
   TrafficPattern& pattern_;
   double packet_probability_;
   Xoshiro256 rng_;
   std::size_t offered_ = 0;
 };
 
-}  // namespace servernet::sim
+}  // namespace servernet::workload

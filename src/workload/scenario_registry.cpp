@@ -1,0 +1,225 @@
+#include "workload/scenario_registry.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace servernet::workload {
+namespace {
+
+// ---- incast ---------------------------------------------------------------
+//
+// A seeded subset of nodes are storage/parameter-server style sinks; every
+// other node fires all of its traffic at the sinks. Sinks themselves stay
+// quiet so the congestion is pure fan-in at the sink ports.
+class IncastScenario final : public TrafficPattern {
+ public:
+  IncastScenario(std::size_t node_count, std::uint64_t seed) {
+    SN_REQUIRE(node_count >= 2, "incast needs at least two nodes");
+    Xoshiro256 setup(seed);
+    std::vector<std::uint32_t> order(node_count);
+    std::iota(order.begin(), order.end(), 0U);
+    shuffle(order, setup);
+    const std::size_t sinks = std::max<std::size_t>(1, node_count / 8);
+    sinks_.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(sinks));
+    std::sort(sinks_.begin(), sinks_.end());
+    is_sink_.assign(node_count, 0);
+    for (const std::uint32_t s : sinks_) is_sink_[s] = 1;
+  }
+
+  std::optional<NodeId> destination(NodeId src, Xoshiro256& rng) override {
+    if (is_sink_[src.index()] != 0) return std::nullopt;
+    return NodeId{sinks_[rng.below(sinks_.size())]};
+  }
+
+ private:
+  std::vector<std::uint32_t> sinks_;
+  std::vector<char> is_sink_;
+};
+
+// ---- all-to-all collective ------------------------------------------------
+//
+// Every node walks the full destination set round-robin from a seeded
+// per-node offset — the stationary phase of an all-to-all personalized
+// exchange. Unlike uniform traffic the per-pair rate is exactly balanced,
+// which is what stresses bisection rather than per-port fan-in.
+class AllToAllScenario final : public TrafficPattern {
+ public:
+  AllToAllScenario(std::size_t node_count, std::uint64_t seed) : node_count_(node_count) {
+    SN_REQUIRE(node_count >= 2, "all-to-all needs at least two nodes");
+    Xoshiro256 setup(seed);
+    next_.resize(node_count);
+    for (auto& n : next_) n = static_cast<std::uint32_t>(setup.below(node_count));
+  }
+
+  std::optional<NodeId> destination(NodeId src, Xoshiro256& /*rng*/) override {
+    std::uint32_t& cursor = next_[src.index()];
+    cursor = static_cast<std::uint32_t>((cursor + 1) % node_count_);
+    if (cursor == src.index()) cursor = static_cast<std::uint32_t>((cursor + 1) % node_count_);
+    return NodeId{cursor};
+  }
+
+ private:
+  std::size_t node_count_;
+  std::vector<std::uint32_t> next_;
+};
+
+// ---- hotspot tenants ------------------------------------------------------
+//
+// The fabric is carved into equal tenants by a seeded shuffle; each tenant
+// keeps its traffic inside its own partition with a per-tenant hot node
+// absorbing a fixed fraction — the multi-tenant cluster picture, where
+// hotspots are *per customer* rather than one global celebrity node.
+class HotspotTenantsScenario final : public TrafficPattern {
+ public:
+  static constexpr std::size_t kTenants = 4;
+  static constexpr double kHotFraction = 0.5;
+
+  HotspotTenantsScenario(std::size_t node_count, std::uint64_t seed) {
+    SN_REQUIRE(node_count >= 2 * kTenants, "hotspot-tenants needs >= 2 nodes per tenant");
+    Xoshiro256 setup(seed);
+    std::vector<std::uint32_t> order(node_count);
+    std::iota(order.begin(), order.end(), 0U);
+    shuffle(order, setup);
+    members_.resize(kTenants);
+    tenant_of_.assign(node_count, 0);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      const std::size_t t = i % kTenants;
+      members_[t].push_back(order[i]);
+      tenant_of_[order[i]] = static_cast<std::uint32_t>(t);
+    }
+    for (auto& m : members_) std::sort(m.begin(), m.end());
+    hot_.resize(kTenants);
+    for (std::size_t t = 0; t < kTenants; ++t) {
+      hot_[t] = members_[t][setup.below(members_[t].size())];
+    }
+  }
+
+  std::optional<NodeId> destination(NodeId src, Xoshiro256& rng) override {
+    const std::uint32_t t = tenant_of_[src.index()];
+    const std::uint32_t hot = hot_[t];
+    if (src.index() != hot && rng.bernoulli(kHotFraction)) return NodeId{hot};
+    const std::vector<std::uint32_t>& m = members_[t];
+    const std::size_t self = static_cast<std::size_t>(
+        std::lower_bound(m.begin(), m.end(), static_cast<std::uint32_t>(src.index())) -
+        m.begin());
+    std::size_t pick = rng.below(m.size() - 1);
+    if (pick >= self) ++pick;
+    return NodeId{m[pick]};
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> members_;
+  std::vector<std::uint32_t> tenant_of_;
+  std::vector<std::uint32_t> hot_;
+};
+
+// ---- bursty diurnal mix ---------------------------------------------------
+//
+// Each node alternates on/off activity windows with a seeded phase, so at
+// any instant only ~duty of the fleet is injecting and the *set* of active
+// sources drifts over time — the coarse shape of diurnal tenant load.
+// Windows advance per injection opportunity, which under open-loop
+// injection is one tick per node per cycle.
+class BurstyDiurnalScenario final : public TrafficPattern {
+ public:
+  static constexpr std::uint32_t kPeriod = 256;
+  static constexpr std::uint32_t kOnWindow = 96;  // ~37% duty cycle
+
+  BurstyDiurnalScenario(std::size_t node_count, std::uint64_t seed) : node_count_(node_count) {
+    SN_REQUIRE(node_count >= 2, "bursty-diurnal needs at least two nodes");
+    Xoshiro256 setup(seed);
+    phase_.resize(node_count);
+    for (auto& p : phase_) p = static_cast<std::uint32_t>(setup.below(kPeriod));
+  }
+
+  std::optional<NodeId> destination(NodeId src, Xoshiro256& rng) override {
+    std::uint32_t& phase = phase_[src.index()];
+    const bool active = phase < kOnWindow;
+    phase = (phase + 1) % kPeriod;
+    if (!active) return std::nullopt;
+    const std::uint64_t pick = rng.below(node_count_ - 1);
+    const std::uint64_t dst = pick >= src.index() ? pick + 1 : pick;
+    return NodeId{dst};
+  }
+
+ private:
+  std::size_t node_count_;
+  std::vector<std::uint32_t> phase_;
+};
+
+// ---- seeded trace replay --------------------------------------------------
+//
+// A finite synthetic trace — a seeded list of (src, dst) transfers — looped
+// forever: each source replays its own slice of the trace in order. Stands
+// in for captured production traces while staying a pure function of
+// (node_count, seed); swap the generator for a file loader and the replay
+// semantics stay identical.
+class TraceReplayScenario final : public TrafficPattern {
+ public:
+  static constexpr std::size_t kEntriesPerNode = 64;
+
+  TraceReplayScenario(std::size_t node_count, std::uint64_t seed) {
+    SN_REQUIRE(node_count >= 2, "trace-replay needs at least two nodes");
+    Xoshiro256 setup(seed);
+    trace_.resize(node_count);
+    cursor_.assign(node_count, 0);
+    for (std::size_t n = 0; n < node_count; ++n) {
+      trace_[n].reserve(kEntriesPerNode);
+      for (std::size_t i = 0; i < kEntriesPerNode; ++i) {
+        const std::uint64_t pick = setup.below(node_count - 1);
+        trace_[n].push_back(static_cast<std::uint32_t>(pick >= n ? pick + 1 : pick));
+      }
+    }
+  }
+
+  std::optional<NodeId> destination(NodeId src, Xoshiro256& /*rng*/) override {
+    std::uint32_t& cursor = cursor_[src.index()];
+    const std::uint32_t dst = trace_[src.index()][cursor];
+    cursor = (cursor + 1) % kEntriesPerNode;
+    return NodeId{dst};
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> trace_;
+  std::vector<std::uint32_t> cursor_;
+};
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenario_roster() {
+  static const std::vector<ScenarioSpec> kRoster = {
+      {"uniform", "uniform random destinations — the baseline load/latency curve"},
+      {"incast", "n/8 seeded sinks absorb all traffic — fan-in congestion at sink ports"},
+      {"all-to-all", "balanced round-robin personalized exchange — stresses bisection"},
+      {"hotspot-tenants", "4 seeded tenants, each with a hot node taking half its tenant's traffic"},
+      {"bursty-diurnal", "on/off activity windows with seeded phases — a drifting active set"},
+      {"trace-replay", "seeded finite (src,dst) trace looped per source — replay semantics"},
+  };
+  return kRoster;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  for (const ScenarioSpec& s : scenario_roster()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TrafficPattern> make_scenario(const std::string& name, std::size_t node_count,
+                                              std::uint64_t seed) {
+  SN_REQUIRE(node_count >= 2, "scenarios need at least two nodes");
+  if (name == "uniform") return std::make_unique<UniformTraffic>(node_count);
+  if (name == "incast") return std::make_unique<IncastScenario>(node_count, seed);
+  if (name == "all-to-all") return std::make_unique<AllToAllScenario>(node_count, seed);
+  if (name == "hotspot-tenants") {
+    return std::make_unique<HotspotTenantsScenario>(node_count, seed);
+  }
+  if (name == "bursty-diurnal") return std::make_unique<BurstyDiurnalScenario>(node_count, seed);
+  if (name == "trace-replay") return std::make_unique<TraceReplayScenario>(node_count, seed);
+  SN_REQUIRE(false, "unknown scenario name");
+  return nullptr;
+}
+
+}  // namespace servernet::workload

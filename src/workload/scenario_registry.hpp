@@ -1,0 +1,42 @@
+// Heavy-traffic scenario database: the named workloads behind
+// `servernet-verify --load`.
+//
+// The paper's future work (§4) calls for "simulations of large topologies
+// in order to better understand network performance under heavy loading".
+// Each scenario here is a *pure function of (node_count, seed)*: the same
+// pair always produces byte-identical traffic under the serial injection
+// order of the Bernoulli injector, which is what lets the sharded sweep
+// engine replay scenarios across job counts and still merge byte-identical
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/traffic.hpp"
+
+namespace servernet::workload {
+
+/// One catalog entry; `name` is the `--scenario` slug.
+struct ScenarioSpec {
+  std::string name;
+  /// One-line description for rosters, --help and docs.
+  std::string what;
+};
+
+/// The scenario catalog, in canonical (report) order.
+const std::vector<ScenarioSpec>& scenario_roster();
+
+/// Catalog lookup by slug; nullptr when unknown.
+const ScenarioSpec* find_scenario(const std::string& name);
+
+/// Instantiates a scenario for a fabric of `node_count` nodes. The result
+/// is deterministic: traffic depends only on (node_count, seed) and the
+/// injector's serial call order. Throws PreconditionError on an unknown
+/// name or a fabric too small for the scenario's structure.
+std::unique_ptr<TrafficPattern> make_scenario(const std::string& name, std::size_t node_count,
+                                              std::uint64_t seed);
+
+}  // namespace servernet::workload

@@ -1,0 +1,18 @@
+// A scenario generator that draws from ambient entropy instead of the
+// seeded (fabric, seed) contract — the determinism gate must catch it.
+#include <random>
+
+namespace fixture {
+
+unsigned pick_sink(unsigned node_count) {
+  std::default_random_engine eng;
+  return static_cast<unsigned>(eng()) % node_count;
+}
+
+unsigned jittered_phase() {
+  // sn-lint: allow(determinism.unseeded-rng): fixture for the sanctioned-exception path; real scenarios must seed from (node_count, seed)
+  std::default_random_engine eng;
+  return static_cast<unsigned>(eng());
+}
+
+}  // namespace fixture

@@ -13,8 +13,8 @@
 #include "route/dimension_order.hpp"
 #include "topo/ring.hpp"
 #include "util/assert.hpp"
+#include "workload/injector.hpp"
 #include "workload/scenarios.hpp"
-#include "sim/injector.hpp"
 #include "workload/traffic.hpp"
 
 namespace servernet {
@@ -86,7 +86,7 @@ TEST(AdaptiveSim, DeliversEverythingWithoutDeadlock) {
   sim::WormholeSim s(tree.net(), fat_tree_routing(tree), cfg);
   s.route_adaptively(fat_tree_adaptive_routing(tree));
   UniformTraffic pattern(tree.net().node_count());
-  sim::BernoulliInjector injector(s, pattern, 0.4, /*seed=*/5);
+  workload::BernoulliInjector injector(s, pattern, 0.4, /*seed=*/5);
   ASSERT_TRUE(injector.run(2000));
   EXPECT_EQ(injector.drain(300000).outcome, sim::RunOutcome::kCompleted);
   EXPECT_EQ(s.packets_delivered(), s.packets_offered());
@@ -168,7 +168,7 @@ TEST(TimeoutRetry, NoRetriesOnHealthyTraffic) {
   sim::WormholeSim s(mesh.net(), dimension_order_routes(mesh), cfg);
   s.enable_timeout_retry(2000);
   UniformTraffic pattern(mesh.net().node_count());
-  sim::BernoulliInjector injector(s, pattern, 0.1, /*seed=*/9);
+  workload::BernoulliInjector injector(s, pattern, 0.1, /*seed=*/9);
   ASSERT_TRUE(injector.run(1000));
   ASSERT_EQ(injector.drain(100000).outcome, sim::RunOutcome::kCompleted);
   EXPECT_EQ(s.packets_retried(), 0U);

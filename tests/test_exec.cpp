@@ -25,6 +25,7 @@
 #include "util/worker_pool.hpp"
 #include "recovery/replay.hpp"
 #include "topo/fault.hpp"
+#include "verify/load_sweep.hpp"
 #include "verify/registry.hpp"
 
 using namespace servernet;
@@ -212,6 +213,26 @@ TEST(ShardedSweep, ChaosCampaignsMatchSerialByteForByte) {
     EXPECT_EQ(sharded_json.str(), serial_json.str()) << combos[i]->name;
     EXPECT_TRUE(sharded[i].all_ok()) << combos[i]->name;
   }
+}
+
+TEST(ShardedSweep, LoadCurvesMatchSerialByteForByte) {
+  // Three items spanning two fabrics keep the TSan runtime sane; the
+  // (item, point) flattening and merge path are identical at any count.
+  std::vector<const verify::LoadItem*> items;
+  for (const char* name : {"fat-tree-4-2/uniform", "fat-tree-4-2/incast", "mesh-6x6-dor/uniform"}) {
+    const verify::LoadItem* item = verify::find_load_item(name);
+    ASSERT_NE(item, nullptr) << name;
+    items.push_back(item);
+  }
+  const verify::LoadSweepReport sharded = exec::sweep_load(items, exec::SweepOptions{8});
+  verify::LoadSweepReport serial;
+  for (const verify::LoadItem* item : items) serial.items.push_back(verify::run_load_item(*item));
+  std::ostringstream serial_json;
+  std::ostringstream sharded_json;
+  serial.write_json(serial_json);
+  sharded.write_json(sharded_json);
+  EXPECT_EQ(sharded_json.str(), serial_json.str());
+  EXPECT_TRUE(sharded.all_ok());
 }
 
 TEST(ShardedSweep, FaultListMatchesSerialEnumeration) {

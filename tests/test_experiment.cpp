@@ -4,10 +4,10 @@
 #include "core/fractahedron.hpp"
 #include "route/dimension_order.hpp"
 #include "route/shortest_path.hpp"
-#include "sim/experiment.hpp"
 #include "topo/mesh.hpp"
 #include "topo/ring.hpp"
 #include "util/assert.hpp"
+#include "workload/experiment.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/traffic.hpp"
 
@@ -18,9 +18,9 @@ TEST(Experiment, LowLoadAcceptsOfferedRate) {
   const Mesh2D mesh(MeshSpec{.cols = 4, .rows = 4});
   const RoutingTable table = dimension_order_routes(mesh);
   UniformTraffic pattern(mesh.net().node_count());
-  sim::ExperimentConfig cfg;
+  workload::ExperimentConfig cfg;
   cfg.offered_flits = 0.05;
-  const sim::ExperimentResult r = sim::run_load_point(mesh.net(), table, pattern, cfg);
+  const workload::ExperimentResult r = workload::run_load_point(mesh.net(), table, pattern, cfg);
   EXPECT_FALSE(r.saturated);
   EXPECT_FALSE(r.deadlocked);
   EXPECT_NEAR(r.accepted_flits, cfg.offered_flits, cfg.offered_flits * 0.3);
@@ -35,13 +35,13 @@ TEST(Experiment, OverloadIsReportedAsSaturated) {
   spec.kind = FractahedronKind::kThin;
   const Fractahedron fh(spec);
   UniformTraffic pattern(fh.net().node_count());
-  sim::ExperimentConfig cfg;
+  workload::ExperimentConfig cfg;
   cfg.offered_flits = 0.8;
   cfg.warmup_cycles = 500;
   cfg.measure_cycles = 1500;
   cfg.drain_limit = 2000;  // deliberately tight
   cfg.sim.no_progress_threshold = 1000000;
-  const sim::ExperimentResult r = sim::run_load_point(fh.net(), fh.routing(), pattern, cfg);
+  const workload::ExperimentResult r = workload::run_load_point(fh.net(), fh.routing(), pattern, cfg);
   EXPECT_TRUE(r.saturated);
   EXPECT_LT(r.accepted_flits, cfg.offered_flits);
 }
@@ -50,14 +50,14 @@ TEST(Experiment, LatencyGrowsWithLoad) {
   const Fractahedron fh(FractahedronSpec{});
   const RoutingTable table = fh.routing();
   UniformTraffic pattern(fh.net().node_count());
-  sim::ExperimentConfig low;
+  workload::ExperimentConfig low;
   low.offered_flits = 0.05;
-  sim::ExperimentConfig high = low;
+  workload::ExperimentConfig high = low;
   high.offered_flits = 0.45;
   const double low_latency =
-      sim::run_load_point(fh.net(), table, pattern, low).mean_latency;
+      workload::run_load_point(fh.net(), table, pattern, low).mean_latency;
   const double high_latency =
-      sim::run_load_point(fh.net(), table, pattern, high).mean_latency;
+      workload::run_load_point(fh.net(), table, pattern, high).mean_latency;
   EXPECT_GT(high_latency, low_latency);
 }
 
@@ -68,15 +68,15 @@ TEST(Experiment, DeadlockIsReported) {
   // the loop from closing.
   TransferListTraffic pattern(scenarios::ring_circular_shift(ring),
                               ring.net().node_count());
-  sim::ExperimentConfig cfg;
+  workload::ExperimentConfig cfg;
   cfg.sim.fifo_depth = 2;
   cfg.sim.flits_per_packet = 16;
   cfg.sim.no_progress_threshold = 300;
   // One packet per node per cycle: every source streams back-to-back, so
   // all four loop links fill and the circular wait forms.
   cfg.offered_flits = cfg.sim.flits_per_packet;
-  const sim::ExperimentResult r =
-      sim::run_load_point(ring.net(), shortest_path_routes(ring.net()), pattern, cfg);
+  const workload::ExperimentResult r =
+      workload::run_load_point(ring.net(), shortest_path_routes(ring.net()), pattern, cfg);
   EXPECT_TRUE(r.deadlocked);
 }
 
@@ -85,10 +85,10 @@ TEST(Experiment, DeterministicForSeed) {
   const RoutingTable table = dimension_order_routes(mesh);
   UniformTraffic pattern_a(mesh.net().node_count());
   UniformTraffic pattern_b(mesh.net().node_count());
-  sim::ExperimentConfig cfg;
+  workload::ExperimentConfig cfg;
   cfg.offered_flits = 0.15;
-  const sim::ExperimentResult a = sim::run_load_point(mesh.net(), table, pattern_a, cfg);
-  const sim::ExperimentResult b = sim::run_load_point(mesh.net(), table, pattern_b, cfg);
+  const workload::ExperimentResult a = workload::run_load_point(mesh.net(), table, pattern_a, cfg);
+  const workload::ExperimentResult b = workload::run_load_point(mesh.net(), table, pattern_b, cfg);
   EXPECT_DOUBLE_EQ(a.mean_latency, b.mean_latency);
   EXPECT_EQ(a.measured_packets, b.measured_packets);
 }
@@ -97,9 +97,9 @@ TEST(Experiment, ConfigValidation) {
   const Mesh2D mesh(MeshSpec{.cols = 2, .rows = 1});
   const RoutingTable table = dimension_order_routes(mesh);
   UniformTraffic pattern(mesh.net().node_count());
-  sim::ExperimentConfig cfg;
+  workload::ExperimentConfig cfg;
   cfg.measure_cycles = 0;
-  EXPECT_THROW(sim::run_load_point(mesh.net(), table, pattern, cfg), PreconditionError);
+  EXPECT_THROW(workload::run_load_point(mesh.net(), table, pattern, cfg), PreconditionError);
 }
 
 }  // namespace

@@ -18,7 +18,7 @@
 #include "sim/wormhole_sim.hpp"
 #include "topo/network.hpp"
 #include "util/rng.hpp"
-#include "sim/injector.hpp"
+#include "workload/injector.hpp"
 #include "workload/traffic.hpp"
 
 namespace servernet {
@@ -160,7 +160,7 @@ TEST_P(RandomTopology, SimulatorDrainsUpDownTrafficWithoutDeadlock) {
   cfg.no_progress_threshold = 5000;
   sim::WormholeSim s(net, table, cfg);
   UniformTraffic pattern(net.node_count());
-  sim::BernoulliInjector injector(s, pattern, 0.5, GetParam());
+  workload::BernoulliInjector injector(s, pattern, 0.5, GetParam());
   ASSERT_TRUE(injector.run(500)) << "deadlocked while injecting";
   EXPECT_EQ(injector.drain(500000).outcome, sim::RunOutcome::kCompleted);
   EXPECT_EQ(s.packets_delivered(), s.packets_offered());

@@ -14,8 +14,8 @@
 #include "sim/wormhole_sim.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/mesh.hpp"
+#include "workload/injector.hpp"
 #include "workload/scenarios.hpp"
-#include "sim/injector.hpp"
 #include "workload/traffic.hpp"
 
 namespace servernet {
@@ -163,7 +163,7 @@ TEST(SimVsAnalysis, AcyclicTopologiesNeverDeadlockUnderStress) {
     cfg.no_progress_threshold = 5000;
     sim::WormholeSim s(c.net, c.table, cfg);
     UniformTraffic pattern(c.net.node_count());
-    sim::BernoulliInjector injector(s, pattern, 0.8, /*seed=*/17);
+    workload::BernoulliInjector injector(s, pattern, 0.8, /*seed=*/17);
     ASSERT_TRUE(injector.run(2000)) << c.name << " deadlocked during injection";
     EXPECT_EQ(injector.drain(500000).outcome, sim::RunOutcome::kCompleted) << c.name;
     EXPECT_EQ(s.metrics().out_of_order_deliveries(), 0U) << c.name;

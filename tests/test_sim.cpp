@@ -16,8 +16,8 @@
 #include "topo/mesh.hpp"
 #include "topo/ring.hpp"
 #include "util/assert.hpp"
+#include "workload/injector.hpp"
 #include "workload/scenarios.hpp"
-#include "sim/injector.hpp"
 #include "workload/traffic.hpp"
 
 namespace servernet {
@@ -69,7 +69,7 @@ TEST(Sim, ConservationUnderRandomTraffic) {
   const RoutingTable table = dimension_order_routes(mesh);
   sim::WormholeSim s(mesh.net(), table, small_packets());
   UniformTraffic pattern(mesh.net().node_count());
-  sim::BernoulliInjector injector(s, pattern, 0.1, /*seed=*/77);
+  workload::BernoulliInjector injector(s, pattern, 0.1, /*seed=*/77);
   ASSERT_TRUE(injector.run(2000));
   const auto result = injector.drain(20000);
   EXPECT_EQ(result.outcome, sim::RunOutcome::kCompleted);
@@ -89,7 +89,7 @@ TEST(Sim, InOrderDeliveryUnderHeavyLoad) {
   const RoutingTable table = dimension_order_routes(mesh);
   sim::WormholeSim s(mesh.net(), table, small_packets());
   UniformTraffic pattern(mesh.net().node_count());
-  sim::BernoulliInjector injector(s, pattern, 0.35, /*seed=*/13);
+  workload::BernoulliInjector injector(s, pattern, 0.35, /*seed=*/13);
   ASSERT_TRUE(injector.run(3000));
   injector.drain(50000);
   EXPECT_EQ(s.metrics().out_of_order_deliveries(), 0U);
@@ -102,7 +102,7 @@ TEST(Sim, BackpressureLimitsBufferOccupancy) {
   cfg.fifo_depth = 2;
   sim::WormholeSim s(mesh.net(), table, cfg);
   UniformTraffic pattern(mesh.net().node_count());
-  sim::BernoulliInjector injector(s, pattern, 0.5, /*seed=*/5);
+  workload::BernoulliInjector injector(s, pattern, 0.5, /*seed=*/5);
   ASSERT_TRUE(injector.run(500));
   for (std::size_t ci = 0; ci < mesh.net().channel_count(); ++ci) {
     EXPECT_LE(s.fifo_occupancy(ChannelId{ci}), cfg.fifo_depth);
@@ -236,7 +236,7 @@ TEST(Sim, FractahedronSurvivesAdversarialLoad) {
   sim::WormholeSim s(fh.net(), table, cfg);
   const auto gang = scenarios::fractahedron_corner_gang(fh);
   TransferListTraffic pattern(gang, fh.net().node_count());
-  sim::BernoulliInjector injector(s, pattern, 0.9, /*seed=*/3);
+  workload::BernoulliInjector injector(s, pattern, 0.9, /*seed=*/3);
   ASSERT_TRUE(injector.run(3000));
   EXPECT_EQ(injector.drain(100000).outcome, sim::RunOutcome::kCompleted);
   EXPECT_EQ(s.metrics().out_of_order_deliveries(), 0U);
@@ -246,7 +246,7 @@ TEST(Sim, ChannelUtilizationBounded) {
   const Mesh2D mesh(MeshSpec{.cols = 3, .rows = 3});
   sim::WormholeSim s(mesh.net(), dimension_order_routes(mesh), small_packets());
   UniformTraffic pattern(mesh.net().node_count());
-  sim::BernoulliInjector injector(s, pattern, 0.2, /*seed=*/21);
+  workload::BernoulliInjector injector(s, pattern, 0.2, /*seed=*/21);
   ASSERT_TRUE(injector.run(1000));
   const std::uint64_t cycles = s.now();
   for (std::size_t ci = 0; ci < mesh.net().channel_count(); ++ci) {
@@ -261,7 +261,7 @@ TEST(Sim, ThroughputMatchesOfferedLoadBelowSaturation) {
   sim::WormholeSim s(mesh.net(), dimension_order_routes(mesh), small_packets());
   UniformTraffic pattern(mesh.net().node_count());
   const double offered = 0.05;  // flits/node/cycle, far below saturation
-  sim::BernoulliInjector injector(s, pattern, offered, /*seed=*/99);
+  workload::BernoulliInjector injector(s, pattern, offered, /*seed=*/99);
   ASSERT_TRUE(injector.run(5000));
   injector.drain(20000);
   const double delivered_per_node_cycle =

@@ -14,7 +14,7 @@
 #include "topo/fully_connected.hpp"
 #include "topo/mesh.hpp"
 #include "util/assert.hpp"
-#include "sim/injector.hpp"
+#include "workload/injector.hpp"
 #include "workload/traffic.hpp"
 
 namespace servernet {
@@ -108,7 +108,7 @@ TEST(SimInvariants, LatencyNeverBelowUncontendedMinimum) {
   cfg.flits_per_packet = 6;
   sim::WormholeSim s(mesh.net(), table, cfg);
   UniformTraffic pattern(mesh.net().node_count());
-  sim::BernoulliInjector injector(s, pattern, 0.2, /*seed=*/31);
+  workload::BernoulliInjector injector(s, pattern, 0.2, /*seed=*/31);
   ASSERT_TRUE(injector.run(1500));
   ASSERT_EQ(injector.drain(100000).outcome, sim::RunOutcome::kCompleted);
   // Minimum possible: 2 channels (adjacent via one router) + flits - 1.
@@ -145,7 +145,7 @@ TEST(SimInvariants, SaturationBoundIsAnUpperBoundInPractice) {
   cfg.no_progress_threshold = 100000;
   sim::WormholeSim s(mesh.net(), table, cfg);
   UniformTraffic pattern(mesh.net().node_count());
-  sim::BernoulliInjector injector(s, pattern, est.lambda_sat * 2.0, /*seed=*/77);
+  workload::BernoulliInjector injector(s, pattern, est.lambda_sat * 2.0, /*seed=*/77);
   const std::uint64_t window = 4000;
   ASSERT_TRUE(injector.run(window));
   const double accepted = s.metrics().throughput_flits_per_cycle(window) /

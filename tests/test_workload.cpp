@@ -1,12 +1,25 @@
-// Tests for traffic patterns and the paper's scenario builders.
+// Tests for traffic patterns, the paper's scenario builders, the workload
+// scenario database, and the structure-of-arrays simulator core's
+// cycle-exactness gate against the pinned reference implementation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "sim/reference_sim.hpp"
+#include "sim/wormhole_sim.hpp"
 #include "topo/mesh.hpp"
 #include "topo/ring.hpp"
 #include "util/assert.hpp"
+#include "verify/load_sweep.hpp"
+#include "verify/registry.hpp"
+#include "workload/scenario_registry.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/traffic.hpp"
 
@@ -169,6 +182,169 @@ TEST(Scenarios, CornerGangUsesOneCornerPerGroup) {
     EXPECT_EQ(fh.owner_member(t.src, 1), 3U);  // all sources on corner 3
     EXPECT_EQ(fh.stack_of(t.dst, 1), 7U);      // all destinations in group 7
   }
+}
+
+// ---- scenario database -----------------------------------------------------
+
+/// Drains `cycles` rounds of destination picks in the injector's serial
+/// call order (node 0..n-1 per cycle) with a freshly seeded caller rng —
+/// the scenario purity contract says this stream is a pure function of
+/// (node_count, scenario seed, rng seed).
+std::vector<std::optional<NodeId>> destination_stream(TrafficPattern& pattern,
+                                                      std::uint32_t node_count,
+                                                      std::uint64_t rng_seed, int cycles) {
+  Xoshiro256 rng(rng_seed);
+  std::vector<std::optional<NodeId>> stream;
+  for (int c = 0; c < cycles; ++c) {
+    for (std::uint32_t n = 0; n < node_count; ++n) {
+      stream.push_back(pattern.destination(NodeId{n}, rng));
+    }
+  }
+  return stream;
+}
+
+TEST(ScenarioRegistry, RosterNamesResolve) {
+  EXPECT_EQ(workload::scenario_roster().size(), 6U);
+  for (const workload::ScenarioSpec& spec : workload::scenario_roster()) {
+    EXPECT_NE(workload::find_scenario(spec.name), nullptr) << spec.name;
+    EXPECT_NE(workload::make_scenario(spec.name, 32, 7), nullptr) << spec.name;
+  }
+  EXPECT_EQ(workload::find_scenario("no-such-scenario"), nullptr);
+  EXPECT_THROW((void)workload::make_scenario("no-such-scenario", 32, 7), PreconditionError);
+}
+
+TEST(ScenarioRegistry, PureFunctionOfNodeCountAndSeed) {
+  for (const workload::ScenarioSpec& spec : workload::scenario_roster()) {
+    const auto a = workload::make_scenario(spec.name, 64, 1996);
+    const auto b = workload::make_scenario(spec.name, 64, 1996);
+    EXPECT_EQ(destination_stream(*a, 64, 11, 40), destination_stream(*b, 64, 11, 40))
+        << spec.name;
+  }
+}
+
+TEST(ScenarioRegistry, SeedSelectsDifferentIncastSinks) {
+  const auto a = workload::make_scenario("incast", 64, 1);
+  const auto b = workload::make_scenario("incast", 64, 2);
+  EXPECT_NE(destination_stream(*a, 64, 11, 40), destination_stream(*b, 64, 11, 40));
+}
+
+TEST(ScenarioRegistry, DestinationsAreValidAndNeverSelf) {
+  for (const workload::ScenarioSpec& spec : workload::scenario_roster()) {
+    const auto pattern = workload::make_scenario(spec.name, 48, 3);
+    Xoshiro256 rng(5);
+    for (int c = 0; c < 64; ++c) {
+      for (std::uint32_t n = 0; n < 48; ++n) {
+        const auto d = pattern->destination(NodeId{n}, rng);
+        if (!d) continue;
+        EXPECT_LT(d->value(), 48U) << spec.name;
+        EXPECT_NE(*d, NodeId{n}) << spec.name;
+      }
+    }
+  }
+}
+
+// ---- structure-of-arrays core vs the pinned reference simulator ------------
+
+const verify::RegistryCombo& combo_named(const std::string& name) {
+  for (const verify::RegistryCombo& c : verify::registry()) {
+    if (c.name == name) return c;
+  }
+  throw std::runtime_error("no combo named " + name);
+}
+
+/// Drives WormholeSim (SoA core) and ReferenceSim (pinned pre-SoA model)
+/// in lockstep under scenario traffic — including a pause / purge /
+/// resume recovery episode mid-run — and demands identical observable
+/// state every cycle and identical per-packet records at the end.
+void expect_lockstep(const std::string& combo_name, const std::string& scenario,
+                     std::uint64_t seed) {
+  SCOPED_TRACE(combo_name + "/" + scenario);
+  const verify::BuiltFabric built = combo_named(combo_name).build();
+  const sim::SimConfig cfg;
+  sim::WormholeSim fast(*built.net, built.table, cfg);
+  sim::ReferenceSim pinned(*built.net, built.table, cfg);
+  const std::unique_ptr<TrafficPattern> pattern =
+      workload::make_scenario(scenario, built.net->node_count(), seed);
+  Xoshiro256 rng(seed);
+  const double probability = 0.4 / cfg.flits_per_packet;
+  for (std::uint64_t cycle = 0; cycle < 360; ++cycle) {
+    if (cycle < 240) {
+      for (std::uint32_t n = 0; n < built.net->node_count(); ++n) {
+        if (!rng.bernoulli(probability)) continue;
+        const std::optional<NodeId> dst = pattern->destination(NodeId{n}, rng);
+        if (!dst) continue;
+        ASSERT_EQ(fast.offer_packet(NodeId{n}, *dst), pinned.offer_packet(NodeId{n}, *dst));
+      }
+    }
+    if (cycle == 120) {  // recovery surface, mid-traffic
+      fast.pause_injection();
+      pinned.pause_injection();
+      for (std::size_t id = 0; id < fast.packets_offered(); ++id) {
+        const sim::PacketRecord& rec = fast.packet(static_cast<sim::PacketId>(id));
+        if (rec.delivered || rec.lost) continue;
+        fast.purge_and_reoffer(static_cast<sim::PacketId>(id));
+        pinned.purge_and_reoffer(static_cast<sim::PacketId>(id));
+        break;
+      }
+    }
+    if (cycle == 140) {
+      fast.resume_injection();
+      pinned.resume_injection();
+    }
+    fast.step();
+    pinned.step();
+    ASSERT_EQ(fast.packets_delivered(), pinned.packets_delivered()) << "cycle " << cycle;
+    ASSERT_EQ(fast.flits_in_flight(), pinned.flits_in_flight()) << "cycle " << cycle;
+    ASSERT_EQ(fast.deadlocked(), pinned.deadlocked()) << "cycle " << cycle;
+  }
+  ASSERT_EQ(fast.packets_offered(), pinned.packets_offered());
+  ASSERT_EQ(fast.packets_purged(), pinned.packets_purged());
+  for (std::size_t id = 0; id < fast.packets_offered(); ++id) {
+    const sim::PacketRecord& a = fast.packet(static_cast<sim::PacketId>(id));
+    const sim::PacketRecord& b = pinned.packet(static_cast<sim::PacketId>(id));
+    ASSERT_EQ(a.delivered, b.delivered) << "packet " << id;
+    ASSERT_EQ(a.injected_cycle, b.injected_cycle) << "packet " << id;
+    ASSERT_EQ(a.delivered_cycle, b.delivered_cycle) << "packet " << id;
+    ASSERT_EQ(a.sequence, b.sequence) << "packet " << id;
+  }
+}
+
+TEST(CycleExactness, FastCoreMatchesReferenceOnSeedCombos) {
+  expect_lockstep("tetrahedron", "uniform", 1996);
+  expect_lockstep("mesh-6x6-dor", "hotspot-tenants", 7);
+  expect_lockstep("fat-tree-4-2", "incast", 42);
+  expect_lockstep("hypercube-4-ecube", "all-to-all", 3);
+}
+
+// ---- load sweep ------------------------------------------------------------
+
+TEST(LoadSweep, RosterCoversEveryFabricScenarioPair) {
+  // 5 small fabrics x 6 scenarios + the 2 mesh-32x32 scale items.
+  EXPECT_EQ(verify::load_roster().size(), 32U);
+  EXPECT_NE(verify::find_load_item("fat-tree-4-2/uniform"), nullptr);
+  EXPECT_NE(verify::find_load_item("mesh-32x32-dor/uniform"), nullptr);
+  EXPECT_EQ(verify::find_load_item("fat-tree-4-2/no-such"), nullptr);
+  EXPECT_EQ(verify::select_load_items("fat-tree-4-2", "").size(), 6U);
+  EXPECT_EQ(verify::select_load_items("", "uniform").size(), 6U);
+  EXPECT_EQ(verify::select_load_items("fat-tree-4-2", "uniform").size(), 1U);
+}
+
+TEST(LoadSweep, UniformCurveIsSaneAndMonotone) {
+  const verify::LoadItem* item = verify::find_load_item("fat-tree-4-2/uniform");
+  ASSERT_NE(item, nullptr);
+  const verify::LoadItemReport report = verify::run_load_item(*item);
+  ASSERT_EQ(report.points.size(), item->offered.size());
+  EXPECT_TRUE(report.ok());
+  // Below saturation accepted tracks offered; past it the windowed curve
+  // plateaus at capacity — it must never collapse as offered load grows.
+  EXPECT_NEAR(report.points.front().accepted, report.points.front().offered, 0.02);
+  for (std::size_t i = 1; i < report.points.size(); ++i) {
+    EXPECT_GT(report.points[i].offered, report.points[i - 1].offered);
+    EXPECT_GE(report.points[i].accepted, report.points[i - 1].accepted - 0.02) << "point " << i;
+  }
+  // The 4-2 fat tree's quadrant uplinks cap uniform throughput well below
+  // the 0.5 flits/node/cycle peak offered load.
+  EXPECT_LT(report.peak_accepted(), 0.2);
 }
 
 }  // namespace

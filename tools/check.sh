@@ -79,5 +79,13 @@ for sanitize in "${sanitizers[@]}"; do
   # the controller through fault storms the clean replay sweep never takes
   # (mid-recovery purges, rejected rounds, flap condemnations).
   "${dir}/tools/servernet-verify" --chaos --all --seed 1 --campaigns 3 --jobs "$(nproc)"
+  # Heavy-traffic load smoke under the sanitizer: the structure-of-arrays
+  # sim core's hot path (dense worklists, slab FIFOs, incremental flit
+  # accounting) across two scenarios on both head-to-head fabrics.
+  for combo in fat-tree-4-2 fat-fractahedron-64; do
+    for scenario in uniform incast; do
+      "${dir}/tools/servernet-verify" --load "${combo}" --scenario "${scenario}" --jobs "$(nproc)"
+    done
+  done
 done
 echo "check.sh: verify-labeled tests sanitizer-clean (${sanitizers[*]})"

@@ -6,7 +6,11 @@
 #      their #anchors match a heading in the target (GitHub slugging);
 #   2. backtick code references that look like repo paths with an
 #      extension (`src/util/worker_pool.hpp`, `tools/check.sh`,
-#      `docs/CLI.md`) resolve to a real file.
+#      `docs/CLI.md`) resolve to a real file;
+#   3. when a built servernet-verify is available (SERVERNET_VERIFY_BIN,
+#      or build/tools/servernet-verify), the flag table in docs/CLI.md
+#      and the binary's own `--help` flag reference agree both ways —
+#      an undocumented flag or a documented ghost flag fails the gate.
 # External links (http/https/mailto) are not fetched.
 #
 # Usage: tools/check_docs.sh [file.md ...]   (default: all tracked *.md)
@@ -90,6 +94,28 @@ for f in "${files[@]}"; do
              | grep -E '^[A-Za-z0-9_.-]+(/[A-Za-z0-9_.-]+)+\.[A-Za-z0-9]+(:[0-9]+)?$' \
              | sort -u)
 done
+
+# 3. CLI flag cross-check: the docs/CLI.md flag table vs the binary's
+# `--help`. The help text is written flag-per-line (tools/
+# servernet_verify.cpp help()), so the authoritative set is the flags in
+# column one; prose mentions inside either text don't count.
+verify_bin="${SERVERNET_VERIFY_BIN:-build/tools/servernet-verify}"
+if [ -x "$verify_bin" ] && [ -f docs/CLI.md ]; then
+  help_flags=$("$verify_bin" --help | sed -n 's/^  \(--[a-z-]*\).*/\1/p' | sort -u)
+  doc_flags=$(sed -n 's/^| `\(--[a-z-]*\).*/\1/p' docs/CLI.md | sort -u)
+  for flag in $help_flags; do
+    if ! printf '%s\n' $doc_flags | grep -qx -- "$flag"; then
+      err "docs/CLI.md: flag $flag from 'servernet-verify --help' is undocumented"
+    fi
+  done
+  for flag in $doc_flags; do
+    if ! printf '%s\n' $help_flags | grep -qx -- "$flag"; then
+      err "docs/CLI.md documents $flag but 'servernet-verify --help' does not list it"
+    fi
+  done
+else
+  echo "check_docs: no servernet-verify binary found; skipping CLI flag cross-check" >&2
+fi
 
 if [ $fail -ne 0 ]; then
   echo "check_docs: FAILED" >&2

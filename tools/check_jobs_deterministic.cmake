@@ -1,7 +1,7 @@
 # CLI determinism gate for the sharded sweeps: `servernet-verify --all
-# --json`, `--synthesize --all --json`, `--compose --all --json` and
-# `--chaos --all --json` must produce byte-identical output at --jobs 1
-# and --jobs 8. Driven from ctest (servernet_verify_jobs_deterministic);
+# --json`, `--synthesize --all --json`, `--compose --all --json`,
+# `--chaos --all --json` and `--load ... --json` must produce
+# byte-identical output at --jobs 1 and --jobs 8. Driven from ctest (servernet_verify_jobs_deterministic);
 # expects VERIFY_BIN and WORK_DIR.
 if(NOT DEFINED VERIFY_BIN OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "VERIFY_BIN and WORK_DIR must be set")
@@ -37,3 +37,4 @@ check_sweep(all --all)
 check_sweep(synthesize --synthesize --all)
 check_sweep(compose --compose --all)
 check_sweep(chaos --chaos --all --seed 1 --campaigns 6)
+check_sweep(load --load fat-tree-4-2)

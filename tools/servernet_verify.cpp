@@ -80,6 +80,7 @@
 #include "recovery/replay.hpp"
 #include "topo/dot.hpp"
 #include "verify/registry.hpp"
+#include "workload/scenario_registry.hpp"
 
 using namespace servernet;
 
@@ -87,14 +88,44 @@ namespace {
 
 int usage() {
   std::cerr << "usage: servernet-verify [--json] [--faults|--recover|--synthesize|--compose"
-               "|--chaos] [--jobs N] [--dot-witness <file>] <combo>...\n"
+               "|--chaos|--load] [--jobs N] [--dot-witness <file>] <combo>...\n"
                "       servernet-verify [--json] [--faults|--recover|--synthesize|--compose"
-               "|--chaos] [--jobs N] --all\n"
+               "|--chaos|--load] [--jobs N] --all\n"
                "       servernet-verify --chaos [--seed S] [--campaigns N] --all\n"
+               "       servernet-verify --load [--scenario S] [--seed N] --all\n"
                "       servernet-verify --list | --passes | --synthesize --list | "
-               "--compose --list\n"
-               "run 'servernet-verify --list' for the registered combos\n";
+               "--compose --list | --load --list\n"
+               "run 'servernet-verify --list' for the registered combos, or --help for "
+               "every flag\n";
   return 2;
+}
+
+/// Flag reference, one line per flag — tools/check_docs.sh cross-checks
+/// this list against docs/CLI.md, so a flag missing from either side fails
+/// the docs gate.
+int help() {
+  std::cout
+      << "servernet-verify — certification, fault, recovery and load sweeps\n\n"
+         "modes (mutually exclusive):\n"
+         "  --faults        fault-space certification (every single fault classified)\n"
+         "  --recover       runtime recovery replay, cross-validated against --faults\n"
+         "  --synthesize    routing existence decision + table synthesis\n"
+         "  --compose       compositional certification of million-endpoint fabrics\n"
+         "  --chaos         seeded chaos campaigns with invariant-checked recovery\n"
+         "  --load          heavy-traffic load sweep: offered load vs throughput/latency\n"
+         "selectors:\n"
+         "  --all           sweep the whole roster of the selected mode\n"
+         "  --list          list the selected mode's roster and exit\n"
+         "  --passes        list the certification passes and exit\n"
+         "options:\n"
+         "  --json          machine-readable report (byte-identical at any --jobs)\n"
+         "  --jobs N        worker count for sweeps (default: hardware concurrency)\n"
+         "  --seed N        chaos: campaign seed; load: scenario + injection seed\n"
+         "  --campaigns N   chaos only: campaigns per combo\n"
+         "  --scenario S    load only: restrict to one workload scenario\n"
+         "  --dot-witness F Graphviz export with the indictment witness highlighted\n"
+         "  --help          this flag reference\n";
+  return 0;
 }
 
 /// Channels of the first error-severity diagnostic that carries a
@@ -164,7 +195,11 @@ int main(int argc, char** argv) {
   bool synthesize = false;
   bool compose = false;
   bool chaos = false;
-  bool chaos_knobs = false;  // --seed / --campaigns seen (chaos-only flags)
+  bool load = false;
+  bool chaos_knobs = false;  // --campaigns seen (chaos-only flag)
+  bool seed_seen = false;    // --seed seen (chaos or load)
+  std::uint64_t seed = 0;
+  std::string scenario;      // --scenario (load-only flag)
   exec::SweepOptions sweep;  // jobs = 0: hardware concurrency
   recovery::CampaignGenOptions gen;
   std::string dot_witness;
@@ -177,6 +212,8 @@ int main(int argc, char** argv) {
       all = true;
     } else if (arg == "--list") {
       list = true;
+    } else if (arg == "--help") {
+      return help();
     } else if (arg == "--passes") {
       passes = true;
     } else if (arg == "--faults") {
@@ -189,10 +226,15 @@ int main(int argc, char** argv) {
       compose = true;
     } else if (arg == "--chaos") {
       chaos = true;
+    } else if (arg == "--load") {
+      load = true;
+    } else if (arg == "--scenario") {
+      if (i + 1 >= argc) return usage();
+      scenario = argv[++i];
     } else if (arg == "--seed") {
       if (i + 1 >= argc) return usage();
-      gen.seed = std::strtoull(argv[++i], nullptr, 10);
-      chaos_knobs = true;
+      seed = std::strtoull(argv[++i], nullptr, 10);
+      seed_seen = true;
     } else if (arg == "--campaigns") {
       if (i + 1 >= argc) return usage();
       const long campaigns = std::strtol(argv[++i], nullptr, 10);
@@ -220,15 +262,24 @@ int main(int argc, char** argv) {
     }
   }
   // Compose reports have no materialized Network to render a witness into.
-  if (!dot_witness.empty() && (all || faults || recover || list || passes || compose || chaos)) {
+  if (!dot_witness.empty() &&
+      (all || faults || recover || list || passes || compose || chaos || load)) {
     return usage();
   }
   if (static_cast<int>(faults) + static_cast<int>(recover) + static_cast<int>(synthesize) +
-          static_cast<int>(compose) + static_cast<int>(chaos) >
+          static_cast<int>(compose) + static_cast<int>(chaos) + static_cast<int>(load) >
       1) {
     return usage();
   }
-  if (chaos_knobs && !chaos) return usage();  // --seed/--campaigns shape chaos sweeps only
+  if (chaos_knobs && !chaos) return usage();       // --campaigns shapes chaos sweeps only
+  if (seed_seen && !(chaos || load)) return usage();  // --seed shapes chaos + load sweeps
+  if (!scenario.empty() && !load) return usage();  // --scenario shapes load sweeps only
+  if (chaos) gen.seed = seed_seen ? seed : gen.seed;
+  if (!scenario.empty() && workload::find_scenario(scenario) == nullptr) {
+    std::cerr << "unknown scenario '" << scenario
+              << "' — run 'servernet-verify --load --list'\n";
+    return 2;
+  }
 
   if (passes) {
     for (const verify::PassInfo& p : verify::pass_roster()) {
@@ -237,6 +288,18 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (list) {
+    if (load) {
+      std::cout << "scenarios:\n";
+      for (const workload::ScenarioSpec& s : workload::scenario_roster()) {
+        std::cout << "  " << s.name << " — " << s.what << '\n';
+      }
+      std::cout << "curves:\n";
+      for (const verify::LoadItem& item : verify::load_roster()) {
+        std::cout << "  " << item.name << " [" << item.offered.size() << " points, seed "
+                  << item.seed << "]\n";
+      }
+      return 0;
+    }
     if (synthesize) {
       for (const verify::SynthItem& item : verify::synth_roster()) {
         std::cout << item.name << " [expect " << analysis::to_string(item.expect) << "] — "
@@ -258,6 +321,16 @@ int main(int argc, char** argv) {
                 << c.what << '\n';
     }
     return 0;
+  }
+  if (all && load) {
+    const std::vector<const verify::LoadItem*> items = verify::select_load_items("", scenario);
+    const verify::LoadSweepReport report = exec::sweep_load(items, sweep, seed);
+    if (json) {
+      report.write_json(std::cout);
+    } else {
+      report.write_text(std::cout);
+    }
+    return report.all_ok() ? 0 : 1;
   }
   if (all && compose) {
     std::vector<const verify::ComposeItem*> items;
@@ -393,6 +466,23 @@ int main(int argc, char** argv) {
 
   bool any_errors = false;
   for (const std::string& name : names) {
+    if (load) {
+      const std::vector<const verify::LoadItem*> items =
+          verify::select_load_items(name, scenario);
+      if (items.empty()) {
+        std::cerr << "no load curves match '" << name
+                  << "' — run 'servernet-verify --load --list'\n";
+        return 2;
+      }
+      const verify::LoadSweepReport report = exec::sweep_load(items, sweep, seed);
+      if (json) {
+        report.write_json(std::cout);
+      } else {
+        report.write_text(std::cout);
+      }
+      any_errors = any_errors || !report.all_ok();
+      continue;
+    }
     if (compose) {
       const verify::ComposeItem* item = verify::find_compose_item(name);
       if (item == nullptr) {
